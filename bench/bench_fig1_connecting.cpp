@@ -1,0 +1,112 @@
+// Figure 1 — "Connecting Middleware": the concept diagram of islands
+// joined by Virtual Service Gateways. This bench regenerates the
+// figure's content as measurements: what a native in-island call costs,
+// what the same call costs when it crosses islands through VSG + PCM,
+// and where the added time goes (hop breakdown).
+//
+// Expected shape (paper narrative): cross-island calls pay a modest
+// constant overhead — two extra gateway hops plus SOAP encode/decode —
+// and remain fast relative to the devices themselves (an X10 command
+// costs ~1 s of powerline time no matter how it is reached).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "soap/envelope.hpp"
+#include "testbed/home.hpp"
+
+using namespace hcm;
+
+namespace {
+
+std::vector<double> measure_calls(testbed::SmartHome& home,
+                                  core::MiddlewareAdapter& adapter,
+                                  const std::string& service,
+                                  const std::string& method,
+                                  const ValueList& args, int n) {
+  std::vector<double> out;
+  for (int i = 0; i < n; ++i) {
+    sim::SimTime start = home.sched.now();
+    std::optional<Result<Value>> result;
+    adapter.invoke(service, method, args,
+                   [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(home.sched, [&] { return result.has_value(); });
+    if (result->is_ok()) {
+      out.push_back(bench::to_ms(home.sched.now() - start));
+    }
+  }
+  return out;
+}
+
+void fig1_report() {
+  sim::Scheduler sched;
+  testbed::SmartHome home(sched);
+  (void)home.refresh();
+
+  bench::print_header(
+      "Fig. 1  Connecting Middleware: native vs cross-island call latency");
+
+  constexpr int kCalls = 20;
+  // Native in-island baselines.
+  bench::print_row_ms("jini native (laserdisc.getStatus)",
+                      bench::stats_of(measure_calls(
+                          home, *home.jini_adapter, "laserdisc-1",
+                          "getStatus", {}, kCalls)));
+  bench::print_row_ms("havi native (camera.getStatus)",
+                      bench::stats_of(measure_calls(
+                          home, *home.havi_adapter, "camera-1", "getStatus",
+                          {}, kCalls)));
+  bench::print_row_ms("x10  native (lamp.turnOn)",
+                      bench::stats_of(measure_calls(home, *home.x10_adapter,
+                                                    "desk-lamp", "turnOn", {},
+                                                    kCalls)));
+
+  // Cross-island: same services reached from a foreign island through
+  // SP -> SOAP/HTTP -> VSG -> CP.
+  std::printf("  ----------------------------------------------------------\n");
+  bench::print_row_ms("havi -> jini (laserdisc.getStatus)",
+                      bench::stats_of(measure_calls(
+                          home, *home.havi_adapter, "laserdisc-1",
+                          "getStatus", {}, kCalls)));
+  bench::print_row_ms("jini -> havi (camera.getStatus)",
+                      bench::stats_of(measure_calls(
+                          home, *home.jini_adapter, "camera-1", "getStatus",
+                          {}, kCalls)));
+  bench::print_row_ms("jini -> x10  (lamp.turnOn)",
+                      bench::stats_of(measure_calls(home, *home.jini_adapter,
+                                                    "desk-lamp", "turnOn", {},
+                                                    kCalls)));
+
+  // Hop breakdown of one cross-island call (jini -> havi).
+  std::printf("  ----------------------------------------------------------\n");
+  std::printf("  hop breakdown, jini -> havi camera.getStatus:\n");
+  auto native = bench::stats_of(measure_calls(
+      home, *home.havi_adapter, "camera-1", "getStatus", {}, kCalls));
+  auto bridged = bench::stats_of(measure_calls(
+      home, *home.jini_adapter, "camera-1", "getStatus", {}, kCalls));
+  auto wire = soap::build_call("urn:hcm:CameraControl", "getStatus", {});
+  std::printf("    native HAVi leg            %9.2f ms\n", native.mean);
+  std::printf("    VSG bridging overhead      %9.2f ms\n",
+              bridged.mean - native.mean);
+  std::printf("    SOAP request size          %9zu bytes\n", wire.size());
+  std::printf("    (bridged total             %9.2f ms)\n", bridged.mean);
+}
+
+// CPU cost of the VSG wire protocol (the per-call conversion work).
+void BM_SoapEnvelopeRoundTrip(benchmark::State& state) {
+  soap::NamedValues params{{"channel", Value(7)}, {"title", Value("news")}};
+  for (auto _ : state) {
+    auto wire = soap::build_call("urn:hcm:Tuner", "setChannel", params);
+    auto env = soap::parse_envelope(wire);
+    benchmark::DoNotOptimize(env);
+  }
+}
+BENCHMARK(BM_SoapEnvelopeRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fig1_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

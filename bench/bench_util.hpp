@@ -1,0 +1,48 @@
+// Shared helpers for the figure-reproduction benches: simple statistics
+// over virtual-time samples and table printing.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hcm::bench {
+
+struct Stats {
+  double min = 0, mean = 0, p50 = 0, p95 = 0, max = 0;
+  std::size_t n = 0;
+};
+
+inline Stats stats_of(std::vector<double> samples) {
+  Stats s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.min = samples.front();
+  s.max = samples.back();
+  double sum = 0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = samples[samples.size() / 2];
+  s.p95 = samples[samples.size() * 95 / 100];
+  return s;
+}
+
+// Virtual-time durations in milliseconds.
+inline double to_ms(sim::Duration d) { return static_cast<double>(d) / 1e3; }
+
+inline void print_header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+inline void print_row_ms(const std::string& label, const Stats& s) {
+  std::printf("  %-34s n=%-4zu min=%9.2f ms  mean=%9.2f ms  p95=%9.2f ms\n",
+              label.c_str(), s.n, s.min, s.mean, s.p95);
+}
+
+}  // namespace hcm::bench

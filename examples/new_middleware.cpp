@@ -1,0 +1,97 @@
+// "New middleware can be participated in our framework effortlessly"
+// (§3 design goal; §5: "We can connect the UPnP service to other
+// middleware by developing a PCM for UPnP.")
+//
+// This example adds a whole UPnP island to a running home at runtime:
+// one adapter object, one add_island() call, one refresh. Every
+// existing island can then call the UPnP smart plug, and the plug's
+// control point can call everything else — no existing code changed.
+//
+// Run: ./build/examples/new_middleware
+#include <cstdio>
+
+#include "core/adapters/upnp_adapter.hpp"
+#include "testbed/home.hpp"
+#include "upnp/upnp.hpp"
+
+using namespace hcm;
+
+int main() {
+  sim::Scheduler sched;
+  testbed::SmartHome home(sched);
+  (void)home.refresh();
+  std::printf("home running with %zu islands, VSR holds %zu services\n",
+              home.meta->island_count(), home.vsr->registry().size());
+
+  // --- The new middleware arrives: a UPnP network with a smart plug.
+  auto& upnp_lan = home.net.add_ethernet("upnp-lan", sim::microseconds(200),
+                                         100'000'000);
+  auto& upnp_gw = home.net.add_node("upnp-gw");
+  auto& plug_host = home.net.add_node("smart-plug");
+  home.net.attach(upnp_gw, upnp_lan);
+  home.net.attach(upnp_gw, *home.backbone);
+  home.net.attach(plug_host, upnp_lan);
+
+  bool plug_on = false;
+  upnp::UpnpDevice plug(home.net, plug_host.id(), "Kettle Plug");
+  plug.add_service(
+      "kettle-plug",
+      InterfaceDesc{"BinaryLight",
+                    {MethodDesc{"turnOn", {}, ValueType::kBool, false},
+                     MethodDesc{"turnOff", {}, ValueType::kBool, false}}},
+      [&](const std::string& method, const ValueList&, InvokeResultFn done) {
+        plug_on = method == "turnOn";
+        std::printf("      [plug] %s\n", method.c_str());
+        done(Value(true));
+      });
+  (void)plug.start();
+
+  // --- The entire integration effort for the new middleware:
+  auto adapter = std::make_unique<core::UpnpAdapter>(home.net, upnp_gw.id());
+  auto* upnp_adapter = adapter.get();
+  auto island = home.meta->add_island("upnp-island", upnp_gw.id(),
+                                      std::move(adapter));
+  if (!island.is_ok()) {
+    std::printf("add_island failed: %s\n", island.status().to_string().c_str());
+    return 1;
+  }
+  auto status = home.refresh();
+  std::printf("after adding UPnP: %zu islands, VSR holds %zu services (%s)\n",
+              home.meta->island_count(), home.vsr->registry().size(),
+              status.to_string().c_str());
+
+  // --- Every old island can reach the new service...
+  std::optional<Result<Value>> from_jini;
+  home.jini_adapter->invoke("kettle-plug", "turnOn", {},
+                            [&](Result<Value> r) { from_jini = std::move(r); });
+  sim::run_until_done(sched, [&] { return from_jini.has_value(); });
+  std::printf("jini -> kettle-plug turnOn: %s (plug is %s)\n",
+              from_jini->is_ok() ? "OK"
+                                 : from_jini->status().to_string().c_str(),
+              plug_on ? "on" : "off");
+
+  // --- ...the X10 remote got a binding for it automatically...
+  auto unit = home.x10_adapter->unit_for("kettle-plug");
+  if (unit.is_ok()) {
+    home.remote->press(unit.value(), x10::FunctionCode::kOff);
+    sched.run_for(sim::seconds(30));
+    std::printf("x10 remote P%d OFF -> plug is %s\n", unit.value(),
+                plug_on ? "on" : "off");
+  }
+
+  // --- ...and the new island reaches everything that was already there.
+  std::optional<Result<Value>> from_upnp;
+  upnp_adapter->invoke("laserdisc-1", "turnOn", {},
+                       [&](Result<Value> r) { from_upnp = std::move(r); });
+  sim::run_until_done(sched, [&] { return from_upnp.has_value(); });
+  std::printf("upnp -> jini laserdisc turnOn: %s (laserdisc %s)\n",
+              from_upnp->is_ok() ? "OK"
+                                 : from_upnp->status().to_string().c_str(),
+              home.laserdisc->powered() ? "powered" : "off");
+
+  const bool ok = from_jini->is_ok() && from_upnp->is_ok() && !plug_on &&
+                  home.laserdisc->powered();
+  std::printf("%s\n", ok ? "new middleware joined effortlessly"
+                         : "integration incomplete");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,78 @@
+// Universal Remote Controller — the application of the paper's §4.2 and
+// Fig. 5: "an X10 remote controller that allows us to control not only
+// X10 devices but also Jini and HAVi services that are connected via
+// our middleware. The person in the picture is controlling a Jini
+// Laserdisc with an X10 remote controller, and he can also control a
+// HAVi DV camera."
+//
+// Run: ./build/examples/universal_remote
+#include <cstdio>
+
+#include "testbed/home.hpp"
+
+using namespace hcm;
+
+namespace {
+void press_and_report(testbed::SmartHome& home, int unit, bool on,
+                      const char* label) {
+  home.remote->press(unit, on ? x10::FunctionCode::kOn
+                              : x10::FunctionCode::kOff);
+  home.sched.run_for(sim::seconds(30));
+  std::printf("  pressed P%-2d %-3s -> %s\n", unit, on ? "ON" : "OFF", label);
+}
+}  // namespace
+
+int main() {
+  sim::Scheduler sched;
+  testbed::SmartHome home(sched);
+  auto status = home.refresh();
+  std::printf("framework sync: %s\n", status.to_string().c_str());
+
+  // The X10 PCM bound every foreign service to a virtual unit code on
+  // house P. The remote only ever speaks raw X10 — the framework does
+  // the rest.
+  auto laserdisc_unit = home.x10_adapter->unit_for("laserdisc-1");
+  auto camera_unit = home.x10_adapter->unit_for("camera-1");
+  if (!laserdisc_unit.is_ok() || !camera_unit.is_ok()) {
+    std::printf("bindings missing: %s\n",
+                laserdisc_unit.is_ok()
+                    ? camera_unit.status().to_string().c_str()
+                    : laserdisc_unit.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("X10 remote bindings on house P:\n");
+  std::printf("  P%-2d -> Jini laserdisc-1\n", laserdisc_unit.value());
+  std::printf("  P%-2d -> HAVi camera-1\n", camera_unit.value());
+
+  std::printf("\nnative X10 (house A):\n");
+  // A native X10 lamp first — the remote's home turf (house A remote).
+  x10::RemoteControl house_a_remote(home.net, home.remote_node->id(),
+                                    *home.powerline, x10::HouseCode::kA);
+  house_a_remote.press(1, x10::FunctionCode::kOn);
+  sched.run_for(sim::seconds(5));
+  std::printf("  pressed A1 ON  -> desk lamp level %d%%\n",
+              home.lamp->level());
+
+  std::printf("\ncross-middleware via the framework (house P):\n");
+  press_and_report(home, laserdisc_unit.value(), true, "Jini laserdisc");
+  std::printf("       laserdisc powered: %s\n",
+              home.laserdisc->powered() ? "yes" : "no");
+
+  press_and_report(home, camera_unit.value(), true, "HAVi DV camera");
+  std::printf("       camera capturing: %s\n",
+              home.camera->capturing() ? "yes" : "no");
+
+  press_and_report(home, camera_unit.value(), false, "HAVi DV camera");
+  std::printf("       camera capturing: %s\n",
+              home.camera->capturing() ? "yes" : "no");
+
+  press_and_report(home, laserdisc_unit.value(), false, "Jini laserdisc");
+  std::printf("       laserdisc powered: %s\n",
+              home.laserdisc->powered() ? "yes" : "no");
+
+  const bool ok = !home.laserdisc->powered() && !home.camera->capturing() &&
+                  home.lamp->is_on();
+  std::printf("\n%s\n", ok ? "universal remote: all targets controlled"
+                           : "something did not respond");
+  return ok ? 0 : 1;
+}

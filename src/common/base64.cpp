@@ -1,0 +1,74 @@
+#include "common/base64.hpp"
+
+#include <array>
+
+namespace hcm {
+
+namespace {
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> make_reverse() {
+  std::array<std::int8_t, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 64; ++i) {
+    rev[static_cast<unsigned char>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  }
+  return rev;
+}
+}  // namespace
+
+std::string base64_encode(const Bytes& data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  std::size_t i = 0;
+  for (; i + 3 <= data.size(); i += 3) {
+    std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8) | data[i + 2];
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += kAlphabet[n & 63];
+  }
+  if (i + 1 == data.size()) {
+    std::uint32_t n = data[i] << 16;
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += "==";
+  } else if (i + 2 == data.size()) {
+    std::uint32_t n = (data[i] << 16) | (data[i + 1] << 8);
+    out += kAlphabet[(n >> 18) & 63];
+    out += kAlphabet[(n >> 12) & 63];
+    out += kAlphabet[(n >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+Result<Bytes> base64_decode(std::string_view text) {
+  static const auto kReverse = make_reverse();
+  Bytes out;
+  out.reserve(text.size() / 4 * 3);
+  std::uint32_t acc = 0;
+  int bits = 0;
+  int pad = 0;
+  for (char c : text) {
+    if (c == '\n' || c == '\r' || c == ' ') continue;
+    if (c == '=') {
+      ++pad;
+      continue;
+    }
+    if (pad > 0) return protocol_error("base64: data after padding");
+    auto v = kReverse[static_cast<unsigned char>(c)];
+    if (v < 0) return protocol_error("base64: invalid character");
+    acc = (acc << 6) | static_cast<std::uint32_t>(v);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & 0xFF));
+    }
+  }
+  if (pad > 2) return protocol_error("base64: too much padding");
+  return out;
+}
+
+}  // namespace hcm

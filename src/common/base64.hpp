@@ -1,0 +1,14 @@
+// Base64 (RFC 4648) — used for xsd:base64Binary payloads in SOAP.
+#pragma once
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace hcm {
+
+[[nodiscard]] std::string base64_encode(const Bytes& data);
+[[nodiscard]] Result<Bytes> base64_decode(std::string_view text);
+
+}  // namespace hcm

@@ -1,0 +1,32 @@
+#include "common/interface_desc.hpp"
+
+namespace hcm {
+
+const MethodDesc* InterfaceDesc::find_method(const std::string& m) const {
+  for (const auto& method : methods) {
+    if (method.name == m) return &method;
+  }
+  return nullptr;
+}
+
+Status check_args(const MethodDesc& method, const std::vector<Value>& args) {
+  if (args.size() != method.params.size()) {
+    return invalid_argument("method " + method.name + " expects " +
+                            std::to_string(method.params.size()) +
+                            " args, got " + std::to_string(args.size()));
+  }
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const ValueType want = method.params[i].type;
+    const ValueType got = args[i].type();
+    if (want == ValueType::kNull) continue;  // untyped parameter
+    if (want == got) continue;
+    if (want == ValueType::kDouble && got == ValueType::kInt) continue;
+    return invalid_argument("method " + method.name + " param '" +
+                            method.params[i].name + "' expects " +
+                            std::string(to_string(want)) + ", got " +
+                            std::string(to_string(got)));
+  }
+  return Status::ok();
+}
+
+}  // namespace hcm

@@ -1,0 +1,49 @@
+// Service interface descriptors: the middleware-neutral description of a
+// service's callable surface. These play the role Java interfaces play
+// in the paper's prototype — the proxy generator (core/proxygen) builds
+// client/server proxies from them, and the SOAP module maps them to and
+// from WSDL documents.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+
+namespace hcm {
+
+struct ParamDesc {
+  std::string name;
+  ValueType type = ValueType::kNull;
+
+  friend bool operator==(const ParamDesc&, const ParamDesc&) = default;
+};
+
+struct MethodDesc {
+  std::string name;
+  std::vector<ParamDesc> params;
+  ValueType return_type = ValueType::kNull;
+  // One-way methods complete without a reply (events, X10 commands).
+  bool one_way = false;
+
+  friend bool operator==(const MethodDesc&, const MethodDesc&) = default;
+};
+
+// A named interface: the unit of service typing across the framework.
+struct InterfaceDesc {
+  std::string name;  // e.g. "VcrControl", "Switchable"
+  std::vector<MethodDesc> methods;
+
+  [[nodiscard]] const MethodDesc* find_method(const std::string& m) const;
+
+  friend bool operator==(const InterfaceDesc&, const InterfaceDesc&) = default;
+};
+
+// Checks an argument list against a method signature (arity and types;
+// kNull-typed params accept anything, int widens to double).
+[[nodiscard]] Status check_args(const MethodDesc& method,
+                                const std::vector<Value>& args);
+
+}  // namespace hcm

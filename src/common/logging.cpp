@@ -1,0 +1,43 @@
+#include "common/logging.hpp"
+
+#include <cstdio>
+
+namespace hcm {
+
+const char* to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+LogSink g_sink;
+
+void stderr_sink(LogLevel level, const std::string& component,
+                 const std::string& message) {
+  std::fprintf(stderr, "[%s] %s: %s\n", to_string(level), component.c_str(),
+               message.c_str());
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+void Log::set_sink(LogSink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (g_sink) {
+    g_sink(level, component, message);
+  } else {
+    stderr_sink(level, component, message);
+  }
+}
+
+}  // namespace hcm

@@ -1,0 +1,73 @@
+#include "common/service.hpp"
+
+namespace hcm {
+
+Value interface_to_value(const InterfaceDesc& iface) {
+  ValueList methods;
+  for (const auto& m : iface.methods) {
+    ValueList params;
+    for (const auto& p : m.params) {
+      params.push_back(Value(ValueMap{
+          {"name", Value(p.name)},
+          {"type", Value(static_cast<std::int64_t>(p.type))},
+      }));
+    }
+    methods.push_back(Value(ValueMap{
+        {"name", Value(m.name)},
+        {"params", Value(std::move(params))},
+        {"return", Value(static_cast<std::int64_t>(m.return_type))},
+        {"oneWay", Value(m.one_way)},
+    }));
+  }
+  return Value(ValueMap{
+      {"name", Value(iface.name)},
+      {"methods", Value(std::move(methods))},
+  });
+}
+
+namespace {
+Result<ValueType> type_from(const Value& v) {
+  auto i = v.to_int();
+  if (!i.is_ok()) return i.status();
+  if (i.value() < 0 || i.value() > static_cast<int>(ValueType::kMap)) {
+    return protocol_error("bad ValueType ordinal");
+  }
+  return static_cast<ValueType>(i.value());
+}
+}  // namespace
+
+Result<InterfaceDesc> interface_from_value(const Value& v) {
+  if (!v.is_map()) return protocol_error("interface value is not a map");
+  InterfaceDesc iface;
+  if (!v.at("name").is_string()) {
+    return protocol_error("interface missing name");
+  }
+  iface.name = v.at("name").as_string();
+  if (!v.at("methods").is_list()) {
+    return protocol_error("interface missing methods");
+  }
+  for (const auto& mv : v.at("methods").as_list()) {
+    if (!mv.is_map()) return protocol_error("method is not a map");
+    MethodDesc m;
+    if (!mv.at("name").is_string()) return protocol_error("method name");
+    m.name = mv.at("name").as_string();
+    auto ret = type_from(mv.at("return"));
+    if (!ret.is_ok()) return ret.status();
+    m.return_type = ret.value();
+    m.one_way = mv.at("oneWay").is_bool() && mv.at("oneWay").as_bool();
+    if (mv.at("params").is_list()) {
+      for (const auto& pv : mv.at("params").as_list()) {
+        ParamDesc p;
+        p.name = pv.at("name").is_string() ? pv.at("name").as_string() : "";
+        auto pt = type_from(pv.at("type"));
+        if (!pt.is_ok()) return pt.status();
+        p.type = pt.value();
+        m.params.push_back(std::move(p));
+      }
+    }
+    iface.methods.push_back(std::move(m));
+  }
+  return iface;
+}
+
+}  // namespace hcm

@@ -1,0 +1,27 @@
+// The middleware-neutral callable service object. Every middleware stack
+// (Jini, HAVi, X10, SOAP, mail, UPnP) exposes and consumes services in
+// this form at its adapter boundary, which is what lets the PCM generate
+// proxies mechanically.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/interface_desc.hpp"
+#include "common/status.hpp"
+#include "common/value.hpp"
+
+namespace hcm {
+
+using InvokeResultFn = std::function<void(Result<Value>)>;
+
+// Invoke `method` with positional args; completion is asynchronous.
+using ServiceHandler = std::function<void(
+    const std::string& method, const ValueList& args, InvokeResultFn done)>;
+
+// InterfaceDesc <-> Value (for carrying interfaces inside registration
+// messages, e.g. Jini service items and HAVi SDD data).
+[[nodiscard]] Value interface_to_value(const InterfaceDesc& iface);
+[[nodiscard]] Result<InterfaceDesc> interface_from_value(const Value& v);
+
+}  // namespace hcm

@@ -1,0 +1,32 @@
+#include "common/status.hpp"
+
+namespace hcm {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kTimeout: return "TIMEOUT";
+    case StatusCode::kProtocolError: return "PROTOCOL_ERROR";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = hcm::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace hcm

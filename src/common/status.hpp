@@ -1,0 +1,121 @@
+// Status / Result: lightweight error propagation used across the whole
+// framework. Middleware code is callback-driven, so we use value-style
+// error reporting rather than exceptions crossing async boundaries.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace hcm {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kUnavailable,      // endpoint not reachable / link down
+  kTimeout,
+  kProtocolError,    // malformed frame / envelope / message
+  kUnimplemented,
+  kPermissionDenied,
+  kInternal,
+  kCancelled,
+  kResourceExhausted,
+};
+
+const char* to_string(StatusCode code);
+
+// A status: either OK or an error code plus human-readable message.
+class Status {
+ public:
+  Status() = default;  // OK
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status invalid_argument(std::string msg) {
+  return {StatusCode::kInvalidArgument, std::move(msg)};
+}
+inline Status not_found(std::string msg) {
+  return {StatusCode::kNotFound, std::move(msg)};
+}
+inline Status already_exists(std::string msg) {
+  return {StatusCode::kAlreadyExists, std::move(msg)};
+}
+inline Status unavailable(std::string msg) {
+  return {StatusCode::kUnavailable, std::move(msg)};
+}
+inline Status timeout(std::string msg) {
+  return {StatusCode::kTimeout, std::move(msg)};
+}
+inline Status protocol_error(std::string msg) {
+  return {StatusCode::kProtocolError, std::move(msg)};
+}
+inline Status unimplemented(std::string msg) {
+  return {StatusCode::kUnimplemented, std::move(msg)};
+}
+inline Status internal_error(std::string msg) {
+  return {StatusCode::kInternal, std::move(msg)};
+}
+inline Status cancelled(std::string msg) {
+  return {StatusCode::kCancelled, std::move(msg)};
+}
+inline Status resource_exhausted(std::string msg) {
+  return {StatusCode::kResourceExhausted, std::move(msg)};
+}
+
+// Result<T>: a value or an error Status. Minimal expected<> workalike.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}                // NOLINT
+  Result(Status status) : status_(std::move(status)) {         // NOLINT
+    assert(!status_.is_ok() && "Result error must carry a non-OK status");
+  }
+  Result(StatusCode code, std::string message)
+      : status_(code, std::move(message)) {}
+
+  [[nodiscard]] bool is_ok() const { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  [[nodiscard]] const T& value() const& {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T& value() & {
+    assert(is_ok());
+    return *value_;
+  }
+  [[nodiscard]] T&& take() && {
+    assert(is_ok());
+    return std::move(*value_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return is_ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace hcm

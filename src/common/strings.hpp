@@ -1,0 +1,19 @@
+// Small string utilities shared by the text protocols (HTTP, XML, mail).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hcm {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+[[nodiscard]] std::string_view trim(std::string_view s);
+[[nodiscard]] std::string to_lower(std::string_view s);
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b);
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+// Parse a non-negative decimal integer; returns -1 on malformed input.
+[[nodiscard]] long long parse_uint(std::string_view s);
+
+}  // namespace hcm

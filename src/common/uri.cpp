@@ -1,0 +1,47 @@
+#include "common/uri.hpp"
+
+#include "common/strings.hpp"
+
+namespace hcm {
+
+std::string Uri::to_string() const {
+  std::string out = scheme + "://" + host;
+  if (port != 0) {
+    out += ':';
+    out += std::to_string(port);
+  }
+  out += path.empty() ? "/" : path;
+  return out;
+}
+
+Result<Uri> parse_uri(const std::string& s) {
+  Uri uri;
+  auto scheme_end = s.find("://");
+  if (scheme_end == std::string::npos || scheme_end == 0) {
+    return invalid_argument("URI missing scheme: " + s);
+  }
+  uri.scheme = s.substr(0, scheme_end);
+  auto rest = std::string_view(s).substr(scheme_end + 3);
+  auto path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  uri.path = path_start == std::string_view::npos
+                 ? "/"
+                 : std::string(rest.substr(path_start));
+  if (authority.empty()) return invalid_argument("URI missing host: " + s);
+  auto colon = authority.rfind(':');
+  if (colon == std::string_view::npos) {
+    uri.host = std::string(authority);
+  } else {
+    uri.host = std::string(authority.substr(0, colon));
+    auto port = parse_uint(authority.substr(colon + 1));
+    if (port < 0 || port > 65535) {
+      return invalid_argument("URI bad port: " + s);
+    }
+    uri.port = static_cast<std::uint16_t>(port);
+  }
+  if (uri.host.empty()) return invalid_argument("URI missing host: " + s);
+  return uri;
+}
+
+}  // namespace hcm

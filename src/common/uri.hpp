@@ -1,0 +1,25 @@
+// Minimal URI model for the endpoints the framework passes around
+// (e.g. "soap://node-3:8080/vsg", "jini://lookup-1:4160/svc/laserdisc").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace hcm {
+
+struct Uri {
+  std::string scheme;   // "http", "soap", "jini", ...
+  std::string host;     // simulated node name
+  std::uint16_t port = 0;
+  std::string path;     // always begins with '/' (defaults to "/")
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Uri&, const Uri&) = default;
+};
+
+[[nodiscard]] Result<Uri> parse_uri(const std::string& s);
+
+}  // namespace hcm

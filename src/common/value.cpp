@@ -1,0 +1,108 @@
+#include "common/value.hpp"
+
+#include <cmath>
+
+namespace hcm {
+
+const char* to_string(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kBool: return "bool";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+    case ValueType::kBytes: return "bytes";
+    case ValueType::kList: return "list";
+    case ValueType::kMap: return "map";
+  }
+  return "?";
+}
+
+ValueType Value::type() const {
+  return static_cast<ValueType>(v_.index());
+}
+
+Result<double> Value::to_number() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_double()) return as_double();
+  return invalid_argument("value is not numeric");
+}
+
+Result<std::int64_t> Value::to_int() const {
+  if (is_int()) return as_int();
+  if (is_double()) {
+    double d = as_double();
+    if (d == std::floor(d)) return static_cast<std::int64_t>(d);
+  }
+  return invalid_argument("value is not an integer");
+}
+
+const Value& Value::at(const std::string& key) const {
+  static const Value kNull;
+  if (!is_map()) return kNull;
+  auto it = as_map().find(key);
+  return it == as_map().end() ? kNull : it->second;
+}
+
+namespace {
+
+void render(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      out += "null";
+      break;
+    case ValueType::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case ValueType::kInt:
+      out += std::to_string(v.as_int());
+      break;
+    case ValueType::kDouble:
+      out += std::to_string(v.as_double());
+      break;
+    case ValueType::kString:
+      out += '"';
+      out += v.as_string();
+      out += '"';
+      break;
+    case ValueType::kBytes:
+      out += "bytes[";
+      out += std::to_string(v.as_bytes().size());
+      out += ']';
+      break;
+    case ValueType::kList: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.as_list()) {
+        if (!first) out += ", ";
+        first = false;
+        render(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case ValueType::kMap: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_map()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k;
+        out += ": ";
+        render(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::to_string() const {
+  std::string out;
+  render(*this, out);
+  return out;
+}
+
+}  // namespace hcm

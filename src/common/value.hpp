@@ -1,0 +1,97 @@
+// Value: the middleware-neutral dynamic value model. Every middleware in
+// the repo (Jini-like, HAVi-like, X10, SOAP, mail) marshals call
+// arguments and results to/from this type; the PCMs convert between the
+// native encodings without losing information.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace hcm {
+
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt,     // int64
+  kDouble,
+  kString,
+  kBytes,
+  kList,
+  kMap,
+};
+
+const char* to_string(ValueType t);
+
+class Value;
+using ValueList = std::vector<Value>;
+using ValueMap = std::map<std::string, Value>;
+
+// A JSON-like dynamic value. Small enough to copy; lists/maps share
+// nothing (value semantics throughout, per the Core Guidelines default).
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  Value(std::nullptr_t) : v_(std::monostate{}) {}           // NOLINT
+  Value(bool b) : v_(b) {}                                  // NOLINT
+  Value(std::int64_t i) : v_(i) {}                          // NOLINT
+  Value(int i) : v_(static_cast<std::int64_t>(i)) {}        // NOLINT
+  Value(double d) : v_(d) {}                                // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}                // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}              // NOLINT
+  Value(Bytes b) : v_(std::move(b)) {}                      // NOLINT
+  Value(ValueList l) : v_(std::move(l)) {}                  // NOLINT
+  Value(ValueMap m) : v_(std::move(m)) {}                   // NOLINT
+
+  [[nodiscard]] ValueType type() const;
+
+  [[nodiscard]] bool is_null() const { return type() == ValueType::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == ValueType::kBool; }
+  [[nodiscard]] bool is_int() const { return type() == ValueType::kInt; }
+  [[nodiscard]] bool is_double() const { return type() == ValueType::kDouble; }
+  [[nodiscard]] bool is_string() const { return type() == ValueType::kString; }
+  [[nodiscard]] bool is_bytes() const { return type() == ValueType::kBytes; }
+  [[nodiscard]] bool is_list() const { return type() == ValueType::kList; }
+  [[nodiscard]] bool is_map() const { return type() == ValueType::kMap; }
+
+  // Accessors assert on type mismatch; use type() / is_*() to check first.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(v_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(v_); }
+  [[nodiscard]] double as_double() const { return std::get<double>(v_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(v_);
+  }
+  [[nodiscard]] const Bytes& as_bytes() const { return std::get<Bytes>(v_); }
+  [[nodiscard]] const ValueList& as_list() const {
+    return std::get<ValueList>(v_);
+  }
+  [[nodiscard]] const ValueMap& as_map() const { return std::get<ValueMap>(v_); }
+  [[nodiscard]] ValueList& as_list() { return std::get<ValueList>(v_); }
+  [[nodiscard]] ValueMap& as_map() { return std::get<ValueMap>(v_); }
+
+  // Lenient numeric view: int or double -> double.
+  [[nodiscard]] Result<double> to_number() const;
+  // Lenient int view: int, or double with integral value.
+  [[nodiscard]] Result<std::int64_t> to_int() const;
+
+  // Map convenience: value at key, or null Value if missing.
+  [[nodiscard]] const Value& at(const std::string& key) const;
+
+  // Human-readable single-line rendering (diagnostics / tests).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) { return a.v_ == b.v_; }
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string, Bytes,
+               ValueList, ValueMap>
+      v_;
+};
+
+}  // namespace hcm

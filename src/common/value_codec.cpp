@@ -1,0 +1,128 @@
+#include "common/value_codec.hpp"
+
+namespace hcm {
+
+namespace {
+// Nesting bound: a hostile/corrupt buffer must not blow the stack.
+constexpr int kMaxDepth = 64;
+
+Result<Value> decode_rec(BufReader& r, int depth) {
+  if (depth > kMaxDepth) return protocol_error("value nesting too deep");
+  auto tag = r.u8();
+  if (!tag.is_ok()) return tag.status();
+  switch (static_cast<ValueType>(tag.value())) {
+    case ValueType::kNull:
+      return Value();
+    case ValueType::kBool: {
+      auto b = r.u8();
+      if (!b.is_ok()) return b.status();
+      return Value(b.value() != 0);
+    }
+    case ValueType::kInt: {
+      auto i = r.i64();
+      if (!i.is_ok()) return i.status();
+      return Value(i.value());
+    }
+    case ValueType::kDouble: {
+      auto d = r.f64();
+      if (!d.is_ok()) return d.status();
+      return Value(d.value());
+    }
+    case ValueType::kString: {
+      auto s = r.string();
+      if (!s.is_ok()) return s.status();
+      return Value(std::move(s).take());
+    }
+    case ValueType::kBytes: {
+      auto b = r.bytes();
+      if (!b.is_ok()) return b.status();
+      return Value(std::move(b).take());
+    }
+    case ValueType::kList: {
+      auto n = r.u32();
+      if (!n.is_ok()) return n.status();
+      if (n.value() > r.remaining()) {
+        return protocol_error("list length exceeds buffer");
+      }
+      ValueList list;
+      list.reserve(n.value());
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto e = decode_rec(r, depth + 1);
+        if (!e.is_ok()) return e.status();
+        list.push_back(std::move(e).take());
+      }
+      return Value(std::move(list));
+    }
+    case ValueType::kMap: {
+      auto n = r.u32();
+      if (!n.is_ok()) return n.status();
+      if (n.value() > r.remaining()) {
+        return protocol_error("map length exceeds buffer");
+      }
+      ValueMap map;
+      for (std::uint32_t i = 0; i < n.value(); ++i) {
+        auto k = r.string();
+        if (!k.is_ok()) return k.status();
+        auto e = decode_rec(r, depth + 1);
+        if (!e.is_ok()) return e.status();
+        map.emplace(std::move(k).take(), std::move(e).take());
+      }
+      return Value(std::move(map));
+    }
+  }
+  return protocol_error("unknown value tag " + std::to_string(tag.value()));
+}
+
+}  // namespace
+
+void encode_value(const Value& v, BufWriter& w) {
+  w.put_u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      w.put_u8(v.as_bool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      w.put_i64(v.as_int());
+      break;
+    case ValueType::kDouble:
+      w.put_f64(v.as_double());
+      break;
+    case ValueType::kString:
+      w.put_string(v.as_string());
+      break;
+    case ValueType::kBytes:
+      w.put_bytes(v.as_bytes());
+      break;
+    case ValueType::kList:
+      w.put_u32(static_cast<std::uint32_t>(v.as_list().size()));
+      for (const auto& e : v.as_list()) encode_value(e, w);
+      break;
+    case ValueType::kMap:
+      w.put_u32(static_cast<std::uint32_t>(v.as_map().size()));
+      for (const auto& [k, e] : v.as_map()) {
+        w.put_string(k);
+        encode_value(e, w);
+      }
+      break;
+  }
+}
+
+Bytes encode_value(const Value& v) {
+  BufWriter w;
+  encode_value(v, w);
+  return w.take();
+}
+
+Result<Value> decode_value(BufReader& r) { return decode_rec(r, 0); }
+
+Result<Value> decode_value(const Bytes& b) {
+  BufReader r(b);
+  auto v = decode_rec(r, 0);
+  if (!v.is_ok()) return v;
+  if (!r.at_end()) return protocol_error("trailing bytes after value");
+  return v;
+}
+
+}  // namespace hcm

@@ -1,0 +1,18 @@
+// Compact tag-length-value binary codec for Value. This is the "Java
+// object serialization" stand-in used by the Jini-like call protocol and
+// the binary VSG protocol ablation (bench_ablation_vsg_protocol).
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "common/value.hpp"
+
+namespace hcm {
+
+void encode_value(const Value& v, BufWriter& w);
+[[nodiscard]] Bytes encode_value(const Value& v);
+
+[[nodiscard]] Result<Value> decode_value(BufReader& r);
+[[nodiscard]] Result<Value> decode_value(const Bytes& b);
+
+}  // namespace hcm

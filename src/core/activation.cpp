@@ -1,0 +1,119 @@
+#include "core/activation.hpp"
+
+#include "common/logging.hpp"
+
+namespace hcm::core {
+
+ActivationManager::~ActivationManager() {
+  for (auto& [name, entry] : entries_) {
+    if (entry.idle_event != 0) net_.scheduler().cancel(entry.idle_event);
+  }
+}
+
+Result<Uri> ActivationManager::register_activatable(const std::string& name,
+                                                    const InterfaceDesc& iface,
+                                                    ServiceFactory factory,
+                                                    Options options) {
+  if (entries_.count(name) != 0) {
+    return already_exists("already activatable: " + name);
+  }
+  auto uri = vsg_.expose(
+      name, iface,
+      [this, name](const std::string& method, const ValueList& args,
+                   InvokeResultFn done) {
+        dispatch(name, method, args, std::move(done));
+      });
+  if (!uri.is_ok()) return uri;
+  Entry entry;
+  entry.factory = std::move(factory);
+  entry.options = options;
+  entries_[name] = std::move(entry);
+  return uri;
+}
+
+void ActivationManager::unregister(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  if (it->second.idle_event != 0) {
+    net_.scheduler().cancel(it->second.idle_event);
+  }
+  vsg_.unexpose(name);
+  entries_.erase(it);
+}
+
+bool ActivationManager::is_active(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it != entries_.end() && static_cast<bool>(it->second.live);
+}
+
+std::uint64_t ActivationManager::activations(const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.activations;
+}
+
+std::uint64_t ActivationManager::deactivations(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.deactivations;
+}
+
+void ActivationManager::dispatch(const std::string& name,
+                                 const std::string& method,
+                                 const ValueList& args, InvokeResultFn done) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    done(not_found("activatable service gone: " + name));
+    return;
+  }
+  Entry& entry = it->second;
+  if (entry.live) {
+    touch(entry, name);
+    entry.live(method, args, std::move(done));
+    return;
+  }
+  // Dormant: queue the call and kick activation.
+  entry.queued.push_back(
+      [this, name, method, args, done = std::move(done)]() mutable {
+        dispatch(name, method, args, std::move(done));
+      });
+  if (!entry.activating) {
+    entry.activating = true;
+    log_debug("activation", "activating ", name);
+    net_.scheduler().after(entry.options.activation_delay,
+                           [this, name] { activate(name); });
+  }
+}
+
+void ActivationManager::activate(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;  // unregistered while activating
+  Entry& entry = it->second;
+  entry.activating = false;
+  entry.live = entry.factory();
+  ++entry.activations;
+  touch(entry, name);
+  // Drain calls that arrived while dormant/activating.
+  auto queued = std::move(entry.queued);
+  entry.queued.clear();
+  for (auto& call : queued) call();
+}
+
+void ActivationManager::touch(Entry& entry, const std::string& name) {
+  if (entry.options.idle_timeout <= 0) return;
+  if (entry.idle_event != 0) net_.scheduler().cancel(entry.idle_event);
+  entry.idle_event = net_.scheduler().after(
+      entry.options.idle_timeout, [this, name] { deactivate(name); });
+}
+
+void ActivationManager::deactivate(const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  entry.idle_event = 0;
+  if (!entry.live) return;
+  log_debug("activation", "deactivating idle ", name);
+  entry.live = nullptr;  // destroys the live implementation
+  ++entry.deactivations;
+}
+
+}  // namespace hcm::core

@@ -1,0 +1,75 @@
+// Dynamic service activation — the first §6 future-work item: "we
+// can't integrate ... dynamic service activation [with the HTTP-based
+// prototype]". This extension adds it at the framework layer: a
+// service can be registered dormant with a factory; the first call
+// through its VSG exposure activates it (paying a simulated activation
+// delay), and an idle timeout deactivates it again. Clients never see
+// any of this — calls during activation are queued, not failed.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/service.hpp"
+#include "core/vsg.hpp"
+
+namespace hcm::core {
+
+// Creates the live service object. Called on activation; the returned
+// handler serves calls until deactivation destroys it.
+using ServiceFactory = std::function<ServiceHandler()>;
+
+class ActivationManager {
+ public:
+  struct Options {
+    // Simulated cost of bringing the implementation up (process spawn,
+    // device power-up, JVM start, ...).
+    sim::Duration activation_delay = sim::milliseconds(500);
+    // Dormant again after this much idle time; 0 = never deactivate.
+    sim::Duration idle_timeout = sim::seconds(60);
+  };
+
+  ActivationManager(net::Network& net, VirtualServiceGateway& vsg)
+      : net_(net), vsg_(vsg) {}
+  ~ActivationManager();
+  ActivationManager(const ActivationManager&) = delete;
+  ActivationManager& operator=(const ActivationManager&) = delete;
+
+  // Registers a dormant, activatable service and exposes it through
+  // the VSG. Returns the exposure URI (publishable in the VSR like any
+  // other service).
+  Result<Uri> register_activatable(const std::string& name,
+                                   const InterfaceDesc& iface,
+                                   ServiceFactory factory, Options options);
+  void unregister(const std::string& name);
+
+  [[nodiscard]] bool is_active(const std::string& name) const;
+  [[nodiscard]] std::uint64_t activations(const std::string& name) const;
+  [[nodiscard]] std::uint64_t deactivations(const std::string& name) const;
+
+ private:
+  struct Entry {
+    ServiceFactory factory;
+    Options options;
+    ServiceHandler live;  // empty when dormant
+    bool activating = false;
+    std::deque<std::function<void()>> queued;  // calls awaiting activation
+    sim::EventId idle_event = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t deactivations = 0;
+  };
+
+  void dispatch(const std::string& name, const std::string& method,
+                const ValueList& args, InvokeResultFn done);
+  void activate(const std::string& name);
+  void touch(Entry& entry, const std::string& name);
+  void deactivate(const std::string& name);
+
+  net::Network& net_;
+  VirtualServiceGateway& vsg_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace hcm::core

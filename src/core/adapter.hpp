@@ -1,0 +1,50 @@
+// MiddlewareAdapter: the single abstraction a middleware must implement
+// to join the framework (the paper's §3 goal — "new middleware can be
+// participated in our framework effortlessly"). The PCM drives one
+// adapter per island:
+//   - list_services/invoke feed the Client Proxy direction (local
+//     services become VSG services remote clients can call);
+//   - export_service is the Server Proxy direction (remote services
+//     appear as native services local clients can call).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/service.hpp"
+
+namespace hcm::core {
+
+struct LocalService {
+  std::string name;          // globally unique deployed name ("laserdisc-1")
+  InterfaceDesc interface;
+  ValueMap attributes;       // middleware-specific hints (e.g. x10.on)
+};
+
+class MiddlewareAdapter {
+ public:
+  virtual ~MiddlewareAdapter() = default;
+
+  // Short middleware identifier: "jini", "havi", "x10", "mail", "upnp".
+  [[nodiscard]] virtual std::string middleware_name() const = 0;
+
+  using ServicesFn = std::function<void(Result<std::vector<LocalService>>)>;
+  // Enumerates services currently deployed on the local middleware.
+  virtual void list_services(ServicesFn done) = 0;
+
+  // Invokes a *local* service natively (used by generated client
+  // proxies when a remote VSG call arrives).
+  virtual void invoke(const std::string& service_name,
+                      const std::string& method, const ValueList& args,
+                      InvokeResultFn done) = 0;
+
+  // Makes a *remote* service appear as a native local service whose
+  // implementation is `handler` (a generated server proxy). Local
+  // clients then use it with zero changes.
+  virtual Status export_service(const LocalService& service,
+                                ServiceHandler handler) = 0;
+  virtual void unexport_service(const std::string& name) = 0;
+};
+
+}  // namespace hcm::core

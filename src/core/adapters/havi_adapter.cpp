@@ -1,0 +1,111 @@
+#include "core/adapters/havi_adapter.hpp"
+
+namespace hcm::core {
+
+HaviAdapter::HaviAdapter(havi::MessagingSystem& ms, havi::Seid registry)
+    : ms_(ms),
+      self_(ms.register_element(
+          [](const std::string&, const ValueList&, InvokeResultFn done) {
+            done(unimplemented("PCM adapter SE takes no calls"));
+          })),
+      registry_(ms, self_, registry) {}
+
+HaviAdapter::~HaviAdapter() { ms_.unregister_element(self_); }
+
+void HaviAdapter::list_services(ServicesFn done) {
+  registry_.get_elements(
+      ValueMap{{havi::kAttrSeType, Value("FCM")}},
+      [this, done = std::move(done)](
+          Result<std::vector<havi::RegistryRecord>> records) {
+        if (!records.is_ok()) {
+          done(records.status());
+          return;
+        }
+        std::vector<LocalService> services;
+        for (auto& record : records.value()) {
+          auto name_it = record.attributes.find(havi::kAttrName);
+          auto iface_it = record.attributes.find(havi::kAttrInterface);
+          if (name_it == record.attributes.end() ||
+              iface_it == record.attributes.end() ||
+              !name_it->second.is_string()) {
+            continue;  // FCM without framework-usable description
+          }
+          auto iface = interface_from_value(iface_it->second);
+          if (!iface.is_ok()) continue;
+          const std::string name = name_it->second.as_string();
+          known_[name] = record;
+          auto imported = record.attributes.find("hcm.imported");
+          if (imported != record.attributes.end() &&
+              imported->second == Value(true)) {
+            continue;
+          }
+          LocalService service;
+          service.name = name;
+          service.interface = std::move(iface).take();
+          service.attributes = record.attributes;
+          services.push_back(std::move(service));
+        }
+        done(std::move(services));
+      });
+}
+
+void HaviAdapter::invoke(const std::string& service_name,
+                         const std::string& method, const ValueList& args,
+                         InvokeResultFn done) {
+  // Server proxies exported by this adapter dispatch directly (their
+  // registry record may still be in flight).
+  if (auto exported = exported_.find(service_name);
+      exported != exported_.end()) {
+    exported->second.handler(method, args, std::move(done));
+    return;
+  }
+  auto it = known_.find(service_name);
+  if (it != known_.end()) {
+    ms_.send_request(self_, it->second.seid, method, args, std::move(done));
+    return;
+  }
+  // Refresh from the registry, then retry once.
+  list_services([this, service_name, method, args, done = std::move(done)](
+                    Result<std::vector<LocalService>> r) {
+    if (!r.is_ok()) {
+      done(r.status());
+      return;
+    }
+    auto found = known_.find(service_name);
+    if (found == known_.end()) {
+      done(not_found("no HAVi FCM: " + service_name));
+      return;
+    }
+    ms_.send_request(self_, found->second.seid, method, args, std::move(done));
+  });
+}
+
+Status HaviAdapter::export_service(const LocalService& service,
+                                   ServiceHandler handler) {
+  if (exported_.count(service.name) != 0) {
+    return already_exists("already exported to HAVi: " + service.name);
+  }
+  // The server proxy is a plain software element whose handler is the
+  // generated forwarder.
+  havi::Seid seid = ms_.register_element(handler);
+  ValueMap attrs{
+      {havi::kAttrSeType, Value("FCM")},
+      {havi::kAttrDeviceClass, Value("REMOTE")},
+      {havi::kAttrName, Value(service.name)},
+      {havi::kAttrInterface, interface_to_value(service.interface)},
+      {"hcm.imported", Value(true)},
+  };
+  registry_.register_element(seid, attrs, [](const Status&) {});
+  exported_[service.name] = Exported{seid, std::move(handler)};
+  return Status::ok();
+}
+
+void HaviAdapter::unexport_service(const std::string& name) {
+  auto it = exported_.find(name);
+  if (it == exported_.end()) return;
+  registry_.unregister_element(it->second.seid, [](const Status&) {});
+  ms_.unregister_element(it->second.seid);
+  exported_.erase(it);
+}
+
+}  // namespace hcm::core

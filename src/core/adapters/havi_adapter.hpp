@@ -1,0 +1,39 @@
+// HAVi PCM adapter: converts between the framework's service model and
+// the HAVi-like middleware (Registry queries, SE messaging).
+#pragma once
+
+#include <map>
+
+#include "core/adapter.hpp"
+#include "havi/registry.hpp"
+
+namespace hcm::core {
+
+class HaviAdapter : public MiddlewareAdapter {
+ public:
+  // `ms` is the gateway node's messaging system (already started);
+  // `registry` is the bus Registry's SEID (on the FAV controller).
+  HaviAdapter(havi::MessagingSystem& ms, havi::Seid registry);
+  ~HaviAdapter() override;
+
+  [[nodiscard]] std::string middleware_name() const override { return "havi"; }
+  void list_services(ServicesFn done) override;
+  void invoke(const std::string& service_name, const std::string& method,
+              const ValueList& args, InvokeResultFn done) override;
+  Status export_service(const LocalService& service,
+                        ServiceHandler handler) override;
+  void unexport_service(const std::string& name) override;
+
+ private:
+  havi::MessagingSystem& ms_;
+  havi::Seid self_;  // the adapter's own SE (source of its messages)
+  havi::RegistryClient registry_;
+  std::map<std::string, havi::RegistryRecord> known_;
+  struct Exported {
+    havi::Seid seid;
+    ServiceHandler handler;  // direct dispatch while registration settles
+  };
+  std::map<std::string, Exported> exported_;
+};
+
+}  // namespace hcm::core

@@ -1,0 +1,124 @@
+#include "core/adapters/jini_adapter.hpp"
+
+namespace hcm::core {
+
+JiniAdapter::JiniAdapter(net::Network& net, net::NodeId gateway_node,
+                         net::Endpoint lookup, std::uint16_t export_port)
+    : net_(net),
+      node_(gateway_node),
+      lookup_(net, gateway_node, lookup),
+      exporter_(net, gateway_node, export_port) {}
+
+JiniAdapter::~JiniAdapter() = default;
+
+Status JiniAdapter::start() { return exporter_.start(); }
+
+void JiniAdapter::list_services(ServicesFn done) {
+  lookup_.lookup("", {}, [this, done = std::move(done)](
+                             Result<std::vector<jini::ServiceItem>> items) {
+    if (!items.is_ok()) {
+      done(items.status());
+      return;
+    }
+    std::vector<LocalService> services;
+    for (auto& item : items.value()) {
+      // Skip server proxies this adapter exported: they are foreign.
+      auto imported = item.attributes.find("hcm.imported");
+      const bool is_imported =
+          imported != item.attributes.end() && imported->second == Value(true);
+      const std::string name = item.name.empty() ? item.service_id : item.name;
+      known_[name] = item;
+      if (is_imported) continue;
+      LocalService service;
+      service.name = name;
+      service.interface = item.interface;
+      service.attributes = item.attributes;
+      services.push_back(std::move(service));
+    }
+    done(std::move(services));
+  });
+}
+
+jini::Proxy* JiniAdapter::proxy_for(const jini::ServiceItem& item) {
+  auto it = proxies_.find(item.service_id);
+  if (it != proxies_.end()) return it->second.get();
+  auto proxy = std::make_unique<jini::Proxy>(net_, node_, item);
+  auto* raw = proxy.get();
+  proxies_[item.service_id] = std::move(proxy);
+  return raw;
+}
+
+void JiniAdapter::invoke(const std::string& service_name,
+                         const std::string& method, const ValueList& args,
+                         InvokeResultFn done) {
+  // Server proxies exported by this adapter dispatch directly: lookup
+  // registration is asynchronous (lease join in flight), but the proxy
+  // is usable the moment export_service returns.
+  if (auto exported = exported_.find(service_name);
+      exported != exported_.end()) {
+    exported->second.handler(method, args, std::move(done));
+    return;
+  }
+  auto it = known_.find(service_name);
+  if (it != known_.end()) {
+    proxy_for(it->second)->invoke(method, args, std::move(done));
+    return;
+  }
+  // Unknown: refresh the cache once, then retry.
+  lookup_.lookup(
+      "", {},
+      [this, service_name, method, args, done = std::move(done)](
+          Result<std::vector<jini::ServiceItem>> items) {
+        if (!items.is_ok()) {
+          done(items.status());
+          return;
+        }
+        for (auto& item : items.value()) {
+          const std::string name =
+              item.name.empty() ? item.service_id : item.name;
+          known_[name] = item;
+        }
+        auto found = known_.find(service_name);
+        if (found == known_.end()) {
+          done(not_found("no Jini service: " + service_name));
+          return;
+        }
+        proxy_for(found->second)->invoke(method, args, std::move(done));
+      });
+}
+
+Status JiniAdapter::export_service(const LocalService& service,
+                                   ServiceHandler handler) {
+  if (exported_.count(service.name) != 0) {
+    return already_exists("already exported to Jini: " + service.name);
+  }
+  Exported exported;
+  exported.service_id = "sp-" + std::to_string(next_export_++);
+  exported.handler = handler;
+  exporter_.export_object(exported.service_id, std::move(handler));
+
+  jini::ServiceItem item;
+  item.service_id = exported.service_id;
+  item.name = service.name;
+  item.interface = service.interface;
+  item.endpoint = exporter_.endpoint();
+  item.attributes = service.attributes;
+  item.attributes["hcm.imported"] = Value(true);
+  exported.registrar = std::make_unique<jini::Registrar>(
+      net_, node_, lookup_.proxy().item().endpoint, std::move(item));
+  exported.registrar->join([](const Status&) {});
+  exported_[service.name] = std::move(exported);
+  return Status::ok();
+}
+
+void JiniAdapter::unexport_service(const std::string& name) {
+  auto it = exported_.find(name);
+  if (it == exported_.end()) return;
+  exporter_.unexport_object(it->second.service_id);
+  // Cancel the lease so the lookup service drops the item promptly.
+  auto registrar = std::shared_ptr<jini::Registrar>(std::move(it->second.registrar));
+  registrar->cancel([registrar](const Status&) {});
+  exported_.erase(it);
+}
+
+}  // namespace hcm::core

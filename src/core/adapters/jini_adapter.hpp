@@ -1,0 +1,49 @@
+// Jini PCM adapter: converts between the framework's service model and
+// the Jini-like middleware (lookup service, leases, RMI-like calls).
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/adapter.hpp"
+#include "jini/exporter.hpp"
+#include "jini/registrar.hpp"
+
+namespace hcm::core {
+
+class JiniAdapter : public MiddlewareAdapter {
+ public:
+  JiniAdapter(net::Network& net, net::NodeId gateway_node,
+              net::Endpoint lookup, std::uint16_t export_port = 4170);
+  ~JiniAdapter() override;
+
+  Status start();
+
+  [[nodiscard]] std::string middleware_name() const override { return "jini"; }
+  void list_services(ServicesFn done) override;
+  void invoke(const std::string& service_name, const std::string& method,
+              const ValueList& args, InvokeResultFn done) override;
+  Status export_service(const LocalService& service,
+                        ServiceHandler handler) override;
+  void unexport_service(const std::string& name) override;
+
+ private:
+  jini::Proxy* proxy_for(const jini::ServiceItem& item);
+
+  net::Network& net_;
+  net::NodeId node_;
+  jini::LookupClient lookup_;
+  jini::Exporter exporter_;
+  // Known local services by deployed name (refreshed on list_services).
+  std::map<std::string, jini::ServiceItem> known_;
+  std::map<std::string, std::unique_ptr<jini::Proxy>> proxies_;
+  struct Exported {
+    std::string service_id;
+    ServiceHandler handler;  // direct dispatch while the join settles
+    std::unique_ptr<jini::Registrar> registrar;
+  };
+  std::map<std::string, Exported> exported_;
+  std::uint64_t next_export_ = 1;
+};
+
+}  // namespace hcm::core

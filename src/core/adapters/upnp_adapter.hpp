@@ -1,0 +1,41 @@
+// UPnP PCM adapter — the paper's §5 claim made concrete: "We can
+// connect the UPnP service to other middleware by developing a PCM for
+// UPnP." Nothing else in the framework changes.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "core/adapter.hpp"
+#include "upnp/upnp.hpp"
+
+namespace hcm::core {
+
+class UpnpAdapter : public MiddlewareAdapter {
+ public:
+  UpnpAdapter(net::Network& net, net::NodeId gateway_node,
+              std::uint16_t device_http_port = 5100,
+              sim::Duration search_wait = sim::milliseconds(200));
+  ~UpnpAdapter() override;
+
+  [[nodiscard]] std::string middleware_name() const override { return "upnp"; }
+  void list_services(ServicesFn done) override;
+  void invoke(const std::string& service_name, const std::string& method,
+              const ValueList& args, InvokeResultFn done) override;
+  Status export_service(const LocalService& service,
+                        ServiceHandler handler) override;
+  void unexport_service(const std::string& name) override;
+
+ private:
+  net::Network& net_;
+  net::NodeId node_;
+  sim::Duration search_wait_;
+  upnp::ControlPoint control_point_;
+  // Gateway-hosted device carrying the exported server proxies.
+  upnp::UpnpDevice gateway_device_;
+  bool device_started_ = false;
+  std::map<std::string, upnp::ServiceDescription> known_;
+  std::map<std::string, ServiceHandler> exported_;
+};
+
+}  // namespace hcm::core

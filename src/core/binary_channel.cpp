@@ -1,0 +1,236 @@
+#include "core/binary_channel.hpp"
+
+#include "common/bytes.hpp"
+
+namespace hcm::core {
+
+namespace {
+
+Bytes frame(const Bytes& payload) {
+  BufWriter w;
+  w.put_u32(static_cast<std::uint32_t>(payload.size()));
+  w.put_raw(payload);
+  return w.take();
+}
+
+// Incremental length-prefix deframer (shared shape with jini's, but the
+// binary VSG channel is its own protocol).
+class Deframer {
+ public:
+  Status feed(const Bytes& data, std::vector<Bytes>& out) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+    while (buf_.size() >= 4) {
+      std::uint32_t len = (static_cast<std::uint32_t>(buf_[0]) << 24) |
+                          (static_cast<std::uint32_t>(buf_[1]) << 16) |
+                          (static_cast<std::uint32_t>(buf_[2]) << 8) |
+                          static_cast<std::uint32_t>(buf_[3]);
+      if (len > 16 * 1024 * 1024) return protocol_error("frame too large");
+      if (buf_.size() < 4u + len) return Status::ok();
+      out.emplace_back(buf_.begin() + 4, buf_.begin() + 4 + len);
+      buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+    }
+    return Status::ok();
+  }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace
+
+struct BinaryRpcServer::Conn {
+  net::StreamPtr stream;
+  Deframer deframer;
+};
+
+BinaryRpcServer::BinaryRpcServer(net::Network& net, net::NodeId node,
+                                 std::uint16_t port)
+    : net_(net), node_(node), port_(port) {}
+
+BinaryRpcServer::~BinaryRpcServer() { stop(); }
+
+Status BinaryRpcServer::start() {
+  net::Node* n = net_.node(node_);
+  if (n == nullptr) return not_found("binary rpc: no such node");
+  auto status =
+      n->listen(port_, [this](net::StreamPtr s) { on_accept(s); });
+  if (!status.is_ok()) return status;
+  listening_ = true;
+  return Status::ok();
+}
+
+void BinaryRpcServer::stop() {
+  if (!listening_) return;
+  if (net::Node* n = net_.node(node_)) n->stop_listening(port_);
+  listening_ = false;
+  for (auto& weak : connections_) {
+    if (auto conn = weak.lock(); conn && conn->stream) {
+      conn->stream->set_on_data(nullptr);
+      conn->stream->close();
+      conn->stream = nullptr;
+    }
+  }
+  connections_.clear();
+}
+
+void BinaryRpcServer::register_service(const std::string& name,
+                                       ServiceHandler handler) {
+  services_[name] = std::move(handler);
+}
+
+void BinaryRpcServer::unregister_service(const std::string& name) {
+  services_.erase(name);
+}
+
+void BinaryRpcServer::on_accept(net::StreamPtr stream) {
+  auto conn = std::make_shared<Conn>();
+  conn->stream = stream;
+  std::erase_if(connections_,
+                [](const std::weak_ptr<Conn>& w) { return w.expired(); });
+  connections_.push_back(conn);
+  stream->set_on_close([conn] { conn->stream = nullptr; });
+  stream->set_on_data([this, conn](const Bytes& data) {
+    std::vector<Bytes> frames;
+    if (!conn->deframer.feed(data, frames).is_ok()) {
+      if (conn->stream) conn->stream->close();
+      return;
+    }
+    for (const auto& f : frames) {
+      auto msg = decode_value(f);
+      if (!msg.is_ok() || !msg.value().is_map()) continue;
+      const Value& m = msg.value();
+      auto id = m.at("id").to_int().value_or(0);
+      const std::string svc =
+          m.at("svc").is_string() ? m.at("svc").as_string() : "";
+      const std::string method =
+          m.at("method").is_string() ? m.at("method").as_string() : "";
+      ValueList args =
+          m.at("args").is_list() ? m.at("args").as_list() : ValueList{};
+      ++calls_served_;
+
+      auto reply = [conn, id](Result<Value> result) {
+        if (!conn->stream || !conn->stream->is_open()) return;
+        ValueMap r{{"id", Value(id)}, {"ok", Value(result.is_ok())}};
+        if (result.is_ok()) {
+          r["value"] = std::move(result).take();
+        } else {
+          r["code"] =
+              Value(static_cast<std::int64_t>(result.status().code()));
+          r["msg"] = Value(result.status().message());
+        }
+        conn->stream->send(frame(encode_value(Value(std::move(r)))));
+      };
+
+      auto it = services_.find(svc);
+      if (it == services_.end()) {
+        reply(not_found("no binary service: " + svc));
+        continue;
+      }
+      it->second(method, args, reply);
+    }
+  });
+}
+
+struct BinaryRpcClient::Conn {
+  net::StreamPtr stream;
+  Deframer deframer;
+  bool connecting = false;
+  std::vector<std::function<void(const Status&)>> waiters;
+  std::uint64_t next_id = 1;
+  std::map<std::uint64_t, InvokeResultFn> pending;
+
+  void fail_all(const Status& s) {
+    auto p = std::move(pending);
+    pending.clear();
+    for (auto& [id, done] : p) done(s);
+    auto w = std::move(waiters);
+    waiters.clear();
+    for (auto& fn : w) fn(s);
+  }
+};
+
+BinaryRpcClient::~BinaryRpcClient() {
+  for (auto& [dest, conn] : conns_) {
+    if (conn->stream) conn->stream->close();
+    conn->fail_all(cancelled("client destroyed"));
+  }
+}
+
+std::shared_ptr<BinaryRpcClient::Conn> BinaryRpcClient::conn_for(
+    net::Endpoint dest) {
+  auto it = conns_.find(dest);
+  if (it != conns_.end()) return it->second;
+  auto conn = std::make_shared<Conn>();
+  conns_[dest] = conn;
+  return conn;
+}
+
+void BinaryRpcClient::call(net::Endpoint dest, const std::string& service,
+                           const std::string& method, const ValueList& args,
+                           InvokeResultFn done) {
+  auto conn = conn_for(dest);
+  auto send = [conn, service, method, args,
+               done = std::move(done)](const Status& s) mutable {
+    if (!s.is_ok()) {
+      done(s);
+      return;
+    }
+    auto id = conn->next_id++;
+    conn->pending[id] = std::move(done);
+    conn->stream->send(frame(encode_value(Value(ValueMap{
+        {"id", Value(static_cast<std::int64_t>(id))},
+        {"svc", Value(service)},
+        {"method", Value(method)},
+        {"args", Value(args)},
+    }))));
+  };
+  if (conn->stream && conn->stream->is_open()) {
+    send(Status::ok());
+    return;
+  }
+  conn->waiters.push_back(std::move(send));
+  if (conn->connecting) return;
+  conn->connecting = true;
+  net_.connect(node_, dest, [conn](Result<net::StreamPtr> r) {
+    conn->connecting = false;
+    if (!r.is_ok()) {
+      auto waiters = std::move(conn->waiters);
+      conn->waiters.clear();
+      for (auto& w : waiters) w(r.status());
+      return;
+    }
+    conn->stream = r.value();
+    conn->stream->set_on_close(
+        [conn] { conn->fail_all(unavailable("binary peer closed")); });
+    conn->stream->set_on_data([conn](const Bytes& data) {
+      std::vector<Bytes> frames;
+      if (!conn->deframer.feed(data, frames).is_ok()) {
+        conn->stream->close();
+        return;
+      }
+      for (const auto& f : frames) {
+        auto msg = decode_value(f);
+        if (!msg.is_ok() || !msg.value().is_map()) continue;
+        const Value& m = msg.value();
+        auto id = static_cast<std::uint64_t>(m.at("id").to_int().value_or(0));
+        auto it = conn->pending.find(id);
+        if (it == conn->pending.end()) continue;
+        auto done = std::move(it->second);
+        conn->pending.erase(it);
+        if (m.at("ok").is_bool() && m.at("ok").as_bool()) {
+          done(m.at("value"));
+        } else {
+          auto code = m.at("code").to_int().value_or(
+              static_cast<std::int64_t>(StatusCode::kInternal));
+          done(Status(static_cast<StatusCode>(code),
+                      m.at("msg").is_string() ? m.at("msg").as_string() : ""));
+        }
+      }
+    });
+    auto waiters = std::move(conn->waiters);
+    conn->waiters.clear();
+    for (auto& w : waiters) w(Status::ok());
+  });
+}
+
+}  // namespace hcm::core

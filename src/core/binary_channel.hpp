@@ -1,0 +1,70 @@
+// Compact binary RPC channel: the alternative VSG wire protocol for the
+// §3.1 ablation ("a simple protocol is enough to integrate simple
+// services ... which protocol depends on the purpose"). Length-framed
+// binary Values over a stream instead of SOAP/XML over HTTP.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/service.hpp"
+#include "common/value_codec.hpp"
+#include "net/network.hpp"
+
+namespace hcm::core {
+
+// Serves named services over the binary protocol.
+class BinaryRpcServer {
+ public:
+  BinaryRpcServer(net::Network& net, net::NodeId node, std::uint16_t port);
+  ~BinaryRpcServer();
+  BinaryRpcServer(const BinaryRpcServer&) = delete;
+  BinaryRpcServer& operator=(const BinaryRpcServer&) = delete;
+
+  Status start();
+  void stop();
+
+  void register_service(const std::string& name, ServiceHandler handler);
+  void unregister_service(const std::string& name);
+
+  [[nodiscard]] net::Endpoint endpoint() const { return {node_, port_}; }
+  [[nodiscard]] std::uint64_t calls_served() const { return calls_served_; }
+
+ private:
+  struct Conn;
+  void on_accept(net::StreamPtr stream);
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::uint16_t port_;
+  bool listening_ = false;
+  // Live connections, detached on stop() (their callbacks capture this).
+  std::vector<std::weak_ptr<Conn>> connections_;
+  std::map<std::string, ServiceHandler> services_;
+  std::uint64_t calls_served_ = 0;
+};
+
+// Client: one lazy connection per destination endpoint.
+class BinaryRpcClient {
+ public:
+  BinaryRpcClient(net::Network& net, net::NodeId node)
+      : net_(net), node_(node) {}
+  ~BinaryRpcClient();
+  BinaryRpcClient(const BinaryRpcClient&) = delete;
+  BinaryRpcClient& operator=(const BinaryRpcClient&) = delete;
+
+  void call(net::Endpoint dest, const std::string& service,
+            const std::string& method, const ValueList& args,
+            InvokeResultFn done);
+
+ private:
+  struct Conn;
+  std::shared_ptr<Conn> conn_for(net::Endpoint dest);
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::map<net::Endpoint, std::shared_ptr<Conn>> conns_;
+};
+
+}  // namespace hcm::core

@@ -1,0 +1,77 @@
+#include "core/meta.hpp"
+
+namespace hcm::core {
+
+Result<MetaMiddleware::Island*> MetaMiddleware::add_island(
+    const std::string& name, net::NodeId gateway_node,
+    std::unique_ptr<MiddlewareAdapter> adapter, VsgProtocol protocol,
+    std::uint16_t port) {
+  if (islands_.count(name) != 0) {
+    return already_exists("island already connected: " + name);
+  }
+  Island island;
+  island.name = name;
+  island.vsg = std::make_unique<VirtualServiceGateway>(net_, gateway_node,
+                                                       name, port, protocol);
+  auto status = island.vsg->start();
+  if (!status.is_ok()) return status;
+  island.pcm =
+      std::make_unique<Pcm>(net_, *island.vsg, vsr_, std::move(adapter));
+  auto [it, inserted] = islands_.emplace(name, std::move(island));
+  return &it->second;
+}
+
+MetaMiddleware::Island* MetaMiddleware::island(const std::string& name) {
+  auto it = islands_.find(name);
+  return it == islands_.end() ? nullptr : &it->second;
+}
+
+void MetaMiddleware::refresh_all(DoneFn done) {
+  // Two passes: refresh() itself is publish-then-import, so running a
+  // second round guarantees each island sees services published by
+  // islands that refreshed after it in the first round.
+  auto run_round = [this](DoneFn next) {
+    auto remaining = std::make_shared<std::size_t>(islands_.size());
+    auto first_error = std::make_shared<Status>();
+    if (*remaining == 0) {
+      next(Status::ok());
+      return;
+    }
+    auto next_shared = std::make_shared<DoneFn>(std::move(next));
+    for (auto& [name, island] : islands_) {
+      island.pcm->refresh([remaining, first_error,
+                           next_shared](const Status& s) {
+        if (!s.is_ok() && first_error->is_ok()) *first_error = s;
+        if (--*remaining == 0) (*next_shared)(*first_error);
+      });
+    }
+  };
+  run_round([run_round, done = std::move(done)](const Status& s) mutable {
+    if (!s.is_ok()) {
+      done(s);
+      return;
+    }
+    run_round(std::move(done));
+  });
+}
+
+void MetaMiddleware::start_auto_refresh(sim::Duration period) {
+  stop_auto_refresh();
+  auto_refresh_ = true;
+  refresh_event_ = net_.scheduler().after(period, [this, period] {
+    refresh_event_ = 0;
+    refresh_all([this, period](const Status&) {
+      if (auto_refresh_) start_auto_refresh(period);
+    });
+  });
+}
+
+void MetaMiddleware::stop_auto_refresh() {
+  auto_refresh_ = false;
+  if (refresh_event_ != 0) {
+    net_.scheduler().cancel(refresh_event_);
+    refresh_event_ = 0;
+  }
+}
+
+}  // namespace hcm::core

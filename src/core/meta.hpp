@@ -1,0 +1,61 @@
+// MetaMiddleware: the orchestration facade over the whole framework —
+// "a kind of Meta middleware" (paper §6). Owns the VSG + PCM pair for
+// every middleware island and drives synchronization, so an application
+// adds an island in one call and services flow everywhere.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/pcm.hpp"
+#include "core/vsg.hpp"
+#include "core/vsr.hpp"
+
+namespace hcm::core {
+
+class MetaMiddleware {
+ public:
+  MetaMiddleware(net::Network& net, net::Endpoint vsr)
+      : net_(net), vsr_(vsr) {}
+  MetaMiddleware(const MetaMiddleware&) = delete;
+  MetaMiddleware& operator=(const MetaMiddleware&) = delete;
+
+  struct Island {
+    std::string name;
+    std::unique_ptr<VirtualServiceGateway> vsg;
+    std::unique_ptr<Pcm> pcm;
+  };
+
+  // Connects a middleware island: creates its VSG on `gateway_node` and
+  // a PCM driving `adapter`. New middleware participates by providing
+  // only the adapter — the §3 "effortlessly" property.
+  Result<Island*> add_island(const std::string& name,
+                             net::NodeId gateway_node,
+                             std::unique_ptr<MiddlewareAdapter> adapter,
+                             VsgProtocol protocol = VsgProtocol::kSoap,
+                             std::uint16_t port = 8080);
+
+  [[nodiscard]] Island* island(const std::string& name);
+  [[nodiscard]] std::size_t island_count() const { return islands_.size(); }
+
+  using DoneFn = std::function<void(const Status&)>;
+  // Two-phase synchronization across all islands: every PCM publishes
+  // its locals, then every PCM imports, so ordering between islands
+  // doesn't matter.
+  void refresh_all(DoneFn done);
+
+  // Starts periodic refresh (service dynamism: arrivals/departures
+  // propagate within one period).
+  void start_auto_refresh(sim::Duration period);
+  void stop_auto_refresh();
+
+ private:
+  net::Network& net_;
+  net::Endpoint vsr_;
+  std::map<std::string, Island> islands_;
+  sim::EventId refresh_event_ = 0;
+  bool auto_refresh_ = false;
+};
+
+}  // namespace hcm::core

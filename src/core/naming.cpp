@@ -1,0 +1,28 @@
+#include "core/naming.hpp"
+
+#include "common/strings.hpp"
+
+namespace hcm::core {
+
+Result<net::Endpoint> resolve_endpoint(net::Network& net, const Uri& uri) {
+  if (net::Node* n = net.find_node(uri.host)) {
+    return net::Endpoint{n->id(), uri.port};
+  }
+  if (starts_with(uri.host, "node-")) {
+    auto id = parse_uint(uri.host.substr(5));
+    if (id > 0 && net.node(static_cast<net::NodeId>(id)) != nullptr) {
+      return net::Endpoint{static_cast<net::NodeId>(id), uri.port};
+    }
+  }
+  return not_found("cannot resolve host: " + uri.host);
+}
+
+Uri endpoint_uri(net::Network& net, const std::string& scheme,
+                 net::Endpoint endpoint, const std::string& path) {
+  net::Node* n = net.node(endpoint.node);
+  return Uri{scheme,
+             n != nullptr ? n->name() : "node-" + std::to_string(endpoint.node),
+             endpoint.port, path};
+}
+
+}  // namespace hcm::core

@@ -1,0 +1,19 @@
+// Endpoint naming: the VSR stores endpoints as URIs whose host is a
+// simulated node name ("jini-gw") or the canonical "node-<id>" form;
+// this resolves them back to network endpoints.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/uri.hpp"
+#include "net/network.hpp"
+
+namespace hcm::core {
+
+[[nodiscard]] Result<net::Endpoint> resolve_endpoint(net::Network& net,
+                                                     const Uri& uri);
+
+// Canonical URI for an endpoint (uses the node's name).
+[[nodiscard]] Uri endpoint_uri(net::Network& net, const std::string& scheme,
+                               net::Endpoint endpoint, const std::string& path);
+
+}  // namespace hcm::core

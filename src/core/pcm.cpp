@@ -1,0 +1,142 @@
+#include "core/pcm.hpp"
+
+#include "common/logging.hpp"
+
+namespace hcm::core {
+
+Pcm::Pcm(net::Network& net, VirtualServiceGateway& vsg, net::Endpoint vsr,
+         std::unique_ptr<MiddlewareAdapter> adapter)
+    : net_(net),
+      vsg_(vsg),
+      vsr_(net, vsg.node(), vsr),
+      adapter_(std::move(adapter)),
+      proxygen_(vsg) {}
+
+void Pcm::refresh(DoneFn done) {
+  publish_locals(
+      [this, done = std::move(done)](const Status& publish_status) mutable {
+        if (!publish_status.is_ok()) {
+          done(publish_status);
+          return;
+        }
+        import_remotes(std::move(done));
+      });
+}
+
+void Pcm::publish_locals(DoneFn done) {
+  adapter_->list_services([this, done = std::move(done)](
+                              Result<std::vector<LocalService>> services) {
+    if (!services.is_ok()) {
+      done(services.status());
+      return;
+    }
+    auto remaining = std::make_shared<std::size_t>(1);
+    auto first_error = std::make_shared<Status>();
+    auto done_shared = std::make_shared<DoneFn>(std::move(done));
+    auto step = [remaining, first_error, done_shared](const Status& s) {
+      if (!s.is_ok() && first_error->is_ok()) *first_error = s;
+      if (--*remaining == 0) (*done_shared)(*first_error);
+    };
+
+    // Retire client proxies for services that left the middleware, so
+    // the VSR never advertises a dead endpoint.
+    std::set<std::string> current;
+    for (const auto& service : services.value()) current.insert(service.name);
+    for (auto it = published_.begin(); it != published_.end();) {
+      if (current.count(*it) == 0) {
+        vsg_.unexpose(*it);
+        ++*remaining;
+        vsr_.unpublish(*it, step);
+        it = published_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    for (const auto& service : services.value()) {
+      // Never republish a service this PCM itself imported — that would
+      // bounce services between islands forever.
+      if (imported_.count(service.name) != 0) continue;
+
+      std::string wsdl;
+      if (published_.count(service.name) == 0) {
+        auto generated = proxygen_.generate_client_proxy(service, *adapter_);
+        if (!generated.is_ok()) {
+          if (first_error->is_ok()) *first_error = generated.status();
+          continue;
+        }
+        wsdl = std::move(generated).take();
+        published_.insert(service.name);
+      } else {
+        // Already exposed: regenerate the (identical) WSDL for lease
+        // renewal without re-exposing.
+        wsdl = soap::emit_wsdl(service.interface, service.name,
+                               vsg_.exposure_uri(service.name));
+      }
+
+      VsrEntry entry;
+      entry.name = service.name;
+      entry.category = service.interface.name;
+      entry.origin = vsg_.island_name();
+      entry.wsdl = wsdl;
+      ++*remaining;
+      vsr_.publish(entry, kPublishTtl, step);
+    }
+    step(Status::ok());  // releases the initial hold
+  });
+}
+
+void Pcm::import_remotes(DoneFn done) {
+  vsr_.list_all([this, done = std::move(done)](
+                    Result<std::vector<VsrEntry>> entries) {
+    if (!entries.is_ok()) {
+      done(entries.status());
+      return;
+    }
+    Status first_error;
+    std::set<std::string> seen_foreign;
+    for (const auto& entry : entries.value()) {
+      if (entry.origin == vsg_.island_name()) continue;
+      seen_foreign.insert(entry.name);
+      if (imported_.count(entry.name) != 0) continue;
+
+      auto doc = soap::parse_wsdl(entry.wsdl);
+      if (!doc.is_ok()) {
+        // Non-fatal: one island publishing a malformed description must
+        // not block the rest of the mesh.
+        log_warn("pcm", "bad WSDL for ", entry.name, ": ",
+                 doc.status().to_string());
+        continue;
+      }
+      LocalService service;
+      service.name = entry.name;
+      service.interface = doc.value().interface;
+      service.attributes["hcm.origin"] = Value(entry.origin);
+      service.attributes["hcm.imported"] = Value(true);
+      auto handler = proxygen_.generate_server_proxy(doc.value());
+      auto status = adapter_->export_service(service, std::move(handler));
+      if (!status.is_ok()) {
+        // Also non-fatal: some conversions are inherently impossible
+        // (e.g. a 3-argument mail method has no X10 ON/OFF mapping —
+        // the asymmetry §4.2 of the paper runs into).
+        log_debug("pcm", "cannot export ", entry.name, " into ",
+                  adapter_->middleware_name(), ": ", status.to_string());
+        continue;
+      }
+      imported_.insert(entry.name);
+    }
+    // Retire server proxies whose VSR entry is gone (stale services
+    // must not linger — the VSR lookup invariant).
+    for (auto it = imported_.begin(); it != imported_.end();) {
+      if (seen_foreign.count(*it) == 0) {
+        adapter_->unexport_service(*it);
+        it = imported_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    done(first_error);
+  });
+}
+
+}  // namespace hcm::core

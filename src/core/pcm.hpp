@@ -1,0 +1,56 @@
+// Protocol Conversion Manager (paper §3.2): per-island component that
+// keeps the two proxy populations in sync with reality:
+//   refresh() publishes every local service through a generated Client
+//   Proxy (VSG exposure + WSDL in the VSR), and imports every foreign
+//   VSR entry as a generated Server Proxy exported into the local
+//   middleware. Services that disappear from the VSR are unexported.
+#pragma once
+
+#include <memory>
+#include <set>
+
+#include "core/adapter.hpp"
+#include "core/proxygen.hpp"
+#include "core/vsr.hpp"
+
+namespace hcm::core {
+
+class Pcm {
+ public:
+  Pcm(net::Network& net, VirtualServiceGateway& vsg, net::Endpoint vsr,
+      std::unique_ptr<MiddlewareAdapter> adapter);
+
+  using DoneFn = std::function<void(const Status&)>;
+
+  // Full synchronization pass (publish CPs, then import/retire SPs).
+  void refresh(DoneFn done);
+
+  [[nodiscard]] MiddlewareAdapter& adapter() { return *adapter_; }
+  [[nodiscard]] VirtualServiceGateway& vsg() { return vsg_; }
+  [[nodiscard]] ProxyGenerator& proxygen() { return proxygen_; }
+
+  [[nodiscard]] std::size_t published_count() const {
+    return published_.size();
+  }
+  [[nodiscard]] std::size_t imported_count() const { return imported_.size(); }
+  [[nodiscard]] bool has_imported(const std::string& name) const {
+    return imported_.count(name) != 0;
+  }
+
+  // Lease used for VSR publications; refresh() renews them.
+  static constexpr sim::Duration kPublishTtl = sim::seconds(120);
+
+ private:
+  void publish_locals(DoneFn done);
+  void import_remotes(DoneFn done);
+
+  net::Network& net_;
+  VirtualServiceGateway& vsg_;
+  VsrClient vsr_;
+  std::unique_ptr<MiddlewareAdapter> adapter_;
+  ProxyGenerator proxygen_;
+  std::set<std::string> published_;  // names this island put in the VSR
+  std::set<std::string> imported_;   // foreign names exported locally
+};
+
+}  // namespace hcm::core

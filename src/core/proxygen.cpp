@@ -1,0 +1,33 @@
+#include "core/proxygen.hpp"
+
+namespace hcm::core {
+
+Result<std::string> ProxyGenerator::generate_client_proxy(
+    const LocalService& service, MiddlewareAdapter& adapter) {
+  // The CP is the VSG exposure itself: each interface method becomes a
+  // VSG-callable operation forwarding to the native invoke path.
+  auto uri = vsg_.expose(
+      service.name, service.interface,
+      [&adapter, name = service.name](const std::string& method,
+                                      const ValueList& args,
+                                      InvokeResultFn done) {
+        adapter.invoke(name, method, args, std::move(done));
+      });
+  if (!uri.is_ok()) return uri.status();
+  ++client_proxies_;
+  return soap::emit_wsdl(service.interface, service.name, uri.value());
+}
+
+ServiceHandler ProxyGenerator::generate_server_proxy(
+    const soap::WsdlDocument& remote) {
+  ++server_proxies_;
+  VirtualServiceGateway* vsg = &vsg_;
+  return [vsg, endpoint = remote.endpoint, name = remote.service_name,
+          iface = remote.interface](const std::string& method,
+                                    const ValueList& args,
+                                    InvokeResultFn done) {
+    vsg->call_remote(endpoint, name, iface, method, args, std::move(done));
+  };
+}
+
+}  // namespace hcm::core

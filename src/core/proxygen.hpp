@@ -1,0 +1,46 @@
+// Automatic proxy generation — the framework's answer to hand-written
+// bridges. The paper's prototype generates proxy classes at JVM load
+// time with Javassist; here proxies are generated at runtime from
+// interface descriptors. Either way the property that matters holds:
+// adding a service requires zero per-service glue code.
+#pragma once
+
+#include <cstdint>
+
+#include "core/adapter.hpp"
+#include "core/vsg.hpp"
+#include "soap/wsdl.hpp"
+
+namespace hcm::core {
+
+class ProxyGenerator {
+ public:
+  explicit ProxyGenerator(VirtualServiceGateway& vsg) : vsg_(vsg) {}
+
+  // Client Proxy (paper Fig. 2, CP): converts the local service's
+  // native interface into a VSG service. Exposes the service through
+  // the VSG (calls land on adapter.invoke) and returns the WSDL that
+  // describes the resulting VSG endpoint, ready for VSR publication.
+  Result<std::string> generate_client_proxy(const LocalService& service,
+                                            MiddlewareAdapter& adapter);
+
+  // Server Proxy (paper Fig. 2, SP): converts a remote VSG service
+  // (described by its WSDL) into a native service handler, which the
+  // adapter then exports into the local middleware.
+  [[nodiscard]] ServiceHandler generate_server_proxy(
+      const soap::WsdlDocument& remote);
+
+  [[nodiscard]] std::uint64_t client_proxies_generated() const {
+    return client_proxies_;
+  }
+  [[nodiscard]] std::uint64_t server_proxies_generated() const {
+    return server_proxies_;
+  }
+
+ private:
+  VirtualServiceGateway& vsg_;
+  std::uint64_t client_proxies_ = 0;
+  std::uint64_t server_proxies_ = 0;
+};
+
+}  // namespace hcm::core

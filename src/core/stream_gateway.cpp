@@ -1,0 +1,62 @@
+#include "core/stream_gateway.hpp"
+
+namespace hcm::core {
+
+EventGateway::EventGateway(net::Network& net, net::NodeId node)
+    : net_(net), node_(node) {}
+
+EventGateway::~EventGateway() {
+  if (started_) {
+    if (net::Node* n = net_.node(node_)) n->unbind(kEventGatewayPort);
+  }
+}
+
+Status EventGateway::start() {
+  net::Node* n = net_.node(node_);
+  if (n == nullptr) return not_found("event gateway: no such node");
+  auto status =
+      n->bind(kEventGatewayPort, [this](net::Endpoint, const Bytes& data) {
+        auto msg = decode_value(data);
+        if (!msg.is_ok() || !msg.value().is_map()) return;
+        const Value& m = msg.value();
+        if (!m.at("topic").is_string()) return;
+        deliver(m.at("topic").as_string(), m.at("payload"));
+      });
+  if (!status.is_ok()) return status;
+  started_ = true;
+  return Status::ok();
+}
+
+void EventGateway::add_peer(net::Endpoint peer) { peers_.push_back(peer); }
+
+std::int64_t EventGateway::subscribe(const std::string& topic, EventFn fn) {
+  auto id = next_sub_++;
+  subs_[id] = Sub{topic, std::move(fn)};
+  return id;
+}
+
+void EventGateway::unsubscribe(std::int64_t id) { subs_.erase(id); }
+
+void EventGateway::publish(const std::string& topic, const Value& payload) {
+  ++events_published_;
+  deliver(topic, payload);
+  Bytes wire = encode_value(Value(ValueMap{
+      {"topic", Value(topic)},
+      {"payload", payload},
+  }));
+  for (const auto& peer : peers_) {
+    net_.send_datagram({node_, kEventGatewayPort}, peer, wire);
+  }
+}
+
+void EventGateway::deliver(const std::string& topic, const Value& payload) {
+  auto subs = subs_;  // subscribers may mutate during delivery
+  for (const auto& [id, sub] : subs) {
+    if (sub.topic == topic || sub.topic == "*") {
+      ++events_delivered_;
+      sub.fn(topic, payload);
+    }
+  }
+}
+
+}  // namespace hcm::core

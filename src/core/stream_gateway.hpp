@@ -1,0 +1,68 @@
+// Stream/Event Gateway — the paper's §4.2/§6 future-work extension.
+// HTTP "does not map well to asynchronous notification scenarios", so
+// event-driven integrations (motion sensors triggering AV streams) are
+// poorly served by the SOAP VSG. This gateway gives islands a direct
+// datagram-based publish/subscribe channel that bypasses HTTP entirely;
+// bench_sec42_async_limits quantifies the difference against polling.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/service.hpp"
+#include "common/value_codec.hpp"
+#include "net/network.hpp"
+
+namespace hcm::core {
+
+constexpr std::uint16_t kEventGatewayPort = 8200;
+
+class EventGateway {
+ public:
+  EventGateway(net::Network& net, net::NodeId node);
+  ~EventGateway();
+  EventGateway(const EventGateway&) = delete;
+  EventGateway& operator=(const EventGateway&) = delete;
+
+  Status start();
+
+  // Meshes this gateway with a peer (events published here are pushed
+  // there; call on both sides for bidirectional flow).
+  void add_peer(net::Endpoint peer);
+
+  using EventFn = std::function<void(const std::string& topic,
+                                     const Value& payload)>;
+  // Local subscription.
+  std::int64_t subscribe(const std::string& topic, EventFn fn);
+  void unsubscribe(std::int64_t id);
+
+  // Publishes locally and pushes to all peers (one datagram each).
+  void publish(const std::string& topic, const Value& payload);
+
+  [[nodiscard]] std::uint64_t events_published() const {
+    return events_published_;
+  }
+  [[nodiscard]] std::uint64_t events_delivered() const {
+    return events_delivered_;
+  }
+
+ private:
+  void deliver(const std::string& topic, const Value& payload);
+
+  net::Network& net_;
+  net::NodeId node_;
+  bool started_ = false;
+  std::vector<net::Endpoint> peers_;
+  struct Sub {
+    std::string topic;
+    EventFn fn;
+  };
+  std::map<std::int64_t, Sub> subs_;
+  std::int64_t next_sub_ = 1;
+  std::uint64_t events_published_ = 0;
+  std::uint64_t events_delivered_ = 0;
+};
+
+}  // namespace hcm::core

@@ -1,0 +1,138 @@
+#include "core/vsg.hpp"
+
+#include "common/logging.hpp"
+
+namespace hcm::core {
+
+const char* to_string(VsgProtocol p) {
+  switch (p) {
+    case VsgProtocol::kSoap: return "soap";
+    case VsgProtocol::kBinary: return "hcmb";
+  }
+  return "?";
+}
+
+VirtualServiceGateway::VirtualServiceGateway(net::Network& net,
+                                             net::NodeId gateway_node,
+                                             std::string island_name,
+                                             std::uint16_t port,
+                                             VsgProtocol protocol)
+    : net_(net),
+      node_(gateway_node),
+      island_name_(std::move(island_name)),
+      port_(port),
+      protocol_(protocol),
+      http_(net, gateway_node, port),
+      soap_client_(net, gateway_node),
+      binary_server_(net, gateway_node, static_cast<std::uint16_t>(port + 1)),
+      binary_client_(net, gateway_node) {}
+
+VirtualServiceGateway::~VirtualServiceGateway() = default;
+
+Status VirtualServiceGateway::start() {
+  if (protocol_ == VsgProtocol::kSoap) return http_.start();
+  return binary_server_.start();
+}
+
+Result<Uri> VirtualServiceGateway::expose(const std::string& name,
+                                          const InterfaceDesc& iface,
+                                          ServiceHandler local_invoke) {
+  if (exposed_.count(name) != 0) {
+    return already_exists("already exposed through VSG: " + name);
+  }
+  Exposed exposed;
+  exposed.iface = iface;
+  exposed.handler = local_invoke;
+
+  const std::string path = "/vsg/" + name;
+  if (protocol_ == VsgProtocol::kSoap) {
+    exposed.soap_service = std::make_unique<soap::SoapService>(http_, path);
+    // One SOAP method per interface method; generated client proxy.
+    for (const auto& m : iface.methods) {
+      exposed.soap_service->register_method(
+          m.name,
+          [this, handler = exposed.handler, method = m.name](
+              const soap::NamedValues& params, soap::CallResultFn done) {
+            ++local_dispatches_;
+            ValueList args;
+            args.reserve(params.size());
+            for (const auto& [k, v] : params) args.push_back(v);
+            handler(method, args, std::move(done));
+          });
+    }
+    Uri uri = endpoint_uri(net_, "http", {node_, port_}, path);
+    exposed_[name] = std::move(exposed);
+    return uri;
+  }
+
+  // Binary protocol: register under the service name directly.
+  binary_server_.register_service(
+      name, [this, handler = exposed.handler](const std::string& method,
+                                              const ValueList& args,
+                                              InvokeResultFn done) {
+        ++local_dispatches_;
+        handler(method, args, std::move(done));
+      });
+  Uri uri = endpoint_uri(net_, "hcmb",
+                         {node_, static_cast<std::uint16_t>(port_ + 1)}, "/" + name);
+  exposed_[name] = std::move(exposed);
+  return uri;
+}
+
+Uri VirtualServiceGateway::exposure_uri(const std::string& name) {
+  if (protocol_ == VsgProtocol::kSoap) {
+    return endpoint_uri(net_, "http", {node_, port_}, "/vsg/" + name);
+  }
+  return endpoint_uri(net_, "hcmb",
+                      {node_, static_cast<std::uint16_t>(port_ + 1)},
+                      "/" + name);
+}
+
+void VirtualServiceGateway::unexpose(const std::string& name) {
+  auto it = exposed_.find(name);
+  if (it == exposed_.end()) return;
+  if (protocol_ == VsgProtocol::kSoap) {
+    // SoapService unregisters its route when destroyed with the entry.
+  } else {
+    binary_server_.unregister_service(name);
+  }
+  exposed_.erase(it);
+}
+
+void VirtualServiceGateway::call_remote(const Uri& endpoint,
+                                        const std::string& service_name,
+                                        const InterfaceDesc& iface,
+                                        const std::string& method,
+                                        const ValueList& args,
+                                        InvokeResultFn done) {
+  const MethodDesc* desc = iface.find_method(method);
+  if (desc == nullptr) {
+    done(not_found("interface " + iface.name + " has no method " + method));
+    return;
+  }
+  if (auto status = check_args(*desc, args); !status.is_ok()) {
+    done(status);
+    return;
+  }
+  auto resolved = resolve_endpoint(net_, endpoint);
+  if (!resolved.is_ok()) {
+    done(resolved.status());
+    return;
+  }
+  ++remote_calls_;
+  if (endpoint.scheme == "hcmb") {
+    binary_client_.call(resolved.value(), service_name, method, args,
+                        std::move(done));
+    return;
+  }
+  soap::NamedValues params;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    params.emplace_back(i < desc->params.size() ? desc->params[i].name
+                                                : "arg" + std::to_string(i),
+                        args[i]);
+  }
+  soap_client_.call(resolved.value(), endpoint.path, "urn:hcm:" + iface.name,
+                    method, params, std::move(done));
+}
+
+}  // namespace hcm::core

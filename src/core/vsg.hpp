@@ -1,0 +1,84 @@
+// Virtual Service Gateway (paper §3.1): the per-island gateway that
+// connects one middleware network to the others over a common wire
+// protocol — SOAP in the paper's prototype, with a compact binary
+// protocol as the ablation alternative.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/service.hpp"
+#include "common/uri.hpp"
+#include "core/binary_channel.hpp"
+#include "core/naming.hpp"
+#include "http/server.hpp"
+#include "soap/rpc.hpp"
+
+namespace hcm::core {
+
+enum class VsgProtocol { kSoap, kBinary };
+const char* to_string(VsgProtocol p);
+
+class VirtualServiceGateway {
+ public:
+  VirtualServiceGateway(net::Network& net, net::NodeId gateway_node,
+                        std::string island_name,
+                        std::uint16_t port = 8080,
+                        VsgProtocol protocol = VsgProtocol::kSoap);
+  ~VirtualServiceGateway();
+  VirtualServiceGateway(const VirtualServiceGateway&) = delete;
+  VirtualServiceGateway& operator=(const VirtualServiceGateway&) = delete;
+
+  Status start();
+
+  [[nodiscard]] const std::string& island_name() const { return island_name_; }
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] VsgProtocol protocol() const { return protocol_; }
+
+  // --- Client Proxy direction ------------------------------------------
+  // Exposes a local service through this gateway. Remote islands call
+  // the returned endpoint URI; calls are forwarded to `local_invoke`.
+  Result<Uri> expose(const std::string& name, const InterfaceDesc& iface,
+                     ServiceHandler local_invoke);
+  void unexpose(const std::string& name);
+  [[nodiscard]] bool is_exposed(const std::string& name) const {
+    return exposed_.count(name) != 0;
+  }
+  [[nodiscard]] std::size_t exposed_count() const { return exposed_.size(); }
+  // The endpoint URI an exposure is (or would be) reachable at.
+  [[nodiscard]] Uri exposure_uri(const std::string& name);
+
+  // --- Server Proxy direction --------------------------------------------
+  // Calls a service exposed by a (remote) gateway at `endpoint`.
+  void call_remote(const Uri& endpoint, const std::string& service_name,
+                   const InterfaceDesc& iface, const std::string& method,
+                   const ValueList& args, InvokeResultFn done);
+
+  [[nodiscard]] std::uint64_t remote_calls() const { return remote_calls_; }
+  [[nodiscard]] std::uint64_t local_dispatches() const {
+    return local_dispatches_;
+  }
+
+ private:
+  struct Exposed {
+    InterfaceDesc iface;
+    ServiceHandler handler;
+    std::unique_ptr<soap::SoapService> soap_service;  // SOAP mode only
+  };
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::string island_name_;
+  std::uint16_t port_;
+  VsgProtocol protocol_;
+  http::HttpServer http_;
+  soap::SoapClient soap_client_;
+  BinaryRpcServer binary_server_;
+  BinaryRpcClient binary_client_;
+  std::map<std::string, Exposed> exposed_;
+  std::uint64_t remote_calls_ = 0;
+  std::uint64_t local_dispatches_ = 0;
+};
+
+}  // namespace hcm::core

@@ -1,0 +1,8 @@
+#include "core/vsr.hpp"
+
+namespace hcm::core {
+
+VsrServer::VsrServer(net::Network& net, net::NodeId node, std::uint16_t port)
+    : net_(net), http_(net, node, port), registry_(http_, net.scheduler()) {}
+
+}  // namespace hcm::core

@@ -1,0 +1,42 @@
+// Virtual Service Repository (paper §3.3): the virtual database of
+// service locations and descriptions. With the SOAP VSG protocol it is
+// "implemented with WSDL and UDDI" — exactly what this wraps: a UDDI
+// registry service hosting WSDL documents, one instance per home.
+#pragma once
+
+#include <memory>
+
+#include "common/uri.hpp"
+#include "core/naming.hpp"
+#include "soap/uddi.hpp"
+
+namespace hcm::core {
+
+class VsrServer {
+ public:
+  VsrServer(net::Network& net, net::NodeId node, std::uint16_t port = 8000);
+
+  Status start() { return http_.start(); }
+
+  [[nodiscard]] net::Endpoint endpoint() const { return http_.endpoint(); }
+  [[nodiscard]] Uri uri() {
+    return endpoint_uri(net_, "http", http_.endpoint(), "/uddi");
+  }
+  [[nodiscard]] const soap::UddiRegistry& registry() const {
+    return registry_;
+  }
+
+ private:
+  net::Network& net_;
+  http::HttpServer http_;
+  soap::UddiRegistry registry_;
+};
+
+// Per-island access to the VSR. (The paper draws one VSR per
+// middleware network, all synchronized; a single shared repository is
+// the degenerate-but-equivalent deployment we default to, and tests
+// exercise gateway failure separately.)
+using VsrEntry = soap::RegistryEntry;
+using VsrClient = soap::UddiClient;
+
+}  // namespace hcm::core

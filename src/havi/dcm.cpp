@@ -1,0 +1,48 @@
+#include "havi/dcm.hpp"
+
+namespace hcm::havi {
+
+Dcm::Dcm(MessagingSystem& ms, std::string huid, std::string name)
+    : ms_(ms), huid_(std::move(huid)), name_(std::move(name)) {
+  seid_ = ms_.register_element(
+      [this](const std::string& op, const ValueList&, InvokeResultFn done) {
+        if (op == "getDeviceInfo") {
+          ValueList fcm_seids;
+          for (const auto& fcm : fcms_) fcm_seids.push_back(fcm->seid().to_value());
+          done(Value(ValueMap{
+              {"huid", Value(huid_)},
+              {"name", Value(name_)},
+              {"fcms", Value(std::move(fcm_seids))},
+          }));
+          return;
+        }
+        done(not_found("DCM has no op " + op));
+      });
+}
+
+Dcm::~Dcm() { ms_.unregister_element(seid_); }
+
+Fcm& Dcm::add_fcm(std::unique_ptr<Fcm> fcm) {
+  fcms_.push_back(std::move(fcm));
+  return *fcms_.back();
+}
+
+void Dcm::announce(RegistryClient& rc,
+                   std::function<void(const Status&)> done) {
+  ValueMap dcm_attrs{
+      {kAttrSeType, Value("DCM")},
+      {kAttrHuid, Value(huid_)},
+      {kAttrName, Value(name_)},
+  };
+  auto remaining = std::make_shared<std::size_t>(1 + fcms_.size());
+  auto first_error = std::make_shared<Status>();
+  auto step = [remaining, first_error,
+               done = std::move(done)](const Status& s) {
+    if (!s.is_ok() && first_error->is_ok()) *first_error = s;
+    if (--*remaining == 0) done(*first_error);
+  };
+  rc.register_element(seid_, dcm_attrs, step);
+  for (const auto& fcm : fcms_) fcm->announce(rc, step);
+}
+
+}  // namespace hcm::havi

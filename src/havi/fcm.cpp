@@ -1,0 +1,66 @@
+#include "havi/fcm.hpp"
+
+namespace hcm::havi {
+
+Fcm::Fcm(MessagingSystem& ms, std::string device_class, std::string huid,
+         std::string name, InterfaceDesc iface)
+    : ms_(ms),
+      device_class_(std::move(device_class)),
+      huid_(std::move(huid)),
+      name_(std::move(name)),
+      iface_(std::move(iface)) {
+  seid_ = ms_.register_element(
+      [this](const std::string& op, const ValueList& args,
+             InvokeResultFn done) { handle(op, args, done); });
+}
+
+Fcm::~Fcm() { ms_.unregister_element(seid_); }
+
+sim::Scheduler& Fcm::scheduler() { return ms_.network().scheduler(); }
+
+ValueMap Fcm::attributes() const {
+  return ValueMap{
+      {kAttrSeType, Value("FCM")},
+      {kAttrDeviceClass, Value(device_class_)},
+      {kAttrHuid, Value(huid_)},
+      {kAttrName, Value(name_)},
+      {kAttrInterface, interface_to_value(iface_)},
+  };
+}
+
+void Fcm::announce(RegistryClient& rc,
+                   std::function<void(const Status&)> done) {
+  rc.register_element(seid_, attributes(), std::move(done));
+}
+
+void Fcm::handle(const std::string& op, const ValueList& args,
+                 InvokeResultFn done) {
+  // Reserved stream-manager control plane.
+  if (op == "sm.connectSource" || op == "sm.connectSink") {
+    if (args.size() != 1) return done(invalid_argument(op + "(channel)"));
+    auto ch = args[0].to_int();
+    if (!ch.is_ok() || ch.value() < 0 || ch.value() >= net::kIsoChannelCount) {
+      return done(invalid_argument("bad iso channel"));
+    }
+    auto channel = static_cast<net::IsoChannel>(ch.value());
+    Status status = op == "sm.connectSource" ? on_connect_source(channel)
+                                             : on_connect_sink(channel);
+    if (!status.is_ok()) return done(status);
+    return done(Value(true));
+  }
+  if (op == "sm.disconnect") {
+    on_disconnect();
+    return done(Value(true));
+  }
+  // Application method: validate against the published interface first.
+  const MethodDesc* desc = iface_.find_method(op);
+  if (desc == nullptr) {
+    return done(not_found(name_ + " has no method " + op));
+  }
+  if (auto status = check_args(*desc, args); !status.is_ok()) {
+    return done(status);
+  }
+  invoke(op, args, std::move(done));
+}
+
+}  // namespace hcm::havi

@@ -1,0 +1,202 @@
+#include "havi/messaging.hpp"
+
+#include "common/logging.hpp"
+
+namespace hcm::havi {
+
+Value Seid::to_value() const {
+  return Value(ValueMap{
+      {"node", Value(static_cast<std::int64_t>(node))},
+      {"handle", Value(static_cast<std::int64_t>(handle))},
+  });
+}
+
+Result<Seid> Seid::from_value(const Value& v) {
+  if (!v.is_map()) return protocol_error("seid is not a map");
+  auto node = v.at("node").to_int();
+  auto handle = v.at("handle").to_int();
+  if (!node.is_ok() || !handle.is_ok()) return protocol_error("bad seid");
+  return Seid{static_cast<net::NodeId>(node.value()),
+              static_cast<std::uint32_t>(handle.value())};
+}
+
+MessagingSystem::MessagingSystem(net::Network& net, net::NodeId node)
+    : net_(net), node_(node) {}
+
+MessagingSystem::~MessagingSystem() { stop(); }
+
+Status MessagingSystem::start() {
+  net::Node* n = net_.node(node_);
+  if (n == nullptr) return not_found("messaging: no such node");
+  auto status = n->bind(kMessagingPort,
+                        [this](net::Endpoint from, const Bytes& data) {
+                          on_datagram(from, data);
+                        });
+  if (!status.is_ok()) return status;
+  started_ = true;
+  return Status::ok();
+}
+
+void MessagingSystem::stop() {
+  if (!started_) return;
+  if (net::Node* n = net_.node(node_)) n->unbind(kMessagingPort);
+  started_ = false;
+}
+
+Seid MessagingSystem::register_element(ServiceHandler handler) {
+  Seid seid{node_, next_handle_++};
+  elements_[seid.handle] = std::move(handler);
+  return seid;
+}
+
+Result<Seid> MessagingSystem::register_system_element(std::uint32_t handle,
+                                                      ServiceHandler handler) {
+  if (elements_.count(handle) != 0) {
+    return already_exists("SE handle in use: " + std::to_string(handle));
+  }
+  elements_[handle] = std::move(handler);
+  return Seid{node_, handle};
+}
+
+void MessagingSystem::unregister_element(const Seid& seid) {
+  if (seid.node == node_) elements_.erase(seid.handle);
+}
+
+void MessagingSystem::send_request(const Seid& from, const Seid& to,
+                                   const std::string& op,
+                                   const ValueList& args, InvokeResultFn done) {
+  const std::uint64_t id = next_msg_++;
+  Pending pending;
+  pending.done = std::move(done);
+  pending.timeout_event =
+      net_.scheduler().after(kReplyTimeout, [this, id] {
+        auto it = pending_.find(id);
+        if (it == pending_.end()) return;
+        auto p = std::move(it->second);
+        pending_.erase(it);
+        p.done(timeout("HAVi message timed out"));
+      });
+  pending_.emplace(id, std::move(pending));
+
+  Value msg(ValueMap{
+      {"id", Value(static_cast<std::int64_t>(id))},
+      {"src", from.to_value()},
+      {"dst", to.to_value()},
+      {"op", Value(op)},
+      {"args", Value(args)},
+      {"reply", Value(false)},
+  });
+  ++messages_sent_;
+  if (to.node == node_) {
+    // Local delivery still goes through the scheduler (one event tick)
+    // so ordering matches remote behaviour.
+    net_.scheduler().after(sim::microseconds(10),
+                           [this, msg] { deliver_request(msg); });
+  } else {
+    net_.send_datagram({node_, kMessagingPort}, {to.node, kMessagingPort},
+                       encode_value(msg));
+  }
+}
+
+void MessagingSystem::send_notification(const Seid& from, const Seid& to,
+                                        const std::string& op,
+                                        const ValueList& args) {
+  Value msg(ValueMap{
+      {"id", Value(0)},
+      {"src", from.to_value()},
+      {"dst", to.to_value()},
+      {"op", Value(op)},
+      {"args", Value(args)},
+      {"reply", Value(false)},
+      {"notify", Value(true)},
+  });
+  ++messages_sent_;
+  if (to.node == node_) {
+    net_.scheduler().after(sim::microseconds(10),
+                           [this, msg] { deliver_request(msg); });
+  } else {
+    net_.send_datagram({node_, kMessagingPort}, {to.node, kMessagingPort},
+                       encode_value(msg));
+  }
+}
+
+void MessagingSystem::on_datagram(net::Endpoint, const Bytes& data) {
+  auto msg = decode_value(data);
+  if (!msg.is_ok()) {
+    log_warn("havi.msg", "undecodable message: ", msg.status().to_string());
+    return;
+  }
+  const Value& m = msg.value();
+  if (m.at("reply").is_bool() && m.at("reply").as_bool()) {
+    deliver_reply(m);
+  } else {
+    deliver_request(m);
+  }
+}
+
+void MessagingSystem::deliver_request(const Value& msg) {
+  auto dst = Seid::from_value(msg.at("dst"));
+  auto src = Seid::from_value(msg.at("src"));
+  if (!dst.is_ok() || !src.is_ok()) return;
+  const bool is_notification =
+      msg.at("notify").is_bool() && msg.at("notify").as_bool();
+  auto id = msg.at("id").to_int().value_or(0);
+  const std::string op =
+      msg.at("op").is_string() ? msg.at("op").as_string() : "";
+  ValueList args =
+      msg.at("args").is_list() ? msg.at("args").as_list() : ValueList{};
+
+  auto reply_to = src.value();
+  auto send_reply = [this, id, reply_to, dst = dst.value(),
+                     is_notification](Result<Value> result) {
+    if (is_notification || id == 0) return;
+    ValueMap m{
+        {"id", Value(id)},
+        {"src", dst.to_value()},
+        {"dst", reply_to.to_value()},
+        {"reply", Value(true)},
+        {"ok", Value(result.is_ok())},
+    };
+    if (result.is_ok()) {
+      m["value"] = std::move(result).take();
+    } else {
+      m["code"] = Value(static_cast<std::int64_t>(result.status().code()));
+      m["msg"] = Value(result.status().message());
+    }
+    Value reply(std::move(m));
+    if (reply_to.node == node_) {
+      net_.scheduler().after(sim::microseconds(10),
+                             [this, reply] { deliver_reply(reply); });
+    } else {
+      net_.send_datagram({node_, kMessagingPort},
+                         {reply_to.node, kMessagingPort}, encode_value(reply));
+    }
+  };
+
+  auto it = elements_.find(dst.value().handle);
+  if (it == elements_.end()) {
+    send_reply(not_found("no software element " + dst.value().to_string()));
+    return;
+  }
+  it->second(op, args, send_reply);
+}
+
+void MessagingSystem::deliver_reply(const Value& msg) {
+  auto id = msg.at("id").to_int();
+  if (!id.is_ok()) return;
+  auto it = pending_.find(static_cast<std::uint64_t>(id.value()));
+  if (it == pending_.end()) return;  // late reply after timeout
+  auto p = std::move(it->second);
+  pending_.erase(it);
+  if (p.timeout_event != 0) net_.scheduler().cancel(p.timeout_event);
+  if (msg.at("ok").is_bool() && msg.at("ok").as_bool()) {
+    p.done(msg.at("value"));
+  } else {
+    auto code = msg.at("code").to_int().value_or(
+        static_cast<std::int64_t>(StatusCode::kInternal));
+    p.done(Status(static_cast<StatusCode>(code),
+                  msg.at("msg").is_string() ? msg.at("msg").as_string() : ""));
+  }
+}
+
+}  // namespace hcm::havi

@@ -1,0 +1,67 @@
+// HAVi Registry: the bus-wide directory of software elements. FCMs
+// register their SEID plus attributes (SE type, device class, HUID,
+// interface); controllers query it to find targets. Lives on the FAV
+// (full AV) controller node at a well-known handle.
+#pragma once
+
+#include <map>
+
+#include "havi/messaging.hpp"
+#include "net/ieee1394.hpp"
+
+namespace hcm::havi {
+
+// Standard attribute keys.
+inline constexpr const char* kAttrSeType = "SE_TYPE";          // "FCM","DCM",...
+inline constexpr const char* kAttrDeviceClass = "DEVICE_CLASS";  // "VCR","CAMERA",...
+inline constexpr const char* kAttrHuid = "HUID";
+inline constexpr const char* kAttrInterface = "INTERFACE";  // serialized InterfaceDesc
+inline constexpr const char* kAttrName = "NAME";
+
+struct RegistryRecord {
+  Seid seid;
+  ValueMap attributes;
+};
+
+class Registry {
+ public:
+  // Mounts the registry at kRegistryHandle on `ms`; watches `bus` for
+  // resets to purge elements whose node has left.
+  Registry(MessagingSystem& ms, net::Ieee1394Bus& bus);
+
+  [[nodiscard]] Seid seid() const { return seid_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+ private:
+  void handle(const std::string& op, const ValueList& args,
+              InvokeResultFn done);
+  void purge_dead_nodes();
+
+  MessagingSystem& ms_;
+  net::Ieee1394Bus& bus_;
+  Seid seid_;
+  std::map<Seid, RegistryRecord> records_;
+};
+
+// Typed client for any SE that wants to talk to the registry.
+class RegistryClient {
+ public:
+  RegistryClient(MessagingSystem& ms, Seid self, Seid registry)
+      : ms_(ms), self_(self), registry_(registry) {}
+
+  using RecordsFn = std::function<void(Result<std::vector<RegistryRecord>>)>;
+
+  void register_element(const Seid& seid, const ValueMap& attrs,
+                        std::function<void(const Status&)> done);
+  void unregister_element(const Seid& seid,
+                          std::function<void(const Status&)> done);
+  // Returns records whose attributes contain all of `query`.
+  void get_elements(const ValueMap& query, RecordsFn done);
+
+ private:
+  MessagingSystem& ms_;
+  Seid self_;
+  Seid registry_;
+};
+
+}  // namespace hcm::havi

@@ -1,0 +1,128 @@
+#include "havi/stream_manager.hpp"
+
+#include "havi/fcm_av.hpp"
+
+namespace hcm::havi {
+
+StreamManager::StreamManager(MessagingSystem& ms, net::Ieee1394Bus& bus)
+    : ms_(ms), bus_(bus) {
+  auto seid = ms_.register_system_element(
+      kStreamManagerHandle,
+      [this](const std::string& op, const ValueList& args,
+             InvokeResultFn done) { handle(op, args, done); });
+  seid_ = seid.is_ok() ? seid.value() : Seid{};
+}
+
+void StreamManager::handle(const std::string& op, const ValueList& args,
+                           InvokeResultFn done) {
+  if (op == "connect") {
+    if (args.size() != 2) return done(invalid_argument("connect(src, sink)"));
+    auto source = Seid::from_value(args[0]);
+    auto sink = Seid::from_value(args[1]);
+    if (!source.is_ok()) return done(source.status());
+    if (!sink.is_ok()) return done(sink.status());
+    return do_connect(source.value(), sink.value(), std::move(done));
+  }
+  if (op == "disconnect") {
+    if (args.size() != 1) return done(invalid_argument("disconnect(id)"));
+    auto id = args[0].to_int();
+    if (!id.is_ok()) return done(invalid_argument("bad connection id"));
+    return do_disconnect(id.value(), std::move(done));
+  }
+  if (op == "listConnections") {
+    ValueList out;
+    for (const auto& [id, c] : connections_) {
+      out.push_back(Value(ValueMap{
+          {"id", Value(c.id)},
+          {"source", c.source.to_value()},
+          {"sink", c.sink.to_value()},
+          {"channel", Value(static_cast<std::int64_t>(c.channel))},
+      }));
+    }
+    return done(Value(std::move(out)));
+  }
+  done(not_found("stream manager has no op " + op));
+}
+
+void StreamManager::do_connect(const Seid& source, const Seid& sink,
+                               InvokeResultFn done) {
+  auto channel = bus_.allocate_channel(kFrameBytes / 8);
+  if (!channel.is_ok()) return done(channel.status());
+  const auto ch = channel.value();
+  const Value ch_value(static_cast<std::int64_t>(ch));
+
+  // Sink first (so no frames are dropped), then source.
+  ms_.send_request(
+      seid_, sink, "sm.connectSink", {ch_value},
+      [this, source, sink, ch, ch_value,
+       done = std::move(done)](Result<Value> sink_result) mutable {
+        if (!sink_result.is_ok()) {
+          (void)bus_.release_channel(ch);
+          return done(sink_result.status());
+        }
+        ms_.send_request(
+            seid_, source, "sm.connectSource", {ch_value},
+            [this, source, sink, ch,
+             done = std::move(done)](Result<Value> source_result) {
+              if (!source_result.is_ok()) {
+                // Roll back the sink side.
+                ms_.send_notification(seid_, sink, "sm.disconnect", {});
+                (void)bus_.release_channel(ch);
+                return done(source_result.status());
+              }
+              StreamConnection conn;
+              conn.id = next_id_++;
+              conn.source = source;
+              conn.sink = sink;
+              conn.channel = ch;
+              connections_[conn.id] = conn;
+              done(Value(ValueMap{
+                  {"id", Value(conn.id)},
+                  {"channel", Value(static_cast<std::int64_t>(ch))},
+              }));
+            });
+      });
+}
+
+void StreamManager::do_disconnect(std::int64_t id, InvokeResultFn done) {
+  auto it = connections_.find(id);
+  if (it == connections_.end()) {
+    return done(not_found("no such connection: " + std::to_string(id)));
+  }
+  StreamConnection conn = it->second;
+  connections_.erase(it);
+  ms_.send_notification(seid_, conn.source, "sm.disconnect", {});
+  ms_.send_notification(seid_, conn.sink, "sm.disconnect", {});
+  (void)bus_.release_channel(conn.channel);
+  done(Value(true));
+}
+
+void StreamManagerClient::connect(const Seid& source, const Seid& sink,
+                                  ConnectFn done) {
+  ms_.send_request(
+      self_, sm_, "connect", {source.to_value(), sink.to_value()},
+      [source, sink, done = std::move(done)](Result<Value> r) {
+        if (!r.is_ok()) return done(r.status());
+        auto id = r.value().at("id").to_int();
+        auto ch = r.value().at("channel").to_int();
+        if (!id.is_ok() || !ch.is_ok()) {
+          return done(protocol_error("bad connect reply"));
+        }
+        StreamConnection conn;
+        conn.id = id.value();
+        conn.source = source;
+        conn.sink = sink;
+        conn.channel = static_cast<net::IsoChannel>(ch.value());
+        done(std::move(conn));
+      });
+}
+
+void StreamManagerClient::disconnect(std::int64_t connection_id,
+                                     std::function<void(const Status&)> done) {
+  ms_.send_request(self_, sm_, "disconnect", {Value(connection_id)},
+                   [done = std::move(done)](Result<Value> r) {
+                     done(r.is_ok() ? Status::ok() : r.status());
+                   });
+}
+
+}  // namespace hcm::havi

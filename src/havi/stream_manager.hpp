@@ -1,0 +1,59 @@
+// HAVi Stream Manager: establishes AV stream connections between FCM
+// plugs by allocating a 1394 isochronous channel and commanding the
+// source/sink FCMs through their "sm.*" control ops.
+#pragma once
+
+#include <map>
+
+#include "havi/messaging.hpp"
+#include "net/ieee1394.hpp"
+
+namespace hcm::havi {
+
+struct StreamConnection {
+  std::int64_t id = 0;
+  Seid source;
+  Seid sink;
+  net::IsoChannel channel = 0;
+};
+
+class StreamManager {
+ public:
+  StreamManager(MessagingSystem& ms, net::Ieee1394Bus& bus);
+
+  [[nodiscard]] Seid seid() const { return seid_; }
+  [[nodiscard]] std::size_t connection_count() const {
+    return connections_.size();
+  }
+
+ private:
+  void handle(const std::string& op, const ValueList& args,
+              InvokeResultFn done);
+  void do_connect(const Seid& source, const Seid& sink, InvokeResultFn done);
+  void do_disconnect(std::int64_t id, InvokeResultFn done);
+
+  MessagingSystem& ms_;
+  net::Ieee1394Bus& bus_;
+  Seid seid_;
+  std::map<std::int64_t, StreamConnection> connections_;
+  std::int64_t next_id_ = 1;
+};
+
+// Typed client helper.
+class StreamManagerClient {
+ public:
+  StreamManagerClient(MessagingSystem& ms, Seid self, Seid stream_manager)
+      : ms_(ms), self_(self), sm_(stream_manager) {}
+
+  using ConnectFn = std::function<void(Result<StreamConnection>)>;
+  void connect(const Seid& source, const Seid& sink, ConnectFn done);
+  void disconnect(std::int64_t connection_id,
+                  std::function<void(const Status&)> done);
+
+ private:
+  MessagingSystem& ms_;
+  Seid self_;
+  Seid sm_;
+};
+
+}  // namespace hcm::havi

@@ -1,0 +1,124 @@
+#include "http/client.hpp"
+
+namespace hcm::http {
+
+// One live connection. Requests are serialized (at most one in flight)
+// because asynchronous server handlers may finish out of order, and
+// HTTP/1.1 responses carry no request correlation.
+struct HttpClient::PooledConn {
+  net::StreamPtr stream;
+  net::Endpoint dest;
+  MessageParser parser{MessageParser::Mode::kResponse};
+  std::deque<std::pair<Request, ResponseCallback>> queue;
+  ResponseCallback inflight;       // callback awaiting a response
+  sim::EventId timeout_event = 0;
+  bool keep_alive = false;
+};
+
+void HttpClient::request(net::Endpoint dest, Request req, ResponseCallback cb) {
+  req.set_header("Host", dest.to_string());
+  if (options_.keep_alive) {
+    auto it = pool_.find(dest);
+    if (it != pool_.end()) {
+      if (auto conn = it->second.lock(); conn && conn->stream &&
+                                         conn->stream->is_open()) {
+        send_on(conn, std::move(req), std::move(cb));
+        return;
+      }
+      pool_.erase(it);
+    }
+  }
+  net_.connect(node_, dest,
+               [this, dest, req = std::move(req),
+                cb = std::move(cb)](Result<net::StreamPtr> stream) mutable {
+                 if (!stream.is_ok()) {
+                   cb(stream.status());
+                   return;
+                 }
+                 auto conn = make_conn(stream.value(), dest);
+                 if (options_.keep_alive) pool_[dest] = conn;
+                 send_on(conn, std::move(req), std::move(cb));
+               });
+}
+
+std::shared_ptr<HttpClient::PooledConn> HttpClient::make_conn(
+    net::StreamPtr stream, net::Endpoint dest) {
+  auto conn = std::make_shared<PooledConn>();
+  conn->stream = std::move(stream);
+  conn->dest = dest;
+  conn->keep_alive = options_.keep_alive;
+  auto& sched = net_.scheduler();
+
+  conn->stream->set_on_close([conn, &sched] {
+    if (conn->timeout_event != 0) sched.cancel(conn->timeout_event);
+    if (conn->inflight) {
+      auto cb = std::move(conn->inflight);
+      conn->inflight = nullptr;
+      cb(unavailable("connection closed before response"));
+    }
+    for (auto& [r, pending_cb] : conn->queue) {
+      pending_cb(unavailable("connection closed"));
+    }
+    conn->queue.clear();
+    conn->stream = nullptr;
+  });
+
+  conn->stream->set_on_data([this, conn](const Bytes& data) {
+    auto status = conn->parser.feed(data);
+    if (!status.is_ok()) {
+      if (conn->inflight) {
+        auto cb = std::move(conn->inflight);
+        conn->inflight = nullptr;
+        cb(status);
+      }
+      if (conn->stream) conn->stream->close();
+      return;
+    }
+    for (auto& resp : conn->parser.take_responses()) {
+      if (conn->timeout_event != 0) {
+        net_.scheduler().cancel(conn->timeout_event);
+        conn->timeout_event = 0;
+      }
+      if (conn->inflight) {
+        auto cb = std::move(conn->inflight);
+        conn->inflight = nullptr;
+        cb(std::move(resp));
+      }
+      // Next queued request, if any.
+      if (!conn->queue.empty() && conn->stream && conn->stream->is_open()) {
+        auto [next_req, next_cb] = std::move(conn->queue.front());
+        conn->queue.pop_front();
+        send_on(conn, std::move(next_req), std::move(next_cb));
+      } else if (!conn->keep_alive && conn->stream) {
+        conn->stream->close();
+      }
+    }
+  });
+  return conn;
+}
+
+void HttpClient::send_on(const std::shared_ptr<PooledConn>& conn, Request req,
+                         ResponseCallback cb) {
+  if (conn->inflight) {
+    conn->queue.emplace_back(std::move(req), std::move(cb));
+    return;
+  }
+  if (!conn->stream || !conn->stream->is_open()) {
+    cb(unavailable("connection closed"));
+    return;
+  }
+  conn->inflight = std::move(cb);
+  conn->stream->send(req.serialize());
+  conn->timeout_event = net_.scheduler().after(
+      options_.request_timeout, [conn] {
+        conn->timeout_event = 0;
+        if (conn->inflight) {
+          auto pending = std::move(conn->inflight);
+          conn->inflight = nullptr;
+          pending(timeout("HTTP request timed out"));
+          if (conn->stream) conn->stream->close();
+        }
+      });
+}
+
+}  // namespace hcm::http

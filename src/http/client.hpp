@@ -1,0 +1,51 @@
+// HTTP client with optional keep-alive connection pooling. The paper's
+// prototype (Apache SOAP era) opened a connection per call; pooling is
+// the knob the bench_ablation_vsg_protocol experiment flips.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "http/message.hpp"
+#include "net/network.hpp"
+
+namespace hcm::http {
+
+using ResponseCallback = std::function<void(Result<Response>)>;
+
+class HttpClient {
+ public:
+  struct Options {
+    bool keep_alive = false;  // pool one connection per destination
+    sim::Duration request_timeout = sim::seconds(30);
+  };
+
+  HttpClient(net::Network& net, net::NodeId node)
+      : HttpClient(net, node, Options{}) {}
+  HttpClient(net::Network& net, net::NodeId node, Options options)
+      : net_(net), node_(node), options_(options) {}
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  // Issues a request; the callback gets the response or an error
+  // (unreachable, refused, timeout, malformed).
+  void request(net::Endpoint dest, Request req, ResponseCallback cb);
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+
+ private:
+  struct PooledConn;
+
+  void send_on(const std::shared_ptr<PooledConn>& conn, Request req,
+               ResponseCallback cb);
+  std::shared_ptr<PooledConn> make_conn(net::StreamPtr stream,
+                                        net::Endpoint dest);
+
+  net::Network& net_;
+  net::NodeId node_;
+  Options options_;
+  std::map<net::Endpoint, std::weak_ptr<PooledConn>> pool_;
+};
+
+}  // namespace hcm::http

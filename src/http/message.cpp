@@ -1,0 +1,172 @@
+#include "http/message.hpp"
+
+#include "common/strings.hpp"
+
+namespace hcm::http {
+
+const std::string* find_header(const Headers& headers, std::string_view name) {
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, name)) return &v;
+  }
+  return nullptr;
+}
+
+void set_header(Headers& headers, std::string name, std::string value) {
+  for (auto& [k, v] : headers) {
+    if (iequals(k, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+namespace {
+void serialize_headers(std::string& out, const Headers& headers,
+                       std::size_t body_size) {
+  bool have_length = false;
+  for (const auto& [k, v] : headers) {
+    if (iequals(k, "Content-Length")) {
+      have_length = true;
+      out += k + ": " + std::to_string(body_size) + "\r\n";
+    } else {
+      out += k + ": " + v + "\r\n";
+    }
+  }
+  if (!have_length) {
+    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+  }
+  out += "\r\n";
+}
+}  // namespace
+
+Bytes Request::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return to_bytes(out);
+}
+
+Bytes Response::serialize() const {
+  std::string out =
+      version + " " + std::to_string(status) + " " + reason + "\r\n";
+  serialize_headers(out, headers, body.size());
+  out += body;
+  return to_bytes(out);
+}
+
+Response Response::make(int status, std::string reason, std::string body,
+                        std::string content_type) {
+  Response r;
+  r.status = status;
+  r.reason = std::move(reason);
+  r.body = std::move(body);
+  r.set_header("Content-Type", std::move(content_type));
+  return r;
+}
+
+Status MessageParser::feed(const Bytes& data) {
+  buf_.append(data.begin(), data.end());
+  return try_parse();
+}
+
+Status MessageParser::try_parse() {
+  while (true) {
+    if (!in_body_) {
+      auto head_end = buf_.find("\r\n\r\n");
+      if (head_end == std::string::npos) {
+        if (buf_.size() > 64 * 1024) {
+          return protocol_error("HTTP header section too large");
+        }
+        return Status::ok();  // need more data
+      }
+      auto status = parse_head(std::string_view(buf_).substr(0, head_end));
+      if (!status.is_ok()) return status;
+      buf_.erase(0, head_end + 4);
+      in_body_ = true;
+    }
+    // Body phase.
+    if (buf_.size() < body_needed_) return Status::ok();
+    std::string body = buf_.substr(0, body_needed_);
+    buf_.erase(0, body_needed_);
+    in_body_ = false;
+    if (mode_ == Mode::kRequest) {
+      cur_req_.body = std::move(body);
+      requests_.push_back(std::move(cur_req_));
+      cur_req_ = Request{};
+    } else {
+      cur_resp_.body = std::move(body);
+      responses_.push_back(std::move(cur_resp_));
+      cur_resp_ = Response{};
+    }
+  }
+}
+
+Status MessageParser::parse_head(std::string_view head) {
+  auto line_end = head.find("\r\n");
+  auto first = head.substr(0, line_end);
+  Headers headers;
+
+  // Header lines.
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view{}
+                                         : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    auto eol = rest.find("\r\n");
+    auto line = eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(eol + 2);
+    auto colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      return protocol_error("malformed header line");
+    }
+    headers.emplace_back(std::string(trim(line.substr(0, colon))),
+                         std::string(trim(line.substr(colon + 1))));
+  }
+
+  long long length = 0;
+  if (const auto* cl = find_header(headers, "Content-Length")) {
+    length = parse_uint(trim(*cl));
+    if (length < 0) return protocol_error("bad Content-Length");
+  }
+  body_needed_ = static_cast<std::size_t>(length);
+
+  if (mode_ == Mode::kRequest) {
+    auto parts = split(first, ' ');
+    if (parts.size() != 3) return protocol_error("malformed request line");
+    cur_req_ = Request{};
+    cur_req_.method = parts[0];
+    cur_req_.target = parts[1];
+    cur_req_.version = parts[2];
+    cur_req_.headers = std::move(headers);
+  } else {
+    // "HTTP/1.1 200 OK" — reason may contain spaces.
+    auto sp1 = first.find(' ');
+    if (sp1 == std::string_view::npos) {
+      return protocol_error("malformed status line");
+    }
+    auto sp2 = first.find(' ', sp1 + 1);
+    cur_resp_ = Response{};
+    cur_resp_.version = std::string(first.substr(0, sp1));
+    auto code_sv = sp2 == std::string_view::npos
+                       ? first.substr(sp1 + 1)
+                       : first.substr(sp1 + 1, sp2 - sp1 - 1);
+    auto code = parse_uint(code_sv);
+    if (code < 100 || code > 599) return protocol_error("bad status code");
+    cur_resp_.status = static_cast<int>(code);
+    cur_resp_.reason =
+        sp2 == std::string_view::npos ? "" : std::string(first.substr(sp2 + 1));
+    cur_resp_.headers = std::move(headers);
+  }
+  return Status::ok();
+}
+
+std::vector<Request> MessageParser::take_requests() {
+  return std::exchange(requests_, {});
+}
+
+std::vector<Response> MessageParser::take_responses() {
+  return std::exchange(responses_, {});
+}
+
+}  // namespace hcm::http

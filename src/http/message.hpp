@@ -1,0 +1,89 @@
+// HTTP/1.1 message model and incremental parser. SOAP (the VSG wire
+// protocol), the UDDI-like registry and UPnP descriptions all ride on
+// this.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace hcm::http {
+
+using Headers = std::vector<std::pair<std::string, std::string>>;
+
+// Case-insensitive header lookup; returns nullptr if absent.
+[[nodiscard]] const std::string* find_header(const Headers& headers,
+                                             std::string_view name);
+void set_header(Headers& headers, std::string name, std::string value);
+
+struct Request {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  [[nodiscard]] const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+  void set_header(std::string name, std::string value) {
+    http::set_header(headers, std::move(name), std::move(value));
+  }
+  // Serializes with a correct Content-Length.
+  [[nodiscard]] Bytes serialize() const;
+};
+
+struct Response {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.1";
+  Headers headers;
+  std::string body;
+
+  [[nodiscard]] const std::string* header(std::string_view name) const {
+    return find_header(headers, name);
+  }
+  void set_header(std::string name, std::string value) {
+    http::set_header(headers, std::move(name), std::move(value));
+  }
+  [[nodiscard]] Bytes serialize() const;
+
+  static Response make(int status, std::string reason, std::string body,
+                       std::string content_type = "text/plain");
+};
+
+// Incremental parser for a byte stream carrying back-to-back messages.
+// Feed bytes; complete messages pop out via the callbacks.
+class MessageParser {
+ public:
+  enum class Mode { kRequest, kResponse };
+  explicit MessageParser(Mode mode) : mode_(mode) {}
+
+  // Returns a protocol error on malformed input; the connection should
+  // then be dropped.
+  Status feed(const Bytes& data);
+
+  // Completed messages, in arrival order. Caller takes them.
+  std::vector<Request> take_requests();
+  std::vector<Response> take_responses();
+
+ private:
+  Status try_parse();
+  Status parse_head(std::string_view head);
+
+  Mode mode_;
+  std::string buf_;
+  // Parsing state: when a head has been parsed we know the body length.
+  bool in_body_ = false;
+  std::size_t body_needed_ = 0;
+  Request cur_req_;
+  Response cur_resp_;
+  std::vector<Request> requests_;
+  std::vector<Response> responses_;
+};
+
+}  // namespace hcm::http

@@ -1,0 +1,62 @@
+// HTTP/1.1 server bound to a simulated node/port. Handlers may respond
+// asynchronously (the VSG forwards calls to other islands before
+// answering), so the handler receives a respond callback.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "http/message.hpp"
+#include "net/network.hpp"
+
+namespace hcm::http {
+
+using RespondFn = std::function<void(Response)>;
+// Route handler: inspect the request, eventually call respond exactly once.
+using RequestHandler = std::function<void(const Request&, RespondFn respond)>;
+
+class HttpServer {
+ public:
+  HttpServer(net::Network& net, net::NodeId node, std::uint16_t port);
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Starts listening. Fails if the port is taken.
+  Status start();
+  void stop();
+
+  // Exact-match route registration; falls back to the default handler,
+  // then 404.
+  void route(const std::string& target, RequestHandler handler);
+  void remove_route(const std::string& target);
+  void set_default_handler(RequestHandler handler);
+
+  [[nodiscard]] net::Endpoint endpoint() const { return {node_, port_}; }
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_served_;
+  }
+
+ private:
+  struct Connection {
+    net::StreamPtr stream;
+    MessageParser parser{MessageParser::Mode::kRequest};
+  };
+
+  void on_accept(net::StreamPtr stream);
+  void handle(const Request& req, const std::shared_ptr<Connection>& conn);
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::uint16_t port_;
+  bool listening_ = false;
+  // Live connections, so stop() can detach their callbacks (which
+  // capture `this`) before the server goes away.
+  std::vector<std::weak_ptr<Connection>> connections_;
+  std::map<std::string, RequestHandler> routes_;
+  RequestHandler default_handler_;
+  std::uint64_t requests_served_ = 0;
+};
+
+}  // namespace hcm::http

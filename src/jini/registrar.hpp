@@ -1,0 +1,73 @@
+// Client-side lookup access: typed wrapper over the lookup service's
+// remote interface, plus a JoinManager-like registrar that keeps a
+// service's lease renewed for as long as it lives.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "jini/lookup.hpp"
+#include "jini/proxy.hpp"
+
+namespace hcm::jini {
+
+// The lookup service's own remote interface.
+[[nodiscard]] InterfaceDesc lookup_interface();
+// A proxy to a lookup service at `endpoint`, usable from `node`.
+[[nodiscard]] std::unique_ptr<Proxy> lookup_proxy(net::Network& net,
+                                                  net::NodeId node,
+                                                  net::Endpoint endpoint);
+
+class LookupClient {
+ public:
+  LookupClient(net::Network& net, net::NodeId node, net::Endpoint lookup)
+      : proxy_(lookup_proxy(net, node, lookup)) {}
+
+  using ItemsFn = std::function<void(Result<std::vector<ServiceItem>>)>;
+
+  // Finds services by interface name ("" = all) and attribute filter.
+  void lookup(const std::string& iface, const ValueMap& attrs, ItemsFn done);
+
+  // Registers a remote event listener (already exported at node/port
+  // under listener_id); callback gets the registration id.
+  void notify(net::Endpoint listener, const std::string& listener_id,
+              std::function<void(Result<std::int64_t>)> done);
+
+  [[nodiscard]] Proxy& proxy() { return *proxy_; }
+
+ private:
+  std::unique_ptr<Proxy> proxy_;
+};
+
+// Registers a service and auto-renews its lease at half-life until
+// destroyed or cancel() is called. Mirrors Jini's JoinManager.
+class Registrar {
+ public:
+  Registrar(net::Network& net, net::NodeId node, net::Endpoint lookup,
+            ServiceItem item, sim::Duration lease = sim::seconds(30));
+  ~Registrar();
+  Registrar(const Registrar&) = delete;
+  Registrar& operator=(const Registrar&) = delete;
+
+  // Performs the initial registration.
+  void join(std::function<void(const Status&)> done);
+  // Cancels the lease (service disappears from the lookup service).
+  void cancel(std::function<void(const Status&)> done);
+
+  [[nodiscard]] bool joined() const { return lease_id_.has_value(); }
+  [[nodiscard]] std::uint64_t renewals() const { return renewals_; }
+
+ private:
+  void schedule_renew(sim::Duration granted);
+  void renew();
+
+  net::Network& net_;
+  std::unique_ptr<Proxy> proxy_;
+  ServiceItem item_;
+  sim::Duration lease_;
+  std::optional<std::string> lease_id_;
+  sim::EventId renew_event_ = 0;
+  std::uint64_t renewals_ = 0;
+};
+
+}  // namespace hcm::jini

@@ -1,0 +1,106 @@
+// Internet Mail service: an SMTP-like submission protocol and a
+// POP3-like retrieval protocol over simulated TCP. The paper's
+// prototype includes an Internet Mail PCM (Fig. 3); this substrate is
+// what that PCM converts to and from.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace hcm::mail {
+
+constexpr std::uint16_t kSmtpPort = 25;
+constexpr std::uint16_t kPopPort = 110;
+
+struct Message {
+  std::int64_t id = 0;
+  std::string from;
+  std::string to;       // mailbox name, e.g. "home" (local part)
+  std::string subject;
+  std::string body;
+};
+
+// Serves SMTP (submission) and POP (retrieval) on one node; stores
+// mailboxes in memory.
+class MailServer {
+ public:
+  MailServer(net::Network& net, net::NodeId node);
+  ~MailServer();
+  MailServer(const MailServer&) = delete;
+  MailServer& operator=(const MailServer&) = delete;
+
+  Status start();
+  void stop();
+
+  [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] std::size_t mailbox_size(const std::string& mailbox) const;
+  [[nodiscard]] std::uint64_t messages_accepted() const {
+    return messages_accepted_;
+  }
+
+  // Direct (non-protocol) access for tests and local delivery hooks.
+  void deliver(Message m);
+
+ private:
+  struct SmtpSession;
+  struct PopSession;
+  void on_smtp_accept(net::StreamPtr stream);
+  void on_pop_accept(net::StreamPtr stream);
+  void smtp_line(const std::shared_ptr<SmtpSession>& s,
+                 const std::string& line);
+  void pop_line(const std::shared_ptr<PopSession>& s, const std::string& line);
+
+  net::Network& net_;
+  net::NodeId node_;
+  bool started_ = false;
+  // Live sessions, detached on stop() (their callbacks capture this).
+  std::vector<std::weak_ptr<SmtpSession>> smtp_sessions_;
+  std::vector<std::weak_ptr<PopSession>> pop_sessions_;
+  std::map<std::string, std::vector<Message>> mailboxes_;
+  std::int64_t next_id_ = 1;
+  std::uint64_t messages_accepted_ = 0;
+};
+
+// Client: SMTP submission plus POP polling with a new-message callback.
+class MailClient {
+ public:
+  MailClient(net::Network& net, net::NodeId node, net::NodeId server)
+      : net_(net), node_(node), server_(server) {}
+  ~MailClient();
+  MailClient(const MailClient&) = delete;
+  MailClient& operator=(const MailClient&) = delete;
+
+  using DoneFn = std::function<void(const Status&)>;
+  using MessagesFn = std::function<void(Result<std::vector<Message>>)>;
+
+  // Sends one message through the SMTP dialogue.
+  void send(const Message& m, DoneFn done);
+  // Retrieves (and deletes) everything in `mailbox` via POP.
+  void fetch(const std::string& mailbox, MessagesFn done);
+
+  // Polls `mailbox` every `interval`; `on_message` fires per message.
+  // This polling is exactly the asynchronous-notification workaround
+  // whose cost §4.2 of the paper complains about.
+  void watch(const std::string& mailbox, sim::Duration interval,
+             std::function<void(const Message&)> on_message);
+  void unwatch();
+
+ private:
+  void poll();
+
+  net::Network& net_;
+  net::NodeId node_;
+  net::NodeId server_;
+  std::string watch_mailbox_;
+  sim::Duration watch_interval_ = 0;
+  std::function<void(const Message&)> watch_fn_;
+  sim::EventId watch_event_ = 0;
+};
+
+}  // namespace hcm::mail

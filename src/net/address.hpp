@@ -1,0 +1,30 @@
+// Addressing for the simulated home network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hcm::net {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0;
+
+struct Endpoint {
+  NodeId node = kInvalidNode;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool valid() const { return node != kInvalidNode; }
+  [[nodiscard]] std::string to_string() const {
+    return "node-" + std::to_string(node) + ":" + std::to_string(port);
+  }
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+  friend bool operator<(const Endpoint& a, const Endpoint& b) {
+    return a.node != b.node ? a.node < b.node : a.port < b.port;
+  }
+};
+
+// Multicast group address (segment-scoped, like 239.x addresses).
+using GroupId = std::uint32_t;
+
+}  // namespace hcm::net

@@ -1,0 +1,233 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hcm::net {
+
+Node& Network::add_node(const std::string& name) {
+  auto id = static_cast<NodeId>(nodes_.size() + 1);
+  nodes_.push_back(std::make_unique<Node>(*this, id, name));
+  return *nodes_.back();
+}
+
+Node* Network::node(NodeId id) {
+  if (id == kInvalidNode || id > nodes_.size()) return nullptr;
+  return nodes_[id - 1].get();
+}
+
+Node* Network::find_node(const std::string& name) {
+  for (const auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+EthernetSegment& Network::add_ethernet(const std::string& name,
+                                       sim::Duration base_latency,
+                                       std::uint64_t bandwidth_bps) {
+  segments_.push_back(
+      std::make_unique<EthernetSegment>(name, base_latency, bandwidth_bps));
+  return static_cast<EthernetSegment&>(*segments_.back());
+}
+
+Ieee1394Bus& Network::add_ieee1394(const std::string& name) {
+  segments_.push_back(std::make_unique<Ieee1394Bus>(name, sched_));
+  return static_cast<Ieee1394Bus&>(*segments_.back());
+}
+
+PowerlineSegment& Network::add_powerline(const std::string& name) {
+  segments_.push_back(std::make_unique<PowerlineSegment>(name, sched_));
+  return static_cast<PowerlineSegment&>(*segments_.back());
+}
+
+void Network::attach(Node& node, Segment& segment) {
+  segment.attach(node.id());
+  attachments_[node.id()].push_back(&segment);
+}
+
+Result<Network::Route> Network::find_route(NodeId a, NodeId b) {
+  Node* na = node(a);
+  Node* nb = node(b);
+  if (na == nullptr || nb == nullptr) return not_found("no such node");
+  if (!na->is_up()) return unavailable(na->name() + " is down");
+  if (!nb->is_up()) return unavailable(nb->name() + " is down");
+  if (a == b) return Route{};  // loopback
+
+  // BFS over nodes; edges are up segments.
+  std::map<NodeId, std::pair<NodeId, Segment*>> parent;  // node -> (prev, via)
+  std::queue<NodeId> frontier;
+  frontier.push(a);
+  parent[a] = {kInvalidNode, nullptr};
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop();
+    auto it = attachments_.find(cur);
+    if (it == attachments_.end()) continue;
+    for (Segment* seg : it->second) {
+      if (!seg->is_up()) continue;
+      for (NodeId next : seg->nodes()) {
+        if (parent.count(next) != 0) continue;
+        Node* nn = node(next);
+        if (nn == nullptr || !nn->is_up()) continue;
+        parent[next] = {cur, seg};
+        if (next == b) {
+          Route route;
+          for (NodeId hop = b; hop != a; hop = parent[hop].first) {
+            route.path.push_back(parent[hop].second);
+          }
+          std::reverse(route.path.begin(), route.path.end());
+          return route;
+        }
+        frontier.push(next);
+      }
+    }
+  }
+  return unavailable("no route from " + na->name() + " to " + nb->name());
+}
+
+sim::Duration Network::path_latency(const Route& r, std::size_t bytes) {
+  if (r.path.empty()) return sim::microseconds(10);  // loopback
+  sim::Duration total = 0;
+  for (const Segment* seg : r.path) total += seg->transit_time(bytes);
+  // Per-hop forwarding cost at intermediate gateways.
+  if (r.path.size() > 1) {
+    total += static_cast<sim::Duration>(r.path.size() - 1) *
+             sim::microseconds(50);
+  }
+  return total;
+}
+
+void Network::account_path(const Route& r, std::size_t bytes) {
+  for (Segment* seg : r.path) seg->account(bytes);
+}
+
+Result<sim::Duration> Network::route_latency(NodeId a, NodeId b,
+                                             std::size_t bytes) {
+  auto route = find_route(a, b);
+  if (!route.is_ok()) return route.status();
+  return path_latency(route.value(), bytes);
+}
+
+void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
+  ++datagrams_sent_;
+  auto route = find_route(from.node, to.node);
+  if (!route.is_ok()) {
+    ++datagrams_dropped_;
+    return;
+  }
+  // Per-segment random loss.
+  for (const Segment* seg : route.value().path) {
+    if (seg->drop_probability() > 0.0) {
+      std::uniform_real_distribution<double> dist(0.0, 1.0);
+      if (dist(sched_.rng()) < seg->drop_probability()) {
+        ++datagrams_dropped_;
+        return;
+      }
+    }
+  }
+  account_path(route.value(), data.size());
+  auto latency = path_latency(route.value(), data.size());
+  sched_.after(latency, [this, from, to, data = std::move(data)] {
+    Node* dst = node(to.node);
+    if (dst == nullptr || !dst->is_up()) {
+      ++datagrams_dropped_;
+      return;
+    }
+    const DatagramHandler* handler = dst->datagram_handler(to.port);
+    if (handler == nullptr || !*handler) {
+      ++datagrams_dropped_;
+      return;
+    }
+    (*handler)(from, data);
+  });
+}
+
+void Network::join_group(NodeId node_id, GroupId group) {
+  groups_[group].insert(node_id);
+}
+
+void Network::leave_group(NodeId node_id, GroupId group) {
+  auto it = groups_.find(group);
+  if (it != groups_.end()) it->second.erase(node_id);
+}
+
+void Network::send_multicast(Endpoint from, GroupId group, std::uint16_t port,
+                             Bytes data) {
+  auto git = groups_.find(group);
+  if (git == groups_.end()) return;
+  auto ait = attachments_.find(from.node);
+  if (ait == attachments_.end()) return;
+  Node* src = node(from.node);
+  if (src == nullptr || !src->is_up()) return;
+
+  // Multicast does not cross gateways: delivered only to members that
+  // share an up segment with the sender (matches link-local discovery).
+  // Like IP multicast with IP_MULTICAST_LOOP, the sender's own node
+  // receives a copy if it joined the group.
+  std::set<NodeId> delivered;
+  if (git->second.count(from.node) != 0) {
+    delivered.insert(from.node);
+    sched_.after(sim::microseconds(10), [this, from, port, data] {
+      Node* self = node(from.node);
+      if (self == nullptr || !self->is_up()) return;
+      const DatagramHandler* handler = self->datagram_handler(port);
+      if (handler != nullptr && *handler) (*handler)(from, data);
+    });
+  }
+  for (Segment* seg : ait->second) {
+    if (!seg->is_up()) continue;
+    for (NodeId member : seg->nodes()) {
+      if (git->second.count(member) == 0) continue;
+      if (!delivered.insert(member).second) continue;
+      seg->account(data.size());
+      auto latency = seg->transit_time(data.size());
+      sched_.after(latency, [this, from, member, port, data] {
+        Node* dst = node(member);
+        if (dst == nullptr || !dst->is_up()) return;
+        const DatagramHandler* handler = dst->datagram_handler(port);
+        if (handler != nullptr && *handler) (*handler)(from, data);
+      });
+    }
+  }
+}
+
+void Network::connect(NodeId from, Endpoint to, ConnectCallback cb) {
+  Node* src = node(from);
+  if (src == nullptr) {
+    sched_.after(0, [cb] { cb(not_found("no such source node")); });
+    return;
+  }
+  auto route = find_route(from, to.node);
+  if (!route.is_ok()) {
+    auto status = route.status();
+    sched_.after(sim::milliseconds(1),
+                 [cb, status] { cb(status); });
+    return;
+  }
+  const auto rtt = 2 * path_latency(route.value(), 40);
+  const auto handshake = rtt + rtt / 2;  // SYN, SYN-ACK, ACK
+  Endpoint local{from, src->next_ephemeral_port()};
+
+  sched_.after(handshake, [this, local, to, cb] {
+    Node* dst = node(to.node);
+    Node* src2 = node(local.node);
+    if (dst == nullptr || !dst->is_up() || src2 == nullptr || !src2->is_up()) {
+      cb(unavailable("peer unreachable during handshake"));
+      return;
+    }
+    const AcceptHandler* acceptor = dst->listener(to.port);
+    if (acceptor == nullptr || !*acceptor) {
+      cb(unavailable("connection refused: " + to.to_string()));
+      return;
+    }
+    auto client = std::make_shared<Stream>(*this, local, to);
+    auto server = std::make_shared<Stream>(*this, to, local);
+    client->peer_ = server;
+    server->peer_ = client;
+    (*acceptor)(server);
+    cb(client);
+  });
+}
+
+}  // namespace hcm::net

@@ -1,0 +1,99 @@
+// The Network: owns nodes and segments, routes datagrams and streams,
+// and provides segment-scoped multicast for discovery protocols.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/address.hpp"
+#include "net/ieee1394.hpp"
+#include "net/node.hpp"
+#include "net/powerline.hpp"
+#include "net/segment.hpp"
+#include "net/stream.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hcm::net {
+
+using ConnectCallback = std::function<void(Result<StreamPtr>)>;
+
+class Network {
+ public:
+  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+
+  // --- Topology -------------------------------------------------------
+  Node& add_node(const std::string& name);
+  [[nodiscard]] Node* node(NodeId id);
+  [[nodiscard]] Node* find_node(const std::string& name);
+
+  EthernetSegment& add_ethernet(const std::string& name,
+                                sim::Duration base_latency,
+                                std::uint64_t bandwidth_bps);
+  Ieee1394Bus& add_ieee1394(const std::string& name);
+  PowerlineSegment& add_powerline(const std::string& name);
+  void attach(Node& node, Segment& segment);
+
+  [[nodiscard]] const std::vector<std::unique_ptr<Segment>>& segments() const {
+    return segments_;
+  }
+
+  // Transit time along the current route between two nodes, or an error
+  // if no up-route exists. Multi-hop routes go through gateway nodes
+  // that sit on more than one segment.
+  [[nodiscard]] Result<sim::Duration> route_latency(NodeId a, NodeId b,
+                                                    std::size_t bytes);
+
+  // --- Datagrams -------------------------------------------------------
+  // Unreliable: dropped when no route, no handler, node down, or the
+  // segment's drop probability fires.
+  void send_datagram(Endpoint from, Endpoint to, Bytes data);
+
+  // --- Multicast (segment-scoped, used by discovery protocols) ---------
+  void join_group(NodeId node, GroupId group);
+  void leave_group(NodeId node, GroupId group);
+  // Delivered to every group member sharing a segment with `from`.
+  void send_multicast(Endpoint from, GroupId group, std::uint16_t port,
+                      Bytes data);
+
+  // --- Streams ----------------------------------------------------------
+  // Simulates a connection handshake (1.5 RTT), then hands the accept
+  // side to the listener and the connect side to `cb`.
+  void connect(NodeId from, Endpoint to, ConnectCallback cb);
+
+  // Counters.
+  [[nodiscard]] std::uint64_t datagrams_sent() const { return datagrams_sent_; }
+  [[nodiscard]] std::uint64_t datagrams_dropped() const {
+    return datagrams_dropped_;
+  }
+
+ private:
+  friend class Stream;
+
+  struct Route {
+    std::vector<Segment*> path;
+  };
+  // BFS over the node/segment bipartite graph, up segments/nodes only.
+  [[nodiscard]] Result<Route> find_route(NodeId a, NodeId b);
+  [[nodiscard]] sim::Duration path_latency(const Route& r, std::size_t bytes);
+  void account_path(const Route& r, std::size_t bytes);
+
+  sim::Scheduler& sched_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::map<NodeId, std::vector<Segment*>> attachments_;
+  std::map<GroupId, std::set<NodeId>> groups_;
+  std::uint64_t datagrams_sent_ = 0;
+  std::uint64_t datagrams_dropped_ = 0;
+};
+
+}  // namespace hcm::net

@@ -1,0 +1,42 @@
+#include "net/node.hpp"
+
+namespace hcm::net {
+
+Status Node::bind(std::uint16_t port, DatagramHandler handler) {
+  if (datagram_handlers_.count(port) != 0) {
+    return already_exists(name_ + ": datagram port " + std::to_string(port) +
+                          " in use");
+  }
+  datagram_handlers_[port] = std::move(handler);
+  return Status::ok();
+}
+
+void Node::unbind(std::uint16_t port) { datagram_handlers_.erase(port); }
+
+const DatagramHandler* Node::datagram_handler(std::uint16_t port) const {
+  auto it = datagram_handlers_.find(port);
+  return it == datagram_handlers_.end() ? nullptr : &it->second;
+}
+
+Status Node::listen(std::uint16_t port, AcceptHandler handler) {
+  if (listeners_.count(port) != 0) {
+    return already_exists(name_ + ": listen port " + std::to_string(port) +
+                          " in use");
+  }
+  listeners_[port] = std::move(handler);
+  return Status::ok();
+}
+
+void Node::stop_listening(std::uint16_t port) { listeners_.erase(port); }
+
+const AcceptHandler* Node::listener(std::uint16_t port) const {
+  auto it = listeners_.find(port);
+  return it == listeners_.end() ? nullptr : &it->second;
+}
+
+std::uint16_t Node::next_ephemeral_port() {
+  if (next_ephemeral_ == 0) next_ephemeral_ = 49152;  // wrapped
+  return next_ephemeral_++;
+}
+
+}  // namespace hcm::net

@@ -1,0 +1,73 @@
+#include "net/powerline.hpp"
+
+namespace hcm::net {
+
+void PowerlineSegment::subscribe(NodeId node, PowerlineHandler handler) {
+  handlers_[node] = std::move(handler);
+}
+
+void PowerlineSegment::unsubscribe(NodeId node) { handlers_.erase(node); }
+
+void PowerlineSegment::transmit(NodeId from, Bytes frame, TransmitDone done) {
+  if (!is_up()) {
+    sched_.after(0, [done = std::move(done)] {
+      done(unavailable("powerline segment is down"));
+    });
+    return;
+  }
+  queue_.push_back(
+      Pending{from, std::move(frame), std::move(done), sched_.now()});
+  if (!busy_) {
+    // Defer one event tick so that a second transmitter enqueueing at
+    // the same instant is visible for collision detection.
+    busy_ = true;
+    sched_.after(0, [this] { start_next(); });
+  }
+}
+
+void PowerlineSegment::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+
+  // Collision model: another frame enqueued at the exact same instant
+  // while the line was idle means both transmitters saw "idle" and
+  // started together.
+  bool collided = false;
+  if (!queue_.empty() && queue_.front().enqueued_at == p.enqueued_at &&
+      queue_.front().from != p.from) {
+    collided = true;
+    ++collisions_;
+    Pending other = std::move(queue_.front());
+    queue_.pop_front();
+    auto dur = transit_time(p.frame.size());
+    sched_.after(dur, [this, other = std::move(other)]() mutable {
+      finish(std::move(other), true);
+    });
+  }
+
+  auto dur = transit_time(p.frame.size());
+  sched_.after(dur, [this, p = std::move(p), collided]() mutable {
+    finish(std::move(p), collided);
+    start_next();
+  });
+}
+
+void PowerlineSegment::finish(Pending p, bool collided) {
+  if (collided) {
+    if (p.done) p.done(unavailable("powerline collision"));
+    return;
+  }
+  account(p.frame.size());
+  auto handlers = handlers_;  // copy: receivers may (un)subscribe
+  for (auto& [node, handler] : handlers) {
+    if (handler) handler(p.from, p.frame);
+  }
+  if (p.done) p.done(Status::ok());
+}
+
+}  // namespace hcm::net

@@ -1,0 +1,11 @@
+#include "net/segment.hpp"
+
+#include <algorithm>
+
+namespace hcm::net {
+
+bool Segment::has_node(NodeId node) const {
+  return std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end();
+}
+
+}  // namespace hcm::net

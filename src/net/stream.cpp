@@ -1,0 +1,88 @@
+#include "net/stream.hpp"
+
+#include "net/network.hpp"
+
+namespace hcm::net {
+
+void Stream::send(Bytes data) {
+  if (!open_ || data.empty()) return;
+  bytes_sent_ += data.size();
+  auto route = net_.find_route(local_.node, remote_.node);
+  auto peer = peer_.lock();
+  auto& sched = net_.sched_;
+  if (!route.is_ok() || !peer) {
+    // Route failed mid-connection: reset both ends.
+    auto self = shared_from_this();
+    sched.after(sim::milliseconds(1), [self, peer] {
+      self->peer_closed();
+      if (peer) peer->peer_closed();
+    });
+    return;
+  }
+  net_.account_path(route.value(), data.size());
+  auto latency = net_.path_latency(route.value(), data.size());
+  // FIFO: never deliver before previously sent data in this direction.
+  auto arrival = sched.now() + latency;
+  if (arrival <= clear_time_) arrival = clear_time_ + 1;
+  clear_time_ = arrival;
+  sched.at(arrival, [peer, data = std::move(data)] {
+    if (peer) peer->deliver(data);
+  });
+}
+
+void Stream::close() {
+  if (!open_) return;
+  open_ = false;
+  auto peer = peer_.lock();
+  if (!peer) return;
+  auto latency =
+      net_.route_latency(local_.node, remote_.node, 40).value_or(
+          sim::milliseconds(1));
+  auto arrival = net_.sched_.now() + latency;
+  if (arrival <= clear_time_) arrival = clear_time_ + 1;
+  clear_time_ = arrival;
+  net_.sched_.at(arrival, [peer] { peer->peer_closed(); });
+}
+
+void Stream::set_on_data(DataHandler handler) {
+  on_data_ = std::move(handler);
+  if (on_data_) {
+    while (!pending_.empty()) {
+      Bytes data = std::move(pending_.front());
+      pending_.pop_front();
+      on_data_(data);
+    }
+  }
+}
+
+void Stream::set_on_close(CloseHandler handler) {
+  on_close_ = std::move(handler);
+  if (closed_pending_ && on_close_) {
+    closed_pending_ = false;
+    on_close_();
+  }
+}
+
+void Stream::deliver(const Bytes& data) {
+  if (!open_) return;
+  Node* self_node = net_.node(local_.node);
+  if (self_node == nullptr || !self_node->is_up()) return;
+  bytes_received_ += data.size();
+  if (on_data_) {
+    on_data_(data);
+  } else {
+    pending_.push_back(data);
+  }
+}
+
+void Stream::peer_closed() {
+  if (!open_) return;
+  open_ = false;
+  if (on_close_) {
+    on_close_();
+  } else {
+    closed_pending_ = true;
+  }
+}
+
+}  // namespace hcm::net

@@ -1,0 +1,79 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace hcm::sim {
+
+std::string format_time(SimTime t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld.%06llds",
+                static_cast<long long>(t / 1000000),
+                static_cast<long long>(t % 1000000));
+  return buf;
+}
+
+EventId Scheduler::at(SimTime t, EventFn fn) {
+  if (t < now_) t = now_;
+  EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Scheduler::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  ++cancelled_;  // heap entry becomes a tombstone, skipped on pop
+  return true;
+}
+
+bool Scheduler::fire_next() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    auto it = callbacks_.find(e.id);
+    if (it == callbacks_.end()) {
+      queue_.pop();  // cancelled tombstone
+      assert(cancelled_ > 0);
+      --cancelled_;
+      continue;
+    }
+    assert(e.time >= now_ && "virtual time must never go backwards");
+    queue_.pop();
+    now_ = e.time;
+    EventFn fn = std::move(it->second);
+    callbacks_.erase(it);
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Scheduler::run() {
+  std::size_t n = 0;
+  while (fire_next()) ++n;
+  return n;
+}
+
+std::size_t Scheduler::run_until(SimTime t) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    if (callbacks_.find(e.id) == callbacks_.end()) {
+      queue_.pop();
+      assert(cancelled_ > 0);
+      --cancelled_;
+      continue;
+    }
+    if (e.time > t) break;
+    if (fire_next()) ++n;
+  }
+  if (now_ < t) now_ = t;
+  return n;
+}
+
+bool Scheduler::step() { return fire_next(); }
+
+}  // namespace hcm::sim

@@ -1,0 +1,132 @@
+#include "soap/envelope.hpp"
+
+#include "soap/value_xml.hpp"
+#include "xml/xml.hpp"
+
+namespace hcm::soap {
+
+namespace {
+
+constexpr const char* kEnvNs = "http://schemas.xmlsoap.org/soap/envelope/";
+constexpr const char* kEncNs = "http://schemas.xmlsoap.org/soap/encoding/";
+constexpr const char* kXsdNs = "http://www.w3.org/2001/XMLSchema";
+constexpr const char* kXsiNs = "http://www.w3.org/2001/XMLSchema-instance";
+
+xml::ElementPtr make_envelope() {
+  auto env = std::make_unique<xml::Element>("SOAP-ENV:Envelope");
+  env->set_attr("xmlns:SOAP-ENV", kEnvNs);
+  env->set_attr("xmlns:SOAP-ENC", kEncNs);
+  env->set_attr("xmlns:xsd", kXsdNs);
+  env->set_attr("xmlns:xsi", kXsiNs);
+  env->set_attr("SOAP-ENV:encodingStyle", kEncNs);
+  return env;
+}
+
+}  // namespace
+
+Status Fault::to_status() const {
+  // Client faults map to invalid argument; server faults carry the
+  // status code we tunneled in the detail field when possible.
+  if (detail.rfind("status:", 0) == 0) {
+    auto rest = detail.substr(7);
+    auto colon = rest.find(':');
+    std::string code_name = rest.substr(0, colon);
+    std::string msg = colon == std::string::npos ? string : rest.substr(colon + 1);
+    for (int i = 0; i <= static_cast<int>(StatusCode::kResourceExhausted); ++i) {
+      auto status_code = static_cast<StatusCode>(i);
+      if (code_name == hcm::to_string(status_code)) {
+        return {status_code, msg};
+      }
+    }
+  }
+  if (code.find("Client") != std::string::npos) {
+    return invalid_argument(string);
+  }
+  return internal_error(string);
+}
+
+Fault Fault::from_status(const Status& status) {
+  Fault f;
+  f.code = status.code() == StatusCode::kInvalidArgument ? "SOAP-ENV:Client"
+                                                         : "SOAP-ENV:Server";
+  f.string = status.message();
+  f.detail = std::string("status:") + hcm::to_string(status.code()) + ":" +
+             status.message();
+  return f;
+}
+
+std::string build_call(const std::string& ns, const std::string& method,
+                       const NamedValues& params) {
+  auto env = make_envelope();
+  auto& body = env->add_child("SOAP-ENV:Body");
+  auto& call = body.add_child("m:" + method);
+  call.set_attr("xmlns:m", ns);
+  for (const auto& [name, value] : params) {
+    value_to_xml(name, value, call);
+  }
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>" + env->to_string();
+}
+
+std::string build_response(const std::string& ns, const std::string& method,
+                           const Value& result) {
+  auto env = make_envelope();
+  auto& body = env->add_child("SOAP-ENV:Body");
+  auto& resp = body.add_child("m:" + method + "Response");
+  resp.set_attr("xmlns:m", ns);
+  value_to_xml("return", result, resp);
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>" + env->to_string();
+}
+
+std::string build_fault(const Fault& fault) {
+  auto env = make_envelope();
+  auto& body = env->add_child("SOAP-ENV:Body");
+  auto& f = body.add_child("SOAP-ENV:Fault");
+  f.add_child("faultcode").set_text(fault.code);
+  f.add_child("faultstring").set_text(fault.string);
+  if (!fault.detail.empty()) f.add_child("detail").set_text(fault.detail);
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>" + env->to_string();
+}
+
+Result<Envelope> parse_envelope(std::string_view body_text) {
+  auto doc = xml::parse(body_text);
+  if (!doc.is_ok()) return doc.status();
+  const xml::Element& root = *doc.value();
+  if (root.local_name() != "Envelope") {
+    return protocol_error("not a SOAP envelope: " + root.name());
+  }
+  const auto* body = root.child("Body");
+  if (body == nullptr) return protocol_error("SOAP envelope without Body");
+  if (body->children().empty()) {
+    return protocol_error("SOAP Body is empty");
+  }
+  const xml::Element& op = *body->children().front();
+
+  Envelope env;
+  if (op.local_name() == "Fault") {
+    env.is_fault = true;
+    if (const auto* c = op.child("faultcode")) env.fault.code = c->text();
+    if (const auto* c = op.child("faultstring")) env.fault.string = c->text();
+    if (const auto* c = op.child("detail")) env.fault.detail = c->text();
+    return env;
+  }
+
+  env.method = std::string(op.local_name());
+  // Namespace: the xmlns:<prefix> attribute matching the element prefix,
+  // or default xmlns.
+  auto colon = op.name().find(':');
+  if (colon != std::string::npos) {
+    std::string prefix = op.name().substr(0, colon);
+    if (const auto* ns = op.attr("xmlns:" + prefix)) env.method_ns = *ns;
+  } else if (const auto* ns = op.attr("xmlns")) {
+    env.method_ns = *ns;
+  }
+  for (const auto& child : op.children()) {
+    auto value = value_from_xml(*child);
+    if (!value.is_ok()) return value.status();
+    env.params.emplace_back(std::string(child->local_name()),
+                            std::move(value).take());
+  }
+  return env;
+}
+
+}  // namespace hcm::soap

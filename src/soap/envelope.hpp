@@ -1,0 +1,44 @@
+// SOAP 1.1 envelope construction and parsing (RPC style, section-5
+// encoding) — the control half of the VSG wire protocol.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+
+namespace hcm::soap {
+
+struct Fault {
+  std::string code;    // e.g. "SOAP-ENV:Server"
+  std::string string;  // human-readable
+  std::string detail;
+
+  [[nodiscard]] Status to_status() const;
+  static Fault from_status(const Status& status);
+};
+
+using NamedValues = std::vector<std::pair<std::string, Value>>;
+
+// A parsed RPC envelope: either a call/response body or a fault.
+struct Envelope {
+  bool is_fault = false;
+  Fault fault;
+  std::string method;      // body element local name
+  std::string method_ns;   // body element namespace URI (xmlns attr)
+  NamedValues params;      // in-order child parameters
+};
+
+[[nodiscard]] std::string build_call(const std::string& ns,
+                                     const std::string& method,
+                                     const NamedValues& params);
+[[nodiscard]] std::string build_response(const std::string& ns,
+                                         const std::string& method,
+                                         const Value& result);
+[[nodiscard]] std::string build_fault(const Fault& fault);
+
+[[nodiscard]] Result<Envelope> parse_envelope(std::string_view body);
+
+}  // namespace hcm::soap

@@ -1,0 +1,114 @@
+#include "soap/rpc.hpp"
+
+#include "common/logging.hpp"
+
+namespace hcm::soap {
+
+namespace {
+http::Response soap_response(int status, const std::string& reason,
+                             std::string body) {
+  auto resp = http::Response::make(status, reason, std::move(body),
+                                   "text/xml; charset=utf-8");
+  return resp;
+}
+}  // namespace
+
+SoapService::SoapService(http::HttpServer& http_server, std::string path)
+    : http_server_(http_server), path_(std::move(path)) {
+  http_server_.route(path_, [this](const http::Request& req,
+                                   http::RespondFn respond) {
+    handle(req, std::move(respond));
+  });
+}
+
+SoapService::~SoapService() { http_server_.remove_route(path_); }
+
+void SoapService::register_method(const std::string& method,
+                                  MethodHandler handler) {
+  methods_[method] = std::move(handler);
+}
+
+void SoapService::unregister_method(const std::string& method) {
+  methods_.erase(method);
+}
+
+void SoapService::handle(const http::Request& req, http::RespondFn respond) {
+  if (req.method != "POST") {
+    respond(soap_response(405, "Method Not Allowed",
+                          build_fault(Fault{"SOAP-ENV:Client",
+                                            "SOAP requires POST", ""})));
+    return;
+  }
+  auto env = parse_envelope(req.body);
+  if (!env.is_ok()) {
+    respond(soap_response(
+        400, "Bad Request",
+        build_fault(Fault::from_status(env.status()))));
+    return;
+  }
+  if (env.value().is_fault) {
+    respond(soap_response(
+        400, "Bad Request",
+        build_fault(Fault{"SOAP-ENV:Client", "fault sent as request", ""})));
+    return;
+  }
+  ++calls_handled_;
+  const auto& call = env.value();
+  auto it = methods_.find(call.method);
+  if (it == methods_.end()) {
+    respond(soap_response(
+        500, "Internal Server Error",
+        build_fault(Fault::from_status(
+            not_found("no such method: " + call.method)))));
+    return;
+  }
+  auto ns = call.method_ns.empty() ? "urn:hcm" : call.method_ns;
+  it->second(call.params,
+             [respond = std::move(respond), ns, method = call.method](
+                 Result<Value> result) {
+               if (result.is_ok()) {
+                 respond(soap_response(
+                     200, "OK", build_response(ns, method, result.value())));
+               } else {
+                 respond(soap_response(
+                     500, "Internal Server Error",
+                     build_fault(Fault::from_status(result.status()))));
+               }
+             });
+}
+
+void SoapClient::call(net::Endpoint dest, const std::string& path,
+                      const std::string& ns, const std::string& method,
+                      const NamedValues& params, CallResultFn done) {
+  ++calls_sent_;
+  http::Request req;
+  req.method = "POST";
+  req.target = path;
+  req.body = build_call(ns, method, params);
+  req.set_header("Content-Type", "text/xml; charset=utf-8");
+  req.set_header("SOAPAction", "\"" + ns + "#" + method + "\"");
+  http_.request(dest, std::move(req),
+                [done = std::move(done)](Result<http::Response> resp) {
+                  if (!resp.is_ok()) {
+                    done(resp.status());
+                    return;
+                  }
+                  auto env = parse_envelope(resp.value().body);
+                  if (!env.is_ok()) {
+                    done(env.status());
+                    return;
+                  }
+                  if (env.value().is_fault) {
+                    done(env.value().fault.to_status());
+                    return;
+                  }
+                  // RPC convention: single <return> child (or first param).
+                  if (env.value().params.empty()) {
+                    done(Value());
+                  } else {
+                    done(env.value().params.front().second);
+                  }
+                });
+}
+
+}  // namespace hcm::soap

@@ -1,0 +1,70 @@
+// SOAP RPC endpoints: a server that dispatches envelope calls to
+// registered method handlers, and a client that issues calls. These are
+// the exact mechanics the Virtual Service Gateway speaks between
+// middleware islands.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "http/client.hpp"
+#include "http/server.hpp"
+#include "soap/envelope.hpp"
+
+namespace hcm::soap {
+
+using CallResultFn = std::function<void(Result<Value>)>;
+// A method handler: receives named params, answers asynchronously.
+using MethodHandler =
+    std::function<void(const NamedValues& params, CallResultFn done)>;
+
+// Dispatch service mounted at a path on an HttpServer. Multiple
+// SoapServices can share one HttpServer (one per mounted path).
+class SoapService {
+ public:
+  SoapService(http::HttpServer& http_server, std::string path);
+  ~SoapService();
+  SoapService(const SoapService&) = delete;
+  SoapService& operator=(const SoapService&) = delete;
+
+  void register_method(const std::string& method, MethodHandler handler);
+  void unregister_method(const std::string& method);
+  [[nodiscard]] bool has_method(const std::string& method) const {
+    return methods_.count(method) != 0;
+  }
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] std::uint64_t calls_handled() const { return calls_handled_; }
+
+ private:
+  void handle(const http::Request& req, http::RespondFn respond);
+
+  http::HttpServer& http_server_;
+  std::string path_;
+  std::map<std::string, MethodHandler> methods_;
+  std::uint64_t calls_handled_ = 0;
+};
+
+// Client-side SOAP call helper.
+class SoapClient {
+ public:
+  SoapClient(net::Network& net, net::NodeId node,
+             http::HttpClient::Options options = http::HttpClient::Options{})
+      : http_(net, node, options) {}
+
+  // Invokes `method` at dest/path. The result callback receives the
+  // decoded return value or the fault converted back to a Status.
+  void call(net::Endpoint dest, const std::string& path,
+            const std::string& ns, const std::string& method,
+            const NamedValues& params, CallResultFn done);
+
+  [[nodiscard]] std::uint64_t calls_sent() const { return calls_sent_; }
+
+ private:
+  http::HttpClient http_;
+  std::uint64_t calls_sent_ = 0;
+};
+
+}  // namespace hcm::soap

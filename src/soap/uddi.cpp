@@ -1,0 +1,193 @@
+#include "soap/uddi.hpp"
+
+namespace hcm::soap {
+
+namespace {
+constexpr const char* kNs = "urn:hcm:uddi";
+
+const Value& param(const NamedValues& params, const std::string& name) {
+  static const Value kNull;
+  for (const auto& [k, v] : params) {
+    if (k == name) return v;
+  }
+  return kNull;
+}
+}  // namespace
+
+UddiRegistry::UddiRegistry(http::HttpServer& http_server,
+                           sim::Scheduler& sched, std::string path)
+    : sched_(sched), service_(http_server, std::move(path)) {
+  service_.register_method(
+      "publish", [this](const NamedValues& params, CallResultFn done) {
+        const auto& name = param(params, "name");
+        const auto& wsdl = param(params, "wsdl");
+        if (!name.is_string() || name.as_string().empty() ||
+            !wsdl.is_string()) {
+          done(invalid_argument("publish requires name and wsdl"));
+          return;
+        }
+        RegistryEntry e;
+        e.name = name.as_string();
+        e.category = param(params, "category").is_string()
+                         ? param(params, "category").as_string()
+                         : "";
+        e.origin = param(params, "origin").is_string()
+                       ? param(params, "origin").as_string()
+                       : "";
+        e.wsdl = wsdl.as_string();
+        auto ttl = param(params, "ttl");
+        e.expires_at =
+            ttl.is_int() && ttl.as_int() > 0 ? sched_.now() + ttl.as_int() : 0;
+        entries_[e.name] = std::move(e);
+        ++publishes_;
+        done(Value(true));
+      });
+
+  service_.register_method(
+      "unpublish", [this](const NamedValues& params, CallResultFn done) {
+        const auto& name = param(params, "name");
+        if (!name.is_string()) {
+          done(invalid_argument("unpublish requires name"));
+          return;
+        }
+        done(Value(entries_.erase(name.as_string()) > 0));
+      });
+
+  service_.register_method(
+      "find", [this](const NamedValues& params, CallResultFn done) {
+        prune();
+        const auto& category = param(params, "category");
+        ValueList out;
+        for (const auto& [name, e] : entries_) {
+          if (category.is_string() && !category.as_string().empty() &&
+              e.category != category.as_string()) {
+            continue;
+          }
+          out.push_back(entry_to_value(e));
+        }
+        done(Value(std::move(out)));
+      });
+
+  service_.register_method(
+      "lookup", [this](const NamedValues& params, CallResultFn done) {
+        prune();
+        const auto& name = param(params, "name");
+        if (!name.is_string()) {
+          done(invalid_argument("lookup requires name"));
+          return;
+        }
+        auto it = entries_.find(name.as_string());
+        if (it == entries_.end()) {
+          done(not_found("no registry entry: " + name.as_string()));
+          return;
+        }
+        done(entry_to_value(it->second));
+      });
+
+  service_.register_method(
+      "list", [this](const NamedValues&, CallResultFn done) {
+        prune();
+        ValueList out;
+        for (const auto& [name, e] : entries_) out.push_back(entry_to_value(e));
+        done(Value(std::move(out)));
+      });
+}
+
+void UddiRegistry::prune() {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->second.expires_at != 0 && it->second.expires_at <= sched_.now()) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t UddiRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& [name, e] : entries_) {
+    if (e.expires_at == 0 || e.expires_at > sched_.now()) ++n;
+  }
+  return n;
+}
+
+Value UddiRegistry::entry_to_value(const RegistryEntry& e) const {
+  ValueMap m;
+  m["name"] = e.name;
+  m["category"] = e.category;
+  m["origin"] = e.origin;
+  m["wsdl"] = e.wsdl;
+  return Value(std::move(m));
+}
+
+Result<RegistryEntry> UddiClient::entry_from_value(const Value& v) {
+  if (!v.is_map()) return protocol_error("registry entry is not a struct");
+  RegistryEntry e;
+  e.name = v.at("name").is_string() ? v.at("name").as_string() : "";
+  e.category = v.at("category").is_string() ? v.at("category").as_string() : "";
+  e.origin = v.at("origin").is_string() ? v.at("origin").as_string() : "";
+  e.wsdl = v.at("wsdl").is_string() ? v.at("wsdl").as_string() : "";
+  if (e.name.empty()) return protocol_error("registry entry missing name");
+  return e;
+}
+
+void UddiClient::publish(const RegistryEntry& entry, sim::Duration ttl,
+                         DoneFn done) {
+  NamedValues params{{"name", Value(entry.name)},
+                     {"category", Value(entry.category)},
+                     {"origin", Value(entry.origin)},
+                     {"wsdl", Value(entry.wsdl)},
+                     {"ttl", Value(static_cast<std::int64_t>(ttl))}};
+  client_.call(registry_, path_, kNs, "publish", params,
+               [done = std::move(done)](Result<Value> r) {
+                 done(r.is_ok() ? Status::ok() : r.status());
+               });
+}
+
+void UddiClient::unpublish(const std::string& name, DoneFn done) {
+  client_.call(registry_, path_, kNs, "unpublish", {{"name", Value(name)}},
+               [done = std::move(done)](Result<Value> r) {
+                 done(r.is_ok() ? Status::ok() : r.status());
+               });
+}
+
+void UddiClient::find_by_category(const std::string& category,
+                                  EntriesFn done) {
+  client_.call(registry_, path_, kNs, "find",
+               {{"category", Value(category)}},
+               [done = std::move(done)](Result<Value> r) {
+                 if (!r.is_ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 if (!r.value().is_list()) {
+                   done(protocol_error("find result is not an array"));
+                   return;
+                 }
+                 std::vector<RegistryEntry> out;
+                 for (const auto& item : r.value().as_list()) {
+                   auto e = entry_from_value(item);
+                   if (!e.is_ok()) {
+                     done(e.status());
+                     return;
+                   }
+                   out.push_back(std::move(e).take());
+                 }
+                 done(std::move(out));
+               });
+}
+
+void UddiClient::lookup(const std::string& name, EntryFn done) {
+  client_.call(registry_, path_, kNs, "lookup", {{"name", Value(name)}},
+               [done = std::move(done)](Result<Value> r) {
+                 if (!r.is_ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 done(entry_from_value(r.value()));
+               });
+}
+
+void UddiClient::list_all(EntriesFn done) { find_by_category("", std::move(done)); }
+
+}  // namespace hcm::soap

@@ -1,0 +1,71 @@
+// UDDI-like registry: the concrete backing store of the paper's Virtual
+// Service Repository when the VSG protocol is SOAP (§3.3: "the VSR will
+// be implemented with WSDL and UDDI"). It is itself a SOAP service, so
+// every island reaches it through the same wire protocol.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "soap/rpc.hpp"
+#include "soap/wsdl.hpp"
+
+namespace hcm::soap {
+
+struct RegistryEntry {
+  std::string name;      // globally unique deployed-service name
+  std::string category;  // e.g. interface name ("VcrControl")
+  std::string origin;    // island that published it ("jini-island")
+  std::string wsdl;      // full WSDL document
+  sim::SimTime expires_at = 0;  // 0 = no lease
+};
+
+// Server side: mounts "publish"/"unpublish"/"find"/"lookup"/"list"
+// methods on a SoapService at `path` of an HttpServer.
+class UddiRegistry {
+ public:
+  UddiRegistry(http::HttpServer& http_server, sim::Scheduler& sched,
+               std::string path = "/uddi");
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
+
+ private:
+  void prune();
+  Value entry_to_value(const RegistryEntry& e) const;
+
+  sim::Scheduler& sched_;
+  SoapService service_;
+  std::map<std::string, RegistryEntry> entries_;
+  std::uint64_t publishes_ = 0;
+};
+
+// Client-side typed wrapper used by VSGs/PCMs on every island.
+class UddiClient {
+ public:
+  UddiClient(net::Network& net, net::NodeId node, net::Endpoint registry,
+             std::string path = "/uddi")
+      : client_(net, node), registry_(registry), path_(std::move(path)) {}
+
+  using DoneFn = std::function<void(const Status&)>;
+  using EntriesFn = std::function<void(Result<std::vector<RegistryEntry>>)>;
+  using EntryFn = std::function<void(Result<RegistryEntry>)>;
+
+  // ttl of 0 means no expiry; otherwise the entry lapses unless
+  // republished (lease-style, mirroring Jini's lease discipline).
+  void publish(const RegistryEntry& entry, sim::Duration ttl, DoneFn done);
+  void unpublish(const std::string& name, DoneFn done);
+  void find_by_category(const std::string& category, EntriesFn done);
+  void lookup(const std::string& name, EntryFn done);
+  void list_all(EntriesFn done);
+
+ private:
+  static Result<RegistryEntry> entry_from_value(const Value& v);
+
+  SoapClient client_;
+  net::Endpoint registry_;
+  std::string path_;
+};
+
+}  // namespace hcm::soap

@@ -1,0 +1,157 @@
+#include "soap/value_xml.hpp"
+
+#include <charconv>
+
+#include "common/base64.hpp"
+#include "common/strings.hpp"
+
+namespace hcm::soap {
+
+const char* xsi_type_for(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "xsd:anyType";
+    case ValueType::kBool: return "xsd:boolean";
+    case ValueType::kInt: return "xsd:long";
+    case ValueType::kDouble: return "xsd:double";
+    case ValueType::kString: return "xsd:string";
+    case ValueType::kBytes: return "xsd:base64Binary";
+    case ValueType::kList: return "SOAP-ENC:Array";
+    case ValueType::kMap: return "xsd:struct";
+  }
+  return "xsd:anyType";
+}
+
+ValueType value_type_for_xsi(std::string_view xsi) {
+  auto colon = xsi.find(':');
+  auto local = colon == std::string_view::npos ? xsi : xsi.substr(colon + 1);
+  if (local == "boolean") return ValueType::kBool;
+  if (local == "int" || local == "long" || local == "short" ||
+      local == "integer" || local == "byte") {
+    return ValueType::kInt;
+  }
+  if (local == "double" || local == "float" || local == "decimal") {
+    return ValueType::kDouble;
+  }
+  if (local == "string") return ValueType::kString;
+  if (local == "base64Binary" || local == "base64") return ValueType::kBytes;
+  if (local == "Array") return ValueType::kList;
+  if (local == "struct" || local == "Struct") return ValueType::kMap;
+  return ValueType::kNull;
+}
+
+void value_to_xml(const std::string& name, const Value& v,
+                  xml::Element& parent) {
+  auto& elem = parent.add_child(name);
+  elem.set_attr("xsi:type", xsi_type_for(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      elem.set_attr("xsi:nil", "true");
+      break;
+    case ValueType::kBool:
+      elem.set_text(v.as_bool() ? "true" : "false");
+      break;
+    case ValueType::kInt:
+      elem.set_text(std::to_string(v.as_int()));
+      break;
+    case ValueType::kDouble: {
+      char buf[64];
+      auto [end, ec] =
+          std::to_chars(buf, buf + sizeof(buf), v.as_double(),
+                        std::chars_format::general, 17);
+      elem.set_text(std::string(buf, end));
+      break;
+    }
+    case ValueType::kString:
+      elem.set_text(v.as_string());
+      break;
+    case ValueType::kBytes:
+      elem.set_text(base64_encode(v.as_bytes()));
+      break;
+    case ValueType::kList:
+      for (const auto& item : v.as_list()) value_to_xml("item", item, elem);
+      break;
+    case ValueType::kMap:
+      for (const auto& [k, item] : v.as_map()) value_to_xml(k, item, elem);
+      break;
+  }
+}
+
+Result<Value> value_from_xml(const xml::Element& elem) {
+  if (const auto* nil = elem.attr_local("nil");
+      nil != nullptr && (*nil == "true" || *nil == "1")) {
+    return Value();
+  }
+  ValueType type = ValueType::kNull;
+  if (const auto* xsi = elem.attr_local("type")) {
+    type = value_type_for_xsi(*xsi);
+  }
+  if (type == ValueType::kNull) {
+    // Untyped: infer structure.
+    if (!elem.children().empty()) {
+      type = ValueType::kMap;
+    } else if (!elem.text().empty()) {
+      type = ValueType::kString;
+    } else {
+      return Value();
+    }
+  }
+  switch (type) {
+    case ValueType::kBool: {
+      const std::string text = elem.text();
+      auto t = trim(text);
+      if (t == "true" || t == "1") return Value(true);
+      if (t == "false" || t == "0") return Value(false);
+      return protocol_error("bad boolean: " + std::string(t));
+    }
+    case ValueType::kInt: {
+      const std::string text = elem.text();
+      auto t = trim(text);
+      std::int64_t out = 0;
+      auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+      if (ec != std::errc{} || p != t.data() + t.size()) {
+        return protocol_error("bad integer: " + std::string(t));
+      }
+      return Value(out);
+    }
+    case ValueType::kDouble: {
+      const std::string text = elem.text();
+      auto t = trim(text);
+      double out = 0;
+      auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+      if (ec != std::errc{} || p != t.data() + t.size()) {
+        return protocol_error("bad double: " + std::string(t));
+      }
+      return Value(out);
+    }
+    case ValueType::kString:
+      return Value(elem.text());
+    case ValueType::kBytes: {
+      auto bytes = base64_decode(elem.text());
+      if (!bytes.is_ok()) return bytes.status();
+      return Value(std::move(bytes).take());
+    }
+    case ValueType::kList: {
+      ValueList list;
+      for (const auto& c : elem.children()) {
+        auto item = value_from_xml(*c);
+        if (!item.is_ok()) return item.status();
+        list.push_back(std::move(item).take());
+      }
+      return Value(std::move(list));
+    }
+    case ValueType::kMap: {
+      ValueMap map;
+      for (const auto& c : elem.children()) {
+        auto item = value_from_xml(*c);
+        if (!item.is_ok()) return item.status();
+        map.emplace(std::string(c->local_name()), std::move(item).take());
+      }
+      return Value(std::move(map));
+    }
+    case ValueType::kNull:
+      return Value();
+  }
+  return protocol_error("unhandled value type");
+}
+
+}  // namespace hcm::soap

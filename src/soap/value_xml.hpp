@@ -1,0 +1,23 @@
+// Value <-> SOAP section-5 encoded XML, with xsi:type annotations —
+// the data half of the VSG wire protocol.
+#pragma once
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+#include "xml/xml.hpp"
+
+namespace hcm::soap {
+
+// Appends a child element <name xsi:type=...>...</name> encoding v.
+void value_to_xml(const std::string& name, const Value& v, xml::Element& parent);
+
+// Decodes an encoded element produced by value_to_xml (or by any SOAP
+// peer using xsd/SOAP-ENC types).
+[[nodiscard]] Result<Value> value_from_xml(const xml::Element& elem);
+
+// The xsi:type string used for a ValueType ("xsd:long", "xsd:string", ...).
+[[nodiscard]] const char* xsi_type_for(ValueType t);
+// Maps an xsi:type string back to a ValueType (kNull when unknown).
+[[nodiscard]] ValueType value_type_for_xsi(std::string_view xsi);
+
+}  // namespace hcm::soap

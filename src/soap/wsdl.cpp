@@ -1,0 +1,157 @@
+#include "soap/wsdl.hpp"
+
+#include <map>
+
+#include "soap/value_xml.hpp"
+#include "xml/xml.hpp"
+
+namespace hcm::soap {
+
+const char* wsdl_type_for(ValueType t) { return xsi_type_for(t); }
+
+ValueType value_type_for_wsdl(std::string_view name) {
+  return value_type_for_xsi(name);
+}
+
+std::string emit_wsdl(const InterfaceDesc& iface,
+                      const std::string& service_name, const Uri& endpoint) {
+  const std::string tns = "urn:hcm:" + iface.name;
+  xml::Element defs("wsdl:definitions");
+  defs.set_attr("name", iface.name);
+  defs.set_attr("targetNamespace", tns);
+  defs.set_attr("xmlns:wsdl", "http://schemas.xmlsoap.org/wsdl/");
+  defs.set_attr("xmlns:soap", "http://schemas.xmlsoap.org/wsdl/soap/");
+  defs.set_attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
+  defs.set_attr("xmlns:tns", tns);
+
+  // <message> pairs per operation.
+  for (const auto& m : iface.methods) {
+    auto& input = defs.add_child("wsdl:message");
+    input.set_attr("name", m.name + "Input");
+    for (const auto& p : m.params) {
+      auto& part = input.add_child("wsdl:part");
+      part.set_attr("name", p.name);
+      part.set_attr("type", wsdl_type_for(p.type));
+    }
+    if (!m.one_way) {
+      auto& output = defs.add_child("wsdl:message");
+      output.set_attr("name", m.name + "Output");
+      auto& part = output.add_child("wsdl:part");
+      part.set_attr("name", "return");
+      part.set_attr("type", wsdl_type_for(m.return_type));
+    }
+  }
+
+  // <portType> with operations.
+  auto& port_type = defs.add_child("wsdl:portType");
+  port_type.set_attr("name", iface.name + "PortType");
+  for (const auto& m : iface.methods) {
+    auto& op = port_type.add_child("wsdl:operation");
+    op.set_attr("name", m.name);
+    op.add_child("wsdl:input").set_attr("message", "tns:" + m.name + "Input");
+    if (!m.one_way) {
+      op.add_child("wsdl:output")
+          .set_attr("message", "tns:" + m.name + "Output");
+    }
+  }
+
+  // <binding>: rpc/encoded over SOAP-HTTP.
+  auto& binding = defs.add_child("wsdl:binding");
+  binding.set_attr("name", iface.name + "Binding");
+  binding.set_attr("type", "tns:" + iface.name + "PortType");
+  auto& soap_binding = binding.add_child("soap:binding");
+  soap_binding.set_attr("style", "rpc");
+  soap_binding.set_attr("transport", "http://schemas.xmlsoap.org/soap/http");
+
+  // <service> with the endpoint address.
+  auto& service = defs.add_child("wsdl:service");
+  service.set_attr("name", service_name);
+  auto& port = service.add_child("wsdl:port");
+  port.set_attr("name", iface.name + "Port");
+  port.set_attr("binding", "tns:" + iface.name + "Binding");
+  port.add_child("soap:address").set_attr("location", endpoint.to_string());
+
+  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>" + defs.to_string();
+}
+
+Result<WsdlDocument> parse_wsdl(std::string_view text) {
+  auto doc = xml::parse(text);
+  if (!doc.is_ok()) return doc.status();
+  const xml::Element& defs = *doc.value();
+  if (defs.local_name() != "definitions") {
+    return protocol_error("not a WSDL document: " + defs.name());
+  }
+  WsdlDocument out;
+  if (const auto* name = defs.attr("name")) out.interface.name = *name;
+
+  // Collect messages: name -> parts.
+  struct Part {
+    std::string name;
+    ValueType type;
+  };
+  std::map<std::string, std::vector<Part>> messages;
+  for (const auto* msg : defs.children_named("message")) {
+    const auto* mname = msg->attr("name");
+    if (mname == nullptr) continue;
+    auto& parts = messages[*mname];
+    for (const auto* part : msg->children_named("part")) {
+      Part p;
+      if (const auto* pn = part->attr("name")) p.name = *pn;
+      p.type = ValueType::kNull;
+      if (const auto* pt = part->attr("type")) {
+        p.type = value_type_for_wsdl(*pt);
+      }
+      parts.push_back(std::move(p));
+    }
+  }
+
+  auto strip_tns = [](const std::string& s) {
+    auto colon = s.find(':');
+    return colon == std::string::npos ? s : s.substr(colon + 1);
+  };
+
+  // Port type -> methods.
+  const auto* port_type = defs.child("portType");
+  if (port_type == nullptr) return protocol_error("WSDL without portType");
+  for (const auto* op : port_type->children_named("operation")) {
+    MethodDesc method;
+    if (const auto* oname = op->attr("name")) method.name = *oname;
+    const auto* input = op->child("input");
+    if (input != nullptr) {
+      if (const auto* msg_ref = input->attr("message")) {
+        for (const auto& part : messages[strip_tns(*msg_ref)]) {
+          method.params.push_back({part.name, part.type});
+        }
+      }
+    }
+    const auto* output = op->child("output");
+    if (output == nullptr) {
+      method.one_way = true;
+    } else if (const auto* msg_ref = output->attr("message")) {
+      const auto& parts = messages[strip_tns(*msg_ref)];
+      if (!parts.empty()) method.return_type = parts.front().type;
+    }
+    out.interface.methods.push_back(std::move(method));
+  }
+
+  // Service / endpoint.
+  const auto* service = defs.child("service");
+  if (service != nullptr) {
+    if (const auto* sname = service->attr("name")) out.service_name = *sname;
+    if (const auto* port = service->child("port")) {
+      if (const auto* addr = port->child("address")) {
+        if (const auto* loc = addr->attr("location")) {
+          auto uri = parse_uri(*loc);
+          if (!uri.is_ok()) return uri.status();
+          out.endpoint = uri.value();
+        }
+      }
+    }
+  }
+  if (out.interface.name.empty()) {
+    return protocol_error("WSDL definitions missing name");
+  }
+  return out;
+}
+
+}  // namespace hcm::soap

@@ -1,0 +1,33 @@
+// WSDL 1.1 emit/parse for service interfaces. The Virtual Service
+// Repository stores these documents; Server Proxies are generated from
+// parsed WSDL on the consuming island (paper §3.3, §4.1).
+#pragma once
+
+#include <string>
+
+#include "common/interface_desc.hpp"
+#include "common/status.hpp"
+#include "common/uri.hpp"
+
+namespace hcm::soap {
+
+struct WsdlDocument {
+  InterfaceDesc interface;
+  std::string service_name;  // deployed service instance name
+  Uri endpoint;              // soap:address location
+};
+
+// Emits a WSDL 1.1 document (rpc/encoded binding) for the interface,
+// advertising `endpoint` as the SOAP address.
+[[nodiscard]] std::string emit_wsdl(const InterfaceDesc& iface,
+                                    const std::string& service_name,
+                                    const Uri& endpoint);
+
+// Parses a document produced by emit_wsdl (or a compatible subset).
+[[nodiscard]] Result<WsdlDocument> parse_wsdl(std::string_view text);
+
+// xsd type name for a ValueType, and back.
+[[nodiscard]] const char* wsdl_type_for(ValueType t);
+[[nodiscard]] ValueType value_type_for_wsdl(std::string_view name);
+
+}  // namespace hcm::soap

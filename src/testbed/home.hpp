@@ -1,0 +1,126 @@
+// The canonical simulated smart home — the paper's Figure 3 topology:
+// a Jini island on Ethernet (laserdisc player, lookup service), a HAVi
+// island on IEEE1394 (VCR, DV camera, display, tuner behind a FAV
+// controller), an X10 island on the powerline (lamp, fan, motion
+// sensor, hand-held remote), an Internet mail service, and the meta-
+// middleware (VSR + one VSG/PCM per island) connecting them. Tests,
+// benches and examples all build on this so the topology is stated once.
+#pragma once
+
+#include <memory>
+
+#include "core/adapters/havi_adapter.hpp"
+#include "core/adapters/jini_adapter.hpp"
+#include "core/adapters/mail_adapter.hpp"
+#include "core/adapters/x10_adapter.hpp"
+#include "core/meta.hpp"
+#include "havi/dcm.hpp"
+#include "havi/fcm_av.hpp"
+#include "jini/lookup.hpp"
+#include "jini/registrar.hpp"
+#include "mail/mail.hpp"
+#include "x10/cm11a.hpp"
+#include "x10/device.hpp"
+
+namespace hcm::testbed {
+
+// The Jini-native laserdisc player of Fig. 5 ("controlling a Jini
+// Laserdisc with an X10 remote controller").
+class LaserdiscPlayer {
+ public:
+  LaserdiscPlayer(net::Network& net, net::NodeId node,
+                  net::Endpoint lookup_endpoint);
+
+  static InterfaceDesc describe_interface();
+
+  [[nodiscard]] bool powered() const { return powered_; }
+  [[nodiscard]] bool playing() const { return playing_; }
+  [[nodiscard]] std::uint64_t commands() const { return commands_; }
+
+ private:
+  void handle(const std::string& method, const ValueList& args,
+              InvokeResultFn done);
+
+  jini::Exporter exporter_;
+  std::unique_ptr<jini::Registrar> registrar_;
+  bool powered_ = false;
+  bool playing_ = false;
+  std::uint64_t commands_ = 0;
+};
+
+struct SmartHomeOptions {
+  core::VsgProtocol protocol = core::VsgProtocol::kSoap;
+  bool include_mail_island = true;
+  sim::Duration mail_poll = sim::seconds(5);
+};
+
+class SmartHome {
+ public:
+  explicit SmartHome(sim::Scheduler& sched)
+      : SmartHome(sched, SmartHomeOptions{}) {}
+  SmartHome(sim::Scheduler& sched, const SmartHomeOptions& options);
+  SmartHome(const SmartHome&) = delete;
+  SmartHome& operator=(const SmartHome&) = delete;
+
+  // Runs meta.refresh_all and drains the scheduler; returns its status.
+  Status refresh();
+
+  sim::Scheduler& sched;
+  net::Network net;
+
+  // --- backbone + VSR ---------------------------------------------------
+  net::EthernetSegment* backbone = nullptr;
+  net::Node* vsr_node = nullptr;
+  std::unique_ptr<core::VsrServer> vsr;
+
+  // --- Jini island --------------------------------------------------------
+  net::EthernetSegment* jini_lan = nullptr;
+  net::Node* jini_gw = nullptr;
+  net::Node* lookup_node = nullptr;
+  net::Node* laserdisc_node = nullptr;
+  std::unique_ptr<jini::LookupService> lookup;
+  std::unique_ptr<LaserdiscPlayer> laserdisc;
+
+  // --- HAVi island ----------------------------------------------------------
+  net::Ieee1394Bus* firewire = nullptr;
+  net::Node* havi_gw = nullptr;   // also the FAV controller
+  net::Node* vcr_node = nullptr;
+  net::Node* camera_node = nullptr;
+  std::unique_ptr<havi::FavController> fav;
+  std::unique_ptr<havi::MessagingSystem> vcr_ms;
+  std::unique_ptr<havi::MessagingSystem> camera_ms;
+  std::unique_ptr<havi::Dcm> vcr_dcm;
+  std::unique_ptr<havi::Dcm> camera_dcm;
+  havi::VcrFcm* vcr = nullptr;
+  havi::DvCameraFcm* camera = nullptr;
+  havi::DisplayFcm* display = nullptr;
+  havi::TunerFcm* tuner = nullptr;
+
+  // --- X10 island ---------------------------------------------------------
+  net::PowerlineSegment* powerline = nullptr;
+  net::Node* x10_gw = nullptr;
+  net::Node* lamp_node = nullptr;
+  net::Node* fan_node = nullptr;
+  net::Node* sensor_node = nullptr;
+  net::Node* remote_node = nullptr;
+  std::unique_ptr<x10::Cm11aController> cm11a;
+  std::unique_ptr<x10::LampModule> lamp;
+  std::unique_ptr<x10::ApplianceModule> fan;
+  std::unique_ptr<x10::MotionSensor> motion_sensor;
+  std::unique_ptr<x10::RemoteControl> remote;
+
+  // --- Mail island -----------------------------------------------------------
+  net::Node* mail_node = nullptr;
+  net::Node* mail_gw = nullptr;
+  std::unique_ptr<mail::MailServer> mail_server;
+
+  // --- meta-middleware ---------------------------------------------------
+  std::unique_ptr<core::MetaMiddleware> meta;
+  // Raw adapter handles (owned by the PCMs inside meta).
+  core::JiniAdapter* jini_adapter = nullptr;
+  core::HaviAdapter* havi_adapter = nullptr;
+  core::X10Adapter* x10_adapter = nullptr;
+  core::MailAdapter* mail_adapter = nullptr;
+};
+
+}  // namespace hcm::testbed

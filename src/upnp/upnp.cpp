@@ -1,0 +1,246 @@
+#include "upnp/upnp.hpp"
+
+#include "common/strings.hpp"
+#include "xml/xml.hpp"
+
+namespace hcm::upnp {
+
+namespace {
+constexpr const char* kSearchMagic = "M-SEARCH * HTTP/1.1";
+std::uint64_t g_udn_counter = 0;
+}  // namespace
+
+UpnpDevice::UpnpDevice(net::Network& net, net::NodeId node,
+                       std::string friendly_name, std::uint16_t http_port)
+    : net_(net),
+      node_(node),
+      friendly_name_(std::move(friendly_name)),
+      udn_("uuid:hcm-" + std::to_string(++g_udn_counter)),
+      http_port_(http_port),
+      http_(net, node, http_port) {}
+
+UpnpDevice::~UpnpDevice() {
+  if (net::Node* n = net_.node(node_)) n->unbind(kSsdpPort);
+}
+
+Status UpnpDevice::start() {
+  net::Node* n = net_.node(node_);
+  if (n == nullptr) return not_found("upnp device: no such node");
+  auto status = http_.start();
+  if (!status.is_ok()) return status;
+  http_.route("/description.xml",
+              [this](const http::Request&, http::RespondFn respond) {
+                respond(http::Response::make(200, "OK", description_xml(),
+                                             "text/xml"));
+              });
+  net_.join_group(node_, kSsdpGroup);
+  status = n->bind(kSsdpPort, [this](net::Endpoint from, const Bytes& data) {
+    on_ssdp(from, data);
+  });
+  if (!status.is_ok()) return status;
+  return Status::ok();
+}
+
+void UpnpDevice::add_service(const std::string& service_id,
+                             InterfaceDesc iface, ServiceHandler handler) {
+  Mounted mounted;
+  mounted.iface = iface;
+  const std::string control_path = "/control/" + service_id;
+  const std::string scpd_path = "/scpd/" + service_id;
+  mounted.control = std::make_unique<soap::SoapService>(http_, control_path);
+  // Every interface method becomes a SOAP action on the control URL.
+  for (const auto& m : iface.methods) {
+    mounted.control->register_method(
+        m.name, [handler, name = m.name](const soap::NamedValues& params,
+                                         soap::CallResultFn done) {
+          ValueList args;
+          args.reserve(params.size());
+          for (const auto& [k, v] : params) args.push_back(v);
+          handler(name, args, std::move(done));
+        });
+  }
+  // SCPD document: we serve WSDL, which carries the same information.
+  Uri endpoint{"http", "node-" + std::to_string(node_), http_port_,
+               control_path};
+  const std::string scpd =
+      soap::emit_wsdl(iface, service_id, endpoint);
+  http_.route(scpd_path, [scpd](const http::Request&,
+                                http::RespondFn respond) {
+    respond(http::Response::make(200, "OK", scpd, "text/xml"));
+  });
+  services_[service_id] = std::move(mounted);
+}
+
+void UpnpDevice::on_ssdp(net::Endpoint from, const Bytes& data) {
+  if (to_string(data).rfind(kSearchMagic, 0) != 0) return;
+  // Unicast response with our description location.
+  std::string resp = "HTTP/1.1 200 OK\r\nLOCATION: http://node-" +
+                     std::to_string(node_) + ":" +
+                     std::to_string(http_port_) +
+                     "/description.xml\r\nUSN: " + udn_ + "\r\n\r\n";
+  net_.send_datagram({node_, kSsdpPort}, from, to_bytes(resp));
+}
+
+std::string UpnpDevice::description_xml() const {
+  xml::Element root("root");
+  root.set_attr("xmlns", "urn:schemas-upnp-org:device-1-0");
+  auto& device = root.add_child("device");
+  device.add_child("friendlyName").set_text(friendly_name_);
+  device.add_child("UDN").set_text(udn_);
+  auto& list = device.add_child("serviceList");
+  for (const auto& [id, mounted] : services_) {
+    auto& svc = list.add_child("service");
+    svc.add_child("serviceId").set_text(id);
+    svc.add_child("controlURL").set_text("/control/" + id);
+    svc.add_child("SCPDURL").set_text("/scpd/" + id);
+  }
+  return "<?xml version=\"1.0\"?>" + root.to_string();
+}
+
+// --- Control point --------------------------------------------------------
+
+ControlPoint::ControlPoint(net::Network& net, net::NodeId node)
+    : net_(net), node_(node), http_(net, node), soap_(net, node) {}
+
+void ControlPoint::search(sim::Duration wait, DevicesFn done) {
+  net::Node* n = net_.node(node_);
+  if (n == nullptr) {
+    done({});
+    return;
+  }
+  auto locations = std::make_shared<std::vector<net::Endpoint>>();
+  const std::uint16_t port = reply_port_++;
+  n->bind(port, [locations](net::Endpoint, const Bytes& data) {
+    // Parse the LOCATION header of the SSDP response.
+    auto text = to_string(data);
+    for (const auto& line : split(text, '\n')) {
+      auto trimmed = trim(line);
+      if (!starts_with(to_lower(trimmed), "location:")) continue;
+      auto uri = parse_uri(std::string(trim(trimmed.substr(9))));
+      if (!uri.is_ok()) continue;
+      // Host form is "node-<id>".
+      auto host = uri.value().host;
+      if (host.rfind("node-", 0) != 0) continue;
+      auto id = parse_uint(host.substr(5));
+      if (id <= 0) continue;
+      locations->push_back(
+          {static_cast<net::NodeId>(id), uri.value().port});
+    }
+  });
+  net_.send_multicast({node_, port}, kSsdpGroup, kSsdpPort,
+                      to_bytes(std::string(kSearchMagic) +
+                               "\r\nMAN: \"ssdp:discover\"\r\n\r\n"));
+
+  net_.scheduler().after(wait, [this, port, locations,
+                                done = std::move(done)] {
+    if (net::Node* n2 = net_.node(node_)) n2->unbind(port);
+    auto devices = std::make_shared<std::vector<DeviceDescription>>();
+    auto remaining = std::make_shared<std::size_t>(locations->size());
+    if (*remaining == 0) {
+      done({});
+      return;
+    }
+    auto done_shared = std::make_shared<DevicesFn>(std::move(done));
+    for (const auto& loc : *locations) {
+      fetch_description(loc, [devices, remaining, done_shared](
+                                 Result<DeviceDescription> r) {
+        if (r.is_ok()) devices->push_back(std::move(r).take());
+        if (--*remaining == 0) (*done_shared)(std::move(*devices));
+      });
+    }
+  });
+}
+
+void ControlPoint::fetch_description(
+    net::Endpoint http_endpoint,
+    std::function<void(Result<DeviceDescription>)> done) {
+  http::Request req;
+  req.target = "/description.xml";
+  http_.request(http_endpoint, std::move(req), [this, http_endpoint,
+                                                done = std::move(done)](
+                                                   Result<http::Response> r) {
+    if (!r.is_ok()) {
+      done(r.status());
+      return;
+    }
+    auto doc = xml::parse(r.value().body);
+    if (!doc.is_ok()) {
+      done(doc.status());
+      return;
+    }
+    const auto* device = doc.value()->child("device");
+    if (device == nullptr) {
+      done(protocol_error("description without device"));
+      return;
+    }
+    auto desc = std::make_shared<DeviceDescription>();
+    if (const auto* fn = device->child("friendlyName")) {
+      desc->friendly_name = fn->text();
+    }
+    if (const auto* udn = device->child("UDN")) desc->udn = udn->text();
+
+    // Fetch each service's SCPD (WSDL) to learn its interface.
+    std::vector<std::pair<std::string, std::string>> scpds;  // id, path
+    if (const auto* list = device->child("serviceList")) {
+      for (const auto* svc : list->children_named("service")) {
+        const auto* id = svc->child("serviceId");
+        const auto* scpd = svc->child("SCPDURL");
+        if (id != nullptr && scpd != nullptr) {
+          scpds.emplace_back(id->text(), scpd->text());
+        }
+      }
+    }
+    auto remaining = std::make_shared<std::size_t>(scpds.size());
+    auto done_shared =
+        std::make_shared<std::function<void(Result<DeviceDescription>)>>(
+            std::move(done));
+    if (scpds.empty()) {
+      (*done_shared)(std::move(*desc));
+      return;
+    }
+    for (const auto& [id, path] : scpds) {
+      http::Request scpd_req;
+      scpd_req.target = path;
+      http_.request(
+          http_endpoint, std::move(scpd_req),
+          [desc, remaining, done_shared, id = id,
+           http_endpoint](Result<http::Response> sr) {
+            if (sr.is_ok()) {
+              auto wsdl = soap::parse_wsdl(sr.value().body);
+              if (wsdl.is_ok()) {
+                ServiceDescription s;
+                s.service_id = id;
+                s.interface = wsdl.value().interface;
+                s.control = {http_endpoint.node, wsdl.value().endpoint.port};
+                s.control_path = wsdl.value().endpoint.path;
+                desc->services.push_back(std::move(s));
+              }
+            }
+            if (--*remaining == 0) (*done_shared)(std::move(*desc));
+          });
+    }
+  });
+}
+
+void ControlPoint::invoke(const ServiceDescription& service,
+                          const std::string& action, const ValueList& args,
+                          InvokeResultFn done) {
+  const MethodDesc* desc = service.interface.find_method(action);
+  if (desc == nullptr) {
+    done(not_found("service has no action " + action));
+    return;
+  }
+  if (auto status = check_args(*desc, args); !status.is_ok()) {
+    done(status);
+    return;
+  }
+  soap::NamedValues params;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    params.emplace_back(desc->params[i].name, args[i]);
+  }
+  soap_.call(service.control, service.control_path,
+             "urn:hcm:" + service.interface.name, action, params,
+             std::move(done));
+}
+
+}  // namespace hcm::upnp

@@ -1,0 +1,99 @@
+// UPnP-like middleware: SSDP-style multicast discovery, XML device
+// descriptions over HTTP, and SOAP control actions. §5 of the paper
+// argues any new middleware joins the framework by writing one PCM —
+// the UPnP PCM in core/ is that demonstration, and this is the
+// middleware it converts.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/service.hpp"
+#include "http/server.hpp"
+#include "soap/rpc.hpp"
+#include "soap/wsdl.hpp"
+
+namespace hcm::upnp {
+
+constexpr net::GroupId kSsdpGroup = 0x55506E50;  // "UPnP"
+constexpr std::uint16_t kSsdpPort = 1900;
+
+// One advertised service of a device.
+struct ServiceDescription {
+  std::string service_id;      // "urn:hcm:svc:lamp-1"
+  InterfaceDesc interface;
+  net::Endpoint control;       // SOAP control endpoint
+  std::string control_path;    // e.g. "/control/lamp-1"
+};
+
+struct DeviceDescription {
+  std::string friendly_name;
+  std::string udn;             // unique device name
+  std::vector<ServiceDescription> services;
+};
+
+// A device: announces itself over SSDP and serves its description,
+// per-service WSDL-style SCPD documents, and SOAP control endpoints.
+class UpnpDevice {
+ public:
+  UpnpDevice(net::Network& net, net::NodeId node, std::string friendly_name,
+             std::uint16_t http_port = 5000);
+  ~UpnpDevice();
+  UpnpDevice(const UpnpDevice&) = delete;
+  UpnpDevice& operator=(const UpnpDevice&) = delete;
+
+  Status start();
+
+  // Adds a controllable service (call before or after start()).
+  void add_service(const std::string& service_id, InterfaceDesc iface,
+                   ServiceHandler handler);
+
+  [[nodiscard]] const std::string& udn() const { return udn_; }
+  [[nodiscard]] net::Endpoint http_endpoint() const {
+    return {node_, http_port_};
+  }
+
+ private:
+  void on_ssdp(net::Endpoint from, const Bytes& data);
+  std::string description_xml() const;
+
+  net::Network& net_;
+  net::NodeId node_;
+  std::string friendly_name_;
+  std::string udn_;
+  std::uint16_t http_port_;
+  http::HttpServer http_;
+  struct Mounted {
+    InterfaceDesc iface;
+    std::unique_ptr<soap::SoapService> control;
+  };
+  std::map<std::string, Mounted> services_;
+};
+
+// Control point: discovers devices and invokes their actions.
+class ControlPoint {
+ public:
+  ControlPoint(net::Network& net, net::NodeId node);
+
+  using DevicesFn = std::function<void(std::vector<DeviceDescription>)>;
+  // M-SEARCH: collects device descriptions for `wait`.
+  void search(sim::Duration wait, DevicesFn done);
+
+  // Invokes an action on a discovered service.
+  void invoke(const ServiceDescription& service, const std::string& action,
+              const ValueList& args, InvokeResultFn done);
+
+ private:
+  void fetch_description(net::Endpoint http_endpoint,
+                         std::function<void(Result<DeviceDescription>)> done);
+
+  net::Network& net_;
+  net::NodeId node_;
+  http::HttpClient http_;
+  soap::SoapClient soap_;
+  std::uint16_t reply_port_ = 21900;
+};
+
+}  // namespace hcm::upnp

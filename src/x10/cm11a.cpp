@@ -1,0 +1,171 @@
+#include "x10/cm11a.hpp"
+
+#include "common/logging.hpp"
+
+namespace hcm::x10 {
+
+Cm11aController::Cm11aController(net::Network& net, net::NodeId node,
+                                 net::PowerlineSegment& powerline)
+    : net_(net), node_(node), powerline_(powerline) {
+  powerline_.subscribe(node_, [this](net::NodeId from, const Bytes& frame) {
+    on_powerline(from, frame);
+  });
+}
+
+Cm11aController::~Cm11aController() { powerline_.unsubscribe(node_); }
+
+void Cm11aController::send_command(HouseCode house, int unit,
+                                   FunctionCode function, int dims,
+                                   DoneFn done) {
+  if (unit < 1 || unit > 16) {
+    net_.scheduler().after(0, [done = std::move(done)] {
+      done(invalid_argument("X10 unit must be 1..16"));
+    });
+    return;
+  }
+  Job job;
+  job.frames.push_back(encode(AddressFrame{house, unit}));
+  job.frames.push_back(encode(FunctionFrame{house, function, dims}));
+  job.done = std::move(done);
+  enqueue(std::move(job));
+}
+
+void Cm11aController::send_function(HouseCode house, FunctionCode function,
+                                    int dims, DoneFn done) {
+  Job job;
+  job.frames.push_back(encode(FunctionFrame{house, function, dims}));
+  job.done = std::move(done);
+  enqueue(std::move(job));
+}
+
+void Cm11aController::enqueue(Job job) {
+  queue_.push_back(std::move(job));
+  if (!busy_) {
+    busy_ = true;
+    net_.scheduler().after(0, [this] { work(); });
+  }
+}
+
+void Cm11aController::work() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  Job job = std::move(queue_.front());
+  queue_.pop_front();
+
+  // Send the job's frames sequentially: serial handshake, then
+  // powerline transmission, for each frame.
+  auto frames = std::make_shared<std::deque<Bytes>>(job.frames.begin(),
+                                                    job.frames.end());
+  auto done = std::make_shared<DoneFn>(std::move(job.done));
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, frames, done, step] {
+    if (frames->empty()) {
+      ++commands_sent_;
+      if (*done) (*done)(Status::ok());
+      work();
+      return;
+    }
+    Bytes frame = frames->front();
+    frames->pop_front();
+    serial_exchange(frame, 0, [this, frame, frames, done, step](
+                                  const Status& serial) {
+      if (!serial.is_ok()) {
+        if (*done) (*done)(serial);
+        work();
+        return;
+      }
+      transmit_frame(frame, 0, [this, frames, done, step](
+                                   const Status& sent) {
+        if (!sent.is_ok()) {
+          if (*done) (*done)(sent);
+          work();
+          return;
+        }
+        (*step)();
+      });
+    });
+  };
+  (*step)();
+}
+
+void Cm11aController::serial_exchange(
+    const Bytes& frame, int attempt,
+    std::function<void(const Status&)> then) {
+  // PC sends [header, code]; CM11A echoes checksum; PC verifies and
+  // sends 0x00; CM11A answers 0x55 (ready). Four serial legs.
+  const std::uint8_t expected = serial_checksum(frame[0], frame[1]);
+  std::uint8_t echoed = expected;
+  if (serial_corruption_ > 0.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    if (dist(net_.scheduler().rng()) < serial_corruption_) {
+      echoed = static_cast<std::uint8_t>(expected ^ 0x40);
+    }
+  }
+  net_.scheduler().after(
+      2 * kSerialLeg, [this, frame, attempt, then = std::move(then), expected,
+                       echoed]() mutable {
+        if (echoed != expected) {
+          ++serial_retries_;
+          if (attempt + 1 >= kMaxSerialRetries) {
+            then(protocol_error("CM11A serial checksum failed repeatedly"));
+            return;
+          }
+          log_debug("x10", "serial checksum mismatch, retry ", attempt + 1);
+          serial_exchange(frame, attempt + 1, std::move(then));
+          return;
+        }
+        // ack + ready legs
+        net_.scheduler().after(2 * kSerialLeg,
+                               [then = std::move(then)]() mutable {
+                                 then(Status::ok());
+                               });
+      });
+}
+
+void Cm11aController::transmit_frame(
+    const Bytes& frame, int attempt,
+    std::function<void(const Status&)> then) {
+  powerline_.transmit(node_, frame, [this, frame, attempt,
+                                     then = std::move(then)](
+                                        const Status& s) mutable {
+    if (s.is_ok()) {
+      then(Status::ok());
+      return;
+    }
+    if (attempt + 1 >= kMaxPowerlineRetries) {
+      then(s);
+      return;
+    }
+    // Collision or line busy: back off a random number of half-cycles.
+    std::uniform_int_distribution<int> dist(1, 16);
+    auto backoff = dist(net_.scheduler().rng()) *
+                   net::PowerlineSegment::kHalfCycleUs;
+    net_.scheduler().after(backoff, [this, frame, attempt,
+                                     then = std::move(then)]() mutable {
+      transmit_frame(frame, attempt + 1, std::move(then));
+    });
+  });
+}
+
+void Cm11aController::on_powerline(net::NodeId from, const Bytes& frame) {
+  if (from == node_) return;  // ignore our own transmissions
+  auto decoded = decode_frame(frame);
+  if (!decoded.is_ok()) return;
+  if (decoded.value().is_address) {
+    last_house_ = decoded.value().address.house;
+    last_unit_ = decoded.value().address.unit;
+    return;
+  }
+  if (observer_) {
+    ObservedCommand cmd;
+    cmd.house = decoded.value().function.house;
+    cmd.unit = decoded.value().function.house == last_house_ ? last_unit_ : 0;
+    cmd.function = decoded.value().function.function;
+    cmd.dims = decoded.value().function.dims;
+    observer_(cmd);
+  }
+}
+
+}  // namespace hcm::x10

@@ -1,0 +1,85 @@
+// CM11A controller: the PC's gateway onto the X10 powerline. Models the
+// documented serial handshake (send header+code, verify the echoed
+// checksum, ack with 0x00, wait for 0x55 ready) before each powerline
+// transmission, including retry on checksum corruption.
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "net/network.hpp"
+#include "net/powerline.hpp"
+#include "x10/codec.hpp"
+
+namespace hcm::x10 {
+
+// A command observed on the powerline (surfaced like the CM11A's
+// receive buffer polling).
+struct ObservedCommand {
+  HouseCode house = HouseCode::kA;
+  int unit = 0;  // 0 when only a function was seen
+  FunctionCode function = FunctionCode::kOn;
+  int dims = 0;
+};
+using ObserverFn = std::function<void(const ObservedCommand&)>;
+
+class Cm11aController {
+ public:
+  Cm11aController(net::Network& net, net::NodeId node,
+                  net::PowerlineSegment& powerline);
+  ~Cm11aController();
+  Cm11aController(const Cm11aController&) = delete;
+  Cm11aController& operator=(const Cm11aController&) = delete;
+
+  using DoneFn = std::function<void(const Status&)>;
+
+  // Sends address + function for a single unit (the common case).
+  void send_command(HouseCode house, int unit, FunctionCode function,
+                    int dims, DoneFn done);
+  // Function-only transmission (e.g. ALL_LIGHTS_ON).
+  void send_function(HouseCode house, FunctionCode function, int dims,
+                     DoneFn done);
+
+  // Commands other transmitters put on the line (sensors, remotes).
+  void set_observer(ObserverFn observer) { observer_ = std::move(observer); }
+
+  // Serial-link corruption probability (checksum mismatch -> retry).
+  void set_serial_corruption(double p) { serial_corruption_ = p; }
+
+  [[nodiscard]] std::uint64_t commands_sent() const { return commands_sent_; }
+  [[nodiscard]] std::uint64_t serial_retries() const { return serial_retries_; }
+
+  static constexpr int kMaxSerialRetries = 3;
+  static constexpr int kMaxPowerlineRetries = 3;
+  // 4800 baud serial: ~2 ms per byte exchange leg.
+  static constexpr sim::Duration kSerialLeg = sim::milliseconds(2);
+
+ private:
+  struct Job {
+    std::vector<Bytes> frames;  // powerline frames to send in order
+    DoneFn done;
+  };
+
+  void enqueue(Job job);
+  void work();
+  void serial_exchange(const Bytes& frame, int attempt,
+                       std::function<void(const Status&)> then);
+  void transmit_frame(const Bytes& frame, int attempt,
+                      std::function<void(const Status&)> then);
+  void on_powerline(net::NodeId from, const Bytes& frame);
+
+  net::Network& net_;
+  net::NodeId node_;
+  net::PowerlineSegment& powerline_;
+  ObserverFn observer_;
+  std::deque<Job> queue_;
+  bool busy_ = false;
+  double serial_corruption_ = 0.0;
+  std::uint64_t commands_sent_ = 0;
+  std::uint64_t serial_retries_ = 0;
+  // Receive-side address decoding state (last address seen per house).
+  HouseCode last_house_ = HouseCode::kA;
+  int last_unit_ = 0;
+};
+
+}  // namespace hcm::x10

@@ -1,0 +1,118 @@
+#include "x10/codec.hpp"
+
+#include <array>
+
+namespace hcm::x10 {
+
+namespace {
+// X10 house/unit nibble table: index = house A..P (or unit-1), value =
+// the 4-bit code actually transmitted.
+constexpr std::array<std::uint8_t, 16> kCodeTable = {
+    0x6, 0xE, 0x2, 0xA, 0x1, 0x9, 0x5, 0xD,
+    0x7, 0xF, 0x3, 0xB, 0x0, 0x8, 0x4, 0xC};
+}  // namespace
+
+const char* to_string(HouseCode h) {
+  static constexpr const char* kNames[] = {"A", "B", "C", "D", "E", "F",
+                                           "G", "H", "I", "J", "K", "L",
+                                           "M", "N", "O", "P"};
+  return kNames[static_cast<int>(h)];
+}
+
+const char* to_string(FunctionCode f) {
+  switch (f) {
+    case FunctionCode::kAllUnitsOff: return "ALL_UNITS_OFF";
+    case FunctionCode::kAllLightsOn: return "ALL_LIGHTS_ON";
+    case FunctionCode::kOn: return "ON";
+    case FunctionCode::kOff: return "OFF";
+    case FunctionCode::kDim: return "DIM";
+    case FunctionCode::kBright: return "BRIGHT";
+    case FunctionCode::kAllLightsOff: return "ALL_LIGHTS_OFF";
+    case FunctionCode::kExtendedCode: return "EXTENDED_CODE";
+    case FunctionCode::kHailRequest: return "HAIL_REQUEST";
+    case FunctionCode::kHailAck: return "HAIL_ACK";
+    case FunctionCode::kPresetDim1: return "PRESET_DIM_1";
+    case FunctionCode::kPresetDim2: return "PRESET_DIM_2";
+    case FunctionCode::kExtendedData: return "EXTENDED_DATA";
+    case FunctionCode::kStatusOn: return "STATUS_ON";
+    case FunctionCode::kStatusOff: return "STATUS_OFF";
+    case FunctionCode::kStatusRequest: return "STATUS_REQUEST";
+  }
+  return "?";
+}
+
+std::uint8_t encode_house(HouseCode h) {
+  return kCodeTable[static_cast<int>(h)];
+}
+
+Result<HouseCode> decode_house(std::uint8_t nibble) {
+  for (int i = 0; i < 16; ++i) {
+    if (kCodeTable[i] == (nibble & 0xF)) return static_cast<HouseCode>(i);
+  }
+  return protocol_error("bad house nibble");
+}
+
+std::uint8_t encode_unit(int unit) { return kCodeTable[(unit - 1) & 0xF]; }
+
+Result<int> decode_unit(std::uint8_t nibble) {
+  for (int i = 0; i < 16; ++i) {
+    if (kCodeTable[i] == (nibble & 0xF)) return i + 1;
+  }
+  return protocol_error("bad unit nibble");
+}
+
+std::uint8_t header_function(int dims) {
+  // Header layout per CM11A doc: bits 7..3 dims, bit 2 = 1 (always),
+  // bit 1 = 1 (function), bit 0 = 0 (standard transmission).
+  return static_cast<std::uint8_t>(((dims & 0x1F) << 3) | 0x06);
+}
+
+bool is_function_header(std::uint8_t header) { return (header & 0x02) != 0; }
+
+int dims_from_header(std::uint8_t header) { return (header >> 3) & 0x1F; }
+
+Bytes encode(const AddressFrame& f) {
+  return Bytes{kHeaderAddress, static_cast<std::uint8_t>(
+                                   (encode_house(f.house) << 4) |
+                                   encode_unit(f.unit))};
+}
+
+Bytes encode(const FunctionFrame& f) {
+  return Bytes{header_function(f.dims),
+               static_cast<std::uint8_t>(
+                   (encode_house(f.house) << 4) |
+                   static_cast<std::uint8_t>(f.function))};
+}
+
+Result<DecodedFrame> decode_frame(const Bytes& frame) {
+  if (frame.size() != 2) return protocol_error("X10 frame must be 2 bytes");
+  DecodedFrame out;
+  auto house = decode_house(static_cast<std::uint8_t>(frame[1] >> 4));
+  if (!house.is_ok()) return house.status();
+  if (is_function_header(frame[0])) {
+    out.is_address = false;
+    out.function.house = house.value();
+    out.function.function = static_cast<FunctionCode>(frame[1] & 0xF);
+    out.function.dims = dims_from_header(frame[0]);
+  } else {
+    if (frame[0] != kHeaderAddress) {
+      return protocol_error("bad X10 header byte");
+    }
+    out.is_address = true;
+    out.address.house = house.value();
+    auto unit = decode_unit(static_cast<std::uint8_t>(frame[1] & 0xF));
+    if (!unit.is_ok()) return unit.status();
+    out.address.unit = unit.value();
+  }
+  return out;
+}
+
+std::uint8_t serial_checksum(std::uint8_t header, std::uint8_t code) {
+  return static_cast<std::uint8_t>(header + code);
+}
+
+std::string format_address(HouseCode h, int unit) {
+  return std::string(to_string(h)) + std::to_string(unit);
+}
+
+}  // namespace hcm::x10

@@ -1,0 +1,85 @@
+// X10 codes and powerline frame codec, following the CM11A programming
+// protocol document the paper cites (ftp.x10.com/pub/manuals/cm11a).
+// House and unit codes use X10's non-monotonic nibble encoding; frames
+// on the powerline are [header, code] pairs where the header
+// distinguishes address frames from function frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace hcm::x10 {
+
+enum class HouseCode : std::uint8_t {
+  kA, kB, kC, kD, kE, kF, kG, kH, kI, kJ, kK, kL, kM, kN, kO, kP
+};
+
+enum class FunctionCode : std::uint8_t {
+  kAllUnitsOff = 0x0,
+  kAllLightsOn = 0x1,
+  kOn = 0x2,
+  kOff = 0x3,
+  kDim = 0x4,
+  kBright = 0x5,
+  kAllLightsOff = 0x6,
+  kExtendedCode = 0x7,
+  kHailRequest = 0x8,
+  kHailAck = 0x9,
+  kPresetDim1 = 0xA,
+  kPresetDim2 = 0xB,
+  kExtendedData = 0xC,
+  kStatusOn = 0xD,
+  kStatusOff = 0xE,
+  kStatusRequest = 0xF,
+};
+
+const char* to_string(HouseCode h);
+const char* to_string(FunctionCode f);
+
+// X10's table-driven nibble encodings (house A -> 0110 etc).
+[[nodiscard]] std::uint8_t encode_house(HouseCode h);
+[[nodiscard]] Result<HouseCode> decode_house(std::uint8_t nibble);
+// Unit codes 1..16 use the same table as houses A..P.
+[[nodiscard]] std::uint8_t encode_unit(int unit);  // unit in 1..16
+[[nodiscard]] Result<int> decode_unit(std::uint8_t nibble);
+
+// CM11A serial header bytes.
+constexpr std::uint8_t kHeaderAddress = 0x04;
+// Function header also carries the dim amount in bits 3..7.
+[[nodiscard]] std::uint8_t header_function(int dims);  // dims in 0..22
+[[nodiscard]] bool is_function_header(std::uint8_t header);
+[[nodiscard]] int dims_from_header(std::uint8_t header);
+
+// Powerline frames (2 bytes each).
+struct AddressFrame {
+  HouseCode house = HouseCode::kA;
+  int unit = 1;
+};
+struct FunctionFrame {
+  HouseCode house = HouseCode::kA;
+  FunctionCode function = FunctionCode::kOn;
+  int dims = 0;
+};
+
+[[nodiscard]] Bytes encode(const AddressFrame& f);
+[[nodiscard]] Bytes encode(const FunctionFrame& f);
+
+// A decoded powerline frame: exactly one of the two kinds.
+struct DecodedFrame {
+  bool is_address = false;
+  AddressFrame address;
+  FunctionFrame function;
+};
+[[nodiscard]] Result<DecodedFrame> decode_frame(const Bytes& frame);
+
+// Serial-link checksum used in the PC<->CM11A handshake.
+[[nodiscard]] std::uint8_t serial_checksum(std::uint8_t header,
+                                           std::uint8_t code);
+
+// "A3" style address rendering for logs/UIs.
+[[nodiscard]] std::string format_address(HouseCode h, int unit);
+
+}  // namespace hcm::x10

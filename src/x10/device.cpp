@@ -1,0 +1,119 @@
+#include "x10/device.hpp"
+
+namespace hcm::x10 {
+
+ReceiverModule::ReceiverModule(net::Network& net, net::NodeId node,
+                               net::PowerlineSegment& powerline,
+                               HouseCode house, int unit)
+    : net_(net), node_(node), powerline_(powerline), house_(house),
+      unit_(unit) {
+  powerline_.subscribe(node_, [this](net::NodeId, const Bytes& frame) {
+    on_powerline(frame);
+  });
+}
+
+ReceiverModule::~ReceiverModule() { powerline_.unsubscribe(node_); }
+
+void ReceiverModule::on_powerline(const Bytes& frame) {
+  auto decoded = decode_frame(frame);
+  if (!decoded.is_ok()) return;
+  if (decoded.value().is_address) {
+    const auto& addr = decoded.value().address;
+    if (addr.house != house_) return;
+    // A new address sequence for a different unit deselects us; our own
+    // address selects us.
+    selected_ = addr.unit == unit_;
+    return;
+  }
+  const auto& fn = decoded.value().function;
+  if (fn.house != house_) return;
+  switch (fn.function) {
+    case FunctionCode::kAllUnitsOff:
+    case FunctionCode::kAllLightsOn:
+    case FunctionCode::kAllLightsOff:
+      on_function(fn.function, fn.dims);  // house-wide, selection ignored
+      return;
+    default:
+      break;
+  }
+  if (selected_) on_function(fn.function, fn.dims);
+}
+
+void ApplianceModule::on_function(FunctionCode function, int) {
+  bool next = on_;
+  switch (function) {
+    case FunctionCode::kOn: next = true; break;
+    case FunctionCode::kOff: next = false; break;
+    case FunctionCode::kAllUnitsOff: next = false; break;
+    default: return;  // appliance modules ignore dim etc.
+  }
+  if (next != on_) {
+    on_ = next;
+    if (on_change_) on_change_(on_);
+  }
+}
+
+void LampModule::on_function(FunctionCode function, int dims) {
+  switch (function) {
+    case FunctionCode::kOn:
+    case FunctionCode::kAllLightsOn:
+      set_level(100);
+      break;
+    case FunctionCode::kOff:
+    case FunctionCode::kAllUnitsOff:
+    case FunctionCode::kAllLightsOff:
+      set_level(0);
+      break;
+    case FunctionCode::kDim:
+      set_level(level_ - kDimStepPercent * std::max(dims, 1));
+      break;
+    case FunctionCode::kBright:
+      set_level(level_ + kDimStepPercent * std::max(dims, 1));
+      break;
+    default:
+      break;
+  }
+}
+
+void LampModule::set_level(int level) {
+  level = std::clamp(level, 0, 100);
+  if (level != level_) {
+    level_ = level;
+    if (on_change_) on_change_(level_);
+  }
+}
+
+MotionSensor::MotionSensor(net::Network& net, net::NodeId node,
+                           net::PowerlineSegment& powerline, HouseCode house,
+                           int unit, sim::Duration auto_off)
+    : net_(net), node_(node), powerline_(powerline), house_(house),
+      unit_(unit), auto_off_(auto_off) {}
+
+void MotionSensor::trigger() {
+  ++triggers_;
+  transmit(FunctionCode::kOn);
+  if (off_event_ != 0) net_.scheduler().cancel(off_event_);
+  off_event_ = net_.scheduler().after(auto_off_, [this] {
+    off_event_ = 0;
+    transmit(FunctionCode::kOff);
+  });
+}
+
+void MotionSensor::transmit(FunctionCode function) {
+  // Sensors are simple transmitters: address frame then function frame,
+  // no retry (lost frames are simply lost — the X10 reality).
+  powerline_.transmit(node_, encode(AddressFrame{house_, unit_}), nullptr);
+  powerline_.transmit(node_, encode(FunctionFrame{house_, function, 0}),
+                      nullptr);
+}
+
+void RemoteControl::press(int unit, FunctionCode function, DoneFn done) {
+  powerline_.transmit(node_, encode(AddressFrame{house_, unit}), nullptr);
+  powerline_.transmit(
+      node_, encode(FunctionFrame{house_, function, 0}),
+      [done = std::move(done)](const Status& s) {
+        if (done) done(s);
+      });
+}
+
+}  // namespace hcm::x10

@@ -1,0 +1,401 @@
+#include "xml/xml.hpp"
+
+#include <cctype>
+
+#include "common/strings.hpp"
+
+namespace hcm::xml {
+
+std::string_view Element::local_name() const {
+  auto colon = name_.find(':');
+  return colon == std::string::npos
+             ? std::string_view(name_)
+             : std::string_view(name_).substr(colon + 1);
+}
+
+Element& Element::set_attr(std::string name, std::string value) {
+  for (auto& a : attrs_) {
+    if (a.name == name) {
+      a.value = std::move(value);
+      return *this;
+    }
+  }
+  attrs_.push_back({std::move(name), std::move(value)});
+  return *this;
+}
+
+const std::string* Element::attr(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return &a.value;
+  }
+  return nullptr;
+}
+
+const std::string* Element::attr_local(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    std::string_view n = a.name;
+    auto colon = n.find(':');
+    if (colon != std::string_view::npos) n = n.substr(colon + 1);
+    if (n == name) return &a.value;
+  }
+  return nullptr;
+}
+
+Element& Element::add_child(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return *children_.back();
+}
+
+Element& Element::add_child(ElementPtr child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+Element& Element::add_text(std::string text) {
+  texts_.push_back(std::move(text));
+  return *this;
+}
+
+Element& Element::set_text(std::string text) {
+  texts_.clear();
+  texts_.push_back(std::move(text));
+  return *this;
+}
+
+const Element* Element::child(std::string_view local) const {
+  for (const auto& c : children_) {
+    if (c->local_name() == local) return c.get();
+  }
+  return nullptr;
+}
+
+Element* Element::child(std::string_view local) {
+  for (const auto& c : children_) {
+    if (c->local_name() == local) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view local) const {
+  std::vector<const Element*> out;
+  for (const auto& c : children_) {
+    if (c->local_name() == local) out.push_back(c.get());
+  }
+  return out;
+}
+
+std::string Element::text() const {
+  std::string out;
+  for (const auto& t : texts_) out += t;
+  return out;
+}
+
+std::string escape_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_attr(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void Element::render(std::string& out, int indent) const {
+  auto pad = [&](int n) {
+    if (n >= 0) out.append(static_cast<std::size_t>(n) * 2, ' ');
+  };
+  pad(indent);
+  out += '<';
+  out += name_;
+  for (const auto& a : attrs_) {
+    out += ' ';
+    out += a.name;
+    out += "=\"";
+    out += escape_attr(a.value);
+    out += '"';
+  }
+  if (texts_.empty() && children_.empty()) {
+    out += "/>";
+    if (indent >= 0) out += '\n';
+    return;
+  }
+  out += '>';
+  for (const auto& t : texts_) out += escape_text(t);
+  if (!children_.empty()) {
+    if (indent >= 0) out += '\n';
+    for (const auto& c : children_) {
+      c->render(out, indent >= 0 ? indent + 1 : -1);
+    }
+    pad(indent);
+  }
+  out += "</";
+  out += name_;
+  out += '>';
+  if (indent >= 0) out += '\n';
+}
+
+std::string Element::to_string() const {
+  std::string out;
+  render(out, -1);
+  return out;
+}
+
+std::string Element::to_pretty_string() const {
+  std::string out;
+  render(out, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view in) : in_(in) {}
+
+  Result<ElementPtr> parse_document() {
+    skip_prolog();
+    auto root = parse_element();
+    if (!root.is_ok()) return root;
+    skip_ws_and_comments();
+    if (pos_ != in_.size()) {
+      return protocol_error("trailing content after root element");
+    }
+    return root;
+  }
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= in_.size(); }
+  [[nodiscard]] char peek() const { return in_[pos_]; }
+  [[nodiscard]] bool lookahead(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+
+  void skip_ws() {
+    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
+  }
+
+  bool skip_comment() {
+    if (!lookahead("<!--")) return false;
+    auto end = in_.find("-->", pos_ + 4);
+    pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+    return true;
+  }
+
+  void skip_ws_and_comments() {
+    while (true) {
+      skip_ws();
+      if (!skip_comment()) return;
+    }
+  }
+
+  void skip_prolog() {
+    while (true) {
+      skip_ws();
+      if (lookahead("<?")) {
+        auto end = in_.find("?>", pos_ + 2);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+      } else if (lookahead("<!--")) {
+        skip_comment();
+      } else if (lookahead("<!DOCTYPE")) {
+        auto end = in_.find('>', pos_);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 1;
+      } else {
+        return;
+      }
+    }
+  }
+
+  [[nodiscard]] static bool is_name_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' ||
+           c == '_' || c == '-' || c == '.';
+  }
+
+  Result<std::string> parse_name() {
+    std::size_t start = pos_;
+    while (!eof() && is_name_char(peek())) ++pos_;
+    if (pos_ == start) return protocol_error("expected XML name");
+    return std::string(in_.substr(start, pos_ - start));
+  }
+
+  Result<std::string> decode_entities(std::string_view raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (std::size_t i = 0; i < raw.size();) {
+      if (raw[i] != '&') {
+        out += raw[i++];
+        continue;
+      }
+      auto semi = raw.find(';', i);
+      if (semi == std::string_view::npos) {
+        return protocol_error("unterminated entity");
+      }
+      auto ent = raw.substr(i + 1, semi - i - 1);
+      if (ent == "amp") out += '&';
+      else if (ent == "lt") out += '<';
+      else if (ent == "gt") out += '>';
+      else if (ent == "quot") out += '"';
+      else if (ent == "apos") out += '\'';
+      else if (!ent.empty() && ent[0] == '#') {
+        long code = 0;
+        bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+        for (std::size_t j = hex ? 2 : 1; j < ent.size(); ++j) {
+          char c = ent[j];
+          int digit;
+          if (c >= '0' && c <= '9') digit = c - '0';
+          else if (hex && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+          else if (hex && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+          else return protocol_error("bad character reference");
+          code = code * (hex ? 16 : 10) + digit;
+          if (code > 0x10FFFF) return protocol_error("bad character reference");
+        }
+        // Encode as UTF-8.
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xF0 | (code >> 18));
+          out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+      } else {
+        return protocol_error("unknown entity &" + std::string(ent) + ";");
+      }
+      i = semi + 1;
+    }
+    return out;
+  }
+
+  Result<ElementPtr> parse_element() {
+    if (eof() || peek() != '<') return protocol_error("expected '<'");
+    ++pos_;
+    auto name = parse_name();
+    if (!name.is_ok()) return name.status();
+    auto elem = std::make_unique<Element>(name.value());
+
+    // Attributes.
+    while (true) {
+      skip_ws();
+      if (eof()) return protocol_error("unterminated start tag");
+      if (lookahead("/>")) {
+        pos_ += 2;
+        return elem;
+      }
+      if (peek() == '>') {
+        ++pos_;
+        break;
+      }
+      auto attr_name = parse_name();
+      if (!attr_name.is_ok()) return attr_name.status();
+      skip_ws();
+      if (eof() || peek() != '=') return protocol_error("expected '='");
+      ++pos_;
+      skip_ws();
+      if (eof() || (peek() != '"' && peek() != '\'')) {
+        return protocol_error("expected quoted attribute value");
+      }
+      char quote = peek();
+      ++pos_;
+      auto end = in_.find(quote, pos_);
+      if (end == std::string_view::npos) {
+        return protocol_error("unterminated attribute value");
+      }
+      auto value = decode_entities(in_.substr(pos_, end - pos_));
+      if (!value.is_ok()) return value.status();
+      pos_ = end + 1;
+      elem->set_attr(attr_name.value(), value.value());
+    }
+
+    // Content.
+    while (true) {
+      if (eof()) return protocol_error("unterminated element " + name.value());
+      if (lookahead("</")) {
+        pos_ += 2;
+        auto close = parse_name();
+        if (!close.is_ok()) return close.status();
+        if (close.value() != name.value()) {
+          return protocol_error("mismatched close tag: " + close.value() +
+                                " vs " + name.value());
+        }
+        skip_ws();
+        if (eof() || peek() != '>') return protocol_error("expected '>'");
+        ++pos_;
+        return elem;
+      }
+      if (lookahead("<!--")) {
+        skip_comment();
+        continue;
+      }
+      if (lookahead("<![CDATA[")) {
+        auto end = in_.find("]]>", pos_ + 9);
+        if (end == std::string_view::npos) {
+          return protocol_error("unterminated CDATA");
+        }
+        elem->add_text(std::string(in_.substr(pos_ + 9, end - pos_ - 9)));
+        pos_ = end + 3;
+        continue;
+      }
+      if (peek() == '<') {
+        auto childr = parse_element();
+        if (!childr.is_ok()) return childr.status();
+        elem->add_child(std::move(childr).take());
+        continue;
+      }
+      // Text run up to the next '<'.
+      auto end = in_.find('<', pos_);
+      if (end == std::string_view::npos) {
+        return protocol_error("unterminated element content");
+      }
+      auto raw = in_.substr(pos_, end - pos_);
+      pos_ = end;
+      auto decoded = decode_entities(raw);
+      if (!decoded.is_ok()) return decoded.status();
+      // Drop pure-whitespace runs (formatting noise between elements).
+      if (!trim(decoded.value()).empty()) {
+        elem->add_text(std::move(decoded).take());
+      }
+    }
+  }
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ElementPtr> parse(std::string_view input) {
+  return Parser(input).parse_document();
+}
+
+}  // namespace hcm::xml

@@ -1,0 +1,87 @@
+// Minimal XML 1.0 document model, writer and non-validating parser —
+// enough for SOAP 1.1 envelopes, WSDL documents, the UDDI-like registry
+// and UPnP device descriptions. Supports elements, attributes, text,
+// comments (skipped), CDATA, numeric and the five predefined entities.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hcm::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+struct Attribute {
+  std::string name;
+  std::string value;
+};
+
+// An XML element. Children are either elements or text runs; text()
+// concatenates the direct text content.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  // Local part of a possibly prefixed name ("soap:Envelope" -> "Envelope").
+  [[nodiscard]] std::string_view local_name() const;
+
+  // --- attributes ----------------------------------------------------
+  Element& set_attr(std::string name, std::string value);
+  [[nodiscard]] const std::string* attr(std::string_view name) const;
+  // Matches by local name, ignoring namespace prefix.
+  [[nodiscard]] const std::string* attr_local(std::string_view name) const;
+  [[nodiscard]] const std::vector<Attribute>& attrs() const { return attrs_; }
+
+  // --- children --------------------------------------------------------
+  Element& add_child(std::string name);      // returns the new child
+  Element& add_child(ElementPtr child);      // adopts
+  Element& add_text(std::string text);       // returns *this
+  Element& set_text(std::string text);       // clears children, sets text
+
+  [[nodiscard]] const std::vector<ElementPtr>& children() const {
+    return children_;
+  }
+  // First child element with the given local name (prefix-insensitive).
+  [[nodiscard]] const Element* child(std::string_view local) const;
+  [[nodiscard]] Element* child(std::string_view local);
+  // All child elements with the given local name.
+  [[nodiscard]] std::vector<const Element*> children_named(
+      std::string_view local) const;
+  // Concatenated direct text content.
+  [[nodiscard]] std::string text() const;
+
+  // --- serialization ----------------------------------------------------
+  // Compact (no whitespace) rendering, suitable for the wire.
+  [[nodiscard]] std::string to_string() const;
+  // Indented rendering, for humans and docs.
+  [[nodiscard]] std::string to_pretty_string() const;
+
+ private:
+  void render(std::string& out, int indent) const;  // indent<0 = compact
+
+  // Mixed content is stored as text runs plus child elements; rendering
+  // emits text before children, which is lossless for the protocols we
+  // speak (SOAP/WSDL/UPnP never interleave text and elements).
+  std::string name_;
+  std::vector<Attribute> attrs_;
+  std::vector<ElementPtr> children_;
+  std::vector<std::string> texts_;
+};
+
+// Escapes text content (& < >) and attribute values (also " ').
+[[nodiscard]] std::string escape_text(std::string_view s);
+[[nodiscard]] std::string escape_attr(std::string_view s);
+
+// Parses a document; returns the root element. Leading <?xml?> and
+// <!DOCTYPE> declarations and comments are skipped.
+[[nodiscard]] Result<ElementPtr> parse(std::string_view input);
+
+}  // namespace hcm::xml

@@ -1,0 +1,41 @@
+#include "common/base64.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeVectors) {
+  EXPECT_EQ(to_string(base64_decode("Zm9vYmFy").value()), "foobar");
+  EXPECT_EQ(to_string(base64_decode("Zg==").value()), "f");
+  EXPECT_EQ(base64_decode("").value(), Bytes{});
+}
+
+TEST(Base64Test, RoundTripBinary) {
+  Bytes all;
+  for (int i = 0; i < 256; ++i) all.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(base64_decode(base64_encode(all)).value(), all);
+}
+
+TEST(Base64Test, IgnoresWhitespace) {
+  EXPECT_EQ(to_string(base64_decode("Zm9v\r\nYmFy").value()), "foobar");
+}
+
+TEST(Base64Test, RejectsInvalid) {
+  EXPECT_FALSE(base64_decode("a!b").is_ok());
+  EXPECT_FALSE(base64_decode("Zg==Zg").is_ok());  // data after padding
+  EXPECT_FALSE(base64_decode("Zg===").is_ok());   // too much padding
+}
+
+}  // namespace
+}  // namespace hcm

@@ -1,0 +1,88 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(BytesTest, RoundTripPrimitives) {
+  BufWriter w;
+  w.put_u8(0xAB);
+  w.put_u16(0x1234);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFULL);
+  w.put_i64(-42);
+  w.put_f64(3.14159);
+  Bytes buf = w.take();
+
+  BufReader r(buf);
+  EXPECT_EQ(r.u8().value(), 0xAB);
+  EXPECT_EQ(r.u16().value(), 0x1234);
+  EXPECT_EQ(r.u32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.f64().value(), 3.14159);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesTest, BigEndianLayout) {
+  BufWriter w;
+  w.put_u16(0x0102);
+  Bytes buf = w.take();
+  ASSERT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+}
+
+TEST(BytesTest, StringRoundTrip) {
+  BufWriter w;
+  w.put_string("hello");
+  w.put_string("");
+  Bytes buf = w.take();
+  BufReader r(buf);
+  EXPECT_EQ(r.string().value(), "hello");
+  EXPECT_EQ(r.string().value(), "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytesTest, BytesRoundTrip) {
+  BufWriter w;
+  w.put_bytes({1, 2, 3});
+  Bytes buf = w.take();
+  BufReader r(buf);
+  EXPECT_EQ(r.bytes().value(), (Bytes{1, 2, 3}));
+}
+
+TEST(BytesTest, UnderrunIsError) {
+  Bytes buf{0x01};
+  BufReader r(buf);
+  EXPECT_FALSE(r.u16().is_ok());
+  BufReader r2(buf);
+  EXPECT_FALSE(r2.u32().is_ok());
+  BufReader r3(buf);
+  EXPECT_FALSE(r3.string().is_ok());
+}
+
+TEST(BytesTest, TruncatedLengthPrefixedString) {
+  BufWriter w;
+  w.put_u32(100);  // claims 100 bytes, provides none
+  Bytes buf = w.take();
+  BufReader r(buf);
+  auto s = r.string();
+  ASSERT_FALSE(s.is_ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(BytesTest, ToHex) {
+  EXPECT_EQ(to_hex({0xDE, 0xAD}), "de ad");
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(BytesTest, StringConversions) {
+  Bytes b = to_bytes("abc");
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(to_string(b), "abc");
+}
+
+}  // namespace
+}  // namespace hcm

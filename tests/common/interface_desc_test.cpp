@@ -1,0 +1,72 @@
+#include "common/interface_desc.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+InterfaceDesc make_switchable() {
+  return InterfaceDesc{
+      "Switchable",
+      {
+          MethodDesc{"turnOn", {}, ValueType::kBool, false},
+          MethodDesc{"setLevel",
+                     {{"level", ValueType::kInt}},
+                     ValueType::kNull,
+                     false},
+          MethodDesc{"notify", {{"msg", ValueType::kString}}, ValueType::kNull,
+                     true},
+      }};
+}
+
+TEST(InterfaceDescTest, FindMethod) {
+  auto iface = make_switchable();
+  ASSERT_NE(iface.find_method("turnOn"), nullptr);
+  EXPECT_EQ(iface.find_method("turnOn")->return_type, ValueType::kBool);
+  EXPECT_EQ(iface.find_method("nope"), nullptr);
+}
+
+TEST(InterfaceDescTest, OneWayFlag) {
+  auto iface = make_switchable();
+  EXPECT_TRUE(iface.find_method("notify")->one_way);
+  EXPECT_FALSE(iface.find_method("turnOn")->one_way);
+}
+
+TEST(InterfaceDescTest, CheckArgsArity) {
+  auto iface = make_switchable();
+  EXPECT_TRUE(check_args(*iface.find_method("turnOn"), {}).is_ok());
+  EXPECT_FALSE(check_args(*iface.find_method("turnOn"), {Value(1)}).is_ok());
+  EXPECT_FALSE(check_args(*iface.find_method("setLevel"), {}).is_ok());
+}
+
+TEST(InterfaceDescTest, CheckArgsTypes) {
+  auto iface = make_switchable();
+  const auto& set_level = *iface.find_method("setLevel");
+  EXPECT_TRUE(check_args(set_level, {Value(5)}).is_ok());
+  EXPECT_FALSE(check_args(set_level, {Value("five")}).is_ok());
+}
+
+TEST(InterfaceDescTest, IntWidensToDouble) {
+  MethodDesc m{"setVolume", {{"v", ValueType::kDouble}}, ValueType::kNull,
+               false};
+  EXPECT_TRUE(check_args(m, {Value(3)}).is_ok());
+  EXPECT_TRUE(check_args(m, {Value(3.5)}).is_ok());
+  EXPECT_FALSE(check_args(m, {Value("3")}).is_ok());
+}
+
+TEST(InterfaceDescTest, UntypedParamAcceptsAnything) {
+  MethodDesc m{"log", {{"payload", ValueType::kNull}}, ValueType::kNull, false};
+  EXPECT_TRUE(check_args(m, {Value(1)}).is_ok());
+  EXPECT_TRUE(check_args(m, {Value("s")}).is_ok());
+  EXPECT_TRUE(check_args(m, {Value(ValueMap{})}).is_ok());
+}
+
+TEST(InterfaceDescTest, Equality) {
+  EXPECT_EQ(make_switchable(), make_switchable());
+  auto other = make_switchable();
+  other.methods[0].name = "turnOff";
+  EXPECT_FALSE(make_switchable() == other);
+}
+
+}  // namespace
+}  // namespace hcm

@@ -1,0 +1,67 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = not_found("missing thing");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.to_string(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusTest, FactoriesMapToCodes) {
+  EXPECT_EQ(invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(protocol_error("x").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(already_exists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(not_found("a"), not_found("b"));
+  EXPECT_FALSE(not_found("a") == timeout("a"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(timeout("too slow"));
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string taken = std::move(r).take();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(ResultTest, StatusCodeToStringCoversAll) {
+  for (int i = 0; i <= static_cast<int>(StatusCode::kResourceExhausted); ++i) {
+    EXPECT_STRNE(to_string(static_cast<StatusCode>(i)), "UNKNOWN");
+  }
+}
+
+}  // namespace
+}  // namespace hcm

@@ -1,0 +1,50 @@
+#include "common/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(StringsTest, Split) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(split("one", ','), (std::vector<std::string>{"one"}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("\t\r\na b\n"), "a b");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringsTest, IEquals) {
+  EXPECT_TRUE(iequals("Content-Length", "content-length"));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http://"));
+  EXPECT_FALSE(starts_with("ftp://x", "http://"));
+  EXPECT_TRUE(ends_with("file.xml", ".xml"));
+  EXPECT_FALSE(ends_with("x", ".xml"));
+}
+
+TEST(StringsTest, ParseUint) {
+  EXPECT_EQ(parse_uint("0"), 0);
+  EXPECT_EQ(parse_uint("12345"), 12345);
+  EXPECT_EQ(parse_uint(""), -1);
+  EXPECT_EQ(parse_uint("-1"), -1);
+  EXPECT_EQ(parse_uint("12x"), -1);
+  EXPECT_EQ(parse_uint("999999999999999999999999"), -1);  // overflow
+}
+
+}  // namespace
+}  // namespace hcm

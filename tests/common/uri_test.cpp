@@ -1,0 +1,47 @@
+#include "common/uri.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(UriTest, FullUri) {
+  auto u = parse_uri("http://gateway-1:8080/vsg/call");
+  ASSERT_TRUE(u.is_ok());
+  EXPECT_EQ(u.value().scheme, "http");
+  EXPECT_EQ(u.value().host, "gateway-1");
+  EXPECT_EQ(u.value().port, 8080);
+  EXPECT_EQ(u.value().path, "/vsg/call");
+}
+
+TEST(UriTest, DefaultsPathAndPort) {
+  auto u = parse_uri("soap://node");
+  ASSERT_TRUE(u.is_ok());
+  EXPECT_EQ(u.value().port, 0);
+  EXPECT_EQ(u.value().path, "/");
+}
+
+TEST(UriTest, RoundTrip) {
+  Uri u{"jini", "lookup", 4160, "/svc/vcr"};
+  auto parsed = parse_uri(u.to_string());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), u);
+}
+
+TEST(UriTest, Malformed) {
+  EXPECT_FALSE(parse_uri("").is_ok());
+  EXPECT_FALSE(parse_uri("nouri").is_ok());
+  EXPECT_FALSE(parse_uri("://host").is_ok());
+  EXPECT_FALSE(parse_uri("http://").is_ok());
+  EXPECT_FALSE(parse_uri("http://:80/").is_ok());
+  EXPECT_FALSE(parse_uri("http://h:99999/").is_ok());
+  EXPECT_FALSE(parse_uri("http://h:abc/").is_ok());
+}
+
+TEST(UriTest, PortZeroOmittedInToString) {
+  Uri u{"http", "h", 0, "/p"};
+  EXPECT_EQ(u.to_string(), "http://h/p");
+}
+
+}  // namespace
+}  // namespace hcm

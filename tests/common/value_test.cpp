@@ -1,0 +1,84 @@
+#include "common/value.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_TRUE(Value(7).is_int());
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_TRUE(Value(2.5).is_double());
+  EXPECT_DOUBLE_EQ(Value(2.5).as_double(), 2.5);
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_EQ(Value("s").as_string(), "s");
+  EXPECT_TRUE(Value(Bytes{1}).is_bytes());
+  EXPECT_TRUE(Value(ValueList{Value(1)}).is_list());
+  EXPECT_TRUE(Value(ValueMap{{"k", Value(1)}}).is_map());
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_FALSE(Value(1) == Value(2));
+  EXPECT_FALSE(Value(1) == Value(1.0));  // int != double
+  EXPECT_EQ(Value(), Value(nullptr));
+  ValueMap m{{"a", Value(1)}, {"b", Value("x")}};
+  EXPECT_EQ(Value(m), Value(m));
+}
+
+TEST(ValueTest, ToNumberCoercion) {
+  EXPECT_DOUBLE_EQ(Value(3).to_number().value(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(3.5).to_number().value(), 3.5);
+  EXPECT_FALSE(Value("x").to_number().is_ok());
+}
+
+TEST(ValueTest, ToIntCoercion) {
+  EXPECT_EQ(Value(3).to_int().value(), 3);
+  EXPECT_EQ(Value(4.0).to_int().value(), 4);
+  EXPECT_FALSE(Value(4.5).to_int().is_ok());
+  EXPECT_FALSE(Value(true).to_int().is_ok());
+}
+
+TEST(ValueTest, MapAt) {
+  ValueMap m{{"key", Value(9)}};
+  Value v(m);
+  EXPECT_EQ(v.at("key").as_int(), 9);
+  EXPECT_TRUE(v.at("missing").is_null());
+  EXPECT_TRUE(Value(1).at("anything").is_null());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value().to_string(), "null");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("hi").to_string(), "\"hi\"");
+  EXPECT_EQ(Value(Bytes{1, 2}).to_string(), "bytes[2]");
+  EXPECT_EQ(Value(ValueList{Value(1), Value(2)}).to_string(), "[1, 2]");
+  EXPECT_EQ(Value(ValueMap{{"a", Value(1)}}).to_string(), "{a: 1}");
+}
+
+TEST(ValueTest, NestedStructures) {
+  Value nested(ValueMap{
+      {"list", Value(ValueList{Value(1), Value("two"), Value(3.0)})},
+      {"map", Value(ValueMap{{"inner", Value(true)}})},
+  });
+  EXPECT_EQ(nested.at("list").as_list().size(), 3u);
+  EXPECT_TRUE(nested.at("map").at("inner").as_bool());
+}
+
+TEST(ValueTest, ValueTypeNames) {
+  EXPECT_STREQ(to_string(ValueType::kNull), "null");
+  EXPECT_STREQ(to_string(ValueType::kMap), "map");
+  EXPECT_STREQ(to_string(ValueType::kBytes), "bytes");
+}
+
+}  // namespace
+}  // namespace hcm

@@ -1,0 +1,182 @@
+// Tests for dynamic service activation (paper §6 future work).
+#include "core/activation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::core {
+namespace {
+
+InterfaceDesc probe_interface() {
+  return InterfaceDesc{"Probe",
+                       {MethodDesc{"ping", {}, ValueType::kInt, false}}};
+}
+
+class ActivationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gw_a = &net.add_node("gw-a");
+    gw_b = &net.add_node("gw-b");
+    auto& eth = net.add_ethernet("backbone", sim::milliseconds(5),
+                                 10'000'000);
+    net.attach(*gw_a, eth);
+    net.attach(*gw_b, eth);
+    vsg_a = std::make_unique<VirtualServiceGateway>(net, gw_a->id(),
+                                                    "island-a");
+    vsg_b = std::make_unique<VirtualServiceGateway>(net, gw_b->id(),
+                                                    "island-b");
+    ASSERT_TRUE(vsg_a->start().is_ok());
+    ASSERT_TRUE(vsg_b->start().is_ok());
+    manager = std::make_unique<ActivationManager>(net, *vsg_a);
+  }
+
+  // Registers a counting activatable probe; instances_ counts factory runs.
+  Result<Uri> register_probe(ActivationManager::Options options) {
+    return manager->register_activatable(
+        "probe-1", probe_interface(),
+        [this]() -> ServiceHandler {
+          ++instances;
+          return [this](const std::string& method, const ValueList&,
+                        InvokeResultFn done) {
+            if (method == "ping") {
+              done(Value(++pings));
+            } else {
+              done(not_found(method));
+            }
+          };
+        },
+        options);
+  }
+
+  Result<Value> call_ping(const Uri& uri) {
+    std::optional<Result<Value>> result;
+    vsg_b->call_remote(uri, "probe-1", probe_interface(), "ping", {},
+                       [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(internal_error("no result"));
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* gw_a = nullptr;
+  net::Node* gw_b = nullptr;
+  std::unique_ptr<VirtualServiceGateway> vsg_a;
+  std::unique_ptr<VirtualServiceGateway> vsg_b;
+  std::unique_ptr<ActivationManager> manager;
+  int instances = 0;
+  std::int64_t pings = 0;
+};
+
+TEST_F(ActivationTest, DormantUntilFirstCall) {
+  auto uri = register_probe({});
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_FALSE(manager->is_active("probe-1"));
+  EXPECT_EQ(instances, 0);
+
+  auto r = call_ping(uri.value());
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), Value(1));
+  EXPECT_TRUE(manager->is_active("probe-1"));
+  EXPECT_EQ(instances, 1);
+  EXPECT_EQ(manager->activations("probe-1"), 1u);
+}
+
+TEST_F(ActivationTest, ActivationDelayIsPaid) {
+  ActivationManager::Options options;
+  options.activation_delay = sim::seconds(2);
+  auto uri = register_probe(options);
+  ASSERT_TRUE(uri.is_ok());
+
+  sim::SimTime t0 = sched.now();
+  auto first = call_ping(uri.value());
+  ASSERT_TRUE(first.is_ok());
+  auto cold = sched.now() - t0;
+  EXPECT_GE(cold, sim::seconds(2));
+
+  t0 = sched.now();
+  auto second = call_ping(uri.value());
+  ASSERT_TRUE(second.is_ok());
+  auto warm = sched.now() - t0;
+  EXPECT_LT(warm, sim::seconds(1));  // already live: no delay
+  EXPECT_EQ(instances, 1);           // not re-activated
+}
+
+TEST_F(ActivationTest, CallsDuringActivationAreQueuedNotFailed) {
+  ActivationManager::Options options;
+  options.activation_delay = sim::seconds(2);
+  auto uri = register_probe(options);
+  ASSERT_TRUE(uri.is_ok());
+
+  int completed = 0;
+  for (int i = 0; i < 5; ++i) {
+    vsg_b->call_remote(uri.value(), "probe-1", probe_interface(), "ping", {},
+                       [&](Result<Value> r) {
+                         ASSERT_TRUE(r.is_ok());
+                         ++completed;
+                       });
+  }
+  sim::run_until_done(sched, [&] { return completed == 5; });
+  EXPECT_EQ(completed, 5);
+  EXPECT_EQ(instances, 1);  // one activation served all queued calls
+  EXPECT_EQ(pings, 5);
+}
+
+TEST_F(ActivationTest, IdleTimeoutDeactivates) {
+  ActivationManager::Options options;
+  options.activation_delay = sim::milliseconds(100);
+  options.idle_timeout = sim::seconds(30);
+  auto uri = register_probe(options);
+  ASSERT_TRUE(call_ping(uri.value()).is_ok());
+  EXPECT_TRUE(manager->is_active("probe-1"));
+
+  sched.run_for(sim::seconds(31));
+  EXPECT_FALSE(manager->is_active("probe-1"));
+  EXPECT_EQ(manager->deactivations("probe-1"), 1u);
+
+  // Next call re-activates transparently.
+  auto r = call_ping(uri.value());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(instances, 2);
+  EXPECT_EQ(manager->activations("probe-1"), 2u);
+}
+
+TEST_F(ActivationTest, ActivityKeepsServiceAlive) {
+  ActivationManager::Options options;
+  options.idle_timeout = sim::seconds(30);
+  options.activation_delay = sim::milliseconds(100);
+  auto uri = register_probe(options);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(call_ping(uri.value()).is_ok());
+    sched.run_for(sim::seconds(20));  // under the idle timeout
+  }
+  EXPECT_TRUE(manager->is_active("probe-1"));
+  EXPECT_EQ(instances, 1);
+}
+
+TEST_F(ActivationTest, ZeroIdleTimeoutMeansForever) {
+  ActivationManager::Options options;
+  options.idle_timeout = 0;
+  auto uri = register_probe(options);
+  ASSERT_TRUE(call_ping(uri.value()).is_ok());
+  sched.run_for(sim::seconds(600));
+  EXPECT_TRUE(manager->is_active("probe-1"));
+}
+
+TEST_F(ActivationTest, DuplicateRegistrationRejected) {
+  ASSERT_TRUE(register_probe({}).is_ok());
+  auto second = register_probe({});
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(ActivationTest, UnregisterStopsService) {
+  auto uri = register_probe({});
+  ASSERT_TRUE(call_ping(uri.value()).is_ok());
+  manager->unregister("probe-1");
+  EXPECT_FALSE(manager->is_active("probe-1"));
+  auto r = call_ping(uri.value());
+  EXPECT_FALSE(r.is_ok());
+}
+
+}  // namespace
+}  // namespace hcm::core

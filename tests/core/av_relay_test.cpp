@@ -1,0 +1,129 @@
+// Tests for the cross-island AV stream relay (paper §6 future work:
+// "conversion of multimedia streams").
+#include "core/av_relay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testbed/home.hpp"
+
+namespace hcm::core {
+namespace {
+
+class AvRelayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    home = std::make_unique<testbed::SmartHome>(sched);
+    (void)home->refresh();
+    sender = std::make_unique<AvRelaySender>(home->net, home->havi_gw->id(),
+                                             *home->firewire);
+    receiver = std::make_unique<AvRelayReceiver>(home->net,
+                                                 home->jini_gw->id());
+    ASSERT_TRUE(receiver->start().is_ok());
+  }
+
+  // Puts the camera on an isochronous channel and starts capturing.
+  net::IsoChannel start_camera_stream() {
+    auto ch = home->firewire->allocate_channel(havi::kFrameBytes / 8);
+    EXPECT_TRUE(ch.is_ok());
+    std::optional<Result<Value>> r;
+    home->havi_adapter->invoke("camera-1", "startCapture", {},
+                               [&](Result<Value> v) { r = std::move(v); });
+    sim::run_until_done(sched, [&] { return r.has_value(); });
+    // Drive the camera's source hook directly through messaging.
+    havi::Seid self = home->fav->messaging.register_element(nullptr);
+    std::optional<Result<Value>> connected;
+    home->fav->messaging.send_request(
+        self, home->camera->seid(), "sm.connectSource",
+        {Value(static_cast<std::int64_t>(ch.value()))},
+        [&](Result<Value> v) { connected = std::move(v); });
+    sim::run_until_done(sched, [&] { return connected.has_value(); });
+    EXPECT_TRUE(connected->is_ok());
+    return ch.value();
+  }
+
+  sim::Scheduler sched;
+  std::unique_ptr<testbed::SmartHome> home;
+  std::unique_ptr<AvRelaySender> sender;
+  std::unique_ptr<AvRelayReceiver> receiver;
+};
+
+TEST_F(AvRelayTest, FramesCrossTheBackbone) {
+  auto ch = start_camera_stream();
+  std::uint64_t sink_frames = 0;
+  std::size_t sink_bytes = 0;
+  receiver->open_stream(1, [&](std::uint64_t, const Bytes& frame) {
+    ++sink_frames;
+    sink_bytes += frame.size();
+  });
+  ASSERT_TRUE(sender->relay(ch, receiver->endpoint(), 1).is_ok());
+
+  sched.run_for(sim::seconds(5));
+  // ~30 fps for 5 s.
+  EXPECT_GT(sink_frames, 100u);
+  EXPECT_EQ(sink_bytes, sink_frames * havi::kFrameBytes);
+  EXPECT_EQ(receiver->frames_lost(), 0u);
+  EXPECT_EQ(sender->frames_relayed(), receiver->frames_received());
+}
+
+TEST_F(AvRelayTest, SequenceGapsCountAsLoss) {
+  auto ch = start_camera_stream();
+  receiver->open_stream(1, [](std::uint64_t, const Bytes&) {});
+  ASSERT_TRUE(sender->relay(ch, receiver->endpoint(), 1).is_ok());
+  // Lossy backbone: some datagrams vanish.
+  home->backbone->set_drop_probability(0.2);
+  sched.run_for(sim::seconds(5));
+  home->backbone->set_drop_probability(0.0);
+  EXPECT_GT(receiver->frames_lost(), 0u);
+  EXPECT_GT(receiver->frames_received(), 0u);
+  EXPECT_LT(receiver->frames_received(), sender->frames_relayed());
+}
+
+TEST_F(AvRelayTest, StopEndsRelayWithoutKillingLocalSinks) {
+  auto ch = start_camera_stream();
+  // A local HAVi display also watches the same channel.
+  std::optional<Result<Value>> on;
+  home->havi_adapter->invoke("display-1", "powerOn", {},
+                             [&](Result<Value> v) { on = std::move(v); });
+  sim::run_until_done(sched, [&] { return on.has_value(); });
+  havi::Seid self = home->fav->messaging.register_element(nullptr);
+  std::optional<Result<Value>> connected;
+  home->fav->messaging.send_request(
+      self, home->display->seid(), "sm.connectSink",
+      {Value(static_cast<std::int64_t>(ch))},
+      [&](Result<Value> v) { connected = std::move(v); });
+  sim::run_until_done(sched, [&] { return connected.has_value(); });
+  ASSERT_TRUE(connected->is_ok());
+
+  receiver->open_stream(1, [](std::uint64_t, const Bytes&) {});
+  ASSERT_TRUE(sender->relay(ch, receiver->endpoint(), 1).is_ok());
+  sched.run_for(sim::seconds(2));
+  auto relayed_before = sender->frames_relayed();
+  auto shown_before = home->display->frames_shown();
+  EXPECT_GT(relayed_before, 0u);
+  EXPECT_GT(shown_before, 0u);
+
+  sender->stop(1);
+  sched.run_for(sim::seconds(2));
+  // Relay stopped; the local display keeps receiving.
+  EXPECT_EQ(sender->frames_relayed(), relayed_before);
+  EXPECT_GT(home->display->frames_shown(), shown_before);
+}
+
+TEST_F(AvRelayTest, DuplicateStreamIdRejected) {
+  auto ch = start_camera_stream();
+  ASSERT_TRUE(sender->relay(ch, receiver->endpoint(), 7).is_ok());
+  auto dup = sender->relay(ch, receiver->endpoint(), 7);
+  ASSERT_FALSE(dup.is_ok());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(AvRelayTest, UnknownStreamFramesDropped) {
+  auto ch = start_camera_stream();
+  // Relay to a stream id the receiver never opened.
+  ASSERT_TRUE(sender->relay(ch, receiver->endpoint(), 99).is_ok());
+  sched.run_for(sim::seconds(2));
+  EXPECT_EQ(receiver->frames_received(), 0u);
+}
+
+}  // namespace
+}  // namespace hcm::core

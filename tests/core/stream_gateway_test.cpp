@@ -1,0 +1,110 @@
+#include "core/stream_gateway.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::core {
+namespace {
+
+class EventGatewayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gw_a = &net.add_node("gw-a");
+    gw_b = &net.add_node("gw-b");
+    auto& eth = net.add_ethernet("backbone", sim::milliseconds(5),
+                                 10'000'000);
+    net.attach(*gw_a, eth);
+    net.attach(*gw_b, eth);
+    a = std::make_unique<EventGateway>(net, gw_a->id());
+    b = std::make_unique<EventGateway>(net, gw_b->id());
+    ASSERT_TRUE(a->start().is_ok());
+    ASSERT_TRUE(b->start().is_ok());
+    a->add_peer({gw_b->id(), kEventGatewayPort});
+    b->add_peer({gw_a->id(), kEventGatewayPort});
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* gw_a = nullptr;
+  net::Node* gw_b = nullptr;
+  std::unique_ptr<EventGateway> a;
+  std::unique_ptr<EventGateway> b;
+};
+
+TEST_F(EventGatewayTest, LocalDelivery) {
+  std::vector<Value> got;
+  a->subscribe("motion", [&](const std::string&, const Value& v) {
+    got.push_back(v);
+  });
+  a->publish("motion", Value("hallway"));
+  sched.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], Value("hallway"));
+}
+
+TEST_F(EventGatewayTest, CrossIslandDelivery) {
+  std::vector<std::string> got;
+  b->subscribe("motion", [&](const std::string& topic, const Value&) {
+    got.push_back(topic);
+  });
+  a->publish("motion", Value(1));
+  sched.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(b->events_delivered(), 1u);
+}
+
+TEST_F(EventGatewayTest, TopicFiltering) {
+  int motion = 0, other = 0;
+  b->subscribe("motion", [&](const std::string&, const Value&) { ++motion; });
+  b->subscribe("door", [&](const std::string&, const Value&) { ++other; });
+  a->publish("motion", Value(1));
+  a->publish("motion", Value(2));
+  a->publish("temperature", Value(3));
+  sched.run();
+  EXPECT_EQ(motion, 2);
+  EXPECT_EQ(other, 0);
+}
+
+TEST_F(EventGatewayTest, WildcardSubscription) {
+  int all = 0;
+  b->subscribe("*", [&](const std::string&, const Value&) { ++all; });
+  a->publish("x", Value(1));
+  a->publish("y", Value(2));
+  sched.run();
+  EXPECT_EQ(all, 2);
+}
+
+TEST_F(EventGatewayTest, UnsubscribeStopsDelivery) {
+  int got = 0;
+  auto id = b->subscribe("t", [&](const std::string&, const Value&) { ++got; });
+  a->publish("t", Value(1));
+  sched.run();
+  b->unsubscribe(id);
+  a->publish("t", Value(2));
+  sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(EventGatewayTest, NotificationLatencyIsOneDatagram) {
+  // The point of the extension: push latency ~ link latency, not a
+  // polling interval.
+  std::optional<sim::SimTime> seen_at;
+  b->subscribe("t", [&](const std::string&, const Value&) {
+    seen_at = sched.now();
+  });
+  sim::SimTime sent_at = sched.now();
+  a->publish("t", Value(1));
+  sched.run();
+  ASSERT_TRUE(seen_at.has_value());
+  EXPECT_LT(*seen_at - sent_at, sim::milliseconds(50));
+}
+
+TEST_F(EventGatewayTest, PeerDownLosesEventSilently) {
+  gw_b->set_up(false);
+  a->publish("t", Value(1));  // datagram semantics: best effort
+  sched.run();
+  EXPECT_EQ(b->events_delivered(), 0u);
+  EXPECT_EQ(a->events_published(), 1u);
+}
+
+}  // namespace
+}  // namespace hcm::core

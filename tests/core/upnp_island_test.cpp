@@ -1,0 +1,112 @@
+// "New middleware can be participated in our framework effortlessly"
+// (§3): connect a UPnP island to the running smart home by writing one
+// adapter — no change to any existing island, service, or client.
+#include <gtest/gtest.h>
+
+#include "core/adapters/upnp_adapter.hpp"
+#include "testbed/home.hpp"
+#include "upnp/upnp.hpp"
+
+namespace hcm::testbed {
+namespace {
+
+class UpnpIslandTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    home = std::make_unique<SmartHome>(sched);
+
+    // Build the UPnP island: its own LAN, a gateway, a smart plug.
+    upnp_lan = &home->net.add_ethernet("upnp-lan", sim::microseconds(200),
+                                       100'000'000);
+    upnp_gw = &home->net.add_node("upnp-gw");
+    plug_node = &home->net.add_node("smart-plug");
+    home->net.attach(*upnp_gw, *upnp_lan);
+    home->net.attach(*upnp_gw, *home->backbone);
+    home->net.attach(*plug_node, *upnp_lan);
+
+    plug = std::make_unique<upnp::UpnpDevice>(home->net, plug_node->id(),
+                                              "Smart Plug");
+    plug->add_service(
+        "plug-1",
+        InterfaceDesc{"BinaryLight",
+                      {MethodDesc{"turnOn", {}, ValueType::kBool, false},
+                       MethodDesc{"turnOff", {}, ValueType::kBool, false}}},
+        [this](const std::string& method, const ValueList&,
+               InvokeResultFn done) {
+          plug_on = method == "turnOn";
+          done(Value(true));
+        });
+    ASSERT_TRUE(plug->start().is_ok());
+
+    auto adapter =
+        std::make_unique<core::UpnpAdapter>(home->net, upnp_gw->id());
+    upnp_adapter = adapter.get();
+    auto island = home->meta->add_island("upnp-island", upnp_gw->id(),
+                                         std::move(adapter));
+    ASSERT_TRUE(island.is_ok()) << island.status().to_string();
+    ASSERT_TRUE(home->refresh().is_ok());
+  }
+
+  Result<Value> via(core::MiddlewareAdapter& adapter,
+                    const std::string& service, const std::string& method,
+                    const ValueList& args) {
+    std::optional<Result<Value>> result;
+    adapter.invoke(service, method, args,
+                   [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(internal_error("no result"));
+  }
+
+  sim::Scheduler sched;
+  std::unique_ptr<SmartHome> home;
+  net::EthernetSegment* upnp_lan = nullptr;
+  net::Node* upnp_gw = nullptr;
+  net::Node* plug_node = nullptr;
+  std::unique_ptr<upnp::UpnpDevice> plug;
+  core::UpnpAdapter* upnp_adapter = nullptr;
+  bool plug_on = false;
+};
+
+TEST_F(UpnpIslandTest, UpnpServiceJoinsTheVsr) {
+  // 8 original + plug-1.
+  EXPECT_EQ(home->vsr->registry().size(), 9u);
+}
+
+TEST_F(UpnpIslandTest, JiniIslandControlsUpnpPlug) {
+  auto r = via(*home->jini_adapter, "plug-1", "turnOn", {});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(plug_on);
+}
+
+TEST_F(UpnpIslandTest, UpnpIslandControlsX10Lamp) {
+  auto r = via(*upnp_adapter, "desk-lamp", "turnOn", {});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(home->lamp->is_on());
+}
+
+TEST_F(UpnpIslandTest, UpnpIslandControlsHaviCamera) {
+  auto r = via(*upnp_adapter, "camera-1", "startCapture", {});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_TRUE(home->camera->capturing());
+}
+
+TEST_F(UpnpIslandTest, X10RemoteReachesUpnpPlug) {
+  // Press the virtual unit the plug was bound to: powerline ->
+  // CM11A -> SOAP -> UPnP control action.
+  auto unit = home->x10_adapter->unit_for("plug-1");
+  ASSERT_TRUE(unit.is_ok()) << unit.status().to_string();
+  home->remote->press(unit.value(), x10::FunctionCode::kOn);
+  sched.run_for(sim::seconds(30));
+  EXPECT_TRUE(plug_on);
+}
+
+TEST_F(UpnpIslandTest, ExistingIslandsUnchanged) {
+  // The original cross-calls still work exactly as before.
+  auto r = via(*home->havi_adapter, "laserdisc-1", "turnOn", {});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(home->laserdisc->powered());
+}
+
+}  // namespace
+}  // namespace hcm::testbed

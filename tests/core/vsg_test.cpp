@@ -1,0 +1,173 @@
+#include "core/vsg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::core {
+namespace {
+
+InterfaceDesc calc_interface() {
+  return InterfaceDesc{
+      "Calc",
+      {MethodDesc{"add",
+                  {{"a", ValueType::kInt}, {"b", ValueType::kInt}},
+                  ValueType::kInt,
+                  false}}};
+}
+
+class VsgTest : public ::testing::TestWithParam<VsgProtocol> {
+ protected:
+  void SetUp() override {
+    gw_a = &net.add_node("gw-a");
+    gw_b = &net.add_node("gw-b");
+    auto& eth = net.add_ethernet("backbone", sim::milliseconds(5),
+                                 10'000'000);
+    net.attach(*gw_a, eth);
+    net.attach(*gw_b, eth);
+    vsg_a = std::make_unique<VirtualServiceGateway>(net, gw_a->id(),
+                                                    "island-a", 8080,
+                                                    GetParam());
+    vsg_b = std::make_unique<VirtualServiceGateway>(net, gw_b->id(),
+                                                    "island-b", 8080,
+                                                    GetParam());
+    ASSERT_TRUE(vsg_a->start().is_ok());
+    ASSERT_TRUE(vsg_b->start().is_ok());
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* gw_a = nullptr;
+  net::Node* gw_b = nullptr;
+  std::unique_ptr<VirtualServiceGateway> vsg_a;
+  std::unique_ptr<VirtualServiceGateway> vsg_b;
+};
+
+TEST_P(VsgTest, ExposeAndCallAcrossGateways) {
+  auto uri = vsg_a->expose(
+      "calc-1", calc_interface(),
+      [](const std::string& method, const ValueList& args,
+         InvokeResultFn done) {
+        ASSERT_EQ(method, "add");
+        done(Value(args[0].as_int() + args[1].as_int()));
+      });
+  ASSERT_TRUE(uri.is_ok()) << uri.status().to_string();
+
+  std::optional<Result<Value>> result;
+  vsg_b->call_remote(uri.value(), "calc-1", calc_interface(), "add",
+                     {Value(20), Value(22)},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->is_ok()) << result->status().to_string();
+  EXPECT_EQ(result->value(), Value(42));
+  EXPECT_EQ(vsg_a->local_dispatches(), 1u);
+  EXPECT_EQ(vsg_b->remote_calls(), 1u);
+}
+
+TEST_P(VsgTest, ArgumentsValidatedBeforeWire) {
+  auto uri = vsg_a->expose("calc-1", calc_interface(),
+                           [](const std::string&, const ValueList&,
+                              InvokeResultFn done) { done(Value(0)); });
+  ASSERT_TRUE(uri.is_ok());
+  std::optional<Result<Value>> result;
+  vsg_b->call_remote(uri.value(), "calc-1", calc_interface(), "add",
+                     {Value("x"), Value(1)},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->is_ok());
+  EXPECT_EQ(vsg_b->remote_calls(), 0u);  // rejected client-side
+}
+
+TEST_P(VsgTest, UnknownMethodRejected) {
+  auto uri = vsg_a->expose("calc-1", calc_interface(),
+                           [](const std::string&, const ValueList&,
+                              InvokeResultFn done) { done(Value(0)); });
+  std::optional<Result<Value>> result;
+  vsg_b->call_remote(uri.value(), "calc-1", calc_interface(), "subtract",
+                     {Value(1), Value(2)},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  EXPECT_FALSE(result->is_ok());
+}
+
+TEST_P(VsgTest, DoubleExposeRejected) {
+  auto handler = [](const std::string&, const ValueList&,
+                    InvokeResultFn done) { done(Value(0)); };
+  ASSERT_TRUE(vsg_a->expose("calc-1", calc_interface(), handler).is_ok());
+  auto second = vsg_a->expose("calc-1", calc_interface(), handler);
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_P(VsgTest, UnexposeStopsService) {
+  auto uri = vsg_a->expose("calc-1", calc_interface(),
+                           [](const std::string&, const ValueList&,
+                              InvokeResultFn done) { done(Value(7)); });
+  ASSERT_TRUE(uri.is_ok());
+  vsg_a->unexpose("calc-1");
+  EXPECT_FALSE(vsg_a->is_exposed("calc-1"));
+  std::optional<Result<Value>> result;
+  vsg_b->call_remote(uri.value(), "calc-1", calc_interface(), "add",
+                     {Value(1), Value(2)},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->is_ok());
+}
+
+TEST_P(VsgTest, ServiceErrorTunnels) {
+  auto uri = vsg_a->expose("calc-1", calc_interface(),
+                           [](const std::string&, const ValueList&,
+                              InvokeResultFn done) {
+                             done(resource_exhausted("overflow"));
+                           });
+  std::optional<Result<Value>> result;
+  vsg_b->call_remote(uri.value(), "calc-1", calc_interface(), "add",
+                     {Value(1), Value(2)},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->is_ok());
+  EXPECT_EQ(result->status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(result->status().message(), "overflow");
+}
+
+TEST_P(VsgTest, GatewayDownSurfacesUnavailable) {
+  auto uri = vsg_a->expose("calc-1", calc_interface(),
+                           [](const std::string&, const ValueList&,
+                              InvokeResultFn done) { done(Value(0)); });
+  gw_a->set_up(false);
+  std::optional<Result<Value>> result;
+  vsg_b->call_remote(uri.value(), "calc-1", calc_interface(), "add",
+                     {Value(1), Value(2)},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->is_ok());
+}
+
+TEST_P(VsgTest, ExposureUriMatchesProtocol) {
+  auto uri = vsg_a->expose("calc-1", calc_interface(),
+                           [](const std::string&, const ValueList&,
+                              InvokeResultFn done) { done(Value(0)); });
+  ASSERT_TRUE(uri.is_ok());
+  EXPECT_EQ(uri.value(), vsg_a->exposure_uri("calc-1"));
+  if (GetParam() == VsgProtocol::kSoap) {
+    EXPECT_EQ(uri.value().scheme, "http");
+  } else {
+    EXPECT_EQ(uri.value().scheme, "hcmb");
+  }
+  EXPECT_EQ(uri.value().host, "gw-a");
+}
+
+INSTANTIATE_TEST_SUITE_P(BothProtocols, VsgTest,
+                         ::testing::Values(VsgProtocol::kSoap,
+                                           VsgProtocol::kBinary),
+                         [](const auto& info) {
+                           return info.param == VsgProtocol::kSoap
+                                      ? "Soap"
+                                      : "Binary";
+                         });
+
+}  // namespace
+}  // namespace hcm::core

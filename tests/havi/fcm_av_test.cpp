@@ -1,0 +1,175 @@
+// Focused tests for the AV FCMs not fully covered by the stack test:
+// tuner, display, and VCR playback mechanics.
+#include <gtest/gtest.h>
+
+#include "havi/fcm_av.hpp"
+
+namespace hcm::havi {
+namespace {
+
+class FcmAvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    node = &net.add_node("av-node");
+    bus = &net.add_ieee1394("firewire");
+    net.attach(*node, *bus);
+    ms = std::make_unique<MessagingSystem>(net, node->id());
+    ASSERT_TRUE(ms->start().is_ok());
+  }
+
+  Result<Value> call(Fcm& fcm, const std::string& op, const ValueList& args) {
+    Seid self = ms->register_element(nullptr);
+    std::optional<Result<Value>> result;
+    ms->send_request(self, fcm.seid(), op, args,
+                     [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    ms->unregister_element(self);
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(internal_error("no reply"));
+  }
+
+  // Drives the stream-manager hooks directly.
+  Status connect_source(Fcm& fcm, net::IsoChannel ch) {
+    Seid self = ms->register_element(nullptr);
+    std::optional<Result<Value>> result;
+    ms->send_request(self, fcm.seid(), "sm.connectSource",
+                     {Value(static_cast<std::int64_t>(ch))},
+                     [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    return result->is_ok() ? Status::ok() : result->status();
+  }
+  Status connect_sink(Fcm& fcm, net::IsoChannel ch) {
+    Seid self = ms->register_element(nullptr);
+    std::optional<Result<Value>> result;
+    ms->send_request(self, fcm.seid(), "sm.connectSink",
+                     {Value(static_cast<std::int64_t>(ch))},
+                     [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    return result->is_ok() ? Status::ok() : result->status();
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* node = nullptr;
+  net::Ieee1394Bus* bus = nullptr;
+  std::unique_ptr<MessagingSystem> ms;
+};
+
+TEST_F(FcmAvTest, TunerChannelBounds) {
+  TunerFcm tuner(*ms, *bus, "huid-t", "tuner");
+  EXPECT_TRUE(call(tuner, "setChannel", {Value(1)}).is_ok());
+  EXPECT_TRUE(call(tuner, "setChannel", {Value(999)}).is_ok());
+  EXPECT_FALSE(call(tuner, "setChannel", {Value(0)}).is_ok());
+  EXPECT_FALSE(call(tuner, "setChannel", {Value(1000)}).is_ok());
+  auto got = call(tuner, "getChannel", {});
+  ASSERT_TRUE(got.is_ok());
+  EXPECT_EQ(got.value(), Value(999));
+}
+
+TEST_F(FcmAvTest, TunerStreamsWhenConnected) {
+  TunerFcm tuner(*ms, *bus, "huid-t", "tuner");
+  auto ch = bus->allocate_channel(512);
+  ASSERT_TRUE(ch.is_ok());
+  std::uint64_t frames = 0;
+  bus->listen_channel(ch.value(),
+                      [&](net::IsoChannel, const Bytes&) { ++frames; });
+  ASSERT_TRUE(connect_source(tuner, ch.value()).is_ok());
+  sched.run_for(sim::seconds(2));
+  EXPECT_GT(frames, 30u);  // ~30fps broadcast
+}
+
+TEST_F(FcmAvTest, DisplayCountsOnlyWhenPowered) {
+  DisplayFcm display(*ms, *bus, "huid-d", "display");
+  auto ch = bus->allocate_channel(512);
+  ASSERT_TRUE(ch.is_ok());
+  ASSERT_TRUE(connect_sink(display, ch.value()).is_ok());
+  // Powered off: frames are ignored.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bus->send_iso(ch.value(), Bytes(128)).is_ok());
+  }
+  sched.run_for(sim::seconds(1));
+  EXPECT_EQ(display.frames_shown(), 0u);
+  // Powered on: frames count.
+  ASSERT_TRUE(call(display, "powerOn", {}).is_ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(bus->send_iso(ch.value(), Bytes(128)).is_ok());
+  }
+  sched.run_for(sim::seconds(1));
+  EXPECT_EQ(display.frames_shown(), 5u);
+}
+
+TEST_F(FcmAvTest, DisplayInputSelection) {
+  DisplayFcm display(*ms, *bus, "huid-d", "display");
+  ASSERT_TRUE(call(display, "selectInput", {Value("composite")}).is_ok());
+  auto status = call(display, "getStatus", {});
+  ASSERT_TRUE(status.is_ok());
+  EXPECT_EQ(status.value().at("input"), Value("composite"));
+}
+
+TEST_F(FcmAvTest, VcrPlaybackStopsAtEndOfTape) {
+  VcrFcm vcr(*ms, *bus, "huid-v", "vcr");
+  // Record ~2 seconds of "tape".
+  ASSERT_TRUE(call(vcr, "record", {Value(1)}).is_ok());
+  sched.run_for(sim::seconds(2));
+  ASSERT_TRUE(call(vcr, "stop", {}).is_ok());
+  const auto tape = vcr.tape_frames();
+  ASSERT_GT(tape, 10u);
+
+  // Play back through an iso channel until the tape runs out.
+  auto ch = bus->allocate_channel(512);
+  ASSERT_TRUE(ch.is_ok());
+  std::uint64_t frames = 0;
+  bus->listen_channel(ch.value(),
+                      [&](net::IsoChannel, const Bytes&) { ++frames; });
+  ASSERT_TRUE(connect_source(vcr, ch.value()).is_ok());
+  ASSERT_TRUE(call(vcr, "play", {}).is_ok());
+  sched.run_for(sim::seconds(10));
+  EXPECT_EQ(vcr.state(), TransportState::kStop);  // auto-stop at end
+  EXPECT_EQ(frames, tape);                        // every frame played once
+  auto counter = call(vcr, "getCounter", {});
+  ASSERT_TRUE(counter.is_ok());
+  EXPECT_EQ(counter.value(), Value(static_cast<std::int64_t>(tape)));
+}
+
+TEST_F(FcmAvTest, PauseHaltsRecordingProgress) {
+  VcrFcm vcr(*ms, *bus, "huid-v", "vcr");
+  ASSERT_TRUE(call(vcr, "record", {Value(5)}).is_ok());
+  sched.run_for(sim::seconds(2));
+  ASSERT_TRUE(call(vcr, "pause", {}).is_ok());
+  const auto frames_at_pause = vcr.tape_frames();
+  sched.run_for(sim::seconds(5));
+  EXPECT_EQ(vcr.tape_frames(), frames_at_pause);
+}
+
+TEST_F(FcmAvTest, NonAvSmHooksRejected) {
+  // A bare tuner connected as *sink* must be rejected (it is a source).
+  TunerFcm tuner(*ms, *bus, "huid-t", "tuner");
+  auto status = connect_sink(tuner, 5);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(FcmAvTest, BadChannelNumberRejected) {
+  DisplayFcm display(*ms, *bus, "huid-d", "display");
+  Seid self = ms->register_element(nullptr);
+  std::optional<Result<Value>> result;
+  ms->send_request(self, display.seid(), "sm.connectSink", {Value(64)},
+                   [&](Result<Value> r) { result = std::move(r); });
+  sim::run_until_done(sched, [&] { return result.has_value(); });
+  EXPECT_FALSE(result->is_ok());
+}
+
+TEST_F(FcmAvTest, AttributesDescribeTheFcm) {
+  VcrFcm vcr(*ms, *bus, "huid-v", "living-room-vcr");
+  auto attrs = vcr.attributes();
+  EXPECT_EQ(attrs.at(kAttrSeType), Value("FCM"));
+  EXPECT_EQ(attrs.at(kAttrDeviceClass), Value("VCR"));
+  EXPECT_EQ(attrs.at(kAttrHuid), Value("huid-v"));
+  EXPECT_EQ(attrs.at(kAttrName), Value("living-room-vcr"));
+  auto iface = interface_from_value(attrs.at(kAttrInterface));
+  ASSERT_TRUE(iface.is_ok());
+  EXPECT_EQ(iface.value(), VcrFcm::describe_interface());
+}
+
+}  // namespace
+}  // namespace hcm::havi

@@ -1,0 +1,152 @@
+#include "havi/messaging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::havi {
+namespace {
+
+class HaviMessagingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    node_a = &net.add_node("fav");
+    node_b = &net.add_node("vcr-device");
+    bus = &net.add_ieee1394("firewire");
+    net.attach(*node_a, *bus);
+    net.attach(*node_b, *bus);
+    ms_a = std::make_unique<MessagingSystem>(net, node_a->id());
+    ms_b = std::make_unique<MessagingSystem>(net, node_b->id());
+    ASSERT_TRUE(ms_a->start().is_ok());
+    ASSERT_TRUE(ms_b->start().is_ok());
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* node_a = nullptr;
+  net::Node* node_b = nullptr;
+  net::Ieee1394Bus* bus = nullptr;
+  std::unique_ptr<MessagingSystem> ms_a;
+  std::unique_ptr<MessagingSystem> ms_b;
+};
+
+TEST_F(HaviMessagingTest, SeidValueRoundTrip) {
+  Seid seid{5, 17};
+  auto decoded = Seid::from_value(seid.to_value());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), seid);
+  EXPECT_FALSE(Seid::from_value(Value("x")).is_ok());
+}
+
+TEST_F(HaviMessagingTest, RemoteRequestReply) {
+  Seid echo = ms_b->register_element(
+      [](const std::string& op, const ValueList& args, InvokeResultFn done) {
+        if (op == "echo") {
+          done(args.empty() ? Value() : args[0]);
+        } else {
+          done(not_found("?"));
+        }
+      });
+  Seid self = ms_a->register_element(nullptr);
+  std::optional<Result<Value>> result;
+  ms_a->send_request(self, echo, "echo", {Value("hello")},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->is_ok());
+  EXPECT_EQ(result->value(), Value("hello"));
+}
+
+TEST_F(HaviMessagingTest, LocalDeliveryWorks) {
+  Seid echo = ms_a->register_element(
+      [](const std::string&, const ValueList& args, InvokeResultFn done) {
+        done(args[0]);
+      });
+  Seid self = ms_a->register_element(nullptr);
+  std::optional<Result<Value>> result;
+  ms_a->send_request(self, echo, "x", {Value(3)},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result->is_ok());
+  EXPECT_EQ(result->value(), Value(3));
+}
+
+TEST_F(HaviMessagingTest, ErrorsPropagate) {
+  Seid failing = ms_b->register_element(
+      [](const std::string&, const ValueList&, InvokeResultFn done) {
+        done(unavailable("tape jammed"));
+      });
+  Seid self = ms_a->register_element(nullptr);
+  std::optional<Result<Value>> result;
+  ms_a->send_request(self, failing, "op", {},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_FALSE(result->is_ok());
+  EXPECT_EQ(result->status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(result->status().message(), "tape jammed");
+}
+
+TEST_F(HaviMessagingTest, UnknownDestinationFails) {
+  Seid self = ms_a->register_element(nullptr);
+  std::optional<Result<Value>> result;
+  ms_a->send_request(self, Seid{node_b->id(), 9999}, "op", {},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_FALSE(result->is_ok());
+  EXPECT_EQ(result->status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(HaviMessagingTest, RequestTimesOutWhenBusDown) {
+  Seid echo = ms_b->register_element(
+      [](const std::string&, const ValueList&, InvokeResultFn done) {
+        done(Value(1));
+      });
+  Seid self = ms_a->register_element(nullptr);
+  bus->set_up(false);
+  std::optional<Result<Value>> result;
+  ms_a->send_request(self, echo, "x", {},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->is_ok());
+  EXPECT_EQ(result->status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(HaviMessagingTest, NotificationIsFireAndForget) {
+  int received = 0;
+  ms_b->register_element(
+      [&](const std::string& op, const ValueList&, InvokeResultFn done) {
+        if (op == "tick") ++received;
+        done(Value());
+      });
+  // Handles are deterministic: first user element gets kFirstUserHandle.
+  Seid target{node_b->id(), kFirstUserHandle};
+  Seid self = ms_a->register_element(nullptr);
+  ms_a->send_notification(self, target, "tick", {});
+  ms_a->send_notification(self, target, "tick", {});
+  sched.run();
+  EXPECT_EQ(received, 2);
+}
+
+TEST_F(HaviMessagingTest, SystemElementHandleConflict) {
+  auto first = ms_a->register_system_element(kRegistryHandle, nullptr);
+  ASSERT_TRUE(first.is_ok());
+  auto second = ms_a->register_system_element(kRegistryHandle, nullptr);
+  EXPECT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(HaviMessagingTest, UnregisterStopsDispatch) {
+  Seid echo = ms_b->register_element(
+      [](const std::string&, const ValueList&, InvokeResultFn done) {
+        done(Value(1));
+      });
+  ms_b->unregister_element(echo);
+  Seid self = ms_a->register_element(nullptr);
+  std::optional<Result<Value>> result;
+  ms_a->send_request(self, echo, "x", {},
+                     [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_FALSE(result->is_ok());
+}
+
+}  // namespace
+}  // namespace hcm::havi

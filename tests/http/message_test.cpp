@@ -1,0 +1,141 @@
+#include "http/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::http {
+namespace {
+
+TEST(HttpMessageTest, RequestSerializeIncludesContentLength) {
+  Request req;
+  req.method = "POST";
+  req.target = "/soap";
+  req.body = "hello";
+  req.set_header("Content-Type", "text/xml");
+  auto s = to_string(req.serialize());
+  EXPECT_NE(s.find("POST /soap HTTP/1.1\r\n"), std::string::npos);
+  EXPECT_NE(s.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(s.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(HttpMessageTest, HeaderLookupCaseInsensitive) {
+  Request req;
+  req.set_header("Content-Type", "text/xml");
+  ASSERT_NE(req.header("content-type"), nullptr);
+  EXPECT_EQ(*req.header("CONTENT-TYPE"), "text/xml");
+  EXPECT_EQ(req.header("X-Missing"), nullptr);
+}
+
+TEST(HttpMessageTest, SetHeaderOverwrites) {
+  Response r;
+  r.set_header("X-A", "1");
+  r.set_header("x-a", "2");
+  EXPECT_EQ(*r.header("X-A"), "2");
+  EXPECT_EQ(r.headers.size(), 1u);
+}
+
+TEST(HttpParserTest, ParseSingleRequest) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  Request req;
+  req.method = "POST";
+  req.target = "/x";
+  req.body = "body!";
+  ASSERT_TRUE(p.feed(req.serialize()).is_ok());
+  auto reqs = p.take_requests();
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].method, "POST");
+  EXPECT_EQ(reqs[0].target, "/x");
+  EXPECT_EQ(reqs[0].body, "body!");
+}
+
+TEST(HttpParserTest, ParseResponseWithReasonPhrase) {
+  MessageParser p(MessageParser::Mode::kResponse);
+  Response resp = Response::make(404, "Not Found", "nope");
+  ASSERT_TRUE(p.feed(resp.serialize()).is_ok());
+  auto resps = p.take_responses();
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].status, 404);
+  EXPECT_EQ(resps[0].reason, "Not Found");
+  EXPECT_EQ(resps[0].body, "nope");
+}
+
+TEST(HttpParserTest, ByteAtATimeFeeding) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  Request req;
+  req.body = "chunky";
+  Bytes wire = req.serialize();
+  std::vector<Request> all;
+  for (auto b : wire) {
+    ASSERT_TRUE(p.feed({b}).is_ok());
+    for (auto& r : p.take_requests()) all.push_back(std::move(r));
+  }
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].body, "chunky");
+}
+
+TEST(HttpParserTest, PipelinedMessages) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  Request a, b;
+  a.target = "/one";
+  b.target = "/two";
+  b.body = "data";
+  Bytes wire = a.serialize();
+  Bytes wire_b = b.serialize();
+  wire.insert(wire.end(), wire_b.begin(), wire_b.end());
+  ASSERT_TRUE(p.feed(wire).is_ok());
+  auto reqs = p.take_requests();
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].target, "/one");
+  EXPECT_EQ(reqs[1].target, "/two");
+  EXPECT_EQ(reqs[1].body, "data");
+}
+
+TEST(HttpParserTest, ZeroLengthBody) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed(to_bytes("GET / HTTP/1.1\r\n\r\n")).is_ok());
+  auto reqs = p.take_requests();
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(reqs[0].body, "");
+}
+
+TEST(HttpParserTest, MalformedRequestLine) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  EXPECT_FALSE(p.feed(to_bytes("NONSENSE\r\n\r\n")).is_ok());
+}
+
+TEST(HttpParserTest, MalformedHeaderLine) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  EXPECT_FALSE(
+      p.feed(to_bytes("GET / HTTP/1.1\r\nBadHeaderNoColon\r\n\r\n")).is_ok());
+}
+
+TEST(HttpParserTest, BadContentLength) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  EXPECT_FALSE(
+      p.feed(to_bytes("GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"))
+          .is_ok());
+}
+
+TEST(HttpParserTest, BadStatusCode) {
+  MessageParser p(MessageParser::Mode::kResponse);
+  EXPECT_FALSE(p.feed(to_bytes("HTTP/1.1 XX OK\r\n\r\n")).is_ok());
+}
+
+TEST(HttpParserTest, OversizedHeadersRejected) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  std::string big = "GET / HTTP/1.1\r\nX-Pad: ";
+  big += std::string(100 * 1024, 'a');  // never terminates headers
+  EXPECT_FALSE(p.feed(to_bytes(big)).is_ok());
+}
+
+TEST(HttpParserTest, HeaderWhitespaceTrimmed) {
+  MessageParser p(MessageParser::Mode::kRequest);
+  ASSERT_TRUE(
+      p.feed(to_bytes("GET / HTTP/1.1\r\nX-K:   padded value  \r\n\r\n"))
+          .is_ok());
+  auto reqs = p.take_requests();
+  ASSERT_EQ(reqs.size(), 1u);
+  EXPECT_EQ(*reqs[0].header("X-K"), "padded value");
+}
+
+}  // namespace
+}  // namespace hcm::http

@@ -1,0 +1,274 @@
+#include "jini/lookup.hpp"
+
+#include <gtest/gtest.h>
+
+#include "jini/registrar.hpp"
+
+namespace hcm::jini {
+namespace {
+
+InterfaceDesc echo_interface() {
+  return InterfaceDesc{
+      "Echo", {MethodDesc{"echo", {{"v", ValueType::kNull}},
+                          ValueType::kNull, false}}};
+}
+
+class JiniStackTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lookup_node = &net.add_node("lookup-host");
+    service_node = &net.add_node("appliance");
+    client_node = &net.add_node("pc");
+    eth = &net.add_ethernet("jini-lan", sim::microseconds(200), 100'000'000);
+    net.attach(*lookup_node, *eth);
+    net.attach(*service_node, *eth);
+    net.attach(*client_node, *eth);
+
+    lookup = std::make_unique<LookupService>(net, lookup_node->id());
+    ASSERT_TRUE(lookup->start().is_ok());
+
+    exporter = std::make_unique<Exporter>(net, service_node->id(), 4170);
+    ASSERT_TRUE(exporter->start().is_ok());
+    exporter->export_object(
+        "echo-1", [](const std::string& method, const ValueList& args,
+                     InvokeResultFn done) {
+          if (method == "echo") {
+            done(args.empty() ? Value() : args[0]);
+          } else {
+            done(not_found("no method " + method));
+          }
+        });
+  }
+
+  ServiceItem echo_item() {
+    ServiceItem item;
+    item.service_id = "echo-1";
+    item.name = "echo";
+    item.interface = echo_interface();
+    item.endpoint = exporter->endpoint();
+    return item;
+  }
+
+  // Registers the echo service and waits for completion.
+  std::unique_ptr<Registrar> join_echo(sim::Duration lease = sim::seconds(30)) {
+    auto registrar = std::make_unique<Registrar>(
+        net, service_node->id(), lookup->endpoint(), echo_item(), lease);
+    std::optional<Status> result;
+    registrar->join([&](const Status& s) { result = s; });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value() && result->is_ok());
+    return registrar;
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* lookup_node = nullptr;
+  net::Node* service_node = nullptr;
+  net::Node* client_node = nullptr;
+  net::EthernetSegment* eth = nullptr;
+  std::unique_ptr<LookupService> lookup;
+  std::unique_ptr<Exporter> exporter;
+};
+
+TEST_F(JiniStackTest, RegisterAndLookup) {
+  auto registrar = join_echo();
+  EXPECT_EQ(lookup->service_count(), 1u);
+
+  LookupClient client(net, client_node->id(), lookup->endpoint());
+  std::optional<Result<std::vector<ServiceItem>>> found;
+  client.lookup("Echo", {}, [&](auto r) { found = std::move(r); });
+  sim::run_until_done(sched, [&] { return found.has_value(); });
+  ASSERT_TRUE(found.has_value());
+  ASSERT_TRUE(found->is_ok());
+  ASSERT_EQ(found->value().size(), 1u);
+  EXPECT_EQ(found->value()[0].name, "echo");
+}
+
+TEST_F(JiniStackTest, LookupByWrongInterfaceReturnsEmpty) {
+  auto registrar = join_echo();
+  LookupClient client(net, client_node->id(), lookup->endpoint());
+  std::optional<Result<std::vector<ServiceItem>>> found;
+  client.lookup("Tuner", {}, [&](auto r) { found = std::move(r); });
+  sim::run_until_done(sched, [&] { return found.has_value(); });
+  ASSERT_TRUE(found->is_ok());
+  EXPECT_TRUE(found->value().empty());
+}
+
+TEST_F(JiniStackTest, AttributeFiltering) {
+  auto item = echo_item();
+  item.attributes["room"] = Value("kitchen");
+  Registrar registrar(net, service_node->id(), lookup->endpoint(), item);
+  std::optional<Status> joined;
+  registrar.join([&](const Status& s) { joined = s; });
+  sim::run_until_done(sched, [&] { return joined.has_value(); });
+
+  LookupClient client(net, client_node->id(), lookup->endpoint());
+  std::optional<Result<std::vector<ServiceItem>>> kitchen, bedroom;
+  client.lookup("Echo", {{"room", Value("kitchen")}},
+                [&](auto r) { kitchen = std::move(r); });
+  client.lookup("Echo", {{"room", Value("bedroom")}},
+                [&](auto r) { bedroom = std::move(r); });
+  sim::run_until_done(
+      sched, [&] { return kitchen.has_value() && bedroom.has_value(); });
+  EXPECT_EQ(kitchen->value().size(), 1u);
+  EXPECT_TRUE(bedroom->value().empty());
+}
+
+TEST_F(JiniStackTest, EndToEndInvocation) {
+  auto registrar = join_echo();
+  LookupClient client(net, client_node->id(), lookup->endpoint());
+  std::optional<Result<Value>> result;
+  client.lookup("Echo", {}, [&](Result<std::vector<ServiceItem>> items) {
+    ASSERT_TRUE(items.is_ok());
+    ASSERT_EQ(items.value().size(), 1u);
+    // Proxy must outlive the call: heap-allocate and clean up in the cb.
+    auto proxy = std::make_shared<Proxy>(net, client_node->id(),
+                                         items.value()[0]);
+    proxy->invoke("echo", {Value("ping")}, [&result, proxy](Result<Value> r) {
+      result = std::move(r);
+    });
+  });
+  sim::run_until_done(sched, [&] { return result.has_value(); });
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->is_ok()) << result->status().to_string();
+  EXPECT_EQ(result->value(), Value("ping"));
+}
+
+TEST_F(JiniStackTest, ProxyChecksInterfaceBeforeWire) {
+  auto registrar = join_echo();
+  Proxy proxy(net, client_node->id(), echo_item());
+  std::optional<Result<Value>> result;
+  proxy.invoke("noSuchMethod", {}, [&](Result<Value> r) { result = r; });
+  sim::run_until_done(sched, [&] { return result.has_value(); });
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->is_ok());
+  EXPECT_EQ(result->status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(JiniStackTest, LeaseExpiresWithoutRenewal) {
+  // Register directly (no Registrar auto-renew).
+  auto proxy = lookup_proxy(net, service_node->id(), lookup->endpoint());
+  std::optional<Result<Value>> grant;
+  proxy->invoke(
+      "register",
+      {echo_item().to_value(),
+       Value(static_cast<std::int64_t>(sim::seconds(10)))},
+      [&](Result<Value> r) { grant = std::move(r); });
+  sim::run_until_done(sched, [&] { return grant.has_value(); });
+  ASSERT_TRUE(grant.has_value() && grant->is_ok());
+  EXPECT_EQ(lookup->service_count(), 1u);
+  sched.run_until(sched.now() + sim::seconds(11));
+  EXPECT_EQ(lookup->service_count(), 0u);
+}
+
+TEST_F(JiniStackTest, RegistrarKeepsLeaseAlive) {
+  auto registrar = join_echo(sim::seconds(10));
+  sched.run_until(sched.now() + sim::seconds(60));
+  EXPECT_EQ(lookup->service_count(), 1u);
+  EXPECT_GT(registrar->renewals(), 0u);
+}
+
+TEST_F(JiniStackTest, CancelRemovesService) {
+  auto registrar = join_echo();
+  std::optional<Status> cancelled;
+  registrar->cancel([&](const Status& s) { cancelled = s; });
+  sim::run_until_done(sched, [&] { return cancelled.has_value(); });
+  ASSERT_TRUE(cancelled.has_value() && cancelled->is_ok());
+  EXPECT_EQ(lookup->service_count(), 0u);
+}
+
+TEST_F(JiniStackTest, ServiceEventsDelivered) {
+  // Export a listener object on the client node.
+  Exporter listener_exporter(net, client_node->id(), 4180);
+  ASSERT_TRUE(listener_exporter.start().is_ok());
+  std::vector<std::string> events;
+  listener_exporter.export_object(
+      "listener-1",
+      [&](const std::string& method, const ValueList& args,
+          InvokeResultFn done) {
+        if (method == "serviceEvent" && !args.empty() &&
+            args[0].is_string()) {
+          events.push_back(args[0].as_string());
+        }
+        done(Value());
+      });
+
+  LookupClient client(net, client_node->id(), lookup->endpoint());
+  std::optional<Result<std::int64_t>> reg_id;
+  client.notify({client_node->id(), 4180}, "listener-1",
+                [&](Result<std::int64_t> r) { reg_id = std::move(r); });
+  sim::run_until_done(sched, [&] { return reg_id.has_value(); });
+  ASSERT_TRUE(reg_id.has_value() && reg_id->is_ok());
+
+  auto registrar = join_echo();
+  std::optional<Status> cancelled;
+  registrar->cancel([&](const Status& s) { cancelled = s; });
+  sim::run_until_done(sched, [&] { return cancelled.has_value(); });
+  sched.run_for(sim::seconds(1));  // let one-way events land
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], kEventRegistered);
+  EXPECT_EQ(events[1], kEventRemoved);
+}
+
+TEST_F(JiniStackTest, MulticastDiscoveryFindsLookup) {
+  DiscoveryResponder responder(net, lookup_node->id(), lookup->endpoint());
+  ASSERT_TRUE(responder.start().is_ok());
+  DiscoveryClient discovery(net, client_node->id());
+  std::optional<std::vector<net::Endpoint>> found;
+  discovery.discover(sim::milliseconds(100),
+                     [&](std::vector<net::Endpoint> eps) { found = eps; });
+  sim::run_until_done(sched, [&] { return found.has_value(); });
+  ASSERT_TRUE(found.has_value());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0], lookup->endpoint());
+}
+
+TEST_F(JiniStackTest, CallToDeadServiceFails) {
+  auto registrar = join_echo();
+  service_node->set_up(false);
+  Proxy proxy(net, client_node->id(), echo_item());
+  std::optional<Result<Value>> result;
+  proxy.invoke("echo", {Value(1)}, [&](Result<Value> r) { result = r; });
+  sim::run_until_done(sched, [&] { return result.has_value(); });
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->is_ok());
+}
+
+TEST_F(JiniStackTest, CallTimesOutWhenHandlerSilent) {
+  exporter->export_object("silent-1",
+                          [](const std::string&, const ValueList&,
+                             InvokeResultFn) { /* never replies */ });
+  ServiceItem item;
+  item.service_id = "silent-1";
+  item.name = "silent";
+  item.interface = echo_interface();
+  item.endpoint = exporter->endpoint();
+  Proxy proxy(net, client_node->id(), item, sim::seconds(5));
+  std::optional<Result<Value>> result;
+  proxy.invoke("echo", {Value(1)}, [&](Result<Value> r) { result = r; });
+  sim::run_until_done(sched, [&] { return result.has_value(); });
+  ASSERT_TRUE(result.has_value());
+  ASSERT_FALSE(result->is_ok());
+  EXPECT_EQ(result->status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(JiniStackTest, ReRegistrationReplacesItem) {
+  auto registrar = join_echo();
+  auto item = echo_item();
+  item.attributes["version"] = Value(2);
+  Registrar second(net, service_node->id(), lookup->endpoint(), item);
+  std::optional<Status> rejoined;
+  second.join([&](const Status& s) { rejoined = s; });
+  sim::run_until_done(sched, [&] { return rejoined.has_value(); });
+  EXPECT_EQ(lookup->service_count(), 1u);
+
+  LookupClient client(net, client_node->id(), lookup->endpoint());
+  std::optional<Result<std::vector<ServiceItem>>> found;
+  client.lookup("Echo", {}, [&](auto r) { found = std::move(r); });
+  sim::run_until_done(sched, [&] { return found.has_value(); });
+  ASSERT_EQ(found->value().size(), 1u);
+  EXPECT_EQ(found->value()[0].attributes.at("version"), Value(2));
+}
+
+}  // namespace
+}  // namespace hcm::jini

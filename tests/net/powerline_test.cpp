@@ -1,0 +1,111 @@
+#include "net/powerline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+
+namespace hcm::net {
+namespace {
+
+class PowerlineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pl = &net.add_powerline("house-wiring");
+    controller = &net.add_node("cm11a");
+    lamp = &net.add_node("lamp");
+    net.attach(*controller, *pl);
+    net.attach(*lamp, *pl);
+  }
+
+  sim::Scheduler sched;
+  Network net{sched};
+  PowerlineSegment* pl = nullptr;
+  Node* controller = nullptr;
+  Node* lamp = nullptr;
+};
+
+TEST_F(PowerlineTest, BroadcastReachesAllIncludingSender) {
+  std::vector<NodeId> heard_by;
+  pl->subscribe(lamp->id(),
+                [&](NodeId, const Bytes&) { heard_by.push_back(lamp->id()); });
+  pl->subscribe(controller->id(), [&](NodeId, const Bytes&) {
+    heard_by.push_back(controller->id());
+  });
+  bool done_ok = false;
+  pl->transmit(controller->id(), Bytes{0x66, 0x42},
+               [&](const Status& s) { done_ok = s.is_ok(); });
+  sched.run();
+  EXPECT_TRUE(done_ok);
+  EXPECT_EQ(heard_by.size(), 2u);
+}
+
+TEST_F(PowerlineTest, TransmissionIsSlow) {
+  // A 2-byte X10 frame takes hundreds of milliseconds — that slowness is
+  // load-bearing for the paper's Fig.4/Fig.5 experiments.
+  auto t = pl->transit_time(2);
+  EXPECT_GT(t, sim::milliseconds(300));
+  EXPECT_LT(t, sim::seconds(2));
+}
+
+TEST_F(PowerlineTest, FramesSerializeOnTheMedium) {
+  sim::SimTime first_done = 0, second_done = 0;
+  pl->transmit(controller->id(), Bytes{1, 2},
+               [&](const Status&) { first_done = sched.now(); });
+  sched.run_for(sim::milliseconds(1));  // distinct enqueue instants
+  pl->transmit(lamp->id(), Bytes{3, 4},
+               [&](const Status&) { second_done = sched.now(); });
+  sched.run();
+  EXPECT_GT(first_done, 0);
+  // Second frame had to wait for the first to clear the line.
+  EXPECT_GE(second_done, first_done + pl->transit_time(2));
+}
+
+TEST_F(PowerlineTest, SimultaneousTransmitsCollide) {
+  int errors = 0, oks = 0;
+  auto done = [&](const Status& s) { s.is_ok() ? ++oks : ++errors; };
+  // Same instant, idle line: collision.
+  pl->transmit(controller->id(), Bytes{1, 2}, done);
+  pl->transmit(lamp->id(), Bytes{3, 4}, done);
+  sched.run();
+  EXPECT_EQ(errors, 2);
+  EXPECT_EQ(oks, 0);
+  EXPECT_EQ(pl->collisions(), 1u);
+}
+
+TEST_F(PowerlineTest, DownSegmentFailsTransmit) {
+  pl->set_up(false);
+  Status seen;
+  pl->transmit(controller->id(), Bytes{1}, [&](const Status& s) { seen = s; });
+  sched.run();
+  EXPECT_EQ(seen.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(PowerlineTest, UnsubscribeStopsDelivery) {
+  int got = 0;
+  pl->subscribe(lamp->id(), [&](NodeId, const Bytes&) { ++got; });
+  pl->transmit(controller->id(), Bytes{1}, nullptr);
+  sched.run();
+  EXPECT_EQ(got, 1);
+  pl->unsubscribe(lamp->id());
+  pl->transmit(controller->id(), Bytes{1}, nullptr);
+  sched.run();
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(PowerlineTest, QueueDrainsInOrder) {
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.after(sim::milliseconds(i), [this, i, &order] {
+      pl->transmit(controller->id(), Bytes{static_cast<std::uint8_t>(i)},
+                   [&order, i](const Status& s) {
+                     ASSERT_TRUE(s.is_ok());
+                     order.push_back(i);
+                   });
+    });
+  }
+  sched.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace hcm::net

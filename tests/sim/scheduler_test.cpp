@@ -1,0 +1,148 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hcm::sim {
+namespace {
+
+TEST(SchedulerTest, StartsAtZero) {
+  Scheduler s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(milliseconds(30), [&] { order.push_back(3); });
+  s.at(milliseconds(10), [&] { order.push_back(1); });
+  s.at(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(SchedulerTest, FifoAmongSameTime) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.at(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(SchedulerTest, AfterSchedulesRelative) {
+  Scheduler s;
+  SimTime fired_at = -1;
+  s.at(seconds(1), [&] {
+    s.after(seconds(2), [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, seconds(3));
+}
+
+TEST(SchedulerTest, PastEventClampsToNow) {
+  Scheduler s;
+  s.run_until(seconds(5));
+  SimTime fired_at = -1;
+  s.at(seconds(1), [&] { fired_at = s.now(); });
+  s.run();
+  EXPECT_EQ(fired_at, seconds(5));
+}
+
+TEST(SchedulerTest, RunUntilStopsAtBoundary) {
+  Scheduler s;
+  int count = 0;
+  s.at(seconds(1), [&] { ++count; });
+  s.at(seconds(2), [&] { ++count; });
+  s.at(seconds(10), [&] { ++count; });
+  s.run_until(seconds(2));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), seconds(2));
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, CancelPreventsFiring) {
+  Scheduler s;
+  bool fired = false;
+  EventId id = s.at(seconds(1), [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_FALSE(s.cancel(id));  // second cancel fails
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SchedulerTest, CancelOneOfMany) {
+  Scheduler s;
+  std::vector<int> order;
+  s.at(seconds(1), [&] { order.push_back(1); });
+  EventId id = s.at(seconds(2), [&] { order.push_back(2); });
+  s.at(seconds(3), [&] { order.push_back(3); });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SchedulerTest, EventsScheduledDuringRunAreProcessed) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.after(milliseconds(1), chain);
+  };
+  s.after(milliseconds(1), chain);
+  s.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), milliseconds(5));
+}
+
+TEST(SchedulerTest, StepProcessesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.at(1, [&] { ++count; });
+  s.at(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(SchedulerTest, DeterministicRng) {
+  Scheduler a, b;
+  a.seed(1);
+  b.seed(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.rng()(), b.rng()());
+}
+
+TEST(SchedulerTest, TimeNeverGoesBackwards) {
+  Scheduler s;
+  SimTime last = 0;
+  bool monotonic = true;
+  for (int i = 100; i > 0; --i) {
+    s.at(milliseconds(i), [&, i] {
+      if (s.now() < last) monotonic = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotonic);
+}
+
+TEST(SchedulerTest, DurationHelpers) {
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_EQ(format_time(seconds(12) + microseconds(345678)), "12.345678s");
+}
+
+TEST(SchedulerTest, EventsProcessedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace hcm::sim

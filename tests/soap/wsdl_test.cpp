@@ -1,0 +1,91 @@
+#include "soap/wsdl.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace hcm::soap {
+namespace {
+
+InterfaceDesc vcr_interface() {
+  return InterfaceDesc{
+      "VcrControl",
+      {
+          MethodDesc{"play", {}, ValueType::kBool, false},
+          MethodDesc{"record",
+                     {{"channel", ValueType::kInt},
+                      {"durationMinutes", ValueType::kInt}},
+                     ValueType::kBool,
+                     false},
+          MethodDesc{"status", {}, ValueType::kMap, false},
+          MethodDesc{"powerEvent", {{"on", ValueType::kBool}},
+                     ValueType::kNull, true},
+      }};
+}
+
+TEST(WsdlTest, EmitParseRoundTrip) {
+  auto iface = vcr_interface();
+  Uri endpoint{"http", "havi-gw", 8080, "/vsg/vcr-1"};
+  auto text = emit_wsdl(iface, "vcr-1", endpoint);
+  auto doc = parse_wsdl(text);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc.value().interface, iface);
+  EXPECT_EQ(doc.value().service_name, "vcr-1");
+  EXPECT_EQ(doc.value().endpoint, endpoint);
+}
+
+TEST(WsdlTest, OneWayOperationHasNoOutput) {
+  auto text = emit_wsdl(vcr_interface(), "vcr-1",
+                        Uri{"http", "h", 1, "/"});
+  auto doc = parse_wsdl(text);
+  ASSERT_TRUE(doc.is_ok());
+  const auto* m = doc.value().interface.find_method("powerEvent");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->one_way);
+  EXPECT_FALSE(doc.value().interface.find_method("play")->one_way);
+}
+
+TEST(WsdlTest, ParamTypesPreserved) {
+  InterfaceDesc iface{
+      "Types",
+      {MethodDesc{"m",
+                  {{"b", ValueType::kBool},
+                   {"i", ValueType::kInt},
+                   {"d", ValueType::kDouble},
+                   {"s", ValueType::kString},
+                   {"y", ValueType::kBytes},
+                   {"l", ValueType::kList},
+                   {"m", ValueType::kMap}},
+                  ValueType::kList,
+                  false}}};
+  auto doc = parse_wsdl(emit_wsdl(iface, "t", Uri{"http", "h", 1, "/"}));
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().interface, iface);
+}
+
+TEST(WsdlTest, DocumentIsValidXml) {
+  auto text = emit_wsdl(vcr_interface(), "vcr-1", Uri{"http", "h", 1, "/"});
+  EXPECT_TRUE(xml::parse(text).is_ok());
+  EXPECT_NE(text.find("wsdl:definitions"), std::string::npos);
+  EXPECT_NE(text.find("soap:address"), std::string::npos);
+}
+
+TEST(WsdlTest, RejectsNonWsdl) {
+  EXPECT_FALSE(parse_wsdl("<x/>").is_ok());
+  EXPECT_FALSE(parse_wsdl("junk").is_ok());
+}
+
+TEST(WsdlTest, RejectsMissingPortType) {
+  EXPECT_FALSE(
+      parse_wsdl("<definitions name=\"X\"></definitions>").is_ok());
+}
+
+TEST(WsdlTest, EmptyInterface) {
+  InterfaceDesc iface{"Empty", {}};
+  auto doc = parse_wsdl(emit_wsdl(iface, "e", Uri{"http", "h", 1, "/"}));
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_TRUE(doc.value().interface.methods.empty());
+}
+
+}  // namespace
+}  // namespace hcm::soap

@@ -1,0 +1,146 @@
+#include "upnp/upnp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "xml/xml.hpp"
+
+namespace hcm::upnp {
+namespace {
+
+InterfaceDesc lamp_interface() {
+  return InterfaceDesc{
+      "BinaryLight",
+      {MethodDesc{"setTarget", {{"on", ValueType::kBool}}, ValueType::kBool,
+                  false},
+       MethodDesc{"getTarget", {}, ValueType::kBool, false}}};
+}
+
+class UpnpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    device_node = &net.add_node("smart-plug");
+    cp_node = &net.add_node("controller");
+    auto& eth = net.add_ethernet("lan", sim::microseconds(200), 100'000'000);
+    net.attach(*device_node, eth);
+    net.attach(*cp_node, eth);
+
+    device = std::make_unique<UpnpDevice>(net, device_node->id(),
+                                          "Smart Plug");
+    device->add_service("plug-1", lamp_interface(),
+                        [this](const std::string& method,
+                               const ValueList& args, InvokeResultFn done) {
+                          if (method == "setTarget") {
+                            on = args[0].as_bool();
+                            done(Value(true));
+                          } else if (method == "getTarget") {
+                            done(Value(on));
+                          } else {
+                            done(not_found(method));
+                          }
+                        });
+    ASSERT_TRUE(device->start().is_ok());
+    cp = std::make_unique<ControlPoint>(net, cp_node->id());
+  }
+
+  std::vector<DeviceDescription> discover() {
+    std::optional<std::vector<DeviceDescription>> found;
+    cp->search(sim::milliseconds(100),
+               [&](std::vector<DeviceDescription> d) { found = std::move(d); });
+    sched.run();
+    EXPECT_TRUE(found.has_value());
+    return found.value_or(std::vector<DeviceDescription>{});
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* device_node = nullptr;
+  net::Node* cp_node = nullptr;
+  std::unique_ptr<UpnpDevice> device;
+  std::unique_ptr<ControlPoint> cp;
+  bool on = false;
+};
+
+TEST_F(UpnpTest, SearchFindsDeviceAndServices) {
+  auto devices = discover();
+  ASSERT_EQ(devices.size(), 1u);
+  EXPECT_EQ(devices[0].friendly_name, "Smart Plug");
+  EXPECT_FALSE(devices[0].udn.empty());
+  ASSERT_EQ(devices[0].services.size(), 1u);
+  EXPECT_EQ(devices[0].services[0].service_id, "plug-1");
+  EXPECT_EQ(devices[0].services[0].interface, lamp_interface());
+}
+
+TEST_F(UpnpTest, InvokeActionRoundTrip) {
+  auto devices = discover();
+  ASSERT_EQ(devices.size(), 1u);
+  const auto& svc = devices[0].services[0];
+
+  std::optional<Result<Value>> result;
+  cp->invoke(svc, "setTarget", {Value(true)},
+             [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->is_ok()) << result->status().to_string();
+  EXPECT_TRUE(on);
+
+  std::optional<Result<Value>> get;
+  cp->invoke(svc, "getTarget", {}, [&](Result<Value> r) { get = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(get->is_ok());
+  EXPECT_EQ(get->value(), Value(true));
+}
+
+TEST_F(UpnpTest, InvokeValidatesArguments) {
+  auto devices = discover();
+  const auto& svc = devices[0].services[0];
+  std::optional<Result<Value>> result;
+  cp->invoke(svc, "setTarget", {Value("yes")},
+             [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->is_ok());
+}
+
+TEST_F(UpnpTest, UnknownActionRejected) {
+  auto devices = discover();
+  const auto& svc = devices[0].services[0];
+  std::optional<Result<Value>> result;
+  cp->invoke(svc, "explode", {}, [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  EXPECT_FALSE(result->is_ok());
+}
+
+TEST_F(UpnpTest, MultipleDevicesDiscovered) {
+  UpnpDevice second(net, net.add_node("tv").id(), "Television", 5001);
+  net.attach(*net.find_node("tv"),
+             *net.segments()[0]);  // same LAN
+  second.add_service("tv-1", lamp_interface(),
+                     [](const std::string&, const ValueList&,
+                        InvokeResultFn done) { done(Value(true)); });
+  ASSERT_TRUE(second.start().is_ok());
+  auto devices = discover();
+  EXPECT_EQ(devices.size(), 2u);
+}
+
+TEST_F(UpnpTest, SearchWithNoDevices) {
+  device_node->set_up(false);
+  auto devices = discover();
+  EXPECT_TRUE(devices.empty());
+}
+
+TEST_F(UpnpTest, DescriptionIsValidXmlOverHttp) {
+  http::HttpClient http(net, cp_node->id());
+  std::optional<Result<http::Response>> resp;
+  http::Request req;
+  req.target = "/description.xml";
+  http.request(device->http_endpoint(), std::move(req),
+               [&](Result<http::Response> r) { resp = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(resp.has_value() && resp->is_ok());
+  auto doc = xml::parse(resp->value().body);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_NE(doc.value()->child("device"), nullptr);
+}
+
+}  // namespace
+}  // namespace hcm::upnp

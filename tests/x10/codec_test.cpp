@@ -1,0 +1,103 @@
+#include "x10/codec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::x10 {
+namespace {
+
+TEST(X10CodecTest, HouseCodeTableMatchesSpec) {
+  // Spot-check the documented CM11A encodings.
+  EXPECT_EQ(encode_house(HouseCode::kA), 0x6);
+  EXPECT_EQ(encode_house(HouseCode::kB), 0xE);
+  EXPECT_EQ(encode_house(HouseCode::kE), 0x1);
+  EXPECT_EQ(encode_house(HouseCode::kM), 0x0);
+  EXPECT_EQ(encode_house(HouseCode::kP), 0xC);
+}
+
+TEST(X10CodecTest, UnitCodesShareTable) {
+  EXPECT_EQ(encode_unit(1), 0x6);   // unit 1 == house A code
+  EXPECT_EQ(encode_unit(16), 0xC);  // unit 16 == house P code
+}
+
+TEST(X10CodecTest, HouseRoundTripAll) {
+  for (int i = 0; i < 16; ++i) {
+    auto h = static_cast<HouseCode>(i);
+    auto decoded = decode_house(encode_house(h));
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value(), h);
+  }
+}
+
+TEST(X10CodecTest, UnitRoundTripAll) {
+  for (int u = 1; u <= 16; ++u) {
+    auto decoded = decode_unit(encode_unit(u));
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value(), u);
+  }
+}
+
+TEST(X10CodecTest, AddressFrameRoundTrip) {
+  for (int i = 0; i < 16; ++i) {
+    for (int u = 1; u <= 16; u += 5) {
+      AddressFrame f{static_cast<HouseCode>(i), u};
+      auto decoded = decode_frame(encode(f));
+      ASSERT_TRUE(decoded.is_ok());
+      ASSERT_TRUE(decoded.value().is_address);
+      EXPECT_EQ(decoded.value().address.house, f.house);
+      EXPECT_EQ(decoded.value().address.unit, f.unit);
+    }
+  }
+}
+
+TEST(X10CodecTest, FunctionFrameRoundTrip) {
+  FunctionFrame f{HouseCode::kC, FunctionCode::kDim, 11};
+  auto decoded = decode_frame(encode(f));
+  ASSERT_TRUE(decoded.is_ok());
+  ASSERT_FALSE(decoded.value().is_address);
+  EXPECT_EQ(decoded.value().function.house, HouseCode::kC);
+  EXPECT_EQ(decoded.value().function.function, FunctionCode::kDim);
+  EXPECT_EQ(decoded.value().function.dims, 11);
+}
+
+TEST(X10CodecTest, AllFunctionCodesRoundTrip) {
+  for (int fc = 0; fc <= 0xF; ++fc) {
+    FunctionFrame f{HouseCode::kA, static_cast<FunctionCode>(fc), 0};
+    auto decoded = decode_frame(encode(f));
+    ASSERT_TRUE(decoded.is_ok());
+    EXPECT_EQ(decoded.value().function.function,
+              static_cast<FunctionCode>(fc));
+  }
+}
+
+TEST(X10CodecTest, MalformedFramesRejected) {
+  EXPECT_FALSE(decode_frame({}).is_ok());
+  EXPECT_FALSE(decode_frame({0x04}).is_ok());
+  EXPECT_FALSE(decode_frame({0x04, 0x00, 0x00}).is_ok());
+  EXPECT_FALSE(decode_frame({0x99, 0x66}).is_ok());  // bad header
+}
+
+TEST(X10CodecTest, SerialChecksum) {
+  EXPECT_EQ(serial_checksum(0x04, 0x66), 0x6A);
+  EXPECT_EQ(serial_checksum(0xFF, 0x01), 0x00);  // wraps
+}
+
+TEST(X10CodecTest, HeaderFunctionEncodesDims) {
+  auto h = header_function(10);
+  EXPECT_TRUE(is_function_header(h));
+  EXPECT_EQ(dims_from_header(h), 10);
+  EXPECT_FALSE(is_function_header(kHeaderAddress));
+}
+
+TEST(X10CodecTest, FormatAddress) {
+  EXPECT_EQ(format_address(HouseCode::kA, 3), "A3");
+  EXPECT_EQ(format_address(HouseCode::kP, 16), "P16");
+}
+
+TEST(X10CodecTest, FunctionNames) {
+  EXPECT_STREQ(to_string(FunctionCode::kOn), "ON");
+  EXPECT_STREQ(to_string(FunctionCode::kAllLightsOn), "ALL_LIGHTS_ON");
+  EXPECT_STREQ(to_string(HouseCode::kD), "D");
+}
+
+}  // namespace
+}  // namespace hcm::x10

@@ -1,0 +1,191 @@
+#include "x10/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include "x10/cm11a.hpp"
+
+namespace hcm::x10 {
+namespace {
+
+class X10DeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pc = &net.add_node("pc-with-cm11a");
+    lamp_node = &net.add_node("lamp-module");
+    appliance_node = &net.add_node("fan-module");
+    powerline = &net.add_powerline("house-wiring");
+    net.attach(*pc, *powerline);
+    net.attach(*lamp_node, *powerline);
+    net.attach(*appliance_node, *powerline);
+    cm11a = std::make_unique<Cm11aController>(net, pc->id(), *powerline);
+    lamp = std::make_unique<LampModule>(net, lamp_node->id(), *powerline,
+                                        HouseCode::kA, 1);
+    fan = std::make_unique<ApplianceModule>(net, appliance_node->id(),
+                                            *powerline, HouseCode::kA, 2);
+  }
+
+  Status send(HouseCode h, int u, FunctionCode f, int dims = 0) {
+    std::optional<Status> result;
+    cm11a->send_command(h, u, f, dims, [&](const Status& s) { result = s; });
+    sched.run();
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(internal_error("no completion"));
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* pc = nullptr;
+  net::Node* lamp_node = nullptr;
+  net::Node* appliance_node = nullptr;
+  net::PowerlineSegment* powerline = nullptr;
+  std::unique_ptr<Cm11aController> cm11a;
+  std::unique_ptr<LampModule> lamp;
+  std::unique_ptr<ApplianceModule> fan;
+};
+
+TEST_F(X10DeviceTest, LampTurnsOnAndOff) {
+  EXPECT_FALSE(lamp->is_on());
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOn).is_ok());
+  EXPECT_TRUE(lamp->is_on());
+  EXPECT_EQ(lamp->level(), 100);
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOff).is_ok());
+  EXPECT_FALSE(lamp->is_on());
+}
+
+TEST_F(X10DeviceTest, AddressingIsolatesUnits) {
+  ASSERT_TRUE(send(HouseCode::kA, 2, FunctionCode::kOn).is_ok());
+  EXPECT_TRUE(fan->is_on());
+  EXPECT_FALSE(lamp->is_on());  // different unit, untouched
+}
+
+TEST_F(X10DeviceTest, DifferentHouseIgnored) {
+  ASSERT_TRUE(send(HouseCode::kB, 1, FunctionCode::kOn).is_ok());
+  EXPECT_FALSE(lamp->is_on());
+}
+
+TEST_F(X10DeviceTest, DimStepsReduceLevel) {
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOn).is_ok());
+  int before = lamp->level();
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kDim, 4).is_ok());
+  EXPECT_LT(lamp->level(), before);
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kBright, 2).is_ok());
+  EXPECT_GT(lamp->level(), 0);
+}
+
+TEST_F(X10DeviceTest, LevelClampedAtBounds) {
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOn).is_ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kBright, 22).is_ok());
+  }
+  EXPECT_EQ(lamp->level(), 100);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kDim, 22).is_ok());
+  }
+  EXPECT_EQ(lamp->level(), 0);
+}
+
+TEST_F(X10DeviceTest, ApplianceIgnoresDim) {
+  ASSERT_TRUE(send(HouseCode::kA, 2, FunctionCode::kOn).is_ok());
+  ASSERT_TRUE(send(HouseCode::kA, 2, FunctionCode::kDim, 5).is_ok());
+  EXPECT_TRUE(fan->is_on());  // unchanged
+}
+
+TEST_F(X10DeviceTest, AllLightsOnAffectsLampsOnly) {
+  cm11a->send_function(HouseCode::kA, FunctionCode::kAllLightsOn, 0,
+                       [](const Status&) {});
+  sched.run();
+  EXPECT_TRUE(lamp->is_on());
+  EXPECT_FALSE(fan->is_on());
+}
+
+TEST_F(X10DeviceTest, AllUnitsOffAffectsEverything) {
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOn).is_ok());
+  ASSERT_TRUE(send(HouseCode::kA, 2, FunctionCode::kOn).is_ok());
+  cm11a->send_function(HouseCode::kA, FunctionCode::kAllUnitsOff, 0,
+                       [](const Status&) {});
+  sched.run();
+  EXPECT_FALSE(lamp->is_on());
+  EXPECT_FALSE(fan->is_on());
+}
+
+TEST_F(X10DeviceTest, InvalidUnitRejected) {
+  EXPECT_FALSE(send(HouseCode::kA, 0, FunctionCode::kOn).is_ok());
+  EXPECT_FALSE(send(HouseCode::kA, 17, FunctionCode::kOn).is_ok());
+}
+
+TEST_F(X10DeviceTest, CommandTakesRealisticTime) {
+  sim::SimTime start = sched.now();
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOn).is_ok());
+  auto elapsed = sched.now() - start;
+  // Address + function frame on the powerline: the better part of a
+  // second — the X10 slowness the paper's figures rest on.
+  EXPECT_GT(elapsed, sim::milliseconds(500));
+  EXPECT_LT(elapsed, sim::seconds(3));
+}
+
+TEST_F(X10DeviceTest, SerialCorruptionRetriesThenSucceeds) {
+  cm11a->set_serial_corruption(0.5);
+  int ok = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (send(HouseCode::kA, 1, FunctionCode::kOn).is_ok()) ++ok;
+  }
+  // With 3 retries per frame, nearly all commands succeed.
+  EXPECT_GE(ok, 8);
+  EXPECT_GT(cm11a->serial_retries(), 0u);
+}
+
+TEST_F(X10DeviceTest, ChangeCallbacksFire) {
+  std::vector<int> levels;
+  lamp->set_on_change([&](int level) { levels.push_back(level); });
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOn).is_ok());
+  ASSERT_TRUE(send(HouseCode::kA, 1, FunctionCode::kOff).is_ok());
+  ASSERT_EQ(levels.size(), 2u);
+  EXPECT_EQ(levels[0], 100);
+  EXPECT_EQ(levels[1], 0);
+}
+
+TEST_F(X10DeviceTest, MotionSensorTriggersAndAutoOffs) {
+  MotionSensor sensor(net, net.add_node("sensor").id(), *powerline,
+                      HouseCode::kA, 1, sim::seconds(30));
+  net.attach(*net.find_node("sensor"), *powerline);
+  sensor.trigger();
+  sched.run_until(sched.now() + sim::seconds(5));
+  EXPECT_TRUE(lamp->is_on());
+  sched.run_until(sched.now() + sim::seconds(40));
+  EXPECT_FALSE(lamp->is_on());  // auto-off fired
+  EXPECT_EQ(sensor.triggers(), 1u);
+}
+
+TEST_F(X10DeviceTest, RemoteControlDrivesModules) {
+  RemoteControl remote(net, net.add_node("remote").id(), *powerline,
+                       HouseCode::kA);
+  net.attach(*net.find_node("remote"), *powerline);
+  std::optional<Status> pressed;
+  remote.press(2, FunctionCode::kOn, [&](const Status& s) { pressed = s; });
+  sched.run();
+  ASSERT_TRUE(pressed.has_value() && pressed->is_ok());
+  EXPECT_TRUE(fan->is_on());
+}
+
+TEST_F(X10DeviceTest, Cm11aObservesForeignCommands) {
+  RemoteControl remote(net, net.add_node("remote").id(), *powerline,
+                       HouseCode::kA);
+  net.attach(*net.find_node("remote"), *powerline);
+  std::vector<ObservedCommand> observed;
+  cm11a->set_observer(
+      [&](const ObservedCommand& c) { observed.push_back(c); });
+  remote.press(3, FunctionCode::kOn);
+  sched.run();
+  ASSERT_EQ(observed.size(), 1u);
+  EXPECT_EQ(observed[0].house, HouseCode::kA);
+  EXPECT_EQ(observed[0].unit, 3);
+  EXPECT_EQ(observed[0].function, FunctionCode::kOn);
+}
+
+TEST_F(X10DeviceTest, DownPowerlineFailsCommand) {
+  powerline->set_up(false);
+  EXPECT_FALSE(send(HouseCode::kA, 1, FunctionCode::kOn).is_ok());
+}
+
+}  // namespace
+}  // namespace hcm::x10

@@ -1,0 +1,160 @@
+#include "xml/xml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::xml {
+namespace {
+
+TEST(XmlBuildTest, SimpleElement) {
+  Element e("root");
+  e.set_attr("id", "1");
+  e.add_child("child").set_text("hello");
+  EXPECT_EQ(e.to_string(), "<root id=\"1\"><child>hello</child></root>");
+}
+
+TEST(XmlBuildTest, EmptyElementSelfCloses) {
+  Element e("empty");
+  EXPECT_EQ(e.to_string(), "<empty/>");
+}
+
+TEST(XmlBuildTest, AttrOverwrite) {
+  Element e("x");
+  e.set_attr("a", "1");
+  e.set_attr("a", "2");
+  ASSERT_NE(e.attr("a"), nullptr);
+  EXPECT_EQ(*e.attr("a"), "2");
+  EXPECT_EQ(e.attrs().size(), 1u);
+}
+
+TEST(XmlBuildTest, EscapingInTextAndAttrs) {
+  Element e("x");
+  e.set_attr("a", "q\"<>&'");
+  e.set_text("<tag> & text");
+  auto s = e.to_string();
+  EXPECT_NE(s.find("&quot;"), std::string::npos);
+  EXPECT_NE(s.find("&lt;tag&gt; &amp; text"), std::string::npos);
+}
+
+TEST(XmlBuildTest, LocalName) {
+  Element e("soap:Envelope");
+  EXPECT_EQ(e.local_name(), "Envelope");
+  Element plain("Body");
+  EXPECT_EQ(plain.local_name(), "Body");
+}
+
+TEST(XmlBuildTest, ChildLookupIsPrefixInsensitive) {
+  Element e("root");
+  e.add_child("ns:Inner").set_text("v");
+  ASSERT_NE(e.child("Inner"), nullptr);
+  EXPECT_EQ(e.child("Inner")->text(), "v");
+  EXPECT_EQ(e.child("Absent"), nullptr);
+}
+
+TEST(XmlBuildTest, ChildrenNamed) {
+  Element e("list");
+  e.add_child("item").set_text("1");
+  e.add_child("item").set_text("2");
+  e.add_child("other");
+  EXPECT_EQ(e.children_named("item").size(), 2u);
+}
+
+TEST(XmlParseTest, RoundTripSimple) {
+  Element e("root");
+  e.set_attr("version", "1.0");
+  e.add_child("a").set_text("alpha");
+  e.add_child("b").set_attr("k", "v");
+  auto parsed = parse(e.to_string());
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value()->to_string(), e.to_string());
+}
+
+TEST(XmlParseTest, SkipsPrologDoctypeComments) {
+  auto r = parse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE html>\n"
+      "<!-- top comment -->\n"
+      "<root><!-- inner --><a>x</a></root>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->child("a")->text(), "x");
+}
+
+TEST(XmlParseTest, DecodesEntities) {
+  auto r = parse("<x>&lt;&gt;&amp;&quot;&apos;&#65;&#x42;</x>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->text(), "<>&\"'AB");
+}
+
+TEST(XmlParseTest, EntityInAttribute) {
+  auto r = parse("<x a=\"1 &amp; 2\"/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r.value()->attr("a"), "1 & 2");
+}
+
+TEST(XmlParseTest, Cdata) {
+  auto r = parse("<x><![CDATA[<raw> & stuff]]></x>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->text(), "<raw> & stuff");
+}
+
+TEST(XmlParseTest, WhitespaceBetweenElementsIgnored) {
+  auto r = parse("<root>\n  <a>1</a>\n  <b>2</b>\n</root>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->children().size(), 2u);
+  EXPECT_EQ(r.value()->text(), "");
+}
+
+TEST(XmlParseTest, SingleQuotedAttributes) {
+  auto r = parse("<x a='v1' b=\"v2\"/>");
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r.value()->attr("a"), "v1");
+  EXPECT_EQ(*r.value()->attr("b"), "v2");
+}
+
+TEST(XmlParseTest, MalformedInputs) {
+  EXPECT_FALSE(parse("").is_ok());
+  EXPECT_FALSE(parse("<a>").is_ok());                 // unterminated
+  EXPECT_FALSE(parse("<a></b>").is_ok());             // mismatched
+  EXPECT_FALSE(parse("<a><b></a></b>").is_ok());      // crossed
+  EXPECT_FALSE(parse("<a x=1/>").is_ok());            // unquoted attr
+  EXPECT_FALSE(parse("<a>&unknown;</a>").is_ok());    // bad entity
+  EXPECT_FALSE(parse("<a/><b/>").is_ok());            // two roots
+  EXPECT_FALSE(parse("just text").is_ok());
+}
+
+TEST(XmlParseTest, DeepNesting) {
+  std::string open, close;
+  for (int i = 0; i < 200; ++i) {
+    open += "<e>";
+    close = "</e>" + close;
+  }
+  auto r = parse(open + "x" + close);
+  ASSERT_TRUE(r.is_ok());
+  const Element* cur = r.value().get();
+  int depth = 1;
+  while (cur->child("e") != nullptr) {
+    cur = cur->child("e");
+    ++depth;
+  }
+  EXPECT_EQ(depth, 200);
+  EXPECT_EQ(cur->text(), "x");
+}
+
+TEST(XmlParseTest, AttrLocal) {
+  auto r = parse("<x xsi:type=\"xsd:int\">4</x>");
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_NE(r.value()->attr_local("type"), nullptr);
+  EXPECT_EQ(*r.value()->attr_local("type"), "xsd:int");
+}
+
+TEST(XmlPrettyTest, IndentedOutputParsesBack) {
+  Element e("root");
+  e.add_child("a").add_child("b").set_text("deep");
+  auto pretty = e.to_pretty_string();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto r = parse(pretty);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->child("a")->child("b")->text(), "deep");
+}
+
+}  // namespace
+}  // namespace hcm::xml
