@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_proxygen.dir/bench_ablation_proxygen.cpp.o"
+  "CMakeFiles/bench_ablation_proxygen.dir/bench_ablation_proxygen.cpp.o.d"
+  "bench_ablation_proxygen"
+  "bench_ablation_proxygen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_proxygen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

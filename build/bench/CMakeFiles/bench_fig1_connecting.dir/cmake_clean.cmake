@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_connecting.dir/bench_fig1_connecting.cpp.o"
+  "CMakeFiles/bench_fig1_connecting.dir/bench_fig1_connecting.cpp.o.d"
+  "bench_fig1_connecting"
+  "bench_fig1_connecting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_connecting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_proxy_modules.dir/bench_fig2_proxy_modules.cpp.o"
+  "CMakeFiles/bench_fig2_proxy_modules.dir/bench_fig2_proxy_modules.cpp.o.d"
+  "bench_fig2_proxy_modules"
+  "bench_fig2_proxy_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_proxy_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_async_limits.dir/bench_sec42_async_limits.cpp.o"
+  "CMakeFiles/bench_sec42_async_limits.dir/bench_sec42_async_limits.cpp.o.d"
+  "bench_sec42_async_limits"
+  "bench_sec42_async_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_async_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_bridge_scaling.dir/bench_sec5_bridge_scaling.cpp.o"
+  "CMakeFiles/bench_sec5_bridge_scaling.dir/bench_sec5_bridge_scaling.cpp.o.d"
+  "bench_sec5_bridge_scaling"
+  "bench_sec5_bridge_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_bridge_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

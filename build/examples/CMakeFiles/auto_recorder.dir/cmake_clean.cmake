@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auto_recorder.dir/auto_recorder.cpp.o"
+  "CMakeFiles/auto_recorder.dir/auto_recorder.cpp.o.d"
+  "auto_recorder"
+  "auto_recorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auto_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_multimedia.dir/event_multimedia.cpp.o"
+  "CMakeFiles/event_multimedia.dir/event_multimedia.cpp.o.d"
+  "event_multimedia"
+  "event_multimedia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_multimedia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

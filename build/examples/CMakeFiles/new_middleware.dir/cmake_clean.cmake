@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/new_middleware.dir/new_middleware.cpp.o"
+  "CMakeFiles/new_middleware.dir/new_middleware.cpp.o.d"
+  "new_middleware"
+  "new_middleware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/new_middleware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for new_middleware.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universal_remote.dir/universal_remote.cpp.o"
+  "CMakeFiles/universal_remote.dir/universal_remote.cpp.o.d"
+  "universal_remote"
+  "universal_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universal_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("net")
+subdirs("xml")
+subdirs("http")
+subdirs("soap")
+subdirs("jini")
+subdirs("havi")
+subdirs("x10")
+subdirs("mail")
+subdirs("upnp")
+subdirs("core")
+subdirs("testbed")

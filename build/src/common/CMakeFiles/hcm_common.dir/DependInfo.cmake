@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/base64.cpp" "src/common/CMakeFiles/hcm_common.dir/base64.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/base64.cpp.o.d"
+  "/root/repo/src/common/bytes.cpp" "src/common/CMakeFiles/hcm_common.dir/bytes.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/bytes.cpp.o.d"
+  "/root/repo/src/common/interface_desc.cpp" "src/common/CMakeFiles/hcm_common.dir/interface_desc.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/interface_desc.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/hcm_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/service.cpp" "src/common/CMakeFiles/hcm_common.dir/service.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/service.cpp.o.d"
+  "/root/repo/src/common/status.cpp" "src/common/CMakeFiles/hcm_common.dir/status.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/status.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/hcm_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/uri.cpp" "src/common/CMakeFiles/hcm_common.dir/uri.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/uri.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "src/common/CMakeFiles/hcm_common.dir/value.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/value.cpp.o.d"
+  "/root/repo/src/common/value_codec.cpp" "src/common/CMakeFiles/hcm_common.dir/value_codec.cpp.o" "gcc" "src/common/CMakeFiles/hcm_common.dir/value_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_common.dir/base64.cpp.o"
+  "CMakeFiles/hcm_common.dir/base64.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/bytes.cpp.o"
+  "CMakeFiles/hcm_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/interface_desc.cpp.o"
+  "CMakeFiles/hcm_common.dir/interface_desc.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/logging.cpp.o"
+  "CMakeFiles/hcm_common.dir/logging.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/service.cpp.o"
+  "CMakeFiles/hcm_common.dir/service.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/status.cpp.o"
+  "CMakeFiles/hcm_common.dir/status.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/strings.cpp.o"
+  "CMakeFiles/hcm_common.dir/strings.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/uri.cpp.o"
+  "CMakeFiles/hcm_common.dir/uri.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/value.cpp.o"
+  "CMakeFiles/hcm_common.dir/value.cpp.o.d"
+  "CMakeFiles/hcm_common.dir/value_codec.cpp.o"
+  "CMakeFiles/hcm_common.dir/value_codec.cpp.o.d"
+  "libhcm_common.a"
+  "libhcm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

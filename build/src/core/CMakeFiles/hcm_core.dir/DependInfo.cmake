@@ -1,0 +1,44 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/activation.cpp" "src/core/CMakeFiles/hcm_core.dir/activation.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/activation.cpp.o.d"
+  "/root/repo/src/core/adapters/havi_adapter.cpp" "src/core/CMakeFiles/hcm_core.dir/adapters/havi_adapter.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/adapters/havi_adapter.cpp.o.d"
+  "/root/repo/src/core/adapters/jini_adapter.cpp" "src/core/CMakeFiles/hcm_core.dir/adapters/jini_adapter.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/adapters/jini_adapter.cpp.o.d"
+  "/root/repo/src/core/adapters/mail_adapter.cpp" "src/core/CMakeFiles/hcm_core.dir/adapters/mail_adapter.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/adapters/mail_adapter.cpp.o.d"
+  "/root/repo/src/core/adapters/upnp_adapter.cpp" "src/core/CMakeFiles/hcm_core.dir/adapters/upnp_adapter.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/adapters/upnp_adapter.cpp.o.d"
+  "/root/repo/src/core/adapters/x10_adapter.cpp" "src/core/CMakeFiles/hcm_core.dir/adapters/x10_adapter.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/adapters/x10_adapter.cpp.o.d"
+  "/root/repo/src/core/av_relay.cpp" "src/core/CMakeFiles/hcm_core.dir/av_relay.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/av_relay.cpp.o.d"
+  "/root/repo/src/core/binary_channel.cpp" "src/core/CMakeFiles/hcm_core.dir/binary_channel.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/binary_channel.cpp.o.d"
+  "/root/repo/src/core/meta.cpp" "src/core/CMakeFiles/hcm_core.dir/meta.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/meta.cpp.o.d"
+  "/root/repo/src/core/naming.cpp" "src/core/CMakeFiles/hcm_core.dir/naming.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/naming.cpp.o.d"
+  "/root/repo/src/core/pcm.cpp" "src/core/CMakeFiles/hcm_core.dir/pcm.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/pcm.cpp.o.d"
+  "/root/repo/src/core/proxygen.cpp" "src/core/CMakeFiles/hcm_core.dir/proxygen.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/proxygen.cpp.o.d"
+  "/root/repo/src/core/stream_gateway.cpp" "src/core/CMakeFiles/hcm_core.dir/stream_gateway.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/stream_gateway.cpp.o.d"
+  "/root/repo/src/core/vsg.cpp" "src/core/CMakeFiles/hcm_core.dir/vsg.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/vsg.cpp.o.d"
+  "/root/repo/src/core/vsr.cpp" "src/core/CMakeFiles/hcm_core.dir/vsr.cpp.o" "gcc" "src/core/CMakeFiles/hcm_core.dir/vsr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/hcm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/hcm_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/hcm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/jini/CMakeFiles/hcm_jini.dir/DependInfo.cmake"
+  "/root/repo/build/src/havi/CMakeFiles/hcm_havi.dir/DependInfo.cmake"
+  "/root/repo/build/src/x10/CMakeFiles/hcm_x10.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/hcm_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/upnp/CMakeFiles/hcm_upnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

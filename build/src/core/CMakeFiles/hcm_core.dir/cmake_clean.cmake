@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_core.dir/activation.cpp.o"
+  "CMakeFiles/hcm_core.dir/activation.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/adapters/havi_adapter.cpp.o"
+  "CMakeFiles/hcm_core.dir/adapters/havi_adapter.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/adapters/jini_adapter.cpp.o"
+  "CMakeFiles/hcm_core.dir/adapters/jini_adapter.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/adapters/mail_adapter.cpp.o"
+  "CMakeFiles/hcm_core.dir/adapters/mail_adapter.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/adapters/upnp_adapter.cpp.o"
+  "CMakeFiles/hcm_core.dir/adapters/upnp_adapter.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/adapters/x10_adapter.cpp.o"
+  "CMakeFiles/hcm_core.dir/adapters/x10_adapter.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/av_relay.cpp.o"
+  "CMakeFiles/hcm_core.dir/av_relay.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/binary_channel.cpp.o"
+  "CMakeFiles/hcm_core.dir/binary_channel.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/meta.cpp.o"
+  "CMakeFiles/hcm_core.dir/meta.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/naming.cpp.o"
+  "CMakeFiles/hcm_core.dir/naming.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/pcm.cpp.o"
+  "CMakeFiles/hcm_core.dir/pcm.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/proxygen.cpp.o"
+  "CMakeFiles/hcm_core.dir/proxygen.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/stream_gateway.cpp.o"
+  "CMakeFiles/hcm_core.dir/stream_gateway.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/vsg.cpp.o"
+  "CMakeFiles/hcm_core.dir/vsg.cpp.o.d"
+  "CMakeFiles/hcm_core.dir/vsr.cpp.o"
+  "CMakeFiles/hcm_core.dir/vsr.cpp.o.d"
+  "libhcm_core.a"
+  "libhcm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/havi/dcm.cpp" "src/havi/CMakeFiles/hcm_havi.dir/dcm.cpp.o" "gcc" "src/havi/CMakeFiles/hcm_havi.dir/dcm.cpp.o.d"
+  "/root/repo/src/havi/event_manager.cpp" "src/havi/CMakeFiles/hcm_havi.dir/event_manager.cpp.o" "gcc" "src/havi/CMakeFiles/hcm_havi.dir/event_manager.cpp.o.d"
+  "/root/repo/src/havi/fcm.cpp" "src/havi/CMakeFiles/hcm_havi.dir/fcm.cpp.o" "gcc" "src/havi/CMakeFiles/hcm_havi.dir/fcm.cpp.o.d"
+  "/root/repo/src/havi/fcm_av.cpp" "src/havi/CMakeFiles/hcm_havi.dir/fcm_av.cpp.o" "gcc" "src/havi/CMakeFiles/hcm_havi.dir/fcm_av.cpp.o.d"
+  "/root/repo/src/havi/messaging.cpp" "src/havi/CMakeFiles/hcm_havi.dir/messaging.cpp.o" "gcc" "src/havi/CMakeFiles/hcm_havi.dir/messaging.cpp.o.d"
+  "/root/repo/src/havi/registry.cpp" "src/havi/CMakeFiles/hcm_havi.dir/registry.cpp.o" "gcc" "src/havi/CMakeFiles/hcm_havi.dir/registry.cpp.o.d"
+  "/root/repo/src/havi/stream_manager.cpp" "src/havi/CMakeFiles/hcm_havi.dir/stream_manager.cpp.o" "gcc" "src/havi/CMakeFiles/hcm_havi.dir/stream_manager.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_havi.dir/dcm.cpp.o"
+  "CMakeFiles/hcm_havi.dir/dcm.cpp.o.d"
+  "CMakeFiles/hcm_havi.dir/event_manager.cpp.o"
+  "CMakeFiles/hcm_havi.dir/event_manager.cpp.o.d"
+  "CMakeFiles/hcm_havi.dir/fcm.cpp.o"
+  "CMakeFiles/hcm_havi.dir/fcm.cpp.o.d"
+  "CMakeFiles/hcm_havi.dir/fcm_av.cpp.o"
+  "CMakeFiles/hcm_havi.dir/fcm_av.cpp.o.d"
+  "CMakeFiles/hcm_havi.dir/messaging.cpp.o"
+  "CMakeFiles/hcm_havi.dir/messaging.cpp.o.d"
+  "CMakeFiles/hcm_havi.dir/registry.cpp.o"
+  "CMakeFiles/hcm_havi.dir/registry.cpp.o.d"
+  "CMakeFiles/hcm_havi.dir/stream_manager.cpp.o"
+  "CMakeFiles/hcm_havi.dir/stream_manager.cpp.o.d"
+  "libhcm_havi.a"
+  "libhcm_havi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_havi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

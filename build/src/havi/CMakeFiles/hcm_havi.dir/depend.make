@@ -1,0 +1,2 @@
+# Empty dependencies file for hcm_havi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_http.dir/client.cpp.o"
+  "CMakeFiles/hcm_http.dir/client.cpp.o.d"
+  "CMakeFiles/hcm_http.dir/message.cpp.o"
+  "CMakeFiles/hcm_http.dir/message.cpp.o.d"
+  "CMakeFiles/hcm_http.dir/server.cpp.o"
+  "CMakeFiles/hcm_http.dir/server.cpp.o.d"
+  "libhcm_http.a"
+  "libhcm_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

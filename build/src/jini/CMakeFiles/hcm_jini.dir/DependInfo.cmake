@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jini/exporter.cpp" "src/jini/CMakeFiles/hcm_jini.dir/exporter.cpp.o" "gcc" "src/jini/CMakeFiles/hcm_jini.dir/exporter.cpp.o.d"
+  "/root/repo/src/jini/lookup.cpp" "src/jini/CMakeFiles/hcm_jini.dir/lookup.cpp.o" "gcc" "src/jini/CMakeFiles/hcm_jini.dir/lookup.cpp.o.d"
+  "/root/repo/src/jini/protocol.cpp" "src/jini/CMakeFiles/hcm_jini.dir/protocol.cpp.o" "gcc" "src/jini/CMakeFiles/hcm_jini.dir/protocol.cpp.o.d"
+  "/root/repo/src/jini/proxy.cpp" "src/jini/CMakeFiles/hcm_jini.dir/proxy.cpp.o" "gcc" "src/jini/CMakeFiles/hcm_jini.dir/proxy.cpp.o.d"
+  "/root/repo/src/jini/registrar.cpp" "src/jini/CMakeFiles/hcm_jini.dir/registrar.cpp.o" "gcc" "src/jini/CMakeFiles/hcm_jini.dir/registrar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_jini.dir/exporter.cpp.o"
+  "CMakeFiles/hcm_jini.dir/exporter.cpp.o.d"
+  "CMakeFiles/hcm_jini.dir/lookup.cpp.o"
+  "CMakeFiles/hcm_jini.dir/lookup.cpp.o.d"
+  "CMakeFiles/hcm_jini.dir/protocol.cpp.o"
+  "CMakeFiles/hcm_jini.dir/protocol.cpp.o.d"
+  "CMakeFiles/hcm_jini.dir/proxy.cpp.o"
+  "CMakeFiles/hcm_jini.dir/proxy.cpp.o.d"
+  "CMakeFiles/hcm_jini.dir/registrar.cpp.o"
+  "CMakeFiles/hcm_jini.dir/registrar.cpp.o.d"
+  "libhcm_jini.a"
+  "libhcm_jini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_jini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hcm_jini.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_mail.dir/mail.cpp.o"
+  "CMakeFiles/hcm_mail.dir/mail.cpp.o.d"
+  "libhcm_mail.a"
+  "libhcm_mail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_mail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

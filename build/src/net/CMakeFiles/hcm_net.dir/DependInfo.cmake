@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ieee1394.cpp" "src/net/CMakeFiles/hcm_net.dir/ieee1394.cpp.o" "gcc" "src/net/CMakeFiles/hcm_net.dir/ieee1394.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/hcm_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/hcm_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/net/CMakeFiles/hcm_net.dir/node.cpp.o" "gcc" "src/net/CMakeFiles/hcm_net.dir/node.cpp.o.d"
+  "/root/repo/src/net/powerline.cpp" "src/net/CMakeFiles/hcm_net.dir/powerline.cpp.o" "gcc" "src/net/CMakeFiles/hcm_net.dir/powerline.cpp.o.d"
+  "/root/repo/src/net/segment.cpp" "src/net/CMakeFiles/hcm_net.dir/segment.cpp.o" "gcc" "src/net/CMakeFiles/hcm_net.dir/segment.cpp.o.d"
+  "/root/repo/src/net/stream.cpp" "src/net/CMakeFiles/hcm_net.dir/stream.cpp.o" "gcc" "src/net/CMakeFiles/hcm_net.dir/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

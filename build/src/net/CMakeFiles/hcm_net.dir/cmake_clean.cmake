@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_net.dir/ieee1394.cpp.o"
+  "CMakeFiles/hcm_net.dir/ieee1394.cpp.o.d"
+  "CMakeFiles/hcm_net.dir/network.cpp.o"
+  "CMakeFiles/hcm_net.dir/network.cpp.o.d"
+  "CMakeFiles/hcm_net.dir/node.cpp.o"
+  "CMakeFiles/hcm_net.dir/node.cpp.o.d"
+  "CMakeFiles/hcm_net.dir/powerline.cpp.o"
+  "CMakeFiles/hcm_net.dir/powerline.cpp.o.d"
+  "CMakeFiles/hcm_net.dir/segment.cpp.o"
+  "CMakeFiles/hcm_net.dir/segment.cpp.o.d"
+  "CMakeFiles/hcm_net.dir/stream.cpp.o"
+  "CMakeFiles/hcm_net.dir/stream.cpp.o.d"
+  "libhcm_net.a"
+  "libhcm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

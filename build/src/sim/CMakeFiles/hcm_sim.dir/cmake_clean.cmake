@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/hcm_sim.dir/scheduler.cpp.o.d"
+  "libhcm_sim.a"
+  "libhcm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soap/envelope.cpp" "src/soap/CMakeFiles/hcm_soap.dir/envelope.cpp.o" "gcc" "src/soap/CMakeFiles/hcm_soap.dir/envelope.cpp.o.d"
+  "/root/repo/src/soap/rpc.cpp" "src/soap/CMakeFiles/hcm_soap.dir/rpc.cpp.o" "gcc" "src/soap/CMakeFiles/hcm_soap.dir/rpc.cpp.o.d"
+  "/root/repo/src/soap/uddi.cpp" "src/soap/CMakeFiles/hcm_soap.dir/uddi.cpp.o" "gcc" "src/soap/CMakeFiles/hcm_soap.dir/uddi.cpp.o.d"
+  "/root/repo/src/soap/value_xml.cpp" "src/soap/CMakeFiles/hcm_soap.dir/value_xml.cpp.o" "gcc" "src/soap/CMakeFiles/hcm_soap.dir/value_xml.cpp.o.d"
+  "/root/repo/src/soap/wsdl.cpp" "src/soap/CMakeFiles/hcm_soap.dir/wsdl.cpp.o" "gcc" "src/soap/CMakeFiles/hcm_soap.dir/wsdl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/hcm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/hcm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

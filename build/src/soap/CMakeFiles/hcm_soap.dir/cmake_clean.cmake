@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_soap.dir/envelope.cpp.o"
+  "CMakeFiles/hcm_soap.dir/envelope.cpp.o.d"
+  "CMakeFiles/hcm_soap.dir/rpc.cpp.o"
+  "CMakeFiles/hcm_soap.dir/rpc.cpp.o.d"
+  "CMakeFiles/hcm_soap.dir/uddi.cpp.o"
+  "CMakeFiles/hcm_soap.dir/uddi.cpp.o.d"
+  "CMakeFiles/hcm_soap.dir/value_xml.cpp.o"
+  "CMakeFiles/hcm_soap.dir/value_xml.cpp.o.d"
+  "CMakeFiles/hcm_soap.dir/wsdl.cpp.o"
+  "CMakeFiles/hcm_soap.dir/wsdl.cpp.o.d"
+  "libhcm_soap.a"
+  "libhcm_soap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_soap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

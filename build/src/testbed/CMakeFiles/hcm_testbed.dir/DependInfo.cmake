@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/testbed/home.cpp" "src/testbed/CMakeFiles/hcm_testbed.dir/home.cpp.o" "gcc" "src/testbed/CMakeFiles/hcm_testbed.dir/home.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jini/CMakeFiles/hcm_jini.dir/DependInfo.cmake"
+  "/root/repo/build/src/havi/CMakeFiles/hcm_havi.dir/DependInfo.cmake"
+  "/root/repo/build/src/x10/CMakeFiles/hcm_x10.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/hcm_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/upnp/CMakeFiles/hcm_upnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/hcm_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/hcm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/hcm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hcm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_testbed.dir/home.cpp.o"
+  "CMakeFiles/hcm_testbed.dir/home.cpp.o.d"
+  "libhcm_testbed.a"
+  "libhcm_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_upnp.dir/upnp.cpp.o"
+  "CMakeFiles/hcm_upnp.dir/upnp.cpp.o.d"
+  "libhcm_upnp.a"
+  "libhcm_upnp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_upnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

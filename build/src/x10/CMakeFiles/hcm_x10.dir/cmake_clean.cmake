@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_x10.dir/cm11a.cpp.o"
+  "CMakeFiles/hcm_x10.dir/cm11a.cpp.o.d"
+  "CMakeFiles/hcm_x10.dir/codec.cpp.o"
+  "CMakeFiles/hcm_x10.dir/codec.cpp.o.d"
+  "CMakeFiles/hcm_x10.dir/device.cpp.o"
+  "CMakeFiles/hcm_x10.dir/device.cpp.o.d"
+  "libhcm_x10.a"
+  "libhcm_x10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_x10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcm_xml.dir/xml.cpp.o"
+  "CMakeFiles/hcm_xml.dir/xml.cpp.o.d"
+  "libhcm_xml.a"
+  "libhcm_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcm_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

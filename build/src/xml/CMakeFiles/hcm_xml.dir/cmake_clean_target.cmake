@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhcm_xml.a"
+)

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/base64_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/base64_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/base64_test.cpp.o.d"
+  "/root/repo/tests/common/bytes_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/bytes_test.cpp.o.d"
+  "/root/repo/tests/common/interface_desc_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/interface_desc_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/interface_desc_test.cpp.o.d"
+  "/root/repo/tests/common/status_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/status_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/status_test.cpp.o.d"
+  "/root/repo/tests/common/strings_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/strings_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/strings_test.cpp.o.d"
+  "/root/repo/tests/common/uri_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/uri_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/uri_test.cpp.o.d"
+  "/root/repo/tests/common/value_codec_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/value_codec_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/value_codec_test.cpp.o.d"
+  "/root/repo/tests/common/value_test.cpp" "tests/CMakeFiles/hcm_tests.dir/common/value_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/common/value_test.cpp.o.d"
+  "/root/repo/tests/core/activation_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/activation_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/activation_test.cpp.o.d"
+  "/root/repo/tests/core/adapter_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/adapter_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/adapter_test.cpp.o.d"
+  "/root/repo/tests/core/av_relay_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/av_relay_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/av_relay_test.cpp.o.d"
+  "/root/repo/tests/core/binary_channel_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/binary_channel_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/binary_channel_test.cpp.o.d"
+  "/root/repo/tests/core/integration_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/integration_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/integration_test.cpp.o.d"
+  "/root/repo/tests/core/meta_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/meta_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/meta_test.cpp.o.d"
+  "/root/repo/tests/core/property_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/property_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/property_test.cpp.o.d"
+  "/root/repo/tests/core/stream_gateway_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/stream_gateway_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/stream_gateway_test.cpp.o.d"
+  "/root/repo/tests/core/upnp_island_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/upnp_island_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/upnp_island_test.cpp.o.d"
+  "/root/repo/tests/core/vsg_test.cpp" "tests/CMakeFiles/hcm_tests.dir/core/vsg_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/core/vsg_test.cpp.o.d"
+  "/root/repo/tests/havi/fcm_av_test.cpp" "tests/CMakeFiles/hcm_tests.dir/havi/fcm_av_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/havi/fcm_av_test.cpp.o.d"
+  "/root/repo/tests/havi/havi_stack_test.cpp" "tests/CMakeFiles/hcm_tests.dir/havi/havi_stack_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/havi/havi_stack_test.cpp.o.d"
+  "/root/repo/tests/havi/messaging_test.cpp" "tests/CMakeFiles/hcm_tests.dir/havi/messaging_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/havi/messaging_test.cpp.o.d"
+  "/root/repo/tests/http/client_pool_test.cpp" "tests/CMakeFiles/hcm_tests.dir/http/client_pool_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/http/client_pool_test.cpp.o.d"
+  "/root/repo/tests/http/message_test.cpp" "tests/CMakeFiles/hcm_tests.dir/http/message_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/http/message_test.cpp.o.d"
+  "/root/repo/tests/http/server_client_test.cpp" "tests/CMakeFiles/hcm_tests.dir/http/server_client_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/http/server_client_test.cpp.o.d"
+  "/root/repo/tests/jini/lookup_test.cpp" "tests/CMakeFiles/hcm_tests.dir/jini/lookup_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/jini/lookup_test.cpp.o.d"
+  "/root/repo/tests/jini/protocol_test.cpp" "tests/CMakeFiles/hcm_tests.dir/jini/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/jini/protocol_test.cpp.o.d"
+  "/root/repo/tests/mail/mail_test.cpp" "tests/CMakeFiles/hcm_tests.dir/mail/mail_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/mail/mail_test.cpp.o.d"
+  "/root/repo/tests/net/ieee1394_test.cpp" "tests/CMakeFiles/hcm_tests.dir/net/ieee1394_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/net/ieee1394_test.cpp.o.d"
+  "/root/repo/tests/net/network_test.cpp" "tests/CMakeFiles/hcm_tests.dir/net/network_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/net/network_test.cpp.o.d"
+  "/root/repo/tests/net/powerline_test.cpp" "tests/CMakeFiles/hcm_tests.dir/net/powerline_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/net/powerline_test.cpp.o.d"
+  "/root/repo/tests/net/stream_test.cpp" "tests/CMakeFiles/hcm_tests.dir/net/stream_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/net/stream_test.cpp.o.d"
+  "/root/repo/tests/sim/scheduler_test.cpp" "tests/CMakeFiles/hcm_tests.dir/sim/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/sim/scheduler_test.cpp.o.d"
+  "/root/repo/tests/soap/envelope_test.cpp" "tests/CMakeFiles/hcm_tests.dir/soap/envelope_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/soap/envelope_test.cpp.o.d"
+  "/root/repo/tests/soap/rpc_test.cpp" "tests/CMakeFiles/hcm_tests.dir/soap/rpc_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/soap/rpc_test.cpp.o.d"
+  "/root/repo/tests/soap/uddi_test.cpp" "tests/CMakeFiles/hcm_tests.dir/soap/uddi_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/soap/uddi_test.cpp.o.d"
+  "/root/repo/tests/soap/value_xml_test.cpp" "tests/CMakeFiles/hcm_tests.dir/soap/value_xml_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/soap/value_xml_test.cpp.o.d"
+  "/root/repo/tests/soap/wsdl_test.cpp" "tests/CMakeFiles/hcm_tests.dir/soap/wsdl_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/soap/wsdl_test.cpp.o.d"
+  "/root/repo/tests/upnp/upnp_test.cpp" "tests/CMakeFiles/hcm_tests.dir/upnp/upnp_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/upnp/upnp_test.cpp.o.d"
+  "/root/repo/tests/x10/codec_test.cpp" "tests/CMakeFiles/hcm_tests.dir/x10/codec_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/x10/codec_test.cpp.o.d"
+  "/root/repo/tests/x10/device_test.cpp" "tests/CMakeFiles/hcm_tests.dir/x10/device_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/x10/device_test.cpp.o.d"
+  "/root/repo/tests/xml/xml_test.cpp" "tests/CMakeFiles/hcm_tests.dir/xml/xml_test.cpp.o" "gcc" "tests/CMakeFiles/hcm_tests.dir/xml/xml_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hcm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hcm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hcm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/hcm_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/hcm_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/soap/CMakeFiles/hcm_soap.dir/DependInfo.cmake"
+  "/root/repo/build/src/jini/CMakeFiles/hcm_jini.dir/DependInfo.cmake"
+  "/root/repo/build/src/havi/CMakeFiles/hcm_havi.dir/DependInfo.cmake"
+  "/root/repo/build/src/x10/CMakeFiles/hcm_x10.dir/DependInfo.cmake"
+  "/root/repo/build/src/mail/CMakeFiles/hcm_mail.dir/DependInfo.cmake"
+  "/root/repo/build/src/upnp/CMakeFiles/hcm_upnp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hcm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/testbed/CMakeFiles/hcm_testbed.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
