@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full PR gate (docs/CORRECTNESS.md §5):
+#   1. tier-1: default preset (-Werror) build + full ctest, which
+#      includes the hcm_lint contract check and the determinism audit;
+#   2. the same suite under ASan+UBSan (asan preset);
+#   3. standalone hcm_lint run for a readable summary.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== [1/3] tier-1: default preset (-Werror) ==="
+cmake --preset default
+cmake --build --preset default -j "${JOBS}"
+ctest --preset default -j "${JOBS}"
+
+echo "=== [2/3] sanitizers: asan preset (ASan + UBSan) ==="
+cmake --preset asan
+cmake --build --preset asan -j "${JOBS}"
+ctest --preset asan -j "${JOBS}"
+
+echo "=== [3/3] hcm_lint summary ==="
+./build/tools/hcm_lint/hcm_lint --root .
+
+echo "All checks passed."

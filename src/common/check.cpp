@@ -1,0 +1,34 @@
+#include "common/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#ifndef __has_feature
+#define __has_feature(x) 0  // GCC spells it __SANITIZE_ADDRESS__ instead
+#endif
+#if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
+// The simulator deliberately keeps cyclic object graphs (streams and
+// proxies capture shared_ptr peers in callbacks) alive until process
+// exit; LeakSanitizer reports them as indirect leaks. Bake the opt-out
+// into every sanitized binary so bare runs match the ctest preset.
+// docs/CORRECTNESS.md explains; untangling the cycles is roadmap work.
+extern "C" const char* __asan_default_options() {
+  return "detect_leaks=0:strict_string_checks=1";
+}
+#endif
+
+namespace hcm::detail {
+
+void check_fail(const char* expr, const char* file, int line,
+                const std::string& detail) {
+  if (detail.empty()) {
+    std::fprintf(stderr, "HCM_CHECK failed: %s at %s:%d\n", expr, file, line);
+  } else {
+    std::fprintf(stderr, "HCM_CHECK failed: %s (%s) at %s:%d\n", expr,
+                 detail.c_str(), file, line);
+  }
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace hcm::detail

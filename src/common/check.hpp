@@ -1,0 +1,37 @@
+// HCM_CHECK / HCM_DCHECK: the framework's invariant macros. Unlike
+// assert(), HCM_CHECK is active in every build type — a violated
+// framework invariant (virtual time going backwards, a tombstone count
+// underflow) must abort the simulation rather than silently corrupt a
+// benchmark result. HCM_DCHECK compiles away under NDEBUG and is for
+// hot-path checks whose cost matters.
+//
+// docs/CORRECTNESS.md describes when to use which.
+#pragma once
+
+#include <string>
+
+namespace hcm::detail {
+
+// Prints "CHECK failed: <expr> (<detail>) at file:line" to stderr and
+// aborts. Out-of-line so the macro expands to a single cheap branch.
+[[noreturn]] void check_fail(const char* expr, const char* file, int line,
+                             const std::string& detail);
+
+}  // namespace hcm::detail
+
+#define HCM_CHECK(cond)                                            \
+  ((cond) ? static_cast<void>(0)                                   \
+          : ::hcm::detail::check_fail(#cond, __FILE__, __LINE__, {}))
+
+// Variant carrying a detail message (any std::string-convertible).
+#define HCM_CHECK_MSG(cond, msg)                                   \
+  ((cond) ? static_cast<void>(0)                                   \
+          : ::hcm::detail::check_fail(#cond, __FILE__, __LINE__, (msg)))
+
+#ifdef NDEBUG
+#define HCM_DCHECK(cond) static_cast<void>(0)
+#define HCM_DCHECK_MSG(cond, msg) static_cast<void>(0)
+#else
+#define HCM_DCHECK(cond) HCM_CHECK(cond)
+#define HCM_DCHECK_MSG(cond, msg) HCM_CHECK_MSG(cond, msg)
+#endif

@@ -34,7 +34,7 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status ok() { return {}; }
+  [[nodiscard]] static Status ok() { return {}; }
 
   [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
   [[nodiscard]] StatusCode code() const { return code_; }
@@ -42,8 +42,17 @@ class Status {
 
   [[nodiscard]] std::string to_string() const;
 
+  // True when both statuses carry the same code. Equality below is
+  // defined as exactly this: message_ is diagnostic payload only and
+  // deliberately ignored, so retries/races that produce differently
+  // worded errors of the same kind still compare equal (pinned by
+  // StatusTest.EqualityIgnoresMessage).
+  [[nodiscard]] bool same_code(const Status& other) const {
+    return code_ == other.code_;
+  }
+
   friend bool operator==(const Status& a, const Status& b) {
-    return a.code_ == b.code_;
+    return a.same_code(b);
   }
 
  private:
@@ -51,34 +60,34 @@ class Status {
   std::string message_;
 };
 
-inline Status invalid_argument(std::string msg) {
+[[nodiscard]] inline Status invalid_argument(std::string msg) {
   return {StatusCode::kInvalidArgument, std::move(msg)};
 }
-inline Status not_found(std::string msg) {
+[[nodiscard]] inline Status not_found(std::string msg) {
   return {StatusCode::kNotFound, std::move(msg)};
 }
-inline Status already_exists(std::string msg) {
+[[nodiscard]] inline Status already_exists(std::string msg) {
   return {StatusCode::kAlreadyExists, std::move(msg)};
 }
-inline Status unavailable(std::string msg) {
+[[nodiscard]] inline Status unavailable(std::string msg) {
   return {StatusCode::kUnavailable, std::move(msg)};
 }
-inline Status timeout(std::string msg) {
+[[nodiscard]] inline Status timeout(std::string msg) {
   return {StatusCode::kTimeout, std::move(msg)};
 }
-inline Status protocol_error(std::string msg) {
+[[nodiscard]] inline Status protocol_error(std::string msg) {
   return {StatusCode::kProtocolError, std::move(msg)};
 }
-inline Status unimplemented(std::string msg) {
+[[nodiscard]] inline Status unimplemented(std::string msg) {
   return {StatusCode::kUnimplemented, std::move(msg)};
 }
-inline Status internal_error(std::string msg) {
+[[nodiscard]] inline Status internal_error(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
 }
-inline Status cancelled(std::string msg) {
+[[nodiscard]] inline Status cancelled(std::string msg) {
   return {StatusCode::kCancelled, std::move(msg)};
 }
-inline Status resource_exhausted(std::string msg) {
+[[nodiscard]] inline Status resource_exhausted(std::string msg) {
   return {StatusCode::kResourceExhausted, std::move(msg)};
 }
 

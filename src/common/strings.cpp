@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <limits>
 
 namespace hcm {
 
@@ -62,8 +63,10 @@ long long parse_uint(std::string_view s) {
   long long v = 0;
   for (char c : s) {
     if (c < '0' || c > '9') return -1;
-    if (v > (1LL << 60)) return -1;  // overflow guard
-    v = v * 10 + (c - '0');
+    int digit = c - '0';
+    // Reject before multiplying: v * 10 + digit must stay in range.
+    if (v > (std::numeric_limits<long long>::max() - digit) / 10) return -1;
+    v = v * 10 + digit;
   }
   return v;
 }

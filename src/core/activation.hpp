@@ -40,9 +40,10 @@ class ActivationManager {
   // Registers a dormant, activatable service and exposes it through
   // the VSG. Returns the exposure URI (publishable in the VSR like any
   // other service).
-  Result<Uri> register_activatable(const std::string& name,
-                                   const InterfaceDesc& iface,
-                                   ServiceFactory factory, Options options);
+  [[nodiscard]] Result<Uri> register_activatable(const std::string& name,
+                                                 const InterfaceDesc& iface,
+                                                 ServiceFactory factory,
+                                                 Options options);
   void unregister(const std::string& name);
 
   [[nodiscard]] bool is_active(const std::string& name) const;

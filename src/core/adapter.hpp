@@ -42,8 +42,8 @@ class MiddlewareAdapter {
   // Makes a *remote* service appear as a native local service whose
   // implementation is `handler` (a generated server proxy). Local
   // clients then use it with zero changes.
-  virtual Status export_service(const LocalService& service,
-                                ServiceHandler handler) = 0;
+  [[nodiscard]] virtual Status export_service(const LocalService& service,
+                                              ServiceHandler handler) = 0;
   virtual void unexport_service(const std::string& name) = 0;
 };
 

@@ -17,14 +17,14 @@ class JiniAdapter : public MiddlewareAdapter {
               net::Endpoint lookup, std::uint16_t export_port = 4170);
   ~JiniAdapter() override;
 
-  Status start();
+  [[nodiscard]] Status start();
 
   [[nodiscard]] std::string middleware_name() const override { return "jini"; }
   void list_services(ServicesFn done) override;
   void invoke(const std::string& service_name, const std::string& method,
               const ValueList& args, InvokeResultFn done) override;
-  Status export_service(const LocalService& service,
-                        ServiceHandler handler) override;
+  [[nodiscard]] Status export_service(const LocalService& service,
+                                      ServiceHandler handler) override;
   void unexport_service(const std::string& name) override;
 
  private:

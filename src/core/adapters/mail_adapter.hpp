@@ -28,8 +28,8 @@ class MailAdapter : public MiddlewareAdapter {
   void list_services(ServicesFn done) override;
   void invoke(const std::string& service_name, const std::string& method,
               const ValueList& args, InvokeResultFn done) override;
-  Status export_service(const LocalService& service,
-                        ServiceHandler handler) override;
+  [[nodiscard]] Status export_service(const LocalService& service,
+                                      ServiceHandler handler) override;
   void unexport_service(const std::string& name) override;
 
   // Parses one body line into a typed argument (int, double, bool,

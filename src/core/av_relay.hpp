@@ -27,7 +27,7 @@ class AvRelayReceiver {
   AvRelayReceiver(const AvRelayReceiver&) = delete;
   AvRelayReceiver& operator=(const AvRelayReceiver&) = delete;
 
-  Status start();
+  [[nodiscard]] Status start();
 
   using FrameSink = std::function<void(std::uint64_t seq, const Bytes& frame)>;
   // One sink per stream id.
@@ -69,8 +69,8 @@ class AvRelaySender {
   AvRelaySender& operator=(const AvRelaySender&) = delete;
 
   // Starts relaying `channel` to `receiver` under `stream_id`.
-  Status relay(net::IsoChannel channel, net::Endpoint receiver,
-               std::uint32_t stream_id);
+  [[nodiscard]] Status relay(net::IsoChannel channel, net::Endpoint receiver,
+                             std::uint32_t stream_id);
   void stop(std::uint32_t stream_id);
 
   [[nodiscard]] std::uint64_t frames_relayed() const {

@@ -22,7 +22,7 @@ class BinaryRpcServer {
   BinaryRpcServer(const BinaryRpcServer&) = delete;
   BinaryRpcServer& operator=(const BinaryRpcServer&) = delete;
 
-  Status start();
+  [[nodiscard]] Status start();
   void stop();
 
   void register_service(const std::string& name, ServiceHandler handler);

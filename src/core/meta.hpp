@@ -30,11 +30,10 @@ class MetaMiddleware {
   // Connects a middleware island: creates its VSG on `gateway_node` and
   // a PCM driving `adapter`. New middleware participates by providing
   // only the adapter — the §3 "effortlessly" property.
-  Result<Island*> add_island(const std::string& name,
-                             net::NodeId gateway_node,
-                             std::unique_ptr<MiddlewareAdapter> adapter,
-                             VsgProtocol protocol = VsgProtocol::kSoap,
-                             std::uint16_t port = 8080);
+  [[nodiscard]] Result<Island*> add_island(
+      const std::string& name, net::NodeId gateway_node,
+      std::unique_ptr<MiddlewareAdapter> adapter,
+      VsgProtocol protocol = VsgProtocol::kSoap, std::uint16_t port = 8080);
 
   [[nodiscard]] Island* island(const std::string& name);
   [[nodiscard]] std::size_t island_count() const { return islands_.size(); }

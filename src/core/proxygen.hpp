@@ -21,8 +21,8 @@ class ProxyGenerator {
   // native interface into a VSG service. Exposes the service through
   // the VSG (calls land on adapter.invoke) and returns the WSDL that
   // describes the resulting VSG endpoint, ready for VSR publication.
-  Result<std::string> generate_client_proxy(const LocalService& service,
-                                            MiddlewareAdapter& adapter);
+  [[nodiscard]] Result<std::string> generate_client_proxy(
+      const LocalService& service, MiddlewareAdapter& adapter);
 
   // Server Proxy (paper Fig. 2, SP): converts a remote VSG service
   // (described by its WSDL) into a native service handler, which the

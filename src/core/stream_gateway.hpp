@@ -26,7 +26,7 @@ class EventGateway {
   EventGateway(const EventGateway&) = delete;
   EventGateway& operator=(const EventGateway&) = delete;
 
-  Status start();
+  [[nodiscard]] Status start();
 
   // Meshes this gateway with a peer (events published here are pushed
   // there; call on both sides for bidirectional flow).

@@ -30,7 +30,7 @@ class VirtualServiceGateway {
   VirtualServiceGateway(const VirtualServiceGateway&) = delete;
   VirtualServiceGateway& operator=(const VirtualServiceGateway&) = delete;
 
-  Status start();
+  [[nodiscard]] Status start();
 
   [[nodiscard]] const std::string& island_name() const { return island_name_; }
   [[nodiscard]] net::NodeId node() const { return node_; }
@@ -39,8 +39,9 @@ class VirtualServiceGateway {
   // --- Client Proxy direction ------------------------------------------
   // Exposes a local service through this gateway. Remote islands call
   // the returned endpoint URI; calls are forwarded to `local_invoke`.
-  Result<Uri> expose(const std::string& name, const InterfaceDesc& iface,
-                     ServiceHandler local_invoke);
+  [[nodiscard]] Result<Uri> expose(const std::string& name,
+                                   const InterfaceDesc& iface,
+                                   ServiceHandler local_invoke);
   void unexpose(const std::string& name);
   [[nodiscard]] bool is_exposed(const std::string& name) const {
     return exposed_.count(name) != 0;

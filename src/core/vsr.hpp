@@ -16,7 +16,7 @@ class VsrServer {
  public:
   VsrServer(net::Network& net, net::NodeId node, std::uint16_t port = 8000);
 
-  Status start() { return http_.start(); }
+  [[nodiscard]] Status start() { return http_.start(); }
 
   [[nodiscard]] net::Endpoint endpoint() const { return http_.endpoint(); }
   [[nodiscard]] Uri uri() {

@@ -1,7 +1,8 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
 #include <cstdio>
+
+#include "common/check.hpp"
 
 namespace hcm::sim {
 
@@ -35,16 +36,17 @@ bool Scheduler::fire_next() {
     auto it = callbacks_.find(e.id);
     if (it == callbacks_.end()) {
       queue_.pop();  // cancelled tombstone
-      assert(cancelled_ > 0);
+      HCM_DCHECK(cancelled_ > 0);
       --cancelled_;
       continue;
     }
-    assert(e.time >= now_ && "virtual time must never go backwards");
+    HCM_CHECK_MSG(e.time >= now_, "virtual time must never go backwards");
     queue_.pop();
     now_ = e.time;
     EventFn fn = std::move(it->second);
     callbacks_.erase(it);
     ++processed_;
+    if (trace_) trace_(now_, e.id);
     fn();
     return true;
   }
@@ -63,7 +65,7 @@ std::size_t Scheduler::run_until(SimTime t) {
     Entry e = queue_.top();
     if (callbacks_.find(e.id) == callbacks_.end()) {
       queue_.pop();
-      assert(cancelled_ > 0);
+      HCM_DCHECK(cancelled_ > 0);
       --cancelled_;
       continue;
     }

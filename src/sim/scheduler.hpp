@@ -64,6 +64,12 @@ class Scheduler {
   // Events fired since construction (progress metric for benches).
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
 
+  // Dispatch-trace hook: called as (time, event-id) immediately before
+  // each event fires. Installed by sim::TraceRecorder to audit
+  // determinism; at most one hook (empty fn detaches).
+  using TraceFn = std::function<void(SimTime, EventId)>;
+  void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
  private:
   struct Entry {
     SimTime time;
@@ -86,6 +92,7 @@ class Scheduler {
   std::unordered_map<EventId, EventFn> callbacks_;
   std::size_t cancelled_ = 0;
   std::uint64_t processed_ = 0;
+  TraceFn trace_;
   std::mt19937_64 rng_{0x5eed5eedULL};
 };
 

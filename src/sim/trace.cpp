@@ -1,0 +1,19 @@
+#include "sim/trace.hpp"
+
+#include "common/check.hpp"
+
+namespace hcm::sim {
+
+TraceRecorder::TraceRecorder(Scheduler& sched) : sched_(sched) {
+  sched_.set_trace([this](SimTime t, EventId id) {
+    HCM_DCHECK_MSG(t >= last_time_, "trace saw time move backwards");
+    hash_.mix(static_cast<std::uint64_t>(t));
+    hash_.mix(id);
+    ++events_;
+    last_time_ = t;
+  });
+}
+
+TraceRecorder::~TraceRecorder() { sched_.set_trace({}); }
+
+}  // namespace hcm::sim

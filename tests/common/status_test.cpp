@@ -32,9 +32,14 @@ TEST(StatusTest, FactoriesMapToCodes) {
   EXPECT_EQ(resource_exhausted("x").code(), StatusCode::kResourceExhausted);
 }
 
-TEST(StatusTest, EqualityComparesCodeOnly) {
+// Pins the documented contract in status.hpp: operator== is same_code,
+// the message is diagnostic payload only and never part of equality.
+TEST(StatusTest, EqualityIgnoresMessage) {
   EXPECT_EQ(not_found("a"), not_found("b"));
+  EXPECT_TRUE(not_found("a").same_code(not_found("completely different")));
   EXPECT_FALSE(not_found("a") == timeout("a"));
+  EXPECT_FALSE(not_found("a").same_code(timeout("a")));
+  EXPECT_EQ(Status::ok(), Status());
 }
 
 TEST(ResultTest, HoldsValue) {

@@ -1,0 +1,128 @@
+#include "core/proxygen.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soap/wsdl.hpp"
+
+namespace hcm::core {
+namespace {
+
+InterfaceDesc switch_interface() {
+  return InterfaceDesc{
+      "Switchable",
+      {MethodDesc{"turnOn", {}, ValueType::kBool, false},
+       MethodDesc{"turnOff", {}, ValueType::kBool, false}}};
+}
+
+// In-memory adapter recording which native invokes the generated
+// proxies perform.
+class RecordingAdapter : public MiddlewareAdapter {
+ public:
+  [[nodiscard]] std::string middleware_name() const override { return "fake"; }
+
+  void list_services(ServicesFn done) override {
+    done(std::vector<LocalService>{});
+  }
+
+  void invoke(const std::string& service_name, const std::string& method,
+              const ValueList&, InvokeResultFn done) override {
+    invoked.push_back(service_name + "." + method);
+    done(Value(true));
+  }
+
+  [[nodiscard]] Status export_service(const LocalService&,
+                                      ServiceHandler) override {
+    return Status::ok();
+  }
+  void unexport_service(const std::string&) override {}
+
+  std::vector<std::string> invoked;
+};
+
+class ProxyGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gw = &net.add_node("gw");
+    auto& eth = net.add_ethernet("lan", sim::milliseconds(1), 10'000'000);
+    net.attach(*gw, eth);
+    vsg = std::make_unique<VirtualServiceGateway>(net, gw->id(), "island");
+    ASSERT_TRUE(vsg->start().is_ok());
+  }
+
+  LocalService service_named(const std::string& name) {
+    LocalService s;
+    s.name = name;
+    s.interface = switch_interface();
+    return s;
+  }
+
+  sim::Scheduler sched;
+  net::Network net{sched};
+  net::Node* gw = nullptr;
+  std::unique_ptr<VirtualServiceGateway> vsg;
+  RecordingAdapter adapter;
+};
+
+// The paper's zero-glue property in counter form: exposing N services
+// costs exactly N generated client proxies and nothing else.
+TEST_F(ProxyGeneratorTest, ExposingNServicesGeneratesExactlyNClientProxies) {
+  ProxyGenerator gen(*vsg);
+  constexpr int kServices = 7;
+  for (int i = 0; i < kServices; ++i) {
+    auto wsdl = gen.generate_client_proxy(
+        service_named("svc-" + std::to_string(i)), adapter);
+    ASSERT_TRUE(wsdl.is_ok()) << wsdl.status().to_string();
+    EXPECT_EQ(gen.client_proxies_generated(),
+              static_cast<std::uint64_t>(i + 1));
+  }
+  EXPECT_EQ(gen.client_proxies_generated(), kServices);
+  EXPECT_EQ(gen.server_proxies_generated(), 0u);
+  EXPECT_EQ(vsg->exposed_count(), kServices);
+}
+
+TEST_F(ProxyGeneratorTest, ClientProxyWsdlDescribesTheExposure) {
+  ProxyGenerator gen(*vsg);
+  auto wsdl = gen.generate_client_proxy(service_named("lamp-1"), adapter);
+  ASSERT_TRUE(wsdl.is_ok());
+  auto doc = soap::parse_wsdl(wsdl.value());
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().service_name, "lamp-1");
+  EXPECT_EQ(doc.value().interface, switch_interface());
+  EXPECT_EQ(doc.value().endpoint.to_string(),
+            vsg->exposure_uri("lamp-1").to_string());
+}
+
+TEST_F(ProxyGeneratorTest, FailedExposureDoesNotCountAsGenerated) {
+  ProxyGenerator gen(*vsg);
+  ASSERT_TRUE(gen.generate_client_proxy(service_named("dup"), adapter).is_ok());
+  auto again = gen.generate_client_proxy(service_named("dup"), adapter);
+  EXPECT_FALSE(again.is_ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(gen.client_proxies_generated(), 1u);
+}
+
+TEST_F(ProxyGeneratorTest, ServerProxyCountsAndForwardsToRemote) {
+  ProxyGenerator gen(*vsg);
+  // A real exposure on this gateway stands in for the remote island.
+  ASSERT_TRUE(gen.generate_client_proxy(service_named("lamp-1"), adapter)
+                  .is_ok());
+  soap::WsdlDocument remote;
+  remote.interface = switch_interface();
+  remote.service_name = "lamp-1";
+  remote.endpoint = vsg->exposure_uri("lamp-1");
+
+  ServiceHandler sp = gen.generate_server_proxy(remote);
+  EXPECT_EQ(gen.server_proxies_generated(), 1u);
+
+  std::optional<Result<Value>> result;
+  sp("turnOn", {}, [&](Result<Value> r) { result = std::move(r); });
+  sched.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->is_ok()) << result->status().to_string();
+  EXPECT_EQ(result->value(), Value(true));
+  // The call went SP -> VSG wire -> CP -> native invoke.
+  EXPECT_EQ(adapter.invoked, std::vector<std::string>{"lamp-1.turnOn"});
+}
+
+}  // namespace
+}  // namespace hcm::core

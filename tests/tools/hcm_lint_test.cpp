@@ -1,0 +1,237 @@
+// Fixture tests for hcm_lint itself: each framework invariant the
+// checker enforces gets a violating descriptor/WSDL/VSR fixture and an
+// assertion on the diagnostic produced (and a clean fixture proving no
+// false positive).
+#include "hcm_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hcm_lint/source_scan.hpp"
+#include "soap/wsdl.hpp"
+
+namespace hcm::lint {
+namespace {
+
+bool has_check(const Diagnostics& diags, const std::string& check) {
+  return std::any_of(diags.begin(), diags.end(),
+                     [&](const Diagnostic& d) { return d.check == check; });
+}
+
+InterfaceDesc clean_interface() {
+  return InterfaceDesc{
+      "VcrControl",
+      {MethodDesc{"play", {}, ValueType::kBool, false},
+       MethodDesc{"record",
+                  {{"channel", ValueType::kInt}, {"title", ValueType::kString}},
+                  ValueType::kBool, false},
+       MethodDesc{"notifyTape", {{"present", ValueType::kBool}},
+                  ValueType::kNull, true}}};
+}
+
+TEST(LintInterfaceTest, CleanInterfaceHasNoDiagnostics) {
+  auto diags = check_interface(clean_interface(), "fixture");
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  diags = check_wsdl_roundtrip(clean_interface(), "fixture");
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST(LintInterfaceTest, DuplicateMethodNameIsFlagged) {
+  InterfaceDesc iface = clean_interface();
+  iface.methods.push_back(MethodDesc{"play", {}, ValueType::kInt, false});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "duplicate-method"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintInterfaceTest, OneWayMethodWithReturnTypeIsFlagged) {
+  InterfaceDesc iface = clean_interface();
+  iface.methods.push_back(
+      MethodDesc{"fireAndForget", {}, ValueType::kInt, true});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "one-way-return")) << format_diagnostics(diags);
+  // The same defect is visible as WSDL drift: emit drops the reply, so
+  // the round-trip loses the declared return type.
+  auto rt = check_wsdl_roundtrip(iface, "fixture");
+  EXPECT_TRUE(has_check(rt, "wsdl-roundtrip")) << format_diagnostics(rt);
+}
+
+TEST(LintInterfaceTest, UnrepresentableValueTypeIsFlagged) {
+  InterfaceDesc iface = clean_interface();
+  iface.methods.push_back(MethodDesc{
+      "weird", {{"arg", static_cast<ValueType>(99)}}, ValueType::kNull,
+      false});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "unrepresentable-type"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintInterfaceTest, UnnamedMethodAndInterfaceAreFlagged) {
+  InterfaceDesc iface;
+  iface.methods.push_back(MethodDesc{"", {}, ValueType::kNull, false});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "unnamed-interface"));
+  EXPECT_TRUE(has_check(diags, "unnamed-method"));
+}
+
+class LintVsrTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gw_ = &net_.add_node("gw");
+    auto& eth = net_.add_ethernet("lan", sim::milliseconds(1), 10'000'000);
+    net_.attach(*gw_, eth);
+    vsg_ = std::make_unique<core::VirtualServiceGateway>(net_, gw_->id(),
+                                                         "island");
+    ASSERT_TRUE(vsg_->start().is_ok());
+    ASSERT_TRUE(vsg_->expose("lamp-1", clean_interface(),
+                             [](const std::string&, const ValueList&,
+                                InvokeResultFn done) { done(Value(true)); })
+                    .is_ok());
+    ctx_.vsg_for_origin = [this](const std::string& origin) {
+      return origin == "island" ? vsg_.get() : nullptr;
+    };
+    ctx_.net = &net_;
+  }
+
+  soap::RegistryEntry entry_for(const std::string& name, const Uri& endpoint) {
+    soap::RegistryEntry e;
+    e.name = name;
+    e.category = "VcrControl";
+    e.origin = "island";
+    e.wsdl = soap::emit_wsdl(clean_interface(), name, endpoint);
+    return e;
+  }
+
+  sim::Scheduler sched_;
+  net::Network net_{sched_};
+  net::Node* gw_ = nullptr;
+  std::unique_ptr<core::VirtualServiceGateway> vsg_;
+  VsrCheckContext ctx_;
+};
+
+TEST_F(LintVsrTest, LiveEntryHasNoDiagnostics) {
+  auto diags = check_vsr_entries(
+      {entry_for("lamp-1", vsg_->exposure_uri("lamp-1"))}, ctx_);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST_F(LintVsrTest, DanglingEntryIsFlagged) {
+  // "ghost" is in the VSR but was never exposed (or was unexposed).
+  auto diags = check_vsr_entries(
+      {entry_for("ghost", vsg_->exposure_uri("ghost"))}, ctx_);
+  EXPECT_TRUE(has_check(diags, "vsr-dangling-entry"))
+      << format_diagnostics(diags);
+}
+
+TEST_F(LintVsrTest, EndpointMismatchIsFlagged) {
+  auto stale = parse_uri("http://gw:9999/vsg/lamp-1");
+  ASSERT_TRUE(stale.is_ok());
+  auto diags = check_vsr_entries({entry_for("lamp-1", stale.value())}, ctx_);
+  EXPECT_TRUE(has_check(diags, "vsr-endpoint-mismatch"))
+      << format_diagnostics(diags);
+}
+
+TEST_F(LintVsrTest, UnknownOriginIsFlagged) {
+  auto entry = entry_for("lamp-1", vsg_->exposure_uri("lamp-1"));
+  entry.origin = "mars-island";
+  auto diags = check_vsr_entries({entry}, ctx_);
+  EXPECT_TRUE(has_check(diags, "vsr-unknown-origin"))
+      << format_diagnostics(diags);
+}
+
+TEST_F(LintVsrTest, UnparsableWsdlIsFlagged) {
+  soap::RegistryEntry entry;
+  entry.name = "broken";
+  entry.origin = "island";
+  entry.wsdl = "<definitely-not-wsdl/>";
+  auto diags = check_vsr_entries({entry}, ctx_);
+  EXPECT_TRUE(has_check(diags, "vsr-bad-wsdl")) << format_diagnostics(diags);
+}
+
+// --- source scanner -----------------------------------------------------
+
+TEST(SourceScanTest, StripPreservesOffsetsAndRemovesLiterals) {
+  std::string stripped = strip_comments_and_strings(
+      "int a; // Status start();\nconst char* s = \"Status x();\";\n");
+  EXPECT_EQ(stripped.find("Status"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
+}
+
+TEST(SourceScanTest, MissingNodiscardIsFlagged) {
+  auto diags = scan_nodiscard_text("struct S { Status start(); };", "f.hpp");
+  ASSERT_TRUE(has_check(diags, "missing-nodiscard"))
+      << format_diagnostics(diags);
+  EXPECT_NE(diags[0].message.find("start"), std::string::npos);
+}
+
+TEST(SourceScanTest, AnnotatedDeclarationsPass) {
+  auto diags = scan_nodiscard_text(
+      "struct S {\n"
+      "  [[nodiscard]] Status start();\n"
+      "  [[nodiscard]] Result<int> count() const;\n"
+      "  [[nodiscard]] virtual Status stop() = 0;\n"
+      "};\n",
+      "f.hpp");
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST(SourceScanTest, NonDeclarationsAreIgnored) {
+  auto diags = scan_nodiscard_text(
+      "Status status_;\n"                        // member variable
+      "Status s;\n"                              // local
+      "void f(const Status& s);\n"               // parameter
+      "Status() = default;\n"                    // constructor
+      "using Fn = std::function<void(Result<int>)>;\n"
+      "int g() { return Status::ok().is_ok(); }\n",
+      "f.hpp");
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST(SourceScanTest, CollectFindsStatusReturningFunctions) {
+  auto fns = collect_status_functions(
+      "struct S { [[nodiscard]] Status start(); };\n"
+      "[[nodiscard]] Result<int> parse(const std::string&);\n"
+      "void unrelated();\n");
+  EXPECT_TRUE(fns.count("start") == 1);
+  EXPECT_TRUE(fns.count("parse") == 1);
+  EXPECT_TRUE(fns.count("unrelated") == 0);
+}
+
+TEST(SourceScanTest, DiscardedCallIsFlagged) {
+  auto diags = scan_discarded_calls_text(
+      "void f(Server& s) {\n"
+      "  s.start();\n"
+      "}\n",
+      "f.cpp", {"start"});
+  EXPECT_TRUE(has_check(diags, "discarded-status"))
+      << format_diagnostics(diags);
+}
+
+TEST(SourceScanTest, HandledCallsAreNotFlagged) {
+  auto diags = scan_discarded_calls_text(
+      "void f(Server& s) {\n"
+      "  Status st = s.start();\n"
+      "  (void)s.start();\n"
+      "  if (s.start().is_ok()) {}\n"
+      "  return s.start();\n"
+      "  EXPECT_TRUE(s.start().is_ok());\n"
+      "  auto chained = s.start().to_string();\n"
+      "  Status t = ready ? Status::ok() : s.start();\n"
+      "}\n",
+      "f.cpp", {"start"});
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST(SourceScanTest, WholeTreeIsCleanViaScanSources) {
+  // The ctest hcm_lint run covers this with provenance; here we only
+  // assert the API shape works from tests (root may not exist when the
+  // test binary runs from an install tree).
+  SourceScanReport report = scan_sources("/nonexistent-root");
+  EXPECT_TRUE(report.diags.empty());
+  EXPECT_EQ(report.headers_scanned, 0u);
+}
+
+}  // namespace
+}  // namespace hcm::lint

@@ -1,0 +1,193 @@
+#include "hcm_lint/lint.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "common/value_codec.hpp"
+#include "core/naming.hpp"
+#include "soap/wsdl.hpp"
+
+namespace hcm::lint {
+
+namespace {
+
+// A default-constructed Value of each representable type, used to
+// prove the type survives the binary codec.
+Value sample_value(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return {};
+    case ValueType::kBool: return Value(false);
+    case ValueType::kInt: return Value(std::int64_t{0});
+    case ValueType::kDouble: return Value(0.0);
+    case ValueType::kString: return Value(std::string{});
+    case ValueType::kBytes: return Value(Bytes{});
+    case ValueType::kList: return Value(ValueList{});
+    case ValueType::kMap: return Value(ValueMap{});
+  }
+  return {};
+}
+
+bool valid_value_type(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+    case ValueType::kBool:
+    case ValueType::kInt:
+    case ValueType::kDouble:
+    case ValueType::kString:
+    case ValueType::kBytes:
+    case ValueType::kList:
+    case ValueType::kMap:
+      return true;
+  }
+  return false;
+}
+
+void check_value_type(ValueType t, const std::string& where,
+                      const std::string& provenance, Diagnostics& out) {
+  if (!valid_value_type(t)) {
+    out.push_back({"unrepresentable-type", provenance,
+                   where + " has ValueType " +
+                       std::to_string(static_cast<int>(t)) +
+                       " outside the ValueType enumeration"});
+    return;
+  }
+  // Codec representability: the type must survive the binary codec and
+  // the WSDL/xsd type table (both are what proxies marshal through).
+  auto decoded = decode_value(encode_value(sample_value(t)));
+  if (!decoded.is_ok() || decoded.value().type() != t) {
+    out.push_back({"unrepresentable-type", provenance,
+                   where + ": ValueType " + to_string(t) +
+                       " does not round-trip the binary codec"});
+  }
+  if (soap::value_type_for_wsdl(soap::wsdl_type_for(t)) != t) {
+    out.push_back({"unrepresentable-type", provenance,
+                   where + ": ValueType " + to_string(t) +
+                       " does not round-trip the WSDL type table"});
+  }
+}
+
+}  // namespace
+
+Diagnostics check_interface(const InterfaceDesc& iface,
+                            const std::string& provenance) {
+  Diagnostics out;
+  if (iface.name.empty()) {
+    out.push_back({"unnamed-interface", provenance, "interface has no name"});
+  }
+  std::set<std::string> seen;
+  for (const auto& m : iface.methods) {
+    const std::string where = iface.name + "." + m.name;
+    if (m.name.empty()) {
+      out.push_back({"unnamed-method", provenance,
+                     "interface " + iface.name + " has an unnamed method"});
+    }
+    if (!seen.insert(m.name).second) {
+      out.push_back({"duplicate-method", provenance,
+                     "method " + where +
+                         " declared more than once (proxy dispatch is by "
+                         "name, so overloads cannot be distinguished)"});
+    }
+    if (m.one_way && m.return_type != ValueType::kNull) {
+      out.push_back({"one-way-return", provenance,
+                     "one_way method " + where + " declares return type " +
+                         to_string(m.return_type) +
+                         " but one-way calls have no reply to carry it"});
+    }
+    for (const auto& p : m.params) {
+      check_value_type(p.type, where + " param '" + p.name + "'", provenance,
+                       out);
+    }
+    check_value_type(m.return_type, where + " return", provenance, out);
+  }
+  return out;
+}
+
+Diagnostics check_wsdl_roundtrip(const InterfaceDesc& iface,
+                                 const std::string& provenance) {
+  Diagnostics out;
+  const std::string service_name = "lint-probe";
+  auto endpoint = parse_uri("http://lint-host:8080/services/lint-probe");
+  if (!endpoint.is_ok()) {
+    out.push_back({"wsdl-roundtrip", provenance,
+                   "internal: probe URI failed to parse"});
+    return out;
+  }
+  std::string wsdl = soap::emit_wsdl(iface, service_name, endpoint.value());
+  auto doc = soap::parse_wsdl(wsdl);
+  if (!doc.is_ok()) {
+    out.push_back({"wsdl-roundtrip", provenance,
+                   "emitted WSDL does not parse: " + doc.status().to_string()});
+    return out;
+  }
+  if (!(doc.value().interface == iface)) {
+    out.push_back({"wsdl-roundtrip", provenance,
+                   "descriptor does not survive the WSDL round-trip "
+                   "(emit_wsdl + parse_wsdl produced a different "
+                   "interface)"});
+  }
+  if (doc.value().service_name != service_name) {
+    out.push_back({"wsdl-roundtrip", provenance,
+                   "service name does not survive the WSDL round-trip"});
+  }
+  if (doc.value().endpoint.to_string() != endpoint.value().to_string()) {
+    out.push_back({"wsdl-roundtrip", provenance,
+                   "endpoint does not survive the WSDL round-trip"});
+  }
+  return out;
+}
+
+Diagnostics check_vsr_entries(const std::vector<soap::RegistryEntry>& entries,
+                              const VsrCheckContext& ctx) {
+  Diagnostics out;
+  for (const auto& entry : entries) {
+    const std::string subject = "vsr entry '" + entry.name + "' (origin " +
+                                entry.origin + ")";
+    auto doc = soap::parse_wsdl(entry.wsdl);
+    if (!doc.is_ok()) {
+      out.push_back({"vsr-bad-wsdl", subject,
+                     "stored WSDL does not parse: " +
+                         doc.status().to_string()});
+      continue;
+    }
+    core::VirtualServiceGateway* vsg =
+        ctx.vsg_for_origin ? ctx.vsg_for_origin(entry.origin) : nullptr;
+    if (vsg == nullptr) {
+      out.push_back({"vsr-unknown-origin", subject,
+                     "origin island has no live gateway"});
+      continue;
+    }
+    if (!vsg->is_exposed(entry.name)) {
+      out.push_back({"vsr-dangling-entry", subject,
+                     "service is in the VSR but no longer exposed by its "
+                     "origin gateway"});
+      continue;
+    }
+    const std::string advertised = doc.value().endpoint.to_string();
+    const std::string actual = vsg->exposure_uri(entry.name).to_string();
+    if (advertised != actual) {
+      out.push_back({"vsr-endpoint-mismatch", subject,
+                     "advertised endpoint " + advertised +
+                         " != live exposure URI " + actual});
+    }
+    if (ctx.net != nullptr) {
+      auto resolved = core::resolve_endpoint(*ctx.net, doc.value().endpoint);
+      if (!resolved.is_ok()) {
+        out.push_back({"vsr-unresolvable-endpoint", subject,
+                       "advertised endpoint " + advertised +
+                           " does not resolve: " +
+                           resolved.status().to_string()});
+      }
+    }
+  }
+  return out;
+}
+
+std::string format_diagnostics(const Diagnostics& diags) {
+  std::ostringstream os;
+  for (const auto& d : diags) {
+    os << d.check << ": " << d.subject << ": " << d.message << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hcm::lint

@@ -1,0 +1,65 @@
+// hcm_lint: static consistency checker for the machine-readable
+// artifacts that replace per-service glue code. The paper's zero-glue
+// property (§3.2, proxy auto-generation) rests on InterfaceDesc, WSDL
+// and VSR entries staying mutually consistent; these checks make that
+// verifiable. Built as a normal CMake target and run via ctest; any
+// diagnostic fails the build. docs/CORRECTNESS.md documents the rules.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/interface_desc.hpp"
+#include "core/vsg.hpp"
+#include "net/network.hpp"
+#include "soap/uddi.hpp"
+
+namespace hcm::lint {
+
+struct Diagnostic {
+  std::string check;    // invariant id, e.g. "duplicate-method"
+  std::string subject;  // provenance: service/interface/file
+  std::string message;  // human-readable violation
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+// Structural invariants on one interface descriptor:
+//   - interface and method names are non-empty,
+//   - no duplicate method names (proxy dispatch is by name),
+//   - one_way methods return kNull (no reply exists to carry a value),
+//   - every param/return ValueType is a valid, codec-representable
+//     enumerator (survives the binary codec and the WSDL type table).
+[[nodiscard]] Diagnostics check_interface(const InterfaceDesc& iface,
+                                          const std::string& provenance);
+
+// Round-trip invariant: emit_wsdl followed by parse_wsdl must
+// reproduce the descriptor, the service name and the endpoint exactly.
+// Drift here means the VSR advertises something other than what the
+// island exposes.
+[[nodiscard]] Diagnostics check_wsdl_roundtrip(const InterfaceDesc& iface,
+                                               const std::string& provenance);
+
+// Liveness of VSR entries against the gateways that published them.
+struct VsrCheckContext {
+  // Resolves an entry's origin island to its live VSG (nullptr if the
+  // island is unknown).
+  std::function<core::VirtualServiceGateway*(const std::string& origin)>
+      vsg_for_origin;
+  // Optional: when set, entry endpoints must also resolve to a network
+  // endpoint (catches URIs naming nodes that left the simulation).
+  net::Network* net = nullptr;
+};
+
+// For every registry entry: the WSDL parses, the origin island exists,
+// the service is still exposed there, and the advertised endpoint is
+// the exposure's actual URI.
+[[nodiscard]] Diagnostics check_vsr_entries(
+    const std::vector<soap::RegistryEntry>& entries,
+    const VsrCheckContext& ctx);
+
+// Renders diagnostics one per line ("check: subject: message").
+std::string format_diagnostics(const Diagnostics& diags);
+
+}  // namespace hcm::lint

@@ -1,0 +1,153 @@
+// hcm_lint driver. Three passes, any diagnostic fails (exit 1):
+//   1. descriptor pass — every statically declared InterfaceDesc plus
+//      every service a live SmartHome's adapters enumerate is checked
+//      structurally and through the WSDL round-trip;
+//   2. VSR pass — after a full meta refresh, every registry entry must
+//      parse, resolve and match a live exposure on its origin island;
+//   3. source pass — [[nodiscard]] presence on Status/Result APIs in
+//      src/common + src/core headers, and no discarded calls to them
+//      anywhere under src/ (run when --root <repo> is given, as the
+//      ctest registration does).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/adapters/x10_adapter.hpp"
+#include "havi/fcm_av.hpp"
+#include "hcm_lint/lint.hpp"
+#include "hcm_lint/source_scan.hpp"
+#include "testbed/home.hpp"
+
+using namespace hcm;
+
+namespace {
+
+struct NamedInterface {
+  std::string provenance;
+  InterfaceDesc iface;
+};
+
+std::vector<NamedInterface> static_interfaces() {
+  return {
+      {"testbed::LaserdiscPlayer", testbed::LaserdiscPlayer::describe_interface()},
+      {"havi::VcrFcm", havi::VcrFcm::describe_interface()},
+      {"havi::DvCameraFcm", havi::DvCameraFcm::describe_interface()},
+      {"havi::DisplayFcm", havi::DisplayFcm::describe_interface()},
+      {"havi::TunerFcm", havi::TunerFcm::describe_interface()},
+      {"core::X10Adapter(dimmable)", core::X10Adapter::switchable_interface(true)},
+      {"core::X10Adapter(appliance)", core::X10Adapter::switchable_interface(false)},
+  };
+}
+
+void append(lint::Diagnostics& all, lint::Diagnostics more) {
+  all.insert(all.end(), more.begin(), more.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--root") root = argv[i + 1];
+  }
+
+  lint::Diagnostics all;
+
+  // --- pass 1a: statically declared descriptors ------------------------
+  std::size_t interfaces_checked = 0;
+  for (const auto& [provenance, iface] : static_interfaces()) {
+    append(all, lint::check_interface(iface, provenance));
+    append(all, lint::check_wsdl_roundtrip(iface, provenance));
+    ++interfaces_checked;
+  }
+
+  // --- pass 1b + 2: the live testbed ----------------------------------
+  sim::Scheduler sched;
+  testbed::SmartHome home(sched);
+  Status refreshed = home.refresh();
+  if (!refreshed.is_ok()) {
+    all.push_back({"testbed-refresh", "SmartHome",
+                   "meta refresh failed: " + refreshed.to_string()});
+  }
+
+  // Every service each island's adapter can enumerate (this reaches the
+  // descriptors the Jini/HAVi/X10/mail registrations carry at runtime).
+  for (const char* island :
+       {"jini-island", "havi-island", "x10-island", "mail-island"}) {
+    auto* isl = home.meta->island(island);
+    if (isl == nullptr) {
+      all.push_back({"testbed-island", island, "island missing from meta"});
+      continue;
+    }
+    bool listed = false;
+    isl->pcm->adapter().list_services(
+        [&](Result<std::vector<core::LocalService>> services) {
+          listed = true;
+          if (!services.is_ok()) {
+            all.push_back({"adapter-list", island,
+                           "list_services failed: " +
+                               services.status().to_string()});
+            return;
+          }
+          for (const auto& service : services.value()) {
+            const std::string provenance =
+                std::string(island) + "/" + service.name;
+            append(all, lint::check_interface(service.interface, provenance));
+            append(all,
+                   lint::check_wsdl_roundtrip(service.interface, provenance));
+            ++interfaces_checked;
+          }
+        });
+    sim::run_until_done(sched, [&] { return listed; });
+    if (!listed) {
+      all.push_back({"adapter-list", island, "list_services never completed"});
+    }
+  }
+
+  // VSR pass: fetch every entry over the real UDDI protocol.
+  std::vector<soap::RegistryEntry> entries;
+  bool fetched = false;
+  soap::UddiClient uddi(home.net, home.vsr_node->id(), home.vsr->endpoint());
+  uddi.list_all([&](Result<std::vector<soap::RegistryEntry>> r) {
+    fetched = true;
+    if (!r.is_ok()) {
+      all.push_back({"vsr-list", "uddi",
+                     "list_all failed: " + r.status().to_string()});
+      return;
+    }
+    entries = std::move(r).take();
+  });
+  sim::run_until_done(sched, [&] { return fetched; });
+
+  lint::VsrCheckContext ctx;
+  ctx.net = &home.net;
+  ctx.vsg_for_origin = [&](const std::string& origin) {
+    auto* isl = home.meta->island(origin);
+    return isl != nullptr ? isl->vsg.get() : nullptr;
+  };
+  append(all, lint::check_vsr_entries(entries, ctx));
+
+  // --- pass 3: source scan ---------------------------------------------
+  std::size_t files_scanned = 0;
+  if (!root.empty()) {
+    auto report = lint::scan_sources(root);
+    files_scanned = report.files_scanned + report.headers_scanned;
+    append(all, std::move(report.diags));
+    // A wrong --root must not silently degrade into a 0-file pass.
+    if (files_scanned == 0) {
+      all.push_back({"source-scan", root,
+                     "no sources found under <root>/src — bad --root?"});
+    }
+  }
+
+  if (!all.empty()) {
+    std::fprintf(stderr, "hcm_lint: %zu violation(s)\n%s", all.size(),
+                 lint::format_diagnostics(all).c_str());
+    return 1;
+  }
+  std::printf(
+      "hcm_lint: OK — %zu interfaces, %zu VSR entries, %zu source files, "
+      "0 violations\n",
+      interfaces_checked, entries.size(), files_scanned);
+  return 0;
+}

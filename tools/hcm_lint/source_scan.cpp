@@ -1,0 +1,328 @@
+#include "hcm_lint/source_scan.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace hcm::lint {
+
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool word_at(const std::string& s, std::size_t pos, const std::string& word) {
+  if (s.compare(pos, word.size(), word) != 0) return false;
+  if (pos > 0 && ident_char(s[pos - 1])) return false;
+  std::size_t end = pos + word.size();
+  return end >= s.size() || !ident_char(s[end]);
+}
+
+std::size_t skip_ws(const std::string& s, std::size_t i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+int line_of(const std::string& s, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(s.begin(), s.begin() + pos, '\n'));
+}
+
+// Given `pos` at 'Status' or 'Result', returns the end offset of the
+// full return type (past the template args for Result), or npos if the
+// token cannot be a by-value return type here.
+std::size_t return_type_end(const std::string& s, std::size_t pos) {
+  std::size_t end = pos + (word_at(s, pos, "Status") ? 6 : 6);
+  if (word_at(s, pos, "Result")) {
+    std::size_t open = skip_ws(s, end);
+    if (open >= s.size() || s[open] != '<') return std::string::npos;
+    int depth = 0;
+    std::size_t i = open;
+    for (; i < s.size(); ++i) {
+      if (s[i] == '<') ++depth;
+      if (s[i] == '>' && --depth == 0) break;
+    }
+    if (i >= s.size()) return std::string::npos;
+    end = i + 1;
+  }
+  return end;
+}
+
+// The declaration prefix: text between the previous statement boundary
+// and `pos`. For declarations a lone ':' (access specifier) is also a
+// boundary; for call statements it must not be (a ternary's ':' would
+// hide the '=' / '?' that prove the result is used).
+std::string decl_prefix(const std::string& s, std::size_t pos,
+                        bool stop_at_colon = true) {
+  std::size_t begin = 0;
+  for (std::size_t i = pos; i-- > 0;) {
+    char c = s[i];
+    if (c == ';' || c == '{' || c == '}') {
+      begin = i + 1;
+      break;
+    }
+    if (c == ':' && stop_at_colon) {
+      // '::' is a qualifier, a lone ':' ends an access specifier.
+      if (i > 0 && s[i - 1] == ':') {
+        --i;
+        continue;
+      }
+      if (i + 1 < s.size() && s[i + 1] == ':') continue;
+      begin = i + 1;
+      break;
+    }
+  }
+  return s.substr(begin, pos - begin);
+}
+
+bool contains_word(const std::string& s, const std::string& word) {
+  for (std::size_t i = s.find(word); i != std::string::npos;
+       i = s.find(word, i + 1)) {
+    if (word_at(s, i, word)) return true;
+  }
+  return false;
+}
+
+// Parses "<identifier> (" directly after a return type; empty if the
+// token is not a function declaration (member variable, parameter,
+// constructor, reference-returning getter, ...).
+std::string declared_function_name(const std::string& s, std::size_t type_end) {
+  std::size_t i = skip_ws(s, type_end);
+  if (i >= s.size()) return {};
+  if (s[i] == '&' || s[i] == '*') return {};  // by-reference/pointer return
+  std::size_t name_begin = i;
+  while (i < s.size() && ident_char(s[i])) ++i;
+  if (i == name_begin) return {};
+  std::size_t paren = skip_ws(s, i);
+  if (paren >= s.size() || s[paren] != '(') return {};
+  return s.substr(name_begin, i - name_begin);
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(std::string_view src) {
+  std::string out(src);
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    char c = src[i];
+    char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && next != '\n') out[++i] = ' ';
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (i + 1 < src.size() && next != '\n') out[++i] = ' ';
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shared walk over by-value Status/Result declarations; calls `fn`
+// with (declared name, token offset, declaration prefix).
+template <typename Fn>
+void for_each_status_decl(const std::string& stripped, Fn&& fn) {
+  for (const char* type_word : {"Status", "Result"}) {
+    const std::string word = type_word;
+    for (std::size_t pos = stripped.find(word); pos != std::string::npos;
+         pos = stripped.find(word, pos + 1)) {
+      if (!word_at(stripped, pos, word)) continue;
+      // Qualified uses (Status::..., StatusCode) and `return Status...`
+      // are not declarations.
+      std::size_t type_end = return_type_end(stripped, pos);
+      if (type_end == std::string::npos) continue;
+      std::string name = declared_function_name(stripped, type_end);
+      if (name.empty() || name == "operator") continue;
+      std::string prefix = decl_prefix(stripped, pos);
+      if (contains_word(prefix, "return") || contains_word(prefix, "using") ||
+          contains_word(prefix, "typedef") || contains_word(prefix, "new") ||
+          prefix.find('=') != std::string::npos ||
+          prefix.find('(') != std::string::npos ||
+          prefix.find('<') != std::string::npos) {
+        continue;
+      }
+      fn(name, pos, prefix);
+    }
+  }
+}
+
+}  // namespace
+
+std::set<std::string> collect_status_functions(const std::string& header_text) {
+  std::string stripped = strip_comments_and_strings(header_text);
+  std::set<std::string> out;
+  for_each_status_decl(stripped,
+                       [&](const std::string& name, std::size_t,
+                           const std::string&) { out.insert(name); });
+  return out;
+}
+
+Diagnostics scan_nodiscard_text(const std::string& text,
+                                const std::string& filename) {
+  std::string stripped = strip_comments_and_strings(text);
+  Diagnostics out;
+  for_each_status_decl(
+      stripped, [&](const std::string& name, std::size_t pos,
+                    const std::string& prefix) {
+        if (prefix.find("[[nodiscard]]") != std::string::npos) return;
+        out.push_back(
+            {"missing-nodiscard",
+             filename + ":" + std::to_string(line_of(stripped, pos)),
+             "function '" + name +
+                 "' returns Status/Result but is not [[nodiscard]]"});
+      });
+  return out;
+}
+
+Diagnostics scan_discarded_calls_text(const std::string& text,
+                                      const std::string& filename,
+                                      const std::set<std::string>& fns) {
+  std::string stripped = strip_comments_and_strings(text);
+  Diagnostics out;
+  for (const auto& fn : fns) {
+    for (std::size_t pos = stripped.find(fn); pos != std::string::npos;
+         pos = stripped.find(fn, pos + 1)) {
+      if (!word_at(stripped, pos, fn)) continue;
+      std::size_t open = skip_ws(stripped, pos + fn.size());
+      if (open >= stripped.size() || stripped[open] != '(') continue;
+
+      // The statement must be nothing but `receiver-chain fn(...)`:
+      // any '=', '(', '?' or keyword in the prefix means the result is
+      // used (labels stay in the prefix; `case x: fn();` still flags).
+      std::string prefix = decl_prefix(stripped, pos, /*stop_at_colon=*/false);
+      bool plain = true;
+      for (char c : prefix) {
+        if (ident_char(c) || std::isspace(static_cast<unsigned char>(c)) != 0 ||
+            c == '.' || c == ':' || c == '-' || c == '>') {
+          continue;
+        }
+        plain = false;
+        break;
+      }
+      if (!plain || contains_word(prefix, "return") ||
+          contains_word(prefix, "throw") || contains_word(prefix, "case") ||
+          contains_word(prefix, "co_return")) {
+        continue;
+      }
+      // Receiver chains end with '.', '->' or '::'; a bare identifier
+      // directly before the name is a declaration or type, not a call.
+      std::size_t last = prefix.find_last_not_of(" \t\n\r");
+      if (last != std::string::npos && ident_char(prefix[last])) continue;
+
+      // The call must end the statement: matching ')' followed by ';'.
+      int depth = 0;
+      std::size_t close = open;
+      for (; close < stripped.size(); ++close) {
+        if (stripped[close] == '(') ++depth;
+        if (stripped[close] == ')' && --depth == 0) break;
+      }
+      if (close >= stripped.size()) continue;
+      std::size_t after = skip_ws(stripped, close + 1);
+      if (after >= stripped.size() || stripped[after] != ';') continue;
+
+      out.push_back(
+          {"discarded-status",
+           filename + ":" + std::to_string(line_of(stripped, pos)),
+           "result of '" + fn +
+               "' (returns Status/Result) is discarded; handle it or "
+               "cast to (void) with a reason"});
+    }
+  }
+  return out;
+}
+
+SourceScanReport scan_sources(const std::filesystem::path& repo_root) {
+  namespace fs = std::filesystem;
+  SourceScanReport report;
+
+  auto read_file = [](const fs::path& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  };
+
+  const fs::path nodiscard_dirs[] = {repo_root / "src" / "common",
+                                     repo_root / "src" / "core"};
+  for (const auto& dir : nodiscard_dirs) {
+    if (!fs::exists(dir)) continue;
+    for (const auto& e : fs::recursive_directory_iterator(dir)) {
+      if (!e.is_regular_file() || e.path().extension() != ".hpp") continue;
+      std::string text = read_file(e.path());
+      ++report.headers_scanned;
+      auto rel = fs::relative(e.path(), repo_root).string();
+      auto diags = scan_nodiscard_text(text, rel);
+      report.diags.insert(report.diags.end(), diags.begin(), diags.end());
+      auto fns = collect_status_functions(text);
+      report.status_functions.insert(fns.begin(), fns.end());
+    }
+  }
+
+  const fs::path scan_root = repo_root / "src";
+  if (fs::exists(scan_root)) {
+    for (const auto& e : fs::recursive_directory_iterator(scan_root)) {
+      if (!e.is_regular_file()) continue;
+      auto ext = e.path().extension();
+      if (ext != ".cpp" && ext != ".hpp") continue;
+      std::string text = read_file(e.path());
+      ++report.files_scanned;
+      auto rel = fs::relative(e.path(), repo_root).string();
+      auto diags =
+          scan_discarded_calls_text(text, rel, report.status_functions);
+      report.diags.insert(report.diags.end(), diags.begin(), diags.end());
+    }
+  }
+  return report;
+}
+
+}  // namespace hcm::lint

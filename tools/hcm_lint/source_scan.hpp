@@ -1,0 +1,54 @@
+// Lightweight source scanner pass of hcm_lint (plain C++ over the
+// source tree, no compiler involved — same spirit as the WSDL pass):
+//   - every by-value Status / Result<...> returning signature declared
+//     in src/common and src/core headers must carry [[nodiscard]];
+//   - no statement anywhere under src/ may call one of those functions
+//     and discard the result (the compiler enforces this only where
+//     the attribute is present; the scanner enforces the closure).
+// Heuristic by design: it tokenizes a comment- and string-stripped
+// view of each file, which is exact enough for this tree's style and
+// is itself pinned by tests/tools/hcm_lint_test.cpp.
+#pragma once
+
+#include <filesystem>
+#include <set>
+#include <string>
+
+#include "hcm_lint/lint.hpp"
+
+namespace hcm::lint {
+
+// Replaces comments and string/char literal bodies with spaces,
+// preserving offsets and line numbers.
+[[nodiscard]] std::string strip_comments_and_strings(std::string_view src);
+
+// Names of functions declared in `header_text` (already-stripped or
+// raw) that return Status or Result<...> by value.
+[[nodiscard]] std::set<std::string> collect_status_functions(
+    const std::string& header_text);
+
+// Declarations returning Status/Result<...> by value that lack
+// [[nodiscard]]. `filename` is used for provenance only.
+[[nodiscard]] Diagnostics scan_nodiscard_text(const std::string& text,
+                                              const std::string& filename);
+
+// Whole statements of the form `obj.fn(...);` / `fn(...);` where fn is
+// in `fns` — i.e. the returned Status/Result is discarded.
+[[nodiscard]] Diagnostics scan_discarded_calls_text(
+    const std::string& text, const std::string& filename,
+    const std::set<std::string>& fns);
+
+struct SourceScanReport {
+  Diagnostics diags;
+  std::size_t headers_scanned = 0;
+  std::size_t files_scanned = 0;
+  std::set<std::string> status_functions;
+};
+
+// Runs both passes over a repo checkout: the [[nodiscard]] presence
+// check on headers under src/common and src/core, then the
+// discarded-call scan over every .cpp/.hpp under src/.
+[[nodiscard]] SourceScanReport scan_sources(
+    const std::filesystem::path& repo_root);
+
+}  // namespace hcm::lint
