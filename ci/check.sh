@@ -2,24 +2,31 @@
 # Full PR gate (docs/CORRECTNESS.md §5):
 #   1. tier-1: default preset (-Werror) build + full ctest, which
 #      includes the hcm_lint contract check and the determinism audit;
-#   2. the same suite under ASan+UBSan (asan preset);
-#   3. standalone hcm_lint run for a readable summary.
+#   2. the same suite under ASan+UBSan (asan preset), with an explicit
+#      event-bridge pass (leases, backpressure, retry paths exercise
+#      the trickiest object lifetimes in the tree);
+#   3. standalone hcm_lint run for a readable summary;
+#   4. smoke-run of the event-bridge fan-out bench.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/3] tier-1: default preset (-Werror) ==="
+echo "=== [1/4] tier-1: default preset (-Werror) ==="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "=== [2/3] sanitizers: asan preset (ASan + UBSan) ==="
+echo "=== [2/4] sanitizers: asan preset (ASan + UBSan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
+ctest --preset asan -j "${JOBS}" -R 'EventBridge'
 ctest --preset asan -j "${JOBS}"
 
-echo "=== [3/3] hcm_lint summary ==="
+echo "=== [3/4] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
+
+echo "=== [4/4] event-bridge bench smoke run ==="
+./build/bench/bench_ext_event_bridge --benchmark_min_time=0.01
 
 echo "All checks passed."

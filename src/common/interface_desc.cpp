@@ -9,6 +9,13 @@ const MethodDesc* InterfaceDesc::find_method(const std::string& m) const {
   return nullptr;
 }
 
+const MethodDesc* InterfaceDesc::find_event(const std::string& e) const {
+  for (const auto& event : events) {
+    if (event.name == e) return &event;
+  }
+  return nullptr;
+}
+
 Status check_args(const MethodDesc& method, const std::vector<Value>& args) {
   if (args.size() != method.params.size()) {
     return invalid_argument("method " + method.name + " expects " +

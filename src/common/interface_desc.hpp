@@ -35,8 +35,13 @@ struct MethodDesc {
 struct InterfaceDesc {
   std::string name;  // e.g. "VcrControl", "Switchable"
   std::vector<MethodDesc> methods;
+  // Events the service emits (event-bridge subsystem). Events are
+  // notifications, not calls: every entry must be one_way and return
+  // kNull (hcm_lint enforces this); params describe the payload.
+  std::vector<MethodDesc> events = {};
 
   [[nodiscard]] const MethodDesc* find_method(const std::string& m) const;
+  [[nodiscard]] const MethodDesc* find_event(const std::string& e) const;
 
   friend bool operator==(const InterfaceDesc&, const InterfaceDesc&) = default;
 };

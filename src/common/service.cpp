@@ -2,26 +2,33 @@
 
 namespace hcm {
 
-Value interface_to_value(const InterfaceDesc& iface) {
-  ValueList methods;
-  for (const auto& m : iface.methods) {
-    ValueList params;
-    for (const auto& p : m.params) {
-      params.push_back(Value(ValueMap{
-          {"name", Value(p.name)},
-          {"type", Value(static_cast<std::int64_t>(p.type))},
-      }));
-    }
-    methods.push_back(Value(ValueMap{
-        {"name", Value(m.name)},
-        {"params", Value(std::move(params))},
-        {"return", Value(static_cast<std::int64_t>(m.return_type))},
-        {"oneWay", Value(m.one_way)},
+namespace {
+Value method_to_value(const MethodDesc& m) {
+  ValueList params;
+  for (const auto& p : m.params) {
+    params.push_back(Value(ValueMap{
+        {"name", Value(p.name)},
+        {"type", Value(static_cast<std::int64_t>(p.type))},
     }));
   }
   return Value(ValueMap{
+      {"name", Value(m.name)},
+      {"params", Value(std::move(params))},
+      {"return", Value(static_cast<std::int64_t>(m.return_type))},
+      {"oneWay", Value(m.one_way)},
+  });
+}
+}  // namespace
+
+Value interface_to_value(const InterfaceDesc& iface) {
+  ValueList methods;
+  for (const auto& m : iface.methods) methods.push_back(method_to_value(m));
+  ValueList events;
+  for (const auto& e : iface.events) events.push_back(method_to_value(e));
+  return Value(ValueMap{
       {"name", Value(iface.name)},
       {"methods", Value(std::move(methods))},
+      {"events", Value(std::move(events))},
   });
 }
 
@@ -36,6 +43,30 @@ Result<ValueType> type_from(const Value& v) {
 }
 }  // namespace
 
+namespace {
+Result<MethodDesc> method_from_value(const Value& mv) {
+  if (!mv.is_map()) return protocol_error("method is not a map");
+  MethodDesc m;
+  if (!mv.at("name").is_string()) return protocol_error("method name");
+  m.name = mv.at("name").as_string();
+  auto ret = type_from(mv.at("return"));
+  if (!ret.is_ok()) return ret.status();
+  m.return_type = ret.value();
+  m.one_way = mv.at("oneWay").is_bool() && mv.at("oneWay").as_bool();
+  if (mv.at("params").is_list()) {
+    for (const auto& pv : mv.at("params").as_list()) {
+      ParamDesc p;
+      p.name = pv.at("name").is_string() ? pv.at("name").as_string() : "";
+      auto pt = type_from(pv.at("type"));
+      if (!pt.is_ok()) return pt.status();
+      p.type = pt.value();
+      m.params.push_back(std::move(p));
+    }
+  }
+  return m;
+}
+}  // namespace
+
 Result<InterfaceDesc> interface_from_value(const Value& v) {
   if (!v.is_map()) return protocol_error("interface value is not a map");
   InterfaceDesc iface;
@@ -47,25 +78,18 @@ Result<InterfaceDesc> interface_from_value(const Value& v) {
     return protocol_error("interface missing methods");
   }
   for (const auto& mv : v.at("methods").as_list()) {
-    if (!mv.is_map()) return protocol_error("method is not a map");
-    MethodDesc m;
-    if (!mv.at("name").is_string()) return protocol_error("method name");
-    m.name = mv.at("name").as_string();
-    auto ret = type_from(mv.at("return"));
-    if (!ret.is_ok()) return ret.status();
-    m.return_type = ret.value();
-    m.one_way = mv.at("oneWay").is_bool() && mv.at("oneWay").as_bool();
-    if (mv.at("params").is_list()) {
-      for (const auto& pv : mv.at("params").as_list()) {
-        ParamDesc p;
-        p.name = pv.at("name").is_string() ? pv.at("name").as_string() : "";
-        auto pt = type_from(pv.at("type"));
-        if (!pt.is_ok()) return pt.status();
-        p.type = pt.value();
-        m.params.push_back(std::move(p));
-      }
+    auto m = method_from_value(mv);
+    if (!m.is_ok()) return m.status();
+    iface.methods.push_back(std::move(m).take());
+  }
+  // "events" is absent in descriptors published before the event
+  // bridge existed; treat missing as empty.
+  if (v.at("events").is_list()) {
+    for (const auto& ev : v.at("events").as_list()) {
+      auto e = method_from_value(ev);
+      if (!e.is_ok()) return e.status();
+      iface.events.push_back(std::move(e).take());
     }
-    iface.methods.push_back(std::move(m));
   }
   return iface;
 }

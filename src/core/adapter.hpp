@@ -45,6 +45,37 @@ class MiddlewareAdapter {
   [[nodiscard]] virtual Status export_service(const LocalService& service,
                                               ServiceHandler handler) = 0;
   virtual void unexport_service(const std::string& name) = 0;
+
+  // --- Event bridge hooks (core/event_router) ---------------------------
+  // All three default to no-ops so adapters predating the event bridge
+  // (and third-party ones) keep working; islands whose middleware has a
+  // native event mechanism override them.
+
+  using AdapterEventFn =
+      std::function<void(const std::string& service_name,
+                         const std::string& event, const Value& payload)>;
+  // Client Proxy direction: hooks the native event source of a *local*
+  // service so its events reach `on_event` (which forwards them to the
+  // local VSG's event router).
+  [[nodiscard]] virtual Status watch_events(const LocalService& service,
+                                            AdapterEventFn on_event) {
+    (void)service;
+    (void)on_event;
+    return unimplemented(middleware_name() +
+                         " adapter does not support event watch");
+  }
+  virtual void unwatch_events(const std::string& service_name) {
+    (void)service_name;
+  }
+
+  // Server Proxy direction: re-emits an event arriving from a remote
+  // island as a native event of the exported service on this island.
+  virtual void emit_event(const std::string& service_name,
+                          const std::string& event, const Value& payload) {
+    (void)service_name;
+    (void)event;
+    (void)payload;
+  }
 };
 
 }  // namespace hcm::core

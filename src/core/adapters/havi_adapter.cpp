@@ -4,13 +4,34 @@ namespace hcm::core {
 
 HaviAdapter::HaviAdapter(havi::MessagingSystem& ms, havi::Seid registry)
     : ms_(ms),
-      self_(ms.register_element(
-          [](const std::string&, const ValueList&, InvokeResultFn done) {
-            done(unimplemented("PCM adapter SE takes no calls"));
-          })),
-      registry_(ms, self_, registry) {}
+      self_(ms.register_element([this](const std::string& op,
+                                       const ValueList& args,
+                                       InvokeResultFn done) {
+        handle_self(op, args, std::move(done));
+      })),
+      registry_(ms, self_, registry),
+      em_seid_(havi::Seid{registry.node, havi::kEventManagerHandle}) {}
 
 HaviAdapter::~HaviAdapter() { ms_.unregister_element(self_); }
+
+void HaviAdapter::handle_self(const std::string& op, const ValueList& args,
+                              InvokeResultFn done) {
+  // Event Manager notifications arrive as op "event" with
+  // args ["<service>.<event>", payload].
+  if (op == "event" && args.size() == 2 && args[0].is_string()) {
+    const std::string& topic = args[0].as_string();
+    auto dot = topic.find('.');
+    if (dot != std::string::npos) {
+      auto it = watches_.find(topic.substr(0, dot));
+      if (it != watches_.end() && it->second.fn) {
+        it->second.fn(topic.substr(0, dot), topic.substr(dot + 1), args[1]);
+      }
+    }
+    done(Value());
+    return;
+  }
+  done(unimplemented("PCM adapter SE takes no calls"));
+}
 
 void HaviAdapter::list_services(ServicesFn done) {
   registry_.get_elements(
@@ -106,6 +127,42 @@ void HaviAdapter::unexport_service(const std::string& name) {
   registry_.unregister_element(it->second.seid, [](const Status&) {});
   ms_.unregister_element(it->second.seid);
   exported_.erase(it);
+}
+
+Status HaviAdapter::watch_events(const LocalService& service,
+                                 AdapterEventFn on_event) {
+  if (watches_.count(service.name) != 0) return Status::ok();
+  if (service.interface.events.empty()) {
+    return unimplemented("HAVi FCM " + service.name + " declares no events");
+  }
+  Watch watch;
+  watch.fn = std::move(on_event);
+  havi::EventClient events(ms_, self_, em_seid_);
+  for (const auto& ev : service.interface.events) {
+    const std::string topic = service.name + "." + ev.name;
+    events.subscribe(topic, [](const Status&) {});
+    watch.topics.push_back(topic);
+  }
+  watches_[service.name] = std::move(watch);
+  return Status::ok();
+}
+
+void HaviAdapter::unwatch_events(const std::string& service_name) {
+  auto it = watches_.find(service_name);
+  if (it == watches_.end()) return;
+  havi::EventClient events(ms_, self_, em_seid_);
+  for (const auto& topic : it->second.topics) {
+    events.unsubscribe(topic, [](const Status&) {});
+  }
+  watches_.erase(it);
+}
+
+void HaviAdapter::emit_event(const std::string& service_name,
+                             const std::string& event, const Value& payload) {
+  // Posting through the Event Manager lets native HAVi subscribers of
+  // the exported server proxy receive the remote event.
+  havi::EventClient events(ms_, self_, em_seid_);
+  events.post(service_name + "." + event, payload);
 }
 
 }  // namespace hcm::core

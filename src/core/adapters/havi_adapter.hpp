@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/adapter.hpp"
+#include "havi/event_manager.hpp"
 #include "havi/registry.hpp"
 
 namespace hcm::core {
@@ -24,16 +25,34 @@ class HaviAdapter : public MiddlewareAdapter {
                                       ServiceHandler handler) override;
   void unexport_service(const std::string& name) override;
 
+  // Event bridge: subscribes the adapter's SE to "<service>.<event>"
+  // topics at the Event Manager; emit_event posts the same topics so
+  // native subscribers see events of exported server proxies.
+  [[nodiscard]] Status watch_events(const LocalService& service,
+                                    AdapterEventFn on_event) override;
+  void unwatch_events(const std::string& service_name) override;
+  void emit_event(const std::string& service_name, const std::string& event,
+                  const Value& payload) override;
+
  private:
+  void handle_self(const std::string& op, const ValueList& args,
+                   InvokeResultFn done);
+
   havi::MessagingSystem& ms_;
   havi::Seid self_;  // the adapter's own SE (source of its messages)
   havi::RegistryClient registry_;
+  havi::Seid em_seid_;  // Event Manager (same FAV node as the Registry)
   std::map<std::string, havi::RegistryRecord> known_;
   struct Exported {
     havi::Seid seid;
     ServiceHandler handler;  // direct dispatch while registration settles
   };
   std::map<std::string, Exported> exported_;
+  struct Watch {
+    std::vector<std::string> topics;
+    AdapterEventFn fn;
+  };
+  std::map<std::string, Watch> watches_;  // by service name
 };
 
 }  // namespace hcm::core

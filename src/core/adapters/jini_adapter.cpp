@@ -2,6 +2,24 @@
 
 namespace hcm::core {
 
+namespace {
+// The remote-event listener surface (mirrors jini/lookup.cpp).
+InterfaceDesc listener_interface() {
+  return InterfaceDesc{
+      "RemoteEventListener",
+      {MethodDesc{"serviceEvent",
+                  {{"type", ValueType::kString}, {"item", ValueType::kMap}},
+                  ValueType::kNull,
+                  true}}};
+}
+
+// serviceEvent carries the payload as a map; wrap scalars.
+Value event_item(const Value& payload) {
+  if (payload.is_map()) return payload;
+  return Value(ValueMap{{"value", payload}});
+}
+}  // namespace
+
 JiniAdapter::JiniAdapter(net::Network& net, net::NodeId gateway_node,
                          net::Endpoint lookup, std::uint16_t export_port)
     : net_(net),
@@ -94,13 +112,59 @@ Status JiniAdapter::export_service(const LocalService& service,
   }
   Exported exported;
   exported.service_id = "sp-" + std::to_string(next_export_++);
+
+  InterfaceDesc iface = service.interface;
+  if (!service.interface.events.empty()) {
+    // The server proxy speaks the Jini remote-event pattern for the
+    // events its origin declares: local clients register listeners via
+    // notify/cancelNotify, and emit_event fires serviceEvent at them.
+    iface.methods.push_back({"notify",
+                             {{"node", ValueType::kInt},
+                              {"port", ValueType::kInt},
+                              {"listener", ValueType::kString}},
+                             ValueType::kInt});
+    iface.methods.push_back(
+        {"cancelNotify", {{"id", ValueType::kInt}}, ValueType::kBool});
+    handler = [this, name = service.name, inner = std::move(handler)](
+                  const std::string& method, const ValueList& args,
+                  InvokeResultFn done) {
+      auto it = exported_.find(name);
+      if (it != exported_.end() && method == "notify") {
+        if (args.size() != 3 || !args[0].is_int() || !args[1].is_int() ||
+            !args[2].is_string()) {
+          done(invalid_argument("notify(node, port, listener_id)"));
+          return;
+        }
+        jini::ServiceItem listener;
+        listener.service_id = args[2].as_string();
+        listener.name = "listener";
+        listener.interface = listener_interface();
+        listener.endpoint = {static_cast<net::NodeId>(args[0].as_int()),
+                             static_cast<std::uint16_t>(args[1].as_int())};
+        auto id = it->second.next_listener++;
+        it->second.listeners[id] =
+            std::make_unique<jini::Proxy>(net_, node_, std::move(listener));
+        done(Value(id));
+        return;
+      }
+      if (it != exported_.end() && method == "cancelNotify") {
+        if (args.size() != 1 || !args[0].is_int()) {
+          done(invalid_argument("cancelNotify(id)"));
+          return;
+        }
+        done(Value(it->second.listeners.erase(args[0].as_int()) > 0));
+        return;
+      }
+      inner(method, args, std::move(done));
+    };
+  }
   exported.handler = handler;
   exporter_.export_object(exported.service_id, std::move(handler));
 
   jini::ServiceItem item;
   item.service_id = exported.service_id;
   item.name = service.name;
-  item.interface = service.interface;
+  item.interface = std::move(iface);
   item.endpoint = exporter_.endpoint();
   item.attributes = service.attributes;
   item.attributes["hcm.imported"] = Value(true);
@@ -119,6 +183,72 @@ void JiniAdapter::unexport_service(const std::string& name) {
   auto registrar = std::shared_ptr<jini::Registrar>(std::move(it->second.registrar));
   registrar->cancel([registrar](const Status&) {});
   exported_.erase(it);
+}
+
+Status JiniAdapter::watch_events(const LocalService& service,
+                                 AdapterEventFn on_event) {
+  if (watches_.count(service.name) != 0) return Status::ok();
+  auto it = known_.find(service.name);
+  if (it == known_.end()) {
+    return not_found("no Jini service to watch: " + service.name);
+  }
+  if (it->second.interface.find_method("notify") == nullptr) {
+    return unimplemented("Jini service " + service.name +
+                         " has no notify method");
+  }
+  Watch watch;
+  watch.listener_id = "evtl-" + std::to_string(next_watch_++);
+  exporter_.export_object(
+      watch.listener_id,
+      [name = service.name, on_event = std::move(on_event)](
+          const std::string& method, const ValueList& args,
+          InvokeResultFn done) {
+        if (method != "serviceEvent" || args.size() != 2 ||
+            !args[0].is_string()) {
+          done(invalid_argument("expected serviceEvent(type, item)"));
+          return;
+        }
+        on_event(name, args[0].as_string(), args[1]);
+        done(Value());
+      });
+  proxy_for(it->second)
+      ->invoke("notify",
+               {Value(static_cast<std::int64_t>(node_)),
+                Value(static_cast<std::int64_t>(exporter_.endpoint().port)),
+                Value(watch.listener_id)},
+               [this, name = service.name](Result<Value> r) {
+                 auto watch = watches_.find(name);
+                 if (watch == watches_.end()) return;
+                 if (r.is_ok() && r.value().is_int()) {
+                   watch->second.registration = r.value().as_int();
+                 }
+               });
+  watches_[service.name] = std::move(watch);
+  return Status::ok();
+}
+
+void JiniAdapter::unwatch_events(const std::string& service_name) {
+  auto it = watches_.find(service_name);
+  if (it == watches_.end()) return;
+  exporter_.unexport_object(it->second.listener_id);
+  auto known = known_.find(service_name);
+  if (known != known_.end() &&
+      known->second.interface.find_method("cancelNotify") != nullptr) {
+    proxy_for(known->second)
+        ->invoke("cancelNotify", {Value(it->second.registration)},
+                 [](Result<Value>) {});
+  }
+  watches_.erase(it);
+}
+
+void JiniAdapter::emit_event(const std::string& service_name,
+                             const std::string& event, const Value& payload) {
+  auto it = exported_.find(service_name);
+  if (it == exported_.end()) return;
+  for (auto& [id, listener] : it->second.listeners) {
+    listener->invoke_one_way("serviceEvent",
+                             {Value(event), event_item(payload)});
+  }
 }
 
 }  // namespace hcm::core

@@ -27,6 +27,16 @@ class JiniAdapter : public MiddlewareAdapter {
                                       ServiceHandler handler) override;
   void unexport_service(const std::string& name) override;
 
+  // Event bridge: registers a remote-event listener with the native
+  // service (its "notify" method, the Jini remote-event pattern);
+  // emit_event fires serviceEvent at listeners local clients registered
+  // on an exported server proxy.
+  [[nodiscard]] Status watch_events(const LocalService& service,
+                                    AdapterEventFn on_event) override;
+  void unwatch_events(const std::string& service_name) override;
+  void emit_event(const std::string& service_name, const std::string& event,
+                  const Value& payload) override;
+
  private:
   jini::Proxy* proxy_for(const jini::ServiceItem& item);
 
@@ -41,9 +51,19 @@ class JiniAdapter : public MiddlewareAdapter {
     std::string service_id;
     ServiceHandler handler;  // direct dispatch while the join settles
     std::unique_ptr<jini::Registrar> registrar;
+    // Listeners local Jini clients registered via the synthesized
+    // notify/cancelNotify surface of the server proxy.
+    std::map<std::int64_t, std::unique_ptr<jini::Proxy>> listeners;
+    std::int64_t next_listener = 1;
   };
   std::map<std::string, Exported> exported_;
   std::uint64_t next_export_ = 1;
+  struct Watch {
+    std::string listener_id;        // exported listener object
+    std::int64_t registration = 0;  // id the service's notify returned
+  };
+  std::map<std::string, Watch> watches_;  // by service name
+  std::uint64_t next_watch_ = 1;
 };
 
 }  // namespace hcm::core

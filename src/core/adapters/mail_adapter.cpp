@@ -30,6 +30,12 @@ void MailAdapter::list_services(ServicesFn done) {
                    {"body", ValueType::kString}},
                   ValueType::kBool,
                   false}}};
+  service.interface.events.push_back(
+      MethodDesc{"messageArrived",
+                 {{"from", ValueType::kString},
+                  {"subject", ValueType::kString}},
+                 ValueType::kNull,
+                 true});
   services.push_back(std::move(service));
   net_.scheduler().after(0, [services = std::move(services),
                              done = std::move(done)]() mutable {
@@ -108,6 +114,41 @@ Status MailAdapter::export_service(const LocalService& service,
 
 void MailAdapter::unexport_service(const std::string& name) {
   exported_.erase(name);
+}
+
+Status MailAdapter::watch_events(const LocalService& service,
+                                 AdapterEventFn on_event) {
+  if (service.name != "mail-" + account_) {
+    return not_found("mail adapter: no local service " + service.name);
+  }
+  if (account_watcher_ != nullptr) return Status::ok();
+  account_watcher_ = std::make_unique<mail::MailClient>(net_, node_, server_);
+  account_watcher_->watch(
+      account_, poll_interval_,
+      [name = service.name, on_event = std::move(on_event)](
+          const mail::Message& m) {
+        on_event(name, "messageArrived",
+                 Value(ValueMap{{"from", Value(m.from)},
+                                {"subject", Value(m.subject)}}));
+      });
+  return Status::ok();
+}
+
+void MailAdapter::unwatch_events(const std::string& service_name) {
+  if (service_name != "mail-" + account_) return;
+  account_watcher_.reset();
+}
+
+void MailAdapter::emit_event(const std::string& service_name,
+                             const std::string& event, const Value& payload) {
+  // Native re-emission: remote events become messages in the
+  // "evt-<account>" mailbox, where any mail client can poll them.
+  mail::Message m;
+  m.from = service_name;
+  m.to = "evt-" + account_;
+  m.subject = service_name + "." + event;
+  m.body = payload.to_string();
+  sender_.send(m, [](const Status&) {});
 }
 
 void MailAdapter::on_service_mail(const std::string& service_name,

@@ -32,6 +32,15 @@ class MailAdapter : public MiddlewareAdapter {
                                       ServiceHandler handler) override;
   void unexport_service(const std::string& name) override;
 
+  // Event bridge: messageArrived fires when the account's mailbox
+  // receives a message (polled — mail gives no push); emit_event
+  // mails remote events into the "evt-<account>" mailbox.
+  [[nodiscard]] Status watch_events(const LocalService& service,
+                                    AdapterEventFn on_event) override;
+  void unwatch_events(const std::string& service_name) override;
+  void emit_event(const std::string& service_name, const std::string& event,
+                  const Value& payload) override;
+
   // Parses one body line into a typed argument (int, double, bool,
   // else string). Exposed for tests.
   static Value parse_arg(const std::string& line);
@@ -53,6 +62,7 @@ class MailAdapter : public MiddlewareAdapter {
     std::unique_ptr<mail::MailClient> watcher;
   };
   std::map<std::string, Exported> exported_;
+  std::unique_ptr<mail::MailClient> account_watcher_;  // event bridge
 };
 
 }  // namespace hcm::core

@@ -84,4 +84,48 @@ void UpnpAdapter::unexport_service(const std::string& name) {
   known_.erase(name);
 }
 
+Status UpnpAdapter::watch_events(const LocalService& service,
+                                 AdapterEventFn on_event) {
+  if (event_sids_.count(service.name) != 0) return Status::ok();
+  auto it = known_.find(service.name);
+  if (it == known_.end()) {
+    return not_found("no UPnP service to watch: " + service.name);
+  }
+  // Reserve the slot now so a second watch while SUBSCRIBE is in flight
+  // stays idempotent; the SID fills in when the device answers.
+  event_sids_[service.name] = "";
+  control_point_.subscribe(
+      it->second,
+      [name = service.name, on_event = std::move(on_event)](
+          const std::string&, const std::string& event, const Value& payload) {
+        on_event(name, event, payload);
+      },
+      [this, name = service.name](Result<std::string> sid) {
+        auto slot = event_sids_.find(name);
+        if (slot == event_sids_.end()) return;  // unwatched meanwhile
+        if (sid.is_ok()) {
+          slot->second = std::move(sid).take();
+        } else {
+          event_sids_.erase(slot);
+        }
+      });
+  return Status::ok();
+}
+
+void UpnpAdapter::unwatch_events(const std::string& service_name) {
+  auto sid = event_sids_.find(service_name);
+  if (sid == event_sids_.end()) return;
+  auto desc = known_.find(service_name);
+  if (desc != known_.end() && !sid->second.empty()) {
+    control_point_.unsubscribe(desc->second, sid->second);
+  }
+  event_sids_.erase(sid);
+}
+
+void UpnpAdapter::emit_event(const std::string& service_name,
+                             const std::string& event, const Value& payload) {
+  if (!device_started_ || exported_.count(service_name) == 0) return;
+  gateway_device_.post_event(service_name, event, payload);
+}
+
 }  // namespace hcm::core

@@ -26,6 +26,15 @@ class UpnpAdapter : public MiddlewareAdapter {
                                       ServiceHandler handler) override;
   void unexport_service(const std::string& name) override;
 
+  // Event bridge: watch_events GENA-subscribes at the device, NOTIFYs
+  // flow back to the control point's callback server; emit_event posts
+  // remote events to the gateway device's GENA subscribers.
+  [[nodiscard]] Status watch_events(const LocalService& service,
+                                    AdapterEventFn on_event) override;
+  void unwatch_events(const std::string& service_name) override;
+  void emit_event(const std::string& service_name, const std::string& event,
+                  const Value& payload) override;
+
  private:
   net::Network& net_;
   net::NodeId node_;
@@ -36,6 +45,7 @@ class UpnpAdapter : public MiddlewareAdapter {
   bool device_started_ = false;
   std::map<std::string, upnp::ServiceDescription> known_;
   std::map<std::string, ServiceHandler> exported_;
+  std::map<std::string, std::string> event_sids_;  // service -> GENA SID
 };
 
 }  // namespace hcm::core

@@ -20,6 +20,10 @@ InterfaceDesc X10Adapter::switchable_interface(bool dimmable) {
     iface.methods.push_back(MethodDesc{
         "bright", {{"steps", ValueType::kInt}}, ValueType::kBool, false});
   }
+  // Observed powerline state flips (from remotes/sensors/other
+  // controllers) surface as a stateChanged event.
+  iface.events.push_back(MethodDesc{
+      "stateChanged", {{"on", ValueType::kBool}}, ValueType::kNull, true});
   return iface;
 }
 
@@ -181,7 +185,22 @@ Result<int> X10Adapter::unit_for(const std::string& service_name) const {
 }
 
 void X10Adapter::on_observed(const x10::ObservedCommand& cmd) {
-  if (cmd.house != export_house_ || cmd.unit == 0) return;
+  if (cmd.unit == 0) return;
+  // Watched configured modules: an external ON/OFF on their address is
+  // the module's native "state changed" signal.
+  if (cmd.function == x10::FunctionCode::kOn ||
+      cmd.function == x10::FunctionCode::kOff) {
+    for (const auto& [name, config] : devices_) {
+      if (config.house != cmd.house || config.unit != cmd.unit) continue;
+      auto watched = watched_.find(name);
+      if (watched != watched_.end() && watched->second) {
+        watched->second(name, "stateChanged",
+                        Value(ValueMap{{"on", Value(cmd.function ==
+                                                    x10::FunctionCode::kOn)}}));
+      }
+    }
+  }
+  if (cmd.house != export_house_) return;
   auto name_it = unit_to_name_.find(cmd.unit);
   if (name_it == unit_to_name_.end()) return;
   auto& binding = bindings_.at(name_it->second);
@@ -202,6 +221,35 @@ void X10Adapter::on_observed(const x10::ObservedCommand& cmd) {
     // One-way from the powerline's perspective: X10 cannot carry a
     // reply, so results are dropped (the §4.2 asymmetry).
   });
+}
+
+Status X10Adapter::watch_events(const LocalService& service,
+                                AdapterEventFn on_event) {
+  if (devices_.count(service.name) == 0) {
+    return not_found("no X10 module to watch: " + service.name);
+  }
+  watched_[service.name] = std::move(on_event);
+  return Status::ok();
+}
+
+void X10Adapter::unwatch_events(const std::string& service_name) {
+  watched_.erase(service_name);
+}
+
+void X10Adapter::emit_event(const std::string& service_name,
+                            const std::string& event, const Value& payload) {
+  // The only event X10 can natively express is an ON/OFF flip on the
+  // exported service's virtual unit; richer payloads cannot ride the
+  // powerline (the same §4.2 asymmetry as replies).
+  if (event != "stateChanged") return;
+  auto it = bindings_.find(service_name);
+  if (it == bindings_.end()) return;
+  const bool on = payload.is_map() && payload.at("on").is_bool() &&
+                  payload.at("on").as_bool();
+  cm11a_.send_command(
+      export_house_, it->second.unit,
+      on ? x10::FunctionCode::kOn : x10::FunctionCode::kOff, 0,
+      [](const Status&) {});
 }
 
 }  // namespace hcm::core

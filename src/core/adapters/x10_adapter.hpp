@@ -41,6 +41,16 @@ class X10Adapter : public MiddlewareAdapter {
                                       ServiceHandler handler) override;
   void unexport_service(const std::string& name) override;
 
+  // Event bridge: a module's stateChanged fires when an *external*
+  // transmitter (remote, sensor, another controller) switches it on the
+  // powerline; emit_event re-transmits stateChanged of an exported
+  // foreign service as ON/OFF on its virtual unit.
+  [[nodiscard]] Status watch_events(const LocalService& service,
+                                    AdapterEventFn on_event) override;
+  void unwatch_events(const std::string& service_name) override;
+  void emit_event(const std::string& service_name, const std::string& event,
+                  const Value& payload) override;
+
   // The virtual unit a foreign service was bound to (for remotes/UIs).
   [[nodiscard]] Result<int> unit_for(const std::string& service_name) const;
   [[nodiscard]] x10::HouseCode export_house() const { return export_house_; }
@@ -65,6 +75,7 @@ class X10Adapter : public MiddlewareAdapter {
   x10::HouseCode export_house_;
   std::map<std::string, Binding> bindings_;   // by service name
   std::map<int, std::string> unit_to_name_;
+  std::map<std::string, AdapterEventFn> watched_;  // by module name
   int next_unit_ = 1;
 };
 

@@ -1,0 +1,486 @@
+#include "core/event_router.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "soap/wsdl.hpp"
+
+namespace hcm::core {
+
+const InterfaceDesc& EventRouter::bridge_interface() {
+  static const InterfaceDesc iface{
+      "HcmEventBridge",
+      {
+          {"subscribe",
+           {{"service", ValueType::kString},
+            {"event", ValueType::kString},
+            {"subscriber", ValueType::kString},
+            {"sink", ValueType::kString},
+            {"lease", ValueType::kInt}},
+           ValueType::kMap},
+          {"renew",
+           {{"lease", ValueType::kString}, {"duration", ValueType::kInt}},
+           ValueType::kInt},
+          {"unsubscribe", {{"lease", ValueType::kString}}, ValueType::kBool},
+          {"deliver", {{"batch", ValueType::kList}}, ValueType::kInt},
+      },
+  };
+  return iface;
+}
+
+EventRouter::EventRouter(net::Network& net, VirtualServiceGateway& vsg,
+                         MiddlewareAdapter& adapter, net::Endpoint vsr,
+                         EventRouterOptions options)
+    : net_(net),
+      vsg_(vsg),
+      adapter_(adapter),
+      vsr_(net, vsg.node(), vsr),
+      options_(options) {}
+
+EventRouter::~EventRouter() {
+  auto& sched = net_.scheduler();
+  for (auto& [id, sub] : subs_) {
+    if (sub.expiry_event != 0) sched.cancel(sub.expiry_event);
+    if (sub.flush_event != 0) sched.cancel(sub.flush_event);
+    if (sub.retry_event != 0) sched.cancel(sub.retry_event);
+  }
+  for (auto& [id, ls] : local_subs_) {
+    if (ls.renew_event != 0) sched.cancel(ls.renew_event);
+  }
+}
+
+Status EventRouter::start() {
+  auto uri = vsg_.expose(
+      kBridgeService, bridge_interface(),
+      [this](const std::string& method, const ValueList& args,
+             InvokeResultFn done) {
+        if (method == "subscribe") {
+          handle_subscribe(args, std::move(done));
+        } else if (method == "renew") {
+          handle_renew(args, std::move(done));
+        } else if (method == "unsubscribe") {
+          handle_unsubscribe(args, std::move(done));
+        } else if (method == "deliver") {
+          handle_deliver(args, std::move(done));
+        } else {
+          done(unimplemented("bridge method: " + method));
+        }
+      });
+  if (!uri.is_ok()) return uri.status();
+  return Status::ok();
+}
+
+// --- Subscriber side -------------------------------------------------------
+
+void EventRouter::subscribe(const std::string& service,
+                            const std::string& event, EventFn handler,
+                            SubscribeDoneFn done) {
+  subscribe(service, event, SubscribeOptions{}, std::move(handler),
+            std::move(done));
+}
+
+void EventRouter::subscribe(const std::string& service,
+                            const std::string& event,
+                            const SubscribeOptions& opts, EventFn handler,
+                            SubscribeDoneFn done) {
+  vsr_.lookup(service, [this, service, event, opts,
+                        handler = std::move(handler),
+                        done = std::move(done)](Result<VsrEntry> r) mutable {
+    if (!r.is_ok()) {
+      done(r.status());
+      return;
+    }
+    auto doc = soap::parse_wsdl(r.value().wsdl);
+    if (!doc.is_ok()) {
+      done(doc.status());
+      return;
+    }
+    if (doc.value().interface.find_event(event) == nullptr) {
+      done(not_found("service " + service + " declares no event " + event));
+      return;
+    }
+    const Uri origin = bridge_uri_for(doc.value().endpoint);
+    const sim::Duration lease = clamp_lease(opts.lease);
+    const ValueList args{
+        Value(service), Value(event), Value(vsg_.island_name()),
+        Value(vsg_.exposure_uri(kBridgeService).to_string()),
+        Value(static_cast<std::int64_t>(lease))};
+    vsg_.call_remote(
+        origin, kBridgeService, bridge_interface(), "subscribe", args,
+        [this, service, event, origin, opts, handler = std::move(handler),
+         done = std::move(done)](Result<Value> reply) mutable {
+          if (!reply.is_ok()) {
+            done(reply.status());
+            return;
+          }
+          const Value& v = reply.value();
+          if (!v.is_map() || !v.at("lease").is_string() ||
+              !v.at("duration").is_int()) {
+            done(protocol_error("bad subscribe reply from origin bridge"));
+            return;
+          }
+          LocalSub ls;
+          ls.id = v.at("lease").as_string();
+          ls.service = service;
+          ls.event = event;
+          ls.handler = std::move(handler);
+          ls.origin = origin;
+          ls.lease = v.at("duration").as_int();
+          ls.auto_renew = opts.auto_renew;
+          const std::string id = ls.id;
+          local_subs_[id] = std::move(ls);
+          if (opts.auto_renew) arm_renew(id);
+          done(id);
+        });
+  });
+}
+
+void EventRouter::unsubscribe(const std::string& lease_id, DoneFn done) {
+  auto it = local_subs_.find(lease_id);
+  if (it == local_subs_.end()) {
+    // Idempotent: the lease may have expired or already been cancelled;
+    // either way the goal state — no subscription — holds.
+    done(Status::ok());
+    return;
+  }
+  if (it->second.renew_event != 0) {
+    net_.scheduler().cancel(it->second.renew_event);
+  }
+  const Uri origin = it->second.origin;
+  local_subs_.erase(it);
+  vsg_.call_remote(origin, kBridgeService, bridge_interface(), "unsubscribe",
+                   {Value(lease_id)},
+                   [done = std::move(done)](Result<Value> r) {
+                     // A remote "false" (unknown lease) is still success.
+                     done(r.is_ok() ? Status::ok() : r.status());
+                   });
+}
+
+void EventRouter::arm_renew(const std::string& id) {
+  auto it = local_subs_.find(id);
+  if (it == local_subs_.end()) return;
+  it->second.renew_event =
+      net_.scheduler().after(it->second.lease / 2, [this, id] {
+        auto it = local_subs_.find(id);
+        if (it == local_subs_.end()) return;
+        it->second.renew_event = 0;
+        const ValueList args{
+            Value(id), Value(static_cast<std::int64_t>(it->second.lease))};
+        vsg_.call_remote(
+            it->second.origin, kBridgeService, bridge_interface(), "renew",
+            args, [this, id](Result<Value> r) {
+              auto it = local_subs_.find(id);
+              if (it == local_subs_.end()) return;
+              if (!r.is_ok() || !r.value().is_int()) {
+                // The origin no longer knows the lease (expired or the
+                // island restarted): drop the local record so handler
+                // dispatch and dedupe bookkeeping stop.
+                local_subs_.erase(it);
+                return;
+              }
+              it->second.lease = r.value().as_int();
+              arm_renew(id);
+            });
+      });
+}
+
+// --- Origin side -----------------------------------------------------------
+
+void EventRouter::handle_subscribe(const ValueList& args,
+                                   InvokeResultFn done) {
+  if (args.size() != 5 || !args[0].is_string() || !args[1].is_string() ||
+      !args[2].is_string() || !args[3].is_string() || !args[4].is_int()) {
+    done(invalid_argument(
+        "subscribe(service, event, subscriber, sink, lease)"));
+    return;
+  }
+  auto sink = parse_uri(args[3].as_string());
+  if (!sink.is_ok()) {
+    done(sink.status());
+    return;
+  }
+  adapter_.list_services(
+      [this, service = args[0].as_string(), event = args[1].as_string(),
+       subscriber = args[2].as_string(), sink = std::move(sink).take(),
+       lease = clamp_lease(args[4].as_int()),
+       done = std::move(done)](Result<std::vector<LocalService>> r) {
+        if (!r.is_ok()) {
+          done(r.status());
+          return;
+        }
+        const LocalService* found = nullptr;
+        for (const auto& s : r.value()) {
+          if (s.name == service) {
+            found = &s;
+            break;
+          }
+        }
+        if (found == nullptr) {
+          done(not_found("no local service: " + service));
+          return;
+        }
+        if (found->interface.find_event(event) == nullptr) {
+          done(not_found("service " + service + " declares no event " +
+                         event));
+          return;
+        }
+        auto watch = ensure_watch(*found);
+        if (!watch.is_ok()) {
+          done(watch);
+          return;
+        }
+        Subscription sub;
+        sub.id = vsg_.island_name() + "/esub-" + std::to_string(next_sub_++);
+        sub.service = service;
+        sub.event = event;
+        sub.subscriber = subscriber;
+        sub.sink = sink;
+        sub.lease = lease;
+        const std::string id = sub.id;
+        auto [it, inserted] = subs_.emplace(id, std::move(sub));
+        arm_expiry(it->second);
+        // Record the lease in the VSR (system of record; delivery state
+        // stays here). Best-effort: routing works even if the VSR is
+        // briefly unreachable.
+        vsr_.put_subscription({id, service, event, subscriber, 0}, lease,
+                              [](const Status&) {});
+        done(Value(ValueMap{
+            {"lease", Value(id)},
+            {"duration", Value(static_cast<std::int64_t>(lease))},
+        }));
+      });
+}
+
+void EventRouter::handle_renew(const ValueList& args, InvokeResultFn done) {
+  if (args.size() != 2 || !args[0].is_string() || !args[1].is_int()) {
+    done(invalid_argument("renew(lease, duration)"));
+    return;
+  }
+  auto it = subs_.find(args[0].as_string());
+  if (it == subs_.end()) {
+    done(not_found("no such lease: " + args[0].as_string()));
+    return;
+  }
+  it->second.lease = clamp_lease(args[1].as_int());
+  arm_expiry(it->second);
+  vsr_.renew_subscription(it->first, it->second.lease, [](const Status&) {});
+  done(Value(static_cast<std::int64_t>(it->second.lease)));
+}
+
+void EventRouter::handle_unsubscribe(const ValueList& args,
+                                     InvokeResultFn done) {
+  if (args.size() != 1 || !args[0].is_string()) {
+    done(invalid_argument("unsubscribe(lease)"));
+    return;
+  }
+  const std::string id = args[0].as_string();
+  const bool existed = subs_.count(id) != 0;
+  if (existed) drop_subscription(id);
+  done(Value(existed));
+}
+
+void EventRouter::handle_deliver(const ValueList& args, InvokeResultFn done) {
+  if (args.size() != 1 || !args[0].is_list()) {
+    done(invalid_argument("deliver requires a batch list"));
+    return;
+  }
+  std::int64_t acked = 0;
+  for (const auto& item : args[0].as_list()) {
+    if (!item.is_map()) continue;
+    ++acked;  // ack = received; unknown leases still count as received
+    const std::string sub_id =
+        item.at("sub").is_string() ? item.at("sub").as_string() : "";
+    auto it = local_subs_.find(sub_id);
+    if (it == local_subs_.end()) continue;
+    const auto seq = item.at("seq").is_int()
+                         ? static_cast<std::uint64_t>(item.at("seq").as_int())
+                         : 0;
+    if (seq != 0 && seq <= it->second.last_seq) {
+      // Batch re-sent after a lost ack (at-least-once): suppress the
+      // duplicate so local handlers fire once per event.
+      ++duplicates_dropped_;
+      continue;
+    }
+    if (seq != 0) it->second.last_seq = seq;
+    const std::string service = item.at("service").is_string()
+                                    ? item.at("service").as_string()
+                                    : it->second.service;
+    const std::string event = item.at("event").is_string()
+                                  ? item.at("event").as_string()
+                                  : it->second.event;
+    const Value payload = item.at("payload");
+    ++events_delivered_;
+    // Copy the handler: it may unsubscribe and invalidate `it`.
+    auto handler = it->second.handler;
+    adapter_.emit_event(service, event, payload);
+    if (handler) handler(service, event, payload);
+  }
+  done(Value(acked));
+}
+
+void EventRouter::on_native_event(const std::string& service,
+                                  const std::string& event,
+                                  const Value& payload) {
+  for (auto& [id, sub] : subs_) {
+    if (sub.service != service || sub.event != event) continue;
+    sub.queue.push_back({sub.next_seq++, service, event, payload});
+    if (sub.queue.size() > options_.max_queue &&
+        sub.queue.size() > sub.inflight) {
+      // Bounded queue: drop the oldest *unsent* event. Entries before
+      // `inflight` are on the wire awaiting ack and must survive for
+      // at-least-once delivery.
+      sub.queue.erase(sub.queue.begin() +
+                      static_cast<std::ptrdiff_t>(sub.inflight));
+      ++events_dropped_;
+    }
+    schedule_flush(sub);
+  }
+}
+
+void EventRouter::arm_expiry(Subscription& sub) {
+  auto& sched = net_.scheduler();
+  if (sub.expiry_event != 0) sched.cancel(sub.expiry_event);
+  sub.expiry_event =
+      sched.after(sub.lease, [this, id = sub.id] { expire(id); });
+}
+
+void EventRouter::expire(const std::string& id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  it->second.expiry_event = 0;
+  ++leases_expired_;
+  drop_subscription(id);
+}
+
+void EventRouter::drop_subscription(const std::string& id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  auto& sched = net_.scheduler();
+  auto& sub = it->second;
+  if (sub.expiry_event != 0) sched.cancel(sub.expiry_event);
+  if (sub.flush_event != 0) sched.cancel(sub.flush_event);
+  if (sub.retry_event != 0) sched.cancel(sub.retry_event);
+  const std::string service = sub.service;
+  subs_.erase(it);
+  release_watch(service);
+  vsr_.remove_subscription(id, [](const Status&) {});
+}
+
+Status EventRouter::ensure_watch(const LocalService& service) {
+  auto& watch = watches_[service.name];
+  if (!watch.active) {
+    auto status = adapter_.watch_events(
+        service, [this](const std::string& svc, const std::string& ev,
+                        const Value& payload) {
+          on_native_event(svc, ev, payload);
+        });
+    if (!status.is_ok()) {
+      if (watch.refs == 0) watches_.erase(service.name);
+      return status;
+    }
+    watch.active = true;
+  }
+  ++watch.refs;
+  return Status::ok();
+}
+
+void EventRouter::release_watch(const std::string& service) {
+  auto it = watches_.find(service);
+  if (it == watches_.end()) return;
+  if (it->second.refs > 0) --it->second.refs;
+  if (it->second.refs == 0) {
+    if (it->second.active) adapter_.unwatch_events(service);
+    watches_.erase(it);
+  }
+}
+
+void EventRouter::schedule_flush(Subscription& sub) {
+  // While a batch is on the wire or a retry timer is pending, new
+  // events just queue; the ack/retry path continues the drain.
+  if (sub.sending || sub.retry_event != 0) return;
+  if (sub.queue.size() >= options_.max_batch) {
+    if (sub.flush_event != 0) {
+      net_.scheduler().cancel(sub.flush_event);
+      sub.flush_event = 0;
+    }
+    flush(sub.id);
+    return;
+  }
+  if (sub.flush_event == 0) {
+    // Batch window: coalesce a burst into one deliver() call.
+    sub.flush_event =
+        net_.scheduler().after(options_.batch_window, [this, id = sub.id] {
+          auto it = subs_.find(id);
+          if (it == subs_.end()) return;
+          it->second.flush_event = 0;
+          flush(id);
+        });
+  }
+}
+
+void EventRouter::flush(const std::string& id) {
+  auto it = subs_.find(id);
+  if (it == subs_.end()) return;
+  auto& sub = it->second;
+  if (sub.sending || sub.queue.empty()) return;
+  const std::size_t n = std::min(sub.queue.size(), options_.max_batch);
+  sub.inflight = n;
+  sub.sending = true;
+  ValueList batch;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& q = sub.queue[i];
+    batch.push_back(Value(ValueMap{
+        {"sub", Value(sub.id)},
+        {"seq", Value(static_cast<std::int64_t>(q.seq))},
+        {"service", Value(q.service)},
+        {"event", Value(q.event)},
+        {"payload", q.payload},
+    }));
+  }
+  vsg_.call_remote(
+      sub.sink, kBridgeService, bridge_interface(), "deliver",
+      {Value(std::move(batch))}, [this, id, n](Result<Value> r) {
+        auto it = subs_.find(id);
+        if (it == subs_.end()) return;  // lease expired while in flight
+        auto& sub = it->second;
+        sub.sending = false;
+        sub.inflight = 0;
+        if (r.is_ok()) {
+          for (std::size_t i = 0; i < n && !sub.queue.empty(); ++i) {
+            sub.queue.pop_front();
+          }
+          events_routed_ += n;
+          ++batches_sent_;
+          sub.backoff = 0;
+          if (!sub.queue.empty()) flush(id);
+          return;
+        }
+        // Transient transport failure: the batch stays queued
+        // (at-least-once) and is retried with exponential backoff.
+        ++delivery_retries_;
+        sub.backoff = sub.backoff == 0
+                          ? options_.retry_base
+                          : std::min(sub.backoff * 2, options_.retry_max);
+        sub.retry_event = net_.scheduler().after(sub.backoff, [this, id] {
+          auto it = subs_.find(id);
+          if (it == subs_.end()) return;
+          it->second.retry_event = 0;
+          flush(id);
+        });
+      });
+}
+
+sim::Duration EventRouter::clamp_lease(sim::Duration lease) const {
+  if (lease <= 0) return options_.default_lease;
+  return std::min(lease, options_.max_lease);
+}
+
+Uri EventRouter::bridge_uri_for(const Uri& service_endpoint) {
+  Uri bridge = service_endpoint;
+  bridge.path = service_endpoint.scheme == "hcmb"
+                    ? std::string("/") + kBridgeService
+                    : std::string("/vsg/") + kBridgeService;
+  return bridge;
+}
+
+}  // namespace hcm::core

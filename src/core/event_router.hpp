@@ -1,0 +1,195 @@
+// EventRouter: the cross-middleware event bridge. One router per
+// island, riding the island's VSG. A client on any island subscribes
+// to an event a service on any other island declares in its interface
+// descriptor; the origin island hooks the native event source through
+// its adapter and forwards events VSG-to-VSG with leases, bounded
+// per-subscriber queues, burst batching, drop-oldest backpressure and
+// at-least-once delivery (retry with exponential backoff on transient
+// transport failure). The VSR keeps the subscription table as the
+// system of record; delivery state lives at the origin.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/adapter.hpp"
+#include "core/vsg.hpp"
+#include "core/vsr.hpp"
+
+namespace hcm::core {
+
+struct EventRouterOptions {
+  std::size_t max_queue = 64;   // bounded per-subscriber queue (backpressure)
+  std::size_t max_batch = 16;   // events coalesced into one deliver() call
+  sim::Duration batch_window = sim::milliseconds(10);
+  sim::Duration default_lease = sim::seconds(60);
+  sim::Duration max_lease = sim::seconds(300);
+  sim::Duration retry_base = sim::milliseconds(100);  // first backoff step
+  sim::Duration retry_max = sim::seconds(5);          // backoff ceiling
+};
+
+class EventRouter {
+ public:
+  // The bridge is exposed as a VSG service under this name. It is
+  // deliberately NOT published to the VSR and NOT exported into any
+  // native middleware — it is framework plumbing, not a home service.
+  static constexpr const char* kBridgeService = "__events__";
+
+  EventRouter(net::Network& net, VirtualServiceGateway& vsg,
+              MiddlewareAdapter& adapter, net::Endpoint vsr,
+              EventRouterOptions options = {});
+  ~EventRouter();
+  EventRouter(const EventRouter&) = delete;
+  EventRouter& operator=(const EventRouter&) = delete;
+
+  // Exposes the bridge service on the island's VSG.
+  [[nodiscard]] Status start();
+
+  // --- Subscriber side ---------------------------------------------------
+  using EventFn = std::function<void(const std::string& service,
+                                     const std::string& event,
+                                     const Value& payload)>;
+  using SubscribeDoneFn = std::function<void(Result<std::string>)>;
+  using DoneFn = std::function<void(const Status&)>;
+
+  struct SubscribeOptions {
+    sim::Duration lease = 0;  // 0 -> router default
+    bool auto_renew = true;   // renew at half-lease until unsubscribed
+  };
+
+  // Subscribes this island to `event` of remote service `service`
+  // (looked up in the VSR). On success `done` receives the lease id;
+  // events then reach `handler` and are re-emitted natively through
+  // the adapter's emit_event.
+  void subscribe(const std::string& service, const std::string& event,
+                 EventFn handler, SubscribeDoneFn done);
+  void subscribe(const std::string& service, const std::string& event,
+                 const SubscribeOptions& opts, EventFn handler,
+                 SubscribeDoneFn done);
+  // Cancels a subscription by lease id. Idempotent: unknown ids
+  // succeed (the lease may simply have expired already).
+  void unsubscribe(const std::string& lease_id, DoneFn done);
+
+  // --- Origin side -------------------------------------------------------
+  // Injects a native event from this island's middleware into the
+  // bridge (adapters call this through the watch_events callback).
+  void on_native_event(const std::string& service, const std::string& event,
+                       const Value& payload);
+
+  // --- Introspection / counters ------------------------------------------
+  [[nodiscard]] std::size_t active_subscriptions() const {
+    return subs_.size();
+  }
+  [[nodiscard]] std::size_t local_subscriptions() const {
+    return local_subs_.size();
+  }
+  [[nodiscard]] std::uint64_t events_routed() const { return events_routed_; }
+  [[nodiscard]] std::uint64_t events_dropped() const {
+    return events_dropped_;
+  }
+  [[nodiscard]] std::uint64_t events_delivered() const {
+    return events_delivered_;
+  }
+  [[nodiscard]] std::uint64_t batches_sent() const { return batches_sent_; }
+  [[nodiscard]] std::uint64_t leases_expired() const {
+    return leases_expired_;
+  }
+  [[nodiscard]] std::uint64_t delivery_retries() const {
+    return delivery_retries_;
+  }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const {
+    return duplicates_dropped_;
+  }
+
+  [[nodiscard]] const EventRouterOptions& options() const { return options_; }
+
+  // Wire interface of the bridge (subscribe/renew/unsubscribe/deliver).
+  [[nodiscard]] static const InterfaceDesc& bridge_interface();
+
+ private:
+  struct QueuedEvent {
+    std::uint64_t seq = 0;
+    std::string service;
+    std::string event;
+    Value payload;
+  };
+
+  // Origin-side record of one remote subscriber's lease.
+  struct Subscription {
+    std::string id;
+    std::string service;
+    std::string event;
+    std::string subscriber;  // island name (diagnostics / VSR record)
+    Uri sink;                // subscriber's bridge exposure
+    sim::Duration lease = 0;
+    sim::EventId expiry_event = 0;
+    std::deque<QueuedEvent> queue;  // front [0, inflight) is on the wire
+    std::size_t inflight = 0;
+    std::uint64_t next_seq = 1;
+    sim::EventId flush_event = 0;
+    sim::EventId retry_event = 0;
+    sim::Duration backoff = 0;
+    bool sending = false;
+  };
+
+  // Subscriber-side record of a lease we hold on a remote service.
+  struct LocalSub {
+    std::string id;
+    std::string service;
+    std::string event;
+    EventFn handler;
+    Uri origin;  // origin island's bridge exposure
+    sim::Duration lease = 0;
+    bool auto_renew = true;
+    sim::EventId renew_event = 0;
+    std::uint64_t last_seq = 0;  // at-least-once: dedupe re-sent batches
+  };
+
+  struct Watch {
+    std::size_t refs = 0;
+    bool active = false;
+  };
+
+  // Wire handlers (origin side unless noted).
+  void handle_subscribe(const ValueList& args, InvokeResultFn done);
+  void handle_renew(const ValueList& args, InvokeResultFn done);
+  void handle_unsubscribe(const ValueList& args, InvokeResultFn done);
+  void handle_deliver(const ValueList& args, InvokeResultFn done);  // sub side
+
+  void arm_expiry(Subscription& sub);
+  void expire(const std::string& id);
+  void drop_subscription(const std::string& id);
+  [[nodiscard]] Status ensure_watch(const LocalService& service);
+  void release_watch(const std::string& service);
+
+  void schedule_flush(Subscription& sub);
+  void flush(const std::string& id);
+
+  void arm_renew(const std::string& id);
+  [[nodiscard]] sim::Duration clamp_lease(sim::Duration lease) const;
+  [[nodiscard]] static Uri bridge_uri_for(const Uri& service_endpoint);
+
+  net::Network& net_;
+  VirtualServiceGateway& vsg_;
+  MiddlewareAdapter& adapter_;
+  VsrClient vsr_;
+  EventRouterOptions options_;
+
+  std::map<std::string, Subscription> subs_;     // origin side, by lease id
+  std::map<std::string, LocalSub> local_subs_;   // subscriber side, by id
+  std::map<std::string, Watch> watches_;         // origin, by service name
+  std::uint64_t next_sub_ = 1;
+
+  std::uint64_t events_routed_ = 0;
+  std::uint64_t events_dropped_ = 0;
+  std::uint64_t events_delivered_ = 0;
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t leases_expired_ = 0;
+  std::uint64_t delivery_retries_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+};
+
+}  // namespace hcm::core

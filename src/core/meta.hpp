@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 
+#include "core/event_router.hpp"
 #include "core/pcm.hpp"
 #include "core/vsg.hpp"
 #include "core/vsr.hpp"
@@ -25,6 +26,9 @@ class MetaMiddleware {
     std::string name;
     std::unique_ptr<VirtualServiceGateway> vsg;
     std::unique_ptr<Pcm> pcm;
+    // Declared after pcm: the router is destroyed first, so the
+    // adapter it watches events through always outlives it.
+    std::unique_ptr<EventRouter> events;
   };
 
   // Connects a middleware island: creates its VSG on `gateway_node` and

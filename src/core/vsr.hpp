@@ -37,6 +37,7 @@ class VsrServer {
 // the degenerate-but-equivalent deployment we default to, and tests
 // exercise gateway failure separately.)
 using VsrEntry = soap::RegistryEntry;
+using VsrEventSubscription = soap::EventSubscription;
 using VsrClient = soap::UddiClient;
 
 }  // namespace hcm::core

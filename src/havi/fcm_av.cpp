@@ -15,7 +15,7 @@ const char* to_string(TransportState s) {
 // --- VCR ---------------------------------------------------------------
 
 InterfaceDesc VcrFcm::describe_interface() {
-  return InterfaceDesc{
+  InterfaceDesc iface{
       "VcrControl",
       {
           MethodDesc{"play", {}, ValueType::kBool, false},
@@ -29,6 +29,10 @@ InterfaceDesc VcrFcm::describe_interface() {
           MethodDesc{"getCounter", {}, ValueType::kInt, false},
           MethodDesc{"getTapeFrames", {}, ValueType::kInt, false},
       }};
+  iface.events.push_back(MethodDesc{
+      "transportChanged", {{"state", ValueType::kString}}, ValueType::kNull,
+      true});
+  return iface;
 }
 
 VcrFcm::VcrFcm(MessagingSystem& ms, net::Ieee1394Bus& bus, std::string huid,
@@ -82,8 +86,17 @@ void VcrFcm::invoke(const std::string& method, const ValueList& args,
   done(not_found("VcrFcm: " + method));
 }
 
+void VcrFcm::set_event_manager(Seid event_manager) {
+  events_.emplace(messaging(), seid(), event_manager);
+}
+
 void VcrFcm::set_state(TransportState s) {
+  const bool changed = state_ != s;
   state_ = s;
+  if (changed && events_) {
+    events_->post(name() + ".transportChanged",
+                  Value(ValueMap{{"state", Value(std::string(to_string(s)))}}));
+  }
   bool need_tick = (s == TransportState::kPlay && source_channel_) ||
                    s == TransportState::kRecord;
   if (need_tick && tick_event_ == 0) {

@@ -7,6 +7,7 @@
 #include <deque>
 #include <optional>
 
+#include "havi/event_manager.hpp"
 #include "havi/fcm.hpp"
 
 namespace hcm::havi {
@@ -33,6 +34,10 @@ class VcrFcm : public Fcm {
   [[nodiscard]] TransportState state() const { return state_; }
   [[nodiscard]] std::uint64_t tape_frames() const { return tape_frames_; }
 
+  // Posts "<name>.transportChanged" to the bus Event Manager on every
+  // transport-state change once an EM SEID is wired in.
+  void set_event_manager(Seid event_manager);
+
  protected:
   void invoke(const std::string& method, const ValueList& args,
               InvokeResultFn done) override;
@@ -53,6 +58,7 @@ class VcrFcm : public Fcm {
   net::IsoListenerId sink_listener_ = 0;
   sim::EventId tick_event_ = 0;
   std::optional<sim::SimTime> record_deadline_;
+  std::optional<EventClient> events_;
 };
 
 // --- DV camera -----------------------------------------------------------

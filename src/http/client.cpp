@@ -20,12 +20,11 @@ void HttpClient::request(net::Endpoint dest, Request req, ResponseCallback cb) {
   if (options_.keep_alive) {
     auto it = pool_.find(dest);
     if (it != pool_.end()) {
-      if (auto conn = it->second.lock(); conn && conn->stream &&
-                                         conn->stream->is_open()) {
-        send_on(conn, std::move(req), std::move(cb));
+      if (it->second->stream && it->second->stream->is_open()) {
+        send_on(it->second, std::move(req), std::move(cb));
         return;
       }
-      pool_.erase(it);
+      pool_.erase(it);  // closed behind our back; reconnect below
     }
   }
   net_.connect(node_, dest,
@@ -49,7 +48,15 @@ std::shared_ptr<HttpClient::PooledConn> HttpClient::make_conn(
   conn->keep_alive = options_.keep_alive;
   auto& sched = net_.scheduler();
 
-  conn->stream->set_on_close([conn, &sched] {
+  // The connection owns the stream; the stream's callbacks must hold
+  // only weak references back, or the pair keeps each other alive
+  // forever. Ownership lives in pool_ (keep-alive) and in the pending
+  // request-timeout closure (while a request is in flight).
+  std::weak_ptr<PooledConn> weak = conn;
+
+  conn->stream->set_on_close([weak, &sched] {
+    auto conn = weak.lock();
+    if (!conn) return;
     if (conn->timeout_event != 0) sched.cancel(conn->timeout_event);
     if (conn->inflight) {
       auto cb = std::move(conn->inflight);
@@ -63,7 +70,9 @@ std::shared_ptr<HttpClient::PooledConn> HttpClient::make_conn(
     conn->stream = nullptr;
   });
 
-  conn->stream->set_on_data([this, conn](const Bytes& data) {
+  conn->stream->set_on_data([this, weak](const Bytes& data) {
+    auto conn = weak.lock();
+    if (!conn) return;
     auto status = conn->parser.feed(data);
     if (!status.is_ok()) {
       if (conn->inflight) {

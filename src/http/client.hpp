@@ -45,7 +45,10 @@ class HttpClient {
   net::Network& net_;
   net::NodeId node_;
   Options options_;
-  std::map<net::Endpoint, std::weak_ptr<PooledConn>> pool_;
+  // Owns idle keep-alive connections. The stream's callbacks hold only
+  // weak_ptrs back to the connection, so this map (plus any pending
+  // request timeout) is what keeps a connection alive.
+  std::map<net::Endpoint, std::shared_ptr<PooledConn>> pool_;
 };
 
 }  // namespace hcm::http

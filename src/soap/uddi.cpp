@@ -91,12 +91,86 @@ UddiRegistry::UddiRegistry(http::HttpServer& http_server,
         for (const auto& [name, e] : entries_) out.push_back(entry_to_value(e));
         done(Value(std::move(out)));
       });
+
+  service_.register_method(
+      "subscribeEvent", [this](const NamedValues& params, CallResultFn done) {
+        const auto& id = param(params, "id");
+        const auto& service = param(params, "service");
+        if (!id.is_string() || id.as_string().empty() || !service.is_string()) {
+          done(invalid_argument("subscribeEvent requires id and service"));
+          return;
+        }
+        EventSubscription s;
+        s.id = id.as_string();
+        s.service = service.as_string();
+        s.event = param(params, "event").is_string()
+                      ? param(params, "event").as_string()
+                      : "";
+        s.subscriber = param(params, "subscriber").is_string()
+                           ? param(params, "subscriber").as_string()
+                           : "";
+        auto ttl = param(params, "ttl");
+        s.expires_at =
+            ttl.is_int() && ttl.as_int() > 0 ? sched_.now() + ttl.as_int() : 0;
+        subscriptions_[s.id] = std::move(s);
+        done(Value(true));
+      });
+
+  service_.register_method(
+      "renewEventSub", [this](const NamedValues& params, CallResultFn done) {
+        prune_subscriptions();
+        const auto& id = param(params, "id");
+        if (!id.is_string()) {
+          done(invalid_argument("renewEventSub requires id"));
+          return;
+        }
+        auto it = subscriptions_.find(id.as_string());
+        if (it == subscriptions_.end()) {
+          done(not_found("no event subscription: " + id.as_string()));
+          return;
+        }
+        auto ttl = param(params, "ttl");
+        it->second.expires_at =
+            ttl.is_int() && ttl.as_int() > 0 ? sched_.now() + ttl.as_int() : 0;
+        done(Value(true));
+      });
+
+  service_.register_method(
+      "unsubscribeEvent",
+      [this](const NamedValues& params, CallResultFn done) {
+        const auto& id = param(params, "id");
+        if (!id.is_string()) {
+          done(invalid_argument("unsubscribeEvent requires id"));
+          return;
+        }
+        done(Value(subscriptions_.erase(id.as_string()) > 0));
+      });
+
+  service_.register_method(
+      "listEventSubs", [this](const NamedValues&, CallResultFn done) {
+        prune_subscriptions();
+        ValueList out;
+        for (const auto& [id, s] : subscriptions_) {
+          out.push_back(subscription_to_value(s));
+        }
+        done(Value(std::move(out)));
+      });
 }
 
 void UddiRegistry::prune() {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (it->second.expires_at != 0 && it->second.expires_at <= sched_.now()) {
       it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void UddiRegistry::prune_subscriptions() {
+  for (auto it = subscriptions_.begin(); it != subscriptions_.end();) {
+    if (it->second.expires_at != 0 && it->second.expires_at <= sched_.now()) {
+      it = subscriptions_.erase(it);
     } else {
       ++it;
     }
@@ -111,12 +185,29 @@ std::size_t UddiRegistry::size() const {
   return n;
 }
 
+std::size_t UddiRegistry::subscription_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, s] : subscriptions_) {
+    if (s.expires_at == 0 || s.expires_at > sched_.now()) ++n;
+  }
+  return n;
+}
+
 Value UddiRegistry::entry_to_value(const RegistryEntry& e) const {
   ValueMap m;
   m["name"] = e.name;
   m["category"] = e.category;
   m["origin"] = e.origin;
   m["wsdl"] = e.wsdl;
+  return Value(std::move(m));
+}
+
+Value UddiRegistry::subscription_to_value(const EventSubscription& s) const {
+  ValueMap m;
+  m["id"] = s.id;
+  m["service"] = s.service;
+  m["event"] = s.event;
+  m["subscriber"] = s.subscriber;
   return Value(std::move(m));
 }
 
@@ -189,5 +280,72 @@ void UddiClient::lookup(const std::string& name, EntryFn done) {
 }
 
 void UddiClient::list_all(EntriesFn done) { find_by_category("", std::move(done)); }
+
+Result<EventSubscription> UddiClient::subscription_from_value(const Value& v) {
+  if (!v.is_map()) return protocol_error("event subscription is not a struct");
+  EventSubscription s;
+  s.id = v.at("id").is_string() ? v.at("id").as_string() : "";
+  s.service = v.at("service").is_string() ? v.at("service").as_string() : "";
+  s.event = v.at("event").is_string() ? v.at("event").as_string() : "";
+  s.subscriber =
+      v.at("subscriber").is_string() ? v.at("subscriber").as_string() : "";
+  if (s.id.empty()) return protocol_error("event subscription missing id");
+  return s;
+}
+
+void UddiClient::put_subscription(const EventSubscription& sub,
+                                  sim::Duration ttl, DoneFn done) {
+  NamedValues params{{"id", Value(sub.id)},
+                     {"service", Value(sub.service)},
+                     {"event", Value(sub.event)},
+                     {"subscriber", Value(sub.subscriber)},
+                     {"ttl", Value(static_cast<std::int64_t>(ttl))}};
+  client_.call(registry_, path_, kNs, "subscribeEvent", params,
+               [done = std::move(done)](Result<Value> r) {
+                 done(r.is_ok() ? Status::ok() : r.status());
+               });
+}
+
+void UddiClient::renew_subscription(const std::string& id, sim::Duration ttl,
+                                    DoneFn done) {
+  client_.call(registry_, path_, kNs, "renewEventSub",
+               {{"id", Value(id)},
+                {"ttl", Value(static_cast<std::int64_t>(ttl))}},
+               [done = std::move(done)](Result<Value> r) {
+                 done(r.is_ok() ? Status::ok() : r.status());
+               });
+}
+
+void UddiClient::remove_subscription(const std::string& id, DoneFn done) {
+  client_.call(registry_, path_, kNs, "unsubscribeEvent",
+               {{"id", Value(id)}},
+               [done = std::move(done)](Result<Value> r) {
+                 done(r.is_ok() ? Status::ok() : r.status());
+               });
+}
+
+void UddiClient::list_subscriptions(SubscriptionsFn done) {
+  client_.call(registry_, path_, kNs, "listEventSubs", {},
+               [done = std::move(done)](Result<Value> r) {
+                 if (!r.is_ok()) {
+                   done(r.status());
+                   return;
+                 }
+                 if (!r.value().is_list()) {
+                   done(protocol_error("listEventSubs result is not an array"));
+                   return;
+                 }
+                 std::vector<EventSubscription> out;
+                 for (const auto& item : r.value().as_list()) {
+                   auto s = subscription_from_value(item);
+                   if (!s.is_ok()) {
+                     done(s.status());
+                     return;
+                   }
+                   out.push_back(std::move(s).take());
+                 }
+                 done(std::move(out));
+               });
+}
 
 }  // namespace hcm::soap

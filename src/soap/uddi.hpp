@@ -21,8 +21,21 @@ struct RegistryEntry {
   sim::SimTime expires_at = 0;  // 0 = no lease
 };
 
+// A leased event subscription recorded in the VSR (event bridge). The
+// VSR is the system of record for who listens to what; the origin
+// island's EventRouter holds the delivery state.
+struct EventSubscription {
+  std::string id;          // origin-router lease id ("esub-N")
+  std::string service;     // event source (deployed-service name)
+  std::string event;       // event name within the service interface
+  std::string subscriber;  // subscribing island
+  sim::SimTime expires_at = 0;  // 0 = no lease
+};
+
 // Server side: mounts "publish"/"unpublish"/"find"/"lookup"/"list"
-// methods on a SoapService at `path` of an HttpServer.
+// methods on a SoapService at `path` of an HttpServer, plus the event-
+// subscription table ("subscribeEvent"/"renewEventSub"/
+// "unsubscribeEvent"/"listEventSubs").
 class UddiRegistry {
  public:
   UddiRegistry(http::HttpServer& http_server, sim::Scheduler& sched,
@@ -30,14 +43,18 @@ class UddiRegistry {
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
+  [[nodiscard]] std::size_t subscription_count() const;
 
  private:
   void prune();
+  void prune_subscriptions();
   Value entry_to_value(const RegistryEntry& e) const;
+  Value subscription_to_value(const EventSubscription& s) const;
 
   sim::Scheduler& sched_;
   SoapService service_;
   std::map<std::string, RegistryEntry> entries_;
+  std::map<std::string, EventSubscription> subscriptions_;  // by id
   std::uint64_t publishes_ = 0;
 };
 
@@ -51,6 +68,8 @@ class UddiClient {
   using DoneFn = std::function<void(const Status&)>;
   using EntriesFn = std::function<void(Result<std::vector<RegistryEntry>>)>;
   using EntryFn = std::function<void(Result<RegistryEntry>)>;
+  using SubscriptionsFn =
+      std::function<void(Result<std::vector<EventSubscription>>)>;
 
   // ttl of 0 means no expiry; otherwise the entry lapses unless
   // republished (lease-style, mirroring Jini's lease discipline).
@@ -60,8 +79,17 @@ class UddiClient {
   void lookup(const std::string& name, EntryFn done);
   void list_all(EntriesFn done);
 
+  // Event-subscription table (same lease discipline as publish).
+  void put_subscription(const EventSubscription& sub, sim::Duration ttl,
+                        DoneFn done);
+  void renew_subscription(const std::string& id, sim::Duration ttl,
+                          DoneFn done);
+  void remove_subscription(const std::string& id, DoneFn done);
+  void list_subscriptions(SubscriptionsFn done);
+
  private:
   static Result<RegistryEntry> entry_from_value(const Value& v);
+  static Result<EventSubscription> subscription_from_value(const Value& v);
 
   SoapClient client_;
   net::Endpoint registry_;

@@ -24,8 +24,9 @@ std::string emit_wsdl(const InterfaceDesc& iface,
   defs.set_attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema");
   defs.set_attr("xmlns:tns", tns);
 
-  // <message> pairs per operation.
-  for (const auto& m : iface.methods) {
+  // <message> pairs per operation (methods and events alike; events are
+  // one-way so well-formed ones only ever emit an Input message).
+  auto emit_messages = [&defs](const MethodDesc& m) {
     auto& input = defs.add_child("wsdl:message");
     input.set_attr("name", m.name + "Input");
     for (const auto& p : m.params) {
@@ -40,12 +41,11 @@ std::string emit_wsdl(const InterfaceDesc& iface,
       part.set_attr("name", "return");
       part.set_attr("type", wsdl_type_for(m.return_type));
     }
-  }
+  };
+  for (const auto& m : iface.methods) emit_messages(m);
+  for (const auto& e : iface.events) emit_messages(e);
 
-  // <portType> with operations.
-  auto& port_type = defs.add_child("wsdl:portType");
-  port_type.set_attr("name", iface.name + "PortType");
-  for (const auto& m : iface.methods) {
+  auto emit_operation = [](xml::Element& port_type, const MethodDesc& m) {
     auto& op = port_type.add_child("wsdl:operation");
     op.set_attr("name", m.name);
     op.add_child("wsdl:input").set_attr("message", "tns:" + m.name + "Input");
@@ -53,6 +53,21 @@ std::string emit_wsdl(const InterfaceDesc& iface,
       op.add_child("wsdl:output")
           .set_attr("message", "tns:" + m.name + "Output");
     }
+  };
+
+  // <portType> with operations.
+  auto& port_type = defs.add_child("wsdl:portType");
+  port_type.set_attr("name", iface.name + "PortType");
+  for (const auto& m : iface.methods) emit_operation(port_type, m);
+
+  // Events travel as a second portType of notification operations
+  // (WSDL 1.1's one-way transmission primitive), named
+  // <iface>EventsPortType so parse_wsdl can route them back into the
+  // descriptor's events section.
+  if (!iface.events.empty()) {
+    auto& events_port = defs.add_child("wsdl:portType");
+    events_port.set_attr("name", iface.name + "EventsPortType");
+    for (const auto& e : iface.events) emit_operation(events_port, e);
   }
 
   // <binding>: rpc/encoded over SOAP-HTTP.
@@ -110,28 +125,38 @@ Result<WsdlDocument> parse_wsdl(std::string_view text) {
     return colon == std::string::npos ? s : s.substr(colon + 1);
   };
 
-  // Port type -> methods.
-  const auto* port_type = defs.child("portType");
-  if (port_type == nullptr) return protocol_error("WSDL without portType");
-  for (const auto* op : port_type->children_named("operation")) {
-    MethodDesc method;
-    if (const auto* oname = op->attr("name")) method.name = *oname;
-    const auto* input = op->child("input");
-    if (input != nullptr) {
-      if (const auto* msg_ref = input->attr("message")) {
-        for (const auto& part : messages[strip_tns(*msg_ref)]) {
-          method.params.push_back({part.name, part.type});
+  // Port types -> methods and events. The main portType is named
+  // <iface>PortType; <iface>EventsPortType carries the events section.
+  const auto port_types = defs.children_named("portType");
+  if (port_types.empty()) return protocol_error("WSDL without portType");
+  for (const auto* port_type : port_types) {
+    const auto* ptname = port_type->attr("name");
+    const bool is_events =
+        ptname != nullptr && *ptname == out.interface.name + "EventsPortType";
+    for (const auto* op : port_type->children_named("operation")) {
+      MethodDesc method;
+      if (const auto* oname = op->attr("name")) method.name = *oname;
+      const auto* input = op->child("input");
+      if (input != nullptr) {
+        if (const auto* msg_ref = input->attr("message")) {
+          for (const auto& part : messages[strip_tns(*msg_ref)]) {
+            method.params.push_back({part.name, part.type});
+          }
         }
       }
+      const auto* output = op->child("output");
+      if (output == nullptr) {
+        method.one_way = true;
+      } else if (const auto* msg_ref = output->attr("message")) {
+        const auto& parts = messages[strip_tns(*msg_ref)];
+        if (!parts.empty()) method.return_type = parts.front().type;
+      }
+      if (is_events) {
+        out.interface.events.push_back(std::move(method));
+      } else {
+        out.interface.methods.push_back(std::move(method));
+      }
     }
-    const auto* output = op->child("output");
-    if (output == nullptr) {
-      method.one_way = true;
-    } else if (const auto* msg_ref = output->attr("message")) {
-      const auto& parts = messages[strip_tns(*msg_ref)];
-      if (!parts.empty()) method.return_type = parts.front().type;
-    }
-    out.interface.methods.push_back(std::move(method));
   }
 
   // Service / endpoint.

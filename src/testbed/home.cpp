@@ -2,8 +2,20 @@
 
 namespace hcm::testbed {
 
-InterfaceDesc LaserdiscPlayer::describe_interface() {
+namespace {
+// The interface remote event listeners export (mirrors jini::LookupService).
+InterfaceDesc listener_interface() {
   return InterfaceDesc{
+      "RemoteEventListener",
+      {MethodDesc{"serviceEvent",
+                  {{"type", ValueType::kString}, {"item", ValueType::kMap}},
+                  ValueType::kNull,
+                  true}}};
+}
+}  // namespace
+
+InterfaceDesc LaserdiscPlayer::describe_interface() {
+  InterfaceDesc iface{
       "MediaPlayer",
       {
           MethodDesc{"turnOn", {}, ValueType::kBool, false},
@@ -11,12 +23,29 @@ InterfaceDesc LaserdiscPlayer::describe_interface() {
           MethodDesc{"play", {}, ValueType::kBool, false},
           MethodDesc{"stop", {}, ValueType::kBool, false},
           MethodDesc{"getStatus", {}, ValueType::kMap, false},
+          // Jini remote-event registration (RemoteEventListener model).
+          MethodDesc{"notify",
+                     {{"node", ValueType::kInt},
+                      {"port", ValueType::kInt},
+                      {"listener", ValueType::kString}},
+                     ValueType::kInt,
+                     false},
+          MethodDesc{"cancelNotify",
+                     {{"id", ValueType::kInt}},
+                     ValueType::kBool,
+                     false},
       }};
+  iface.events.push_back(MethodDesc{"statusChanged",
+                                    {{"powered", ValueType::kBool},
+                                     {"playing", ValueType::kBool}},
+                                    ValueType::kNull,
+                                    true});
+  return iface;
 }
 
 LaserdiscPlayer::LaserdiscPlayer(net::Network& net, net::NodeId node,
                                  net::Endpoint lookup_endpoint)
-    : exporter_(net, node, 4170) {
+    : net_(net), node_(node), exporter_(net, node, 4170) {
   (void)exporter_.start();
   exporter_.export_object(
       "laserdisc-1",
@@ -33,26 +62,52 @@ LaserdiscPlayer::LaserdiscPlayer(net::Network& net, net::NodeId node,
   registrar_->join([](const Status&) {});
 }
 
-void LaserdiscPlayer::handle(const std::string& method, const ValueList&,
+void LaserdiscPlayer::handle(const std::string& method, const ValueList& args,
                              InvokeResultFn done) {
   ++commands_;
   if (method == "turnOn") {
     powered_ = true;
+    fire_status_changed();
     return done(Value(true));
   }
   if (method == "turnOff") {
     powered_ = false;
     playing_ = false;
+    fire_status_changed();
     return done(Value(true));
   }
   if (method == "play") {
     if (!powered_) return done(unavailable("laserdisc is powered off"));
     playing_ = true;
+    fire_status_changed();
     return done(Value(true));
   }
   if (method == "stop") {
     playing_ = false;
+    fire_status_changed();
     return done(Value(true));
+  }
+  if (method == "notify") {
+    if (args.size() != 3 || !args[0].is_int() || !args[1].is_int() ||
+        !args[2].is_string()) {
+      return done(invalid_argument("notify(node, port, listener_id)"));
+    }
+    jini::ServiceItem item;
+    item.service_id = args[2].as_string();
+    item.name = "listener";
+    item.interface = listener_interface();
+    item.endpoint = {static_cast<net::NodeId>(args[0].as_int()),
+                     static_cast<std::uint16_t>(args[1].as_int())};
+    auto id = next_listener_++;
+    listeners_[id] =
+        std::make_unique<jini::Proxy>(net_, node_, std::move(item));
+    return done(Value(id));
+  }
+  if (method == "cancelNotify") {
+    if (args.size() != 1 || !args[0].is_int()) {
+      return done(invalid_argument("cancelNotify(id)"));
+    }
+    return done(Value(listeners_.erase(args[0].as_int()) > 0));
   }
   if (method == "getStatus") {
     return done(Value(ValueMap{
@@ -61,6 +116,15 @@ void LaserdiscPlayer::handle(const std::string& method, const ValueList&,
     }));
   }
   done(not_found("laserdisc has no method " + method));
+}
+
+void LaserdiscPlayer::fire_status_changed() {
+  for (auto& [id, listener] : listeners_) {
+    (void)listener->invoke_one_way(
+        "serviceEvent", {Value(std::string("statusChanged")),
+                         Value(ValueMap{{"powered", Value(powered_)},
+                                        {"playing", Value(playing_)}})});
+  }
 }
 
 SmartHome::SmartHome(sim::Scheduler& scheduler,
@@ -110,6 +174,7 @@ SmartHome::SmartHome(sim::Scheduler& scheduler,
                                               "huid-dvhs-t", "vcr-1");
     vcr = fcm.get();
     vcr_dcm->add_fcm(std::move(fcm));
+    vcr->set_event_manager(fav->event_manager.seid());
     auto tuner_fcm = std::make_unique<havi::TunerFcm>(*vcr_ms, *firewire,
                                                       "huid-dvhs-u", "tuner-1");
     tuner = tuner_fcm.get();

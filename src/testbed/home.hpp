@@ -7,6 +7,7 @@
 // benches and examples all build on this so the topology is stated once.
 #pragma once
 
+#include <map>
 #include <memory>
 
 #include "core/adapters/havi_adapter.hpp"
@@ -17,6 +18,7 @@
 #include "havi/dcm.hpp"
 #include "havi/fcm_av.hpp"
 #include "jini/lookup.hpp"
+#include "jini/proxy.hpp"
 #include "jini/registrar.hpp"
 #include "mail/mail.hpp"
 #include "x10/cm11a.hpp"
@@ -25,7 +27,10 @@
 namespace hcm::testbed {
 
 // The Jini-native laserdisc player of Fig. 5 ("controlling a Jini
-// Laserdisc with an X10 remote controller").
+// Laserdisc with an X10 remote controller"). Besides its control
+// methods it supports Jini remote events: notify(node, port, listener)
+// registers a RemoteEventListener that receives serviceEvent
+// ("statusChanged", {powered, playing}) on every state change.
 class LaserdiscPlayer {
  public:
   LaserdiscPlayer(net::Network& net, net::NodeId node,
@@ -36,16 +41,24 @@ class LaserdiscPlayer {
   [[nodiscard]] bool powered() const { return powered_; }
   [[nodiscard]] bool playing() const { return playing_; }
   [[nodiscard]] std::uint64_t commands() const { return commands_; }
+  [[nodiscard]] std::size_t listener_count() const {
+    return listeners_.size();
+  }
 
  private:
   void handle(const std::string& method, const ValueList& args,
               InvokeResultFn done);
+  void fire_status_changed();
 
+  net::Network& net_;
+  net::NodeId node_;
   jini::Exporter exporter_;
   std::unique_ptr<jini::Registrar> registrar_;
   bool powered_ = false;
   bool playing_ = false;
   std::uint64_t commands_ = 0;
+  std::map<std::int64_t, std::unique_ptr<jini::Proxy>> listeners_;
+  std::int64_t next_listener_ = 1;
 };
 
 struct SmartHomeOptions {

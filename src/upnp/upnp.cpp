@@ -1,6 +1,7 @@
 #include "upnp/upnp.hpp"
 
 #include "common/strings.hpp"
+#include "soap/value_xml.hpp"
 #include "xml/xml.hpp"
 
 namespace hcm::upnp {
@@ -17,7 +18,8 @@ UpnpDevice::UpnpDevice(net::Network& net, net::NodeId node,
       friendly_name_(std::move(friendly_name)),
       udn_("uuid:hcm-" + std::to_string(++g_udn_counter)),
       http_port_(http_port),
-      http_(net, node, http_port) {}
+      http_(net, node, http_port),
+      notify_client_(net, node) {}
 
 UpnpDevice::~UpnpDevice() {
   if (net::Node* n = net_.node(node_)) n->unbind(kSsdpPort);
@@ -68,7 +70,89 @@ void UpnpDevice::add_service(const std::string& service_id,
                                 http::RespondFn respond) {
     respond(http::Response::make(200, "OK", scpd, "text/xml"));
   });
+  http_.route("/gena/" + service_id,
+              [this, service_id](const http::Request& req,
+                                 http::RespondFn respond) {
+                handle_gena(service_id, req, std::move(respond));
+              });
   services_[service_id] = std::move(mounted);
+}
+
+void UpnpDevice::handle_gena(const std::string& service_id,
+                             const http::Request& req,
+                             http::RespondFn respond) {
+  if (req.method == "SUBSCRIBE") {
+    const std::string* cb = req.header("CALLBACK");
+    if (cb == nullptr) {
+      respond(http::Response::make(400, "Bad Request", "missing CALLBACK"));
+      return;
+    }
+    std::string url = *cb;
+    if (url.size() >= 2 && url.front() == '<' && url.back() == '>') {
+      url = url.substr(1, url.size() - 2);
+    }
+    auto uri = parse_uri(url);
+    if (!uri.is_ok() || uri.value().host.rfind("node-", 0) != 0) {
+      respond(http::Response::make(400, "Bad Request", "bad CALLBACK"));
+      return;
+    }
+    auto id = parse_uint(uri.value().host.substr(5));
+    if (id <= 0) {
+      respond(http::Response::make(400, "Bad Request", "bad CALLBACK host"));
+      return;
+    }
+    GenaSubscriber sub;
+    sub.callback = {static_cast<net::NodeId>(id), uri.value().port};
+    sub.path = uri.value().path;
+    const std::string sid = "uuid:gena-" + std::to_string(next_sid_++);
+    subscribers_[service_id][sid] = std::move(sub);
+    auto resp = http::Response::make(200, "OK", sid);
+    resp.set_header("SID", sid);
+    respond(std::move(resp));
+    return;
+  }
+  if (req.method == "UNSUBSCRIBE") {
+    const std::string* sid = req.header("SID");
+    bool removed = false;
+    if (sid != nullptr) {
+      auto it = subscribers_.find(service_id);
+      if (it != subscribers_.end()) removed = it->second.erase(*sid) > 0;
+    }
+    if (removed) {
+      respond(http::Response::make(200, "OK", ""));
+    } else {
+      respond(http::Response::make(412, "Precondition Failed", ""));
+    }
+    return;
+  }
+  respond(http::Response::make(405, "Method Not Allowed", ""));
+}
+
+void UpnpDevice::post_event(const std::string& service_id,
+                            const std::string& event, const Value& payload) {
+  auto it = subscribers_.find(service_id);
+  if (it == subscribers_.end() || it->second.empty()) return;
+  xml::Element root("propertyset");
+  soap::value_to_xml("service", Value(service_id), root);
+  soap::value_to_xml("event", Value(event), root);
+  soap::value_to_xml("payload", payload, root);
+  const std::string body = root.to_string();
+  for (const auto& [sid, sub] : it->second) {
+    http::Request req;
+    req.method = "NOTIFY";
+    req.target = sub.path;
+    req.set_header("SID", sid);
+    req.set_header("Content-Type", "text/xml");
+    req.body = body;
+    notify_client_.request(sub.callback, std::move(req),
+                           [](Result<http::Response>) {});
+    ++events_posted_;
+  }
+}
+
+std::size_t UpnpDevice::subscriber_count(const std::string& service_id) const {
+  auto it = subscribers_.find(service_id);
+  return it == subscribers_.end() ? 0 : it->second.size();
 }
 
 void UpnpDevice::on_ssdp(net::Endpoint from, const Bytes& data) {
@@ -220,6 +304,89 @@ void ControlPoint::fetch_description(
           });
     }
   });
+}
+
+Status ControlPoint::ensure_notify_server() {
+  if (notify_server_ != nullptr) return Status::ok();
+  auto server = std::make_unique<http::HttpServer>(net_, node_, notify_port_);
+  auto status = server->start();
+  if (!status.is_ok()) return status;
+  server->route("/notify", [this](const http::Request& req,
+                                  http::RespondFn respond) {
+    const std::string* sid = req.header("SID");
+    if (sid == nullptr) {
+      respond(http::Response::make(400, "Bad Request", "missing SID"));
+      return;
+    }
+    auto sub = gena_subs_.find(*sid);
+    if (sub == gena_subs_.end()) {
+      respond(http::Response::make(412, "Precondition Failed", ""));
+      return;
+    }
+    auto doc = xml::parse(req.body);
+    if (!doc.is_ok()) {
+      respond(http::Response::make(400, "Bad Request", "bad propertyset"));
+      return;
+    }
+    std::string event;
+    Value payload;
+    if (const auto* e = doc.value()->child("event")) {
+      auto v = soap::value_from_xml(*e);
+      if (v.is_ok() && v.value().is_string()) event = v.value().as_string();
+    }
+    if (const auto* p = doc.value()->child("payload")) {
+      auto v = soap::value_from_xml(*p);
+      if (v.is_ok()) payload = std::move(v).take();
+    }
+    // Copy: the handler may unsubscribe (and erase the map entry).
+    auto handler = sub->second.on_event;
+    const std::string service_id = sub->second.service_id;
+    respond(http::Response::make(200, "OK", ""));
+    if (handler) handler(service_id, event, payload);
+  });
+  notify_server_ = std::move(server);
+  return Status::ok();
+}
+
+void ControlPoint::subscribe(const ServiceDescription& service,
+                             EventFn on_event, SubscribeDoneFn done) {
+  if (auto status = ensure_notify_server(); !status.is_ok()) {
+    done(status);
+    return;
+  }
+  http::Request req;
+  req.method = "SUBSCRIBE";
+  req.target = "/gena/" + service.service_id;
+  req.set_header("CALLBACK", "<http://node-" + std::to_string(node_) + ":" +
+                                 std::to_string(notify_port_) + "/notify>");
+  http_.request(service.control, std::move(req),
+                [this, service_id = service.service_id,
+                 on_event = std::move(on_event),
+                 done = std::move(done)](Result<http::Response> r) mutable {
+                  if (!r.is_ok()) {
+                    done(r.status());
+                    return;
+                  }
+                  const std::string* sid = r.value().header("SID");
+                  if (r.value().status != 200 || sid == nullptr) {
+                    done(protocol_error("SUBSCRIBE rejected: " +
+                                        r.value().reason));
+                    return;
+                  }
+                  gena_subs_[*sid] = GenaSub{service_id, std::move(on_event)};
+                  done(*sid);
+                });
+}
+
+void ControlPoint::unsubscribe(const ServiceDescription& service,
+                               const std::string& sid) {
+  gena_subs_.erase(sid);
+  http::Request req;
+  req.method = "UNSUBSCRIBE";
+  req.target = "/gena/" + service.service_id;
+  req.set_header("SID", sid);
+  http_.request(service.control, std::move(req),
+                [](Result<http::Response>) {});
 }
 
 void ControlPoint::invoke(const ServiceDescription& service,

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/service.hpp"
+#include "http/client.hpp"
 #include "http/server.hpp"
 #include "soap/rpc.hpp"
 #include "soap/wsdl.hpp"
@@ -50,6 +51,15 @@ class UpnpDevice {
   void add_service(const std::string& service_id, InterfaceDesc iface,
                    ServiceHandler handler);
 
+  // GENA-style eventing: control points SUBSCRIBE/UNSUBSCRIBE at
+  // /gena/<service_id> with a CALLBACK URL; post_event NOTIFYs every
+  // subscriber of the service.
+  void post_event(const std::string& service_id, const std::string& event,
+                  const Value& payload);
+  [[nodiscard]] std::size_t subscriber_count(
+      const std::string& service_id) const;
+  [[nodiscard]] std::uint64_t events_posted() const { return events_posted_; }
+
   [[nodiscard]] const std::string& udn() const { return udn_; }
   [[nodiscard]] net::Endpoint http_endpoint() const {
     return {node_, http_port_};
@@ -57,6 +67,8 @@ class UpnpDevice {
 
  private:
   void on_ssdp(net::Endpoint from, const Bytes& data);
+  void handle_gena(const std::string& service_id, const http::Request& req,
+                   http::RespondFn respond);
   std::string description_xml() const;
 
   net::Network& net_;
@@ -65,11 +77,20 @@ class UpnpDevice {
   std::string udn_;
   std::uint16_t http_port_;
   http::HttpServer http_;
+  http::HttpClient notify_client_;
   struct Mounted {
     InterfaceDesc iface;
     std::unique_ptr<soap::SoapService> control;
   };
   std::map<std::string, Mounted> services_;
+  struct GenaSubscriber {
+    net::Endpoint callback;
+    std::string path;
+  };
+  // service_id -> SID -> subscriber callback.
+  std::map<std::string, std::map<std::string, GenaSubscriber>> subscribers_;
+  std::uint64_t next_sid_ = 1;
+  std::uint64_t events_posted_ = 0;
 };
 
 // Control point: discovers devices and invokes their actions.
@@ -85,15 +106,33 @@ class ControlPoint {
   void invoke(const ServiceDescription& service, const std::string& action,
               const ValueList& args, InvokeResultFn done);
 
+  // GENA: subscribes to a service's events. NOTIFYs arrive at a
+  // lazily-started callback server; `done` receives the SID.
+  using EventFn = std::function<void(const std::string& service_id,
+                                     const std::string& event,
+                                     const Value& payload)>;
+  using SubscribeDoneFn = std::function<void(Result<std::string>)>;
+  void subscribe(const ServiceDescription& service, EventFn on_event,
+                 SubscribeDoneFn done);
+  void unsubscribe(const ServiceDescription& service, const std::string& sid);
+
  private:
   void fetch_description(net::Endpoint http_endpoint,
                          std::function<void(Result<DeviceDescription>)> done);
+  [[nodiscard]] Status ensure_notify_server();
 
   net::Network& net_;
   net::NodeId node_;
   http::HttpClient http_;
   soap::SoapClient soap_;
   std::uint16_t reply_port_ = 21900;
+  std::unique_ptr<http::HttpServer> notify_server_;
+  std::uint16_t notify_port_ = 5390;
+  struct GenaSub {
+    std::string service_id;
+    EventFn on_event;
+  };
+  std::map<std::string, GenaSub> gena_subs_;  // by SID
 };
 
 }  // namespace hcm::upnp

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/service.hpp"
+
 namespace hcm {
 namespace {
 
@@ -66,6 +68,42 @@ TEST(InterfaceDescTest, Equality) {
   auto other = make_switchable();
   other.methods[0].name = "turnOff";
   EXPECT_FALSE(make_switchable() == other);
+}
+
+TEST(InterfaceDescTest, FindEvent) {
+  auto iface = make_switchable();
+  iface.events.push_back(MethodDesc{
+      "stateChanged", {{"on", ValueType::kBool}}, ValueType::kNull, true});
+  ASSERT_NE(iface.find_event("stateChanged"), nullptr);
+  EXPECT_TRUE(iface.find_event("stateChanged")->one_way);
+  EXPECT_EQ(iface.find_event("turnOn"), nullptr);
+  // find_method does not look in the event list.
+  EXPECT_EQ(iface.find_method("stateChanged"), nullptr);
+}
+
+TEST(InterfaceDescTest, ValueCodecRoundTripsEvents) {
+  auto iface = make_switchable();
+  iface.events.push_back(MethodDesc{
+      "stateChanged", {{"on", ValueType::kBool}}, ValueType::kNull, true});
+  auto parsed = interface_from_value(interface_to_value(iface));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value(), iface);
+
+  // A pre-events serialization (no "events" key) still parses.
+  auto legacy = interface_to_value(make_switchable());
+  legacy.as_map().erase("events");
+  auto from_legacy = interface_from_value(legacy);
+  ASSERT_TRUE(from_legacy.is_ok());
+  EXPECT_TRUE(from_legacy.value().events.empty());
+}
+
+TEST(InterfaceDescTest, EventsParticipateInEquality) {
+  auto a = make_switchable();
+  auto b = make_switchable();
+  EXPECT_EQ(a, b);
+  b.events.push_back(MethodDesc{
+      "stateChanged", {{"on", ValueType::kBool}}, ValueType::kNull, true});
+  EXPECT_FALSE(a == b);
 }
 
 }  // namespace

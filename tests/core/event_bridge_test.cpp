@@ -1,0 +1,405 @@
+// End-to-end tests for the cross-middleware event bridge: a client on
+// one island subscribes to an event a service on another island
+// declares, and events flow native-source -> adapter watch -> origin
+// VSG -> subscriber VSG -> handler + native re-emission. Covers three
+// island pairs (HAVi->Jini, Jini->UPnP, X10->mail), lease expiry and
+// renewal, idempotent unsubscribe, drop-oldest backpressure and
+// retry/backoff over a fault-injected dead link.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "core/adapters/upnp_adapter.hpp"
+#include "core/event_router.hpp"
+#include "jini/exporter.hpp"
+#include "jini/registrar.hpp"
+#include "testbed/home.hpp"
+#include "upnp/upnp.hpp"
+
+namespace hcm::testbed {
+namespace {
+
+struct ReceivedEvent {
+  std::string service;
+  std::string event;
+  Value payload;
+};
+
+class EventBridgeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    home = std::make_unique<SmartHome>(sched);
+    ASSERT_TRUE(home->refresh().is_ok());
+  }
+
+  core::EventRouter& router(const std::string& island) {
+    auto* is = home->meta->island(island);
+    EXPECT_NE(is, nullptr) << "no island " << island;
+    return *is->events;
+  }
+
+  // Subscribes and drains the scheduler until the lease id arrives.
+  std::string subscribe(const std::string& island, const std::string& service,
+                        const std::string& event,
+                        std::vector<ReceivedEvent>* received,
+                        core::EventRouter::SubscribeOptions opts = {}) {
+    std::optional<Result<std::string>> r;
+    router(island).subscribe(
+        service, event, opts,
+        [received](const std::string& svc, const std::string& ev,
+                   const Value& payload) {
+          received->push_back({svc, ev, payload});
+        },
+        [&](Result<std::string> res) { r = std::move(res); });
+    sim::run_until_done(sched, [&] { return r.has_value(); });
+    EXPECT_TRUE(r.has_value());
+    if (!r.has_value() || !r->is_ok()) {
+      ADD_FAILURE() << "subscribe failed: "
+                    << (r.has_value() ? r->status().to_string() : "no result");
+      return "";
+    }
+    return r->value();
+  }
+
+  Status unsubscribe(const std::string& island, const std::string& lease) {
+    std::optional<Status> s;
+    router(island).unsubscribe(lease, [&](const Status& st) { s = st; });
+    sim::run_until_done(sched, [&] { return s.has_value(); });
+    EXPECT_TRUE(s.has_value());
+    return s.value_or(internal_error("unsubscribe did not complete"));
+  }
+
+  Result<Value> via(core::MiddlewareAdapter& adapter,
+                    const std::string& service, const std::string& method,
+                    const ValueList& args) {
+    std::optional<Result<Value>> result;
+    adapter.invoke(service, method, args,
+                   [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    EXPECT_TRUE(result.has_value());
+    return result.value_or(internal_error("no result"));
+  }
+
+  sim::Scheduler sched;
+  std::unique_ptr<SmartHome> home;
+};
+
+// --- HAVi -> Jini --------------------------------------------------------
+
+TEST_F(EventBridgeTest, HaviVcrEventsReachJiniIsland) {
+  std::vector<ReceivedEvent> received;
+  auto lease = subscribe("jini-island", "vcr-1", "transportChanged",
+                         &received);
+  ASSERT_FALSE(lease.empty());
+  EXPECT_EQ(router("havi-island").active_subscriptions(), 1u);
+
+  // Drive the VCR through RECORD -> STOP; each transition posts
+  // "vcr-1.transportChanged" to the HAVi Event Manager.
+  auto r = via(*home->havi_adapter, "vcr-1", "record",
+               {Value(std::int64_t{1})});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  r = via(*home->havi_adapter, "vcr-1", "stop", {});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  sched.run_for(sim::seconds(2));
+
+  ASSERT_GE(received.size(), 2u);
+  EXPECT_EQ(received.front().service, "vcr-1");
+  EXPECT_EQ(received.front().event, "transportChanged");
+  ASSERT_TRUE(received.front().payload.is_map());
+  EXPECT_TRUE(received.front().payload.at("state").is_string());
+  EXPECT_GE(router("havi-island").events_routed(), 2u);
+  EXPECT_GE(router("havi-island").batches_sent(), 1u);
+  EXPECT_GE(router("jini-island").events_delivered(), 2u);
+}
+
+TEST_F(EventBridgeTest, BridgedEventsReemitAsNativeJiniEvents) {
+  std::vector<ReceivedEvent> received;
+  ASSERT_FALSE(subscribe("jini-island", "vcr-1", "transportChanged",
+                         &received)
+                   .empty());
+
+  // A plain Jini client registers a RemoteEventListener on the
+  // imported vcr-1 service item — exactly as it would with any native
+  // Jini event source.
+  net::Node& client_node = home->net.add_node("jini-client");
+  home->net.attach(client_node, *home->jini_lan);
+  jini::Exporter exporter(home->net, client_node.id(), 4180);
+  ASSERT_TRUE(exporter.start().is_ok());
+  std::vector<std::string> native_events;
+  exporter.export_object(
+      "test-listener",
+      [&](const std::string& method, const ValueList& args,
+          InvokeResultFn done) {
+        if (method == "serviceEvent" && args.size() == 2) {
+          native_events.push_back(args[0].as_string());
+        }
+        done(Value());
+      });
+
+  jini::LookupClient lookup(home->net, client_node.id(),
+                            home->lookup->endpoint());
+  std::optional<Result<std::vector<jini::ServiceItem>>> items;
+  lookup.lookup("VcrControl", {}, [&](auto r) { items = std::move(r); });
+  sim::run_until_done(sched, [&] { return items.has_value(); });
+  ASSERT_TRUE(items.has_value() && items->is_ok());
+  ASSERT_EQ(items->value().size(), 1u);
+
+  jini::Proxy vcr_proxy(home->net, client_node.id(), items->value()[0]);
+  std::optional<Result<Value>> reg;
+  vcr_proxy.invoke("notify",
+                   {Value(static_cast<std::int64_t>(client_node.id())),
+                    Value(std::int64_t{4180}), Value(std::string("test-listener"))},
+                   [&](Result<Value> r) { reg = std::move(r); });
+  sim::run_until_done(sched, [&] { return reg.has_value(); });
+  ASSERT_TRUE(reg.has_value() && reg->is_ok()) << reg->status().to_string();
+
+  auto r = via(*home->havi_adapter, "vcr-1", "record",
+               {Value(std::int64_t{1})});
+  ASSERT_TRUE(r.is_ok());
+  sched.run_for(sim::seconds(2));
+
+  ASSERT_GE(native_events.size(), 1u);
+  EXPECT_EQ(native_events.front(), "transportChanged");
+}
+
+// --- Jini -> UPnP --------------------------------------------------------
+
+class EventBridgeUpnpTest : public EventBridgeTest {
+ protected:
+  void SetUp() override {
+    EventBridgeTest::SetUp();
+    upnp_lan = &home->net.add_ethernet("upnp-lan", sim::microseconds(200),
+                                       100'000'000);
+    upnp_gw = &home->net.add_node("upnp-gw");
+    plug_node = &home->net.add_node("smart-plug");
+    home->net.attach(*upnp_gw, *upnp_lan);
+    home->net.attach(*upnp_gw, *home->backbone);
+    home->net.attach(*plug_node, *upnp_lan);
+
+    auto adapter =
+        std::make_unique<core::UpnpAdapter>(home->net, upnp_gw->id());
+    upnp_adapter = adapter.get();
+    auto island = home->meta->add_island("upnp-island", upnp_gw->id(),
+                                         std::move(adapter));
+    ASSERT_TRUE(island.is_ok()) << island.status().to_string();
+    ASSERT_TRUE(home->refresh().is_ok());
+  }
+
+  net::EthernetSegment* upnp_lan = nullptr;
+  net::Node* upnp_gw = nullptr;
+  net::Node* plug_node = nullptr;
+  core::UpnpAdapter* upnp_adapter = nullptr;
+};
+
+TEST_F(EventBridgeUpnpTest, JiniLaserdiscEventsReachUpnpIsland) {
+  std::vector<ReceivedEvent> received;
+  ASSERT_FALSE(subscribe("upnp-island", "laserdisc-1", "statusChanged",
+                         &received)
+                   .empty());
+  EXPECT_EQ(router("jini-island").active_subscriptions(), 1u);
+  EXPECT_EQ(home->laserdisc->listener_count(), 1u);
+
+  auto r = via(*home->jini_adapter, "laserdisc-1", "turnOn", {});
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  sched.run_for(sim::seconds(2));
+
+  ASSERT_GE(received.size(), 1u);
+  EXPECT_EQ(received.front().service, "laserdisc-1");
+  EXPECT_EQ(received.front().event, "statusChanged");
+  ASSERT_TRUE(received.front().payload.is_map());
+  EXPECT_TRUE(received.front().payload.at("powered").as_bool());
+}
+
+TEST_F(EventBridgeUpnpTest, BridgedEventsReemitAsGenaNotifications) {
+  std::vector<ReceivedEvent> received;
+  ASSERT_FALSE(subscribe("upnp-island", "laserdisc-1", "statusChanged",
+                         &received)
+                   .empty());
+
+  // A plain UPnP control point GENA-subscribes to the gateway device's
+  // re-exported laserdisc service.
+  upnp::ControlPoint cp(home->net, plug_node->id());
+  std::optional<std::vector<upnp::DeviceDescription>> devices;
+  cp.search(sim::milliseconds(300),
+            [&](std::vector<upnp::DeviceDescription> d) {
+              devices = std::move(d);
+            });
+  sim::run_until_done(sched, [&] { return devices.has_value(); });
+  const upnp::ServiceDescription* laserdisc = nullptr;
+  for (const auto& device : *devices) {
+    for (const auto& svc : device.services) {
+      if (svc.service_id == "laserdisc-1") laserdisc = &svc;
+    }
+  }
+  ASSERT_NE(laserdisc, nullptr)
+      << "gateway device does not re-export laserdisc-1";
+
+  std::vector<std::string> gena_events;
+  std::optional<Result<std::string>> sid;
+  cp.subscribe(
+      *laserdisc,
+      [&](const std::string&, const std::string& event, const Value&) {
+        gena_events.push_back(event);
+      },
+      [&](Result<std::string> r) { sid = std::move(r); });
+  sim::run_until_done(sched, [&] { return sid.has_value(); });
+  ASSERT_TRUE(sid.has_value() && sid->is_ok()) << sid->status().to_string();
+
+  auto r = via(*home->jini_adapter, "laserdisc-1", "turnOn", {});
+  ASSERT_TRUE(r.is_ok());
+  sched.run_for(sim::seconds(2));
+
+  ASSERT_GE(gena_events.size(), 1u);
+  EXPECT_EQ(gena_events.front(), "statusChanged");
+}
+
+// --- X10 -> mail ---------------------------------------------------------
+
+TEST_F(EventBridgeTest, X10StateChangesReachMailIsland) {
+  std::vector<ReceivedEvent> received;
+  ASSERT_FALSE(subscribe("mail-island", "desk-lamp", "stateChanged",
+                         &received)
+                   .empty());
+
+  // An external hand-held remote on house A flips the lamp: the CM11A
+  // observes the powerline command and the bridge carries it to mail.
+  net::Node& extra_node = home->net.add_node("x10-remote-a");
+  home->net.attach(extra_node, *home->powerline);
+  x10::RemoteControl remote_a(home->net, extra_node.id(), *home->powerline,
+                              x10::HouseCode::kA);
+  remote_a.press(1, x10::FunctionCode::kOn);
+  sched.run_for(sim::seconds(5));
+
+  ASSERT_GE(received.size(), 1u);
+  EXPECT_EQ(received.front().service, "desk-lamp");
+  EXPECT_EQ(received.front().event, "stateChanged");
+  ASSERT_TRUE(received.front().payload.is_map());
+  EXPECT_TRUE(received.front().payload.at("on").as_bool());
+  // Native re-emission: the event lands in the evt-home mailbox.
+  EXPECT_GE(home->mail_server->mailbox_size("evt-home"), 1u);
+}
+
+// --- Lease semantics -----------------------------------------------------
+
+TEST_F(EventBridgeTest, LeaseExpiryRemovesSubscriptionAndStopsDelivery) {
+  std::vector<ReceivedEvent> received;
+  core::EventRouter::SubscribeOptions opts;
+  opts.lease = sim::seconds(2);
+  opts.auto_renew = false;
+  ASSERT_FALSE(subscribe("jini-island", "vcr-1", "transportChanged",
+                         &received, opts)
+                   .empty());
+  EXPECT_EQ(router("havi-island").active_subscriptions(), 1u);
+  // The VSR's copy of the subscription is written asynchronously by
+  // the origin; let it land before checking the system of record.
+  sched.run_for(sim::milliseconds(500));
+  EXPECT_EQ(home->vsr->registry().subscription_count(), 1u);
+
+  sched.run_for(sim::seconds(5));
+
+  EXPECT_EQ(router("havi-island").leases_expired(), 1u);
+  EXPECT_EQ(router("havi-island").active_subscriptions(), 0u);
+  EXPECT_EQ(home->vsr->registry().subscription_count(), 0u);
+
+  // A state change after expiry is not delivered and consumes no
+  // queue space at the origin (the dead subscriber is gone).
+  auto r = via(*home->havi_adapter, "vcr-1", "record",
+               {Value(std::int64_t{1})});
+  ASSERT_TRUE(r.is_ok());
+  sched.run_for(sim::seconds(2));
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(router("havi-island").events_routed(), 0u);
+}
+
+TEST_F(EventBridgeTest, AutoRenewalExtendsLeaseAcrossPeriods) {
+  std::vector<ReceivedEvent> received;
+  core::EventRouter::SubscribeOptions opts;
+  opts.lease = sim::seconds(2);
+  opts.auto_renew = true;
+  ASSERT_FALSE(subscribe("jini-island", "vcr-1", "transportChanged",
+                         &received, opts)
+                   .empty());
+
+  // Three lease periods pass; renewal at half-life keeps it alive.
+  sched.run_for(sim::seconds(6));
+  EXPECT_EQ(router("havi-island").active_subscriptions(), 1u);
+  EXPECT_EQ(router("havi-island").leases_expired(), 0u);
+
+  auto r = via(*home->havi_adapter, "vcr-1", "record",
+               {Value(std::int64_t{1})});
+  ASSERT_TRUE(r.is_ok());
+  sched.run_for(sim::seconds(2));
+  EXPECT_GE(received.size(), 1u);
+}
+
+TEST_F(EventBridgeTest, DoubleUnsubscribeIsIdempotent) {
+  std::vector<ReceivedEvent> received;
+  auto lease = subscribe("jini-island", "vcr-1", "transportChanged",
+                         &received);
+  ASSERT_FALSE(lease.empty());
+
+  EXPECT_TRUE(unsubscribe("jini-island", lease).is_ok());
+  EXPECT_EQ(router("jini-island").local_subscriptions(), 0u);
+  sched.run_for(sim::seconds(1));
+  EXPECT_EQ(router("havi-island").active_subscriptions(), 0u);
+  // Second unsubscribe of the same (now unknown) lease still succeeds.
+  EXPECT_TRUE(unsubscribe("jini-island", lease).is_ok());
+}
+
+// --- Backpressure --------------------------------------------------------
+
+TEST_F(EventBridgeTest, BurstBeyondQueueBoundDropsOldest) {
+  std::vector<ReceivedEvent> received;
+  ASSERT_FALSE(subscribe("jini-island", "vcr-1", "transportChanged",
+                         &received)
+                   .empty());
+  auto& origin = router("havi-island");
+  const std::size_t burst = origin.options().max_queue * 3;
+
+  // Inject a burst with no scheduler progress in between: the bounded
+  // queue must shed oldest-unsent events instead of growing.
+  for (std::size_t i = 0; i < burst; ++i) {
+    origin.on_native_event(
+        "vcr-1", "transportChanged",
+        Value(ValueMap{{"state", Value(static_cast<std::int64_t>(i))}}));
+  }
+  sched.run_for(sim::seconds(5));
+
+  EXPECT_GT(origin.events_dropped(), 0u);
+  EXPECT_GE(origin.events_routed(), 1u);
+  EXPECT_LT(received.size(), burst);
+  EXPECT_GE(received.size(), 1u);
+  // Everything that was routed (not dropped) arrived exactly once.
+  EXPECT_EQ(origin.events_routed() + origin.events_dropped(), burst);
+  EXPECT_EQ(received.size(), origin.events_routed());
+}
+
+// --- Fault injection: dead VSG link --------------------------------------
+
+TEST_F(EventBridgeTest, RetryWithBackoffSurvivesDeadLink) {
+  std::vector<ReceivedEvent> received;
+  ASSERT_FALSE(subscribe("jini-island", "vcr-1", "transportChanged",
+                         &received)
+                   .empty());
+  auto& origin = router("havi-island");
+
+  // Take the subscriber's gateway down; deliveries must fail and back
+  // off rather than being lost.
+  home->jini_gw->set_up(false);
+  origin.on_native_event("vcr-1", "transportChanged",
+                         Value(ValueMap{{"state", Value(std::string("PLAY"))}}));
+  sched.run_for(sim::seconds(3));
+  EXPECT_GT(origin.delivery_retries(), 0u);
+  EXPECT_EQ(received.size(), 0u);
+
+  // Link restored: at-least-once delivery completes on a later retry.
+  home->jini_gw->set_up(true);
+  sched.run_for(sim::seconds(10));
+  ASSERT_GE(received.size(), 1u);
+  EXPECT_EQ(received.front().payload.at("state").as_string(), "PLAY");
+  EXPECT_GE(origin.events_routed(), 1u);
+}
+
+}  // namespace
+}  // namespace hcm::testbed

@@ -81,13 +81,27 @@ struct ScenarioTrace {
 };
 
 // The fig4 transaction: a Jini client driving the X10 desk lamp
-// through the full meta-middleware path, several round trips.
+// through the full meta-middleware path, several round trips — plus a
+// cross-island event subscription, so bridge dispatch (batching,
+// leases, VSG-to-VSG delivery) is part of the audited trace.
 ScenarioTrace run_fig4_scenario(std::uint64_t seed) {
   sim::Scheduler sched;
   sched.seed(seed);
   sim::TraceRecorder trace(sched);
   testbed::SmartHome home(sched);
   EXPECT_TRUE(home.refresh().is_ok());
+
+  std::optional<Result<std::string>> lease;
+  std::uint64_t delivered = 0;
+  home.meta->island("jini-island")
+      ->events->subscribe(
+          "vcr-1", "transportChanged",
+          [&](const std::string&, const std::string&, const Value&) {
+            ++delivered;
+          },
+          [&](Result<std::string> r) { lease = std::move(r); });
+  sim::run_until_done(sched, [&] { return lease.has_value(); });
+  EXPECT_TRUE(lease.has_value() && lease->is_ok());
 
   for (int i = 0; i < 6; ++i) {
     std::optional<Result<Value>> r;
@@ -99,6 +113,19 @@ ScenarioTrace run_fig4_scenario(std::uint64_t seed) {
       EXPECT_TRUE(r->is_ok()) << r->status().to_string();
     }
   }
+
+  // Drive the VCR so transportChanged events cross the bridge.
+  for (const char* method : {"record", "stop"}) {
+    std::optional<Result<Value>> r;
+    ValueList args;
+    if (std::string(method) == "record") args.push_back(Value(std::int64_t{1}));
+    home.jini_adapter->invoke(
+        "vcr-1", method, args, [&](Result<Value> v) { r = std::move(v); });
+    sim::run_until_done(sched, [&] { return r.has_value(); });
+    EXPECT_TRUE(r.has_value());
+  }
+  sched.run_for(sim::seconds(1));
+  EXPECT_GE(delivered, 2u);
   return {trace.digest(), trace.events(), sched.now()};
 }
 

@@ -87,5 +87,36 @@ TEST(WsdlTest, EmptyInterface) {
   EXPECT_TRUE(doc.value().interface.methods.empty());
 }
 
+TEST(WsdlTest, EventsRoundTripThroughSecondPortType) {
+  auto iface = vcr_interface();
+  iface.events.push_back(MethodDesc{"transportChanged",
+                                    {{"state", ValueType::kString}},
+                                    ValueType::kNull,
+                                    true});
+  iface.events.push_back(MethodDesc{
+      "counterTick", {{"frames", ValueType::kInt}}, ValueType::kNull, true});
+  auto text = emit_wsdl(iface, "vcr-1", Uri{"http", "h", 1, "/"});
+  EXPECT_NE(text.find("VcrControlEventsPortType"), std::string::npos);
+  auto doc = parse_wsdl(text);
+  ASSERT_TRUE(doc.is_ok()) << doc.status().to_string();
+  EXPECT_EQ(doc.value().interface, iface);
+  ASSERT_EQ(doc.value().interface.events.size(), 2u);
+  const auto* e = doc.value().interface.find_event("transportChanged");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->one_way);
+  EXPECT_EQ(e->return_type, ValueType::kNull);
+  // Events stay out of the method list and vice versa.
+  EXPECT_EQ(doc.value().interface.find_method("transportChanged"), nullptr);
+  EXPECT_EQ(doc.value().interface.find_event("play"), nullptr);
+}
+
+TEST(WsdlTest, NoEventsPortTypeWhenInterfaceHasNoEvents) {
+  auto text = emit_wsdl(vcr_interface(), "vcr-1", Uri{"http", "h", 1, "/"});
+  EXPECT_EQ(text.find("EventsPortType"), std::string::npos);
+  auto doc = parse_wsdl(text);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_TRUE(doc.value().interface.events.empty());
+}
+
 }  // namespace
 }  // namespace hcm::soap

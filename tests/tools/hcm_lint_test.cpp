@@ -75,6 +75,75 @@ TEST(LintInterfaceTest, UnnamedMethodAndInterfaceAreFlagged) {
   EXPECT_TRUE(has_check(diags, "unnamed-method"));
 }
 
+// --- events contract ----------------------------------------------------
+
+InterfaceDesc clean_event_interface() {
+  InterfaceDesc iface = clean_interface();
+  iface.events.push_back(MethodDesc{"transportChanged",
+                                    {{"state", ValueType::kString}},
+                                    ValueType::kNull, true});
+  return iface;
+}
+
+TEST(LintEventsTest, CleanEventInterfaceHasNoDiagnostics) {
+  auto diags = check_interface(clean_event_interface(), "fixture");
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  diags = check_wsdl_roundtrip(clean_event_interface(), "fixture");
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST(LintEventsTest, UnnamedEventIsFlagged) {
+  auto iface = clean_event_interface();
+  iface.events.push_back(MethodDesc{"", {}, ValueType::kNull, true});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "unnamed-event")) << format_diagnostics(diags);
+}
+
+TEST(LintEventsTest, DuplicateEventIsFlagged) {
+  auto iface = clean_event_interface();
+  iface.events.push_back(iface.events.front());
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "duplicate-event"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintEventsTest, TwoWayEventIsFlagged) {
+  auto iface = clean_event_interface();
+  iface.events.push_back(MethodDesc{"ack", {}, ValueType::kNull, false});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "event-not-one-way"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintEventsTest, EventWithReturnTypeIsFlagged) {
+  auto iface = clean_event_interface();
+  iface.events.push_back(MethodDesc{"reply", {}, ValueType::kInt, true});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "event-return")) << format_diagnostics(diags);
+}
+
+TEST(LintEventsTest, EventParamTypesAreChecked) {
+  auto iface = clean_event_interface();
+  iface.events.push_back(MethodDesc{
+      "weird", {{"arg", static_cast<ValueType>(99)}}, ValueType::kNull, true});
+  auto diags = check_interface(iface, "fixture");
+  EXPECT_TRUE(has_check(diags, "unrepresentable-type"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintEventsTest, EventsSurviveWsdlRoundTrip) {
+  // The round-trip rule covers events through the interface equality
+  // check: drop the events port type and the comparison must fail.
+  auto iface = clean_event_interface();
+  auto doc = soap::parse_wsdl(soap::emit_wsdl(
+      iface, "probe", parse_uri("http://h:1/x").value()));
+  ASSERT_TRUE(doc.is_ok());
+  ASSERT_EQ(doc.value().interface, iface);
+  auto stripped = doc.value().interface;
+  stripped.events.clear();
+  EXPECT_FALSE(stripped == iface);
+}
+
 class LintVsrTest : public ::testing::Test {
  protected:
   void SetUp() override {

@@ -99,6 +99,39 @@ Diagnostics check_interface(const InterfaceDesc& iface,
     }
     check_value_type(m.return_type, where + " return", provenance, out);
   }
+  // Events contract: every declared event must be a one-way,
+  // null-returning signature — the bridge delivers events with no
+  // reply channel, so anything else is undeliverable by construction.
+  std::set<std::string> seen_events;
+  for (const auto& e : iface.events) {
+    const std::string where = iface.name + "." + e.name;
+    if (e.name.empty()) {
+      out.push_back({"unnamed-event", provenance,
+                     "interface " + iface.name + " has an unnamed event"});
+    }
+    if (!seen_events.insert(e.name).second) {
+      out.push_back({"duplicate-event", provenance,
+                     "event " + where +
+                         " declared more than once (subscriptions are by "
+                         "name, so duplicates cannot be distinguished)"});
+    }
+    if (!e.one_way) {
+      out.push_back({"event-not-one-way", provenance,
+                     "event " + where +
+                         " is not one_way; events are fire-and-forget "
+                         "notifications and cannot be request/response"});
+    }
+    if (e.return_type != ValueType::kNull) {
+      out.push_back({"event-return", provenance,
+                     "event " + where + " declares return type " +
+                         to_string(e.return_type) +
+                         " but event delivery has no reply to carry it"});
+    }
+    for (const auto& p : e.params) {
+      check_value_type(p.type, where + " param '" + p.name + "'", provenance,
+                       out);
+    }
+  }
   return out;
 }
 
