@@ -1,10 +1,13 @@
 // Shared helpers for the figure-reproduction benches: simple statistics
-// over virtual-time samples and table printing.
+// over virtual-time samples, table printing, and a machine-readable
+// JSON report (--json <path>) so CI can archive bench results.
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/scheduler.hpp"
@@ -43,6 +46,86 @@ inline void print_header(const char* title) {
 inline void print_row_ms(const std::string& label, const Stats& s) {
   std::printf("  %-34s n=%-4zu min=%9.2f ms  mean=%9.2f ms  p95=%9.2f ms\n",
               label.c_str(), s.n, s.min, s.mean, s.p95);
+}
+
+// Flat-row JSON report: {"bench": <name>, "rows": [{k: v, ...}, ...]}.
+// Rows keep insertion order; values are numbers or strings. Kept
+// dependency-free on purpose (the image has no JSON library).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench) : bench_(std::move(bench)) {}
+
+  class Row {
+   public:
+    Row& num(const std::string& key, double v) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+      fields_.emplace_back(key, buf);
+      return *this;
+    }
+    Row& num(const std::string& key, std::uint64_t v) {
+      fields_.emplace_back(key, std::to_string(v));
+      return *this;
+    }
+    Row& str(const std::string& key, const std::string& v) {
+      fields_.emplace_back(key, "\"" + escape(v) + "\"");
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    // key -> already-JSON-encoded value
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  // Writes the report; returns false (after a warning) on I/O failure
+  // so benches keep printing their tables even with a bad --json path.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\"bench\": \"%s\", \"rows\": [", escape(bench_).c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n  {", i == 0 ? "" : ",");
+      const auto& fields = rows_[i].fields_;
+      for (std::size_t j = 0; j < fields.size(); ++j) {
+        std::fprintf(f, "%s\"%s\": %s", j == 0 ? "" : ", ",
+                     escape(fields[j].first).c_str(), fields[j].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
+
+// The path following a "--json" argument, or "" when absent.
+inline std::string json_path_arg(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
 }
 
 }  // namespace hcm::bench

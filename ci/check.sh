@@ -6,27 +6,32 @@
 #      event-bridge pass (leases, backpressure, retry paths exercise
 #      the trickiest object lifetimes in the tree);
 #   3. standalone hcm_lint run for a readable summary;
-#   4. smoke-run of the event-bridge fan-out bench.
+#   4. smoke-run of the event-bridge fan-out bench;
+#   5. smoke-run of the VSR sync bench, archiving BENCH_vsr_sync.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/4] tier-1: default preset (-Werror) ==="
+echo "=== [1/5] tier-1: default preset (-Werror) ==="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "=== [2/4] sanitizers: asan preset (ASan + UBSan) ==="
+echo "=== [2/5] sanitizers: asan preset (ASan + UBSan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'EventBridge'
 ctest --preset asan -j "${JOBS}"
 
-echo "=== [3/4] hcm_lint summary ==="
+echo "=== [3/5] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
 
-echo "=== [4/4] event-bridge bench smoke run ==="
+echo "=== [4/5] event-bridge bench smoke run ==="
 ./build/bench/bench_ext_event_bridge --benchmark_min_time=0.01
+
+echo "=== [5/5] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
+./build/bench/bench_ext_vsr_sync --benchmark_min_time=0.01 \
+  --json BENCH_vsr_sync.json
 
 echo "All checks passed."

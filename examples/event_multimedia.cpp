@@ -66,15 +66,20 @@ int main() {
     // scheduled closures stay valid for their whole lifetime.
     auto polls_left = std::make_shared<int>(6);
     auto poll_fn = std::make_shared<std::function<void()>>();
+    // The stored closure must not capture poll_fn strongly (self-cycle,
+    // never freed); the scheduled wrappers hold the strong reference.
+    std::weak_ptr<std::function<void()>> weak_poll = poll_fn;
     *poll_fn = [&home, &sched, &motion_seen, &reacted_at, poll, polls_left,
-                poll_fn] {
+                weak_poll] {
       if (motion_seen && !reacted_at) {
         reacted_at = sched.now();
         start_surveillance(home);
       }
-      if (--*polls_left > 0) sched.after(poll, *poll_fn);
+      if (--*polls_left > 0) {
+        if (auto fn = weak_poll.lock()) sched.after(poll, [fn] { (*fn)(); });
+      }
     };
-    sched.after(poll, *poll_fn);
+    sched.after(poll, [poll_fn] { (*poll_fn)(); });
 
     sched.after(sim::seconds(3), [&] {
       motion_at = sched.now();

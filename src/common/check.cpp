@@ -7,13 +7,12 @@
 #define __has_feature(x) 0  // GCC spells it __SANITIZE_ADDRESS__ instead
 #endif
 #if defined(__SANITIZE_ADDRESS__) || __has_feature(address_sanitizer)
-// The simulator deliberately keeps cyclic object graphs (streams and
-// proxies capture shared_ptr peers in callbacks) alive until process
-// exit; LeakSanitizer reports them as indirect leaks. Bake the opt-out
-// into every sanitized binary so bare runs match the ctest preset.
-// docs/CORRECTNESS.md explains; untangling the cycles is roadmap work.
+// LeakSanitizer runs on every sanitized binary (the former shared_ptr
+// ownership cycles between streams/proxies and their callbacks have
+// been untangled). Baking the options in keeps bare runs identical to
+// the ctest preset. docs/CORRECTNESS.md explains.
 extern "C" const char* __asan_default_options() {
-  return "detect_leaks=0:strict_string_checks=1";
+  return "detect_leaks=1:strict_string_checks=1";
 }
 #endif
 

@@ -200,9 +200,18 @@ void BinaryRpcClient::call(net::Endpoint dest, const std::string& service,
       return;
     }
     conn->stream = r.value();
-    conn->stream->set_on_close(
-        [conn] { conn->fail_all(unavailable("binary peer closed")); });
-    conn->stream->set_on_data([conn](const Bytes& data) {
+    // Weak captures: conn owns the stream, and the client's conns_ map
+    // owns conn — a strong capture here would be a Conn<->Stream cycle
+    // that outlives the client.
+    std::weak_ptr<Conn> wconn = conn;
+    conn->stream->set_on_close([wconn] {
+      if (auto c = wconn.lock()) {
+        c->fail_all(unavailable("binary peer closed"));
+      }
+    });
+    conn->stream->set_on_data([wconn](const Bytes& data) {
+      auto conn = wconn.lock();
+      if (!conn) return;
       std::vector<Bytes> frames;
       if (!conn->deframer.feed(data, frames).is_ok()) {
         conn->stream->close();

@@ -17,12 +17,18 @@ Result<MetaMiddleware::Island*> MetaMiddleware::add_island(
   if (!status.is_ok()) return status;
   island.pcm =
       std::make_unique<Pcm>(net_, *island.vsg, vsr_, std::move(adapter));
+  island.pcm->set_sync_mode(sync_mode_);
   island.events = std::make_unique<EventRouter>(
       net_, *island.vsg, island.pcm->adapter(), vsr_);
   status = island.events->start();
   if (!status.is_ok()) return status;
   auto [it, inserted] = islands_.emplace(name, std::move(island));
   return &it->second;
+}
+
+void MetaMiddleware::set_sync_mode(Pcm::SyncMode mode) {
+  sync_mode_ = mode;
+  for (auto& [name, island] : islands_) island.pcm->set_sync_mode(mode);
 }
 
 MetaMiddleware::Island* MetaMiddleware::island(const std::string& name) {

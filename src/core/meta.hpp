@@ -42,6 +42,12 @@ class MetaMiddleware {
   [[nodiscard]] Island* island(const std::string& name);
   [[nodiscard]] std::size_t island_count() const { return islands_.size(); }
 
+  // Synchronization strategy for every PCM, current and future. Delta
+  // (the default) makes refresh_all O(changes); snapshot is the
+  // original full-transfer behaviour, kept as the bench baseline.
+  void set_sync_mode(Pcm::SyncMode mode);
+  [[nodiscard]] Pcm::SyncMode sync_mode() const { return sync_mode_; }
+
   using DoneFn = std::function<void(const Status&)>;
   // Two-phase synchronization across all islands: every PCM publishes
   // its locals, then every PCM imports, so ordering between islands
@@ -56,6 +62,7 @@ class MetaMiddleware {
  private:
   net::Network& net_;
   net::Endpoint vsr_;
+  Pcm::SyncMode sync_mode_ = Pcm::SyncMode::kDelta;
   std::map<std::string, Island> islands_;
   sim::EventId refresh_event_ = 0;
   bool auto_refresh_ = false;

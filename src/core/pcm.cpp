@@ -30,12 +30,26 @@ void Pcm::publish_locals(DoneFn done) {
       done(services.status());
       return;
     }
-    auto remaining = std::make_shared<std::size_t>(1);
     auto first_error = std::make_shared<Status>();
-    auto done_shared = std::make_shared<DoneFn>(std::move(done));
-    auto step = [remaining, first_error, done_shared](const Status& s) {
+    // When every set change has been acknowledged by the VSR, renew the
+    // leases of the unchanged remainder — in delta mode one
+    // fingerprint-guarded call covers them all; in snapshot mode they
+    // were just republished wholesale, so leases are already fresh.
+    auto after_changes = [this, first_error,
+                          done = std::move(done)]() mutable {
+      if (!first_error->is_ok() || sync_mode_ == SyncMode::kSnapshot ||
+          published_.empty()) {
+        done(*first_error);
+        return;
+      }
+      renew_origin_lease(std::move(done));
+    };
+    auto remaining = std::make_shared<std::size_t>(1);
+    auto after_shared =
+        std::make_shared<decltype(after_changes)>(std::move(after_changes));
+    auto step = [remaining, first_error, after_shared](const Status& s) {
       if (!s.is_ok() && first_error->is_ok()) *first_error = s;
-      if (--*remaining == 0) (*done_shared)(*first_error);
+      if (--*remaining == 0) (*after_shared)();
     };
 
     // Retire client proxies for services that left the middleware, so
@@ -43,10 +57,10 @@ void Pcm::publish_locals(DoneFn done) {
     std::set<std::string> current;
     for (const auto& service : services.value()) current.insert(service.name);
     for (auto it = published_.begin(); it != published_.end();) {
-      if (current.count(*it) == 0) {
-        vsg_.unexpose(*it);
+      if (current.count(it->first) == 0) {
+        vsg_.unexpose(it->first);
         ++*remaining;
-        vsr_.unpublish(*it, step);
+        vsr_.unpublish(it->first, step);
         it = published_.erase(it);
       } else {
         ++it;
@@ -58,27 +72,31 @@ void Pcm::publish_locals(DoneFn done) {
       // bounce services between islands forever.
       if (imported_.count(service.name) != 0) continue;
 
-      std::string wsdl;
-      if (published_.count(service.name) == 0) {
+      auto pub = published_.find(service.name);
+      if (pub == published_.end()) {
         auto generated = proxygen_.generate_client_proxy(service, *adapter_);
         if (!generated.is_ok()) {
           if (first_error->is_ok()) *first_error = generated.status();
           continue;
         }
-        wsdl = std::move(generated).take();
-        published_.insert(service.name);
-      } else {
-        // Already exposed: regenerate the (identical) WSDL for lease
-        // renewal without re-exposing.
-        wsdl = soap::emit_wsdl(service.interface, service.name,
-                               vsg_.exposure_uri(service.name));
+        PublishedRecord rec;
+        rec.wsdl = std::move(generated).take();
+        rec.digest = soap::wsdl_digest(rec.wsdl);
+        ++wsdl_generations_;
+        pub = published_.emplace(service.name, std::move(rec)).first;
+      } else if (sync_mode_ == SyncMode::kDelta) {
+        // Already exposed and the document is cached; its lease rides
+        // the single renewOrigin call after the set changes land.
+        continue;
       }
-
+      // New service (either mode), or snapshot mode's per-refresh
+      // republish of everything — the cached document means no
+      // re-emission either way.
       VsrEntry entry;
       entry.name = service.name;
       entry.category = service.interface.name;
       entry.origin = vsg_.island_name();
-      entry.wsdl = wsdl;
+      entry.wsdl = pub->second.wsdl;
       ++*remaining;
       vsr_.publish(entry, kPublishTtl, step);
     }
@@ -86,56 +104,171 @@ void Pcm::publish_locals(DoneFn done) {
   });
 }
 
+void Pcm::renew_origin_lease(DoneFn done) {
+  std::map<std::string, std::string> digest_by_name;
+  for (const auto& [name, rec] : published_) digest_by_name[name] = rec.digest;
+  vsr_.renew_origin(
+      vsg_.island_name(), soap::registry_fingerprint(digest_by_name),
+      kPublishTtl, [this, done = std::move(done)](const Status& s) mutable {
+        if (s.is_ok()) {
+          done(Status::ok());
+          return;
+        }
+        // The registry's view of our set diverged (restart wiped it, a
+        // lease lapsed mid-period, ...). Re-upload everything once; the
+        // next refresh is back on the O(1) path.
+        ++renew_fallbacks_;
+        log_debug("pcm", "renewOrigin refused for ", vsg_.island_name(), " (",
+                  s.to_string(), "); republishing ", published_.size(),
+                  " entries");
+        republish_all(std::move(done));
+      });
+}
+
+void Pcm::republish_all(DoneFn done) {
+  adapter_->list_services([this, done = std::move(done)](
+                              Result<std::vector<LocalService>> services) {
+    if (!services.is_ok()) {
+      done(services.status());
+      return;
+    }
+    auto remaining = std::make_shared<std::size_t>(1);
+    auto first_error = std::make_shared<Status>();
+    auto done_shared = std::make_shared<DoneFn>(std::move(done));
+    auto step = [remaining, first_error, done_shared](const Status& s) {
+      if (!s.is_ok() && first_error->is_ok()) *first_error = s;
+      if (--*remaining == 0) (*done_shared)(*first_error);
+    };
+    for (const auto& service : services.value()) {
+      auto pub = published_.find(service.name);
+      if (pub == published_.end()) continue;
+      VsrEntry entry;
+      entry.name = service.name;
+      entry.category = service.interface.name;
+      entry.origin = vsg_.island_name();
+      entry.wsdl = pub->second.wsdl;
+      ++*remaining;
+      vsr_.publish(entry, kPublishTtl, step);
+    }
+    step(Status::ok());
+  });
+}
+
 void Pcm::import_remotes(DoneFn done) {
+  if (sync_mode_ == SyncMode::kSnapshot) {
+    import_snapshot(std::move(done));
+  } else {
+    import_delta(std::move(done));
+  }
+}
+
+bool Pcm::apply_upsert(const std::string& name, const std::string& origin,
+                       const std::string& digest, const std::string& wsdl) {
+  auto it = imported_.find(name);
+  if (it != imported_.end()) {
+    if (it->second == digest) return true;  // unchanged — nothing to do
+    // Description changed under the same name: regenerate the server
+    // proxy from the new document.
+    adapter_->unexport_service(name);
+    imported_.erase(it);
+  }
+  auto doc = soap::parse_wsdl(wsdl);
+  if (!doc.is_ok()) {
+    // Non-fatal: one island publishing a malformed description must
+    // not block the rest of the mesh.
+    log_warn("pcm", "bad WSDL for ", name, ": ", doc.status().to_string());
+    return false;
+  }
+  LocalService service;
+  service.name = name;
+  service.interface = doc.value().interface;
+  service.attributes["hcm.origin"] = Value(origin);
+  service.attributes["hcm.imported"] = Value(true);
+  auto handler = proxygen_.generate_server_proxy(doc.value());
+  auto status = adapter_->export_service(service, std::move(handler));
+  if (!status.is_ok()) {
+    // Also non-fatal: some conversions are inherently impossible
+    // (e.g. a 3-argument mail method has no X10 ON/OFF mapping —
+    // the asymmetry §4.2 of the paper runs into).
+    log_debug("pcm", "cannot export ", name, " into ",
+              adapter_->middleware_name(), ": ", status.to_string());
+    return false;
+  }
+  imported_[name] = digest;
+  return true;
+}
+
+void Pcm::retire_import(const std::string& name) {
+  auto it = imported_.find(name);
+  if (it == imported_.end()) return;
+  adapter_->unexport_service(name);
+  imported_.erase(it);
+}
+
+void Pcm::import_snapshot(DoneFn done) {
   vsr_.list_all([this, done = std::move(done)](
                     Result<std::vector<VsrEntry>> entries) {
     if (!entries.is_ok()) {
       done(entries.status());
       return;
     }
-    Status first_error;
     std::set<std::string> seen_foreign;
     for (const auto& entry : entries.value()) {
       if (entry.origin == vsg_.island_name()) continue;
       seen_foreign.insert(entry.name);
-      if (imported_.count(entry.name) != 0) continue;
-
-      auto doc = soap::parse_wsdl(entry.wsdl);
-      if (!doc.is_ok()) {
-        // Non-fatal: one island publishing a malformed description must
-        // not block the rest of the mesh.
-        log_warn("pcm", "bad WSDL for ", entry.name, ": ",
-                 doc.status().to_string());
-        continue;
-      }
-      LocalService service;
-      service.name = entry.name;
-      service.interface = doc.value().interface;
-      service.attributes["hcm.origin"] = Value(entry.origin);
-      service.attributes["hcm.imported"] = Value(true);
-      auto handler = proxygen_.generate_server_proxy(doc.value());
-      auto status = adapter_->export_service(service, std::move(handler));
-      if (!status.is_ok()) {
-        // Also non-fatal: some conversions are inherently impossible
-        // (e.g. a 3-argument mail method has no X10 ON/OFF mapping —
-        // the asymmetry §4.2 of the paper runs into).
-        log_debug("pcm", "cannot export ", entry.name, " into ",
-                  adapter_->middleware_name(), ": ", status.to_string());
-        continue;
-      }
-      imported_.insert(entry.name);
+      apply_upsert(entry.name, entry.origin, entry.digest, entry.wsdl);
     }
     // Retire server proxies whose VSR entry is gone (stale services
     // must not linger — the VSR lookup invariant).
     for (auto it = imported_.begin(); it != imported_.end();) {
-      if (seen_foreign.count(*it) == 0) {
-        adapter_->unexport_service(*it);
+      if (seen_foreign.count(it->first) == 0) {
+        adapter_->unexport_service(it->first);
         it = imported_.erase(it);
       } else {
         ++it;
       }
     }
-    done(first_error);
+    done(Status::ok());
+  });
+}
+
+void Pcm::import_delta(DoneFn done) {
+  vsr_.changes_since([this, done = std::move(done)](Result<VsrDelta> r) {
+    if (!r.is_ok()) {
+      done(r.status());
+      return;
+    }
+    const VsrDelta& delta = r.value();
+    if (delta.full) {
+      // Authoritative snapshot (first sync, or resync after journal
+      // compaction / registry restart): converge to exactly this set.
+      std::set<std::string> seen_foreign;
+      for (const auto& c : delta.changes) {
+        if (c.kind != VsrChange::Kind::kUpsert) continue;
+        if (c.origin == vsg_.island_name()) continue;
+        seen_foreign.insert(c.name);
+        apply_upsert(c.name, c.origin, c.digest, c.wsdl);
+      }
+      for (auto it = imported_.begin(); it != imported_.end();) {
+        if (seen_foreign.count(it->first) == 0) {
+          adapter_->unexport_service(it->first);
+          it = imported_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    } else {
+      // O(Δ): only the touched names are parsed / (un)exported.
+      for (const auto& c : delta.changes) {
+        if (c.kind == VsrChange::Kind::kRemove) {
+          retire_import(c.name);  // no-op for our own unpublish echoes
+          continue;
+        }
+        if (c.origin == vsg_.island_name()) continue;
+        apply_upsert(c.name, c.origin, c.digest, c.wsdl);
+      }
+    }
+    done(Status::ok());
   });
 }
 

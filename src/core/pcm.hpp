@@ -4,8 +4,17 @@
 //   Proxy (VSG exposure + WSDL in the VSR), and imports every foreign
 //   VSR entry as a generated Server Proxy exported into the local
 //   middleware. Services that disappear from the VSR are unexported.
+//
+// Synchronization is incremental by default (SyncMode::kDelta): the PCM
+// keeps a per-registry cursor and only parses / generates proxies for
+// entries that actually changed, and steady-state lease renewal is one
+// fingerprint-guarded renewOrigin call instead of S republications.
+// SyncMode::kSnapshot preserves the original full-transfer behaviour
+// (every refresh lists everything and republishes everything) — kept as
+// the baseline arm for bench_ext_vsr_sync.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <set>
 
@@ -17,6 +26,8 @@ namespace hcm::core {
 
 class Pcm {
  public:
+  enum class SyncMode { kSnapshot, kDelta };
+
   Pcm(net::Network& net, VirtualServiceGateway& vsg, net::Endpoint vsr,
       std::unique_ptr<MiddlewareAdapter> adapter);
 
@@ -25,9 +36,14 @@ class Pcm {
   // Full synchronization pass (publish CPs, then import/retire SPs).
   void refresh(DoneFn done);
 
+  void set_sync_mode(SyncMode mode) { sync_mode_ = mode; }
+  [[nodiscard]] SyncMode sync_mode() const { return sync_mode_; }
+
   [[nodiscard]] MiddlewareAdapter& adapter() { return *adapter_; }
   [[nodiscard]] VirtualServiceGateway& vsg() { return vsg_; }
   [[nodiscard]] ProxyGenerator& proxygen() { return proxygen_; }
+  // Sync cursor / digest-cache observability (tests, benches).
+  [[nodiscard]] const VsrClient& vsr_client() const { return vsr_; }
 
   [[nodiscard]] std::size_t published_count() const {
     return published_.size();
@@ -36,21 +52,58 @@ class Pcm {
   [[nodiscard]] bool has_imported(const std::string& name) const {
     return imported_.count(name) != 0;
   }
+  // Digest of an imported entry ("" when not imported) — lets tests
+  // assert convergence by diffing (name, digest) maps across PCMs.
+  [[nodiscard]] std::string imported_digest(const std::string& name) const {
+    auto it = imported_.find(name);
+    return it == imported_.end() ? "" : it->second;
+  }
+
+  // How many times a WSDL document was generated for a local service.
+  // Stays at published_count() across steady-state refreshes: emitted
+  // documents are cached per service, not regenerated every lease.
+  [[nodiscard]] std::uint64_t wsdl_generations() const {
+    return wsdl_generations_;
+  }
+  // Times the O(1) renewOrigin fast path was refused and the PCM fell
+  // back to republishing its full set (registry restart, lapsed lease).
+  [[nodiscard]] std::uint64_t renew_fallbacks() const {
+    return renew_fallbacks_;
+  }
 
   // Lease used for VSR publications; refresh() renews them.
   static constexpr sim::Duration kPublishTtl = sim::seconds(120);
 
  private:
+  struct PublishedRecord {
+    std::string wsdl;    // document as last emitted (cached)
+    std::string digest;  // soap::wsdl_digest(wsdl)
+  };
+
   void publish_locals(DoneFn done);
+  void renew_origin_lease(DoneFn done);  // delta steady state: one call
+  void republish_all(DoneFn done);       // fallback when renewal refused
   void import_remotes(DoneFn done);
+  void import_snapshot(DoneFn done);
+  void import_delta(DoneFn done);
+  // Imports/updates one foreign entry; returns false on the non-fatal
+  // conversion failures (bad WSDL, impossible export).
+  bool apply_upsert(const std::string& name, const std::string& origin,
+                    const std::string& digest, const std::string& wsdl);
+  void retire_import(const std::string& name);
 
   net::Network& net_;
   VirtualServiceGateway& vsg_;
   VsrClient vsr_;
   std::unique_ptr<MiddlewareAdapter> adapter_;
   ProxyGenerator proxygen_;
-  std::set<std::string> published_;  // names this island put in the VSR
-  std::set<std::string> imported_;   // foreign names exported locally
+  SyncMode sync_mode_ = SyncMode::kDelta;
+  // Names this island put in the VSR, with their cached documents.
+  std::map<std::string, PublishedRecord> published_;
+  // Foreign names exported locally -> digest of the imported document.
+  std::map<std::string, std::string> imported_;
+  std::uint64_t wsdl_generations_ = 0;
+  std::uint64_t renew_fallbacks_ = 0;
 };
 
 }  // namespace hcm::core

@@ -2,7 +2,10 @@
 
 namespace hcm::core {
 
-VsrServer::VsrServer(net::Network& net, net::NodeId node, std::uint16_t port)
-    : net_(net), http_(net, node, port), registry_(http_, net.scheduler()) {}
+VsrServer::VsrServer(net::Network& net, net::NodeId node, std::uint16_t port,
+                     std::size_t journal_capacity)
+    : net_(net),
+      http_(net, node, port),
+      registry_(http_, net.scheduler(), "/uddi", journal_capacity) {}
 
 }  // namespace hcm::core

@@ -14,7 +14,9 @@ namespace hcm::core {
 
 class VsrServer {
  public:
-  VsrServer(net::Network& net, net::NodeId node, std::uint16_t port = 8000);
+  VsrServer(net::Network& net, net::NodeId node, std::uint16_t port = 8000,
+            std::size_t journal_capacity =
+                soap::UddiRegistry::kDefaultJournalCapacity);
 
   [[nodiscard]] Status start() { return http_.start(); }
 
@@ -39,5 +41,7 @@ class VsrServer {
 using VsrEntry = soap::RegistryEntry;
 using VsrEventSubscription = soap::EventSubscription;
 using VsrClient = soap::UddiClient;
+using VsrChange = soap::RegistryChange;
+using VsrDelta = soap::RegistryDelta;
 
 }  // namespace hcm::core

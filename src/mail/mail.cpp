@@ -253,7 +253,17 @@ void MailServer::pop_line(const std::shared_ptr<PopSession>& s,
 
 // --- Client -------------------------------------------------------------
 
-MailClient::~MailClient() { unwatch(); }
+MailClient::~MailClient() {
+  unwatch();
+  for (auto& [raw, stream] : active_) stream->close();
+  active_.clear();
+}
+
+void MailClient::track(net::StreamPtr stream) {
+  active_[stream.get()] = std::move(stream);
+}
+
+void MailClient::untrack(net::Stream* stream) { active_.erase(stream); }
 
 void MailClient::send(const Message& m, DoneFn done) {
   net_.connect(node_, {server_, kSmtpPort}, [this, m, done = std::move(done)](
@@ -263,19 +273,22 @@ void MailClient::send(const Message& m, DoneFn done) {
       return;
     }
     auto stream = r.value();
+    net::Stream* raw = stream.get();  // owned by active_ via track()
+    track(std::move(stream));
     auto lines = std::make_shared<LineBuffer>();
     auto stage = std::make_shared<int>(0);
     auto finished = std::make_shared<bool>(false);
     auto done_shared = std::make_shared<DoneFn>(std::move(done));
 
-    stream->set_on_close([finished, done_shared, stream] {
+    raw->set_on_close([this, finished, done_shared, raw] {
       if (!*finished) {
         (*done_shared)(unavailable("SMTP connection closed early"));
         *finished = true;
       }
+      untrack(raw);
     });
-    stream->set_on_data([this, m, stream, lines, stage, finished,
-                         done_shared](const Bytes& data) {
+    raw->set_on_data([this, m, raw, lines, stage, finished,
+                      done_shared](const Bytes& data) {
       for (const auto& line : lines->feed(data)) {
         const bool ok = starts_with(line, "2") || starts_with(line, "3");
         if (!ok) {
@@ -283,35 +296,37 @@ void MailClient::send(const Message& m, DoneFn done) {
             (*done_shared)(protocol_error("SMTP rejected: " + line));
             *finished = true;
           }
-          stream->close();
+          raw->close();
+          untrack(raw);
           return;
         }
         switch ((*stage)++) {
           case 0:  // greeting
-            stream->send(to_bytes("HELO hcm\r\n"));
+            raw->send(to_bytes("HELO hcm\r\n"));
             break;
           case 1:
-            stream->send(to_bytes("MAIL FROM:<" + m.from + ">\r\n"));
+            raw->send(to_bytes("MAIL FROM:<" + m.from + ">\r\n"));
             break;
           case 2:
-            stream->send(to_bytes("RCPT TO:<" + m.to + ">\r\n"));
+            raw->send(to_bytes("RCPT TO:<" + m.to + ">\r\n"));
             break;
           case 3:
-            stream->send(to_bytes("DATA\r\n"));
+            raw->send(to_bytes("DATA\r\n"));
             break;
           case 4:
-            stream->send(to_bytes("Subject: " + m.subject + "\r\n\r\n" +
-                                  m.body + "\r\n.\r\n"));
+            raw->send(to_bytes("Subject: " + m.subject + "\r\n\r\n" +
+                               m.body + "\r\n.\r\n"));
             break;
           case 5:
-            stream->send(to_bytes("QUIT\r\n"));
+            raw->send(to_bytes("QUIT\r\n"));
             if (!*finished) {
               (*done_shared)(Status::ok());
               *finished = true;
             }
             break;
           default:
-            stream->close();
+            raw->close();
+            untrack(raw);
             return;
         }
       }
@@ -320,13 +335,16 @@ void MailClient::send(const Message& m, DoneFn done) {
 }
 
 void MailClient::fetch(const std::string& mailbox, MessagesFn done) {
-  net_.connect(node_, {server_, kPopPort}, [mailbox, done = std::move(done)](
-                                               Result<net::StreamPtr> r) {
+  net_.connect(node_, {server_, kPopPort},
+               [this, mailbox, done = std::move(done)](
+                   Result<net::StreamPtr> r) {
     if (!r.is_ok()) {
       done(r.status());
       return;
     }
     auto stream = r.value();
+    net::Stream* raw = stream.get();  // owned by active_ via track()
+    track(std::move(stream));
     auto lines = std::make_shared<LineBuffer>();
     struct FetchState {
       int stage = 0;
@@ -341,14 +359,15 @@ void MailClient::fetch(const std::string& mailbox, MessagesFn done) {
     auto st = std::make_shared<FetchState>();
     auto done_shared = std::make_shared<MessagesFn>(std::move(done));
 
-    stream->set_on_close([st, done_shared] {
+    raw->set_on_close([this, st, done_shared, raw] {
       if (!st->finished) {
         st->finished = true;
         (*done_shared)(unavailable("POP connection closed early"));
       }
+      untrack(raw);
     });
-    stream->set_on_data([mailbox, stream, lines, st,
-                         done_shared](const Bytes& data) {
+    raw->set_on_data([this, mailbox, raw, lines, st,
+                      done_shared](const Bytes& data) {
       for (const auto& line : lines->feed(data)) {
         if (st->in_message) {
           if (line == ".") {
@@ -356,7 +375,7 @@ void MailClient::fetch(const std::string& mailbox, MessagesFn done) {
             st->out.push_back(st->msg);
             st->in_message = false;
             st->stage = 4;
-            stream->send(to_bytes("DELE " + std::to_string(st->current) +
+            raw->send(to_bytes("DELE " + std::to_string(st->current) +
                                   "\r\n"));
           } else if (!st->past_headers) {
             if (line.empty()) {
@@ -377,27 +396,28 @@ void MailClient::fetch(const std::string& mailbox, MessagesFn done) {
             st->finished = true;
             (*done_shared)(protocol_error("POP error: " + line));
           }
-          stream->close();
+          raw->close();
+          untrack(raw);
           return;
         }
         switch (st->stage) {
           case 0:  // greeting
             st->stage = 1;
-            stream->send(to_bytes("USER " + mailbox + "\r\n"));
+            raw->send(to_bytes("USER " + mailbox + "\r\n"));
             break;
           case 1:  // USER ok
             st->stage = 2;
-            stream->send(to_bytes("STAT\r\n"));
+            raw->send(to_bytes("STAT\r\n"));
             break;
           case 2: {  // STAT reply: "+OK n"
             st->total = static_cast<int>(parse_uint(trim(line.substr(4))));
             if (st->total <= 0) {
               st->stage = 5;
-              stream->send(to_bytes("QUIT\r\n"));
+              raw->send(to_bytes("QUIT\r\n"));
             } else {
               st->current = 1;
               st->stage = 3;
-              stream->send(to_bytes("RETR 1\r\n"));
+              raw->send(to_bytes("RETR 1\r\n"));
             }
             break;
           }
@@ -411,11 +431,11 @@ void MailClient::fetch(const std::string& mailbox, MessagesFn done) {
             if (st->current < st->total) {
               ++st->current;
               st->stage = 3;
-              stream->send(to_bytes("RETR " + std::to_string(st->current) +
+              raw->send(to_bytes("RETR " + std::to_string(st->current) +
                                     "\r\n"));
             } else {
               st->stage = 5;
-              stream->send(to_bytes("QUIT\r\n"));
+              raw->send(to_bytes("QUIT\r\n"));
             }
             break;
           case 5:  // QUIT ok
@@ -423,7 +443,8 @@ void MailClient::fetch(const std::string& mailbox, MessagesFn done) {
               st->finished = true;
               (*done_shared)(std::move(st->out));
             }
-            stream->close();
+            raw->close();
+            untrack(raw);
             return;
           default:
             break;

@@ -93,10 +93,17 @@ class MailClient {
 
  private:
   void poll();
+  void track(net::StreamPtr stream);
+  void untrack(net::Stream* stream);
 
   net::Network& net_;
   net::NodeId node_;
   net::NodeId server_;
+  // In-flight SMTP/POP dialogues. The client owns its streams; their
+  // callbacks capture raw pointers back, so there is no stream<->
+  // closure ownership cycle and destroying the client tears down
+  // every open dialogue.
+  std::map<net::Stream*, net::StreamPtr> active_;
   std::string watch_mailbox_;
   sim::Duration watch_interval_ = 0;
   std::function<void(const Message&)> watch_fn_;

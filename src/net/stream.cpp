@@ -33,6 +33,21 @@ void Stream::send(Bytes data) {
 void Stream::close() {
   if (!open_) return;
   open_ = false;
+  // A closed end receives no further callbacks, so the handlers are
+  // dropped; they are what owners capture themselves into, and keeping
+  // them would keep the owner<->stream reference cycle alive past
+  // teardown (LeakSanitizer runs on every asan build). close() is
+  // routinely called from inside on_data, so the closures must not be
+  // destroyed while one of them is executing — they are parked in a
+  // shared graveyard (the scheduler may copy the event closure, which
+  // must not deep-copy and then free the live handler) and die next
+  // tick.
+  auto graveyard = std::make_shared<std::pair<DataHandler, CloseHandler>>(
+      std::move(on_data_), std::move(on_close_));
+  net_.sched_.after(0, [graveyard] {});
+  on_data_ = nullptr;
+  on_close_ = nullptr;
+  pending_.clear();
   auto peer = peer_.lock();
   if (!peer) return;
   auto latency =
@@ -78,8 +93,17 @@ void Stream::deliver(const Bytes& data) {
 void Stream::peer_closed() {
   if (!open_) return;
   open_ = false;
-  if (on_close_) {
-    on_close_();
+  // Same as close(): once closed, drop the handlers (after the final
+  // on_close fires) so owners captured in them are released; deferred
+  // destruction for the same reentrancy reason.
+  auto handler = std::move(on_close_);
+  on_close_ = nullptr;
+  auto graveyard = std::make_shared<DataHandler>(std::move(on_data_));
+  net_.sched_.after(0, [graveyard] {});
+  on_data_ = nullptr;
+  pending_.clear();
+  if (handler) {
+    handler();
   } else {
     closed_pending_ = true;
   }

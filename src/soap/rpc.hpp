@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "http/client.hpp"
 #include "http/server.hpp"
@@ -33,6 +34,14 @@ class SoapService {
   void unregister_method(const std::string& method);
   [[nodiscard]] bool has_method(const std::string& method) const {
     return methods_.count(method) != 0;
+  }
+  // Every mounted method name, sorted (hcm_lint checks that each wire
+  // op has a round-trip fixture).
+  [[nodiscard]] std::vector<std::string> method_names() const {
+    std::vector<std::string> out;
+    out.reserve(methods_.size());
+    for (const auto& [name, handler] : methods_) out.push_back(name);
+    return out;
   }
 
   [[nodiscard]] const std::string& path() const { return path_; }

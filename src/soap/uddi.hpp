@@ -2,9 +2,19 @@
 // Service Repository when the VSG protocol is SOAP (§3.3: "the VSR will
 // be implemented with WSDL and UDDI"). It is itself a SOAP service, so
 // every island reaches it through the same wire protocol.
+//
+// Synchronization is incremental: the registry keeps a monotonic
+// sequence number and a bounded change journal (publish, unpublish and
+// lease expiry all append), and serves a "changesSince" op so clients
+// pay O(changes) — not O(entries) — per refresh. Entry WSDL bodies are
+// content-addressed by digest (soap::wsdl_digest), which lets clients
+// renew leases and resynchronize without re-transferring documents they
+// already hold. DESIGN.md §"VSR synchronization" has the protocol.
 #pragma once
 
+#include <deque>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,8 +28,41 @@ struct RegistryEntry {
   std::string category;  // e.g. interface name ("VcrControl")
   std::string origin;    // island that published it ("jini-island")
   std::string wsdl;      // full WSDL document
+  std::string digest;    // content digest of wsdl (filled by the registry)
   sim::SimTime expires_at = 0;  // 0 = no lease
 };
+
+// One entry of a changesSince response. Upserts carry the entry's
+// digest always and its WSDL body only when the caller doesn't already
+// hold that digest; removes carry just the name.
+struct RegistryChange {
+  enum class Kind { kUpsert, kRemove };
+  Kind kind = Kind::kUpsert;
+  std::string name;
+  std::string category;
+  std::string origin;
+  std::string digest;
+  std::string wsdl;  // resolved body (client side fills from its cache
+                     // when the registry elided it)
+};
+
+// A changesSince result, already digest-resolved by UddiClient: every
+// upsert's wsdl is populated. When `full` is set the change list is an
+// authoritative snapshot — anything the caller imported that is not
+// listed no longer exists.
+struct RegistryDelta {
+  bool full = false;
+  std::uint64_t epoch = 0;   // registry incarnation
+  std::uint64_t cursor = 0;  // pass back to the next changesSince
+  std::vector<RegistryChange> changes;
+};
+
+// Stable fingerprint over one origin's published set: FNV-1a folded
+// over the sorted (name, digest) pairs. An origin whose fingerprint
+// matches the registry's view renews every lease it holds with one
+// O(1) renewOrigin call (see Pcm::publish_locals).
+[[nodiscard]] std::string registry_fingerprint(
+    const std::map<std::string, std::string>& digest_by_name);
 
 // A leased event subscription recorded in the VSR (event bridge). The
 // VSR is the system of record for who listens to what; the origin
@@ -33,32 +76,94 @@ struct EventSubscription {
 };
 
 // Server side: mounts "publish"/"unpublish"/"find"/"lookup"/"list"
-// methods on a SoapService at `path` of an HttpServer, plus the event-
+// methods on a SoapService at `path` of an HttpServer, plus the delta
+// sync ops ("changesSince"/"renew"/"renewOrigin") and the event-
 // subscription table ("subscribeEvent"/"renewEventSub"/
 // "unsubscribeEvent"/"listEventSubs").
 class UddiRegistry {
  public:
+  // The journal is bounded: once more than `journal_capacity` records
+  // accumulate, the oldest are compacted away and clients whose cursor
+  // predates the compaction horizon are told to resynchronize.
+  static constexpr std::size_t kDefaultJournalCapacity = 128;
+
   UddiRegistry(http::HttpServer& http_server, sim::Scheduler& sched,
-               std::string path = "/uddi");
+               std::string path = "/uddi",
+               std::size_t journal_capacity = kDefaultJournalCapacity);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
   [[nodiscard]] std::size_t subscription_count() const;
 
+  // --- delta-sync observability (tests, benches) ----------------------
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::uint64_t latest_seq() const { return seq_; }
+  [[nodiscard]] std::size_t journal_size() const { return journal_.size(); }
+  // Highest sequence number already compacted out of the journal.
+  [[nodiscard]] std::uint64_t compacted_through() const {
+    return compacted_through_;
+  }
+  [[nodiscard]] std::uint64_t renewals() const { return renewals_; }
+  [[nodiscard]] std::uint64_t full_syncs() const { return full_syncs_; }
+  [[nodiscard]] std::uint64_t delta_syncs() const { return delta_syncs_; }
+  [[nodiscard]] std::uint64_t resyncs_required() const {
+    return resyncs_required_;
+  }
+  [[nodiscard]] std::uint64_t wsdl_bodies_sent() const {
+    return wsdl_bodies_sent_;
+  }
+  [[nodiscard]] std::uint64_t wsdl_bodies_elided() const {
+    return wsdl_bodies_elided_;
+  }
+
+  // Mounted wire-op names (hcm_lint's registry-wire coverage rule).
+  [[nodiscard]] std::vector<std::string> wire_ops() const {
+    return service_.method_names();
+  }
+
  private:
+  struct JournalRecord {
+    std::uint64_t seq = 0;
+    RegistryChange::Kind kind = RegistryChange::Kind::kUpsert;
+    std::string name;
+    std::string digest;  // digest at record time (upserts)
+  };
+
   void prune();
   void prune_subscriptions();
+  void journal_append(RegistryChange::Kind kind, const std::string& name,
+                      const std::string& digest);
   Value entry_to_value(const RegistryEntry& e) const;
+  Value change_to_value(const RegistryEntry& e,
+                        const std::set<std::string>& known,
+                        bool allow_elide);
   Value subscription_to_value(const EventSubscription& s) const;
+  void handle_changes_since(const NamedValues& params, CallResultFn done);
 
   sim::Scheduler& sched_;
   SoapService service_;
   std::map<std::string, RegistryEntry> entries_;
   std::map<std::string, EventSubscription> subscriptions_;  // by id
   std::uint64_t publishes_ = 0;
+
+  // --- change journal --------------------------------------------------
+  std::uint64_t epoch_ = 0;  // distinct per registry incarnation
+  std::uint64_t seq_ = 0;    // bumps on every journaled change
+  std::uint64_t compacted_through_ = 0;
+  std::size_t journal_capacity_;
+  std::deque<JournalRecord> journal_;
+  std::uint64_t renewals_ = 0;
+  std::uint64_t full_syncs_ = 0;
+  std::uint64_t delta_syncs_ = 0;
+  std::uint64_t resyncs_required_ = 0;
+  std::uint64_t wsdl_bodies_sent_ = 0;
+  std::uint64_t wsdl_bodies_elided_ = 0;
 };
 
-// Client-side typed wrapper used by VSGs/PCMs on every island.
+// Client-side typed wrapper used by VSGs/PCMs on every island. Keeps
+// the per-registry sync cursor and a digest-keyed WSDL cache, so a
+// changes_since() call transfers document bodies only for descriptions
+// this client has never seen.
 class UddiClient {
  public:
   UddiClient(net::Network& net, net::NodeId node, net::Endpoint registry,
@@ -68,6 +173,7 @@ class UddiClient {
   using DoneFn = std::function<void(const Status&)>;
   using EntriesFn = std::function<void(Result<std::vector<RegistryEntry>>)>;
   using EntryFn = std::function<void(Result<RegistryEntry>)>;
+  using DeltaFn = std::function<void(Result<RegistryDelta>)>;
   using SubscriptionsFn =
       std::function<void(Result<std::vector<EventSubscription>>)>;
 
@@ -78,6 +184,38 @@ class UddiClient {
   void find_by_category(const std::string& category, EntriesFn done);
   void lookup(const std::string& name, EntryFn done);
   void list_all(EntriesFn done);
+
+  // --- delta synchronization -------------------------------------------
+  // Fetches everything that changed since the previous changes_since()
+  // on this client (first call: a full snapshot). Handles registry
+  // restarts and journal compaction internally by falling back to a
+  // snapshot request, so callers always receive a usable delta; `full`
+  // tells them when to treat it as authoritative. Upsert bodies elided
+  // by the registry are resolved from the digest cache before delivery.
+  void changes_since(DeltaFn done);
+  // Forget cursor/epoch (next changes_since is a fresh snapshot). The
+  // digest cache survives — it is content-addressed, so it stays valid
+  // across registry restarts.
+  void reset_cursor() { cursor_ = 0; epoch_ = 0; }
+
+  // Renews the lease of one entry without re-uploading its WSDL; fails
+  // kNotFound when the registry no longer holds this (name, digest), in
+  // which case the caller must publish() the full entry again.
+  void renew(const std::string& name, const std::string& digest,
+             sim::Duration ttl, DoneFn done);
+  // Renews every lease `origin` holds in one O(1) call, guarded by the
+  // set fingerprint (registry_fingerprint). kFailedPrecondition on
+  // fingerprint mismatch, kNotFound when the origin has no entries.
+  void renew_origin(const std::string& origin, const std::string& fingerprint,
+                    sim::Duration ttl, DoneFn done);
+
+  [[nodiscard]] std::uint64_t cursor() const { return cursor_; }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t digest_cache_size() const {
+    return wsdl_by_digest_.size();
+  }
+  [[nodiscard]] std::uint64_t full_syncs() const { return full_syncs_; }
+  [[nodiscard]] std::uint64_t delta_syncs() const { return delta_syncs_; }
 
   // Event-subscription table (same lease discipline as publish).
   void put_subscription(const EventSubscription& sub, sim::Duration ttl,
@@ -90,10 +228,19 @@ class UddiClient {
  private:
   static Result<RegistryEntry> entry_from_value(const Value& v);
   static Result<EventSubscription> subscription_from_value(const Value& v);
+  void request_changes(bool snapshot, DeltaFn done);
+  Result<RegistryDelta> delta_from_value(const Value& v);
 
   SoapClient client_;
   net::Endpoint registry_;
   std::string path_;
+
+  // --- delta-sync state -------------------------------------------------
+  std::uint64_t cursor_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::map<std::string, std::string> wsdl_by_digest_;
+  std::uint64_t full_syncs_ = 0;
+  std::uint64_t delta_syncs_ = 0;
 };
 
 }  // namespace hcm::soap

@@ -30,4 +30,10 @@ struct WsdlDocument {
 [[nodiscard]] const char* wsdl_type_for(ValueType t);
 [[nodiscard]] ValueType value_type_for_wsdl(std::string_view name);
 
+// Stable content digest of a WSDL document (FNV-1a 64-bit, rendered as
+// 16 lowercase hex chars). The VSR delta-sync protocol keys description
+// caches and lease renewals on this, so two registries/clients agree on
+// "unchanged" without comparing (or transferring) document bodies.
+[[nodiscard]] std::string wsdl_digest(std::string_view text);
+
 }  // namespace hcm::soap

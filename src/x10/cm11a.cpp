@@ -60,7 +60,14 @@ void Cm11aController::work() {
                                                     job.frames.end());
   auto done = std::make_shared<DoneFn>(std::move(job.done));
   auto step = std::make_shared<std::function<void()>>();
-  *step = [this, frames, done, step] {
+  // The stored function must not capture `step` strongly — it would be
+  // a self-cycle that never frees. In-flight serial/powerline
+  // continuations hold the strong reference instead, so the chain dies
+  // with its last pending event.
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [this, frames, done, weak_step] {
+    auto step = weak_step.lock();
+    if (!step) return;
     if (frames->empty()) {
       ++commands_sent_;
       if (*done) (*done)(Status::ok());

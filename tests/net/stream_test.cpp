@@ -165,8 +165,11 @@ TEST_F(StreamTest, LatencyIsRealistic) {
 }
 
 TEST_F(StreamTest, ManyConcurrentConnections) {
-  ASSERT_TRUE(b->listen(90, [](StreamPtr s) {
-                 s->set_on_data([s](const Bytes& d) { s->send(d); });
+  std::vector<StreamPtr> server_held;  // owns the accepted streams
+  ASSERT_TRUE(b->listen(90, [&server_held](StreamPtr s) {
+                 Stream* raw = s.get();  // owned by server_held below
+                 s->set_on_data([raw](const Bytes& d) { raw->send(d); });
+                 server_held.push_back(std::move(s));
                }).is_ok());
   int replies = 0;
   std::vector<StreamPtr> held;  // client must keep its streams alive

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 
 #include "hcm_lint/source_scan.hpp"
 #include "soap/wsdl.hpp"
@@ -300,6 +301,53 @@ TEST(SourceScanTest, WholeTreeIsCleanViaScanSources) {
   SourceScanReport report = scan_sources("/nonexistent-root");
   EXPECT_TRUE(report.diags.empty());
   EXPECT_EQ(report.headers_scanned, 0u);
+}
+
+// --- registry wire contract ----------------------------------------------
+
+TEST(LintRegistryWireTest, CanonicalFixturesCoverLiveRegistry) {
+  // Self-test of the shipped fixture set against a real registry's
+  // mounted ops: full coverage, no unknown ops, all values codec-clean.
+  sim::Scheduler sched;
+  net::Network net{sched};
+  auto& host = net.add_node("vsr");
+  auto& eth = net.add_ethernet("bb", sim::milliseconds(1), 10'000'000);
+  net.attach(host, eth);
+  http::HttpServer http(net, host.id(), 80);
+  ASSERT_TRUE(http.start().is_ok());
+  soap::UddiRegistry registry(http, sched);
+
+  auto diags =
+      check_registry_wire(registry.wire_ops(), registry_wire_fixtures());
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST(LintRegistryWireTest, UncoveredOpIsFlagged) {
+  auto fixtures = registry_wire_fixtures();
+  auto diags = check_registry_wire({"publish", "futureOp"}, fixtures);
+  EXPECT_TRUE(has_check(diags, "registry-wire-uncovered"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintRegistryWireTest, UnknownFixtureOpIsFlagged) {
+  std::vector<WireFixture> fixtures{{"ghostOp", {}, Value(true)}};
+  auto diags = check_registry_wire({"ghostOp"}, fixtures);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+  diags = check_registry_wire({"publish"}, fixtures);
+  EXPECT_TRUE(has_check(diags, "registry-wire-unknown-op"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintRegistryWireTest, NonRoundTrippingPayloadIsFlagged) {
+  // NaN is the canonical codec-breaking payload: both codecs preserve
+  // the bits but NaN != NaN, so value equality cannot survive.
+  std::vector<WireFixture> fixtures{
+      {"publish",
+       {{"weight", Value(std::numeric_limits<double>::quiet_NaN())}},
+       Value(true)}};
+  auto diags = check_registry_wire({"publish"}, fixtures);
+  EXPECT_TRUE(has_check(diags, "registry-wire-codec"))
+      << format_diagnostics(diags);
 }
 
 }  // namespace

@@ -5,7 +5,9 @@
 
 #include "common/value_codec.hpp"
 #include "core/naming.hpp"
+#include "soap/value_xml.hpp"
 #include "soap/wsdl.hpp"
+#include "xml/xml.hpp"
 
 namespace hcm::lint {
 
@@ -213,6 +215,135 @@ Diagnostics check_vsr_entries(const std::vector<soap::RegistryEntry>& entries,
     }
   }
   return out;
+}
+
+namespace {
+
+// Round-trips one value through both encodings that carry registry
+// traffic: the binary Value codec (VSG binary channel) and the XML
+// value encoding serialized + reparsed (the SOAP envelope path).
+void check_wire_value(const Value& v, const std::string& where,
+                      const std::string& subject, Diagnostics& out) {
+  auto decoded = decode_value(encode_value(v));
+  if (!decoded.is_ok() || !(decoded.value() == v)) {
+    out.push_back({"registry-wire-codec", subject,
+                   where + " does not round-trip the binary value codec"});
+  }
+  xml::Element probe("probe");
+  soap::value_to_xml("v", v, probe);
+  auto reparsed = xml::parse(probe.to_string());
+  if (!reparsed.is_ok()) {
+    out.push_back({"registry-wire-codec", subject,
+                   where + " does not re-parse as XML: " +
+                       reparsed.status().to_string()});
+    return;
+  }
+  const auto children = reparsed.value()->children_named("v");
+  Result<Value> back = children.empty()
+                           ? Result<Value>(internal_error("no encoded child"))
+                           : soap::value_from_xml(*children.front());
+  if (!back.is_ok() || !(back.value() == v)) {
+    out.push_back({"registry-wire-codec", subject,
+                   where + " does not round-trip the XML value encoding"});
+  }
+}
+
+}  // namespace
+
+Diagnostics check_registry_wire(const std::vector<std::string>& wire_ops,
+                                const std::vector<WireFixture>& fixtures) {
+  Diagnostics out;
+  std::set<std::string> covered;
+  for (const auto& f : fixtures) covered.insert(f.op);
+  for (const auto& op : wire_ops) {
+    if (covered.count(op) == 0) {
+      out.push_back({"registry-wire-uncovered", "registry op '" + op + "'",
+                     "mounted wire op has no round-trip fixture — add one to "
+                     "registry_wire_fixtures()"});
+    }
+  }
+  std::set<std::string> mounted(wire_ops.begin(), wire_ops.end());
+  for (const auto& f : fixtures) {
+    const std::string subject = "registry op '" + f.op + "'";
+    if (!mounted.empty() && mounted.count(f.op) == 0) {
+      out.push_back({"registry-wire-unknown-op", subject,
+                     "fixture names an op the registry does not mount"});
+    }
+    for (const auto& [name, v] : f.request) {
+      check_wire_value(v, "request param '" + name + "'", subject, out);
+    }
+    check_wire_value(f.response, "response", subject, out);
+  }
+  return out;
+}
+
+std::vector<WireFixture> registry_wire_fixtures() {
+  const Value wsdl(std::string("<definitions name=\"Switchable\"/>"));
+  const Value digest(std::string("00cafe1234567890"));
+  const Value entry(ValueMap{{"name", Value(std::string("lamp-1"))},
+                             {"category", Value(std::string("Switchable"))},
+                             {"origin", Value(std::string("x10-island"))},
+                             {"wsdl", wsdl},
+                             {"digest", digest}});
+  const Value upsert(ValueMap{{"kind", Value(std::string("upsert"))},
+                              {"name", Value(std::string("lamp-1"))},
+                              {"category", Value(std::string("Switchable"))},
+                              {"origin", Value(std::string("x10-island"))},
+                              {"digest", digest},
+                              {"wsdl", wsdl}});
+  const Value subscription(
+      ValueMap{{"id", Value(std::string("esub-1"))},
+               {"service", Value(std::string("vcr-1"))},
+               {"event", Value(std::string("transportChanged"))},
+               {"subscriber", Value(std::string("jini-island"))}});
+  return {
+      {"publish",
+       {{"name", Value(std::string("lamp-1"))},
+        {"category", Value(std::string("Switchable"))},
+        {"origin", Value(std::string("x10-island"))},
+        {"wsdl", wsdl},
+        {"ttl", Value(std::int64_t{120000000})}},
+       Value(true)},
+      {"unpublish", {{"name", Value(std::string("lamp-1"))}}, Value(true)},
+      {"renew",
+       {{"name", Value(std::string("lamp-1"))},
+        {"digest", digest},
+        {"ttl", Value(std::int64_t{120000000})}},
+       Value(true)},
+      {"renewOrigin",
+       {{"origin", Value(std::string("x10-island"))},
+        {"fingerprint", digest},
+        {"ttl", Value(std::int64_t{120000000})}},
+       Value(std::int64_t{3})},
+      {"changesSince",
+       {{"epoch", Value(std::int64_t{1})},
+        {"cursor", Value(std::int64_t{42})},
+        {"snapshot", Value(false)},
+        {"known", Value(ValueList{digest})}},
+       Value(ValueMap{{"epoch", Value(std::int64_t{1})},
+                      {"cursor", Value(std::int64_t{43})},
+                      {"full", Value(false)},
+                      {"resync", Value(false)},
+                      {"changes", Value(ValueList{upsert})}})},
+      {"find",
+       {{"category", Value(std::string("Switchable"))}},
+       Value(ValueList{entry})},
+      {"lookup", {{"name", Value(std::string("lamp-1"))}}, entry},
+      {"list", {}, Value(ValueList{entry})},
+      {"subscribeEvent",
+       {{"id", Value(std::string("esub-1"))},
+        {"service", Value(std::string("vcr-1"))},
+        {"event", Value(std::string("transportChanged"))},
+        {"subscriber", Value(std::string("jini-island"))},
+        {"ttl", Value(std::int64_t{30000000})}},
+       Value(true)},
+      {"renewEventSub",
+       {{"id", Value(std::string("esub-1"))},
+        {"ttl", Value(std::int64_t{30000000})}},
+       Value(true)},
+      {"unsubscribeEvent", {{"id", Value(std::string("esub-1"))}}, Value(true)},
+      {"listEventSubs", {}, Value(ValueList{subscription})},
+  };
 }
 
 std::string format_diagnostics(const Diagnostics& diags) {

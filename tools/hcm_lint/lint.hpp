@@ -59,6 +59,32 @@ struct VsrCheckContext {
     const std::vector<soap::RegistryEntry>& entries,
     const VsrCheckContext& ctx);
 
+// --- registry wire contract --------------------------------------------
+// One request/response exemplar for a registry wire op. The fixture's
+// request params and response value must survive both value codecs
+// (binary and XML) value-for-value — they are what actually crosses the
+// backbone for that op.
+struct WireFixture {
+  std::string op;  // mounted method name ("publish", "changesSince", ...)
+  soap::NamedValues request;
+  Value response;
+};
+
+// Registry wire contract: every mounted wire op has at least one
+// fixture ("registry-wire-uncovered" otherwise — adding an op without
+// extending the fixture set fails the lint run), every fixture names a
+// mounted op ("registry-wire-unknown-op"), and each fixture value
+// round-trips the binary Value codec and the XML value encoding
+// ("registry-wire-codec").
+[[nodiscard]] Diagnostics check_registry_wire(
+    const std::vector<std::string>& wire_ops,
+    const std::vector<WireFixture>& fixtures);
+
+// The canonical fixture set covering soap::UddiRegistry's ops, one
+// representative exemplar per op, shaped like the live handlers'
+// requests/responses.
+[[nodiscard]] std::vector<WireFixture> registry_wire_fixtures();
+
 // Renders diagnostics one per line ("check: subject: message").
 std::string format_diagnostics(const Diagnostics& diags);
 

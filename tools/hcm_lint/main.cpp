@@ -3,7 +3,9 @@
 //      every service a live SmartHome's adapters enumerate is checked
 //      structurally and through the WSDL round-trip;
 //   2. VSR pass — after a full meta refresh, every registry entry must
-//      parse, resolve and match a live exposure on its origin island;
+//      parse, resolve and match a live exposure on its origin island,
+//      and every wire op the live registry mounts must have a
+//      round-trip fixture that survives both value codecs;
 //   3. source pass — [[nodiscard]] presence on Status/Result APIs in
 //      src/common + src/core headers, and no discarded calls to them
 //      anywhere under src/ (run when --root <repo> is given, as the
@@ -127,6 +129,12 @@ int main(int argc, char** argv) {
   };
   append(all, lint::check_vsr_entries(entries, ctx));
 
+  // Registry wire contract: the ops the live registry actually mounts,
+  // checked against the canonical fixture set.
+  const auto wire_ops = home.vsr->registry().wire_ops();
+  append(all,
+         lint::check_registry_wire(wire_ops, lint::registry_wire_fixtures()));
+
   // --- pass 3: source scan ---------------------------------------------
   std::size_t files_scanned = 0;
   if (!root.empty()) {
@@ -146,8 +154,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf(
-      "hcm_lint: OK — %zu interfaces, %zu VSR entries, %zu source files, "
-      "0 violations\n",
-      interfaces_checked, entries.size(), files_scanned);
+      "hcm_lint: OK — %zu interfaces, %zu VSR entries, %zu wire ops, "
+      "%zu source files, 0 violations\n",
+      interfaces_checked, entries.size(), wire_ops.size(), files_scanned);
   return 0;
 }
