@@ -1,0 +1,222 @@
+// Observability overhead bench: wall-clock cost of the obs layer on the
+// framework's hot path. Each arm drives the same cross-island call
+// (HAVi adapter -> VSG -> SOAP -> Jini island) through a fresh
+// SmartHome and measures real nanoseconds per completed invocation:
+//
+//   disabled     obs::set_enabled(false), tracing off — every counter
+//                increment and histogram observe is a no-op branch.
+//                This is the conservative proxy for HCM_OBS_COMPILED_OUT
+//                (registry name lookups on the dispatch path remain, so
+//                a compiled-out build can only be cheaper).
+//   metrics      metrics on, tracing off — the process default.
+//   full         metrics + tracing on, spans recorded per hop.
+//
+// Acceptance: metrics-vs-disabled overhead stays within 5%. Micro
+// benchmarks for the individual primitives run under google-benchmark.
+//
+// --trace <path> additionally records one traced 3-island chain and
+// writes the Chrome trace_event export there (CI's smoke check).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "testbed/home.hpp"
+
+using namespace hcm;
+
+namespace {
+
+// One synchronous-looking invocation: adapter -> VSG -> wire -> remote
+// island and back, drained to completion on the sim scheduler.
+void invoke_once(sim::Scheduler& sched, testbed::SmartHome& home) {
+  std::optional<Result<Value>> result;
+  home.havi_adapter->invoke("laserdisc-1", "getStatus", {},
+                            [&](Result<Value> r) { result = std::move(r); });
+  sim::run_until_done(sched, [&] { return result.has_value(); });
+  if (!result.has_value() || !result->is_ok()) {
+    std::fprintf(stderr, "bench: probe invocation failed\n");
+    std::exit(1);
+  }
+}
+
+// Wall-clock ns per invocation for one arm configuration; best of
+// `reps` batches so scheduler noise from the host doesn't inflate an
+// arm. Each rep uses a fresh home so no arm inherits warm caches or
+// accumulated spans from another.
+double measure_arm(bool metrics_on, bool tracing_on, std::size_t calls,
+                   std::size_t reps) {
+  double best = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    sim::Scheduler sched;
+    testbed::SmartHome home(sched);
+    if (!home.refresh().is_ok()) {
+      std::fprintf(stderr, "bench: refresh failed\n");
+      std::exit(1);
+    }
+    obs::set_enabled(metrics_on);
+    obs::Tracer::global().set_enabled(tracing_on);
+    invoke_once(sched, home);  // warm the proxy/dispatch path
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < calls; ++i) invoke_once(sched, home);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    obs::set_enabled(true);
+    obs::Tracer::global().set_enabled(false);
+    obs::Tracer::global().clear();
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(calls);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+void overhead_report(const std::string& json_path) {
+  bench::print_header(
+      "Observability overhead: instrumented vs disabled on the cross-island "
+      "hot path");
+  const std::size_t calls = 1500;
+  const std::size_t reps = 3;
+  const double disabled = measure_arm(false, false, calls, reps);
+  const double metrics = measure_arm(true, false, calls, reps);
+  const double full = measure_arm(true, true, calls, reps);
+  const double metrics_pct = (metrics - disabled) / disabled * 100.0;
+  const double full_pct = (full - disabled) / disabled * 100.0;
+
+  std::printf("  arm        ns/call (best of %zu x %zu calls)\n", reps, calls);
+  std::printf("  disabled   %10.0f\n", disabled);
+  std::printf("  metrics    %10.0f   (%+.2f%%)\n", metrics, metrics_pct);
+  std::printf("  full       %10.0f   (%+.2f%%)\n", full, full_pct);
+  std::printf("  -> acceptance: metrics arm within 5%% of disabled\n");
+
+  bench::JsonReport report("bench_ext_obs_overhead");
+  report.row()
+      .str("arm", "disabled")
+      .num("ns_per_call", disabled)
+      .num("calls", calls)
+      .num("reps", reps);
+  report.row()
+      .str("arm", "metrics")
+      .num("ns_per_call", metrics)
+      .num("overhead_pct", metrics_pct);
+  report.row()
+      .str("arm", "full")
+      .num("ns_per_call", full)
+      .num("overhead_pct", full_pct);
+  if (!json_path.empty() && report.write(json_path)) {
+    std::printf("  (json written to %s)\n", json_path.c_str());
+  }
+}
+
+// Records one traced chain across three islands and writes the Chrome
+// export — the artifact ci/check.sh smoke-tests.
+void trace_export(const std::string& path) {
+  sim::Scheduler sched;
+  testbed::SmartHome home(sched);
+  if (!home.refresh().is_ok()) {
+    std::fprintf(stderr, "bench: refresh failed\n");
+    std::exit(1);
+  }
+  auto& tracer = obs::Tracer::global();
+  tracer.clear();
+  tracer.set_enabled(true);
+  const auto root = tracer.begin_span("bench.chain", "bench", sched.now());
+  {
+    obs::Tracer::Scope scope(tracer, tracer.context_of(root));
+    invoke_once(sched, home);
+    std::optional<Result<Value>> r;
+    home.x10_adapter->invoke("camera-1", "startCapture", {},
+                             [&](Result<Value> res) { r = std::move(res); });
+    sim::run_until_done(sched, [&] { return r.has_value(); });
+  }
+  tracer.end_span(root, sched.now());
+  if (!tracer.write_chrome(path)) {
+    std::fprintf(stderr, "bench: cannot write trace to %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::printf("  (chrome trace with %zu spans written to %s)\n",
+              tracer.span_count(), path.c_str());
+  tracer.set_enabled(false);
+  tracer.clear();
+}
+
+// --- primitive micro-costs under google-benchmark -----------------------
+
+void BM_CounterInc(benchmark::State& state) {
+  obs::Counter c;
+  for (auto _ : state) c.inc();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  obs::Histogram h;
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v * 7 % 1000000 + 1;  // walk the buckets
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+void BM_RegistryLookup(benchmark::State& state) {
+  obs::Registry reg;
+  reg.counter("vsg.island.op.lamp-1.turnOn.calls");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        reg.find_counter("vsg.island.op.lamp-1.turnOn.calls"));
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+void BM_SpanBeginEnd(benchmark::State& state) {
+  auto& tracer = obs::Tracer::global();
+  tracer.set_enabled(true);
+  for (auto _ : state) {
+    auto id = tracer.begin_span("bench", "bench", 0);
+    tracer.end_span(id, 1);
+  }
+  tracer.set_enabled(false);
+  tracer.clear();
+}
+BENCHMARK(BM_SpanBeginEnd);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_arg(argc, argv);
+  std::string trace_path;
+  // Strip --json/--trace <path> before handing argv to the benchmark
+  // library.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;
+      continue;
+    }
+    if (std::string(argv[i]) == "--trace") {
+      if (i + 1 < argc) trace_path = argv[i + 1];
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  overhead_report(json_path);
+  if (!trace_path.empty()) trace_export(trace_path);
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -85,8 +85,11 @@ class JsonReport {
 
   // Writes the report; returns false (after a warning) on I/O failure
   // so benches keep printing their tables even with a bad --json path.
-  bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
+  // With append=true the report object is added as a new line instead
+  // of clobbering the file, so several benches (or repeated runs) can
+  // share one artifact as JSON-lines.
+  bool write(const std::string& path, bool append = false) const {
+    std::FILE* f = std::fopen(path.c_str(), append ? "a" : "w");
     if (f == nullptr) {
       std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
       return false;
@@ -109,9 +112,23 @@ class JsonReport {
  private:
   static std::string escape(const std::string& s) {
     std::string out;
-    for (char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
+    for (char raw : s) {
+      switch (raw) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(raw) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(raw) & 0xff);
+            out += buf;
+          } else {
+            out.push_back(raw);
+          }
+      }
     }
     return out;
   }

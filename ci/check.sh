@@ -7,31 +7,48 @@
 #      the trickiest object lifetimes in the tree);
 #   3. standalone hcm_lint run for a readable summary;
 #   4. smoke-run of the event-bridge fan-out bench;
-#   5. smoke-run of the VSR sync bench, archiving BENCH_vsr_sync.json.
+#   5. smoke-run of the VSR sync bench, archiving BENCH_vsr_sync.json;
+#   6. observability overhead bench, archiving BENCH_obs_overhead.json,
+#      plus a trace-export smoke check: the bench records one 3-island
+#      chain and the Chrome trace it writes must carry complete events.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/5] tier-1: default preset (-Werror) ==="
+echo "=== [1/6] tier-1: default preset (-Werror) ==="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "=== [2/5] sanitizers: asan preset (ASan + UBSan) ==="
+echo "=== [2/6] sanitizers: asan preset (ASan + UBSan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'EventBridge'
 ctest --preset asan -j "${JOBS}"
 
-echo "=== [3/5] hcm_lint summary ==="
+echo "=== [3/6] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
 
-echo "=== [4/5] event-bridge bench smoke run ==="
+echo "=== [4/6] event-bridge bench smoke run ==="
 ./build/bench/bench_ext_event_bridge --benchmark_min_time=0.01
 
-echo "=== [5/5] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
+echo "=== [5/6] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
 ./build/bench/bench_ext_vsr_sync --benchmark_min_time=0.01 \
   --json BENCH_vsr_sync.json
+
+echo "=== [6/6] obs overhead bench + trace-export smoke check ==="
+./build/bench/bench_ext_obs_overhead --benchmark_min_time=0.01 \
+  --json BENCH_obs_overhead.json --trace obs_trace_smoke.json
+# The export must be a Chrome trace with complete ("ph":"X") events for
+# at least the six per-hop spans of one cross-island call.
+grep -q '"traceEvents"' obs_trace_smoke.json
+events="$(grep -o '"ph":"X"' obs_trace_smoke.json | wc -l)"
+if [ "${events}" -lt 6 ]; then
+  echo "trace smoke check failed: only ${events} complete events" >&2
+  exit 1
+fi
+echo "trace smoke check OK (${events} complete events)"
+rm -f obs_trace_smoke.json
 
 echo "All checks passed."

@@ -19,6 +19,7 @@ const char* to_string(LogLevel level) {
 namespace {
 LogLevel g_level = LogLevel::kOff;
 LogSink g_sink;
+LogContextProvider g_context;
 
 void stderr_sink(LogLevel level, const std::string& component,
                  const std::string& message) {
@@ -30,13 +31,24 @@ void stderr_sink(LogLevel level, const std::string& component,
 LogLevel Log::level() { return g_level; }
 void Log::set_level(LogLevel level) { g_level = level; }
 void Log::set_sink(LogSink sink) { g_sink = std::move(sink); }
+void Log::set_context_provider(LogContextProvider provider) {
+  g_context = std::move(provider);
+}
 
 void Log::write(LogLevel level, const std::string& component,
                 const std::string& message) {
+  std::string line = message;
+  if (g_context) {
+    if (std::string ctx = g_context(); !ctx.empty()) {
+      line += " [";
+      line += ctx;
+      line += "]";
+    }
+  }
   if (g_sink) {
-    g_sink(level, component, message);
+    g_sink(level, component, line);
   } else {
-    stderr_sink(level, component, message);
+    stderr_sink(level, component, line);
   }
 }
 

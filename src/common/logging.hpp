@@ -15,6 +15,11 @@ const char* to_string(LogLevel level);
 using LogSink = std::function<void(LogLevel, const std::string& component,
                                    const std::string& message)>;
 
+// Returns extra context to append to each log line (e.g. the active
+// trace/span ids), or "" when none is in scope. Installed by the obs
+// tracer; common/ stays free of an obs dependency.
+using LogContextProvider = std::function<std::string()>;
+
 // Process-wide log configuration (the simulator is single-threaded by
 // design, so no synchronization is needed).
 class Log {
@@ -22,6 +27,7 @@ class Log {
   static LogLevel level();
   static void set_level(LogLevel level);
   static void set_sink(LogSink sink);  // nullptr restores stderr sink
+  static void set_context_provider(LogContextProvider provider);
   static void write(LogLevel level, const std::string& component,
                     const std::string& message);
 };

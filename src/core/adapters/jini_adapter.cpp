@@ -1,5 +1,7 @@
 #include "core/adapters/jini_adapter.hpp"
 
+#include "obs/instrument.hpp"
+
 namespace hcm::core {
 
 namespace {
@@ -69,6 +71,8 @@ jini::Proxy* JiniAdapter::proxy_for(const jini::ServiceItem& item) {
 void JiniAdapter::invoke(const std::string& service_name,
                          const std::string& method, const ValueList& args,
                          InvokeResultFn done) {
+  obs::ScopedInvoke obs_invoke(net_.scheduler(), "jini", service_name, method);
+  done = obs_invoke.wrap(std::move(done));
   // Server proxies exported by this adapter dispatch directly: lookup
   // registration is asynchronous (lease join in flight), but the proxy
   // is usable the moment export_service returns.

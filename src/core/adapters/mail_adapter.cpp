@@ -1,5 +1,7 @@
 #include "core/adapters/mail_adapter.hpp"
 
+#include "obs/instrument.hpp"
+
 #include <charconv>
 
 #include "common/strings.hpp"
@@ -46,6 +48,8 @@ void MailAdapter::list_services(ServicesFn done) {
 void MailAdapter::invoke(const std::string& service_name,
                          const std::string& method, const ValueList& args,
                          InvokeResultFn done) {
+  obs::ScopedInvoke obs_invoke(net_.scheduler(), "mail", service_name, method);
+  done = obs_invoke.wrap(std::move(done));
   // Imported services dispatch through their server proxy directly
   // (programmatic equivalent of mailing the service mailbox, minus the
   // polling latency).

@@ -1,6 +1,7 @@
 #include "core/binary_channel.hpp"
 
 #include "common/bytes.hpp"
+#include "obs/trace.hpp"
 
 namespace hcm::core {
 
@@ -45,7 +46,13 @@ struct BinaryRpcServer::Conn {
 
 BinaryRpcServer::BinaryRpcServer(net::Network& net, net::NodeId node,
                                  std::uint16_t port)
-    : net_(net), node_(node), port_(port) {}
+    : net_(net),
+      node_(node),
+      port_(port),
+      obs_scope_(obs::Registry::global().unique_scope("binary.server")),
+      calls_served_(obs::Registry::global().counter(obs_scope_ + ".calls")),
+      dispatch_latency_us_(
+          obs::Registry::global().histogram(obs_scope_ + ".latency_us")) {}
 
 BinaryRpcServer::~BinaryRpcServer() { stop(); }
 
@@ -106,9 +113,30 @@ void BinaryRpcServer::on_accept(net::StreamPtr stream) {
           m.at("method").is_string() ? m.at("method").as_string() : "";
       ValueList args =
           m.at("args").is_list() ? m.at("args").as_list() : ValueList{};
-      ++calls_served_;
+      calls_served_.inc();
 
-      auto reply = [conn, id](Result<Value> result) {
+      // "tr" frame field = [trace_id, span_id] of the caller's span;
+      // rejoin that trace for the duration of the dispatch.
+      obs::TraceContext wire_ctx;
+      if (m.at("tr").is_list() && m.at("tr").as_list().size() == 2) {
+        const auto& tr = m.at("tr").as_list();
+        wire_ctx.trace_id =
+            static_cast<std::uint64_t>(tr[0].to_int().value_or(0));
+        wire_ctx.span_id =
+            static_cast<std::uint64_t>(tr[1].to_int().value_or(0));
+      }
+      auto& tracer = obs::Tracer::global();
+      auto& sched = net_.scheduler();
+      obs::Tracer::Scope wire_scope(tracer, wire_ctx);
+      const std::uint64_t span_id = tracer.begin_span(
+          "binary.server:" + method, "binary.server", sched.now());
+      obs::Tracer::Scope span_scope(tracer, tracer.context_of(span_id));
+
+      auto reply = [conn, id, &tracer, &sched, span_id,
+                    &latency = dispatch_latency_us_,
+                    start = sched.now()](Result<Value> result) {
+        latency.observe(sched.now() - start);
+        tracer.end_span(span_id, sched.now(), result.is_ok());
         if (!conn->stream || !conn->stream->is_open()) return;
         ValueMap r{{"id", Value(id)}, {"ok", Value(result.is_ok())}};
         if (result.is_ok()) {
@@ -168,8 +196,25 @@ std::shared_ptr<BinaryRpcClient::Conn> BinaryRpcClient::conn_for(
 void BinaryRpcClient::call(net::Endpoint dest, const std::string& service,
                            const std::string& method, const ValueList& args,
                            InvokeResultFn done) {
+  auto& reg = obs::Registry::global();
+  static auto& calls = reg.counter("binary.client.calls");
+  static auto& errors = reg.counter("binary.client.errors");
+  static auto& latency = reg.histogram("binary.client.latency_us");
+  calls.inc();
+  auto& tracer = obs::Tracer::global();
+  auto& sched = net_.scheduler();
+  const std::uint64_t span_id = tracer.begin_span(
+      "binary.call:" + method, "binary.client", sched.now());
+  done = [done = std::move(done), &tracer, &sched, span_id,
+          start = sched.now()](Result<Value> r) {
+    latency.observe(sched.now() - start);
+    if (!r.is_ok()) errors.inc();
+    tracer.end_span(span_id, sched.now(), r.is_ok());
+    done(std::move(r));
+  };
+  const obs::TraceContext trace = tracer.context_of(span_id);
   auto conn = conn_for(dest);
-  auto send = [conn, service, method, args,
+  auto send = [conn, service, method, args, trace,
                done = std::move(done)](const Status& s) mutable {
     if (!s.is_ok()) {
       done(s);
@@ -177,12 +222,18 @@ void BinaryRpcClient::call(net::Endpoint dest, const std::string& service,
     }
     auto id = conn->next_id++;
     conn->pending[id] = std::move(done);
-    conn->stream->send(frame(encode_value(Value(ValueMap{
+    ValueMap req{
         {"id", Value(static_cast<std::int64_t>(id))},
         {"svc", Value(service)},
         {"method", Value(method)},
         {"args", Value(args)},
-    }))));
+    };
+    if (trace.valid()) {
+      req["tr"] = Value(ValueList{
+          Value(static_cast<std::int64_t>(trace.trace_id)),
+          Value(static_cast<std::int64_t>(trace.span_id))});
+    }
+    conn->stream->send(frame(encode_value(Value(std::move(req)))));
   };
   if (conn->stream && conn->stream->is_open()) {
     send(Status::ok());

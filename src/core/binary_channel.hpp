@@ -11,6 +11,7 @@
 #include "common/service.hpp"
 #include "common/value_codec.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace hcm::core {
 
@@ -29,7 +30,9 @@ class BinaryRpcServer {
   void unregister_service(const std::string& name);
 
   [[nodiscard]] net::Endpoint endpoint() const { return {node_, port_}; }
-  [[nodiscard]] std::uint64_t calls_served() const { return calls_served_; }
+  [[nodiscard]] std::uint64_t calls_served() const {
+    return calls_served_.value();
+  }
 
  private:
   struct Conn;
@@ -42,7 +45,9 @@ class BinaryRpcServer {
   // Live connections, detached on stop() (their callbacks capture this).
   std::vector<std::weak_ptr<Conn>> connections_;
   std::map<std::string, ServiceHandler> services_;
-  std::uint64_t calls_served_ = 0;
+  std::string obs_scope_;
+  obs::Counter& calls_served_;
+  obs::Histogram& dispatch_latency_us_;
 };
 
 // Client: one lazy connection per destination endpoint.

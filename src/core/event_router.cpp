@@ -35,7 +35,24 @@ EventRouter::EventRouter(net::Network& net, VirtualServiceGateway& vsg,
       vsg_(vsg),
       adapter_(adapter),
       vsr_(net, vsg.node(), vsr),
-      options_(options) {}
+      options_(options),
+      obs_scope_(obs::Registry::global().unique_scope("events." +
+                                                      vsg.island_name())),
+      events_routed_(
+          obs::Registry::global().counter(obs_scope_ + ".routed")),
+      events_dropped_(
+          obs::Registry::global().counter(obs_scope_ + ".dropped")),
+      events_delivered_(
+          obs::Registry::global().counter(obs_scope_ + ".delivered")),
+      batches_sent_(obs::Registry::global().counter(obs_scope_ + ".batches")),
+      leases_expired_(
+          obs::Registry::global().counter(obs_scope_ + ".leases_expired")),
+      delivery_retries_(
+          obs::Registry::global().counter(obs_scope_ + ".retries")),
+      duplicates_dropped_(
+          obs::Registry::global().counter(obs_scope_ + ".duplicates")),
+      delivery_latency_us_(obs::Registry::global().histogram(
+          obs_scope_ + ".delivery_latency_us")) {}
 
 EventRouter::~EventRouter() {
   auto& sched = net_.scheduler();
@@ -298,7 +315,7 @@ void EventRouter::handle_deliver(const ValueList& args, InvokeResultFn done) {
     if (seq != 0 && seq <= it->second.last_seq) {
       // Batch re-sent after a lost ack (at-least-once): suppress the
       // duplicate so local handlers fire once per event.
-      ++duplicates_dropped_;
+      duplicates_dropped_.inc();
       continue;
     }
     if (seq != 0) it->second.last_seq = seq;
@@ -309,7 +326,7 @@ void EventRouter::handle_deliver(const ValueList& args, InvokeResultFn done) {
                                   ? item.at("event").as_string()
                                   : it->second.event;
     const Value payload = item.at("payload");
-    ++events_delivered_;
+    events_delivered_.inc();
     // Copy the handler: it may unsubscribe and invalidate `it`.
     auto handler = it->second.handler;
     adapter_.emit_event(service, event, payload);
@@ -331,7 +348,7 @@ void EventRouter::on_native_event(const std::string& service,
       // at-least-once delivery.
       sub.queue.erase(sub.queue.begin() +
                       static_cast<std::ptrdiff_t>(sub.inflight));
-      ++events_dropped_;
+      events_dropped_.inc();
     }
     schedule_flush(sub);
   }
@@ -348,7 +365,7 @@ void EventRouter::expire(const std::string& id) {
   auto it = subs_.find(id);
   if (it == subs_.end()) return;
   it->second.expiry_event = 0;
-  ++leases_expired_;
+  leases_expired_.inc();
   drop_subscription(id);
 }
 
@@ -439,7 +456,9 @@ void EventRouter::flush(const std::string& id) {
   }
   vsg_.call_remote(
       sub.sink, kBridgeService, bridge_interface(), "deliver",
-      {Value(std::move(batch))}, [this, id, n](Result<Value> r) {
+      {Value(std::move(batch))},
+      [this, id, n, start = net_.scheduler().now()](Result<Value> r) {
+        delivery_latency_us_.observe(net_.scheduler().now() - start);
         auto it = subs_.find(id);
         if (it == subs_.end()) return;  // lease expired while in flight
         auto& sub = it->second;
@@ -449,15 +468,15 @@ void EventRouter::flush(const std::string& id) {
           for (std::size_t i = 0; i < n && !sub.queue.empty(); ++i) {
             sub.queue.pop_front();
           }
-          events_routed_ += n;
-          ++batches_sent_;
+          events_routed_.inc(n);
+          batches_sent_.inc();
           sub.backoff = 0;
           if (!sub.queue.empty()) flush(id);
           return;
         }
         // Transient transport failure: the batch stays queued
         // (at-least-once) and is retried with exponential backoff.
-        ++delivery_retries_;
+        delivery_retries_.inc();
         sub.backoff = sub.backoff == 0
                           ? options_.retry_base
                           : std::min(sub.backoff * 2, options_.retry_max);

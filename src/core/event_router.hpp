@@ -18,6 +18,7 @@
 #include "core/adapter.hpp"
 #include "core/vsg.hpp"
 #include "core/vsr.hpp"
+#include "obs/metrics.hpp"
 
 namespace hcm::core {
 
@@ -86,22 +87,26 @@ class EventRouter {
   [[nodiscard]] std::size_t local_subscriptions() const {
     return local_subs_.size();
   }
-  [[nodiscard]] std::uint64_t events_routed() const { return events_routed_; }
+  [[nodiscard]] std::uint64_t events_routed() const {
+    return events_routed_.value();
+  }
   [[nodiscard]] std::uint64_t events_dropped() const {
-    return events_dropped_;
+    return events_dropped_.value();
   }
   [[nodiscard]] std::uint64_t events_delivered() const {
-    return events_delivered_;
+    return events_delivered_.value();
   }
-  [[nodiscard]] std::uint64_t batches_sent() const { return batches_sent_; }
+  [[nodiscard]] std::uint64_t batches_sent() const {
+    return batches_sent_.value();
+  }
   [[nodiscard]] std::uint64_t leases_expired() const {
-    return leases_expired_;
+    return leases_expired_.value();
   }
   [[nodiscard]] std::uint64_t delivery_retries() const {
-    return delivery_retries_;
+    return delivery_retries_.value();
   }
   [[nodiscard]] std::uint64_t duplicates_dropped() const {
-    return duplicates_dropped_;
+    return duplicates_dropped_.value();
   }
 
   [[nodiscard]] const EventRouterOptions& options() const { return options_; }
@@ -183,13 +188,15 @@ class EventRouter {
   std::map<std::string, Watch> watches_;         // origin, by service name
   std::uint64_t next_sub_ = 1;
 
-  std::uint64_t events_routed_ = 0;
-  std::uint64_t events_dropped_ = 0;
-  std::uint64_t events_delivered_ = 0;
-  std::uint64_t batches_sent_ = 0;
-  std::uint64_t leases_expired_ = 0;
-  std::uint64_t delivery_retries_ = 0;
-  std::uint64_t duplicates_dropped_ = 0;
+  std::string obs_scope_;
+  obs::Counter& events_routed_;
+  obs::Counter& events_dropped_;
+  obs::Counter& events_delivered_;
+  obs::Counter& batches_sent_;
+  obs::Counter& leases_expired_;
+  obs::Counter& delivery_retries_;
+  obs::Counter& duplicates_dropped_;
+  obs::Histogram& delivery_latency_us_;
 };
 
 }  // namespace hcm::core

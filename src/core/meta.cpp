@@ -1,5 +1,7 @@
 #include "core/meta.hpp"
 
+#include "soap/wsdl.hpp"
+
 namespace hcm::core {
 
 Result<MetaMiddleware::Island*> MetaMiddleware::add_island(
@@ -56,13 +58,74 @@ void MetaMiddleware::refresh_all(DoneFn done) {
       });
     }
   };
-  run_round([run_round, done = std::move(done)](const Status& s) mutable {
+  // After both rounds, renew the observability publications so an
+  // enabled island's introspection entry keeps its lease exactly like
+  // the PCM-published services.
+  auto finish = [this, done = std::move(done)](const Status& s) mutable {
     if (!s.is_ok()) {
       done(s);
       return;
     }
-    run_round(std::move(done));
+    republish_observability(std::move(done));
+  };
+  run_round([run_round, finish = std::move(finish)](const Status& s) mutable {
+    if (!s.is_ok()) {
+      finish(s);
+      return;
+    }
+    run_round(std::move(finish));
   });
+}
+
+Status MetaMiddleware::enable_observability(const std::string& island_name) {
+  Island* isl = island(island_name);
+  if (isl == nullptr) {
+    return not_found("no such island: " + island_name);
+  }
+  if (obs_exports_.count(island_name) != 0) return Status::ok();
+  if (obs_service_ == nullptr) {
+    obs_service_ = std::make_unique<obs::ObservabilityService>(
+        obs::Registry::global(), obs::Tracer::global());
+  }
+  ObsExport exp;
+  exp.service_name =
+      std::string(obs::ObservabilityService::kServiceName) + "-" + island_name;
+  const InterfaceDesc iface = obs::ObservabilityService::describe_interface();
+  auto uri = isl->vsg->expose(exp.service_name, iface, obs_service_->handler());
+  if (!uri.is_ok()) return uri.status();
+  exp.wsdl = soap::emit_wsdl(iface, exp.service_name, uri.value());
+  exp.vsr = std::make_unique<VsrClient>(net_, isl->vsg->node(), vsr_);
+
+  VsrEntry entry;
+  entry.name = exp.service_name;
+  entry.category = iface.name;
+  entry.origin = island_name;
+  entry.wsdl = exp.wsdl;
+  exp.vsr->publish(entry, Pcm::kPublishTtl, [](const Status&) {});
+  obs_exports_.emplace(island_name, std::move(exp));
+  return Status::ok();
+}
+
+void MetaMiddleware::republish_observability(DoneFn done) {
+  auto remaining = std::make_shared<std::size_t>(obs_exports_.size());
+  if (*remaining == 0) {
+    done(Status::ok());
+    return;
+  }
+  auto first_error = std::make_shared<Status>();
+  auto done_shared = std::make_shared<DoneFn>(std::move(done));
+  for (auto& [island_name, exp] : obs_exports_) {
+    VsrEntry entry;
+    entry.name = exp.service_name;
+    entry.category = "Observability";
+    entry.origin = island_name;
+    entry.wsdl = exp.wsdl;
+    exp.vsr->publish(entry, Pcm::kPublishTtl,
+                     [remaining, first_error, done_shared](const Status& s) {
+                       if (!s.is_ok() && first_error->is_ok()) *first_error = s;
+                       if (--*remaining == 0) (*done_shared)(*first_error);
+                     });
+  }
 }
 
 void MetaMiddleware::start_auto_refresh(sim::Duration period) {

@@ -12,6 +12,7 @@
 #include "core/pcm.hpp"
 #include "core/vsg.hpp"
 #include "core/vsr.hpp"
+#include "obs/service.hpp"
 
 namespace hcm::core {
 
@@ -59,11 +60,33 @@ class MetaMiddleware {
   void start_auto_refresh(sim::Duration period);
   void stop_auto_refresh();
 
+  // Mounts the introspection service ("observability-<island>") on the
+  // island's VSG and publishes its WSDL to the VSR, so any connected
+  // middleware can call getMetrics/getTrace through the framework
+  // itself. Opt-in: it adds a VSR entry, which applications counting
+  // deployed services would otherwise see. refresh_all renews the
+  // publication's lease alongside the PCMs'.
+  [[nodiscard]] Status enable_observability(const std::string& island_name);
+  [[nodiscard]] bool observability_enabled(
+      const std::string& island_name) const {
+    return obs_exports_.count(island_name) != 0;
+  }
+
  private:
+  struct ObsExport {
+    std::string service_name;  // "observability-<island>"
+    std::string wsdl;
+    std::unique_ptr<VsrClient> vsr;
+  };
+
+  void republish_observability(DoneFn done);
+
   net::Network& net_;
   net::Endpoint vsr_;
   Pcm::SyncMode sync_mode_ = Pcm::SyncMode::kDelta;
   std::map<std::string, Island> islands_;
+  std::map<std::string, ObsExport> obs_exports_;
+  std::unique_ptr<obs::ObservabilityService> obs_service_;
   sim::EventId refresh_event_ = 0;
   bool auto_refresh_ = false;
 };

@@ -10,9 +10,25 @@ Pcm::Pcm(net::Network& net, VirtualServiceGateway& vsg, net::Endpoint vsr,
       vsg_(vsg),
       vsr_(net, vsg.node(), vsr),
       adapter_(std::move(adapter)),
-      proxygen_(vsg) {}
+      proxygen_(vsg),
+      obs_scope_(obs::Registry::global().unique_scope("pcm." +
+                                                      vsg.island_name())),
+      wsdl_generations_(
+          obs::Registry::global().counter(obs_scope_ + ".wsdl_generations")),
+      renew_fallbacks_(
+          obs::Registry::global().counter(obs_scope_ + ".renew_fallbacks")),
+      refreshes_(obs::Registry::global().counter(obs_scope_ + ".refreshes")),
+      refresh_latency_us_(obs::Registry::global().histogram(
+          obs_scope_ + ".refresh_latency_us")) {}
 
 void Pcm::refresh(DoneFn done) {
+  refreshes_.inc();
+  done = [done = std::move(done), &sched = net_.scheduler(),
+          &latency = refresh_latency_us_,
+          start = net_.scheduler().now()](const Status& s) {
+    latency.observe(sched.now() - start);
+    done(s);
+  };
   publish_locals(
       [this, done = std::move(done)](const Status& publish_status) mutable {
         if (!publish_status.is_ok()) {
@@ -82,7 +98,7 @@ void Pcm::publish_locals(DoneFn done) {
         PublishedRecord rec;
         rec.wsdl = std::move(generated).take();
         rec.digest = soap::wsdl_digest(rec.wsdl);
-        ++wsdl_generations_;
+        wsdl_generations_.inc();
         pub = published_.emplace(service.name, std::move(rec)).first;
       } else if (sync_mode_ == SyncMode::kDelta) {
         // Already exposed and the document is cached; its lease rides
@@ -117,7 +133,7 @@ void Pcm::renew_origin_lease(DoneFn done) {
         // The registry's view of our set diverged (restart wiped it, a
         // lease lapsed mid-period, ...). Re-upload everything once; the
         // next refresh is back on the O(1) path.
-        ++renew_fallbacks_;
+        renew_fallbacks_.inc();
         log_debug("pcm", "renewOrigin refused for ", vsg_.island_name(), " (",
                   s.to_string(), "); republishing ", published_.size(),
                   " entries");

@@ -63,12 +63,12 @@ class Pcm {
   // Stays at published_count() across steady-state refreshes: emitted
   // documents are cached per service, not regenerated every lease.
   [[nodiscard]] std::uint64_t wsdl_generations() const {
-    return wsdl_generations_;
+    return wsdl_generations_.value();
   }
   // Times the O(1) renewOrigin fast path was refused and the PCM fell
   // back to republishing its full set (registry restart, lapsed lease).
   [[nodiscard]] std::uint64_t renew_fallbacks() const {
-    return renew_fallbacks_;
+    return renew_fallbacks_.value();
   }
 
   // Lease used for VSR publications; refresh() renews them.
@@ -102,8 +102,11 @@ class Pcm {
   std::map<std::string, PublishedRecord> published_;
   // Foreign names exported locally -> digest of the imported document.
   std::map<std::string, std::string> imported_;
-  std::uint64_t wsdl_generations_ = 0;
-  std::uint64_t renew_fallbacks_ = 0;
+  std::string obs_scope_;
+  obs::Counter& wsdl_generations_;
+  obs::Counter& renew_fallbacks_;
+  obs::Counter& refreshes_;
+  obs::Histogram& refresh_latency_us_;
 };
 
 }  // namespace hcm::core

@@ -14,18 +14,20 @@ Result<std::string> ProxyGenerator::generate_client_proxy(
         adapter.invoke(name, method, args, std::move(done));
       });
   if (!uri.is_ok()) return uri.status();
-  ++client_proxies_;
+  client_proxies_.inc();
   return soap::emit_wsdl(service.interface, service.name, uri.value());
 }
 
 ServiceHandler ProxyGenerator::generate_server_proxy(
     const soap::WsdlDocument& remote) {
-  ++server_proxies_;
+  server_proxies_.inc();
   VirtualServiceGateway* vsg = &vsg_;
-  return [vsg, endpoint = remote.endpoint, name = remote.service_name,
+  return [vsg, &invokes = sp_invokes_, endpoint = remote.endpoint,
+          name = remote.service_name,
           iface = remote.interface](const std::string& method,
                                     const ValueList& args,
                                     InvokeResultFn done) {
+    invokes.inc();
     vsg->call_remote(endpoint, name, iface, method, args, std::move(done));
   };
 }

@@ -9,13 +9,22 @@
 
 #include "core/adapter.hpp"
 #include "core/vsg.hpp"
+#include "obs/metrics.hpp"
 #include "soap/wsdl.hpp"
 
 namespace hcm::core {
 
 class ProxyGenerator {
  public:
-  explicit ProxyGenerator(VirtualServiceGateway& vsg) : vsg_(vsg) {}
+  explicit ProxyGenerator(VirtualServiceGateway& vsg)
+      : vsg_(vsg),
+        obs_scope_(obs::Registry::global().unique_scope("proxygen")),
+        client_proxies_(
+            obs::Registry::global().counter(obs_scope_ + ".client_proxies")),
+        server_proxies_(
+            obs::Registry::global().counter(obs_scope_ + ".server_proxies")),
+        sp_invokes_(
+            obs::Registry::global().counter(obs_scope_ + ".sp_invokes")) {}
 
   // Client Proxy (paper Fig. 2, CP): converts the local service's
   // native interface into a VSG service. Exposes the service through
@@ -31,16 +40,18 @@ class ProxyGenerator {
       const soap::WsdlDocument& remote);
 
   [[nodiscard]] std::uint64_t client_proxies_generated() const {
-    return client_proxies_;
+    return client_proxies_.value();
   }
   [[nodiscard]] std::uint64_t server_proxies_generated() const {
-    return server_proxies_;
+    return server_proxies_.value();
   }
 
  private:
   VirtualServiceGateway& vsg_;
-  std::uint64_t client_proxies_ = 0;
-  std::uint64_t server_proxies_ = 0;
+  std::string obs_scope_;
+  obs::Counter& client_proxies_;
+  obs::Counter& server_proxies_;
+  obs::Counter& sp_invokes_;
 };
 
 }  // namespace hcm::core

@@ -1,6 +1,8 @@
 #include "core/vsg.hpp"
 
 #include "common/logging.hpp"
+#include "obs/instrument.hpp"
+#include "obs/trace.hpp"
 
 namespace hcm::core {
 
@@ -25,7 +27,17 @@ VirtualServiceGateway::VirtualServiceGateway(net::Network& net,
       http_(net, gateway_node, port),
       soap_client_(net, gateway_node),
       binary_server_(net, gateway_node, static_cast<std::uint16_t>(port + 1)),
-      binary_client_(net, gateway_node) {}
+      binary_client_(net, gateway_node),
+      obs_scope_(
+          obs::Registry::global().unique_scope("vsg." + island_name_)),
+      remote_calls_(
+          obs::Registry::global().counter(obs_scope_ + ".remote_calls")),
+      local_dispatches_(
+          obs::Registry::global().counter(obs_scope_ + ".local_dispatches")),
+      remote_errors_(
+          obs::Registry::global().counter(obs_scope_ + ".remote_errors")),
+      remote_latency_us_(obs::Registry::global().histogram(
+          obs_scope_ + ".remote_latency_us")) {}
 
 VirtualServiceGateway::~VirtualServiceGateway() = default;
 
@@ -44,6 +56,35 @@ Result<Uri> VirtualServiceGateway::expose(const std::string& name,
   exposed.iface = iface;
   exposed.handler = local_invoke;
 
+  // Per-op metrics, created eagerly so every mounted wire op has a
+  // registered latency histogram even before its first call (hcm_lint's
+  // vsg-op-latency rule checks exactly this).
+  auto& reg = obs::Registry::global();
+  for (const auto& m : iface.methods) {
+    const std::string op = obs_scope_ + ".op." + name + "." + m.name;
+    reg.counter(op + ".calls");
+    reg.histogram(op + "_us");
+  }
+  // Dispatch glue shared by both protocols: count the op, open a span
+  // (child of whatever wire context the channel made current), and
+  // observe latency + close the span when the handler completes.
+  auto dispatch = [this, name](const ServiceHandler& handler,
+                               const std::string& method,
+                               const ValueList& args, InvokeResultFn done) {
+    local_dispatches_.inc();
+    auto& reg = obs::Registry::global();
+    const std::string op = obs_scope_ + ".op." + name + "." + method;
+    reg.counter(op + ".calls").inc();
+    auto& tracer = obs::Tracer::global();
+    auto& sched = net_.scheduler();
+    const std::uint64_t span_id = tracer.begin_span(
+        "vsg.dispatch:" + name + "." + method, obs_scope_, sched.now());
+    obs::Tracer::Scope scope(tracer, tracer.context_of(span_id));
+    handler(method, args,
+            obs::observe_completion(sched, reg.histogram(op + "_us"),
+                                    nullptr, span_id, std::move(done)));
+  };
+
   const std::string path = "/vsg/" + name;
   if (protocol_ == VsgProtocol::kSoap) {
     exposed.soap_service = std::make_unique<soap::SoapService>(http_, path);
@@ -51,13 +92,12 @@ Result<Uri> VirtualServiceGateway::expose(const std::string& name,
     for (const auto& m : iface.methods) {
       exposed.soap_service->register_method(
           m.name,
-          [this, handler = exposed.handler, method = m.name](
+          [dispatch, handler = exposed.handler, method = m.name](
               const soap::NamedValues& params, soap::CallResultFn done) {
-            ++local_dispatches_;
             ValueList args;
             args.reserve(params.size());
             for (const auto& [k, v] : params) args.push_back(v);
-            handler(method, args, std::move(done));
+            dispatch(handler, method, args, std::move(done));
           });
     }
     Uri uri = endpoint_uri(net_, "http", {node_, port_}, path);
@@ -67,16 +107,24 @@ Result<Uri> VirtualServiceGateway::expose(const std::string& name,
 
   // Binary protocol: register under the service name directly.
   binary_server_.register_service(
-      name, [this, handler = exposed.handler](const std::string& method,
-                                              const ValueList& args,
-                                              InvokeResultFn done) {
-        ++local_dispatches_;
-        handler(method, args, std::move(done));
+      name, [dispatch, handler = exposed.handler](const std::string& method,
+                                                  const ValueList& args,
+                                                  InvokeResultFn done) {
+        dispatch(handler, method, args, std::move(done));
       });
   Uri uri = endpoint_uri(net_, "hcmb",
                          {node_, static_cast<std::uint16_t>(port_ + 1)}, "/" + name);
   exposed_[name] = std::move(exposed);
   return uri;
+}
+
+std::vector<std::pair<std::string, std::string>>
+VirtualServiceGateway::exposed_ops() const {
+  std::vector<std::pair<std::string, std::string>> ops;
+  for (const auto& [name, exposed] : exposed_) {
+    for (const auto& m : exposed.iface.methods) ops.emplace_back(name, m.name);
+  }
+  return ops;
 }
 
 Uri VirtualServiceGateway::exposure_uri(const std::string& name) {
@@ -119,7 +167,15 @@ void VirtualServiceGateway::call_remote(const Uri& endpoint,
     done(resolved.status());
     return;
   }
-  ++remote_calls_;
+  remote_calls_.inc();
+  auto& tracer = obs::Tracer::global();
+  auto& sched = net_.scheduler();
+  const std::uint64_t span_id = tracer.begin_span(
+      "vsg.call:" + service_name + "." + method, obs_scope_, sched.now());
+  // Current while the wire client starts, so its span nests under ours.
+  obs::Tracer::Scope scope(tracer, tracer.context_of(span_id));
+  done = obs::observe_completion(sched, remote_latency_us_, &remote_errors_,
+                                 span_id, std::move(done));
   if (endpoint.scheme == "hcmb") {
     binary_client_.call(resolved.value(), service_name, method, args,
                         std::move(done));

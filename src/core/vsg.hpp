@@ -7,12 +7,15 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/service.hpp"
 #include "common/uri.hpp"
 #include "core/binary_channel.hpp"
 #include "core/naming.hpp"
 #include "http/server.hpp"
+#include "obs/metrics.hpp"
 #include "soap/rpc.hpp"
 
 namespace hcm::core {
@@ -56,10 +59,21 @@ class VirtualServiceGateway {
                    const InterfaceDesc& iface, const std::string& method,
                    const ValueList& args, InvokeResultFn done);
 
-  [[nodiscard]] std::uint64_t remote_calls() const { return remote_calls_; }
-  [[nodiscard]] std::uint64_t local_dispatches() const {
-    return local_dispatches_;
+  [[nodiscard]] std::uint64_t remote_calls() const {
+    return remote_calls_.value();
   }
+  [[nodiscard]] std::uint64_t local_dispatches() const {
+    return local_dispatches_.value();
+  }
+
+  // Metric namespace of this gateway ("vsg.<island>", uniquified per
+  // instance). Per-op metrics live at "<scope>.op.<service>.<method>_us"
+  // (latency histogram) and ".calls" — created eagerly at expose() so
+  // hcm_lint can check coverage before any traffic flows.
+  [[nodiscard]] const std::string& obs_scope() const { return obs_scope_; }
+  // Every (service, method) pair currently mounted on the wire.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> exposed_ops()
+      const;
 
  private:
   struct Exposed {
@@ -78,8 +92,11 @@ class VirtualServiceGateway {
   BinaryRpcServer binary_server_;
   BinaryRpcClient binary_client_;
   std::map<std::string, Exposed> exposed_;
-  std::uint64_t remote_calls_ = 0;
-  std::uint64_t local_dispatches_ = 0;
+  std::string obs_scope_;
+  obs::Counter& remote_calls_;
+  obs::Counter& local_dispatches_;
+  obs::Counter& remote_errors_;
+  obs::Histogram& remote_latency_us_;
 };
 
 }  // namespace hcm::core

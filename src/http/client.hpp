@@ -33,6 +33,7 @@ class HttpClient {
   void request(net::Endpoint dest, Request req, ResponseCallback cb);
 
   [[nodiscard]] net::NodeId node() const { return node_; }
+  [[nodiscard]] net::Network& network() { return net_; }
 
  private:
   struct PooledConn;

@@ -5,7 +5,14 @@
 namespace hcm::http {
 
 HttpServer::HttpServer(net::Network& net, net::NodeId node, std::uint16_t port)
-    : net_(net), node_(node), port_(port) {}
+    : net_(net),
+      node_(node),
+      port_(port),
+      obs_scope_(obs::Registry::global().unique_scope("http.server")),
+      requests_served_(
+          obs::Registry::global().counter(obs_scope_ + ".requests")),
+      request_latency_us_(
+          obs::Registry::global().histogram(obs_scope_ + ".latency_us")) {}
 
 HttpServer::~HttpServer() { stop(); }
 
@@ -68,8 +75,13 @@ void HttpServer::on_accept(net::StreamPtr stream) {
 
 void HttpServer::handle(const Request& req,
                         const std::shared_ptr<Connection>& conn) {
-  ++requests_served_;
-  auto respond = [conn, keep_alive = req.version == "HTTP/1.1"](Response resp) {
+  requests_served_.inc();
+  // Respond may fire after the server is gone (async handlers), so it
+  // captures the scheduler and the registry-owned histogram, not this.
+  auto respond = [conn, keep_alive = req.version == "HTTP/1.1",
+                  &sched = net_.scheduler(), &latency = request_latency_us_,
+                  start = net_.scheduler().now()](Response resp) {
+    latency.observe(sched.now() - start);
     if (!conn->stream || !conn->stream->is_open()) return;
     resp.set_header("Server", "hcm-httpd/1.0");
     conn->stream->send(resp.serialize());

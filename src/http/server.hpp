@@ -9,6 +9,7 @@
 
 #include "http/message.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 
 namespace hcm::http {
 
@@ -34,8 +35,9 @@ class HttpServer {
   void set_default_handler(RequestHandler handler);
 
   [[nodiscard]] net::Endpoint endpoint() const { return {node_, port_}; }
+  [[nodiscard]] net::Network& network() { return net_; }
   [[nodiscard]] std::uint64_t requests_served() const {
-    return requests_served_;
+    return requests_served_.value();
   }
 
  private:
@@ -56,7 +58,9 @@ class HttpServer {
   std::vector<std::weak_ptr<Connection>> connections_;
   std::map<std::string, RequestHandler> routes_;
   RequestHandler default_handler_;
-  std::uint64_t requests_served_ = 0;
+  std::string obs_scope_;
+  obs::Counter& requests_served_;
+  obs::Histogram& request_latency_us_;
 };
 
 }  // namespace hcm::http

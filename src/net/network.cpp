@@ -110,10 +110,10 @@ Result<sim::Duration> Network::route_latency(NodeId a, NodeId b,
 }
 
 void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
-  ++datagrams_sent_;
+  datagrams_sent_.inc();
   auto route = find_route(from.node, to.node);
   if (!route.is_ok()) {
-    ++datagrams_dropped_;
+    datagrams_dropped_.inc();
     return;
   }
   // Per-segment random loss.
@@ -121,7 +121,7 @@ void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
     if (seg->drop_probability() > 0.0) {
       std::uniform_real_distribution<double> dist(0.0, 1.0);
       if (dist(sched_.rng()) < seg->drop_probability()) {
-        ++datagrams_dropped_;
+        datagrams_dropped_.inc();
         return;
       }
     }
@@ -131,12 +131,12 @@ void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
   sched_.after(latency, [this, from, to, data = std::move(data)] {
     Node* dst = node(to.node);
     if (dst == nullptr || !dst->is_up()) {
-      ++datagrams_dropped_;
+      datagrams_dropped_.inc();
       return;
     }
     const DatagramHandler* handler = dst->datagram_handler(to.port);
     if (handler == nullptr || !*handler) {
-      ++datagrams_dropped_;
+      datagrams_dropped_.inc();
       return;
     }
     (*handler)(from, data);
@@ -193,6 +193,7 @@ void Network::send_multicast(Endpoint from, GroupId group, std::uint16_t port,
 }
 
 void Network::connect(NodeId from, Endpoint to, ConnectCallback cb) {
+  stream_connects_.inc();
   Node* src = node(from);
   if (src == nullptr) {
     sched_.after(0, [cb] { cb(not_found("no such source node")); });

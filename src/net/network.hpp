@@ -17,6 +17,7 @@
 #include "net/powerline.hpp"
 #include "net/segment.hpp"
 #include "net/stream.hpp"
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hcm::net {
@@ -25,7 +26,16 @@ using ConnectCallback = std::function<void(Result<StreamPtr>)>;
 
 class Network {
  public:
-  explicit Network(sim::Scheduler& sched) : sched_(sched) {}
+  explicit Network(sim::Scheduler& sched)
+      : sched_(sched),
+        obs_scope_(obs::Registry::global().unique_scope("net")),
+        datagrams_sent_(
+            obs::Registry::global().counter(obs_scope_ + ".datagrams_sent")),
+        datagrams_dropped_(obs::Registry::global().counter(
+            obs_scope_ + ".datagrams_dropped")),
+        stream_connects_(
+            obs::Registry::global().counter(obs_scope_ + ".stream_connects")) {
+  }
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
@@ -70,11 +80,15 @@ class Network {
   // side to the listener and the connect side to `cb`.
   void connect(NodeId from, Endpoint to, ConnectCallback cb);
 
-  // Counters.
-  [[nodiscard]] std::uint64_t datagrams_sent() const { return datagrams_sent_; }
-  [[nodiscard]] std::uint64_t datagrams_dropped() const {
-    return datagrams_dropped_;
+  // Counters (backed by the obs registry under `obs_scope()`; these
+  // accessors are thin reads kept for existing call sites).
+  [[nodiscard]] std::uint64_t datagrams_sent() const {
+    return datagrams_sent_.value();
   }
+  [[nodiscard]] std::uint64_t datagrams_dropped() const {
+    return datagrams_dropped_.value();
+  }
+  [[nodiscard]] const std::string& obs_scope() const { return obs_scope_; }
 
  private:
   friend class Stream;
@@ -92,8 +106,10 @@ class Network {
   std::vector<std::unique_ptr<Segment>> segments_;
   std::map<NodeId, std::vector<Segment*>> attachments_;
   std::map<GroupId, std::set<NodeId>> groups_;
-  std::uint64_t datagrams_sent_ = 0;
-  std::uint64_t datagrams_dropped_ = 0;
+  std::string obs_scope_;
+  obs::Counter& datagrams_sent_;
+  obs::Counter& datagrams_dropped_;
+  obs::Counter& stream_connects_;
 };
 
 }  // namespace hcm::net

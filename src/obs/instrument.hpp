@@ -1,0 +1,68 @@
+// Glue for instrumenting the framework's async callback style: wrap an
+// InvokeResultFn so that completion (whenever it fires, on whatever
+// virtual-time tick) records the operation's latency, counts errors,
+// and closes the hop's span.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "common/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hcm::obs {
+
+// Returns a completion that: observes (now - start) into `latency`,
+// increments `errors` on a failed result (if non-null), ends `span_id`
+// on the global tracer (no-op when 0), then forwards to `done`.
+inline InvokeResultFn observe_completion(sim::Scheduler& sched,
+                                         Histogram& latency, Counter* errors,
+                                         std::uint64_t span_id,
+                                         InvokeResultFn done) {
+  const sim::SimTime start = sched.now();
+  return [&sched, &latency, errors, span_id, start,
+          done = std::move(done)](Result<Value> r) {
+    latency.observe(sched.now() - start);
+    if (!r.is_ok() && errors != nullptr) errors->inc();
+    Tracer::global().end_span(span_id, sched.now(), r.is_ok());
+    done(std::move(r));
+  };
+}
+
+// One native adapter invoke. Construction counts
+// "adapter.<mw>.invokes" and opens an "<mw>.invoke:service.method"
+// span that stays current for the constructor's enclosing scope (so
+// synchronous downstream dispatch — server proxies, VSG calls — nests
+// under it); wrap() returns a completion that observes
+// "adapter.<mw>.invoke_us", counts ".errors", and closes the span.
+class ScopedInvoke {
+ public:
+  ScopedInvoke(sim::Scheduler& sched, const std::string& mw,
+               const std::string& service, const std::string& method)
+      : sched_(sched),
+        latency_(
+            Registry::global().histogram("adapter." + mw + ".invoke_us")),
+        errors_(Registry::global().counter("adapter." + mw + ".errors")),
+        span_id_(Tracer::global().begin_span(
+            mw + ".invoke:" + service + "." + method, "adapter." + mw,
+            sched.now())),
+        scope_(Tracer::global(), Tracer::global().context_of(span_id_)) {
+    Registry::global().counter("adapter." + mw + ".invokes").inc();
+  }
+
+  [[nodiscard]] InvokeResultFn wrap(InvokeResultFn done) {
+    return observe_completion(sched_, latency_, &errors_, span_id_,
+                              std::move(done));
+  }
+
+ private:
+  sim::Scheduler& sched_;
+  Histogram& latency_;
+  Counter& errors_;
+  std::uint64_t span_id_;
+  Tracer::Scope scope_;
+};
+
+}  // namespace hcm::obs

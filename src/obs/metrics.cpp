@@ -1,0 +1,164 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hcm::obs {
+
+namespace {
+bool g_enabled = true;
+}  // namespace
+
+bool enabled() { return g_enabled; }
+void set_enabled(bool on) { g_enabled = on; }
+
+void Histogram::observe(std::int64_t v) {
+#ifdef HCM_OBS_COMPILED_OUT
+  (void)v;
+#else
+  if (!enabled()) return;
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  std::size_t i = 0;
+  while (i < kBounds.size() && v > kBounds[i]) ++i;
+  ++buckets_[i];
+#endif
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  const double rank = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) >= rank && buckets_[i] > 0) {
+      // Bucket upper bound, clamped to the observed extremes so small
+      // samples don't report a bound no value ever reached.
+      std::int64_t bound = i < kBounds.size() ? kBounds[i] : max_;
+      return std::clamp(bound, min_, max_);
+    }
+  }
+  return max_;
+}
+
+Value Histogram::snapshot() const {
+  return Value(ValueMap{
+      {"count", Value(static_cast<std::int64_t>(count_))},
+      {"sum", Value(sum_)},
+      {"min", Value(min())},
+      {"max", Value(max())},
+      {"p50", Value(percentile(50))},
+      {"p95", Value(percentile(95))},
+      {"p99", Value(percentile(99))},
+  });
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+Registry& Registry::global() {
+  static Registry g;
+  return g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::string Registry::unique_scope(const std::string& base) {
+  auto n = ++scopes_[base];
+  if (n == 1) return base;
+  return base + "#" + std::to_string(n);
+}
+
+namespace {
+bool has_prefix(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+}  // namespace
+
+Value Registry::to_value(const std::string& prefix) const {
+  ValueMap out;
+  for (const auto& [name, c] : counters_) {
+    if (!has_prefix(name, prefix)) continue;
+    out[name] = Value(static_cast<std::int64_t>(c->value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!has_prefix(name, prefix)) continue;
+    out[name] = Value(g->value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!has_prefix(name, prefix)) continue;
+    out[name] = h->snapshot();
+  }
+  return Value(std::move(out));
+}
+
+std::string Registry::to_text(const std::string& prefix) const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    if (!has_prefix(name, prefix)) continue;
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!has_prefix(name, prefix)) continue;
+    os << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!has_prefix(name, prefix)) continue;
+    os << name << " count=" << h->count() << " sum=" << h->sum()
+       << " min=" << h->min() << " max=" << h->max()
+       << " p50=" << h->percentile(50) << " p95=" << h->percentile(95)
+       << " p99=" << h->percentile(99) << "\n";
+  }
+  return os.str();
+}
+
+void Registry::reset_values() {
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace hcm::obs

@@ -1,0 +1,144 @@
+// Process-wide metrics registry: named counters, gauges and fixed-
+// bucket latency histograms, the single source of truth for every
+// counter the framework exposes. Instrumented objects obtain stable
+// Counter&/Histogram& references at construction and keep their public
+// accessors as thin reads, so existing call sites and tests are
+// unchanged while the whole surface becomes introspectable through one
+// snapshot (obs::ObservabilityService serves it across islands).
+//
+// The simulator is single-threaded by design, so no synchronization is
+// needed. Metric values can be disabled at runtime (set_enabled) for
+// overhead measurement, and the HCM_OBS_COMPILED_OUT compile definition
+// turns every mutation into a no-op for a truly uninstrumented build
+// (such a build still links — reads just return zero).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/value.hpp"
+
+namespace hcm::obs {
+
+// Runtime switch over all metric mutation (reads always work). On by
+// default: migrated counters back public accessors existing tests rely
+// on. bench_ext_obs_overhead flips it for the uninstrumented arm.
+[[nodiscard]] bool enabled();
+void set_enabled(bool on);
+
+class Counter {
+ public:
+  void inc(std::uint64_t d = 1) {
+#ifndef HCM_OBS_COMPILED_OUT
+    if (enabled()) v_ += d;
+#endif
+  }
+  [[nodiscard]] std::uint64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+#ifndef HCM_OBS_COMPILED_OUT
+    if (enabled()) v_ = v;
+#endif
+  }
+  void add(std::int64_t d) {
+#ifndef HCM_OBS_COMPILED_OUT
+    if (enabled()) v_ += d;
+#endif
+  }
+  [[nodiscard]] std::int64_t value() const { return v_; }
+  void reset() { v_ = 0; }
+
+ private:
+  std::int64_t v_ = 0;
+};
+
+// Fixed-bucket histogram for virtual-time latencies in microseconds.
+// Buckets follow a 1-2.5-5 decade ladder from 1 us to 10 s; percentile
+// queries return the upper bound of the bucket holding the requested
+// rank (clamped to the exact observed max), which is the usual
+// fixed-bucket approximation.
+class Histogram {
+ public:
+  static constexpr std::array<std::int64_t, 22> kBounds = {
+      1,      2,      5,       10,      25,      50,        100,     250,
+      500,    1000,   2500,    5000,    10000,   25000,     50000,   100000,
+      250000, 500000, 1000000, 2500000, 5000000, 10000000};
+
+  void observe(std::int64_t v);
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] std::int64_t sum() const { return sum_; }
+  [[nodiscard]] std::int64_t min() const { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  // p in [0, 100]; p50/p95/p99 are the snapshot trio.
+  [[nodiscard]] std::int64_t percentile(double p) const;
+  // {count, sum, min, max, p50, p95, p99} as a ValueMap.
+  [[nodiscard]] Value snapshot() const;
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kBounds.size() + 1> buckets_{};
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+// Named-metric registry. Metrics are created on first use and live for
+// the process (instances hold plain references); the same name always
+// resolves to the same object. Counters, gauges and histograms occupy
+// separate namespaces.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // The process-wide registry every built-in instrumentation site uses.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  // nullptr when the metric was never created (lint/tests).
+  [[nodiscard]] const Counter* find_counter(const std::string& name) const;
+  [[nodiscard]] const Gauge* find_gauge(const std::string& name) const;
+  [[nodiscard]] const Histogram* find_histogram(const std::string& name) const;
+
+  // Instance-unique scope prefix: first caller gets `base`, later ones
+  // "base#2", "base#3", ... so repeated constructions (tests build many
+  // homes per process) never alias each other's counters.
+  std::string unique_scope(const std::string& base);
+
+  [[nodiscard]] std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  // Snapshot of every metric whose name starts with `prefix` as a
+  // ValueMap: counters/gauges map to ints, histograms to their
+  // {count, sum, min, max, p50, p95, p99} maps.
+  [[nodiscard]] Value to_value(const std::string& prefix = "") const;
+  // Human-readable dump, one metric per line, sorted by name.
+  [[nodiscard]] std::string to_text(const std::string& prefix = "") const;
+
+  // Zeroes every value but keeps registrations (bench arms).
+  void reset_values();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::size_t> scopes_;
+};
+
+}  // namespace hcm::obs

@@ -1,0 +1,45 @@
+#include "obs/service.hpp"
+
+namespace hcm::obs {
+
+InterfaceDesc ObservabilityService::describe_interface() {
+  InterfaceDesc iface;
+  iface.name = "Observability";
+  iface.methods = {
+      MethodDesc{"getMetrics",
+                 {ParamDesc{"prefix", ValueType::kString}},
+                 ValueType::kMap,
+                 false},
+      MethodDesc{"getTrace",
+                 {ParamDesc{"traceId", ValueType::kInt}},
+                 ValueType::kString,
+                 false},
+      MethodDesc{"getSpanCount", {}, ValueType::kInt, false},
+  };
+  return iface;
+}
+
+ServiceHandler ObservabilityService::handler() {
+  return [this](const std::string& method, const ValueList& args,
+                InvokeResultFn done) {
+    if (method == "getMetrics") {
+      const std::string prefix =
+          !args.empty() && args[0].is_string() ? args[0].as_string() : "";
+      done(registry_.to_value(prefix));
+      return;
+    }
+    if (method == "getTrace") {
+      const std::uint64_t trace_id = static_cast<std::uint64_t>(
+          args.empty() ? 0 : args[0].to_int().value_or(0));
+      done(Value(tracer_.export_chrome(trace_id)));
+      return;
+    }
+    if (method == "getSpanCount") {
+      done(Value(static_cast<std::int64_t>(tracer_.span_count())));
+      return;
+    }
+    done(not_found("observability: no such method: " + method));
+  };
+}
+
+}  // namespace hcm::obs

@@ -1,0 +1,34 @@
+// The introspection service: the meta-middleware observing itself
+// through its own gateways. ObservabilityService is an ordinary
+// framework service — an InterfaceDesc plus a ServiceHandler — so
+// MetaMiddleware can expose it on any island's VSG and publish its WSDL
+// to the VSR, letting a client on *any* middleware island call
+// getMetrics/getTrace like any other remote service.
+#pragma once
+
+#include "common/interface_desc.hpp"
+#include "common/service.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hcm::obs {
+
+class ObservabilityService {
+ public:
+  static constexpr const char* kServiceName = "observability";
+
+  ObservabilityService(Registry& registry, Tracer& tracer)
+      : registry_(registry), tracer_(tracer) {}
+
+  // getMetrics(prefix: string) -> map of name -> value/snapshot
+  // getTrace(traceId: int)     -> Chrome trace_event JSON (0 = all)
+  // getSpanCount()             -> number of recorded spans
+  [[nodiscard]] static InterfaceDesc describe_interface();
+  [[nodiscard]] ServiceHandler handler();
+
+ private:
+  Registry& registry_;
+  Tracer& tracer_;
+};
+
+}  // namespace hcm::obs

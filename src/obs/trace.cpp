@@ -1,0 +1,151 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace hcm::obs {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << v;
+  return os.str();
+}
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer g;
+  return g;
+}
+
+void Tracer::set_enabled(bool on) {
+  enabled_ = on;
+  if (on) {
+    Log::set_context_provider([this]() -> std::string {
+      if (!current_.valid()) return "";
+      return "trace=" + hex(current_.trace_id) +
+             " span=" + hex(current_.span_id);
+    });
+  } else {
+    Log::set_context_provider(nullptr);
+  }
+}
+
+std::uint64_t Tracer::begin_span(const std::string& name,
+                                 const std::string& component,
+                                 sim::SimTime now) {
+  if (!enabled_) return 0;
+  Span s;
+  s.span_id = next_id_++;
+  if (current_.valid()) {
+    s.trace_id = current_.trace_id;
+    s.parent_span_id = current_.span_id;
+  } else {
+    s.trace_id = next_id_++;
+  }
+  s.name = name;
+  s.component = component;
+  s.start = now;
+  s.end = now;
+  spans_.push_back(std::move(s));
+  return spans_.back().span_id;
+}
+
+void Tracer::end_span(std::uint64_t span_id, sim::SimTime now, bool ok) {
+  if (span_id == 0) return;
+  // Spans close in roughly LIFO order, so scan from the back.
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->span_id == span_id) {
+      if (!it->open) return;
+      it->open = false;
+      it->end = now;
+      it->ok = ok;
+      return;
+    }
+  }
+}
+
+TraceContext Tracer::context_of(std::uint64_t span_id) const {
+  for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
+    if (it->span_id == span_id) {
+      return TraceContext{it->trace_id, it->span_id, it->parent_span_id};
+    }
+  }
+  return {};
+}
+
+void Tracer::clear() {
+  spans_.clear();
+  next_id_ = 1;
+  current_ = {};
+}
+
+std::string Tracer::export_chrome(std::uint64_t trace_id) const {
+  // One Chrome "thread" row per component, in first-seen order.
+  std::map<std::string, int> tids;
+  for (const auto& s : spans_) {
+    if (trace_id != 0 && s.trace_id != trace_id) continue;
+    tids.emplace(s.component, static_cast<int>(tids.size()) + 1);
+  }
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [component, tid] : tids) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"";
+    json_escape(os, component);
+    os << "\"}}";
+  }
+  for (const auto& s : spans_) {
+    if (trace_id != 0 && s.trace_id != trace_id) continue;
+    if (!first) os << ",";
+    first = false;
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tids[s.component]
+       << ",\"ts\":" << s.start << ",\"dur\":" << (s.end - s.start)
+       << ",\"name\":\"";
+    json_escape(os, s.name);
+    os << "\",\"args\":{\"trace\":\"" << hex(s.trace_id) << "\",\"span\":\""
+       << hex(s.span_id) << "\",\"parent\":\"" << hex(s.parent_span_id)
+       << "\",\"ok\":" << (s.ok ? "true" : "false") << "}}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+bool Tracer::write_chrome(const std::string& path,
+                          std::uint64_t trace_id) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << export_chrome(trace_id) << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace hcm::obs

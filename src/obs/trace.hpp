@@ -1,0 +1,105 @@
+// Cross-island causal tracing. A TraceContext (trace id, span id,
+// parent span id) travels with every invocation: in-process via the
+// Tracer's current-context slot (Scope RAII), across the wire inside a
+// SOAP <hcm:Trace> header or the binary channel's "tr" frame field.
+// Each hop records a Span keyed to sim-scheduler virtual time, and the
+// whole trace exports as Chrome trace_event JSON (load via
+// chrome://tracing or https://ui.perfetto.dev).
+//
+// Tracing is off by default: span ids are allocated from a process
+// counter, so leaving it on would let unrelated tests perturb each
+// other's exports. It is deterministic whenever the run is — ids come
+// from the counter and timestamps from virtual time, never from the
+// wall clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hcm::obs {
+
+// 0 means "unset" for every id field.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+
+  [[nodiscard]] bool valid() const { return trace_id != 0 && span_id != 0; }
+};
+
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+  std::string name;
+  std::string component;  // maps to the Chrome trace "thread" row
+  sim::SimTime start = 0;
+  sim::SimTime end = 0;
+  bool open = true;
+  bool ok = true;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  static Tracer& global();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  // Enabling also installs the logging context provider so log lines
+  // carry "trace=<hex> span=<hex>" while a context is in scope.
+  void set_enabled(bool on);
+
+  // Starts a span as a child of the current context (or a new trace if
+  // none is current). Returns the span id; 0 when tracing is disabled.
+  std::uint64_t begin_span(const std::string& name,
+                           const std::string& component, sim::SimTime now);
+  void end_span(std::uint64_t span_id, sim::SimTime now, bool ok = true);
+
+  [[nodiscard]] const TraceContext& current() const { return current_; }
+  // Context a wire hop should carry for the given span (its child
+  // frame): {trace, span} of that span. Zero context if unknown.
+  [[nodiscard]] TraceContext context_of(std::uint64_t span_id) const;
+
+  // RAII current-context swap for the duration of a synchronous
+  // dispatch segment.
+  class Scope {
+   public:
+    Scope(Tracer& tracer, const TraceContext& ctx)
+        : tracer_(tracer), saved_(tracer.current_) {
+      tracer_.current_ = ctx;
+    }
+    ~Scope() { tracer_.current_ = saved_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Tracer& tracer_;
+    TraceContext saved_;
+  };
+
+  [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  // Drops recorded spans and resets id allocation + current context.
+  void clear();
+
+  // Chrome trace_event JSON ("X" complete events, ts in virtual µs,
+  // one tid per component with thread_name metadata). trace_id == 0
+  // exports every recorded span.
+  [[nodiscard]] std::string export_chrome(std::uint64_t trace_id = 0) const;
+  [[nodiscard]] bool write_chrome(const std::string& path,
+                                  std::uint64_t trace_id = 0) const;
+
+ private:
+  bool enabled_ = false;
+  std::uint64_t next_id_ = 1;
+  TraceContext current_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace hcm::obs

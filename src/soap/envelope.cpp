@@ -1,5 +1,7 @@
 #include "soap/envelope.hpp"
 
+#include <cstdlib>
+
 #include "soap/value_xml.hpp"
 #include "xml/xml.hpp"
 
@@ -57,7 +59,20 @@ Fault Fault::from_status(const Status& status) {
 
 std::string build_call(const std::string& ns, const std::string& method,
                        const NamedValues& params) {
+  return build_call(ns, method, params, obs::TraceContext{});
+}
+
+std::string build_call(const std::string& ns, const std::string& method,
+                       const NamedValues& params,
+                       const obs::TraceContext& trace) {
   auto env = make_envelope();
+  if (trace.valid()) {
+    auto& header = env->add_child("SOAP-ENV:Header");
+    auto& t = header.add_child("hcm:Trace");
+    t.set_attr("xmlns:hcm", "urn:hcm:trace");
+    t.set_attr("traceId", std::to_string(trace.trace_id));
+    t.set_attr("spanId", std::to_string(trace.span_id));
+  }
   auto& body = env->add_child("SOAP-ENV:Body");
   auto& call = body.add_child("m:" + method);
   call.set_attr("xmlns:m", ns);
@@ -102,6 +117,16 @@ Result<Envelope> parse_envelope(std::string_view body_text) {
   const xml::Element& op = *body->children().front();
 
   Envelope env;
+  if (const auto* header = root.child("Header")) {
+    if (const auto* t = header->child("Trace")) {
+      if (const auto* a = t->attr("traceId")) {
+        env.trace.trace_id = std::strtoull(a->c_str(), nullptr, 10);
+      }
+      if (const auto* a = t->attr("spanId")) {
+        env.trace.span_id = std::strtoull(a->c_str(), nullptr, 10);
+      }
+    }
+  }
   if (op.local_name() == "Fault") {
     env.is_fault = true;
     if (const auto* c = op.child("faultcode")) env.fault.code = c->text();

@@ -8,6 +8,7 @@
 
 #include "common/status.hpp"
 #include "common/value.hpp"
+#include "obs/trace.hpp"
 
 namespace hcm::soap {
 
@@ -29,11 +30,21 @@ struct Envelope {
   std::string method;      // body element local name
   std::string method_ns;   // body element namespace URI (xmlns attr)
   NamedValues params;      // in-order child parameters
+  // From the <hcm:Trace> header, when present (zero ids otherwise).
+  obs::TraceContext trace;
 };
 
 [[nodiscard]] std::string build_call(const std::string& ns,
                                      const std::string& method,
                                      const NamedValues& params);
+// As above, plus an <hcm:Trace traceId spanId> header when `trace` is
+// valid — the cross-island propagation half of obs tracing. With an
+// invalid (zeroed) context the output is byte-identical to the
+// header-less form.
+[[nodiscard]] std::string build_call(const std::string& ns,
+                                     const std::string& method,
+                                     const NamedValues& params,
+                                     const obs::TraceContext& trace);
 [[nodiscard]] std::string build_response(const std::string& ns,
                                          const std::string& method,
                                          const Value& result);

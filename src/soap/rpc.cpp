@@ -1,6 +1,7 @@
 #include "soap/rpc.hpp"
 
 #include "common/logging.hpp"
+#include "obs/trace.hpp"
 
 namespace hcm::soap {
 
@@ -14,7 +15,11 @@ http::Response soap_response(int status, const std::string& reason,
 }  // namespace
 
 SoapService::SoapService(http::HttpServer& http_server, std::string path)
-    : http_server_(http_server), path_(std::move(path)) {
+    : http_server_(http_server),
+      path_(std::move(path)),
+      obs_scope_(obs::Registry::global().unique_scope("soap.service")),
+      calls_handled_(obs::Registry::global().counter(obs_scope_ + ".calls")),
+      faults_sent_(obs::Registry::global().counter(obs_scope_ + ".faults")) {
   http_server_.route(path_, [this](const http::Request& req,
                                    http::RespondFn respond) {
     handle(req, std::move(respond));
@@ -34,6 +39,7 @@ void SoapService::unregister_method(const std::string& method) {
 
 void SoapService::handle(const http::Request& req, http::RespondFn respond) {
   if (req.method != "POST") {
+    faults_sent_.inc();
     respond(soap_response(405, "Method Not Allowed",
                           build_fault(Fault{"SOAP-ENV:Client",
                                             "SOAP requires POST", ""})));
@@ -41,35 +47,52 @@ void SoapService::handle(const http::Request& req, http::RespondFn respond) {
   }
   auto env = parse_envelope(req.body);
   if (!env.is_ok()) {
+    faults_sent_.inc();
     respond(soap_response(
         400, "Bad Request",
         build_fault(Fault::from_status(env.status()))));
     return;
   }
   if (env.value().is_fault) {
+    faults_sent_.inc();
     respond(soap_response(
         400, "Bad Request",
         build_fault(Fault{"SOAP-ENV:Client", "fault sent as request", ""})));
     return;
   }
-  ++calls_handled_;
+  calls_handled_.inc();
   const auto& call = env.value();
   auto it = methods_.find(call.method);
   if (it == methods_.end()) {
+    faults_sent_.inc();
     respond(soap_response(
         500, "Internal Server Error",
         build_fault(Fault::from_status(
             not_found("no such method: " + call.method)))));
     return;
   }
+  // Rejoin the caller's trace: the <hcm:Trace> header carries the
+  // client-side span, which becomes this dispatch span's parent. The
+  // scopes make it current while the handler runs synchronously, so
+  // downstream hops (VSG dispatch, nested remote calls) nest under it.
+  auto& tracer = obs::Tracer::global();
+  auto& sched = http_server_.network().scheduler();
+  obs::Tracer::Scope wire_scope(tracer, call.trace);
+  const std::uint64_t span_id =
+      tracer.begin_span("soap.server:" + call.method, "soap.server",
+                        sched.now());
+  obs::Tracer::Scope span_scope(tracer, tracer.context_of(span_id));
   auto ns = call.method_ns.empty() ? "urn:hcm" : call.method_ns;
   it->second(call.params,
-             [respond = std::move(respond), ns, method = call.method](
-                 Result<Value> result) {
+             [respond = std::move(respond), ns, method = call.method,
+              &faults = faults_sent_, &tracer, &sched,
+              span_id](Result<Value> result) {
+               tracer.end_span(span_id, sched.now(), result.is_ok());
                if (result.is_ok()) {
                  respond(soap_response(
                      200, "OK", build_response(ns, method, result.value())));
                } else {
+                 faults.inc();
                  respond(soap_response(
                      500, "Internal Server Error",
                      build_fault(Fault::from_status(result.status()))));
@@ -80,28 +103,40 @@ void SoapService::handle(const http::Request& req, http::RespondFn respond) {
 void SoapClient::call(net::Endpoint dest, const std::string& path,
                       const std::string& ns, const std::string& method,
                       const NamedValues& params, CallResultFn done) {
-  ++calls_sent_;
+  calls_sent_.inc();
+  // The wire header carries this client span's context, so the remote
+  // dispatch span parents to it and the trace stays connected across
+  // the island hop.
+  auto& tracer = obs::Tracer::global();
+  auto& sched = http_.network().scheduler();
+  const std::uint64_t span_id =
+      tracer.begin_span("soap.call:" + method, "soap.client", sched.now());
   http::Request req;
   req.method = "POST";
   req.target = path;
-  req.body = build_call(ns, method, params);
+  req.body = build_call(ns, method, params, tracer.context_of(span_id));
   req.set_header("Content-Type", "text/xml; charset=utf-8");
   req.set_header("SOAPAction", "\"" + ns + "#" + method + "\"");
   http_.request(dest, std::move(req),
-                [done = std::move(done)](Result<http::Response> resp) {
+                [done = std::move(done), &tracer, &sched,
+                 span_id](Result<http::Response> resp) {
                   if (!resp.is_ok()) {
+                    tracer.end_span(span_id, sched.now(), false);
                     done(resp.status());
                     return;
                   }
                   auto env = parse_envelope(resp.value().body);
                   if (!env.is_ok()) {
+                    tracer.end_span(span_id, sched.now(), false);
                     done(env.status());
                     return;
                   }
                   if (env.value().is_fault) {
+                    tracer.end_span(span_id, sched.now(), false);
                     done(env.value().fault.to_status());
                     return;
                   }
+                  tracer.end_span(span_id, sched.now(), true);
                   // RPC convention: single <return> child (or first param).
                   if (env.value().params.empty()) {
                     done(Value());

@@ -12,6 +12,7 @@
 
 #include "http/client.hpp"
 #include "http/server.hpp"
+#include "obs/metrics.hpp"
 #include "soap/envelope.hpp"
 
 namespace hcm::soap {
@@ -45,7 +46,9 @@ class SoapService {
   }
 
   [[nodiscard]] const std::string& path() const { return path_; }
-  [[nodiscard]] std::uint64_t calls_handled() const { return calls_handled_; }
+  [[nodiscard]] std::uint64_t calls_handled() const {
+    return calls_handled_.value();
+  }
 
  private:
   void handle(const http::Request& req, http::RespondFn respond);
@@ -53,7 +56,9 @@ class SoapService {
   http::HttpServer& http_server_;
   std::string path_;
   std::map<std::string, MethodHandler> methods_;
-  std::uint64_t calls_handled_ = 0;
+  std::string obs_scope_;
+  obs::Counter& calls_handled_;
+  obs::Counter& faults_sent_;
 };
 
 // Client-side SOAP call helper.
@@ -61,7 +66,10 @@ class SoapClient {
  public:
   SoapClient(net::Network& net, net::NodeId node,
              http::HttpClient::Options options = http::HttpClient::Options{})
-      : http_(net, node, options) {}
+      : http_(net, node, options),
+        calls_sent_(obs::Registry::global().counter(
+            obs::Registry::global().unique_scope("soap.client") +
+            ".calls_sent")) {}
 
   // Invokes `method` at dest/path. The result callback receives the
   // decoded return value or the fault converted back to a Status.
@@ -69,11 +77,11 @@ class SoapClient {
             const std::string& ns, const std::string& method,
             const NamedValues& params, CallResultFn done);
 
-  [[nodiscard]] std::uint64_t calls_sent() const { return calls_sent_; }
+  [[nodiscard]] std::uint64_t calls_sent() const { return calls_sent_.value(); }
 
  private:
   http::HttpClient http_;
-  std::uint64_t calls_sent_ = 0;
+  obs::Counter& calls_sent_;
 };
 
 }  // namespace hcm::soap

@@ -39,6 +39,27 @@ ValueType value_type_for_xsi(std::string_view xsi) {
   return ValueType::kNull;
 }
 
+namespace {
+
+// Conservative XML NCName check for map keys. Keys that fail (metric
+// names like "http.server#2.requests") are carried in a key attribute
+// on an <entry> element instead of as the element name itself.
+bool is_xml_name(const std::string& s) {
+  if (s.empty()) return false;
+  auto name_start = [](char c) {
+    return (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || c == '_';
+  };
+  if (!name_start(s[0])) return false;
+  for (char c : s) {
+    if (!name_start(c) && !(c >= '0' && c <= '9') && c != '-' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 void value_to_xml(const std::string& name, const Value& v,
                   xml::Element& parent) {
   auto& elem = parent.add_child(name);
@@ -71,7 +92,14 @@ void value_to_xml(const std::string& name, const Value& v,
       for (const auto& item : v.as_list()) value_to_xml("item", item, elem);
       break;
     case ValueType::kMap:
-      for (const auto& [k, item] : v.as_map()) value_to_xml(k, item, elem);
+      for (const auto& [k, item] : v.as_map()) {
+        if (is_xml_name(k)) {
+          value_to_xml(k, item, elem);
+        } else {
+          value_to_xml("entry", item, elem);
+          elem.children().back()->set_attr("key", k);
+        }
+      }
       break;
   }
 }
@@ -144,7 +172,11 @@ Result<Value> value_from_xml(const xml::Element& elem) {
       for (const auto& c : elem.children()) {
         auto item = value_from_xml(*c);
         if (!item.is_ok()) return item.status();
-        map.emplace(std::string(c->local_name()), std::move(item).take());
+        std::string key(c->local_name());
+        if (key == "entry") {
+          if (const auto* k = c->attr("key")) key = *k;
+        }
+        map.emplace(std::move(key), std::move(item).take());
       }
       return Value(std::move(map));
     }

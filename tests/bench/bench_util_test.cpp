@@ -1,0 +1,65 @@
+// JsonReport contract: string values are escaped (quotes, backslashes,
+// control characters survive as \uXXXX, never raw), and append mode
+// adds a report as a new line instead of clobbering the file.
+#include "bench/bench_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace hcm::bench {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class JsonReportTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "bench_util_test.json";
+};
+
+TEST_F(JsonReportTest, EscapesControlCharactersInStrings) {
+  JsonReport report("esc");
+  report.row().str("k", "a\nb\tc \"quoted\" back\\slash \x01");
+  ASSERT_TRUE(report.write(path_));
+  const std::string json = slurp(path_);
+  EXPECT_NE(json.find("a\\nb\\tc \\\"quoted\\\" back\\\\slash \\u0001"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(json.find('\x01'), std::string::npos);
+}
+
+TEST_F(JsonReportTest, AppendAddsReportsWithoutClobbering) {
+  JsonReport a("first");
+  a.row().num("n", std::uint64_t{1});
+  JsonReport b("second");
+  b.row().num("n", std::uint64_t{2});
+  ASSERT_TRUE(a.write(path_));
+  ASSERT_TRUE(b.write(path_, /*append=*/true));
+  const std::string json = slurp(path_);
+  EXPECT_NE(json.find("\"first\""), std::string::npos);
+  EXPECT_NE(json.find("\"second\""), std::string::npos);
+  EXPECT_LT(json.find("first"), json.find("second"));
+}
+
+TEST_F(JsonReportTest, PlainWriteReplacesExistingContent) {
+  JsonReport a("old");
+  a.row().num("n", std::uint64_t{1});
+  ASSERT_TRUE(a.write(path_));
+  JsonReport b("fresh");
+  b.row().num("n", std::uint64_t{2});
+  ASSERT_TRUE(b.write(path_));
+  const std::string json = slurp(path_);
+  EXPECT_EQ(json.find("old"), std::string::npos);
+  EXPECT_NE(json.find("fresh"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcm::bench

@@ -1,0 +1,173 @@
+// Metrics registry unit tests: counter/gauge semantics, histogram
+// bucketing and percentile approximation, name->object stability,
+// unique scopes, snapshot export and the runtime disable switch.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcm::obs {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(HistogramTest, TracksExactMinMaxSum) {
+  Histogram h;
+  h.observe(3);
+  h.observe(700);
+  h.observe(12);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 715);
+  EXPECT_EQ(h.min(), 3);
+  EXPECT_EQ(h.max(), 700);
+}
+
+TEST(HistogramTest, PercentileReturnsBucketUpperBound) {
+  Histogram h;
+  // 100 samples of 3us: every percentile lands in the (2, 5] bucket,
+  // whose bound 5 is then clamped to the exact observed max 3.
+  for (int i = 0; i < 100; ++i) h.observe(3);
+  EXPECT_EQ(h.percentile(50), 3);
+  EXPECT_EQ(h.percentile(99), 3);
+
+  // 90 fast + 10 slow: p50 stays in the fast bucket, p99 in the slow.
+  Histogram mixed;
+  for (int i = 0; i < 90; ++i) mixed.observe(80);
+  for (int i = 0; i < 10; ++i) mixed.observe(9000);
+  EXPECT_EQ(mixed.percentile(50), 100);   // bucket (50, 100]
+  EXPECT_EQ(mixed.percentile(99), 9000);  // bound 10000 clamped to max
+  EXPECT_LE(mixed.percentile(50), mixed.percentile(95));
+  EXPECT_LE(mixed.percentile(95), mixed.percentile(99));
+}
+
+TEST(HistogramTest, OverflowBucketHoldsHugeSamples) {
+  Histogram h;
+  h.observe(Histogram::kBounds.back() * 5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(99), Histogram::kBounds.back() * 5);
+}
+
+TEST(HistogramTest, SnapshotValueMapShape) {
+  Histogram h;
+  h.observe(10);
+  h.observe(20);
+  Value snap = h.snapshot();
+  ASSERT_TRUE(snap.is_map());
+  EXPECT_EQ(snap.at("count"), Value(std::int64_t{2}));
+  EXPECT_EQ(snap.at("sum"), Value(std::int64_t{30}));
+  EXPECT_EQ(snap.at("min"), Value(std::int64_t{10}));
+  EXPECT_EQ(snap.at("max"), Value(std::int64_t{20}));
+  EXPECT_TRUE(snap.at("p50").is_int());
+  EXPECT_TRUE(snap.at("p95").is_int());
+  EXPECT_TRUE(snap.at("p99").is_int());
+}
+
+TEST(RegistryTest, SameNameResolvesToSameObject) {
+  Registry reg;
+  Counter& a = reg.counter("x.calls");
+  Counter& b = reg.counter("x.calls");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  // Counters, gauges and histograms occupy separate namespaces.
+  reg.gauge("x.calls").set(7);
+  EXPECT_EQ(reg.counter("x.calls").value(), 1u);
+  EXPECT_EQ(reg.size(), 2u);  // one counter + one gauge
+}
+
+TEST(RegistryTest, FindReturnsNullForUnknown) {
+  Registry reg;
+  EXPECT_EQ(reg.find_counter("nope"), nullptr);
+  EXPECT_EQ(reg.find_histogram("nope"), nullptr);
+  reg.counter("yes").inc();
+  ASSERT_NE(reg.find_counter("yes"), nullptr);
+  EXPECT_EQ(reg.find_counter("yes")->value(), 1u);
+}
+
+TEST(RegistryTest, UniqueScopeNeverAliases) {
+  Registry reg;
+  EXPECT_EQ(reg.unique_scope("vsg.jini"), "vsg.jini");
+  EXPECT_EQ(reg.unique_scope("vsg.jini"), "vsg.jini#2");
+  EXPECT_EQ(reg.unique_scope("vsg.jini"), "vsg.jini#3");
+  EXPECT_EQ(reg.unique_scope("vsg.havi"), "vsg.havi");
+}
+
+TEST(RegistryTest, ToValueFiltersByPrefix) {
+  Registry reg;
+  reg.counter("net.sent").inc(5);
+  reg.counter("http.requests").inc(2);
+  reg.histogram("http.latency_us").observe(100);
+  Value all = reg.to_value();
+  ASSERT_TRUE(all.is_map());
+  EXPECT_EQ(all.as_map().size(), 3u);
+  Value http = reg.to_value("http.");
+  ASSERT_TRUE(http.is_map());
+  EXPECT_EQ(http.as_map().size(), 2u);
+  EXPECT_EQ(http.at("http.requests"), Value(std::int64_t{2}));
+  EXPECT_TRUE(http.at("http.latency_us").is_map());
+}
+
+TEST(RegistryTest, ToTextListsMetricsSorted) {
+  Registry reg;
+  reg.counter("b.two").inc(2);
+  reg.counter("a.one").inc(1);
+  std::string text = reg.to_text();
+  auto a = text.find("a.one");
+  auto b = text.find("b.two");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+}
+
+TEST(RegistryTest, ResetValuesKeepsRegistrations) {
+  Registry reg;
+  reg.counter("c").inc(9);
+  reg.histogram("h").observe(50);
+  reg.reset_values();
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.counter("c").value(), 0u);
+  EXPECT_EQ(reg.histogram("h").count(), 0u);
+}
+
+TEST(EnableSwitchTest, DisabledMutationsAreNoOps) {
+  Counter c;
+  Histogram h;
+  set_enabled(false);
+  c.inc();
+  h.observe(10);
+  set_enabled(true);  // restore for every other test
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  c.inc();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(RegistryTest, GlobalIsStable) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+}
+
+}  // namespace
+}  // namespace hcm::obs

@@ -35,7 +35,12 @@ INSTANTIATE_TEST_SUITE_P(
         Value(ValueList{}),
         Value(ValueMap{{"a", Value(1)}, {"b", Value("x")}}),
         Value(ValueMap{
-            {"outer", Value(ValueMap{{"inner", Value(ValueList{Value(9)})}})}})));
+            {"outer", Value(ValueMap{{"inner", Value(ValueList{Value(9)})}})}}),
+        // Keys that are not valid XML names (metric scopes like
+        // "http.server#2") ride in an <entry key="..."> form.
+        Value(ValueMap{{"http.server#2.requests", Value(7)},
+                       {"9starts-with-digit", Value("v")},
+                       {"spaced key", Value(true)}})));
 
 TEST(SoapValueTest, XsiTypeStrings) {
   EXPECT_STREQ(xsi_type_for(ValueType::kInt), "xsd:long");

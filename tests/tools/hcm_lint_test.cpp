@@ -219,6 +219,53 @@ TEST_F(LintVsrTest, UnparsableWsdlIsFlagged) {
   EXPECT_TRUE(has_check(diags, "vsr-bad-wsdl")) << format_diagnostics(diags);
 }
 
+// --- observability contract ---------------------------------------------
+
+// Reuses the live-gateway fixture: expose() registers per-op metrics in
+// the global registry, so the clean case checks against that; violation
+// cases use a local registry shaped to each defect.
+class LintObsOpTest : public LintVsrTest {
+ protected:
+  std::string op_base(const std::string& method) const {
+    return vsg_->obs_scope() + ".op.lamp-1." + method;
+  }
+};
+
+TEST_F(LintObsOpTest, FreshlyExposedGatewayHasNoDiagnostics) {
+  auto diags = check_vsg_op_metrics(*vsg_, obs::Registry::global());
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST_F(LintObsOpTest, MissingHistogramIsFlagged) {
+  // A registry that never saw expose(): every mounted op is missing.
+  obs::Registry bare;
+  auto diags = check_vsg_op_metrics(*vsg_, bare);
+  EXPECT_TRUE(has_check(diags, "obs-op-missing")) << format_diagnostics(diags);
+  EXPECT_EQ(diags.size(), vsg_->exposed_ops().size());
+}
+
+TEST_F(LintObsOpTest, DispatchedButUnsampledOpIsFlagged) {
+  obs::Registry reg;
+  for (const auto& [service, method] : vsg_->exposed_ops()) {
+    reg.histogram(op_base(method) + "_us");  // registered, but empty
+    reg.counter(op_base(method) + ".calls").inc();
+  }
+  auto diags = check_vsg_op_metrics(*vsg_, reg);
+  EXPECT_TRUE(has_check(diags, "obs-op-unsampled"))
+      << format_diagnostics(diags);
+  EXPECT_FALSE(has_check(diags, "obs-op-missing"));
+}
+
+TEST_F(LintObsOpTest, SampledOpsAreClean) {
+  obs::Registry reg;
+  for (const auto& [service, method] : vsg_->exposed_ops()) {
+    reg.histogram(op_base(method) + "_us").observe(42);
+    reg.counter(op_base(method) + ".calls").inc();
+  }
+  auto diags = check_vsg_op_metrics(*vsg_, reg);
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
 // --- source scanner -----------------------------------------------------
 
 TEST(SourceScanTest, StripPreservesOffsetsAndRemovesLiterals) {

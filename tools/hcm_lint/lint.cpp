@@ -346,6 +346,32 @@ std::vector<WireFixture> registry_wire_fixtures() {
   };
 }
 
+Diagnostics check_vsg_op_metrics(const core::VirtualServiceGateway& vsg,
+                                 const obs::Registry& registry) {
+  Diagnostics out;
+  for (const auto& [service, method] : vsg.exposed_ops()) {
+    const std::string op = vsg.obs_scope() + ".op." + service + "." + method;
+    const std::string subject =
+        "vsg op '" + service + "." + method + "' (" + vsg.obs_scope() + ")";
+    const obs::Histogram* latency = registry.find_histogram(op + "_us");
+    if (latency == nullptr) {
+      out.push_back({"obs-op-missing", subject,
+                     "mounted wire op has no latency histogram '" + op +
+                         "_us' — expose() must register per-op metrics"});
+      continue;
+    }
+    const obs::Counter* calls = registry.find_counter(op + ".calls");
+    if (calls != nullptr && calls->value() > 0 && latency->count() == 0) {
+      out.push_back({"obs-op-unsampled", subject,
+                     std::to_string(calls->value()) +
+                         " dispatch(es) recorded but the latency histogram "
+                         "is empty — a completion path skips the observe "
+                         "wrapper"});
+    }
+  }
+  return out;
+}
+
 std::string format_diagnostics(const Diagnostics& diags) {
   std::ostringstream os;
   for (const auto& d : diags) {

@@ -12,6 +12,7 @@
 
 #include "common/interface_desc.hpp"
 #include "core/vsg.hpp"
+#include "obs/metrics.hpp"
 #include "net/network.hpp"
 #include "soap/uddi.hpp"
 
@@ -84,6 +85,19 @@ struct WireFixture {
 // representative exemplar per op, shaped like the live handlers'
 // requests/responses.
 [[nodiscard]] std::vector<WireFixture> registry_wire_fixtures();
+
+// --- observability contract --------------------------------------------
+// Every wire op a gateway mounts must observe its dispatch latency:
+//   - "obs-op-missing": the op has no per-op latency histogram in the
+//     registry at "<scope>.op.<service>.<method>_us" (expose() failed
+//     to register it — instrumentation was bypassed at mount time);
+//   - "obs-op-unsampled": the op's call counter shows dispatches but
+//     the histogram holds no samples (a completion path skips the
+//     observe wrapper, so latency silently vanishes).
+// Drive at least one invocation through the gateway before running the
+// sampled check, or it can only prove registration, not sampling.
+[[nodiscard]] Diagnostics check_vsg_op_metrics(
+    const core::VirtualServiceGateway& vsg, const obs::Registry& registry);
 
 // Renders diagnostics one per line ("check: subject: message").
 std::string format_diagnostics(const Diagnostics& diags);

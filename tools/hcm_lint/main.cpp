@@ -135,6 +135,33 @@ int main(int argc, char** argv) {
   append(all,
          lint::check_registry_wire(wire_ops, lint::registry_wire_fixtures()));
 
+  // --- pass 2b: observability contract ---------------------------------
+  // Drive one real invocation through the meta layer so the sampled
+  // check can distinguish "registered but never observed" from "no
+  // traffic yet", then require every mounted op on every island's
+  // gateway to carry per-op latency metrics.
+  bool invoked = false;
+  home.havi_adapter->invoke("laserdisc-1", "getStatus", {},
+                            [&](Result<Value> r) {
+                              invoked = true;
+                              if (!r.is_ok()) {
+                                all.push_back(
+                                    {"obs-probe", "laserdisc-1.getStatus",
+                                     "probe invocation failed: " +
+                                         r.status().to_string()});
+                              }
+                            });
+  sim::run_until_done(sched, [&] { return invoked; });
+  std::size_t ops_checked = 0;
+  for (const char* island :
+       {"jini-island", "havi-island", "x10-island", "mail-island"}) {
+    auto* isl = home.meta->island(island);
+    if (isl == nullptr) continue;
+    ops_checked += isl->vsg->exposed_ops().size();
+    append(all,
+           lint::check_vsg_op_metrics(*isl->vsg, obs::Registry::global()));
+  }
+
   // --- pass 3: source scan ---------------------------------------------
   std::size_t files_scanned = 0;
   if (!root.empty()) {
@@ -155,7 +182,8 @@ int main(int argc, char** argv) {
   }
   std::printf(
       "hcm_lint: OK — %zu interfaces, %zu VSR entries, %zu wire ops, "
-      "%zu source files, 0 violations\n",
-      interfaces_checked, entries.size(), wire_ops.size(), files_scanned);
+      "%zu instrumented vsg ops, %zu source files, 0 violations\n",
+      interfaces_checked, entries.size(), wire_ops.size(), ops_checked,
+      files_scanned);
   return 0;
 }
