@@ -1,0 +1,224 @@
+// Wire hot-path throughput: the invocation-throughput trajectory.
+//
+// Every cross-island call crosses the SOAP/HTTP (or binary) backbone
+// twice — encode, serialize, stream, parse on the way out, and the
+// same again for the reply. This bench drives a closed loop of
+// VSG-to-VSG calls and measures what the stack actually costs in host
+// resources, not virtual time:
+//
+//   calls/sec        wall-clock throughput of the closed loop
+//   allocs/call      operator-new invocations per completed call
+//                    (bench_util's HCM_BENCH_ALLOC_HOOK counting hook)
+//   bytes/call       heap bytes requested per completed call
+//
+// Two arms: the SOAP backbone (the paper's prototype protocol, the
+// expensive one) and the compact binary channel (the ablation
+// alternative, the floor). Payloads are a short string + int pair —
+// a typical control-plane op (fig4's turnOn/getStatus class of call).
+//
+//   --json <path>    archive rows as BENCH_wire_throughput.json
+//   --calls <n>      calls per arm (default 4000; CI smoke uses less)
+#define HCM_BENCH_ALLOC_HOOK 1
+#include "bench_util.hpp"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/vsg.hpp"
+#include "soap/envelope.hpp"
+
+using namespace hcm;
+
+namespace {
+
+InterfaceDesc probe_interface() {
+  return InterfaceDesc{
+      "WireProbe",
+      {MethodDesc{"poke",
+                  {{"tag", ValueType::kString}, {"seq", ValueType::kInt}},
+                  ValueType::kString,
+                  false}}};
+}
+
+struct ArmResult {
+  double calls_per_sec = 0;
+  double allocs_per_call = 0;
+  double bytes_per_call = 0;
+  double sim_us_per_call = 0;
+};
+
+// Closed-loop wall-clock measurement of `calls` sequential round trips
+// between a fresh VSG pair speaking `protocol`.
+ArmResult run_arm(core::VsgProtocol protocol, std::size_t calls) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  auto& gw_a = net.add_node("gw-a");
+  auto& gw_b = net.add_node("gw-b");
+  auto& eth = net.add_ethernet("backbone", sim::microseconds(200), 100'000'000);
+  net.attach(gw_a, eth);
+  net.attach(gw_b, eth);
+  core::VirtualServiceGateway callee(net, gw_a.id(), "callee", 8080, protocol);
+  core::VirtualServiceGateway caller(net, gw_b.id(), "caller", 8080, protocol);
+  if (!callee.start().is_ok() || !caller.start().is_ok()) {
+    std::fprintf(stderr, "bench: VSG start failed\n");
+    std::exit(1);
+  }
+  const InterfaceDesc iface = probe_interface();
+  auto uri = callee.expose("probe-1", iface,
+                           [](const std::string&, const ValueList& args,
+                              InvokeResultFn done) {
+                             std::string reply = "ack:";
+                             reply += args[0].as_string();
+                             done(Value(std::move(reply)));
+                           });
+  if (!uri.is_ok()) {
+    std::fprintf(stderr, "bench: expose failed\n");
+    std::exit(1);
+  }
+
+  const Value tag("status-display-update-payload-0123456789abcdef");
+  auto invoke_once = [&](std::int64_t seq) {
+    std::optional<Result<Value>> result;
+    caller.call_remote(uri.value(), "probe-1", iface, "poke",
+                       {tag, Value(seq)},
+                       [&](Result<Value> r) { result = std::move(r); });
+    sim::run_until_done(sched, [&] { return result.has_value(); });
+    if (!result.has_value() || !result->is_ok()) {
+      std::fprintf(stderr, "bench: probe call failed: %s\n",
+                   result.has_value() ? result->status().to_string().c_str()
+                                      : "no completion");
+      std::exit(1);
+    }
+  };
+
+  invoke_once(-1);  // warm routes, pools and proxies
+  const sim::SimTime sim0 = sched.now();
+  bench::AllocDelta heap;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < calls; ++i) {
+    invoke_once(static_cast<std::int64_t>(i));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ArmResult r;
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  r.calls_per_sec = static_cast<double>(calls) / secs;
+  r.allocs_per_call =
+      static_cast<double>(heap.allocs()) / static_cast<double>(calls);
+  r.bytes_per_call =
+      static_cast<double>(heap.bytes()) / static_cast<double>(calls);
+  r.sim_us_per_call = static_cast<double>(sched.now() - sim0) /
+                      static_cast<double>(calls);
+  return r;
+}
+
+void throughput_report(const std::string& json_path, std::size_t calls) {
+  bench::print_header(
+      "Wire hot-path throughput: cross-island round trips (wall clock)");
+  if (!bench::alloc_hook_installed()) {
+    // The hook self-registers on first counted allocation; reaching
+    // this point without it means the TU was miscompiled.
+    std::fprintf(stderr, "bench: allocation hook not installed\n");
+  }
+  struct Arm {
+    const char* name;
+    core::VsgProtocol protocol;
+  };
+  const Arm arms[] = {{"soap", core::VsgProtocol::kSoap},
+                      {"binary", core::VsgProtocol::kBinary}};
+  bench::JsonReport report("bench_ext_wire_throughput");
+  std::printf("  %-8s %12s %14s %14s %12s\n", "path", "calls/sec",
+              "allocs/call", "bytes/call", "sim-us/call");
+  for (const Arm& arm : arms) {
+    // Best of 3 batches so host scheduler noise doesn't penalize an arm.
+    ArmResult best;
+    for (int rep = 0; rep < 3; ++rep) {
+      ArmResult r = run_arm(arm.protocol, calls);
+      if (rep == 0 || r.calls_per_sec > best.calls_per_sec) best = r;
+    }
+    std::printf("  %-8s %12.0f %14.1f %14.0f %12.1f\n", arm.name,
+                best.calls_per_sec, best.allocs_per_call, best.bytes_per_call,
+                best.sim_us_per_call);
+    report.row()
+        .str("path", arm.name)
+        .num("calls", static_cast<std::uint64_t>(calls))
+        .num("calls_per_sec", best.calls_per_sec)
+        .num("allocs_per_call", best.allocs_per_call)
+        .num("bytes_per_call", best.bytes_per_call)
+        .num("sim_us_per_call", best.sim_us_per_call);
+  }
+  if (!json_path.empty() && report.write(json_path)) {
+    std::printf("  (json written to %s)\n", json_path.c_str());
+  }
+}
+
+// --- micro-costs of the codec primitives under google-benchmark ---------
+
+void BM_SoapBuildCall(benchmark::State& state) {
+  const soap::NamedValues params = {
+      {"tag", Value("status-display-update-payload-0123456789abcdef")},
+      {"seq", Value(std::int64_t{42})}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        soap::build_call("urn:hcm:WireProbe", "poke", params));
+  }
+}
+BENCHMARK(BM_SoapBuildCall);
+
+void BM_SoapParseEnvelope(benchmark::State& state) {
+  const std::string body = soap::build_call(
+      "urn:hcm:WireProbe", "poke",
+      {{"tag", Value("status-display-update-payload-0123456789abcdef")},
+       {"seq", Value(std::int64_t{42})}});
+  for (auto _ : state) {
+    auto env = soap::parse_envelope(body);
+    benchmark::DoNotOptimize(env);
+  }
+}
+BENCHMARK(BM_SoapParseEnvelope);
+
+void BM_SoapRoundTrip(benchmark::State& state) {
+  const soap::NamedValues params = {
+      {"tag", Value("status-display-update-payload-0123456789abcdef")},
+      {"seq", Value(std::int64_t{42})}};
+  for (auto _ : state) {
+    auto env = soap::parse_envelope(
+        soap::build_call("urn:hcm:WireProbe", "poke", params));
+    benchmark::DoNotOptimize(env);
+  }
+}
+BENCHMARK(BM_SoapRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = bench::json_path_arg(argc, argv);
+  std::size_t calls = 4000;
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      ++i;
+      continue;
+    }
+    if (std::string(argv[i]) == "--calls") {
+      if (i + 1 < argc) calls = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+
+  throughput_report(json_path, calls);
+  benchmark::Initialize(&filtered_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -4,8 +4,11 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,7 +71,11 @@ class JsonReport {
       return *this;
     }
     Row& str(const std::string& key, const std::string& v) {
-      fields_.emplace_back(key, "\"" + escape(v) + "\"");
+      std::string enc;
+      enc += '"';
+      enc += escape(v);
+      enc += '"';
+      fields_.emplace_back(key, std::move(enc));
       return *this;
     }
 
@@ -145,4 +152,65 @@ inline std::string json_path_arg(int argc, char** argv) {
   return "";
 }
 
+// --- allocation counting ------------------------------------------------
+// Heap-traffic meter for the allocations/call columns: inline counters
+// shared by every TU, bumped by replacement operator new/delete that a
+// bench opts into with `#define HCM_BENCH_ALLOC_HOOK` before including
+// this header. Replacement allocation functions must not be inline and
+// must exist exactly once per binary, so the hook must be enabled in
+// exactly one TU. Without the hook the counters simply stay at zero
+// (alloc_hook_installed() tells the two cases apart).
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+inline std::atomic<std::uint64_t> g_alloc_bytes{0};
+inline std::atomic<bool> g_alloc_hook_installed{false};
+
+inline std::uint64_t alloc_count() {
+  return g_alloc_count.load(std::memory_order_relaxed);
+}
+inline std::uint64_t alloc_bytes() {
+  return g_alloc_bytes.load(std::memory_order_relaxed);
+}
+inline bool alloc_hook_installed() {
+  return g_alloc_hook_installed.load(std::memory_order_relaxed);
+}
+
+// Scoped delta: allocations and bytes requested since construction.
+class AllocDelta {
+ public:
+  AllocDelta() : count0_(alloc_count()), bytes0_(alloc_bytes()) {}
+  [[nodiscard]] std::uint64_t allocs() const {
+    return alloc_count() - count0_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const { return alloc_bytes() - bytes0_; }
+
+ private:
+  std::uint64_t count0_;
+  std::uint64_t bytes0_;
+};
+
 }  // namespace hcm::bench
+
+#ifdef HCM_BENCH_ALLOC_HOOK
+// Counting replacements for the throwing global allocation functions.
+// Alignment-aware overloads are intentionally not replaced; nothing on
+// the measured paths over-aligns, and unreplaced overloads fall back to
+// the default implementation.
+namespace hcm::bench::detail {
+inline void* counted_alloc(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(n, std::memory_order_relaxed);
+  g_alloc_hook_installed.store(true, std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace hcm::bench::detail
+
+void* operator new(std::size_t n) { return hcm::bench::detail::counted_alloc(n); }
+void* operator new[](std::size_t n) {
+  return hcm::bench::detail::counted_alloc(n);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // HCM_BENCH_ALLOC_HOOK

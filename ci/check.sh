@@ -10,34 +10,37 @@
 #   5. smoke-run of the VSR sync bench, archiving BENCH_vsr_sync.json;
 #   6. observability overhead bench, archiving BENCH_obs_overhead.json,
 #      plus a trace-export smoke check: the bench records one 3-island
-#      chain and the Chrome trace it writes must carry complete events.
+#      chain and the Chrome trace it writes must carry complete events;
+#   7. wire-throughput bench under the perf preset (Release -O2 — the
+#      optimization level the numbers in docs/PERFORMANCE.md use),
+#      archiving BENCH_wire_throughput.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/6] tier-1: default preset (-Werror) ==="
+echo "=== [1/7] tier-1: default preset (-Werror) ==="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "=== [2/6] sanitizers: asan preset (ASan + UBSan) ==="
+echo "=== [2/7] sanitizers: asan preset (ASan + UBSan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'EventBridge'
 ctest --preset asan -j "${JOBS}"
 
-echo "=== [3/6] hcm_lint summary ==="
+echo "=== [3/7] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
 
-echo "=== [4/6] event-bridge bench smoke run ==="
+echo "=== [4/7] event-bridge bench smoke run ==="
 ./build/bench/bench_ext_event_bridge --benchmark_min_time=0.01
 
-echo "=== [5/6] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
+echo "=== [5/7] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
 ./build/bench/bench_ext_vsr_sync --benchmark_min_time=0.01 \
   --json BENCH_vsr_sync.json
 
-echo "=== [6/6] obs overhead bench + trace-export smoke check ==="
+echo "=== [6/7] obs overhead bench + trace-export smoke check ==="
 ./build/bench/bench_ext_obs_overhead --benchmark_min_time=0.01 \
   --json BENCH_obs_overhead.json --trace obs_trace_smoke.json
 # The export must be a Chrome trace with complete ("ph":"X") events for
@@ -50,5 +53,12 @@ if [ "${events}" -lt 6 ]; then
 fi
 echo "trace smoke check OK (${events} complete events)"
 rm -f obs_trace_smoke.json
+
+echo "=== [7/7] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
+cmake --preset perf
+cmake --build --preset perf -j "${JOBS}" --target bench_ext_wire_throughput
+./build-perf/bench/bench_ext_wire_throughput --calls 300 \
+  --benchmark_min_time=0.01 --json BENCH_wire_throughput.json
+grep -q '"calls_per_sec"' BENCH_wire_throughput.json
 
 echo "All checks passed."

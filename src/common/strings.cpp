@@ -20,11 +20,23 @@ std::vector<std::string> split(std::string_view s, char sep) {
   }
 }
 
+// ASCII-only classification: all users of these helpers (HTTP headers,
+// XML whitespace, protocol tokens) are ASCII by spec, and the per-char
+// <cctype> locale calls are measurable on the wire hot path.
+namespace {
+inline bool ascii_space(char c) {
+  return c == ' ' || (c >= '\t' && c <= '\r');
+}
+inline char ascii_lower(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
+}
+}  // namespace
+
 std::string_view trim(std::string_view s) {
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+  while (!s.empty() && ascii_space(s.front())) {
     s.remove_prefix(1);
   }
-  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+  while (!s.empty() && ascii_space(s.back())) {
     s.remove_suffix(1);
   }
   return s;
@@ -32,19 +44,15 @@ std::string_view trim(std::string_view s) {
 
 std::string to_lower(std::string_view s) {
   std::string out(s);
-  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return ascii_lower(c); });
   return out;
 }
 
 bool iequals(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   for (std::size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
+    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
   }
   return true;
 }

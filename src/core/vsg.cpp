@@ -25,7 +25,11 @@ VirtualServiceGateway::VirtualServiceGateway(net::Network& net,
       port_(port),
       protocol_(protocol),
       http_(net, gateway_node, port),
-      soap_client_(net, gateway_node),
+      // The VSG backbone reuses one connection per peer gateway: the
+      // cross-island call rate makes per-call TCP setup the dominant
+      // latency term otherwise.
+      soap_client_(net, gateway_node,
+                   http::HttpClient::Options{.keep_alive = true}),
       binary_server_(net, gateway_node, static_cast<std::uint16_t>(port + 1)),
       binary_client_(net, gateway_node),
       obs_scope_(
@@ -58,31 +62,53 @@ Result<Uri> VirtualServiceGateway::expose(const std::string& name,
 
   // Per-op metrics, created eagerly so every mounted wire op has a
   // registered latency histogram even before its first call (hcm_lint's
-  // vsg-op-latency rule checks exactly this).
+  // vsg-op-latency rule checks exactly this). Resolved once here — the
+  // dispatch path must not rebuild metric names or look them up by
+  // string per call.
+  struct OpMetrics {
+    obs::Counter* calls;
+    obs::Histogram* latency_us;
+    std::string span_label;
+  };
   auto& reg = obs::Registry::global();
+  auto ops = std::make_shared<std::map<std::string, OpMetrics, std::less<>>>();
   for (const auto& m : iface.methods) {
     const std::string op = obs_scope_ + ".op." + name + "." + m.name;
-    reg.counter(op + ".calls");
-    reg.histogram(op + "_us");
+    (*ops)[m.name] = OpMetrics{&reg.counter(op + ".calls"),
+                               &reg.histogram(op + "_us"),
+                               "vsg.dispatch:" + name + "." + m.name};
   }
   // Dispatch glue shared by both protocols: count the op, open a span
   // (child of whatever wire context the channel made current), and
   // observe latency + close the span when the handler completes.
-  auto dispatch = [this, name](const ServiceHandler& handler,
-                               const std::string& method,
-                               const ValueList& args, InvokeResultFn done) {
+  auto dispatch = [this, name, ops](const ServiceHandler& handler,
+                                    const std::string& method,
+                                    const ValueList& args,
+                                    InvokeResultFn done) {
     local_dispatches_.inc();
-    auto& reg = obs::Registry::global();
-    const std::string op = obs_scope_ + ".op." + name + "." + method;
-    reg.counter(op + ".calls").inc();
-    auto& tracer = obs::Tracer::global();
     auto& sched = net_.scheduler();
-    const std::uint64_t span_id = tracer.begin_span(
-        "vsg.dispatch:" + name + "." + method, obs_scope_, sched.now());
+    auto it = ops->find(method);
+    if (it == ops->end()) {
+      // Off-interface method straight off the wire (a client-side
+      // check rejects these before sending); keep the old lazy-metric
+      // behaviour for it.
+      auto& r = obs::Registry::global();
+      const std::string op = obs_scope_ + ".op." + name + "." + method;
+      it = ops->emplace(method, OpMetrics{&r.counter(op + ".calls"),
+                                          &r.histogram(op + "_us"),
+                                          "vsg.dispatch:" + name + "." +
+                                              method})
+               .first;
+    }
+    const OpMetrics& om = it->second;
+    om.calls->inc();
+    auto& tracer = obs::Tracer::global();
+    const std::uint64_t span_id =
+        tracer.begin_span(om.span_label, obs_scope_, sched.now());
     obs::Tracer::Scope scope(tracer, tracer.context_of(span_id));
     handler(method, args,
-            obs::observe_completion(sched, reg.histogram(op + "_us"),
-                                    nullptr, span_id, std::move(done)));
+            obs::observe_completion(sched, *om.latency_us, nullptr, span_id,
+                                    std::move(done)));
   };
 
   const std::string path = "/vsg/" + name;
@@ -170,8 +196,13 @@ void VirtualServiceGateway::call_remote(const Uri& endpoint,
   remote_calls_.inc();
   auto& tracer = obs::Tracer::global();
   auto& sched = net_.scheduler();
-  const std::uint64_t span_id = tracer.begin_span(
-      "vsg.call:" + service_name + "." + method, obs_scope_, sched.now());
+  // Label built only when a trace is being recorded — begin_span is a
+  // no-op when disabled, but the concatenation wouldn't be.
+  const std::uint64_t span_id =
+      tracer.enabled()
+          ? tracer.begin_span("vsg.call:" + service_name + "." + method,
+                              obs_scope_, sched.now())
+          : 0;
   // Current while the wire client starts, so its span nests under ours.
   obs::Tracer::Scope scope(tracer, tracer.context_of(span_id));
   done = obs::observe_completion(sched, remote_latency_us_, &remote_errors_,

@@ -65,6 +65,12 @@ class VirtualServiceGateway {
   [[nodiscard]] std::uint64_t local_dispatches() const {
     return local_dispatches_.value();
   }
+  // Transport connections accepted by this gateway's SOAP listener.
+  // With the keep-alive backbone client a caller gateway holds one
+  // connection per destination, so this stays flat as call volume grows.
+  [[nodiscard]] std::uint64_t backbone_connections_accepted() const {
+    return http_.connections_accepted();
+  }
 
   // Metric namespace of this gateway ("vsg.<island>", uniquified per
   // instance). Per-op metrics live at "<scope>.op.<service>.<method>_us"

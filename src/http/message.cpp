@@ -1,5 +1,7 @@
 #include "http/message.hpp"
 
+#include <charconv>
+
 #include "common/strings.hpp"
 
 namespace hcm::http {
@@ -22,37 +24,77 @@ void set_header(Headers& headers, std::string name, std::string value) {
 }
 
 namespace {
-void serialize_headers(std::string& out, const Headers& headers,
+
+// Serialization renders straight into the Bytes buffer handed to the
+// stream — no intermediate std::string and no to_bytes copy.
+void append(Bytes& out, std::string_view s) {
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+void append_uint(Bytes& out, unsigned long long v) {
+  char buf[24];
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  append(out, std::string_view(buf, static_cast<std::size_t>(end - buf)));
+}
+
+std::size_t headers_size(const Headers& headers) {
+  std::size_t n = 0;
+  for (const auto& [k, v] : headers) n += k.size() + v.size() + 4;
+  return n;
+}
+
+void serialize_headers(Bytes& out, const Headers& headers,
                        std::size_t body_size) {
   bool have_length = false;
   for (const auto& [k, v] : headers) {
+    append(out, k);
+    append(out, ": ");
     if (iequals(k, "Content-Length")) {
       have_length = true;
-      out += k + ": " + std::to_string(body_size) + "\r\n";
+      append_uint(out, body_size);
     } else {
-      out += k + ": " + v + "\r\n";
+      append(out, v);
     }
+    append(out, "\r\n");
   }
   if (!have_length) {
-    out += "Content-Length: " + std::to_string(body_size) + "\r\n";
+    append(out, "Content-Length: ");
+    append_uint(out, body_size);
+    append(out, "\r\n");
   }
-  out += "\r\n";
+  append(out, "\r\n");
 }
+
 }  // namespace
 
 Bytes Request::serialize() const {
-  std::string out = method + " " + target + " " + version + "\r\n";
+  Bytes out;
+  out.reserve(method.size() + target.size() + version.size() + 4 +
+              headers_size(headers) + 32 + body.size());
+  append(out, method);
+  append(out, " ");
+  append(out, target);
+  append(out, " ");
+  append(out, version);
+  append(out, "\r\n");
   serialize_headers(out, headers, body.size());
-  out += body;
-  return to_bytes(out);
+  append(out, body);
+  return out;
 }
 
 Bytes Response::serialize() const {
-  std::string out =
-      version + " " + std::to_string(status) + " " + reason + "\r\n";
+  Bytes out;
+  out.reserve(version.size() + reason.size() + 6 + headers_size(headers) + 32 +
+              body.size());
+  append(out, version);
+  append(out, " ");
+  append_uint(out, static_cast<unsigned long long>(status));
+  append(out, " ");
+  append(out, reason);
+  append(out, "\r\n");
   serialize_headers(out, headers, body.size());
-  out += body;
-  return to_bytes(out);
+  append(out, body);
+  return out;
 }
 
 Response Response::make(int status, std::string reason, std::string body,
@@ -87,8 +129,16 @@ Status MessageParser::try_parse() {
     }
     // Body phase.
     if (buf_.size() < body_needed_) return Status::ok();
-    std::string body = buf_.substr(0, body_needed_);
-    buf_.erase(0, body_needed_);
+    std::string body;
+    if (buf_.size() == body_needed_) {
+      // The buffer is exactly the body (the common one-message-per-
+      // delivery case): move it out instead of copying.
+      body = std::move(buf_);
+      buf_.clear();
+    } else {
+      body = buf_.substr(0, body_needed_);
+      buf_.erase(0, body_needed_);
+    }
     in_body_ = false;
     if (mode_ == Mode::kRequest) {
       cur_req_.body = std::move(body);
@@ -106,6 +156,7 @@ Status MessageParser::parse_head(std::string_view head) {
   auto line_end = head.find("\r\n");
   auto first = head.substr(0, line_end);
   Headers headers;
+  headers.reserve(8);
 
   // Header lines.
   std::string_view rest =
@@ -132,12 +183,20 @@ Status MessageParser::parse_head(std::string_view head) {
   body_needed_ = static_cast<std::size_t>(length);
 
   if (mode_ == Mode::kRequest) {
-    auto parts = split(first, ' ');
-    if (parts.size() != 3) return protocol_error("malformed request line");
+    // "METHOD SP target SP version" — parsed in place; a method or
+    // target containing a space is malformed anyway.
+    auto sp1 = first.find(' ');
+    auto sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : first.find(' ', sp1 + 1);
+    if (sp2 == std::string_view::npos ||
+        first.find(' ', sp2 + 1) != std::string_view::npos || sp1 == 0 ||
+        sp2 == sp1 + 1 || sp2 + 1 == first.size()) {
+      return protocol_error("malformed request line");
+    }
     cur_req_ = Request{};
-    cur_req_.method = parts[0];
-    cur_req_.target = parts[1];
-    cur_req_.version = parts[2];
+    cur_req_.method = std::string(first.substr(0, sp1));
+    cur_req_.target = std::string(first.substr(sp1 + 1, sp2 - sp1 - 1));
+    cur_req_.version = std::string(first.substr(sp2 + 1));
     cur_req_.headers = std::move(headers);
   } else {
     // "HTTP/1.1 200 OK" — reason may contain spaces.

@@ -11,6 +11,8 @@ HttpServer::HttpServer(net::Network& net, net::NodeId node, std::uint16_t port)
       obs_scope_(obs::Registry::global().unique_scope("http.server")),
       requests_served_(
           obs::Registry::global().counter(obs_scope_ + ".requests")),
+      connections_accepted_(
+          obs::Registry::global().counter(obs_scope_ + ".connections")),
       request_latency_us_(
           obs::Registry::global().histogram(obs_scope_ + ".latency_us")) {}
 
@@ -55,6 +57,7 @@ void HttpServer::set_default_handler(RequestHandler handler) {
 }
 
 void HttpServer::on_accept(net::StreamPtr stream) {
+  connections_accepted_.inc();
   auto conn = std::make_shared<Connection>();
   conn->stream = stream;
   // Compact dead entries occasionally, then track the new connection.

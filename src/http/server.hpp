@@ -39,6 +39,11 @@ class HttpServer {
   [[nodiscard]] std::uint64_t requests_served() const {
     return requests_served_.value();
   }
+  // Transport connections accepted since start; with keep-alive clients
+  // this stays well below requests_served (connection reuse).
+  [[nodiscard]] std::uint64_t connections_accepted() const {
+    return connections_accepted_.value();
+  }
 
  private:
   struct Connection {
@@ -60,6 +65,7 @@ class HttpServer {
   RequestHandler default_handler_;
   std::string obs_scope_;
   obs::Counter& requests_served_;
+  obs::Counter& connections_accepted_;
   obs::Histogram& request_latency_us_;
 };
 

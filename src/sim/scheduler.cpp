@@ -16,25 +16,38 @@ std::string format_time(SimTime t) {
 
 EventId Scheduler::at(SimTime t, EventFn fn) {
   if (t < now_) t = now_;
-  EventId id = next_id_++;
-  queue_.push(Entry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  return id;
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  slots_[slot].fn = std::move(fn);
+  const std::uint32_t gen = slots_[slot].gen;
+  queue_.push(Entry{t, next_seq_++, slot, gen});
+  return pack(slot, gen);
 }
 
 bool Scheduler::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return false;
-  callbacks_.erase(it);
-  ++cancelled_;  // heap entry becomes a tombstone, skipped on pop
+  if (id == 0) return false;
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffULL) - 1;
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || !s.fn) return false;
+  s.fn = nullptr;
+  ++s.gen;  // heap entry becomes a stale-generation tombstone
+  free_slots_.push_back(slot);
+  ++cancelled_;
   return true;
 }
 
 bool Scheduler::fire_next() {
   while (!queue_.empty()) {
-    Entry e = queue_.top();
-    auto it = callbacks_.find(e.id);
-    if (it == callbacks_.end()) {
+    const Entry e = queue_.top();
+    if (slots_[e.slot].gen != e.gen) {
       queue_.pop();  // cancelled tombstone
       HCM_DCHECK(cancelled_ > 0);
       --cancelled_;
@@ -43,10 +56,14 @@ bool Scheduler::fire_next() {
     HCM_CHECK_MSG(e.time >= now_, "virtual time must never go backwards");
     queue_.pop();
     now_ = e.time;
-    EventFn fn = std::move(it->second);
-    callbacks_.erase(it);
+    EventFn fn = std::move(slots_[e.slot].fn);
+    slots_[e.slot].fn = nullptr;
+    ++slots_[e.slot].gen;
+    free_slots_.push_back(e.slot);
     ++processed_;
-    if (trace_) trace_(now_, e.id);
+    if (trace_) trace_(now_, pack(e.slot, e.gen));
+    // No slab references may be held across the callback: it schedules
+    // freely and slots_ can grow.
     fn();
     return true;
   }
@@ -62,8 +79,8 @@ std::size_t Scheduler::run() {
 std::size_t Scheduler::run_until(SimTime t) {
   std::size_t n = 0;
   while (!queue_.empty()) {
-    Entry e = queue_.top();
-    if (callbacks_.find(e.id) == callbacks_.end()) {
+    const Entry e = queue_.top();
+    if (slots_[e.slot].gen != e.gen) {
       queue_.pop();
       HCM_DCHECK(cancelled_ > 0);
       --cancelled_;

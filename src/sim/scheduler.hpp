@@ -9,7 +9,6 @@
 #include <queue>
 #include <random>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace hcm::sim {
@@ -71,25 +70,41 @@ class Scheduler {
   void set_trace(TraceFn fn) { trace_ = std::move(fn); }
 
  private:
+  // Callbacks live in a slab of generation-tagged slots recycled
+  // through a LIFO free list (deterministic reuse order), so the hot
+  // schedule/fire cycle touches no hash map and, once the slab is warm,
+  // performs no per-event allocations beyond the callback's own
+  // captures. A heap entry is stale (fired or cancelled) exactly when
+  // its generation no longer matches the slot's.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 0;
+  };
+
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // tie-break: FIFO among same-time events
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t gen;
     // Ordered as a min-heap via std::greater.
     friend bool operator>(const Entry& a, const Entry& b) {
       return a.time != b.time ? a.time > b.time : a.seq > b.seq;
     }
   };
 
+  // Slot index biased by one so an EventId is never 0 (callers use 0 as
+  // a "no event" sentinel).
+  [[nodiscard]] static EventId pack(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(gen) << 32) | (slot + 1);
+  }
+
   bool fire_next();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  // id -> callback; erased on fire/cancel. Entries whose id is absent
-  // here are tombstones left by cancel().
-  std::unordered_map<EventId, EventFn> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::size_t cancelled_ = 0;
   std::uint64_t processed_ = 0;
   TraceFn trace_;

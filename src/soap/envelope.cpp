@@ -1,5 +1,6 @@
 #include "soap/envelope.hpp"
 
+#include <charconv>
 #include <cstdlib>
 
 #include "soap/value_xml.hpp"
@@ -14,14 +15,25 @@ constexpr const char* kEncNs = "http://schemas.xmlsoap.org/soap/encoding/";
 constexpr const char* kXsdNs = "http://www.w3.org/2001/XMLSchema";
 constexpr const char* kXsiNs = "http://www.w3.org/2001/XMLSchema-instance";
 
-xml::ElementPtr make_envelope() {
-  auto env = std::make_unique<xml::Element>("SOAP-ENV:Envelope");
-  env->set_attr("xmlns:SOAP-ENV", kEnvNs);
-  env->set_attr("xmlns:SOAP-ENC", kEncNs);
-  env->set_attr("xmlns:xsd", kXsdNs);
-  env->set_attr("xmlns:xsi", kXsiNs);
-  env->set_attr("SOAP-ENV:encodingStyle", kEncNs);
-  return env;
+// Prolog + <SOAP-ENV:Envelope> with the standard namespace set; the
+// writer streams straight into `out`, no Element tree on the encode
+// path.
+xml::Writer open_envelope(std::string& out) {
+  out.reserve(512);
+  xml::Writer w(out);
+  w.prolog()
+      .start("SOAP-ENV:Envelope")
+      .attr("xmlns:SOAP-ENV", kEnvNs)
+      .attr("xmlns:SOAP-ENC", kEncNs)
+      .attr("xmlns:xsd", kXsdNs)
+      .attr("xmlns:xsi", kXsiNs)
+      .attr("SOAP-ENV:encodingStyle", kEncNs);
+  return w;
+}
+
+std::string_view u64_chars(std::uint64_t v, char (&buf)[24]) {
+  auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return {buf, static_cast<std::size_t>(end - buf)};
 }
 
 }  // namespace
@@ -65,92 +77,256 @@ std::string build_call(const std::string& ns, const std::string& method,
 std::string build_call(const std::string& ns, const std::string& method,
                        const NamedValues& params,
                        const obs::TraceContext& trace) {
-  auto env = make_envelope();
+  std::string out;
+  xml::Writer w = open_envelope(out);
   if (trace.valid()) {
-    auto& header = env->add_child("SOAP-ENV:Header");
-    auto& t = header.add_child("hcm:Trace");
-    t.set_attr("xmlns:hcm", "urn:hcm:trace");
-    t.set_attr("traceId", std::to_string(trace.trace_id));
-    t.set_attr("spanId", std::to_string(trace.span_id));
+    char tid[24];
+    char sid[24];
+    w.start("SOAP-ENV:Header")
+        .start("hcm:Trace")
+        .attr("xmlns:hcm", "urn:hcm:trace")
+        .attr("traceId", u64_chars(trace.trace_id, tid))
+        .attr("spanId", u64_chars(trace.span_id, sid))
+        .end()
+        .end();
   }
-  auto& body = env->add_child("SOAP-ENV:Body");
-  auto& call = body.add_child("m:" + method);
-  call.set_attr("xmlns:m", ns);
+  std::string qname = "m:";
+  qname += method;
+  w.start("SOAP-ENV:Body").start(qname).attr("xmlns:m", ns);
   for (const auto& [name, value] : params) {
-    value_to_xml(name, value, call);
+    value_write(name, value, w);
   }
-  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>" + env->to_string();
+  w.end().end().end();
+  return out;
 }
 
 std::string build_response(const std::string& ns, const std::string& method,
                            const Value& result) {
-  auto env = make_envelope();
-  auto& body = env->add_child("SOAP-ENV:Body");
-  auto& resp = body.add_child("m:" + method + "Response");
-  resp.set_attr("xmlns:m", ns);
-  value_to_xml("return", result, resp);
-  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>" + env->to_string();
+  std::string out;
+  xml::Writer w = open_envelope(out);
+  std::string qname = "m:";
+  qname += method;
+  qname += "Response";
+  w.start("SOAP-ENV:Body").start(qname).attr("xmlns:m", ns);
+  value_write("return", result, w);
+  w.end().end().end();
+  return out;
 }
 
 std::string build_fault(const Fault& fault) {
-  auto env = make_envelope();
-  auto& body = env->add_child("SOAP-ENV:Body");
-  auto& f = body.add_child("SOAP-ENV:Fault");
-  f.add_child("faultcode").set_text(fault.code);
-  f.add_child("faultstring").set_text(fault.string);
-  if (!fault.detail.empty()) f.add_child("detail").set_text(fault.detail);
-  return "<?xml version=\"1.0\" encoding=\"UTF-8\"?>" + env->to_string();
+  std::string out;
+  xml::Writer w = open_envelope(out);
+  w.start("SOAP-ENV:Body")
+      .start("SOAP-ENV:Fault")
+      .leaf("faultcode", fault.code)
+      .leaf("faultstring", fault.string);
+  if (!fault.detail.empty()) w.leaf("detail", fault.detail);
+  w.end().end().end();
+  return out;
 }
 
-Result<Envelope> parse_envelope(std::string_view body_text) {
-  auto doc = xml::parse(body_text);
-  if (!doc.is_ok()) return doc.status();
-  const xml::Element& root = *doc.value();
-  if (root.local_name() != "Envelope") {
-    return protocol_error("not a SOAP envelope: " + root.name());
-  }
-  const auto* body = root.child("Body");
-  if (body == nullptr) return protocol_error("SOAP envelope without Body");
-  if (body->children().empty()) {
-    return protocol_error("SOAP Body is empty");
-  }
-  const xml::Element& op = *body->children().front();
+namespace {
 
-  Envelope env;
-  if (const auto* header = root.child("Header")) {
-    if (const auto* t = header->child("Trace")) {
-      if (const auto* a = t->attr("traceId")) {
-        env.trace.trace_id = std::strtoull(a->c_str(), nullptr, 10);
+using Event = xml::PullParser::Event;
+
+// Decoded value of the attribute named `name` on the current start tag,
+// written into `out`. False when absent; decode errors surface through
+// `err`.
+bool decoded_attr(xml::PullParser& p, std::string_view name, std::string& out,
+                  Status& err) {
+  const auto* a = p.find_attr(name);
+  if (a == nullptr) return false;
+  std::string scratch;
+  auto v = xml::PullParser::decode(a->raw_value, scratch);
+  if (!v.is_ok()) {
+    err = v.status();
+    return false;
+  }
+  out.assign(v.value());
+  return true;
+}
+
+// Concatenated direct text of the current element (the tree parser's
+// Element::text() semantics: whitespace-only runs dropped, CDATA kept
+// verbatim, nested elements skipped). Consumes through the matching
+// end tag.
+Status collect_text(xml::PullParser& p, std::string& out) {
+  out.clear();
+  while (true) {
+    auto ev = p.next();
+    if (!ev.is_ok()) return ev.status();
+    if (ev.value() == Event::kEnd) return Status::ok();
+    if (ev.value() == Event::kStart) {
+      if (auto s = p.skip_element(); !s.is_ok()) return s;
+      continue;
+    }
+    if (ev.value() == Event::kEof) {
+      return protocol_error("unexpected end of document");
+    }
+    if (p.text_is_cdata()) {
+      out.append(p.raw_text());
+    } else if (!p.text_is_ws()) {
+      std::string scratch;
+      auto t = p.text(scratch);
+      if (!t.is_ok()) return t.status();
+      out.append(t.value());
+    }
+  }
+}
+
+// <SOAP-ENV:Header>: the first <Trace> child carries the propagated
+// trace context. Consumes through the header's end tag.
+Status parse_header(xml::PullParser& p, Envelope& env) {
+  bool saw_trace = false;
+  while (true) {
+    auto ev = p.next();
+    if (!ev.is_ok()) return ev.status();
+    if (ev.value() == Event::kEnd) return Status::ok();
+    if (ev.value() != Event::kStart) {
+      if (ev.value() == Event::kEof) {
+        return protocol_error("unexpected end of document");
       }
-      if (const auto* a = t->attr("spanId")) {
-        env.trace.span_id = std::strtoull(a->c_str(), nullptr, 10);
+      continue;
+    }
+    if (!saw_trace && p.local_name() == "Trace") {
+      saw_trace = true;
+      Status err = Status::ok();
+      std::string v;
+      if (decoded_attr(p, "traceId", v, err)) {
+        env.trace.trace_id = std::strtoull(v.c_str(), nullptr, 10);
+      }
+      if (!err.is_ok()) return err;
+      if (decoded_attr(p, "spanId", v, err)) {
+        env.trace.span_id = std::strtoull(v.c_str(), nullptr, 10);
+      }
+      if (!err.is_ok()) return err;
+    }
+    if (auto s = p.skip_element(); !s.is_ok()) return s;
+  }
+}
+
+// The first Body child is the operation element; the parser is
+// positioned just past its start tag. Consumes through the operation's
+// end tag.
+Status parse_operation(xml::PullParser& p, Envelope& env) {
+  if (p.local_name() == "Fault") {
+    env.is_fault = true;
+    bool saw_code = false;
+    bool saw_string = false;
+    bool saw_detail = false;
+    std::string text;
+    while (true) {
+      auto ev = p.next();
+      if (!ev.is_ok()) return ev.status();
+      if (ev.value() == Event::kEnd) return Status::ok();
+      if (ev.value() != Event::kStart) {
+        if (ev.value() == Event::kEof) {
+          return protocol_error("unexpected end of document");
+        }
+        continue;
+      }
+      auto local = p.local_name();
+      if (!saw_code && local == "faultcode") {
+        saw_code = true;
+        if (auto s = collect_text(p, env.fault.code); !s.is_ok()) return s;
+      } else if (!saw_string && local == "faultstring") {
+        saw_string = true;
+        if (auto s = collect_text(p, env.fault.string); !s.is_ok()) return s;
+      } else if (!saw_detail && local == "detail") {
+        saw_detail = true;
+        if (auto s = collect_text(p, env.fault.detail); !s.is_ok()) return s;
+      } else {
+        if (auto s = p.skip_element(); !s.is_ok()) return s;
       }
     }
   }
-  if (op.local_name() == "Fault") {
-    env.is_fault = true;
-    if (const auto* c = op.child("faultcode")) env.fault.code = c->text();
-    if (const auto* c = op.child("faultstring")) env.fault.string = c->text();
-    if (const auto* c = op.child("detail")) env.fault.detail = c->text();
-    return env;
-  }
 
-  env.method = std::string(op.local_name());
+  env.method = std::string(p.local_name());
   // Namespace: the xmlns:<prefix> attribute matching the element prefix,
   // or default xmlns.
-  auto colon = op.name().find(':');
-  if (colon != std::string::npos) {
-    std::string prefix = op.name().substr(0, colon);
-    if (const auto* ns = op.attr("xmlns:" + prefix)) env.method_ns = *ns;
-  } else if (const auto* ns = op.attr("xmlns")) {
-    env.method_ns = *ns;
+  Status err = Status::ok();
+  auto colon = p.name().find(':');
+  if (colon != std::string_view::npos) {
+    std::string xmlns = "xmlns:";
+    xmlns += p.name().substr(0, colon);
+    decoded_attr(p, xmlns, env.method_ns, err);
+  } else {
+    decoded_attr(p, "xmlns", env.method_ns, err);
   }
-  for (const auto& child : op.children()) {
-    auto value = value_from_xml(*child);
+  if (!err.is_ok()) return err;
+
+  while (true) {
+    auto ev = p.next();
+    if (!ev.is_ok()) return ev.status();
+    if (ev.value() == Event::kEnd) return Status::ok();
+    if (ev.value() != Event::kStart) {
+      if (ev.value() == Event::kEof) {
+        return protocol_error("unexpected end of document");
+      }
+      continue;
+    }
+    std::string name(p.local_name());
+    auto value = value_from_pull(p);
     if (!value.is_ok()) return value.status();
-    env.params.emplace_back(std::string(child->local_name()),
-                            std::move(value).take());
+    env.params.emplace_back(std::move(name), std::move(value).take());
   }
+}
+
+}  // namespace
+
+Result<Envelope> parse_envelope(std::string_view body_text) {
+  xml::PullParser p(body_text);
+  auto ev = p.next();
+  if (!ev.is_ok()) return ev.status();
+  if (p.local_name() != "Envelope") {
+    return protocol_error("not a SOAP envelope: " + std::string(p.name()));
+  }
+
+  Envelope env;
+  bool saw_header = false;
+  bool saw_body = false;
+  bool saw_op = false;
+  while (true) {
+    ev = p.next();
+    if (!ev.is_ok()) return ev.status();
+    if (ev.value() == Event::kEnd || ev.value() == Event::kEof) break;
+    if (ev.value() != Event::kStart) continue;
+    auto local = p.local_name();
+    if (!saw_header && local == "Header") {
+      saw_header = true;
+      if (auto s = parse_header(p, env); !s.is_ok()) return s;
+    } else if (!saw_body && local == "Body") {
+      saw_body = true;
+      // Children of Body: the first element is the operation, the rest
+      // are ignored (matching the tree decoder, which took front()).
+      while (true) {
+        ev = p.next();
+        if (!ev.is_ok()) return ev.status();
+        if (ev.value() == Event::kEnd) break;
+        if (ev.value() != Event::kStart) {
+          if (ev.value() == Event::kEof) {
+            return protocol_error("unexpected end of document");
+          }
+          continue;
+        }
+        if (saw_op) {
+          if (auto s = p.skip_element(); !s.is_ok()) return s;
+          continue;
+        }
+        saw_op = true;
+        if (auto s = parse_operation(p, env); !s.is_ok()) return s;
+      }
+    } else {
+      if (auto s = p.skip_element(); !s.is_ok()) return s;
+    }
+  }
+  // Drain to EOF so trailing-garbage errors still surface, as they did
+  // when the whole document was tree-parsed up front.
+  while (ev.is_ok() && ev.value() != Event::kEof) ev = p.next();
+  if (!ev.is_ok()) return ev.status();
+
+  if (!saw_body) return protocol_error("SOAP envelope without Body");
+  if (!saw_op) return protocol_error("SOAP Body is empty");
   return env;
 }
 

@@ -79,8 +79,10 @@ void SoapService::handle(const http::Request& req, http::RespondFn respond) {
   auto& sched = http_server_.network().scheduler();
   obs::Tracer::Scope wire_scope(tracer, call.trace);
   const std::uint64_t span_id =
-      tracer.begin_span("soap.server:" + call.method, "soap.server",
-                        sched.now());
+      tracer.enabled()
+          ? tracer.begin_span("soap.server:" + call.method, "soap.server",
+                              sched.now())
+          : 0;
   obs::Tracer::Scope span_scope(tracer, tracer.context_of(span_id));
   auto ns = call.method_ns.empty() ? "urn:hcm" : call.method_ns;
   it->second(call.params,
@@ -110,13 +112,23 @@ void SoapClient::call(net::Endpoint dest, const std::string& path,
   auto& tracer = obs::Tracer::global();
   auto& sched = http_.network().scheduler();
   const std::uint64_t span_id =
-      tracer.begin_span("soap.call:" + method, "soap.client", sched.now());
+      tracer.enabled()
+          ? tracer.begin_span("soap.call:" + method, "soap.client",
+                              sched.now())
+          : 0;
   http::Request req;
   req.method = "POST";
   req.target = path;
   req.body = build_call(ns, method, params, tracer.context_of(span_id));
   req.set_header("Content-Type", "text/xml; charset=utf-8");
-  req.set_header("SOAPAction", "\"" + ns + "#" + method + "\"");
+  std::string action;
+  action.reserve(ns.size() + method.size() + 3);
+  action += '"';
+  action += ns;
+  action += '#';
+  action += method;
+  action += '"';
+  req.set_header("SOAPAction", std::move(action));
   http_.request(dest, std::move(req),
                 [done = std::move(done), &tracer, &sched,
                  span_id](Result<http::Response> resp) {

@@ -104,6 +104,65 @@ void value_to_xml(const std::string& name, const Value& v,
   }
 }
 
+namespace {
+
+// Shared with value_write below; `key` is the deferred key="..."
+// attribute of a map <entry> (attributes must precede content when
+// streaming, where the tree encoder could set it after the fact).
+void value_write_keyed(std::string_view name, const Value& v, xml::Writer& w,
+                       const std::string* key) {
+  w.start(name).attr("xsi:type", xsi_type_for(v.type()));
+  if (v.type() == ValueType::kNull) w.attr("xsi:nil", "true");
+  if (key != nullptr) w.attr("key", *key);
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      w.text(v.as_bool() ? "true" : "false");
+      break;
+    case ValueType::kInt: {
+      char buf[24];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_int());
+      w.text(std::string_view(buf, static_cast<std::size_t>(end - buf)));
+      break;
+    }
+    case ValueType::kDouble: {
+      char buf[64];
+      auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v.as_double(),
+                                     std::chars_format::general, 17);
+      w.text(std::string_view(buf, static_cast<std::size_t>(end - buf)));
+      break;
+    }
+    case ValueType::kString:
+      w.text(v.as_string());
+      break;
+    case ValueType::kBytes:
+      w.text(base64_encode(v.as_bytes()));
+      break;
+    case ValueType::kList:
+      for (const auto& item : v.as_list()) {
+        value_write_keyed("item", item, w, nullptr);
+      }
+      break;
+    case ValueType::kMap:
+      for (const auto& [k, item] : v.as_map()) {
+        if (is_xml_name(k)) {
+          value_write_keyed(k, item, w, nullptr);
+        } else {
+          value_write_keyed("entry", item, w, &k);
+        }
+      }
+      break;
+  }
+  w.end();
+}
+
+}  // namespace
+
+void value_write(std::string_view name, const Value& v, xml::Writer& w) {
+  value_write_keyed(name, v, w, nullptr);
+}
+
 Result<Value> value_from_xml(const xml::Element& elem) {
   if (const auto* nil = elem.attr_local("nil");
       nil != nullptr && (*nil == "true" || *nil == "1")) {
@@ -177,6 +236,132 @@ Result<Value> value_from_xml(const xml::Element& elem) {
           if (const auto* k = c->attr("key")) key = *k;
         }
         map.emplace(std::move(key), std::move(item).take());
+      }
+      return Value(std::move(map));
+    }
+    case ValueType::kNull:
+      return Value();
+  }
+  return protocol_error("unhandled value type");
+}
+
+Result<Value> value_from_pull(xml::PullParser& p) {
+  // Typing attributes must be captured before any event advances the
+  // parser past the start tag.
+  std::string scratch;
+  bool is_nil = false;
+  if (const auto* nil = p.find_attr_local("nil")) {
+    auto v = xml::PullParser::decode(nil->raw_value, scratch);
+    if (!v.is_ok()) return v.status();
+    is_nil = v.value() == "true" || v.value() == "1";
+  }
+  ValueType type = ValueType::kNull;
+  bool typed = false;
+  if (const auto* xsi = p.find_attr_local("type")) {
+    scratch.clear();
+    auto v = xml::PullParser::decode(xsi->raw_value, scratch);
+    if (!v.is_ok()) return v.status();
+    type = value_type_for_xsi(v.value());
+    typed = type != ValueType::kNull;
+  }
+  const bool scalar_typed =
+      typed && type != ValueType::kList && type != ValueType::kMap;
+
+  // Consume content up to the matching end tag: direct text runs
+  // accumulate (whitespace-only runs are formatting noise, as in the
+  // tree parser), child elements decode in order for lists/maps and are
+  // skipped for scalars (the tree decoder never descended into them).
+  std::string text;
+  std::vector<std::pair<std::string, Value>> kids;
+  while (true) {
+    auto ev = p.next();
+    if (!ev.is_ok()) return ev.status();
+    using Event = xml::PullParser::Event;
+    if (ev.value() == Event::kEnd) break;
+    if (ev.value() == Event::kText) {
+      if (p.text_is_cdata()) {
+        text.append(p.raw_text());
+      } else if (!p.text_is_ws()) {
+        scratch.clear();
+        auto t = p.text(scratch);
+        if (!t.is_ok()) return t.status();
+        text.append(t.value());
+      }
+      continue;
+    }
+    if (ev.value() == Event::kEof) {
+      return protocol_error("unexpected end of document");
+    }
+    if (is_nil || scalar_typed) {
+      if (auto s = p.skip_element(); !s.is_ok()) return s;
+      continue;
+    }
+    std::string key(p.local_name());
+    if (key == "entry") {
+      if (const auto* k = p.find_attr("key")) {
+        scratch.clear();
+        auto kv = xml::PullParser::decode(k->raw_value, scratch);
+        if (!kv.is_ok()) return kv.status();
+        key.assign(kv.value());
+      }
+    }
+    auto item = value_from_pull(p);
+    if (!item.is_ok()) return item.status();
+    kids.emplace_back(std::move(key), std::move(item).take());
+  }
+  if (is_nil) return Value();
+  if (!typed) {
+    // Untyped: infer structure.
+    if (!kids.empty()) {
+      type = ValueType::kMap;
+    } else if (!text.empty()) {
+      type = ValueType::kString;
+    } else {
+      return Value();
+    }
+  }
+  switch (type) {
+    case ValueType::kBool: {
+      auto t = trim(text);
+      if (t == "true" || t == "1") return Value(true);
+      if (t == "false" || t == "0") return Value(false);
+      return protocol_error("bad boolean: " + std::string(t));
+    }
+    case ValueType::kInt: {
+      auto t = trim(text);
+      std::int64_t out = 0;
+      auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+      if (ec != std::errc{} || ptr != t.data() + t.size()) {
+        return protocol_error("bad integer: " + std::string(t));
+      }
+      return Value(out);
+    }
+    case ValueType::kDouble: {
+      auto t = trim(text);
+      double out = 0;
+      auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+      if (ec != std::errc{} || ptr != t.data() + t.size()) {
+        return protocol_error("bad double: " + std::string(t));
+      }
+      return Value(out);
+    }
+    case ValueType::kString:
+      return Value(std::move(text));
+    case ValueType::kBytes: {
+      auto bytes = base64_decode(text);
+      if (!bytes.is_ok()) return bytes.status();
+      return Value(std::move(bytes).take());
+    }
+    case ValueType::kList: {
+      ValueList list;
+      list.reserve(kids.size());
+      for (auto& [key, item] : kids) list.push_back(std::move(item));
+      return Value(std::move(list));
+    }
+    case ValueType::kMap: {
+      ValueMap map;
+      for (auto& [key, item] : kids) {
+        map.emplace(std::move(key), std::move(item));
       }
       return Value(std::move(map));
     }

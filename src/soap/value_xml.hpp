@@ -15,6 +15,14 @@ void value_to_xml(const std::string& name, const Value& v, xml::Element& parent)
 // peer using xsd/SOAP-ENC types).
 [[nodiscard]] Result<Value> value_from_xml(const xml::Element& elem);
 
+// Streaming forms for the wire hot path: byte-identical encoding
+// rendered straight into the writer's buffer, and decoding straight off
+// pull-parser events — no intermediate Element tree either way.
+void value_write(std::string_view name, const Value& v, xml::Writer& w);
+// Pre: the parser just produced kStart for the encoded element.
+// Post: the matching kEnd has been consumed.
+[[nodiscard]] Result<Value> value_from_pull(xml::PullParser& p);
+
 // The xsi:type string used for a ValueType ("xsd:long", "xsd:string", ...).
 [[nodiscard]] const char* xsi_type_for(ValueType t);
 // Maps an xsi:type string back to a ValueType (kNull when unknown).

@@ -1,10 +1,63 @@
 #include "xml/xml.hpp"
 
+#include <array>
 #include <cctype>
 
 #include "common/strings.hpp"
 
 namespace hcm::xml {
+
+namespace {
+
+// Byte-class table for the hot scanning loops. std::isalnum/isspace are
+// locale calls and string_view::find_first_of is a nested per-char loop
+// in libstdc++ — both show up directly in envelope encode/decode cost,
+// so the scanners below use one table lookup per byte instead.
+constexpr std::uint8_t kName = 1;     // XML name characters
+constexpr std::uint8_t kSpace = 2;    // XML whitespace
+constexpr std::uint8_t kTextEsc = 4;  // needs escaping in text: & < >
+constexpr std::uint8_t kAttrEsc = 8;  // needs escaping in attrs: & < > " '
+
+constexpr auto make_char_class() {
+  std::array<std::uint8_t, 256> t{};
+  for (unsigned c = '0'; c <= '9'; ++c) t[c] |= kName;
+  for (unsigned c = 'a'; c <= 'z'; ++c) t[c] |= kName;
+  for (unsigned c = 'A'; c <= 'Z'; ++c) t[c] |= kName;
+  t[':'] |= kName;
+  t['_'] |= kName;
+  t['-'] |= kName;
+  t['.'] |= kName;
+  t[' '] |= kSpace;
+  t['\t'] |= kSpace;
+  t['\n'] |= kSpace;
+  t['\r'] |= kSpace;
+  t['\f'] |= kSpace;
+  t['\v'] |= kSpace;
+  t['&'] |= kTextEsc | kAttrEsc;
+  t['<'] |= kTextEsc | kAttrEsc;
+  t['>'] |= kTextEsc | kAttrEsc;
+  t['"'] |= kAttrEsc;
+  t['\''] |= kAttrEsc;
+  return t;
+}
+
+constexpr std::array<std::uint8_t, 256> kCharClass = make_char_class();
+
+[[nodiscard]] inline bool has_class(char c, std::uint8_t mask) {
+  return (kCharClass[static_cast<unsigned char>(c)] & mask) != 0;
+}
+
+// First position in s at or after `start` whose class intersects
+// `mask`, or s.size().
+[[nodiscard]] inline std::size_t scan_for(std::string_view s,
+                                          std::size_t start,
+                                          std::uint8_t mask) {
+  std::size_t i = start;
+  while (i < s.size() && !has_class(s[i], mask)) ++i;
+  return i;
+}
+
+}  // namespace
 
 std::string_view Element::local_name() const {
   auto colon = name_.find(':');
@@ -91,33 +144,63 @@ std::string Element::text() const {
   return out;
 }
 
-std::string escape_text(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
+std::string_view Element::text_view(std::string& scratch) const {
+  if (texts_.empty()) return {};
+  if (texts_.size() == 1) return texts_.front();
+  scratch.clear();
+  for (const auto& t : texts_) scratch += t;
+  return scratch;
+}
+
+void append_escaped_text(std::string& out, std::string_view s) {
+  std::size_t start = 0;
+  while (true) {
+    std::size_t i = scan_for(s, start, kTextEsc);
+    if (i == s.size()) {
+      out.append(s.data() + start, s.size() - start);
+      return;
+    }
+    out.append(s.data() + start, i - start);
+    switch (s[i]) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      default: out += "&gt;"; break;
+    }
+    start = i + 1;
+  }
+}
+
+void append_escaped_attr(std::string& out, std::string_view s) {
+  std::size_t start = 0;
+  while (true) {
+    std::size_t i = scan_for(s, start, kAttrEsc);
+    if (i == s.size()) {
+      out.append(s.data() + start, s.size() - start);
+      return;
+    }
+    out.append(s.data() + start, i - start);
+    switch (s[i]) {
       case '&': out += "&amp;"; break;
       case '<': out += "&lt;"; break;
       case '>': out += "&gt;"; break;
-      default: out += c;
+      case '"': out += "&quot;"; break;
+      default: out += "&apos;"; break;
     }
+    start = i + 1;
   }
+}
+
+std::string escape_text(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped_text(out, s);
   return out;
 }
 
 std::string escape_attr(std::string_view s) {
   std::string out;
   out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '&': out += "&amp;"; break;
-      case '<': out += "&lt;"; break;
-      case '>': out += "&gt;"; break;
-      case '"': out += "&quot;"; break;
-      case '\'': out += "&apos;"; break;
-      default: out += c;
-    }
-  }
+  append_escaped_attr(out, s);
   return out;
 }
 
@@ -132,7 +215,7 @@ void Element::render(std::string& out, int indent) const {
     out += ' ';
     out += a.name;
     out += "=\"";
-    out += escape_attr(a.value);
+    append_escaped_attr(out, a.value);
     out += '"';
   }
   if (texts_.empty() && children_.empty()) {
@@ -141,7 +224,7 @@ void Element::render(std::string& out, int indent) const {
     return;
   }
   out += '>';
-  for (const auto& t : texts_) out += escape_text(t);
+  for (const auto& t : texts_) append_escaped_text(out, t);
   if (!children_.empty()) {
     if (indent >= 0) out += '\n';
     for (const auto& c : children_) {
@@ -168,234 +251,406 @@ std::string Element::to_pretty_string() const {
 }
 
 // ---------------------------------------------------------------------
-// Parser
+// Writer
+// ---------------------------------------------------------------------
+
+void Writer::close_start_tag() {
+  if (in_start_tag_) {
+    *out_ += '>';
+    in_start_tag_ = false;
+  }
+}
+
+Writer& Writer::start(std::string_view name) {
+  close_start_tag();
+  *out_ += '<';
+  const auto off = static_cast<std::uint32_t>(out_->size());
+  out_->append(name);
+  stack_.push_back({off, static_cast<std::uint32_t>(name.size()), false});
+  in_start_tag_ = true;
+  return *this;
+}
+
+Writer& Writer::attr(std::string_view name, std::string_view value) {
+  *out_ += ' ';
+  out_->append(name);
+  *out_ += "=\"";
+  append_escaped_attr(*out_, value);
+  *out_ += '"';
+  return *this;
+}
+
+Writer& Writer::text(std::string_view s) {
+  close_start_tag();
+  append_escaped_text(*out_, s);
+  return *this;
+}
+
+Writer& Writer::raw(std::string_view s) {
+  close_start_tag();
+  out_->append(s);
+  return *this;
+}
+
+Writer& Writer::end() {
+  const Open open = stack_.back();
+  stack_.pop_back();
+  if (in_start_tag_) {
+    *out_ += "/>";
+    in_start_tag_ = false;
+    return *this;
+  }
+  // Reserve first: the close-tag name is copied out of the buffer
+  // itself, so the source must not move mid-append.
+  out_->reserve(out_->size() + open.name_len + 3);
+  out_->append("</");
+  out_->append(out_->data() + open.name_off, open.name_len);
+  *out_ += '>';
+  return *this;
+}
+
+Writer& Writer::leaf(std::string_view name, std::string_view text_content) {
+  return start(name).text(text_content).end();
+}
+
+Writer& Writer::prolog() {
+  out_->append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+  return *this;
+}
+
+// ---------------------------------------------------------------------
+// PullParser
 // ---------------------------------------------------------------------
 
 namespace {
 
-class Parser {
- public:
-  explicit Parser(std::string_view in) : in_(in) {}
+[[nodiscard]] bool is_name_char(char c) { return has_class(c, kName); }
 
-  Result<ElementPtr> parse_document() {
-    skip_prolog();
-    auto root = parse_element();
-    if (!root.is_ok()) return root;
-    skip_ws_and_comments();
-    if (pos_ != in_.size()) {
-      return protocol_error("trailing content after root element");
+[[nodiscard]] std::string_view local_of(std::string_view name) {
+  auto colon = name.find(':');
+  return colon == std::string_view::npos ? name : name.substr(colon + 1);
+}
+
+// Decodes one entity reference (`ent` excludes '&' and ';') into `out`.
+Status decode_one_entity(std::string_view ent, std::string& out) {
+  if (ent == "amp") {
+    out += '&';
+  } else if (ent == "lt") {
+    out += '<';
+  } else if (ent == "gt") {
+    out += '>';
+  } else if (ent == "quot") {
+    out += '"';
+  } else if (ent == "apos") {
+    out += '\'';
+  } else if (!ent.empty() && ent[0] == '#') {
+    long code = 0;
+    bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+    for (std::size_t j = hex ? 2 : 1; j < ent.size(); ++j) {
+      char c = ent[j];
+      int digit;
+      if (c >= '0' && c <= '9') digit = c - '0';
+      else if (hex && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+      else if (hex && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+      else return protocol_error("bad character reference");
+      code = code * (hex ? 16 : 10) + digit;
+      if (code > 0x10FFFF) return protocol_error("bad character reference");
     }
-    return root;
-  }
-
- private:
-  [[nodiscard]] bool eof() const { return pos_ >= in_.size(); }
-  [[nodiscard]] char peek() const { return in_[pos_]; }
-  [[nodiscard]] bool lookahead(std::string_view s) const {
-    return in_.substr(pos_, s.size()) == s;
-  }
-
-  void skip_ws() {
-    while (!eof() && std::isspace(static_cast<unsigned char>(peek()))) ++pos_;
-  }
-
-  bool skip_comment() {
-    if (!lookahead("<!--")) return false;
-    auto end = in_.find("-->", pos_ + 4);
-    pos_ = end == std::string_view::npos ? in_.size() : end + 3;
-    return true;
-  }
-
-  void skip_ws_and_comments() {
-    while (true) {
-      skip_ws();
-      if (!skip_comment()) return;
+    // Encode as UTF-8.
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
     }
+  } else {
+    return protocol_error("unknown entity &" + std::string(ent) + ";");
   }
-
-  void skip_prolog() {
-    while (true) {
-      skip_ws();
-      if (lookahead("<?")) {
-        auto end = in_.find("?>", pos_ + 2);
-        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
-      } else if (lookahead("<!--")) {
-        skip_comment();
-      } else if (lookahead("<!DOCTYPE")) {
-        auto end = in_.find('>', pos_);
-        pos_ = end == std::string_view::npos ? in_.size() : end + 1;
-      } else {
-        return;
-      }
-    }
-  }
-
-  [[nodiscard]] static bool is_name_char(char c) {
-    return std::isalnum(static_cast<unsigned char>(c)) || c == ':' ||
-           c == '_' || c == '-' || c == '.';
-  }
-
-  Result<std::string> parse_name() {
-    std::size_t start = pos_;
-    while (!eof() && is_name_char(peek())) ++pos_;
-    if (pos_ == start) return protocol_error("expected XML name");
-    return std::string(in_.substr(start, pos_ - start));
-  }
-
-  Result<std::string> decode_entities(std::string_view raw) {
-    std::string out;
-    out.reserve(raw.size());
-    for (std::size_t i = 0; i < raw.size();) {
-      if (raw[i] != '&') {
-        out += raw[i++];
-        continue;
-      }
-      auto semi = raw.find(';', i);
-      if (semi == std::string_view::npos) {
-        return protocol_error("unterminated entity");
-      }
-      auto ent = raw.substr(i + 1, semi - i - 1);
-      if (ent == "amp") out += '&';
-      else if (ent == "lt") out += '<';
-      else if (ent == "gt") out += '>';
-      else if (ent == "quot") out += '"';
-      else if (ent == "apos") out += '\'';
-      else if (!ent.empty() && ent[0] == '#') {
-        long code = 0;
-        bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
-        for (std::size_t j = hex ? 2 : 1; j < ent.size(); ++j) {
-          char c = ent[j];
-          int digit;
-          if (c >= '0' && c <= '9') digit = c - '0';
-          else if (hex && c >= 'a' && c <= 'f') digit = c - 'a' + 10;
-          else if (hex && c >= 'A' && c <= 'F') digit = c - 'A' + 10;
-          else return protocol_error("bad character reference");
-          code = code * (hex ? 16 : 10) + digit;
-          if (code > 0x10FFFF) return protocol_error("bad character reference");
-        }
-        // Encode as UTF-8.
-        if (code < 0x80) {
-          out += static_cast<char>(code);
-        } else if (code < 0x800) {
-          out += static_cast<char>(0xC0 | (code >> 6));
-          out += static_cast<char>(0x80 | (code & 0x3F));
-        } else if (code < 0x10000) {
-          out += static_cast<char>(0xE0 | (code >> 12));
-          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-          out += static_cast<char>(0x80 | (code & 0x3F));
-        } else {
-          out += static_cast<char>(0xF0 | (code >> 18));
-          out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
-          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-          out += static_cast<char>(0x80 | (code & 0x3F));
-        }
-      } else {
-        return protocol_error("unknown entity &" + std::string(ent) + ";");
-      }
-      i = semi + 1;
-    }
-    return out;
-  }
-
-  Result<ElementPtr> parse_element() {
-    if (eof() || peek() != '<') return protocol_error("expected '<'");
-    ++pos_;
-    auto name = parse_name();
-    if (!name.is_ok()) return name.status();
-    auto elem = std::make_unique<Element>(name.value());
-
-    // Attributes.
-    while (true) {
-      skip_ws();
-      if (eof()) return protocol_error("unterminated start tag");
-      if (lookahead("/>")) {
-        pos_ += 2;
-        return elem;
-      }
-      if (peek() == '>') {
-        ++pos_;
-        break;
-      }
-      auto attr_name = parse_name();
-      if (!attr_name.is_ok()) return attr_name.status();
-      skip_ws();
-      if (eof() || peek() != '=') return protocol_error("expected '='");
-      ++pos_;
-      skip_ws();
-      if (eof() || (peek() != '"' && peek() != '\'')) {
-        return protocol_error("expected quoted attribute value");
-      }
-      char quote = peek();
-      ++pos_;
-      auto end = in_.find(quote, pos_);
-      if (end == std::string_view::npos) {
-        return protocol_error("unterminated attribute value");
-      }
-      auto value = decode_entities(in_.substr(pos_, end - pos_));
-      if (!value.is_ok()) return value.status();
-      pos_ = end + 1;
-      elem->set_attr(attr_name.value(), value.value());
-    }
-
-    // Content.
-    while (true) {
-      if (eof()) return protocol_error("unterminated element " + name.value());
-      if (lookahead("</")) {
-        pos_ += 2;
-        auto close = parse_name();
-        if (!close.is_ok()) return close.status();
-        if (close.value() != name.value()) {
-          return protocol_error("mismatched close tag: " + close.value() +
-                                " vs " + name.value());
-        }
-        skip_ws();
-        if (eof() || peek() != '>') return protocol_error("expected '>'");
-        ++pos_;
-        return elem;
-      }
-      if (lookahead("<!--")) {
-        skip_comment();
-        continue;
-      }
-      if (lookahead("<![CDATA[")) {
-        auto end = in_.find("]]>", pos_ + 9);
-        if (end == std::string_view::npos) {
-          return protocol_error("unterminated CDATA");
-        }
-        elem->add_text(std::string(in_.substr(pos_ + 9, end - pos_ - 9)));
-        pos_ = end + 3;
-        continue;
-      }
-      if (peek() == '<') {
-        auto childr = parse_element();
-        if (!childr.is_ok()) return childr.status();
-        elem->add_child(std::move(childr).take());
-        continue;
-      }
-      // Text run up to the next '<'.
-      auto end = in_.find('<', pos_);
-      if (end == std::string_view::npos) {
-        return protocol_error("unterminated element content");
-      }
-      auto raw = in_.substr(pos_, end - pos_);
-      pos_ = end;
-      auto decoded = decode_entities(raw);
-      if (!decoded.is_ok()) return decoded.status();
-      // Drop pure-whitespace runs (formatting noise between elements).
-      if (!trim(decoded.value()).empty()) {
-        elem->add_text(std::move(decoded).take());
-      }
-    }
-  }
-
-  std::string_view in_;
-  std::size_t pos_ = 0;
-};
+  return Status::ok();
+}
 
 }  // namespace
 
+std::string_view PullParser::Attr::local_name() const {
+  return local_of(name);
+}
+
+std::string_view PullParser::local_name() const { return local_of(name_); }
+
+const PullParser::Attr* PullParser::find_attr(std::string_view name) const {
+  for (const auto& a : attrs_) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+const PullParser::Attr* PullParser::find_attr_local(
+    std::string_view local) const {
+  for (const auto& a : attrs_) {
+    if (local_of(a.name) == local) return &a;
+  }
+  return nullptr;
+}
+
+Result<std::string_view> PullParser::decode(std::string_view raw,
+                                            std::string& scratch) {
+  std::size_t amp = raw.find('&');
+  if (amp == std::string_view::npos) return raw;  // fast path: nothing encoded
+  const std::size_t scratch0 = scratch.size();
+  std::size_t i = 0;
+  while (true) {
+    scratch.append(raw.data() + i, amp - i);
+    auto semi = raw.find(';', amp);
+    if (semi == std::string_view::npos) {
+      return protocol_error("unterminated entity");
+    }
+    if (auto s = decode_one_entity(raw.substr(amp + 1, semi - amp - 1), scratch);
+        !s.is_ok()) {
+      return s;
+    }
+    i = semi + 1;
+    amp = raw.find('&', i);
+    if (amp == std::string_view::npos) {
+      scratch.append(raw.data() + i, raw.size() - i);
+      return std::string_view(scratch).substr(scratch0);
+    }
+  }
+}
+
+void PullParser::skip_ws() {
+  while (!eof() && has_class(peek(), kSpace)) ++pos_;
+}
+
+bool PullParser::skip_comment() {
+  if (!lookahead("<!--")) return false;
+  auto end = in_.find("-->", pos_ + 4);
+  pos_ = end == std::string_view::npos ? in_.size() : end + 3;
+  return true;
+}
+
+void PullParser::skip_prolog() {
+  while (true) {
+    skip_ws();
+    if (lookahead("<?")) {
+      auto end = in_.find("?>", pos_ + 2);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+    } else if (lookahead("<!--")) {
+      skip_comment();
+    } else if (lookahead("<!DOCTYPE")) {
+      auto end = in_.find('>', pos_);
+      pos_ = end == std::string_view::npos ? in_.size() : end + 1;
+    } else {
+      return;
+    }
+  }
+}
+
+Result<std::string_view> PullParser::read_name() {
+  std::size_t start = pos_;
+  while (!eof() && is_name_char(peek())) ++pos_;
+  if (pos_ == start) return protocol_error("expected XML name");
+  return in_.substr(start, pos_ - start);
+}
+
+Result<PullParser::Event> PullParser::read_start_tag() {
+  ++pos_;  // past '<'
+  auto name = read_name();
+  if (!name.is_ok()) return name.status();
+  name_ = name.value();
+  attrs_.clear();
+  while (true) {
+    skip_ws();
+    if (eof()) return protocol_error("unterminated start tag");
+    if (lookahead("/>")) {
+      pos_ += 2;
+      pending_end_ = true;  // not pushed on open_: kEnd follows directly
+      return Event::kStart;
+    }
+    if (peek() == '>') {
+      ++pos_;
+      open_.push_back(name_);
+      return Event::kStart;
+    }
+    auto attr_name = read_name();
+    if (!attr_name.is_ok()) return attr_name.status();
+    skip_ws();
+    if (eof() || peek() != '=') return protocol_error("expected '='");
+    ++pos_;
+    skip_ws();
+    if (eof() || (peek() != '"' && peek() != '\'')) {
+      return protocol_error("expected quoted attribute value");
+    }
+    char quote = peek();
+    ++pos_;
+    auto end = in_.find(quote, pos_);
+    if (end == std::string_view::npos) {
+      return protocol_error("unterminated attribute value");
+    }
+    attrs_.push_back({attr_name.value(), in_.substr(pos_, end - pos_)});
+    pos_ = end + 1;
+  }
+}
+
+Result<PullParser::Event> PullParser::next() {
+  if (pending_end_) {
+    pending_end_ = false;
+    if (open_.empty()) done_ = true;
+    return Event::kEnd;
+  }
+  if (!started_) {
+    skip_prolog();
+    if (eof() || peek() != '<') return protocol_error("expected '<'");
+    started_ = true;
+    return read_start_tag();
+  }
+  if (done_) {
+    // Only whitespace and comments may follow the root element.
+    while (true) {
+      skip_ws();
+      if (!skip_comment()) break;
+    }
+    if (!eof()) return protocol_error("trailing content after root element");
+    return Event::kEof;
+  }
+  while (true) {
+    if (eof()) {
+      return protocol_error("unterminated element " + std::string(open_.back()));
+    }
+    if (lookahead("</")) {
+      pos_ += 2;
+      auto close = read_name();
+      if (!close.is_ok()) return close.status();
+      if (close.value() != open_.back()) {
+        return protocol_error("mismatched close tag: " +
+                              std::string(close.value()) + " vs " +
+                              std::string(open_.back()));
+      }
+      skip_ws();
+      if (eof() || peek() != '>') return protocol_error("expected '>'");
+      ++pos_;
+      name_ = close.value();
+      open_.pop_back();
+      if (open_.empty()) done_ = true;
+      return Event::kEnd;
+    }
+    if (lookahead("<!--")) {
+      skip_comment();
+      continue;
+    }
+    if (lookahead("<![CDATA[")) {
+      auto end = in_.find("]]>", pos_ + 9);
+      if (end == std::string_view::npos) {
+        return protocol_error("unterminated CDATA");
+      }
+      text_ = in_.substr(pos_ + 9, end - pos_ - 9);
+      cdata_ = true;
+      pos_ = end + 3;
+      return Event::kText;
+    }
+    if (peek() == '<') return read_start_tag();
+    // Text run up to the next '<'.
+    auto end = in_.find('<', pos_);
+    if (end == std::string_view::npos) {
+      return protocol_error("unterminated element content");
+    }
+    text_ = in_.substr(pos_, end - pos_);
+    cdata_ = false;
+    pos_ = end;
+    return Event::kText;
+  }
+}
+
+Result<std::string_view> PullParser::text(std::string& scratch) const {
+  if (cdata_) return text_;  // CDATA is never entity-decoded
+  return decode(text_, scratch);
+}
+
+bool PullParser::text_is_ws() const {
+  if (cdata_) return false;  // CDATA runs are content by definition
+  if (text_.find('&') == std::string_view::npos) {
+    return trim(text_).empty();
+  }
+  std::string scratch;
+  auto decoded = decode(text_, scratch);
+  // A malformed run is not droppable noise; the error surfaces when the
+  // consumer decodes it.
+  return decoded.is_ok() && trim(decoded.value()).empty();
+}
+
+Status PullParser::skip_element() {
+  int depth = 1;
+  while (depth > 0) {
+    auto ev = next();
+    if (!ev.is_ok()) return ev.status();
+    if (ev.value() == Event::kStart) ++depth;
+    else if (ev.value() == Event::kEnd) --depth;
+    else if (ev.value() == Event::kEof) {
+      return protocol_error("unexpected end of document");
+    }
+  }
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------
+// Tree parser (PullParser-backed)
+// ---------------------------------------------------------------------
+
 Result<ElementPtr> parse(std::string_view input) {
-  return Parser(input).parse_document();
+  PullParser p(input);
+  ElementPtr root;
+  std::vector<Element*> stack;
+  std::string scratch;
+  while (true) {
+    auto ev = p.next();
+    if (!ev.is_ok()) return ev.status();
+    switch (ev.value()) {
+      case PullParser::Event::kStart: {
+        auto elem = std::make_unique<Element>(std::string(p.name()));
+        for (const auto& a : p.attrs()) {
+          scratch.clear();
+          auto value = PullParser::decode(a.raw_value, scratch);
+          if (!value.is_ok()) return value.status();
+          elem->set_attr(std::string(a.name), std::string(value.value()));
+        }
+        Element* raw = elem.get();
+        if (stack.empty()) {
+          root = std::move(elem);
+        } else {
+          stack.back()->add_child(std::move(elem));
+        }
+        stack.push_back(raw);
+        break;
+      }
+      case PullParser::Event::kEnd:
+        stack.pop_back();
+        break;
+      case PullParser::Event::kText: {
+        if (p.text_is_cdata()) {
+          stack.back()->add_text(std::string(p.raw_text()));
+          break;
+        }
+        scratch.clear();
+        auto decoded = p.text(scratch);
+        if (!decoded.is_ok()) return decoded.status();
+        // Drop pure-whitespace runs (formatting noise between elements).
+        if (!trim(decoded.value()).empty()) {
+          stack.back()->add_text(std::string(decoded.value()));
+        }
+        break;
+      }
+      case PullParser::Event::kEof:
+        return root;
+    }
+  }
 }
 
 }  // namespace hcm::xml

@@ -2,8 +2,18 @@
 // enough for SOAP 1.1 envelopes, WSDL documents, the UDDI-like registry
 // and UPnP device descriptions. Supports elements, attributes, text,
 // comments (skipped), CDATA, numeric and the five predefined entities.
+//
+// Two codec tiers share one tokenizer:
+//   - the Element tree (build/inspect/serialize), for documents that
+//     are genuinely tree-shaped (WSDL, UPnP descriptions, registry
+//     records);
+//   - the zero-copy PullParser + streaming Writer pair, for the wire
+//     hot path (SOAP envelopes), where names and text stay
+//     string_views into the retained input and output renders into a
+//     caller-provided reusable buffer.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -57,10 +67,16 @@ class Element {
       std::string_view local) const;
   // Concatenated direct text content.
   [[nodiscard]] std::string text() const;
+  // Direct text content without concatenation when there is at most one
+  // run (the overwhelmingly common case); `scratch` backs the view only
+  // when several runs must be joined.
+  [[nodiscard]] std::string_view text_view(std::string& scratch) const;
 
   // --- serialization ----------------------------------------------------
   // Compact (no whitespace) rendering, suitable for the wire.
   [[nodiscard]] std::string to_string() const;
+  // Compact rendering appended to a caller-provided (reusable) buffer.
+  void render_to(std::string& out) const { render(out, -1); }
   // Indented rendering, for humans and docs.
   [[nodiscard]] std::string to_pretty_string() const;
 
@@ -79,6 +95,124 @@ class Element {
 // Escapes text content (& < >) and attribute values (also " ').
 [[nodiscard]] std::string escape_text(std::string_view s);
 [[nodiscard]] std::string escape_attr(std::string_view s);
+// Appending forms with a memcpy fast path: runs without special
+// characters are copied in one shot instead of byte-by-byte.
+void append_escaped_text(std::string& out, std::string_view s);
+void append_escaped_attr(std::string& out, std::string_view s);
+
+// Streaming serializer: renders into a caller-provided buffer with the
+// exact compact byte format Element::to_string produces, but with no
+// intermediate tree. Close-tag names are remembered as offsets into the
+// output buffer itself, so a writer performs no per-element
+// allocations.
+class Writer {
+ public:
+  // Appends to `out`; the caller clears/reuses the buffer between
+  // messages. The buffer must outlive the writer.
+  explicit Writer(std::string& out) : out_(&out) { stack_.reserve(16); }
+
+  Writer& start(std::string_view name);
+  // Valid only between start() and the first content/end() call.
+  Writer& attr(std::string_view name, std::string_view value);
+  Writer& text(std::string_view s);      // escaped text content
+  Writer& raw(std::string_view s);       // pre-encoded content, no escaping
+  Writer& end();                         // </name>, or /> when empty
+  // Convenience: <name>text</name>.
+  Writer& leaf(std::string_view name, std::string_view text_content);
+  // <?xml version="1.0" encoding="UTF-8"?>
+  Writer& prolog();
+
+  [[nodiscard]] int depth() const { return static_cast<int>(stack_.size()); }
+
+ private:
+  void close_start_tag();
+
+  std::string* out_;
+  struct Open {
+    std::uint32_t name_off;
+    std::uint32_t name_len;
+    bool has_content;
+  };
+  std::vector<Open> stack_;
+  bool in_start_tag_ = false;
+};
+
+// Zero-copy pull parser: tokenizes the input into start/end/text events
+// whose names and raw values are string_views into the input buffer,
+// which the caller keeps alive for the parser's lifetime. Leading
+// <?xml?>, <!DOCTYPE> and comments are skipped; a self-closing element
+// produces kStart immediately followed by kEnd.
+class PullParser {
+ public:
+  enum class Event { kStart, kEnd, kText, kEof };
+
+  struct Attr {
+    std::string_view name;
+    std::string_view raw_value;  // still entity-encoded
+    [[nodiscard]] std::string_view local_name() const;
+  };
+
+  explicit PullParser(std::string_view in) : in_(in) {
+    attrs_.reserve(8);
+    open_.reserve(16);
+  }
+
+  // Advances to the next event.
+  [[nodiscard]] Result<Event> next();
+
+  // kStart/kEnd: qualified and local tag name.
+  [[nodiscard]] std::string_view name() const { return name_; }
+  [[nodiscard]] std::string_view local_name() const;
+  // kStart only: attributes with raw (still-encoded) values.
+  [[nodiscard]] const std::vector<Attr>& attrs() const { return attrs_; }
+  // Raw value of the attribute with this exact / local name, or empty
+  // view when absent (found tells the cases apart).
+  [[nodiscard]] const Attr* find_attr(std::string_view name) const;
+  [[nodiscard]] const Attr* find_attr_local(std::string_view local) const;
+
+  // kText: the raw (still-encoded) run; CDATA is already unwrapped and
+  // is never entity-decoded.
+  [[nodiscard]] std::string_view raw_text() const { return text_; }
+  [[nodiscard]] bool text_is_cdata() const { return cdata_; }
+  // Decoded text of the current run. Points into the input when no
+  // decoding is needed; otherwise `scratch` backs it.
+  [[nodiscard]] Result<std::string_view> text(std::string& scratch) const;
+  // True when the decoded run is whitespace only (formatting noise).
+  [[nodiscard]] bool text_is_ws() const;
+
+  // Consumes events until the end tag matching the most recent kStart
+  // has been consumed. Call right after a kStart event.
+  [[nodiscard]] Status skip_element();
+
+  // Decodes entity references. Returns `raw` itself when it contains no
+  // '&' (the fast path); otherwise appends the decoded form to scratch
+  // and returns a view of what was appended.
+  [[nodiscard]] static Result<std::string_view> decode(std::string_view raw,
+                                                       std::string& scratch);
+
+ private:
+  [[nodiscard]] bool eof() const { return pos_ >= in_.size(); }
+  [[nodiscard]] char peek() const { return in_[pos_]; }
+  [[nodiscard]] bool lookahead(std::string_view s) const {
+    return in_.substr(pos_, s.size()) == s;
+  }
+  void skip_ws();
+  bool skip_comment();
+  void skip_prolog();
+  [[nodiscard]] Result<std::string_view> read_name();
+  [[nodiscard]] Result<Event> read_start_tag();
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  bool started_ = false;     // root element seen
+  bool pending_end_ = false; // self-closing: deliver kEnd next
+  bool done_ = false;        // root closed; only trailing noise allowed
+  std::string_view name_;
+  std::string_view text_;
+  bool cdata_ = false;
+  std::vector<Attr> attrs_;
+  std::vector<std::string_view> open_;  // enclosing element names
+};
 
 // Parses a document; returns the root element. Leading <?xml?> and
 // <!DOCTYPE> declarations and comments are skipped.

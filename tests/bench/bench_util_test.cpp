@@ -1,13 +1,20 @@
 // JsonReport contract: string values are escaped (quotes, backslashes,
 // control characters survive as \uXXXX, never raw), and append mode
 // adds a report as a new line instead of clobbering the file.
+//
+// This TU also installs the counting allocation hook for the whole test
+// binary (it must live in exactly one TU per binary) so the AllocDelta
+// meter used by the wire-throughput bench is itself under test.
+#define HCM_BENCH_ALLOC_HOOK 1
 #include "bench/bench_util.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 namespace hcm::bench {
 namespace {
@@ -59,6 +66,36 @@ TEST_F(JsonReportTest, PlainWriteReplacesExistingContent) {
   const std::string json = slurp(path_);
   EXPECT_EQ(json.find("old"), std::string::npos);
   EXPECT_NE(json.find("fresh"), std::string::npos);
+}
+
+TEST(AllocCounterTest, HookInstalledAndDeltaCountsHeapTraffic) {
+  // gtest itself allocates long before this test runs, so the hook has
+  // already observed traffic by now.
+  EXPECT_TRUE(alloc_hook_installed());
+
+  AllocDelta d;
+  constexpr std::size_t kBytes = 4096;
+  {
+    auto* p = new char[kBytes];
+    // Defeat dead-store elimination of the allocation.
+    p[0] = 1;
+    volatile char sink = p[0];
+    (void)sink;
+    delete[] p;
+  }
+  EXPECT_GE(d.allocs(), 1u);
+  EXPECT_GE(d.bytes(), kBytes);
+}
+
+TEST(AllocCounterTest, DeltaIsScopedToConstructionPoint) {
+  std::vector<std::unique_ptr<int>> warmup;
+  for (int i = 0; i < 8; ++i) warmup.push_back(std::make_unique<int>(i));
+  const std::uint64_t before = alloc_count();
+  AllocDelta d;
+  EXPECT_EQ(d.allocs(), alloc_count() - before);
+  auto extra = std::make_unique<int>(7);
+  EXPECT_GE(d.allocs(), 1u);
+  EXPECT_GE(d.bytes(), sizeof(int));
 }
 
 }  // namespace

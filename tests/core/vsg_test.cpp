@@ -160,6 +160,44 @@ TEST_P(VsgTest, ExposureUriMatchesProtocol) {
   EXPECT_EQ(uri.value().host, "gw-a");
 }
 
+TEST(VsgKeepAliveTest, BackboneConnectionReusedAcrossCalls) {
+  sim::Scheduler sched;
+  net::Network net{sched};
+  auto& gw_a = net.add_node("gw-a");
+  auto& gw_b = net.add_node("gw-b");
+  auto& eth = net.add_ethernet("backbone", sim::milliseconds(5), 10'000'000);
+  net.attach(gw_a, eth);
+  net.attach(gw_b, eth);
+  VirtualServiceGateway callee(net, gw_a.id(), "island-a", 8080,
+                               VsgProtocol::kSoap);
+  VirtualServiceGateway caller(net, gw_b.id(), "island-b", 8080,
+                               VsgProtocol::kSoap);
+  ASSERT_TRUE(callee.start().is_ok());
+  ASSERT_TRUE(caller.start().is_ok());
+  auto uri = callee.expose("calc-1", calc_interface(),
+                           [](const std::string&, const ValueList& args,
+                              InvokeResultFn done) {
+                             done(Value(args[0].as_int() + args[1].as_int()));
+                           });
+  ASSERT_TRUE(uri.is_ok());
+
+  const int kCalls = 8;
+  for (int i = 0; i < kCalls; ++i) {
+    std::optional<Result<Value>> result;
+    caller.call_remote(uri.value(), "calc-1", calc_interface(), "add",
+                       {Value(i), Value(1)},
+                       [&](Result<Value> r) { result = std::move(r); });
+    sched.run();
+    ASSERT_TRUE(result.has_value());
+    ASSERT_TRUE(result->is_ok()) << result->status().to_string();
+    EXPECT_EQ(result->value(), Value(std::int64_t{i} + 1));
+  }
+  EXPECT_EQ(caller.remote_calls(), static_cast<std::uint64_t>(kCalls));
+  // The backbone SoapClient keeps its connection alive: all calls ride
+  // one accepted transport connection.
+  EXPECT_EQ(callee.backbone_connections_accepted(), 1u);
+}
+
 INSTANTIATE_TEST_SUITE_P(BothProtocols, VsgTest,
                          ::testing::Values(VsgProtocol::kSoap,
                                            VsgProtocol::kBinary),

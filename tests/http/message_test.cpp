@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "soap/envelope.hpp"
+
 namespace hcm::http {
 namespace {
 
@@ -135,6 +139,40 @@ TEST(HttpParserTest, HeaderWhitespaceTrimmed) {
   auto reqs = p.take_requests();
   ASSERT_EQ(reqs.size(), 1u);
   EXPECT_EQ(*reqs[0].header("X-K"), "padded value");
+}
+
+TEST(HttpParserTest, SoapEnvelopeSplitAcrossDeliveries) {
+  // A SOAP POST arriving in arbitrary stream chunks must reassemble to
+  // the exact envelope, and the body must decode as SOAP afterwards.
+  const std::string envelope = soap::build_call(
+      "urn:hcm:Calc", "add",
+      {{"a", Value(std::int64_t{20})}, {"b", Value(std::int64_t{22})}});
+  Request req;
+  req.method = "POST";
+  req.target = "/vsg/calc";
+  req.body = envelope;
+  req.set_header("Content-Type", "text/xml");
+  const Bytes wire = req.serialize();
+
+  for (std::size_t chunk :
+       {std::size_t{1}, std::size_t{7}, std::size_t{64}, wire.size()}) {
+    MessageParser parser(MessageParser::Mode::kRequest);
+    for (std::size_t off = 0; off < wire.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, wire.size() - off);
+      ASSERT_TRUE(
+          parser.feed(Bytes(wire.begin() + static_cast<std::ptrdiff_t>(off),
+                            wire.begin() + static_cast<std::ptrdiff_t>(off + n)))
+              .is_ok());
+    }
+    auto reqs = parser.take_requests();
+    ASSERT_EQ(reqs.size(), 1u) << "chunk size " << chunk;
+    EXPECT_EQ(reqs[0].body, envelope);
+    auto env = soap::parse_envelope(reqs[0].body);
+    ASSERT_TRUE(env.is_ok()) << env.status().to_string();
+    EXPECT_EQ(env.value().method, "add");
+    ASSERT_EQ(env.value().params.size(), 2u);
+    EXPECT_EQ(env.value().params[1].second, Value(std::int64_t{22}));
+  }
 }
 
 }  // namespace

@@ -221,5 +221,50 @@ TEST_F(HttpEndToEndTest, PortConflictDetected) {
   EXPECT_FALSE(dup.start().is_ok());
 }
 
+TEST_F(HttpEndToEndTest, WireBytesMatchSerializedMessageSizes) {
+  // The serialize/stream boundary must put exactly the serialized frame
+  // on the wire — no re-encoding, duplication or inflation on either
+  // direction. Drives a raw stream so both byte counters are visible.
+  server->route("/echo", [](const Request& req, RespondFn respond) {
+    respond(Response::make(200, "OK", req.body));
+  });
+
+  net::StreamPtr stream;
+  net.connect(client_node->id(), server->endpoint(),
+              [&](Result<net::StreamPtr> r) {
+                ASSERT_TRUE(r.is_ok());
+                stream = std::move(r).take();
+              });
+  sched.run();
+  ASSERT_NE(stream, nullptr);
+
+  Request req;
+  req.method = "POST";
+  req.target = "/echo";
+  req.body = "payload-0123456789";
+  req.set_header("Content-Type", "text/plain");
+  const Bytes wire = req.serialize();
+
+  Bytes received;
+  stream->set_on_data([&](const Bytes& data) {
+    received.insert(received.end(), data.begin(), data.end());
+  });
+  stream->send(req.serialize());
+  sched.run();
+
+  EXPECT_EQ(stream->bytes_sent(), wire.size());
+  ASSERT_FALSE(received.empty());
+  EXPECT_EQ(stream->bytes_received(), received.size());
+
+  // The received bytes re-serialize to the identical frame: parse the
+  // response and compare byte counts.
+  MessageParser parser(MessageParser::Mode::kResponse);
+  ASSERT_TRUE(parser.feed(received).is_ok());
+  auto resps = parser.take_responses();
+  ASSERT_EQ(resps.size(), 1u);
+  EXPECT_EQ(resps[0].body, req.body);
+  EXPECT_EQ(resps[0].serialize().size(), received.size());
+}
+
 }  // namespace
 }  // namespace hcm::http
