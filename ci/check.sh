@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
-# Full PR gate (docs/CORRECTNESS.md §5):
+# Full PR gate (docs/CORRECTNESS.md §6):
 #   1. tier-1: default preset (-Werror) build + full ctest, which
 #      includes the hcm_lint contract check and the determinism audit;
 #   2. the same suite under ASan+UBSan (asan preset), with an explicit
 #      event-bridge pass (leases, backpressure, retry paths exercise
 #      the trickiest object lifetimes in the tree);
-#   3. standalone hcm_lint run for a readable summary;
-#   4. smoke-run of the event-bridge fan-out bench;
-#   5. smoke-run of the VSR sync bench, archiving BENCH_vsr_sync.json;
-#   6. observability overhead bench, archiving BENCH_obs_overhead.json,
+#   3. races: tsan preset over the concurrency-sensitive suites
+#      (scheduler, event bridge, net/stream/channel stacks) ahead of
+#      the sharded sim kernel;
+#   4. standalone hcm_lint run for a readable summary;
+#   5. hcm_analyze: the five static-analysis passes (docs/CORRECTNESS.md
+#      §"Static analysis") must report zero unsuppressed findings;
+#      archives ANALYZE_report.json next to the BENCH_*.json artifacts;
+#   6. smoke-run of the event-bridge fan-out bench;
+#   7. smoke-run of the VSR sync bench, archiving BENCH_vsr_sync.json;
+#   8. observability overhead bench, archiving BENCH_obs_overhead.json,
 #      plus a trace-export smoke check: the bench records one 3-island
 #      chain and the Chrome trace it writes must carry complete events;
-#   7. wire-throughput bench under the perf preset (Release -O2 — the
+#   9. wire-throughput bench under the perf preset (Release -O2 — the
 #      optimization level the numbers in docs/PERFORMANCE.md use),
 #      archiving BENCH_wire_throughput.json.
 set -euo pipefail
@@ -19,28 +25,37 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/7] tier-1: default preset (-Werror) ==="
+echo "=== [1/9] tier-1: default preset (-Werror) ==="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "=== [2/7] sanitizers: asan preset (ASan + UBSan) ==="
+echo "=== [2/9] sanitizers: asan preset (ASan + UBSan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'EventBridge'
 ctest --preset asan -j "${JOBS}"
 
-echo "=== [3/7] hcm_lint summary ==="
+echo "=== [3/9] races: tsan preset (scheduler / event bridge / net) ==="
+cmake --preset tsan
+cmake --build --preset tsan -j "${JOBS}"
+ctest --preset tsan -j "${JOBS}" -R \
+  'SchedulerTest|DeterminismAuditTest|TraceRecorderTest|EventBridgeTest|EventBridgeUpnpTest|NetworkTest|StreamTest|Ieee1394Test|PowerlineTest|BinaryChannelTest'
+
+echo "=== [4/9] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
 
-echo "=== [4/7] event-bridge bench smoke run ==="
+echo "=== [5/9] hcm_analyze: static-analysis gate (archives ANALYZE_report.json) ==="
+./build/tools/hcm_analyze/hcm_analyze --root . --json ANALYZE_report.json
+
+echo "=== [6/9] event-bridge bench smoke run ==="
 ./build/bench/bench_ext_event_bridge --benchmark_min_time=0.01
 
-echo "=== [5/7] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
+echo "=== [7/9] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
 ./build/bench/bench_ext_vsr_sync --benchmark_min_time=0.01 \
   --json BENCH_vsr_sync.json
 
-echo "=== [6/7] obs overhead bench + trace-export smoke check ==="
+echo "=== [8/9] obs overhead bench + trace-export smoke check ==="
 ./build/bench/bench_ext_obs_overhead --benchmark_min_time=0.01 \
   --json BENCH_obs_overhead.json --trace obs_trace_smoke.json
 # The export must be a Chrome trace with complete ("ph":"X") events for
@@ -54,7 +69,7 @@ fi
 echo "trace smoke check OK (${events} complete events)"
 rm -f obs_trace_smoke.json
 
-echo "=== [7/7] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
+echo "=== [9/9] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
 cmake --preset perf
 cmake --build --preset perf -j "${JOBS}" --target bench_ext_wire_throughput
 ./build-perf/bench/bench_ext_wire_throughput --calls 300 \

@@ -17,8 +17,13 @@ const char* to_string(LogLevel level) {
 }
 
 namespace {
+// Process-wide logging config: set once at startup before any worker
+// runs, never mutated mid-scenario.
+// hcm:allow(shard-mutable-global): startup-only logging config
 LogLevel g_level = LogLevel::kOff;
+// hcm:allow(shard-mutable-global): see g_level — startup-only config.
 LogSink g_sink;
+// hcm:allow(shard-mutable-global): see g_level — startup-only config.
 LogContextProvider g_context;
 
 void stderr_sink(LogLevel level, const std::string& component,

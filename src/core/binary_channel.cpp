@@ -197,8 +197,11 @@ void BinaryRpcClient::call(net::Endpoint dest, const std::string& service,
                            const std::string& method, const ValueList& args,
                            InvokeResultFn done) {
   auto& reg = obs::Registry::global();
+  // hcm:allow(shard-static-local): once-bound registry handle.
   static auto& calls = reg.counter("binary.client.calls");
+  // hcm:allow(shard-static-local): once-bound registry handle.
   static auto& errors = reg.counter("binary.client.errors");
+  // hcm:allow(shard-static-local): once-bound registry handle.
   static auto& latency = reg.histogram("binary.client.latency_us");
   calls.inc();
   auto& tracer = obs::Tracer::global();

@@ -1,16 +1,19 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 namespace hcm::obs {
 
 namespace {
-bool g_enabled = true;
+// Atomic so shard workers can consult the kill switch without a data
+// race; relaxed order is enough for a monotone on/off flag.
+std::atomic<bool> g_enabled{true};
 }  // namespace
 
-bool enabled() { return g_enabled; }
-void set_enabled(bool on) { g_enabled = on; }
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
 
 void Histogram::observe(std::int64_t v) {
 #ifdef HCM_OBS_COMPILED_OUT
@@ -69,6 +72,9 @@ void Histogram::reset() {
 }
 
 Registry& Registry::global() {
+  // Process-wide metrics root; shard workers get private scopes via
+  // unique_scope() rather than per-shard copies.
+  // hcm:allow(shard-static-local): process-wide metrics root
   static Registry g;
   return g;
 }

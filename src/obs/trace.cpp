@@ -40,6 +40,9 @@ void json_escape(std::ostringstream& os, const std::string& s) {
 }  // namespace
 
 Tracer& Tracer::global() {
+  // Process-wide trace sink; recorders attach per scenario, so
+  // sharding wraps this rather than copying it.
+  // hcm:allow(shard-static-local): process-wide trace sink
   static Tracer g;
   return g;
 }

@@ -1,5 +1,7 @@
 #include "soap/uddi.hpp"
 
+#include <atomic>
+
 namespace hcm::soap {
 
 namespace {
@@ -8,7 +10,10 @@ constexpr const char* kNs = "urn:hcm:uddi";
 // Registry incarnations get distinct epochs so a client cursor from a
 // previous incarnation is detectably stale. A process-local counter is
 // deterministic (same scenario -> same epochs), unlike wall time.
-std::uint64_t g_next_epoch = 1;
+// Atomic so concurrent registry construction across future shard
+// workers still yields unique epochs (allocation order stays
+// deterministic in the single-threaded sim).
+std::atomic<std::uint64_t> g_next_epoch{1};
 
 const Value& param(const NamedValues& params, const std::string& name) {
   static const Value kNull;
@@ -61,7 +66,7 @@ UddiRegistry::UddiRegistry(http::HttpServer& http_server,
                            std::size_t journal_capacity)
     : sched_(sched),
       service_(http_server, std::move(path)),
-      epoch_(g_next_epoch++),
+      epoch_(g_next_epoch.fetch_add(1)),
       journal_capacity_(journal_capacity) {
   service_.register_method(
       "publish", [this](const NamedValues& params, CallResultFn done) {

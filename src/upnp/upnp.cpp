@@ -1,5 +1,7 @@
 #include "upnp/upnp.hpp"
 
+#include <atomic>
+
 #include "common/strings.hpp"
 #include "soap/value_xml.hpp"
 #include "xml/xml.hpp"
@@ -8,7 +10,9 @@ namespace hcm::upnp {
 
 namespace {
 constexpr const char* kSearchMagic = "M-SEARCH * HTTP/1.1";
-std::uint64_t g_udn_counter = 0;
+// Atomic so device construction across future shard workers still
+// yields unique UDNs without a data race.
+std::atomic<std::uint64_t> g_udn_counter{0};
 }  // namespace
 
 UpnpDevice::UpnpDevice(net::Network& net, net::NodeId node,
@@ -16,7 +20,7 @@ UpnpDevice::UpnpDevice(net::Network& net, net::NodeId node,
     : net_(net),
       node_(node),
       friendly_name_(std::move(friendly_name)),
-      udn_("uuid:hcm-" + std::to_string(++g_udn_counter)),
+      udn_("uuid:hcm-" + std::to_string(g_udn_counter.fetch_add(1) + 1)),
       http_port_(http_port),
       http_(net, node, http_port),
       notify_client_(net, node) {}

@@ -1,0 +1,474 @@
+// Fixture self-tests for the hcm_analyze passes: known-bad snippets
+// must produce exactly the documented rule ids at the expected
+// file:line, known-good snippets must stay silent, and the --json
+// schema must round-trip. These pin the analyzer's heuristics so a
+// lexer or scope-walker change that silently weakens a gate fails here
+// rather than in a later PR's review.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "hcm_analyze/analysis.hpp"
+#include "hcm_analyze/passes.hpp"
+#include "hcm_analyze/token_stream.hpp"
+
+namespace hcm::analyze {
+namespace {
+
+int count_rule(const Findings& fs, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(fs.begin(), fs.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+const Finding* find_rule(const Findings& fs, const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule) return &f;
+  }
+  return nullptr;
+}
+
+// --- lexer --------------------------------------------------------------
+
+TEST(TokenStreamTest, RawStringsCollapseToOneToken) {
+  // The classic trap: code-looking text (including a fake delimiter and
+  // a quote) inside a raw string must not leak tokens.
+  TokenStream ts = lex(
+      "const char* x = R\"xml(<a b=\"new std::map<int,int>\">)xml\";\n"
+      "int after = 1;\n");
+  for (const Token& t : ts.tokens) {
+    EXPECT_NE(t.text, "new") << "raw string contents leaked into tokens";
+    EXPECT_NE(t.text, "map");
+  }
+  const Token* after = nullptr;
+  for (const Token& t : ts.tokens) {
+    if (t.text == "after") after = &t;
+  }
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 2);  // newline inside the literal still counts
+}
+
+TEST(TokenStreamTest, CommentsAndStringsProduceNoIdentTokens) {
+  TokenStream ts = lex(
+      "// new in a comment\n"
+      "/* make_shared in a block */\n"
+      "const char* s = \"std::function\";\n"
+      "char c = 'n';\n");
+  for (const Token& t : ts.tokens) {
+    EXPECT_NE(t.text, "new");
+    EXPECT_NE(t.text, "make_shared");
+    EXPECT_NE(t.text, "function");
+  }
+}
+
+TEST(TokenStreamTest, AllowNotesAreExtracted) {
+  TokenStream ts = lex(
+      "// hcm:allow(shard-mutable-global): startup-only config\n"
+      "int g_flag = 0;\n");
+  ASSERT_EQ(ts.allows.size(), 1u);
+  EXPECT_EQ(ts.allows[0].line, 1);
+  ASSERT_EQ(ts.allows[0].rules.size(), 1u);
+  EXPECT_EQ(ts.allows[0].rules[0], "shard-mutable-global");
+  EXPECT_EQ(ts.allows[0].reason, "startup-only config");
+  EXPECT_FALSE(ts.allows[0].malformed);
+}
+
+TEST(TokenStreamTest, AllowWithoutReasonIsMalformed) {
+  TokenStream ts = lex("// hcm:allow(shard-mutable-global)\nint g = 0;\n");
+  ASSERT_EQ(ts.allows.size(), 1u);
+  EXPECT_TRUE(ts.allows[0].malformed);
+}
+
+TEST(TokenStreamTest, ProseMentionOfAllowIsNotAnAnnotation) {
+  // Comments that merely talk about the escape hatch (like this test
+  // suite, or the analyzer's own docs) must not register as allows.
+  TokenStream ts =
+      lex("// the `hcm:allow(<rule>): reason` syntax is documented\n"
+          "int x = 0;\n");
+  EXPECT_TRUE(ts.allows.empty());
+}
+
+TEST(TokenStreamTest, BlankNoncodeIsRawStringSafe) {
+  std::string blanked = blank_noncode(
+      "auto s = R\"(Status phantom();)\";\n"
+      "int keep; // gone\n");
+  EXPECT_EQ(blanked.find("phantom"), std::string::npos);
+  EXPECT_EQ(blanked.find("gone"), std::string::npos);
+  EXPECT_NE(blanked.find("int keep;"), std::string::npos);
+  EXPECT_EQ(std::count(blanked.begin(), blanked.end(), '\n'), 2);
+}
+
+TEST(TokenStreamTest, FunctionRangesCoverMemberAndFree) {
+  auto ranges = function_ranges(lex(
+      "namespace n {\n"            // 1
+      "int free_fn(int a) {\n"     // 2
+      "  return a;\n"              // 3
+      "}\n"                        // 4
+      "struct S {\n"               // 5
+      "  void method() {\n"        // 6
+      "    int x = 0;\n"           // 7
+      "    (void)x;\n"             // 8
+      "  }\n"                      // 9
+      "};\n"                       // 10
+      "void S2::out_of_line() {}\n"  // 11
+      "}\n"));
+  ASSERT_EQ(ranges.size(), 3u);
+  EXPECT_EQ(ranges[0].name, "free_fn");
+  EXPECT_EQ(ranges[0].begin_line, 2);
+  EXPECT_EQ(ranges[0].end_line, 4);
+  EXPECT_EQ(ranges[1].qualified, "S::method");
+  EXPECT_EQ(ranges[1].begin_line, 6);
+  EXPECT_EQ(ranges[1].end_line, 9);
+  EXPECT_EQ(ranges[2].qualified, "S2::out_of_line");
+}
+
+// --- layering -----------------------------------------------------------
+
+TEST(LayeringTest, UpwardIncludeIsFlaggedWithFileAndLine) {
+  TokenStream ts = lex(
+      "#include \"net/stream.hpp\"\n"
+      "#include \"http/client.hpp\"\n");
+  Findings fs = layering_check_file("src/net/stream.cpp", ts,
+                                    default_layers());
+  ASSERT_EQ(count_rule(fs, "layering-upward"), 1) << format_findings(fs);
+  const Finding* f = find_rule(fs, "layering-upward");
+  EXPECT_EQ(f->file, "src/net/stream.cpp");
+  EXPECT_EQ(f->line, 2);
+}
+
+TEST(LayeringTest, DownwardSelfAndSystemIncludesPass) {
+  TokenStream ts = lex(
+      "#include <vector>\n"
+      "#include \"http/message.hpp\"\n"   // self
+      "#include \"net/stream.hpp\"\n"     // downward
+      "#include \"common/status.hpp\"\n");
+  Findings fs = layering_check_file("src/http/message.cpp", ts,
+                                    default_layers());
+  EXPECT_TRUE(fs.empty()) << format_findings(fs);
+}
+
+TEST(LayeringTest, PeerIncludeIsLateral) {
+  TokenStream ts = lex("#include \"upnp/upnp.hpp\"\n");
+  Findings fs =
+      layering_check_file("src/havi/havi.cpp", ts, default_layers());
+  ASSERT_EQ(count_rule(fs, "layering-lateral"), 1) << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "layering-lateral")->line, 1);
+}
+
+TEST(LayeringTest, UnrankedModuleIsFlagged) {
+  Findings fs = layering_check_file("src/newmod/a.cpp", lex("int x;\n"),
+                                    default_layers());
+  EXPECT_EQ(count_rule(fs, "layering-unknown-include"), 1)
+      << format_findings(fs);
+}
+
+TEST(LayeringTest, IncludeCycleIsDetected) {
+  std::map<std::string, std::vector<std::string>> graph = {
+      {"src/a/a.hpp", {"src/b/b.hpp"}},
+      {"src/b/b.hpp", {"src/c/c.hpp"}},
+      {"src/c/c.hpp", {"src/a/a.hpp"}},
+      {"src/d/d.hpp", {"src/a/a.hpp"}},  // feeds in, not on the cycle
+  };
+  Findings fs = layering_check_cycles(graph);
+  ASSERT_EQ(count_rule(fs, "layering-cycle"), 1) << format_findings(fs);
+  const Finding* f = find_rule(fs, "layering-cycle");
+  EXPECT_NE(f->message.find("src/a/a.hpp"), std::string::npos);
+  EXPECT_NE(f->message.find("src/c/c.hpp"), std::string::npos);
+}
+
+TEST(LayeringTest, AcyclicGraphIsClean) {
+  std::map<std::string, std::vector<std::string>> graph = {
+      {"src/a/a.hpp", {"src/b/b.hpp", "src/c/c.hpp"}},
+      {"src/b/b.hpp", {"src/c/c.hpp"}},
+      {"src/c/c.hpp", {}},
+  };
+  EXPECT_TRUE(layering_check_cycles(graph).empty());
+}
+
+// --- determinism --------------------------------------------------------
+
+TEST(DeterminismTest, WallClockReadIsFlagged) {
+  TokenStream ts = lex(
+      "void f() {\n"
+      "  auto t = std::chrono::system_clock::now();\n"
+      "  (void)t;\n"
+      "}\n");
+  Findings fs = determinism_check("src/sim/f.cpp", ts);
+  ASSERT_EQ(count_rule(fs, "determinism-wallclock"), 1)
+      << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "determinism-wallclock")->line, 2);
+}
+
+TEST(DeterminismTest, AmbientRandomnessIsFlagged) {
+  Findings fs = determinism_check(
+      "src/core/f.cpp", lex("int f() { return rand(); }\n"));
+  EXPECT_EQ(count_rule(fs, "determinism-random"), 1) << format_findings(fs);
+
+  fs = determinism_check("src/core/g.cpp",
+                         lex("std::random_device rd;\n"));
+  EXPECT_GE(count_rule(fs, "determinism-random"), 1) << format_findings(fs);
+}
+
+TEST(DeterminismTest, UnseededEngineFlaggedSeededPasses) {
+  Findings bad = determinism_check("src/sim/a.cpp",
+                                   lex("std::mt19937_64 rng;\n"));
+  EXPECT_EQ(count_rule(bad, "determinism-random"), 1)
+      << format_findings(bad);
+
+  // The scheduler's idiom: fixed-seed member init must pass.
+  Findings good = determinism_check(
+      "src/sim/b.cpp", lex("std::mt19937_64 rng_{0x5eed5eedULL};\n"));
+  EXPECT_TRUE(good.empty()) << format_findings(good);
+}
+
+TEST(DeterminismTest, UnorderedIterationIsFlagged) {
+  TokenStream ts = lex(
+      "#include <unordered_map>\n"
+      "void f() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  for (const auto& [k, v] : m) { (void)k; (void)v; }\n"
+      "}\n");
+  Findings fs = determinism_check("src/sim/f.cpp", ts);
+  ASSERT_EQ(count_rule(fs, "determinism-unordered-iter"), 1)
+      << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "determinism-unordered-iter")->line, 4);
+}
+
+TEST(DeterminismTest, OrderedIterationPasses) {
+  TokenStream ts = lex(
+      "void f() {\n"
+      "  std::map<int, int> m;\n"
+      "  for (const auto& [k, v] : m) { (void)k; (void)v; }\n"
+      "}\n");
+  EXPECT_TRUE(determinism_check("src/sim/f.cpp", ts).empty());
+}
+
+// --- hot path -----------------------------------------------------------
+
+TEST(HotpathTest, ManifestParsesFnLists) {
+  auto scopes = parse_manifest(
+      "# comment\n"
+      "\n"
+      "src/xml/xml.cpp fn=Writer,PullParser\n"
+      "src/soap/envelope.cpp\n");
+  ASSERT_EQ(scopes.size(), 2u);
+  EXPECT_EQ(scopes[0].path, "src/xml/xml.cpp");
+  ASSERT_EQ(scopes[0].fns.size(), 2u);
+  EXPECT_EQ(scopes[0].fns[1], "PullParser");
+  EXPECT_TRUE(scopes[1].fns.empty());
+}
+
+TEST(HotpathTest, AllocationAndContainerRulesFire) {
+  TokenStream ts = lex(
+      "void hot() {\n"                               // 1
+      "  auto* p = new int(1);\n"                    // 2
+      "  auto q = std::make_shared<int>(2);\n"       // 3
+      "  std::map<int, int> m;\n"                    // 4
+      "  std::function<void()> cb;\n"                // 5
+      "  (void)p; (void)q; (void)m; (void)cb;\n"     // 6
+      "}\n");
+  Findings fs = hotpath_check("src/net/f.cpp", ts, HotScope{"src/net/f.cpp", {}});
+  EXPECT_EQ(count_rule(fs, "hotpath-new"), 1) << format_findings(fs);
+  EXPECT_EQ(count_rule(fs, "hotpath-make"), 1);
+  EXPECT_EQ(count_rule(fs, "hotpath-node-container"), 1);
+  EXPECT_EQ(count_rule(fs, "hotpath-std-function"), 1);
+  EXPECT_EQ(find_rule(fs, "hotpath-new")->line, 2);
+  EXPECT_EQ(find_rule(fs, "hotpath-std-function")->line, 5);
+}
+
+TEST(HotpathTest, FnScopingLimitsTheSweep) {
+  TokenStream ts = lex(
+      "void cold_setup() {\n"
+      "  auto* a = new int(1);\n"  // outside the manifest scope
+      "  (void)a;\n"
+      "}\n"
+      "void hot_send() {\n"
+      "  auto* b = new int(2);\n"  // line 6, inside
+      "  (void)b;\n"
+      "}\n");
+  Findings fs = hotpath_check("src/net/f.cpp", ts,
+                              HotScope{"src/net/f.cpp", {"hot_send"}});
+  ASSERT_EQ(count_rule(fs, "hotpath-new"), 1) << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "hotpath-new")->line, 6);
+}
+
+TEST(HotpathTest, ClassPatternCoversAllMembers) {
+  TokenStream ts = lex(
+      "void Writer::open() { auto* x = new int(0); (void)x; }\n"
+      "void Other::open() { auto* y = new int(1); (void)y; }\n");
+  Findings fs = hotpath_check("src/xml/f.cpp", ts,
+                              HotScope{"src/xml/f.cpp", {"Writer"}});
+  ASSERT_EQ(count_rule(fs, "hotpath-new"), 1) << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "hotpath-new")->line, 1);
+}
+
+// --- shard readiness ----------------------------------------------------
+
+TEST(ShardTest, MutableGlobalIsFlagged) {
+  TokenStream ts = lex(
+      "namespace hcm {\n"
+      "namespace {\n"
+      "int g_counter = 0;\n"  // line 3
+      "}\n"
+      "}\n");
+  Findings fs = shard_check("src/x/a.cpp", ts);
+  ASSERT_EQ(count_rule(fs, "shard-mutable-global"), 1)
+      << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "shard-mutable-global")->line, 3);
+}
+
+TEST(ShardTest, ConstAtomicAndLocalsPass) {
+  TokenStream ts = lex(
+      "namespace hcm {\n"
+      "const int kLimit = 8;\n"
+      "constexpr int kOther = 9;\n"
+      "std::atomic<int> g_ok{0};\n"
+      "void f() { int local = 0; (void)local; }\n"
+      "int g() { return kLimit; }\n"
+      "}\n");
+  Findings fs = shard_check("src/x/a.cpp", ts);
+  EXPECT_TRUE(fs.empty()) << format_findings(fs);
+}
+
+TEST(ShardTest, MutableStaticLocalIsFlagged) {
+  TokenStream ts = lex(
+      "int next_id() {\n"
+      "  static int id = 0;\n"  // line 2
+      "  return ++id;\n"
+      "}\n"
+      "const char* name() {\n"
+      "  static const char* n = \"ok\";\n"  // const: passes
+      "  return n;\n"
+      "}\n");
+  Findings fs = shard_check("src/x/a.cpp", ts);
+  ASSERT_EQ(count_rule(fs, "shard-static-local"), 1) << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "shard-static-local")->line, 2);
+}
+
+// --- suppression machinery ----------------------------------------------
+
+TEST(SuppressionTest, AllowOnLineAboveSuppresses) {
+  const std::string src =
+      "namespace hcm {\n"
+      "// hcm:allow(shard-mutable-global): startup-only config\n"
+      "int g_flag = 0;\n"
+      "}\n";
+  TokenStream ts = lex(src);
+  Report report;
+  report.findings = shard_check("src/x/a.cpp", ts);
+  ASSERT_EQ(report.findings.size(), 1u);
+
+  std::map<std::string, std::vector<AllowNote>> allows = {
+      {"src/x/a.cpp", ts.allows}};
+  std::map<std::string, std::vector<std::string>> lines = {
+      {"src/x/a.cpp", split_lines(src)}};
+  apply_suppressions(report, allows, {}, lines);
+
+  ASSERT_EQ(report.findings.size(), 1u);  // no meta-findings appended
+  EXPECT_TRUE(report.findings[0].suppressed);
+  EXPECT_EQ(report.findings[0].reason, "startup-only config");
+  EXPECT_EQ(report.unsuppressed(), 0u);
+}
+
+TEST(SuppressionTest, AllowForOtherRuleDoesNotSuppressAndGoesStale) {
+  const std::string src =
+      "namespace hcm {\n"
+      "// hcm:allow(determinism-wallclock): wrong rule\n"
+      "int g_flag = 0;\n"
+      "}\n";
+  TokenStream ts = lex(src);
+  Report report;
+  report.findings = shard_check("src/x/a.cpp", ts);
+  std::map<std::string, std::vector<AllowNote>> allows = {
+      {"src/x/a.cpp", ts.allows}};
+  std::map<std::string, std::vector<std::string>> lines = {
+      {"src/x/a.cpp", split_lines(src)}};
+  apply_suppressions(report, allows, {}, lines);
+
+  EXPECT_EQ(count_rule(report.findings, "shard-mutable-global"), 1);
+  EXPECT_FALSE(find_rule(report.findings, "shard-mutable-global")->suppressed);
+  EXPECT_EQ(count_rule(report.findings, "allow-stale"), 1)
+      << format_findings(report.findings);
+}
+
+TEST(SuppressionTest, MalformedAllowIsAFinding) {
+  const std::string src = "// hcm:allow(shard-mutable-global)\nint x = 0;\n";
+  TokenStream ts = lex(src);
+  Report report;
+  std::map<std::string, std::vector<AllowNote>> allows = {
+      {"src/x/a.cpp", ts.allows}};
+  std::map<std::string, std::vector<std::string>> lines = {
+      {"src/x/a.cpp", split_lines(src)}};
+  apply_suppressions(report, allows, {}, lines);
+  EXPECT_EQ(count_rule(report.findings, "allow-malformed"), 1)
+      << format_findings(report.findings);
+}
+
+TEST(SuppressionTest, BaselineSuppressesByLineTextAndGoesStale) {
+  const std::string src =
+      "namespace hcm {\n"
+      "int g_old = 0;\n"
+      "}\n";
+  TokenStream ts = lex(src);
+  Report report;
+  report.findings = shard_check("src/x/a.cpp", ts);
+  ASSERT_EQ(report.findings.size(), 1u);
+
+  std::vector<BaselineEntry> baseline = {
+      {"shard-mutable-global", "src/x/a.cpp", "int g_old = 0;"},
+      {"shard-mutable-global", "src/x/a.cpp", "int g_gone = 0;"},  // stale
+  };
+  std::map<std::string, std::vector<std::string>> lines = {
+      {"src/x/a.cpp", split_lines(src)}};
+  apply_suppressions(report, {}, baseline, lines);
+
+  EXPECT_TRUE(find_rule(report.findings, "shard-mutable-global")->suppressed);
+  EXPECT_EQ(count_rule(report.findings, "baseline-stale"), 1)
+      << format_findings(report.findings);
+}
+
+TEST(SuppressionTest, BaselineRoundTripsThroughTextFormat) {
+  std::vector<BaselineEntry> entries = {
+      {"shard-mutable-global", "src/x/a.cpp", "int g = 0;"},
+      {"hotpath-new", "src/net/b.cpp", "auto* p = new int(1);"},
+  };
+  auto parsed = parse_baseline(render_baseline(entries));
+  ASSERT_EQ(parsed.size(), entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(parsed[i].rule, entries[i].rule);
+    EXPECT_EQ(parsed[i].file, entries[i].file);
+    EXPECT_EQ(parsed[i].line_text, entries[i].line_text);
+  }
+}
+
+// --- JSON report --------------------------------------------------------
+
+TEST(AnalyzeJsonTest, SchemaRoundTrips) {
+  Report report;
+  report.files_scanned = 42;
+  report.findings.push_back({"hotpath-new", "src/net/stream.cpp", 17,
+                             "heap allocation ('new') on the wire hot path"});
+  report.findings.push_back({"shard-mutable-global", "src/obs/metrics.cpp",
+                             9, "mutable namespace-scope state", true,
+                             "startup-only \"config\" with\nquotes"});
+
+  std::string json = report_to_json(report);
+  Report parsed;
+  std::string err;
+  ASSERT_TRUE(report_from_json(json, &parsed, &err)) << err;
+  EXPECT_EQ(parsed.files_scanned, report.files_scanned);
+  ASSERT_EQ(parsed.findings.size(), report.findings.size());
+  EXPECT_EQ(parsed.findings[0], report.findings[0]);
+  EXPECT_EQ(parsed.findings[1], report.findings[1]);
+}
+
+TEST(AnalyzeJsonTest, MalformedJsonIsRejected) {
+  Report parsed;
+  std::string err;
+  EXPECT_FALSE(report_from_json("{\"findings\": [", &parsed, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace hcm::analyze

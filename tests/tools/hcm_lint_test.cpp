@@ -276,6 +276,25 @@ TEST(SourceScanTest, StripPreservesOffsetsAndRemovesLiterals) {
   EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'), 2);
 }
 
+// Regression: the pre-port state machine did not understand raw string
+// literals, so a `Status name();` inside R"(...)" leaked into the
+// stripped text and produced a phantom missing-nodiscard finding.
+TEST(SourceScanTest, RawStringContentsAreBlanked) {
+  std::string stripped = strip_comments_and_strings(
+      "const char* wsdl = R\"(Status phantom();)\";\n"
+      "int keep = 1;\n");
+  EXPECT_EQ(stripped.find("Status"), std::string::npos);
+  EXPECT_EQ(stripped.find("phantom"), std::string::npos);
+  EXPECT_NE(stripped.find("int keep = 1;"), std::string::npos);
+
+  auto diags = scan_nodiscard_text(
+      "const char* fixture = R\"xml(\n"
+      "  Status not_a_decl();\n"
+      ")xml\";\n",
+      "f.hpp");
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
 TEST(SourceScanTest, MissingNodiscardIsFlagged) {
   auto diags = scan_nodiscard_text("struct S { Status start(); };", "f.hpp");
   ASSERT_TRUE(has_check(diags, "missing-nodiscard"))

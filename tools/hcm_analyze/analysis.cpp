@@ -1,0 +1,435 @@
+#include "hcm_analyze/analysis.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace hcm::analyze {
+
+namespace {
+
+std::string trim_copy(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return {};
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find('\n', begin);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(begin));
+      break;
+    }
+    out.push_back(text.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
+}
+
+std::vector<BaselineEntry> parse_baseline(const std::string& text) {
+  std::vector<BaselineEntry> out;
+  for (const std::string& raw : split_lines(text)) {
+    std::string line = trim_copy(raw);
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t p1 = line.find('|');
+    std::size_t p2 = p1 == std::string::npos ? std::string::npos
+                                             : line.find('|', p1 + 1);
+    if (p2 == std::string::npos) continue;  // malformed line: ignored
+    out.push_back({trim_copy(line.substr(0, p1)),
+                   trim_copy(line.substr(p1 + 1, p2 - p1 - 1)),
+                   trim_copy(line.substr(p2 + 1))});
+  }
+  return out;
+}
+
+std::string render_baseline(const std::vector<BaselineEntry>& entries) {
+  std::ostringstream out;
+  out << "# hcm_analyze baseline — grandfathered findings, keyed\n"
+         "# rule|file|trimmed-source-line. Entries may only shrink: a\n"
+         "# stale entry (no longer firing) fails the run. Regenerate\n"
+         "# with: hcm_analyze --root . --update-baseline\n";
+  for (const BaselineEntry& e : entries) {
+    out << e.rule << '|' << e.file << '|' << e.line_text << '\n';
+  }
+  return out.str();
+}
+
+void apply_suppressions(
+    Report& report,
+    const std::map<std::string, std::vector<AllowNote>>& allows,
+    const std::vector<BaselineEntry>& baseline,
+    const std::map<std::string, std::vector<std::string>>& lines) {
+  // Work on copies with used-flags so stale suppressions are visible.
+  struct AllowUse {
+    const AllowNote* note;
+    std::string file;
+    bool used = false;
+  };
+  std::vector<AllowUse> allow_uses;
+  for (const auto& [file, notes] : allows) {
+    for (const AllowNote& n : notes) allow_uses.push_back({&n, file, false});
+  }
+  std::vector<bool> baseline_used(baseline.size(), false);
+
+  auto line_text = [&](const std::string& file, int line) -> std::string {
+    auto it = lines.find(file);
+    if (it == lines.end()) return {};
+    if (line < 1 || static_cast<std::size_t>(line) > it->second.size())
+      return {};
+    return trim_copy(it->second[static_cast<std::size_t>(line - 1)]);
+  };
+
+  for (Finding& f : report.findings) {
+    // Inline allow: same line (trailing comment) or the line above.
+    bool done = false;
+    for (AllowUse& a : allow_uses) {
+      if (a.note->malformed || a.file != f.file) continue;
+      if (a.note->line != f.line && a.note->line != f.line - 1) continue;
+      if (std::find(a.note->rules.begin(), a.note->rules.end(), f.rule) ==
+          a.note->rules.end()) {
+        continue;
+      }
+      f.suppressed = true;
+      f.reason = a.note->reason;
+      a.used = true;
+      done = true;
+      break;
+    }
+    if (done) continue;
+    std::string text = line_text(f.file, f.line);
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      const BaselineEntry& e = baseline[i];
+      if (e.rule == f.rule && e.file == f.file && e.line_text == text &&
+          !text.empty()) {
+        f.suppressed = true;
+        f.reason = "baseline";
+        baseline_used[i] = true;
+        break;
+      }
+    }
+  }
+
+  // Meta-findings: defects in the suppression machinery itself.
+  for (const auto& [file, notes] : allows) {
+    for (const AllowNote& n : notes) {
+      if (n.malformed) {
+        report.findings.push_back(
+            {"allow-malformed", file, n.line,
+             "hcm:allow needs a rule list and a ': reason' justification, "
+             "e.g. // hcm:allow(rule-id): why this is by design"});
+      }
+    }
+  }
+  for (const AllowUse& a : allow_uses) {
+    if (a.note->malformed || a.used) continue;
+    report.findings.push_back(
+        {"allow-stale", a.file, a.note->line,
+         "hcm:allow suppresses nothing here — the violation was fixed; "
+         "remove the annotation"});
+  }
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    if (baseline_used[i]) continue;
+    report.findings.push_back(
+        {"baseline-stale", baseline[i].file, 0,
+         "baseline entry no longer fires (" + baseline[i].rule + "|" +
+             baseline[i].file + "|" + baseline[i].line_text +
+             ") — baselines only shrink; remove it"});
+  }
+}
+
+std::vector<BaselineEntry> baseline_from_findings(
+    const Report& report,
+    const std::map<std::string, std::vector<std::string>>& lines) {
+  std::vector<BaselineEntry> out;
+  for (const Finding& f : report.findings) {
+    if (f.suppressed) continue;
+    if (f.rule == "allow-stale" || f.rule == "allow-malformed" ||
+        f.rule == "baseline-stale") {
+      continue;  // machinery defects cannot be baselined away
+    }
+    std::string text;
+    auto it = lines.find(f.file);
+    if (it != lines.end() && f.line >= 1 &&
+        static_cast<std::size_t>(f.line) <= it->second.size()) {
+      text = trim_copy(it->second[static_cast<std::size_t>(f.line - 1)]);
+    }
+    if (text.empty()) continue;  // unanchorable: must be fixed, not baselined
+    BaselineEntry e{f.rule, f.file, text};
+    if (std::find_if(out.begin(), out.end(), [&](const BaselineEntry& x) {
+          return x.rule == e.rule && x.file == e.file &&
+                 x.line_text == e.line_text;
+        }) == out.end()) {
+      out.push_back(std::move(e));
+    }
+  }
+  return out;
+}
+
+// --- JSON ---------------------------------------------------------------
+
+namespace {
+
+void json_escape(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+// Minimal recursive-descent parser for the subset report_to_json
+// emits: objects, arrays, strings, integers, booleans.
+struct JsonParser {
+  const std::string& s;
+  std::size_t i = 0;
+  std::string err;
+
+  void skip_ws() {
+    while (i < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+      ++i;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (err.empty()) err = what + " at offset " + std::to_string(i);
+    return false;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (i >= s.size() || s[i] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++i;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_ws();
+    return i < s.size() && s[i] == c;
+  }
+
+  bool parse_string(std::string* out) {
+    skip_ws();
+    if (i >= s.size() || s[i] != '"') return fail("expected string");
+    ++i;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i];
+      if (c == '\\' && i + 1 < s.size()) {
+        char e = s[i + 1];
+        i += 2;
+        switch (e) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'u':
+            if (i + 4 <= s.size()) {
+              out->push_back(static_cast<char>(
+                  std::stoi(s.substr(i, 4), nullptr, 16)));
+              i += 4;
+            }
+            break;
+          default: out->push_back(e);
+        }
+      } else {
+        out->push_back(c);
+        ++i;
+      }
+    }
+    if (i >= s.size()) return fail("unterminated string");
+    ++i;
+    return true;
+  }
+
+  bool parse_int(long long* out) {
+    skip_ws();
+    std::size_t begin = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i])))
+      ++i;
+    if (i == begin) return fail("expected number");
+    *out = std::stoll(s.substr(begin, i - begin));
+    return true;
+  }
+
+  bool parse_bool(bool* out) {
+    skip_ws();
+    if (s.compare(i, 4, "true") == 0) {
+      *out = true;
+      i += 4;
+      return true;
+    }
+    if (s.compare(i, 5, "false") == 0) {
+      *out = false;
+      i += 5;
+      return true;
+    }
+    return fail("expected bool");
+  }
+
+  // Skips any value (for unknown keys).
+  bool skip_value() {
+    skip_ws();
+    if (i >= s.size()) return fail("expected value");
+    char c = s[i];
+    if (c == '"') {
+      std::string tmp;
+      return parse_string(&tmp);
+    }
+    if (c == '{' || c == '[') {
+      char open = c;
+      char close = open == '{' ? '}' : ']';
+      int depth = 0;
+      bool in_str = false;
+      for (; i < s.size(); ++i) {
+        char x = s[i];
+        if (in_str) {
+          if (x == '\\') ++i;
+          else if (x == '"') in_str = false;
+        } else if (x == '"') {
+          in_str = true;
+        } else if (x == open) {
+          ++depth;
+        } else if (x == close && --depth == 0) {
+          ++i;
+          return true;
+        }
+      }
+      return fail("unterminated container");
+    }
+    while (i < s.size() && s[i] != ',' && s[i] != '}' && s[i] != ']') ++i;
+    return true;
+  }
+
+  bool parse_finding(Finding* f) {
+    if (!expect('{')) return false;
+    bool first = true;
+    while (!peek('}')) {
+      if (!first && !expect(',')) return false;
+      first = false;
+      std::string key;
+      if (!parse_string(&key) || !expect(':')) return false;
+      if (key == "rule") {
+        if (!parse_string(&f->rule)) return false;
+      } else if (key == "file") {
+        if (!parse_string(&f->file)) return false;
+      } else if (key == "line") {
+        long long n = 0;
+        if (!parse_int(&n)) return false;
+        f->line = static_cast<int>(n);
+      } else if (key == "message") {
+        if (!parse_string(&f->message)) return false;
+      } else if (key == "suppressed") {
+        if (!parse_bool(&f->suppressed)) return false;
+      } else if (key == "reason") {
+        if (!parse_string(&f->reason)) return false;
+      } else if (!skip_value()) {
+        return false;
+      }
+    }
+    return expect('}');
+  }
+};
+
+}  // namespace
+
+std::string report_to_json(const Report& report) {
+  std::ostringstream out;
+  out << "{\n  \"tool\": \"hcm_analyze\",\n";
+  out << "  \"files_scanned\": " << report.files_scanned << ",\n";
+  out << "  \"summary\": {\"total\": " << report.findings.size()
+      << ", \"unsuppressed\": " << report.unsuppressed()
+      << ", \"suppressed\": "
+      << (report.findings.size() - report.unsuppressed()) << "},\n";
+  out << "  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : report.findings) {
+    out << (first ? "\n" : ",\n") << "    {\"rule\": ";
+    json_escape(out, f.rule);
+    out << ", \"file\": ";
+    json_escape(out, f.file);
+    out << ", \"line\": " << f.line << ", \"message\": ";
+    json_escape(out, f.message);
+    out << ", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"reason\": ";
+    json_escape(out, f.reason);
+    out << "}";
+    first = false;
+  }
+  out << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return out.str();
+}
+
+bool report_from_json(const std::string& json, Report* out,
+                      std::string* err) {
+  JsonParser p{json, 0, {}};
+  *out = Report{};
+  bool ok = [&] {
+    if (!p.expect('{')) return false;
+    bool first = true;
+    while (!p.peek('}')) {
+      if (!first && !p.expect(',')) return false;
+      first = false;
+      std::string key;
+      if (!p.parse_string(&key) || !p.expect(':')) return false;
+      if (key == "files_scanned") {
+        long long n = 0;
+        if (!p.parse_int(&n)) return false;
+        out->files_scanned = static_cast<std::size_t>(n);
+      } else if (key == "findings") {
+        if (!p.expect('[')) return false;
+        bool f_first = true;
+        while (!p.peek(']')) {
+          if (!f_first && !p.expect(',')) return false;
+          f_first = false;
+          Finding f;
+          if (!p.parse_finding(&f)) return false;
+          out->findings.push_back(std::move(f));
+        }
+        if (!p.expect(']')) return false;
+      } else if (!p.skip_value()) {
+        return false;
+      }
+    }
+    return p.expect('}');
+  }();
+  if (!ok && err != nullptr) *err = p.err;
+  return ok;
+}
+
+std::string format_findings(const Findings& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.rule << ": " << f.file;
+    if (f.line > 0) out << ":" << f.line;
+    out << ": " << f.message;
+    if (f.suppressed) out << " [suppressed: " << f.reason << "]";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace hcm::analyze

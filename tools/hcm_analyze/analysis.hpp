@@ -1,0 +1,113 @@
+// Shared finding/report machinery of hcm_analyze: the Finding record
+// every pass emits, suppression via inline `hcm:allow` notes and the
+// checked-in baseline file, and the machine-readable JSON report
+// (emitted with --json, schema round-tripped by report_from_json so CI
+// consumers and the fixture tests parse exactly what the tool writes).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hcm_analyze/token_stream.hpp"
+
+namespace hcm::analyze {
+
+struct Finding {
+  Finding() = default;
+  Finding(std::string rule_id, std::string path, int line_no,
+          std::string text, bool was_suppressed = false,
+          std::string why = {})
+      : rule(std::move(rule_id)),
+        file(std::move(path)),
+        line(line_no),
+        message(std::move(text)),
+        suppressed(was_suppressed),
+        reason(std::move(why)) {}
+
+  std::string rule;     // stable rule id, e.g. "layering-cycle"
+  std::string file;     // repo-relative path
+  int line = 0;         // 1-based
+  std::string message;  // human-readable violation
+  bool suppressed = false;
+  std::string reason;  // justification (from hcm:allow or "baseline")
+
+  friend bool operator==(const Finding& a, const Finding& b) {
+    return a.rule == b.rule && a.file == b.file && a.line == b.line &&
+           a.message == b.message && a.suppressed == b.suppressed &&
+           a.reason == b.reason;
+  }
+};
+
+using Findings = std::vector<Finding>;
+
+struct Report {
+  Findings findings;
+  std::size_t files_scanned = 0;
+
+  [[nodiscard]] std::size_t unsuppressed() const {
+    std::size_t n = 0;
+    for (const Finding& f : findings) {
+      if (!f.suppressed) ++n;
+    }
+    return n;
+  }
+};
+
+// One baseline entry: a finding grandfathered by rule + file + the
+// trimmed text of the flagged source line (text-keyed so ordinary line
+// churn elsewhere in the file does not invalidate it).
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string line_text;
+};
+
+// Parses the baseline file format: one `rule|file|line-text` per line,
+// '#' comments and blank lines ignored.
+[[nodiscard]] std::vector<BaselineEntry> parse_baseline(
+    const std::string& text);
+
+// Renders entries back into the file format (with a header comment).
+[[nodiscard]] std::string render_baseline(
+    const std::vector<BaselineEntry>& entries);
+
+// Marks findings suppressed from (a) hcm:allow notes in their file
+// (same line or the line directly above) and (b) baseline entries.
+// Appends meta-findings for defects in the suppression machinery
+// itself: "allow-malformed" (no rule list or missing reason),
+// "allow-stale" (an hcm:allow that suppressed nothing), and
+// "baseline-stale" (a baseline entry no current finding matches — so
+// the baseline can only shrink). `allows` maps file -> its notes;
+// `lines` maps file -> its source split into lines (for baseline
+// text matching).
+void apply_suppressions(
+    Report& report,
+    const std::map<std::string, std::vector<AllowNote>>& allows,
+    const std::vector<BaselineEntry>& baseline,
+    const std::map<std::string, std::vector<std::string>>& lines);
+
+// Baseline entries for every unsuppressed, non-meta finding (what
+// --update-baseline writes).
+[[nodiscard]] std::vector<BaselineEntry> baseline_from_findings(
+    const Report& report,
+    const std::map<std::string, std::vector<std::string>>& lines);
+
+// Splits source text into lines (no terminators), index = line - 1.
+[[nodiscard]] std::vector<std::string> split_lines(const std::string& text);
+
+// --- JSON report --------------------------------------------------------
+
+[[nodiscard]] std::string report_to_json(const Report& report);
+
+// Parses a report previously produced by report_to_json. Returns false
+// (with *err set) on malformed input. Tolerates unknown object keys so
+// the schema can grow.
+[[nodiscard]] bool report_from_json(const std::string& json, Report* out,
+                                    std::string* err);
+
+// "rule: file:line: message" per finding, suppressed ones annotated.
+[[nodiscard]] std::string format_findings(const Findings& findings);
+
+}  // namespace hcm::analyze

@@ -4,6 +4,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "hcm_analyze/token_stream.hpp"
+
 namespace hcm::lint {
 
 namespace {
@@ -104,66 +106,10 @@ std::string declared_function_name(const std::string& s, std::size_t type_end) {
 }  // namespace
 
 std::string strip_comments_and_strings(std::string_view src) {
-  std::string out(src);
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
-  State state = State::kCode;
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    char c = src[i];
-    char next = i + 1 < src.size() ? src[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out[i] = ' ';
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out[i] = ' ';
-        } else if (c == '"') {
-          state = State::kString;
-        } else if (c == '\'') {
-          state = State::kChar;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-        } else {
-          out[i] = ' ';
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          out[i] = ' ';
-          out[i + 1] = ' ';
-          ++i;
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kString:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < src.size() && next != '\n') out[++i] = ' ';
-        } else if (c == '"') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-      case State::kChar:
-        if (c == '\\') {
-          out[i] = ' ';
-          if (i + 1 < src.size() && next != '\n') out[++i] = ' ';
-        } else if (c == '\'') {
-          state = State::kCode;
-        } else if (c != '\n') {
-          out[i] = ' ';
-        }
-        break;
-    }
-  }
-  return out;
+  // Delegates to the shared analyzer lexer, which (unlike the state
+  // machine this replaced) also understands raw string literals, so a
+  // `Status` inside R"(...)" can no longer produce phantom findings.
+  return hcm::analyze::blank_noncode(src);
 }
 
 namespace {
