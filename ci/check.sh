@@ -19,43 +19,51 @@
 #      chain and the Chrome trace it writes must carry complete events;
 #   9. wire-throughput bench under the perf preset (Release -O2 — the
 #      optimization level the numbers in docs/PERFORMANCE.md use),
-#      archiving BENCH_wire_throughput.json.
+#      archiving BENCH_wire_throughput.json;
+#  10. durable-store gate: smoke-run of the store recovery bench
+#      (archives BENCH_store_recovery.json), then `hcm_store fsck` +
+#      `stats` over the store it leaves behind — the on-disk formats
+#      must verify end to end with the standalone tool, not just
+#      through the library that wrote them.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/9] tier-1: default preset (-Werror) ==="
+echo "=== [1/10] tier-1: default preset (-Werror) ==="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "=== [2/9] sanitizers: asan preset (ASan + UBSan) ==="
+echo "=== [2/10] sanitizers: asan preset (ASan + UBSan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'EventBridge'
+# The kill -9 store-recovery harness must hold under ASan specifically:
+# replaying torn on-disk state is where stale-pointer/oob bugs hide.
+ctest --preset asan -j "${JOBS}" -R 'StoreCrashRecovery'
 ctest --preset asan -j "${JOBS}"
 
-echo "=== [3/9] races: tsan preset (scheduler / event bridge / net) ==="
+echo "=== [3/10] races: tsan preset (scheduler / event bridge / net) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}" -R \
   'SchedulerTest|DeterminismAuditTest|TraceRecorderTest|EventBridgeTest|EventBridgeUpnpTest|NetworkTest|StreamTest|Ieee1394Test|PowerlineTest|BinaryChannelTest'
 
-echo "=== [4/9] hcm_lint summary ==="
+echo "=== [4/10] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
 
-echo "=== [5/9] hcm_analyze: static-analysis gate (archives ANALYZE_report.json) ==="
+echo "=== [5/10] hcm_analyze: static-analysis gate (archives ANALYZE_report.json) ==="
 ./build/tools/hcm_analyze/hcm_analyze --root . --json ANALYZE_report.json
 
-echo "=== [6/9] event-bridge bench smoke run ==="
+echo "=== [6/10] event-bridge bench smoke run ==="
 ./build/bench/bench_ext_event_bridge --benchmark_min_time=0.01
 
-echo "=== [7/9] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
+echo "=== [7/10] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
 ./build/bench/bench_ext_vsr_sync --benchmark_min_time=0.01 \
   --json BENCH_vsr_sync.json
 
-echo "=== [8/9] obs overhead bench + trace-export smoke check ==="
+echo "=== [8/10] obs overhead bench + trace-export smoke check ==="
 ./build/bench/bench_ext_obs_overhead --benchmark_min_time=0.01 \
   --json BENCH_obs_overhead.json --trace obs_trace_smoke.json
 # The export must be a Chrome trace with complete ("ph":"X") events for
@@ -69,11 +77,20 @@ fi
 echo "trace smoke check OK (${events} complete events)"
 rm -f obs_trace_smoke.json
 
-echo "=== [9/9] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
+echo "=== [9/10] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
 cmake --preset perf
 cmake --build --preset perf -j "${JOBS}" --target bench_ext_wire_throughput
 ./build-perf/bench/bench_ext_wire_throughput --calls 300 \
   --benchmark_min_time=0.01 --json BENCH_wire_throughput.json
 grep -q '"calls_per_sec"' BENCH_wire_throughput.json
+
+echo "=== [10/10] durable store: recovery bench + hcm_store fsck/stats ==="
+store_smoke_dir="$(mktemp -d)/store"
+./build/bench/bench_ext_store_recovery --benchmark_min_time=0.01 \
+  --json BENCH_store_recovery.json --store-dir "${store_smoke_dir}"
+grep -q '"compression_ratio"' BENCH_store_recovery.json
+./build/tools/hcm_store/hcm_store fsck "${store_smoke_dir}"
+./build/tools/hcm_store/hcm_store stats "${store_smoke_dir}"
+rm -rf "$(dirname "${store_smoke_dir}")"
 
 echo "All checks passed."

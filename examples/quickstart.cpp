@@ -8,7 +8,12 @@
 // No service or client was changed.
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
+//
+// Pass --store-dir <path> to make the VSR durable: registry changes are
+// journaled to a crash-recoverable store (docs/PERSISTENCE.md) and a
+// rerun over the same directory resumes the previous registry epoch.
 #include <cstdio>
+#include <cstring>
 
 #include "core/adapters/jini_adapter.hpp"
 #include "core/adapters/x10_adapter.hpp"
@@ -20,7 +25,12 @@
 
 using namespace hcm;
 
-int main() {
+int main(int argc, char** argv) {
+  std::string store_dir;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--store-dir") == 0) store_dir = argv[i + 1];
+  }
+
   // 1. A simulated home: scheduler, backbone, one LAN, one powerline.
   sim::Scheduler sched;
   net::Network net(sched);
@@ -33,8 +43,15 @@ int main() {
   // 2. The Virtual Service Repository (WSDL/UDDI over SOAP).
   auto& vsr_host = net.add_node("vsr-host");
   net.attach(vsr_host, backbone);
-  core::VsrServer vsr(net, vsr_host.id());
+  core::VsrServer vsr(net, vsr_host.id(), 8000,
+                      soap::UddiRegistry::kDefaultJournalCapacity, store_dir);
   (void)vsr.start();
+  if (!store_dir.empty()) {
+    std::printf("vsr store: %s (%s, epoch %llu)\n", store_dir.c_str(),
+                vsr.registry().store_recovered_entries() > 0 ? "resumed"
+                                                             : "fresh",
+                static_cast<unsigned long long>(vsr.registry().epoch()));
+  }
 
   // 3. The Jini island: lookup service + one "greeter" service.
   auto& jini_gw = net.add_node("jini-gw");

@@ -2,10 +2,29 @@
 
 namespace hcm::core {
 
+namespace {
+
+std::unique_ptr<store::VsrStore> open_store(const std::string& dir,
+                                            bool& failed) {
+  if (dir.empty()) return nullptr;
+  store::VsrStoreOptions options;
+  options.dir = dir;
+  auto s = std::make_unique<store::VsrStore>(std::move(options));
+  if (!s->open().is_ok()) {
+    failed = true;
+    return nullptr;
+  }
+  return s;
+}
+
+}  // namespace
+
 VsrServer::VsrServer(net::Network& net, net::NodeId node, std::uint16_t port,
-                     std::size_t journal_capacity)
+                     std::size_t journal_capacity, std::string store_dir)
     : net_(net),
       http_(net, node, port),
-      registry_(http_, net.scheduler(), "/uddi", journal_capacity) {}
+      store_(open_store(store_dir, store_open_failed_)),
+      registry_(http_, net.scheduler(), "/uddi", journal_capacity,
+                store_.get()) {}
 
 }  // namespace hcm::core

@@ -5,18 +5,28 @@
 #pragma once
 
 #include <memory>
+#include <string>
 
 #include "common/uri.hpp"
 #include "core/naming.hpp"
 #include "soap/uddi.hpp"
+#include "store/vsr_store.hpp"
 
 namespace hcm::core {
 
 class VsrServer {
  public:
+  // A non-empty `store_dir` makes the repository durable: the registry
+  // writes every journaled change through a store::VsrStore in that
+  // directory and, on restart over the same directory, resumes the same
+  // epoch/sequence so warm client cursors stay valid. If the store
+  // cannot be opened (deep corruption — a bad pack, an unreadable dir)
+  // the server degrades to the in-memory registry rather than failing
+  // to start; store_open_failed() reports it.
   VsrServer(net::Network& net, net::NodeId node, std::uint16_t port = 8000,
             std::size_t journal_capacity =
-                soap::UddiRegistry::kDefaultJournalCapacity);
+                soap::UddiRegistry::kDefaultJournalCapacity,
+            std::string store_dir = "");
 
   [[nodiscard]] Status start() { return http_.start(); }
 
@@ -28,9 +38,16 @@ class VsrServer {
     return registry_;
   }
 
+  [[nodiscard]] const store::VsrStore* store() const { return store_.get(); }
+  [[nodiscard]] bool store_open_failed() const { return store_open_failed_; }
+
  private:
   net::Network& net_;
   http::HttpServer http_;
+  bool store_open_failed_ = false;
+  // Declared before registry_: the registry adopts the recovered state
+  // during construction and writes through for its whole lifetime.
+  std::unique_ptr<store::VsrStore> store_;
   soap::UddiRegistry registry_;
 };
 
@@ -41,7 +58,7 @@ class VsrServer {
 using VsrEntry = soap::RegistryEntry;
 using VsrEventSubscription = soap::EventSubscription;
 using VsrClient = soap::UddiClient;
-using VsrChange = soap::RegistryChange;
 using VsrDelta = soap::RegistryDelta;
+using VsrChange = soap::RegistryChange;
 
 }  // namespace hcm::core

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "store/vsr_store.hpp"
+
 namespace hcm::soap {
 
 namespace {
@@ -63,11 +65,14 @@ std::string registry_fingerprint(
 
 UddiRegistry::UddiRegistry(http::HttpServer& http_server,
                            sim::Scheduler& sched, std::string path,
-                           std::size_t journal_capacity)
+                           std::size_t journal_capacity,
+                           store::VsrStore* store)
     : sched_(sched),
       service_(http_server, std::move(path)),
       epoch_(g_next_epoch.fetch_add(1)),
-      journal_capacity_(journal_capacity) {
+      journal_capacity_(journal_capacity),
+      store_(store) {
+  if (store_ != nullptr) adopt_store_state();
   service_.register_method(
       "publish", [this](const NamedValues& params, CallResultFn done) {
         const auto& name = param(params, "name");
@@ -99,14 +104,18 @@ UddiRegistry::UddiRegistry(http::HttpServer& http_server,
         if (unchanged) {
           // Same content republished before its lease lapsed: a lease
           // renewal, invisible to synchronizing clients — no journal
-          // record, no seq bump.
+          // record, no seq bump. The store still learns the new expiry
+          // (a kTouch record) so replay restores live leases.
           it->second.expires_at = e.expires_at;
           ++renewals_;
+          store_touch(e.name, e.expires_at);
         } else {
           journal_append(RegistryChange::Kind::kUpsert, e.name, e.digest);
+          store_upsert(e);
           entries_[e.name] = std::move(e);
           ++publishes_;
         }
+        store_commit();
         done(Value(true));
       });
 
@@ -124,7 +133,9 @@ UddiRegistry::UddiRegistry(http::HttpServer& http_server,
         }
         journal_append(RegistryChange::Kind::kRemove, it->first,
                        it->second.digest);
+        store_remove(it->first, it->second.digest);
         entries_.erase(it);
+        store_commit();
         done(Value(true));
       });
 
@@ -153,6 +164,8 @@ UddiRegistry::UddiRegistry(http::HttpServer& http_server,
         it->second.expires_at =
             ttl.is_int() && ttl.as_int() > 0 ? sched_.now() + ttl.as_int() : 0;
         ++renewals_;
+        store_touch(it->first, it->second.expires_at);
+        store_commit();
         done(Value(true));
       });
 
@@ -184,8 +197,12 @@ UddiRegistry::UddiRegistry(http::HttpServer& http_server,
         const sim::SimTime expires =
             ttl.is_int() && ttl.as_int() > 0 ? sched_.now() + ttl.as_int() : 0;
         for (auto& [name, e] : entries_) {
-          if (e.origin == origin.as_string()) e.expires_at = expires;
+          if (e.origin == origin.as_string()) {
+            e.expires_at = expires;
+            store_touch(name, expires);
+          }
         }
+        store_commit();
         renewals_ += digest_by_name.size();
         done(Value(static_cast<std::int64_t>(digest_by_name.size())));
       });
@@ -299,6 +316,88 @@ UddiRegistry::UddiRegistry(http::HttpServer& http_server,
       });
 }
 
+void UddiRegistry::adopt_store_state() {
+  const store::RecoveredState& rec = store_->recovered();
+  if (rec.fresh) {
+    // Brand-new store directory: persist this incarnation's epoch so a
+    // restart can prove it is resuming the same one.
+    store_->record_epoch(epoch_);
+    store_commit();
+    return;
+  }
+  bool lost = rec.lost_tail;
+  for (const store::UpsertRecord& u : rec.entries) {
+    auto body = store_->body_for(u.digest);
+    if (!body.is_ok()) {
+      // A live entry whose body no longer resolves is itself lost
+      // state: drop it and force the resync path below.
+      lost = true;
+      continue;
+    }
+    RegistryEntry e;
+    e.name = u.name;
+    e.category = u.category;
+    e.origin = u.origin;
+    e.wsdl = std::move(body).take();
+    e.digest = u.digest;
+    e.expires_at = u.expires_at;
+    entries_[e.name] = std::move(e);
+  }
+  store_recovered_entries_ = entries_.size();
+  seq_ = rec.last_seq;
+  compacted_through_ = rec.compacted_through;
+  journal_.clear();
+  for (const store::JournalEntry& j : rec.journal) {
+    journal_.push_back(JournalRecord{j.seq,
+                                     j.remove ? RegistryChange::Kind::kRemove
+                                              : RegistryChange::Kind::kUpsert,
+                                     j.name, j.digest});
+  }
+  if (!lost) {
+    // Clean replay: resume the exact incarnation clients hold cursors
+    // for — same epoch, same seq, same resync window. Warm cursors stay
+    // valid; restart costs zero snapshot resyncs.
+    epoch_ = rec.epoch;
+  } else {
+    // Committed records were truncated away (torn tail / bit rot):
+    // clients may hold state the store no longer has, so this must look
+    // like a restart. They degrade to the ordinary snapshot fallback.
+    epoch_ = rec.epoch + 1;
+    store_->record_epoch(epoch_);
+    store_commit();
+  }
+  // Future fresh incarnations in this process must not collide with an
+  // epoch adopted from disk.
+  std::uint64_t next = g_next_epoch.load();
+  while (next <= epoch_ &&
+         !g_next_epoch.compare_exchange_weak(next, epoch_ + 1)) {
+  }
+}
+
+void UddiRegistry::store_upsert(const RegistryEntry& e) {
+  if (store_ == nullptr) return;
+  store_->record_upsert(store::UpsertRecord{seq_, e.name, e.category,
+                                            e.origin, e.digest, e.expires_at},
+                        e.wsdl);
+}
+
+void UddiRegistry::store_remove(const std::string& name,
+                                const std::string& digest) {
+  if (store_ == nullptr) return;
+  store_->record_remove(store::RemoveRecord{seq_, name, digest});
+}
+
+void UddiRegistry::store_touch(const std::string& name,
+                               sim::SimTime expires_at) {
+  if (store_ == nullptr) return;
+  store_->record_touch(name, expires_at);
+}
+
+void UddiRegistry::store_commit() {
+  if (store_ == nullptr) return;
+  if (!store_->commit().is_ok()) ++store_errors_;
+}
+
 void UddiRegistry::journal_append(RegistryChange::Kind kind,
                                   const std::string& name,
                                   const std::string& digest) {
@@ -382,11 +481,15 @@ void UddiRegistry::prune() {
       // exactly like an unpublish.
       journal_append(RegistryChange::Kind::kRemove, it->first,
                      it->second.digest);
+      store_remove(it->first, it->second.digest);
       it = entries_.erase(it);
     } else {
       ++it;
     }
   }
+  // Expiries can surface inside read handlers too; the commit no-ops
+  // when nothing was staged.
+  store_commit();
 }
 
 void UddiRegistry::prune_subscriptions() {

@@ -21,6 +21,10 @@
 #include "soap/rpc.hpp"
 #include "soap/wsdl.hpp"
 
+namespace hcm::store {
+class VsrStore;
+}
+
 namespace hcm::soap {
 
 struct RegistryEntry {
@@ -87,9 +91,18 @@ class UddiRegistry {
   // predates the compaction horizon are told to resynchronize.
   static constexpr std::size_t kDefaultJournalCapacity = 128;
 
+  // With a `store`, every journaled change (publish, unpublish, lease
+  // expiry) is written through to disk and the registry adopts whatever
+  // the store recovered: a clean replay resumes the **same epoch and
+  // sequence number**, so warm client cursors stay valid and restart
+  // costs zero snapshot resyncs; a torn/corrupt log tail resumes the
+  // surviving prefix under a bumped epoch, which clients answer with
+  // the ordinary snapshot-fallback resync. The store must be open()ed
+  // before construction and must outlive the registry.
   UddiRegistry(http::HttpServer& http_server, sim::Scheduler& sched,
                std::string path = "/uddi",
-               std::size_t journal_capacity = kDefaultJournalCapacity);
+               std::size_t journal_capacity = kDefaultJournalCapacity,
+               store::VsrStore* store = nullptr);
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::uint64_t publishes() const { return publishes_; }
@@ -116,6 +129,16 @@ class UddiRegistry {
     return wsdl_bodies_elided_;
   }
 
+  // --- durable-store observability -------------------------------------
+  [[nodiscard]] bool store_backed() const { return store_ != nullptr; }
+  // Entries adopted from the store at construction (0 for a fresh dir).
+  [[nodiscard]] std::size_t store_recovered_entries() const {
+    return store_recovered_entries_;
+  }
+  // Write-through failures (store kept serving in-memory; durability is
+  // degraded until the next successful commit).
+  [[nodiscard]] std::uint64_t store_errors() const { return store_errors_; }
+
   // Mounted wire-op names (hcm_lint's registry-wire coverage rule).
   [[nodiscard]] std::vector<std::string> wire_ops() const {
     return service_.method_names();
@@ -133,6 +156,11 @@ class UddiRegistry {
   void prune_subscriptions();
   void journal_append(RegistryChange::Kind kind, const std::string& name,
                       const std::string& digest);
+  void adopt_store_state();
+  void store_upsert(const RegistryEntry& e);
+  void store_remove(const std::string& name, const std::string& digest);
+  void store_touch(const std::string& name, sim::SimTime expires_at);
+  void store_commit();
   Value entry_to_value(const RegistryEntry& e) const;
   Value change_to_value(const RegistryEntry& e,
                         const std::set<std::string>& known,
@@ -158,6 +186,11 @@ class UddiRegistry {
   std::uint64_t resyncs_required_ = 0;
   std::uint64_t wsdl_bodies_sent_ = 0;
   std::uint64_t wsdl_bodies_elided_ = 0;
+
+  // --- durable store (optional) ----------------------------------------
+  store::VsrStore* store_ = nullptr;
+  std::size_t store_recovered_entries_ = 0;
+  std::uint64_t store_errors_ = 0;
 };
 
 // Client-side typed wrapper used by VSGs/PCMs on every island. Keeps

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "soap/value_xml.hpp"
+#include "store/codec.hpp"
 #include "xml/xml.hpp"
 
 namespace hcm::soap {
@@ -11,21 +12,11 @@ namespace hcm::soap {
 const char* wsdl_type_for(ValueType t) { return xsi_type_for(t); }
 
 std::string wsdl_digest(std::string_view text) {
-  // FNV-1a 64-bit, same constants as sim::TraceHash — stable across
-  // platforms and runs, which is what makes digests comparable between
-  // a registry and its clients.
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (unsigned char c : text) {
-    h ^= c;
-    h *= 0x100000001b3ULL;
-  }
-  char buf[17];
-  static const char* hex = "0123456789abcdef";
-  for (int i = 0; i < 16; ++i) {
-    buf[i] = hex[(h >> ((15 - i) * 4)) & 0xf];
-  }
-  buf[16] = '\0';
-  return std::string(buf);
+  // The durable store owns the single digest implementation (FNV-1a
+  // 64-bit rendered as 16 hex chars): a registry and the store behind
+  // it key bodies on the same digest by construction, so replay can
+  // never disagree with the wire protocol about "unchanged".
+  return store::content_digest(text);
 }
 
 ValueType value_type_for_wsdl(std::string_view name) {

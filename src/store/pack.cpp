@@ -1,0 +1,178 @@
+#include "store/pack.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "store/codec.hpp"
+
+namespace hcm::store {
+
+namespace {
+
+constexpr char kMagic[] = "HCMPACK1";
+constexpr char kFooterMagic[] = "HCMPKIX1";
+constexpr std::size_t kMagicLen = 8;
+constexpr std::size_t kFooterLen = 8 + 4 + kMagicLen;
+
+}  // namespace
+
+void PackWriter::add_full(const std::string& digest, std::string_view body) {
+  entries_.push_back(PackEntry{digest, "", std::string(body)});
+}
+
+void PackWriter::add_delta(const std::string& digest,
+                           const std::string& base_digest,
+                           std::string_view delta) {
+  entries_.push_back(PackEntry{digest, base_digest, std::string(delta)});
+}
+
+Status PackWriter::write(const std::string& path) const {
+  std::string out(kMagic, kMagicLen);
+  std::vector<std::pair<std::string, std::uint64_t>> index;
+  index.reserve(entries_.size());
+  for (const PackEntry& e : entries_) {
+    index.emplace_back(e.digest, out.size());
+    std::string frame;
+    frame.push_back(e.base_digest.empty() ? 0 : 1);
+    put_string(frame, e.digest);
+    if (!e.base_digest.empty()) put_string(frame, e.base_digest);
+    put_u32(frame, static_cast<std::uint32_t>(e.data.size()));
+    frame += e.data;
+    put_u32(frame, crc32(frame));
+    out += frame;
+  }
+  std::sort(index.begin(), index.end());
+  const std::uint64_t index_offset = out.size();
+  std::string index_bytes;
+  put_u32(index_bytes, static_cast<std::uint32_t>(index.size()));
+  for (const auto& [digest, offset] : index) {
+    put_string(index_bytes, digest);
+    put_u64(index_bytes, offset);
+  }
+  out += index_bytes;
+  put_u64(out, index_offset);
+  put_u32(out, crc32(index_bytes));
+  out.append(kFooterMagic, kMagicLen);
+
+  const int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) {
+    return internal_error("open pack " + path + ": " + std::strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st =
+          internal_error("write pack " + path + ": " + std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status st =
+        internal_error("fsync pack " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::ok();
+}
+
+Status PackReader::open(const std::string& path) {
+  path_ = path;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return not_found("pack " + path + " is unreadable");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  data_ = ss.str();
+  digests_.clear();
+  offsets_.clear();
+
+  if (data_.size() < kMagicLen + kFooterLen ||
+      data_.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return protocol_error("pack " + path + ": bad or missing header magic");
+  }
+  if (data_.compare(data_.size() - kMagicLen, kMagicLen, kFooterMagic,
+                    kMagicLen) != 0) {
+    return protocol_error("pack " + path + ": bad footer magic");
+  }
+  Cursor footer{std::string_view(data_).substr(data_.size() - kFooterLen)};
+  const std::uint64_t index_offset = footer.u64();
+  const std::uint32_t index_crc = footer.u32();
+  if (index_offset >= data_.size() - kFooterLen) {
+    return protocol_error("pack " + path + ": index offset out of range");
+  }
+  const std::string_view index_bytes = std::string_view(data_).substr(
+      index_offset, data_.size() - kFooterLen - index_offset);
+  if (crc32(index_bytes) != index_crc) {
+    return protocol_error("pack " + path + ": index crc mismatch");
+  }
+  Cursor c{index_bytes};
+  const std::uint32_t count = c.u32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string digest = c.str();
+    const std::uint64_t offset = c.u64();
+    if (!c.ok || offset >= index_offset) {
+      return protocol_error("pack " + path + ": malformed index entry");
+    }
+    if (!digests_.empty() && digest <= digests_.back()) {
+      return protocol_error("pack " + path + ": index is not strictly sorted");
+    }
+    digests_.push_back(std::move(digest));
+    offsets_.push_back(offset);
+  }
+  if (!c.ok || !c.done()) {
+    return protocol_error("pack " + path + ": trailing index bytes");
+  }
+  return Status::ok();
+}
+
+bool PackReader::contains(const std::string& digest) const {
+  return std::binary_search(digests_.begin(), digests_.end(), digest);
+}
+
+Result<PackEntry> PackReader::read(const std::string& digest) const {
+  const auto it =
+      std::lower_bound(digests_.begin(), digests_.end(), digest);
+  if (it == digests_.end() || *it != digest) {
+    return not_found("pack " + path_ + ": no entry for digest " + digest);
+  }
+  return read_at(offsets_[static_cast<std::size_t>(it - digests_.begin())]);
+}
+
+Result<PackEntry> PackReader::read_at(std::uint64_t offset) const {
+  Cursor c{std::string_view(data_).substr(offset)};
+  PackEntry e;
+  const std::uint8_t kind = c.u8();
+  e.digest = c.str();
+  if (kind == 1) e.base_digest = c.str();
+  const std::uint32_t len = c.u32();
+  if (!c.ok || kind > 1) {
+    return protocol_error("pack " + path_ + ": malformed entry at offset " +
+                          std::to_string(offset));
+  }
+  const std::size_t data_begin = offset + c.pos;
+  if (data_begin + len + 4 > data_.size()) {
+    return protocol_error("pack " + path_ + ": entry data out of range");
+  }
+  e.data = data_.substr(data_begin, len);
+  Cursor crc_cur{std::string_view(data_).substr(data_begin + len, 4)};
+  const std::uint32_t want = crc_cur.u32();
+  const std::string_view framed =
+      std::string_view(data_).substr(offset, c.pos + len);
+  if (crc32(framed) != want) {
+    return protocol_error("pack " + path_ + ": entry crc mismatch for " +
+                          e.digest);
+  }
+  return e;
+}
+
+}  // namespace hcm::store

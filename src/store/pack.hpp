@@ -1,0 +1,71 @@
+// Pack files: compacted, delta-compressed storage of WSDL documents,
+// keyed by content digest (docs/PERSISTENCE.md §"Pack format"). The
+// git object-store shape: a log segment's full bodies are rolled into
+// one immutable pack where each revision is stored either whole
+// ("full") or as a delta against the prior revision of the same
+// service; a sorted digest index at the tail gives O(log n) lookup.
+//
+// File layout (little-endian):
+//   "HCMPACK1"
+//   entry*:  u8 kind (0 full, 1 delta) | digest (len-prefixed)
+//            | base digest (len-prefixed, delta only)
+//            | u32 data_len | data | u32 crc32(kind..data)
+//   index:   u32 count | count * (digest len-prefixed | u64 offset),
+//            sorted by digest
+//   footer:  u64 index_offset | u32 crc32(index) | "HCMPKIX1"
+// Packs are written to a temp name and renamed into place, so a crash
+// during compaction never leaves a half-written pack visible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hcm::store {
+
+struct PackEntry {
+  std::string digest;
+  std::string base_digest;  // empty = stored whole
+  std::string data;         // full body, or delta against base_digest
+};
+
+class PackWriter {
+ public:
+  void add_full(const std::string& digest, std::string_view body);
+  void add_delta(const std::string& digest, const std::string& base_digest,
+                 std::string_view delta);
+
+  [[nodiscard]] std::size_t entry_count() const { return entries_.size(); }
+  // Serializes entries + index + footer to `path` and fsyncs the file.
+  [[nodiscard]] Status write(const std::string& path) const;
+
+ private:
+  std::vector<PackEntry> entries_;
+};
+
+class PackReader {
+ public:
+  [[nodiscard]] Status open(const std::string& path);
+
+  [[nodiscard]] bool contains(const std::string& digest) const;
+  // Binary search of the index, then a CRC-checked entry decode.
+  [[nodiscard]] Result<PackEntry> read(const std::string& digest) const;
+
+  [[nodiscard]] const std::vector<std::string>& digests() const {
+    return digests_;
+  }
+  [[nodiscard]] std::size_t entry_count() const { return digests_.size(); }
+  [[nodiscard]] std::uint64_t size_bytes() const { return data_.size(); }
+
+ private:
+  [[nodiscard]] Result<PackEntry> read_at(std::uint64_t offset) const;
+
+  std::string path_;
+  std::string data_;
+  std::vector<std::string> digests_;       // sorted
+  std::vector<std::uint64_t> offsets_;     // parallel to digests_
+};
+
+}  // namespace hcm::store

@@ -1,0 +1,168 @@
+#include "store/record_log.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "store/codec.hpp"
+
+namespace hcm::store {
+
+namespace {
+
+constexpr std::size_t kFrameHeader = 4 + 4 + 8;
+
+std::string read_whole_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Status errno_status(const std::string& what, const std::string& path) {
+  return internal_error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+RecordLog::~RecordLog() { close(); }
+
+Result<RecordLog::Scan> RecordLog::scan_file(const std::string& path) {
+  Scan scan;
+  scan.chain = kChainGenesis;
+  const std::string data = read_whole_file(path);
+  scan.file_bytes = data.size();
+  std::size_t pos = 0;
+  while (pos < data.size()) {
+    Cursor c{std::string_view(data).substr(pos, kFrameHeader)};
+    const std::uint32_t len = c.u32();
+    const std::uint32_t crc = c.u32();
+    const std::uint64_t chain = c.u64();
+    if (!c.ok || pos + kFrameHeader + len > data.size()) {
+      scan.clean = false;
+      scan.tail_error = "torn frame at offset " + std::to_string(pos) +
+                        " (header or payload cut short)";
+      break;
+    }
+    const std::string_view payload =
+        std::string_view(data).substr(pos + kFrameHeader, len);
+    if (crc32(payload) != crc) {
+      scan.clean = false;
+      scan.tail_error =
+          "crc mismatch at offset " + std::to_string(pos);
+      break;
+    }
+    if (chain_hash(scan.chain, payload) != chain) {
+      scan.clean = false;
+      scan.tail_error =
+          "hash chain break at offset " + std::to_string(pos);
+      break;
+    }
+    scan.chain = chain;
+    scan.frames.push_back(Frame{std::string(payload), pos});
+    pos += kFrameHeader + len;
+    scan.valid_bytes = pos;
+  }
+  return scan;
+}
+
+Status RecordLog::open(const std::string& path, FsyncPolicy policy) {
+  close();
+  path_ = path;
+  policy_ = policy;
+  lost_tail_ = false;
+  recovered_.clear();
+  recovered_offsets_.clear();
+  recovered_chains_.clear();
+  pending_.clear();
+
+  auto scanned = scan_file(path);
+  if (!scanned.is_ok()) return scanned.status();
+  Scan scan = std::move(scanned).take();
+
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY, 0644);
+  if (fd_ < 0) return errno_status("open log", path);
+  if (!scan.clean && scan.valid_bytes < scan.file_bytes) {
+    // Torn or corrupt tail: everything past the last intact frame is
+    // unrecoverable — drop it so the chain resumes from known-good
+    // state. The caller learns via lost_tail() and bumps the epoch.
+    if (::ftruncate(fd_, static_cast<off_t>(scan.valid_bytes)) != 0) {
+      return errno_status("truncate log", path);
+    }
+    lost_tail_ = true;
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) return errno_status("seek log", path);
+
+  durable_bytes_ = scan.valid_bytes;
+  chain_ = scan.chain;
+  records_ = scan.frames.size();
+  std::uint64_t running = kChainGenesis;
+  for (Frame& f : scan.frames) {
+    running = chain_hash(running, f.payload);
+    recovered_offsets_.push_back(f.offset);
+    recovered_chains_.push_back(running);
+    recovered_.push_back(std::move(f.payload));
+  }
+  return Status::ok();
+}
+
+void RecordLog::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status RecordLog::truncate_recovered(std::size_t first_bad) {
+  if (first_bad >= recovered_.size()) return Status::ok();
+  const std::uint64_t keep_bytes = recovered_offsets_[first_bad];
+  if (::ftruncate(fd_, static_cast<off_t>(keep_bytes)) != 0) {
+    return errno_status("truncate log", path_);
+  }
+  if (::lseek(fd_, 0, SEEK_END) < 0) return errno_status("seek log", path_);
+  durable_bytes_ = keep_bytes;
+  chain_ = first_bad == 0 ? kChainGenesis : recovered_chains_[first_bad - 1];
+  records_ = first_bad;
+  recovered_.resize(first_bad);
+  recovered_offsets_.resize(first_bad);
+  recovered_chains_.resize(first_bad);
+  lost_tail_ = true;
+  return Status::ok();
+}
+
+void RecordLog::append(std::string_view payload) {
+  chain_ = chain_hash(chain_, payload);
+  put_u32(pending_, static_cast<std::uint32_t>(payload.size()));
+  put_u32(pending_, crc32(payload));
+  put_u64(pending_, chain_);
+  pending_.append(payload.data(), payload.size());
+  ++records_;
+}
+
+Status RecordLog::commit() {
+  if (pending_.empty()) return Status::ok();
+  std::size_t off = 0;
+  while (off < pending_.size()) {
+    const ssize_t n =
+        ::write(fd_, pending_.data() + off, pending_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("write log", path_);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (policy_ == FsyncPolicy::kCommit) {
+    if (::fsync(fd_) != 0) return errno_status("fsync log", path_);
+    ++fsyncs_;
+  }
+  durable_bytes_ += pending_.size();
+  pending_.clear();
+  ++commits_;
+  return Status::ok();
+}
+
+}  // namespace hcm::store

@@ -1,0 +1,562 @@
+#include "store/vsr_store.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+
+#include "store/delta.hpp"
+
+namespace hcm::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Durability of a rename (pack publication, log checkpoint swap)
+// requires the directory entry itself to reach disk.
+Status fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return internal_error("open dir " + dir + ": " + std::strerror(errno));
+  }
+  if (::fsync(fd) != 0) {
+    const Status st =
+        internal_error("fsync dir " + dir + ": " + std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::ok();
+}
+
+// Pack file names in a directory, ascending (pack numbers are
+// zero-padded, so lexicographic = numeric order).
+std::vector<std::string> pack_files(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("pack-", 0) == 0 && name.size() > 10 &&
+        name.compare(name.size() - 5, 5, ".pack") == 0) {
+      out.push_back(e.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// A delta smaller than 3/4 of the full body pays for its chain-walk
+// cost; otherwise store the revision whole.
+bool delta_worthwhile(std::size_t delta_size, std::size_t full_size) {
+  return delta_size * 4 < full_size * 3;
+}
+
+}  // namespace
+
+void LogMirror::apply(const Record& r) {
+  switch (r.type) {
+    case RecordType::kEpoch:
+      epoch = r.epoch.epoch;
+      fresh = false;
+      break;
+    case RecordType::kBody:
+      if (bodies.emplace(r.body.digest, r.body.body).second) {
+        body_order.push_back(r.body.digest);
+      }
+      break;
+    case RecordType::kUpsert: {
+      auto it = entries.find(r.upsert.name);
+      if (it != entries.end() && it->second.digest != r.upsert.digest) {
+        // Remember the prior revision of this service: pack compaction
+        // delta-encodes the new body against it.
+        delta_hint.emplace(r.upsert.digest, it->second.digest);
+      }
+      entries[r.upsert.name] = r.upsert;
+      seq = std::max(seq, r.upsert.seq);
+      journal.push_back(
+          JournalEntry{r.upsert.seq, false, r.upsert.name, r.upsert.digest});
+      break;
+    }
+    case RecordType::kRemove:
+      entries.erase(r.remove.name);
+      seq = std::max(seq, r.remove.seq);
+      journal.push_back(
+          JournalEntry{r.remove.seq, true, r.remove.name, r.remove.digest});
+      break;
+    case RecordType::kTouch: {
+      auto it = entries.find(r.touch.name);
+      if (it != entries.end()) it->second.expires_at = r.touch.expires_at;
+      break;
+    }
+    case RecordType::kCheckpoint:
+      fresh = false;
+      epoch = r.checkpoint.epoch;
+      seq = r.checkpoint.seq;
+      compacted_through = r.checkpoint.compacted_through;
+      entries.clear();
+      for (const UpsertRecord& e : r.checkpoint.entries) {
+        entries[e.name] = e;
+      }
+      journal.assign(r.checkpoint.journal.begin(),
+                     r.checkpoint.journal.end());
+      break;
+  }
+  while (journal.size() > journal_capacity) {
+    compacted_through = journal.front().seq;
+    journal.pop_front();
+  }
+}
+
+Status VsrStore::open() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return internal_error("create store dir " + options_.dir + ": " +
+                          ec.message());
+  }
+
+  packs_.clear();
+  next_pack_ = 1;
+  for (const std::string& path : pack_files(options_.dir)) {
+    auto reader = std::make_unique<PackReader>();
+    Status st = reader->open(path);
+    if (!st.is_ok()) return st;  // a corrupt pack is an fsck matter
+    packs_.push_back(std::move(reader));
+    ++next_pack_;
+  }
+
+  mirror_ = LogMirror{};
+  mirror_.journal_capacity = options_.journal_capacity;
+  Status st = log_.open(options_.dir + "/log", options_.fsync);
+  if (!st.is_ok()) return st;
+  bool lost = log_.lost_tail();
+  const auto& payloads = log_.recovered();
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    auto decoded = decode_record(payloads[i]);
+    if (!decoded.is_ok()) {
+      // CRC-clean frame whose payload no longer decodes: treat exactly
+      // like a torn tail — drop it and everything after it.
+      Status trunc = log_.truncate_recovered(i);
+      if (!trunc.is_ok()) return trunc;
+      lost = true;
+      break;
+    }
+    mirror_.apply(decoded.value());
+  }
+
+  recovered_ = RecoveredState{};
+  recovered_.fresh = mirror_.fresh;
+  recovered_.lost_tail = lost;
+  recovered_.epoch = mirror_.epoch;
+  recovered_.last_seq = mirror_.seq;
+  recovered_.compacted_through = mirror_.compacted_through;
+  for (const auto& [name, e] : mirror_.entries) {
+    recovered_.entries.push_back(e);
+  }
+  recovered_.journal.assign(mirror_.journal.begin(), mirror_.journal.end());
+  return Status::ok();
+}
+
+Result<std::string> VsrStore::body_for(const std::string& digest) const {
+  auto it = mirror_.bodies.find(digest);
+  if (it != mirror_.bodies.end()) return it->second;
+  return pack_body_for(digest);
+}
+
+Result<std::string> VsrStore::pack_body_for(const std::string& digest) const {
+  // Newest pack first; delta chains resolve recursively (bases always
+  // live in the same or an older pack).
+  for (auto pack = packs_.rbegin(); pack != packs_.rend(); ++pack) {
+    if (!(*pack)->contains(digest)) continue;
+    auto entry = (*pack)->read(digest);
+    if (!entry.is_ok()) return entry.status();
+    if (entry.value().base_digest.empty()) return entry.value().data;
+    auto base = pack_body_for(entry.value().base_digest);
+    if (!base.is_ok()) return base.status();
+    return delta_apply(base.value(), entry.value().data);
+  }
+  return not_found("store holds no body for digest " + digest);
+}
+
+int VsrStore::chain_depth(const std::string& digest) const {
+  int depth = 0;
+  std::string cur = digest;
+  while (depth <= options_.max_delta_chain) {
+    const PackReader* holder = nullptr;
+    for (auto pack = packs_.rbegin(); pack != packs_.rend(); ++pack) {
+      if ((*pack)->contains(cur)) {
+        holder = pack->get();
+        break;
+      }
+    }
+    if (holder == nullptr) return depth;
+    auto entry = holder->read(cur);
+    if (!entry.is_ok() || entry.value().base_digest.empty()) return depth;
+    cur = entry.value().base_digest;
+    ++depth;
+  }
+  return depth;
+}
+
+void VsrStore::record_epoch(std::uint64_t epoch) {
+  Record r;
+  r.type = RecordType::kEpoch;
+  r.epoch.epoch = epoch;
+  stage(r);
+}
+
+void VsrStore::record_upsert(const UpsertRecord& rec,
+                             const std::string& body) {
+  // One body per digest, ever: re-publishing known content (a digest
+  // already in the log or any pack) costs no body bytes.
+  if (mirror_.bodies.count(rec.digest) == 0) {
+    bool packed = false;
+    for (const auto& pack : packs_) {
+      if (pack->contains(rec.digest)) {
+        packed = true;
+        break;
+      }
+    }
+    if (!packed) {
+      Record b;
+      b.type = RecordType::kBody;
+      b.body.digest = rec.digest;
+      b.body.body = body;
+      stage(b);
+    }
+  }
+  Record r;
+  r.type = RecordType::kUpsert;
+  r.upsert = rec;
+  stage(r);
+}
+
+void VsrStore::record_remove(const RemoveRecord& rec) {
+  Record r;
+  r.type = RecordType::kRemove;
+  r.remove = rec;
+  stage(r);
+}
+
+void VsrStore::record_touch(const std::string& name,
+                            std::int64_t expires_at) {
+  Record r;
+  r.type = RecordType::kTouch;
+  r.touch.name = name;
+  r.touch.expires_at = expires_at;
+  stage(r);
+}
+
+void VsrStore::stage(const Record& r) {
+  log_.append(encode_record(r));
+  mirror_.apply(r);
+}
+
+Status VsrStore::commit() {
+  Status st = log_.commit();
+  if (!st.is_ok()) return st;
+  if (log_.size_bytes() > options_.compact_threshold_bytes) return compact();
+  return Status::ok();
+}
+
+std::string VsrStore::pack_path(std::uint64_t n) const {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "pack-%06llu.pack",
+                static_cast<unsigned long long>(n));
+  return options_.dir + "/" + buf;
+}
+
+Status VsrStore::compact() {
+  Status st = log_.commit();  // staged records must precede the roll
+  if (!st.is_ok()) return st;
+
+  if (!mirror_.body_order.empty()) {
+    PackWriter writer;
+    for (const std::string& digest : mirror_.body_order) {
+      const std::string& body = mirror_.bodies[digest];
+      bool wrote_delta = false;
+      auto hint = mirror_.delta_hint.find(digest);
+      if (hint != mirror_.delta_hint.end()) {
+        // Base body: earlier revision in this same batch, or any pack.
+        const std::string* base = nullptr;
+        std::string packed_base;
+        auto in_log = mirror_.bodies.find(hint->second);
+        if (in_log != mirror_.bodies.end()) {
+          base = &in_log->second;
+        } else {
+          auto from_pack = pack_body_for(hint->second);
+          if (from_pack.is_ok()) {
+            packed_base = std::move(from_pack).take();
+            base = &packed_base;
+          }
+        }
+        if (base != nullptr &&
+            chain_depth(hint->second) < options_.max_delta_chain) {
+          const std::string delta = delta_encode(*base, body);
+          if (delta_worthwhile(delta.size(), body.size())) {
+            writer.add_delta(digest, hint->second, delta);
+            wrote_delta = true;
+          }
+        }
+      }
+      if (!wrote_delta) writer.add_full(digest, body);
+    }
+    const std::string tmp = options_.dir + "/pack.tmp";
+    st = writer.write(tmp);
+    if (!st.is_ok()) return st;
+    const std::string final_path = pack_path(next_pack_);
+    std::error_code ec;
+    fs::rename(tmp, final_path, ec);
+    if (ec) {
+      return internal_error("rename pack into place: " + ec.message());
+    }
+    st = fsync_dir(options_.dir);
+    if (!st.is_ok()) return st;
+    auto reader = std::make_unique<PackReader>();
+    st = reader->open(final_path);
+    if (!st.is_ok()) return st;
+    packs_.push_back(std::move(reader));
+    ++next_pack_;
+  }
+
+  st = rewrite_log_checkpoint();
+  if (!st.is_ok()) return st;
+  mirror_.bodies.clear();
+  mirror_.body_order.clear();
+  mirror_.delta_hint.clear();
+  ++compactions_;
+  return Status::ok();
+}
+
+Status VsrStore::rewrite_log_checkpoint() {
+  // Replace the log with [epoch][checkpoint] describing the live state;
+  // bodies now live in packs. tmp + rename keeps a crash at any point
+  // recoverable: either the old log or the new one is intact.
+  Record epoch;
+  epoch.type = RecordType::kEpoch;
+  epoch.epoch.epoch = mirror_.epoch;
+  Record cp;
+  cp.type = RecordType::kCheckpoint;
+  cp.checkpoint.epoch = mirror_.epoch;
+  cp.checkpoint.seq = mirror_.seq;
+  cp.checkpoint.compacted_through = mirror_.compacted_through;
+  for (const auto& [name, e] : mirror_.entries) {
+    cp.checkpoint.entries.push_back(e);
+  }
+  cp.checkpoint.journal.assign(mirror_.journal.begin(),
+                               mirror_.journal.end());
+
+  const std::string tmp = options_.dir + "/log.tmp";
+  std::error_code ec;
+  fs::remove(tmp, ec);
+  {
+    RecordLog fresh;
+    Status st = fresh.open(tmp, options_.fsync);
+    if (!st.is_ok()) return st;
+    fresh.append(encode_record(epoch));
+    fresh.append(encode_record(cp));
+    st = fresh.commit();
+    if (!st.is_ok()) return st;
+  }
+  log_.close();
+  fs::rename(tmp, options_.dir + "/log", ec);
+  if (ec) {
+    return internal_error("rename checkpointed log into place: " +
+                          ec.message());
+  }
+  Status st = fsync_dir(options_.dir);
+  if (!st.is_ok()) return st;
+  // Reopen; the mirror already holds this state, so replay feeds it the
+  // same values it has (apply is idempotent for checkpoint+epoch).
+  return log_.open(options_.dir + "/log", options_.fsync);
+}
+
+std::uint64_t VsrStore::pack_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& pack : packs_) total += pack->size_bytes();
+  return total;
+}
+
+// --- fsck ---------------------------------------------------------------
+
+VsrStore::FsckReport VsrStore::fsck(const std::string& dir) {
+  FsckReport report;
+  auto fail = [&report](std::string msg) {
+    report.ok = false;
+    report.errors.push_back(std::move(msg));
+  };
+
+  // Packs: structural open (magic, footer, index crc, sort order), then
+  // every entry must decode, materialize through its delta chain, and
+  // hash back to its own digest.
+  std::vector<std::unique_ptr<PackReader>> packs;
+  for (const std::string& path : pack_files(dir)) {
+    auto reader = std::make_unique<PackReader>();
+    Status st = reader->open(path);
+    if (!st.is_ok()) {
+      fail(st.message());
+      continue;
+    }
+    packs.push_back(std::move(reader));
+  }
+  report.packs = packs.size();
+
+  // Materializer over the verified pack set (newest first).
+  std::function<Result<std::string>(const std::string&, int)> materialize =
+      [&](const std::string& digest, int depth) -> Result<std::string> {
+    if (depth > 64) {
+      return protocol_error("delta chain for " + digest +
+                            " exceeds depth 64 (cycle?)");
+    }
+    for (auto pack = packs.rbegin(); pack != packs.rend(); ++pack) {
+      if (!(*pack)->contains(digest)) continue;
+      auto entry = (*pack)->read(digest);
+      if (!entry.is_ok()) return entry.status();
+      if (entry.value().base_digest.empty()) return entry.value().data;
+      auto base = materialize(entry.value().base_digest, depth + 1);
+      if (!base.is_ok()) return base.status();
+      return delta_apply(base.value(), entry.value().data);
+    }
+    return not_found("no pack holds digest " + digest);
+  };
+
+  for (const auto& pack : packs) {
+    for (const std::string& digest : pack->digests()) {
+      ++report.pack_entries;
+      auto body = materialize(digest, 0);
+      if (!body.is_ok()) {
+        fail("pack entry " + digest + ": " + body.status().message());
+        continue;
+      }
+      if (content_digest(body.value()) != digest) {
+        fail("pack entry " + digest +
+             ": materialized body hashes to a different digest (bit rot "
+             "inside a delta chain)");
+        continue;
+      }
+      ++report.bodies_verified;
+    }
+  }
+
+  // Log: every frame must pass crc + hash chain; every payload must
+  // decode; the replayed live set must resolve every digest to a body
+  // that hashes back to it.
+  auto scanned = RecordLog::scan_file(dir + "/log");
+  if (!scanned.is_ok()) {
+    fail(scanned.status().message());
+    return report;
+  }
+  const RecordLog::Scan& scan = scanned.value();
+  if (!scan.clean) {
+    fail("log: " + scan.tail_error + " (" +
+         std::to_string(scan.file_bytes - scan.valid_bytes) +
+         " trailing bytes unrecoverable; a store-backed registry restart "
+         "truncates them and bumps the epoch)");
+  }
+  report.log_records = scan.frames.size();
+
+  LogMirror mirror;
+  std::uint64_t prev_journal_seq = 0;
+  for (const RecordLog::Frame& f : scan.frames) {
+    auto decoded = decode_record(f.payload);
+    if (!decoded.is_ok()) {
+      fail("log record at offset " + std::to_string(f.offset) + ": " +
+           decoded.status().message());
+      continue;
+    }
+    mirror.apply(decoded.value());
+  }
+  for (const JournalEntry& j : mirror.journal) {
+    if (j.seq <= prev_journal_seq) {
+      fail("journal sequence not strictly ascending at seq " +
+           std::to_string(j.seq));
+    }
+    prev_journal_seq = j.seq;
+  }
+  for (const auto& [name, entry] : mirror.entries) {
+    auto in_log = mirror.bodies.find(entry.digest);
+    std::string body;
+    if (in_log != mirror.bodies.end()) {
+      body = in_log->second;
+    } else {
+      auto packed = materialize(entry.digest, 0);
+      if (!packed.is_ok()) {
+        fail("live entry '" + name + "': " + packed.status().message());
+        continue;
+      }
+      body = std::move(packed).take();
+    }
+    if (content_digest(body) != entry.digest) {
+      fail("live entry '" + name + "': body does not hash to its digest");
+    }
+  }
+  return report;
+}
+
+// --- stats --------------------------------------------------------------
+
+Result<VsrStore::StatsReport> VsrStore::stats(const std::string& dir) {
+  StatsReport report;
+
+  auto scanned = RecordLog::scan_file(dir + "/log");
+  if (!scanned.is_ok()) return scanned.status();
+  const RecordLog::Scan& scan = scanned.value();
+  report.log_bytes = scan.file_bytes;
+  report.log_records = scan.frames.size();
+
+  LogMirror mirror;
+  for (const RecordLog::Frame& f : scan.frames) {
+    auto decoded = decode_record(f.payload);
+    if (!decoded.is_ok()) return decoded.status();
+    ++report.records_by_type[record_type_name(decoded.value().type)];
+    mirror.apply(decoded.value());
+  }
+  report.live_entries = mirror.entries.size();
+  report.epoch = mirror.epoch;
+  report.last_seq = mirror.seq;
+
+  std::vector<std::unique_ptr<PackReader>> packs;
+  for (const std::string& path : pack_files(dir)) {
+    auto reader = std::make_unique<PackReader>();
+    Status st = reader->open(path);
+    if (!st.is_ok()) return st;
+    report.pack_bytes += reader->size_bytes();
+    packs.push_back(std::move(reader));
+  }
+  report.packs = packs.size();
+
+  std::function<Result<std::string>(const std::string&)> materialize =
+      [&](const std::string& digest) -> Result<std::string> {
+    for (auto pack = packs.rbegin(); pack != packs.rend(); ++pack) {
+      if (!(*pack)->contains(digest)) continue;
+      auto entry = (*pack)->read(digest);
+      if (!entry.is_ok()) return entry.status();
+      if (entry.value().base_digest.empty()) return entry.value().data;
+      auto base = materialize(entry.value().base_digest);
+      if (!base.is_ok()) return base.status();
+      return delta_apply(base.value(), entry.value().data);
+    }
+    return not_found("no pack holds digest " + digest);
+  };
+  for (const auto& pack : packs) {
+    for (const std::string& digest : pack->digests()) {
+      auto entry = pack->read(digest);
+      if (!entry.is_ok()) return entry.status();
+      ++report.pack_entries;
+      if (!entry.value().base_digest.empty()) ++report.delta_entries;
+      report.stored_body_bytes += entry.value().data.size();
+      auto body = materialize(digest);
+      if (!body.is_ok()) return body.status();
+      report.expanded_body_bytes += body.value().size();
+    }
+  }
+  return report;
+}
+
+}  // namespace hcm::store

@@ -140,7 +140,9 @@ SmartHome::SmartHome(sim::Scheduler& scheduler,
   // --- VSR ----------------------------------------------------------------
   vsr_node = &net.add_node("vsr-host");
   net.attach(*vsr_node, *backbone);
-  vsr = std::make_unique<core::VsrServer>(net, vsr_node->id());
+  vsr = std::make_unique<core::VsrServer>(
+      net, vsr_node->id(), 8000, soap::UddiRegistry::kDefaultJournalCapacity,
+      options.store_dir);
   (void)vsr->start();
 
   // --- Jini island ----------------------------------------------------------

@@ -65,6 +65,10 @@ struct SmartHomeOptions {
   core::VsgProtocol protocol = core::VsgProtocol::kSoap;
   bool include_mail_island = true;
   sim::Duration mail_poll = sim::seconds(5);
+  // Non-empty: the VSR persists to this directory (store::VsrStore) and
+  // a SmartHome constructed over the same directory resumes the
+  // registry's previous epoch/sequence. See docs/PERSISTENCE.md.
+  std::string store_dir;
 };
 
 class SmartHome {

@@ -1,0 +1,159 @@
+// Kill -9 crash-recovery harness (ISSUE 7 acceptance criterion): a
+// child process drives publish/remove churn through a real fsyncing
+// VsrStore, acking each committed op over a pipe; the parent SIGKILLs
+// it at a chosen ack count, reopens the store, and asserts the
+// recovered state is exactly apply(ops[0..M)) for some M >= acks —
+// committed ops are never lost, and replay never surfaces a
+// half-applied suffix.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "store/vsr_store.hpp"
+#include "tests/store/temp_dir.hpp"
+
+namespace hcm::store {
+namespace {
+
+constexpr int kTotalOps = 40;
+
+std::string churn_body(const std::string& name, int rev) {
+  return "<definitions name=\"" + name + "\">" + std::string(300, 'c') +
+         "<endpoint uri=\"http://fav:8000/r" + std::to_string(rev) +
+         "\"/></definitions>";
+}
+
+// Op i, a pure function of i and the (deterministic) live set: mostly
+// publishes a new revision of one of four services; occasionally
+// removes one. When `store` is null only the expected live set is
+// computed — the parent uses that to reconstruct apply(prefix).
+void apply_op(int i, VsrStore* store,
+              std::map<std::string, UpsertRecord>& live) {
+  const std::uint64_t seq = static_cast<std::uint64_t>(i) + 1;
+  const std::string name = "svc-" + std::to_string(i % 4);
+  if (i % 7 == 3 && live.count(name) != 0) {
+    RemoveRecord rm;
+    rm.seq = seq;
+    rm.name = name;
+    rm.digest = live[name].digest;
+    if (store != nullptr) store->record_remove(rm);
+    live.erase(name);
+    return;
+  }
+  const std::string body = churn_body(name, i);
+  UpsertRecord u;
+  u.seq = seq;
+  u.name = name;
+  u.category = "Switchable";
+  u.origin = "x10-island";
+  u.digest = content_digest(body);
+  u.expires_at = static_cast<std::int64_t>(seq) * 1000000;
+  if (store != nullptr) store->record_upsert(u, body);
+  live[name] = u;
+}
+
+std::map<std::string, UpsertRecord> expected_after(int ops) {
+  std::map<std::string, UpsertRecord> live;
+  for (int i = 0; i < ops; ++i) apply_op(i, nullptr, live);
+  return live;
+}
+
+// Forks a child that churns the store with real fsyncs, acking each
+// durable op; SIGKILLs it after `kill_after_acks`, then verifies
+// recovery. `compact_threshold` small => the kill races compactions.
+void run_crash_round(int kill_after_acks, std::uint64_t compact_threshold) {
+  test::TempDir dir;
+  VsrStoreOptions opts;
+  opts.dir = dir.file("store");
+  opts.fsync = RecordLog::FsyncPolicy::kCommit;
+  opts.journal_capacity = 8;
+  opts.compact_threshold_bytes = compact_threshold;
+
+  int pipefd[2];
+  ASSERT_EQ(pipe(pipefd), 0);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: never runs gtest assertions or destructors — any failure
+    // is an abnormal exit code the parent turns into a test failure.
+    close(pipefd[0]);
+    VsrStore store(opts);
+    if (!store.open().is_ok()) _exit(10);
+    store.record_epoch(5);
+    if (!store.commit().is_ok()) _exit(11);
+    std::map<std::string, UpsertRecord> live;
+    for (int i = 0; i < kTotalOps; ++i) {
+      apply_op(i, &store, live);
+      if (!store.commit().is_ok()) _exit(12);
+      const char ack = 1;
+      if (write(pipefd[1], &ack, 1) != 1) _exit(13);
+    }
+    _exit(0);
+  }
+
+  close(pipefd[1]);
+  int acks = 0;
+  char buf = 0;
+  while (acks < kill_after_acks && read(pipefd[0], &buf, 1) == 1) ++acks;
+  ASSERT_EQ(acks, kill_after_acks) << "child died before the kill point";
+  kill(pid, SIGKILL);
+  close(pipefd[0]);
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+
+  // Recovery: same epoch, a clean op prefix of length M >= acks.
+  VsrStore store(opts);
+  ASSERT_TRUE(store.open().is_ok());
+  const auto& rec = store.recovered();
+  EXPECT_FALSE(rec.fresh);
+  EXPECT_EQ(rec.epoch, 5u);
+  const int recovered_ops = static_cast<int>(rec.last_seq);
+  EXPECT_GE(recovered_ops, kill_after_acks)
+      << "a committed-and-acked op was lost";
+  EXPECT_LE(recovered_ops, kTotalOps);
+
+  const auto expected = expected_after(recovered_ops);
+  ASSERT_EQ(rec.entries.size(), expected.size());
+  for (const auto& e : rec.entries) {
+    auto it = expected.find(e.name);
+    ASSERT_NE(it, expected.end()) << "unexpected entry " << e.name;
+    EXPECT_EQ(e, it->second);
+    // The body behind every live entry materializes and matches the
+    // revision its seq pins.
+    auto body = store.body_for(e.digest);
+    ASSERT_TRUE(body.is_ok()) << body.status().to_string();
+    EXPECT_EQ(body.value(),
+              churn_body(e.name, static_cast<int>(e.seq) - 1));
+  }
+
+  // open() truncated any torn tail, so the surviving files must be
+  // fully self-consistent.
+  auto report = VsrStore::fsck(opts.dir);
+  EXPECT_TRUE(report.ok) << (report.errors.empty() ? "" : report.errors[0]);
+}
+
+TEST(StoreCrashRecovery, KillDuringChurnRecoversCommittedPrefix) {
+  for (int kill_point : {1, 5, 13, 27, kTotalOps}) {
+    SCOPED_TRACE("kill after " + std::to_string(kill_point) + " acks");
+    run_crash_round(kill_point, /*compact_threshold=*/1 << 20);
+  }
+}
+
+TEST(StoreCrashRecovery, KillRacingCompactionStaysAtomic) {
+  // A ~1.5 KB threshold forces a compaction every few ops, so these
+  // kill points land before, during and after pack rolls; the tmp+
+  // rename+dir-fsync publication must keep every outcome recoverable.
+  for (int kill_point : {3, 9, 21, 33}) {
+    SCOPED_TRACE("kill after " + std::to_string(kill_point) + " acks");
+    run_crash_round(kill_point, /*compact_threshold=*/1500);
+  }
+}
+
+}  // namespace
+}  // namespace hcm::store

@@ -1,0 +1,178 @@
+// Pack files: immutable delta-compressed body storage with an O(log n)
+// digest index. Pins the write/read round trip, the lookup contract,
+// and that every corruption class (index, entry data, footer) is caught
+// by CRC rather than served as a wrong body.
+#include "store/pack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "store/codec.hpp"
+#include "store/delta.hpp"
+#include "tests/store/temp_dir.hpp"
+
+namespace hcm::store {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+// A pack holding one full body and one delta-encoded revision of it —
+// the minimal shape compaction produces for a twice-published service.
+struct SamplePack {
+  std::string path;
+  std::string base_body;
+  std::string next_body;
+  std::string base_digest;
+  std::string next_digest;
+
+  explicit SamplePack(const test::TempDir& dir) {
+    base_body = "<definitions name=\"VcrControl\">" +
+                std::string(500, 'v') + "</definitions>";
+    next_body = base_body;
+    next_body.replace(next_body.find("vvvv"), 4, "play");
+    base_digest = content_digest(base_body);
+    next_digest = content_digest(next_body);
+    PackWriter w;
+    w.add_full(base_digest, base_body);
+    w.add_delta(next_digest, base_digest,
+                delta_encode(base_body, next_body));
+    path = dir.file("pack-000001.pack");
+    EXPECT_TRUE(w.write(path).is_ok());
+  }
+};
+
+TEST(PackTest, WriteReadRoundTripsFullAndDelta) {
+  test::TempDir dir;
+  SamplePack sample(dir);
+
+  PackReader r;
+  ASSERT_TRUE(r.open(sample.path).is_ok());
+  EXPECT_EQ(r.entry_count(), 2u);
+
+  auto full = r.read(sample.base_digest);
+  ASSERT_TRUE(full.is_ok());
+  EXPECT_TRUE(full.value().base_digest.empty());
+  EXPECT_EQ(full.value().data, sample.base_body);
+
+  auto delta = r.read(sample.next_digest);
+  ASSERT_TRUE(delta.is_ok());
+  EXPECT_EQ(delta.value().base_digest, sample.base_digest);
+  auto applied = delta_apply(sample.base_body, delta.value().data);
+  ASSERT_TRUE(applied.is_ok());
+  EXPECT_EQ(applied.value(), sample.next_body);
+}
+
+TEST(PackTest, ContainsAndMissingDigestLookups) {
+  test::TempDir dir;
+  SamplePack sample(dir);
+  PackReader r;
+  ASSERT_TRUE(r.open(sample.path).is_ok());
+  EXPECT_TRUE(r.contains(sample.base_digest));
+  EXPECT_TRUE(r.contains(sample.next_digest));
+  EXPECT_FALSE(r.contains("0000000000000000"));
+  auto missing = r.read("0000000000000000");
+  ASSERT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PackTest, IndexIsSortedForBinarySearch) {
+  test::TempDir dir;
+  PackWriter w;
+  // Insert in descending digest order; the index must come back sorted.
+  std::vector<std::string> digests;
+  for (int i = 0; i < 20; ++i) {
+    const std::string body = "body-" + std::to_string(i);
+    digests.push_back(content_digest(body));
+    w.add_full(digests.back(), body);
+  }
+  const std::string path = dir.file("pack-000001.pack");
+  ASSERT_TRUE(w.write(path).is_ok());
+  PackReader r;
+  ASSERT_TRUE(r.open(path).is_ok());
+  ASSERT_EQ(r.digests().size(), 20u);
+  EXPECT_TRUE(std::is_sorted(r.digests().begin(), r.digests().end()));
+  for (const auto& d : digests) EXPECT_TRUE(r.contains(d));
+}
+
+TEST(PackTest, CorruptFooterMagicFailsOpen) {
+  test::TempDir dir;
+  SamplePack sample(dir);
+  std::string bytes = read_file(sample.path);
+  ASSERT_GE(bytes.size(), 8u);
+  bytes[bytes.size() - 1] = static_cast<char>(bytes.back() ^ 0xff);
+  write_file(sample.path, bytes);
+  PackReader r;
+  EXPECT_FALSE(r.open(sample.path).is_ok());
+}
+
+TEST(PackTest, CorruptIndexFailsOpen) {
+  test::TempDir dir;
+  SamplePack sample(dir);
+  const std::string clean = read_file(sample.path);
+  // The index sits between index_offset (read from the footer) and the
+  // footer itself; flip a byte in the middle of that span.
+  ASSERT_GE(clean.size(), 40u);
+  std::uint64_t index_offset = 0;
+  std::memcpy(&index_offset, clean.data() + clean.size() - 20, 8);
+  ASSERT_LT(index_offset, clean.size() - 20);
+  std::string bad = clean;
+  bad[index_offset + 1] = static_cast<char>(bad[index_offset + 1] ^ 0x01);
+  write_file(sample.path, bad);
+  PackReader r;
+  EXPECT_FALSE(r.open(sample.path).is_ok());
+}
+
+TEST(PackTest, CorruptEntryDataFailsRead) {
+  test::TempDir dir;
+  SamplePack sample(dir);
+  std::string bytes = read_file(sample.path);
+  // Flip a byte inside the first entry's body (past the 8-byte magic and
+  // kind/digest prefix — offset 64 is well within the 500-byte body).
+  bytes[64] = static_cast<char>(bytes[64] ^ 0x10);
+  write_file(sample.path, bytes);
+  PackReader r;
+  // Open only parses the index, which is intact...
+  ASSERT_TRUE(r.open(sample.path).is_ok());
+  // ...but the CRC-checked entry decode must refuse the flipped body.
+  EXPECT_FALSE(r.read(sample.base_digest).is_ok());
+}
+
+TEST(PackTest, TruncatedFileFailsOpen) {
+  test::TempDir dir;
+  SamplePack sample(dir);
+  const std::string bytes = read_file(sample.path);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{4}, std::size_t{8},
+                          bytes.size() / 2, bytes.size() - 1}) {
+    write_file(sample.path, bytes.substr(0, cut));
+    PackReader r;
+    EXPECT_FALSE(r.open(sample.path).is_ok()) << "cut at " << cut;
+  }
+}
+
+TEST(PackTest, EmptyPackRoundTrips) {
+  test::TempDir dir;
+  PackWriter w;
+  const std::string path = dir.file("pack-000001.pack");
+  ASSERT_TRUE(w.write(path).is_ok());
+  PackReader r;
+  ASSERT_TRUE(r.open(path).is_ok());
+  EXPECT_EQ(r.entry_count(), 0u);
+  EXPECT_FALSE(r.contains("anything"));
+}
+
+}  // namespace
+}  // namespace hcm::store

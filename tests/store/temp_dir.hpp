@@ -1,0 +1,33 @@
+// RAII scratch directory for store tests: created under the system temp
+// root, recursively removed on destruction (kill -9 harness leftovers
+// included).
+#pragma once
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace hcm::store::test {
+
+struct TempDir {
+  std::string path;
+
+  TempDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "hcm_store_XXXXXX").string();
+    path = ::mkdtemp(tmpl.data());
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path + "/" + name;
+  }
+};
+
+}  // namespace hcm::store::test

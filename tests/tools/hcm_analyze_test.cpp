@@ -186,7 +186,58 @@ TEST(LayeringTest, AcyclicGraphIsClean) {
   EXPECT_TRUE(layering_check_cycles(graph).empty());
 }
 
+TEST(LayeringTest, StoreRanksBetweenCommonAndSoap) {
+  // The durable store backs soap's registry: store may reach down to
+  // common, soap may reach down to store, and store must not climb the
+  // stack (not even to sim — durability timestamps come from callers).
+  const LayerConfig layers = default_layers();
+  ASSERT_EQ(layers.rank.count("store"), 1u);
+  EXPECT_GT(layers.rank.at("store"), layers.rank.at("common"));
+  EXPECT_LT(layers.rank.at("store"), layers.rank.at("soap"));
+
+  Findings fs = layering_check_file(
+      "src/store/record_log.cpp",
+      lex("#include \"common/status.hpp\"\n"
+          "#include \"store/codec.hpp\"\n"),
+      layers);
+  EXPECT_TRUE(fs.empty()) << format_findings(fs);
+
+  fs = layering_check_file("src/store/vsr_store.cpp",
+                           lex("#include \"soap/uddi.hpp\"\n"), layers);
+  EXPECT_EQ(count_rule(fs, "layering-upward"), 1) << format_findings(fs);
+
+  fs = layering_check_file("src/soap/uddi.cpp",
+                           lex("#include \"store/vsr_store.hpp\"\n"), layers);
+  EXPECT_TRUE(fs.empty()) << format_findings(fs);
+
+  // sim is a peer: the store must not include it either.
+  fs = layering_check_file("src/store/vsr_store.cpp",
+                           lex("#include \"sim/scheduler.hpp\"\n"), layers);
+  EXPECT_EQ(count_rule(fs, "layering-lateral"), 1) << format_findings(fs);
+}
+
 // --- determinism --------------------------------------------------------
+
+TEST(DeterminismTest, CoverageIncludesStore) {
+  // Replay and compaction must be pure functions of the on-disk bytes,
+  // so src/store sits inside the determinism gate with sim and core.
+  EXPECT_TRUE(determinism_covered("src/sim/scheduler.cpp"));
+  EXPECT_TRUE(determinism_covered("src/core/vsr.cpp"));
+  EXPECT_TRUE(determinism_covered("src/store/record_log.cpp"));
+  EXPECT_TRUE(determinism_covered("src/store/vsr_store.hpp"));
+  EXPECT_FALSE(determinism_covered("src/http/client.cpp"));
+  EXPECT_FALSE(determinism_covered("tests/store/record_log_test.cpp"));
+}
+
+TEST(DeterminismTest, WallClockInStoreIsFlagged) {
+  // A clock read during replay would make the recovered epoch/seq (and
+  // the log's byte stream) depend on when recovery ran.
+  Findings fs = determinism_check(
+      "src/store/record_log.cpp",
+      lex("void stamp() { timeval tv; gettimeofday(&tv, nullptr); }\n"));
+  EXPECT_EQ(count_rule(fs, "determinism-wallclock"), 1)
+      << format_findings(fs);
+}
 
 TEST(DeterminismTest, WallClockReadIsFlagged) {
   TokenStream ts = lex(

@@ -416,5 +416,41 @@ TEST(LintRegistryWireTest, NonRoundTrippingPayloadIsFlagged) {
       << format_diagnostics(diags);
 }
 
+TEST(LintStoreRecordTest, CanonicalFixturesCoverAllRecordTypes) {
+  // Self-test of the shipped fixture set: every durable record type has
+  // an exemplar and every exemplar round-trips canonically.
+  auto diags = check_store_records(store::all_record_types(),
+                                   store_record_fixtures());
+  EXPECT_TRUE(diags.empty()) << format_diagnostics(diags);
+}
+
+TEST(LintStoreRecordTest, UncoveredRecordTypeIsFlagged) {
+  auto fixtures = store_record_fixtures();
+  // Drop the checkpoint exemplar: its type must surface as uncovered.
+  fixtures.erase(std::remove_if(fixtures.begin(), fixtures.end(),
+                                [](const StoreRecordFixture& f) {
+                                  return f.record.type ==
+                                         store::RecordType::kCheckpoint;
+                                }),
+                 fixtures.end());
+  auto diags = check_store_records(store::all_record_types(), fixtures);
+  EXPECT_TRUE(has_check(diags, "store-record-uncovered"))
+      << format_diagnostics(diags);
+}
+
+TEST(LintStoreRecordTest, FixturesSurviveFrameAndChainReuse) {
+  // The encoded fixtures are exactly what the log frames carry; folding
+  // them through the chain hash must be stable across two runs (the
+  // canonical-encoding property the codec check enforces).
+  std::uint64_t chain1 = store::kChainGenesis;
+  std::uint64_t chain2 = store::kChainGenesis;
+  for (const auto& f : store_record_fixtures()) {
+    chain1 = store::chain_hash(chain1, store::encode_record(f.record));
+    chain2 = store::chain_hash(chain2, store::encode_record(f.record));
+  }
+  EXPECT_EQ(chain1, chain2);
+  EXPECT_NE(chain1, store::kChainGenesis);
+}
+
 }  // namespace
 }  // namespace hcm::lint

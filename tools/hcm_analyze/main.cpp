@@ -144,7 +144,7 @@ int main(int argc, char** argv) {
 
   // --- pass 2: determinism ----------------------------------------------
   for (const SourceFile& f : files) {
-    if (f.rel.rfind("src/sim/", 0) == 0 || f.rel.rfind("src/core/", 0) == 0) {
+    if (determinism_covered(f.rel)) {
       append(report.findings, determinism_check(f.rel, f.stream));
     }
   }

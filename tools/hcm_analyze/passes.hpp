@@ -55,11 +55,20 @@ struct LayerConfig {
 
 // --- determinism pass ---------------------------------------------------
 // Bans nondeterminism sources in the deterministic core (src/sim,
-// src/core): wall-clock reads, ambient randomness / unseeded engines,
-// and iteration over unordered containers (their order leaks into the
-// TraceRecorder hash, the scheduler and wire emission). File-local
-// heuristic for the iteration rule: range-for / .begin() over a name
-// declared with an unordered_* type in the same file.
+// src/core, src/store): wall-clock reads, ambient randomness / unseeded
+// engines, and iteration over unordered containers (their order leaks
+// into the TraceRecorder hash, the scheduler, wire emission and the
+// durable log's byte stream). File-local heuristic for the iteration
+// rule: range-for / .begin() over a name declared with an unordered_*
+// type in the same file.
+
+// Whether the pass gates this repo-relative path. src/store is covered
+// because replay and compaction must be pure functions of the on-disk
+// bytes: a clock read or ambient randomness there would make recovery
+// (and hence the registry's resumed epoch/seq) irreproducible;
+// durability timestamps always come from the caller.
+[[nodiscard]] bool determinism_covered(const std::string& rel_path);
+
 [[nodiscard]] Findings determinism_check(const std::string& rel_path,
                                          const TokenStream& ts);
 

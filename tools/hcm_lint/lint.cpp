@@ -346,6 +346,80 @@ std::vector<WireFixture> registry_wire_fixtures() {
   };
 }
 
+Diagnostics check_store_records(
+    const std::vector<store::RecordType>& types,
+    const std::vector<StoreRecordFixture>& fixtures) {
+  Diagnostics out;
+  std::set<store::RecordType> covered;
+  for (const auto& f : fixtures) covered.insert(f.record.type);
+  for (store::RecordType t : types) {
+    if (covered.count(t) == 0) {
+      out.push_back(
+          {"store-record-uncovered",
+           std::string("store record '") + store::record_type_name(t) + "'",
+           "durable record type has no codec round-trip fixture — add one "
+           "to store_record_fixtures()"});
+    }
+  }
+  for (const auto& f : fixtures) {
+    const std::string subject = std::string("store record '") +
+                                store::record_type_name(f.record.type) + "'";
+    const std::string encoded = store::encode_record(f.record);
+    auto decoded = store::decode_record(encoded);
+    if (!decoded.is_ok()) {
+      out.push_back({"store-record-codec", subject,
+                     "fixture does not decode: " +
+                         decoded.status().to_string()});
+      continue;
+    }
+    if (!(decoded.value() == f.record)) {
+      out.push_back({"store-record-codec", subject,
+                     "decode(encode(fixture)) differs from the fixture — "
+                     "a field is dropped or misread by the codec"});
+      continue;
+    }
+    if (store::encode_record(decoded.value()) != encoded) {
+      out.push_back({"store-record-codec", subject,
+                     "re-encoding the decoded record is not byte-identical "
+                     "— the encoding is not canonical, which breaks the "
+                     "log's hash chain reproducibility"});
+    }
+  }
+  return out;
+}
+
+std::vector<StoreRecordFixture> store_record_fixtures() {
+  const std::string digest = "00cafe1234567890";
+  const std::string wsdl = "<definitions name=\"Switchable\"/>";
+  store::Record epoch;
+  epoch.type = store::RecordType::kEpoch;
+  epoch.epoch = store::EpochRecord{7};
+  store::Record body;
+  body.type = store::RecordType::kBody;
+  body.body = store::BodyRecord{digest, wsdl};
+  store::Record upsert;
+  upsert.type = store::RecordType::kUpsert;
+  upsert.upsert = store::UpsertRecord{42,       "lamp-1", "Switchable",
+                                      "x10-island", digest,   120000000};
+  store::Record remove;
+  remove.type = store::RecordType::kRemove;
+  remove.remove = store::RemoveRecord{43, "lamp-1", digest};
+  store::Record touch;
+  touch.type = store::RecordType::kTouch;
+  touch.touch = store::TouchRecord{"lamp-1", 240000000};
+  store::Record checkpoint;
+  checkpoint.type = store::RecordType::kCheckpoint;
+  checkpoint.checkpoint = store::CheckpointRecord{
+      7,
+      43,
+      12,
+      {store::UpsertRecord{42, "lamp-1", "Switchable", "x10-island", digest,
+                           120000000}},
+      {store::JournalEntry{42, false, "lamp-1", digest},
+       store::JournalEntry{43, true, "vcr-1", digest}}};
+  return {{epoch}, {body}, {upsert}, {remove}, {touch}, {checkpoint}};
+}
+
 Diagnostics check_vsg_op_metrics(const core::VirtualServiceGateway& vsg,
                                  const obs::Registry& registry) {
   Diagnostics out;

@@ -15,6 +15,7 @@
 #include "obs/metrics.hpp"
 #include "net/network.hpp"
 #include "soap/uddi.hpp"
+#include "store/codec.hpp"
 
 namespace hcm::lint {
 
@@ -85,6 +86,27 @@ struct WireFixture {
 // representative exemplar per op, shaped like the live handlers'
 // requests/responses.
 [[nodiscard]] std::vector<WireFixture> registry_wire_fixtures();
+
+// --- store record contract ---------------------------------------------
+// One exemplar per durable-store record type. Mirrors the registry-wire
+// rule: the on-disk log format is a compatibility surface exactly like
+// the wire, so adding a store::RecordType without a round-trip fixture
+// fails the lint run.
+struct StoreRecordFixture {
+  store::Record record;  // exemplar; record.type declares what it covers
+};
+
+// Store record contract: every enumerator store::all_record_types()
+// reports has at least one fixture ("store-record-uncovered"), and each
+// fixture survives encode -> decode with struct equality and re-encodes
+// byte-identically ("store-record-codec" — a canonical encoding is what
+// makes the log's hash chain and fsck's digests reproducible).
+[[nodiscard]] Diagnostics check_store_records(
+    const std::vector<store::RecordType>& types,
+    const std::vector<StoreRecordFixture>& fixtures);
+
+// The canonical fixture set, one populated exemplar per record type.
+[[nodiscard]] std::vector<StoreRecordFixture> store_record_fixtures();
 
 // --- observability contract --------------------------------------------
 // Every wire op a gateway mounts must observe its dispatch latency:

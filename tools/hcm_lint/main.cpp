@@ -135,6 +135,12 @@ int main(int argc, char** argv) {
   append(all,
          lint::check_registry_wire(wire_ops, lint::registry_wire_fixtures()));
 
+  // Store record contract: the on-disk log format is a compatibility
+  // surface like the wire — every record type the durable store can
+  // write must have a codec round-trip fixture.
+  append(all, lint::check_store_records(store::all_record_types(),
+                                        lint::store_record_fixtures()));
+
   // --- pass 2b: observability contract ---------------------------------
   // Drive one real invocation through the meta layer so the sampled
   // check can distinguish "registered but never observed" from "no
