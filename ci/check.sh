@@ -5,9 +5,10 @@
 #   2. the same suite under ASan+UBSan (asan preset), with an explicit
 #      event-bridge pass (leases, backpressure, retry paths exercise
 #      the trickiest object lifetimes in the tree);
-#   3. races: tsan preset over the concurrency-sensitive suites
-#      (scheduler, event bridge, net/stream/channel stacks) ahead of
-#      the sharded sim kernel;
+#   3. races: tsan preset over the concurrency-sensitive suites —
+#      the sharded kernel (SPSC channels, window barrier, the fig. 4
+#      audit at 2/4 shards, the City testbed) plus the scheduler,
+#      event bridge and net/stream/channel stacks;
 #   4. standalone hcm_lint run for a readable summary;
 #   5. hcm_analyze: the five static-analysis passes (docs/CORRECTNESS.md
 #      §"Static analysis") must report zero unsuppressed findings;
@@ -24,18 +25,22 @@
 #      (archives BENCH_store_recovery.json), then `hcm_store fsck` +
 #      `stats` over the store it leaves behind — the on-disk formats
 #      must verify end to end with the standalone tool, not just
-#      through the library that wrote them.
+#      through the library that wrote them;
+#  11. shard-scaling sweep + the 1,000-island/100k-device smoke
+#      scenario, archiving BENCH_shard_scaling.json — the bench itself
+#      fails on a non-repeatable trace digest or a lookahead-contract
+#      violation (clamped delivery).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/10] tier-1: default preset (-Werror) ==="
+echo "=== [1/11] tier-1: default preset (-Werror) ==="
 cmake --preset default
 cmake --build --preset default -j "${JOBS}"
 ctest --preset default -j "${JOBS}"
 
-echo "=== [2/10] sanitizers: asan preset (ASan + UBSan) ==="
+echo "=== [2/11] sanitizers: asan preset (ASan + UBSan) ==="
 cmake --preset asan
 cmake --build --preset asan -j "${JOBS}"
 ctest --preset asan -j "${JOBS}" -R 'EventBridge'
@@ -44,26 +49,26 @@ ctest --preset asan -j "${JOBS}" -R 'EventBridge'
 ctest --preset asan -j "${JOBS}" -R 'StoreCrashRecovery'
 ctest --preset asan -j "${JOBS}"
 
-echo "=== [3/10] races: tsan preset (scheduler / event bridge / net) ==="
+echo "=== [3/11] races: tsan preset (scheduler / event bridge / net) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}" -R \
-  'SchedulerTest|DeterminismAuditTest|TraceRecorderTest|EventBridgeTest|EventBridgeUpnpTest|NetworkTest|StreamTest|Ieee1394Test|PowerlineTest|BinaryChannelTest'
+  'SchedulerTest|SpscQueueTest|WindowBarrierTest|ShardedKernelTest|ShardDeterminismTest|CityTest|DeterminismAuditTest|TraceRecorderTest|EventBridgeTest|EventBridgeUpnpTest|NetworkTest|StreamTest|Ieee1394Test|PowerlineTest|BinaryChannelTest'
 
-echo "=== [4/10] hcm_lint summary ==="
+echo "=== [4/11] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
 
-echo "=== [5/10] hcm_analyze: static-analysis gate (archives ANALYZE_report.json) ==="
+echo "=== [5/11] hcm_analyze: static-analysis gate (archives ANALYZE_report.json) ==="
 ./build/tools/hcm_analyze/hcm_analyze --root . --json ANALYZE_report.json
 
-echo "=== [6/10] event-bridge bench smoke run ==="
+echo "=== [6/11] event-bridge bench smoke run ==="
 ./build/bench/bench_ext_event_bridge --benchmark_min_time=0.01
 
-echo "=== [7/10] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
+echo "=== [7/11] VSR sync bench smoke run (archives BENCH_vsr_sync.json) ==="
 ./build/bench/bench_ext_vsr_sync --benchmark_min_time=0.01 \
   --json BENCH_vsr_sync.json
 
-echo "=== [8/10] obs overhead bench + trace-export smoke check ==="
+echo "=== [8/11] obs overhead bench + trace-export smoke check ==="
 ./build/bench/bench_ext_obs_overhead --benchmark_min_time=0.01 \
   --json BENCH_obs_overhead.json --trace obs_trace_smoke.json
 # The export must be a Chrome trace with complete ("ph":"X") events for
@@ -77,14 +82,14 @@ fi
 echo "trace smoke check OK (${events} complete events)"
 rm -f obs_trace_smoke.json
 
-echo "=== [9/10] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
+echo "=== [9/11] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
 cmake --preset perf
 cmake --build --preset perf -j "${JOBS}" --target bench_ext_wire_throughput
 ./build-perf/bench/bench_ext_wire_throughput --calls 300 \
   --benchmark_min_time=0.01 --json BENCH_wire_throughput.json
 grep -q '"calls_per_sec"' BENCH_wire_throughput.json
 
-echo "=== [10/10] durable store: recovery bench + hcm_store fsck/stats ==="
+echo "=== [10/11] durable store: recovery bench + hcm_store fsck/stats ==="
 store_smoke_dir="$(mktemp -d)/store"
 ./build/bench/bench_ext_store_recovery --benchmark_min_time=0.01 \
   --json BENCH_store_recovery.json --store-dir "${store_smoke_dir}"
@@ -92,5 +97,10 @@ grep -q '"compression_ratio"' BENCH_store_recovery.json
 ./build/tools/hcm_store/hcm_store fsck "${store_smoke_dir}"
 ./build/tools/hcm_store/hcm_store stats "${store_smoke_dir}"
 rm -rf "$(dirname "${store_smoke_dir}")"
+
+echo "=== [11/11] shard-scaling bench + 100k-device smoke (archives BENCH_shard_scaling.json) ==="
+./build/bench/bench_ext_shard_scaling --smoke --json BENCH_shard_scaling.json
+grep -q '"est_speedup"' BENCH_shard_scaling.json
+grep -q '"smoke_1000x100"' BENCH_shard_scaling.json
 
 echo "All checks passed."

@@ -1,5 +1,6 @@
 #include "common/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace hcm {
@@ -17,10 +18,11 @@ const char* to_string(LogLevel level) {
 }
 
 namespace {
-// Process-wide logging config: set once at startup before any worker
-// runs, never mutated mid-scenario.
-// hcm:allow(shard-mutable-global): startup-only logging config
-LogLevel g_level = LogLevel::kOff;
+// Process-wide logging config: the sink and context provider are set
+// once at startup before any worker runs, never mutated mid-scenario;
+// the level is atomic because shard workers consult it on every log
+// call and tests flip it around runs.
+std::atomic<LogLevel> g_level{LogLevel::kOff};
 // hcm:allow(shard-mutable-global): see g_level — startup-only config.
 LogSink g_sink;
 // hcm:allow(shard-mutable-global): see g_level — startup-only config.
@@ -33,8 +35,10 @@ void stderr_sink(LogLevel level, const std::string& component,
 }
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
-void Log::set_level(LogLevel level) { g_level = level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
+void Log::set_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 void Log::set_sink(LogSink sink) { g_sink = std::move(sink); }
 void Log::set_context_provider(LogContextProvider provider) {
   g_context = std::move(provider);

@@ -20,8 +20,9 @@ using LogSink = std::function<void(LogLevel, const std::string& component,
 // tracer; common/ stays free of an obs dependency.
 using LogContextProvider = std::function<std::string()>;
 
-// Process-wide log configuration (the simulator is single-threaded by
-// design, so no synchronization is needed).
+// Process-wide log configuration. The level is an atomic (shard
+// workers check it per call); sink and context provider are
+// startup-only installs.
 class Log {
  public:
   static LogLevel level();

@@ -196,22 +196,15 @@ std::shared_ptr<BinaryRpcClient::Conn> BinaryRpcClient::conn_for(
 void BinaryRpcClient::call(net::Endpoint dest, const std::string& service,
                            const std::string& method, const ValueList& args,
                            InvokeResultFn done) {
-  auto& reg = obs::Registry::global();
-  // hcm:allow(shard-static-local): once-bound registry handle.
-  static auto& calls = reg.counter("binary.client.calls");
-  // hcm:allow(shard-static-local): once-bound registry handle.
-  static auto& errors = reg.counter("binary.client.errors");
-  // hcm:allow(shard-static-local): once-bound registry handle.
-  static auto& latency = reg.histogram("binary.client.latency_us");
-  calls.inc();
+  calls_.inc();
   auto& tracer = obs::Tracer::global();
   auto& sched = net_.scheduler();
   const std::uint64_t span_id = tracer.begin_span(
       "binary.call:" + method, "binary.client", sched.now());
-  done = [done = std::move(done), &tracer, &sched, span_id,
+  done = [this, done = std::move(done), &tracer, &sched, span_id,
           start = sched.now()](Result<Value> r) {
-    latency.observe(sched.now() - start);
-    if (!r.is_ok()) errors.inc();
+    latency_.observe(sched.now() - start);
+    if (!r.is_ok()) errors_.inc();
     tracer.end_span(span_id, sched.now(), r.is_ok());
     done(std::move(r));
   };

@@ -70,6 +70,14 @@ class BinaryRpcClient {
   net::Network& net_;
   net::NodeId node_;
   std::map<net::Endpoint, std::shared_ptr<Conn>> conns_;
+  // Registry handles bound per instance (clients are per-island, so no
+  // shard ever reaches another island's client); the metrics are still
+  // the shared global names and the counters themselves are atomic.
+  obs::Counter& calls_ = obs::Registry::global().counter("binary.client.calls");
+  obs::Counter& errors_ =
+      obs::Registry::global().counter("binary.client.errors");
+  obs::Histogram& latency_ =
+      obs::Registry::global().histogram("binary.client.latency_us");
 };
 
 }  // namespace hcm::core

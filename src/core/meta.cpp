@@ -1,5 +1,6 @@
 #include "core/meta.hpp"
 
+#include "core/shard_channel.hpp"
 #include "soap/wsdl.hpp"
 
 namespace hcm::core {
@@ -42,7 +43,12 @@ void MetaMiddleware::refresh_all(DoneFn done) {
   // Two passes: refresh() itself is publish-then-import, so running a
   // second round guarantees each island sees services published by
   // islands that refreshed after it in the first round.
-  auto run_round = [this](DoneFn next) {
+  // Each island's PCM runs on the shard owning its gateway node; its
+  // refresh must be initiated there, and the per-island completions
+  // marshaled back to the caller's shard, where the shared round
+  // bookkeeping lives (single-writer, so no atomics needed).
+  const sim::ShardId origin = ShardChannel::current_shard(net_);
+  auto run_round = [this, origin](DoneFn next) {
     auto remaining = std::make_shared<std::size_t>(islands_.size());
     auto first_error = std::make_shared<Status>();
     if (*remaining == 0) {
@@ -51,11 +57,19 @@ void MetaMiddleware::refresh_all(DoneFn done) {
     }
     auto next_shared = std::make_shared<DoneFn>(std::move(next));
     for (auto& [name, island] : islands_) {
-      island.pcm->refresh([remaining, first_error,
-                           next_shared](const Status& s) {
-        if (!s.is_ok() && first_error->is_ok()) *first_error = s;
-        if (--*remaining == 0) (*next_shared)(*first_error);
-      });
+      ShardChannel::run_on_node(
+          net_, island.vsg->node(),
+          [this, origin, pcm = island.pcm.get(), remaining, first_error,
+           next_shared] {
+            pcm->refresh([this, origin, remaining, first_error,
+                          next_shared](const Status& s) {
+              ShardChannel::run_on_shard(
+                  net_, origin, [s, remaining, first_error, next_shared] {
+                    if (!s.is_ok() && first_error->is_ok()) *first_error = s;
+                    if (--*remaining == 0) (*next_shared)(*first_error);
+                  });
+            });
+          });
     }
   };
   // After both rounds, renew the observability publications so an
@@ -94,14 +108,20 @@ Status MetaMiddleware::enable_observability(const std::string& island_name) {
   auto uri = isl->vsg->expose(exp.service_name, iface, obs_service_->handler());
   if (!uri.is_ok()) return uri.status();
   exp.wsdl = soap::emit_wsdl(iface, exp.service_name, uri.value());
-  exp.vsr = std::make_unique<VsrClient>(net_, isl->vsg->node(), vsr_);
+  exp.node = isl->vsg->node();
+  exp.vsr = std::make_unique<VsrClient>(net_, exp.node, vsr_);
 
   VsrEntry entry;
   entry.name = exp.service_name;
   entry.category = iface.name;
   entry.origin = island_name;
   entry.wsdl = exp.wsdl;
-  exp.vsr->publish(entry, Pcm::kPublishTtl, [](const Status&) {});
+  // Initiate from the gateway's shard so the client's events live
+  // where its node does.
+  ShardChannel::run_on_node(
+      net_, exp.node, [vsr = exp.vsr.get(), entry = std::move(entry)] {
+        vsr->publish(entry, Pcm::kPublishTtl, [](const Status&) {});
+      });
   obs_exports_.emplace(island_name, std::move(exp));
   return Status::ok();
 }
@@ -112,6 +132,7 @@ void MetaMiddleware::republish_observability(DoneFn done) {
     done(Status::ok());
     return;
   }
+  const sim::ShardId origin = ShardChannel::current_shard(net_);
   auto first_error = std::make_shared<Status>();
   auto done_shared = std::make_shared<DoneFn>(std::move(done));
   for (auto& [island_name, exp] : obs_exports_) {
@@ -120,11 +141,25 @@ void MetaMiddleware::republish_observability(DoneFn done) {
     entry.category = "Observability";
     entry.origin = island_name;
     entry.wsdl = exp.wsdl;
-    exp.vsr->publish(entry, Pcm::kPublishTtl,
-                     [remaining, first_error, done_shared](const Status& s) {
-                       if (!s.is_ok() && first_error->is_ok()) *first_error = s;
-                       if (--*remaining == 0) (*done_shared)(*first_error);
-                     });
+    // Same shard discipline as refresh_all: publish from the gateway's
+    // shard, collect on the caller's.
+    ShardChannel::run_on_node(
+        net_, exp.node,
+        [this, origin, vsr = exp.vsr.get(), entry = std::move(entry),
+         remaining, first_error, done_shared] {
+          vsr->publish(entry, Pcm::kPublishTtl,
+                       [this, origin, remaining, first_error,
+                        done_shared](const Status& s) {
+                         ShardChannel::run_on_shard(
+                             net_, origin,
+                             [s, remaining, first_error, done_shared] {
+                               if (!s.is_ok() && first_error->is_ok())
+                                 *first_error = s;
+                               if (--*remaining == 0)
+                                 (*done_shared)(*first_error);
+                             });
+                       });
+        });
   }
 }
 

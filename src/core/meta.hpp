@@ -76,6 +76,7 @@ class MetaMiddleware {
   struct ObsExport {
     std::string service_name;  // "observability-<island>"
     std::string wsdl;
+    net::NodeId node = 0;  // the island gateway — the export's home shard
     std::unique_ptr<VsrClient> vsr;
   };
 

@@ -3,11 +3,103 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/check.hpp"
+
 namespace hcm::net {
 
+sim::Scheduler& Network::scheduler() {
+  if (kernel_ != nullptr) {
+    const auto* ctx = sim::ShardedKernel::current();
+    if (ctx != nullptr && ctx->kernel == kernel_) {
+      return kernel_->shard(ctx->shard);
+    }
+  }
+  return sched_;
+}
+
+void Network::set_kernel(sim::ShardedKernel* kernel) {
+  HCM_CHECK_MSG(kernel == nullptr || !kernel->running(),
+                "attach the kernel between runs");
+  kernel_ = kernel;
+}
+
+void Network::place_node(NodeId node_id, sim::ShardId shard) {
+  HCM_CHECK(node_id != kInvalidNode && node_id <= node_shard_.size());
+  HCM_CHECK(kernel_ == nullptr || shard < kernel_->shards());
+  node_shard_[node_id - 1] = shard;
+}
+
+sim::ShardId Network::shard_of(NodeId node_id) const {
+  if (node_id == kInvalidNode || node_id > node_shard_.size()) return 0;
+  return node_shard_[node_id - 1];
+}
+
+sim::Duration Network::min_cross_shard_latency() const {
+  if (kernel_ == nullptr) return 0;
+  sim::Duration best = 0;
+  for (const auto& seg : segments_) {
+    bool cross = false;
+    bool have = false;
+    sim::ShardId first = 0;
+    for (NodeId n : seg->nodes()) {
+      const sim::ShardId s = shard_of(n);
+      if (!have) {
+        first = s;
+        have = true;
+      } else if (s != first) {
+        cross = true;
+        break;
+      }
+    }
+    if (!cross) continue;
+    const sim::Duration t = seg->transit_time(0);
+    if (best == 0 || t < best) best = t;
+  }
+  return best;
+}
+
+void Network::deliver_at(NodeId dst, sim::SimTime when, sim::EventFn fn) {
+  if (kernel_ == nullptr) {
+    sched_.at(when, std::move(fn));
+    return;
+  }
+  const sim::ShardId dst_shard = shard_of(dst);
+  const auto* ctx = sim::ShardedKernel::current();
+  const bool bound = ctx != nullptr && ctx->kernel == kernel_;
+  if (bound && dst_shard == ctx->shard) {
+    kernel_->shard(dst_shard).at(when, std::move(fn));
+    return;
+  }
+  if (!kernel_->running()) {
+    // Coordinator side (setup or between-window scenario drive):
+    // single-threaded direct access to the destination slab.
+    sim::Scheduler& ss = kernel_->shard(dst_shard);
+    ss.at(std::max(when, ss.now()), std::move(fn));
+    return;
+  }
+  // Cross-shard from a worker mid-window: enqueue through the kernel,
+  // clamped to the conservative lookahead so the delivery always lands
+  // after the current window's barrier.
+  const sim::SimTime earliest =
+      kernel_->shard(ctx->shard).now() + kernel_->lookahead();
+  kernel_->post(dst_shard, std::max(when, earliest), std::move(fn));
+}
+
+void Network::deliver_to(NodeId dst, sim::Duration latency, sim::EventFn fn) {
+  deliver_at(dst, scheduler().now() + latency, std::move(fn));
+}
+
 Node& Network::add_node(const std::string& name) {
+  HCM_CHECK_MSG(kernel_ == nullptr || !kernel_->running(),
+                "topology is frozen while the kernel runs");
   auto id = static_cast<NodeId>(nodes_.size() + 1);
   nodes_.push_back(std::make_unique<Node>(*this, id, name));
+  sim::ShardId shard = 0;
+  if (kernel_ != nullptr) {
+    const auto* ctx = sim::ShardedKernel::current();
+    if (ctx != nullptr && ctx->kernel == kernel_) shard = ctx->shard;
+  }
+  node_shard_.push_back(shard);
   return *nodes_.back();
 }
 
@@ -32,12 +124,15 @@ EthernetSegment& Network::add_ethernet(const std::string& name,
 }
 
 Ieee1394Bus& Network::add_ieee1394(const std::string& name) {
-  segments_.push_back(std::make_unique<Ieee1394Bus>(name, sched_));
+  // scheduler(), not sched_: island media built under run_as(shard)
+  // keep their bus timers (isochronous cycles, arbitration) on the
+  // island's own shard.
+  segments_.push_back(std::make_unique<Ieee1394Bus>(name, scheduler()));
   return static_cast<Ieee1394Bus&>(*segments_.back());
 }
 
 PowerlineSegment& Network::add_powerline(const std::string& name) {
-  segments_.push_back(std::make_unique<PowerlineSegment>(name, sched_));
+  segments_.push_back(std::make_unique<PowerlineSegment>(name, scheduler()));
   return static_cast<PowerlineSegment&>(*segments_.back());
 }
 
@@ -116,11 +211,12 @@ void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
     datagrams_dropped_.inc();
     return;
   }
-  // Per-segment random loss.
+  // Per-segment random loss, sampled from the sending shard's RNG so
+  // each shard's stream stays deterministic.
   for (const Segment* seg : route.value().path) {
     if (seg->drop_probability() > 0.0) {
       std::uniform_real_distribution<double> dist(0.0, 1.0);
-      if (dist(sched_.rng()) < seg->drop_probability()) {
+      if (dist(scheduler().rng()) < seg->drop_probability()) {
         datagrams_dropped_.inc();
         return;
       }
@@ -128,7 +224,7 @@ void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
   }
   account_path(route.value(), data.size());
   auto latency = path_latency(route.value(), data.size());
-  sched_.after(latency, [this, from, to, data = std::move(data)] {
+  deliver_to(to.node, latency, [this, from, to, data = std::move(data)] {
     Node* dst = node(to.node);
     if (dst == nullptr || !dst->is_up()) {
       datagrams_dropped_.inc();
@@ -144,16 +240,21 @@ void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
 }
 
 void Network::join_group(NodeId node_id, GroupId group) {
+  std::lock_guard<std::mutex> lk(groups_mu_);
   groups_[group].insert(node_id);
 }
 
 void Network::leave_group(NodeId node_id, GroupId group) {
+  std::lock_guard<std::mutex> lk(groups_mu_);
   auto it = groups_.find(group);
   if (it != groups_.end()) it->second.erase(node_id);
 }
 
 void Network::send_multicast(Endpoint from, GroupId group, std::uint16_t port,
                              Bytes data) {
+  // Membership reads under the lock: discovery on one island may join
+  // while another island's shard multicasts on its own LAN.
+  std::lock_guard<std::mutex> lk(groups_mu_);
   auto git = groups_.find(group);
   if (git == groups_.end()) return;
   auto ait = attachments_.find(from.node);
@@ -168,7 +269,7 @@ void Network::send_multicast(Endpoint from, GroupId group, std::uint16_t port,
   std::set<NodeId> delivered;
   if (git->second.count(from.node) != 0) {
     delivered.insert(from.node);
-    sched_.after(sim::microseconds(10), [this, from, port, data] {
+    scheduler().after(sim::microseconds(10), [this, from, port, data] {
       Node* self = node(from.node);
       if (self == nullptr || !self->is_up()) return;
       const DatagramHandler* handler = self->datagram_handler(port);
@@ -182,7 +283,7 @@ void Network::send_multicast(Endpoint from, GroupId group, std::uint16_t port,
       if (!delivered.insert(member).second) continue;
       seg->account(data.size());
       auto latency = seg->transit_time(data.size());
-      sched_.after(latency, [this, from, member, port, data] {
+      deliver_to(member, latency, [this, from, member, port, data] {
         Node* dst = node(member);
         if (dst == nullptr || !dst->is_up()) return;
         const DatagramHandler* handler = dst->datagram_handler(port);
@@ -196,30 +297,63 @@ void Network::connect(NodeId from, Endpoint to, ConnectCallback cb) {
   stream_connects_.inc();
   Node* src = node(from);
   if (src == nullptr) {
-    sched_.after(0, [cb] { cb(not_found("no such source node")); });
+    scheduler().after(0, [cb] { cb(not_found("no such source node")); });
     return;
   }
   auto route = find_route(from, to.node);
   if (!route.is_ok()) {
     auto status = route.status();
-    sched_.after(sim::milliseconds(1),
-                 [cb, status] { cb(status); });
+    scheduler().after(sim::milliseconds(1),
+                      [cb, status] { cb(status); });
     return;
   }
   const auto rtt = 2 * path_latency(route.value(), 40);
   const auto handshake = rtt + rtt / 2;  // SYN, SYN-ACK, ACK
   Endpoint local{from, src->next_ephemeral_port()};
 
-  sched_.after(handshake, [this, local, to, cb] {
+  if (!cross_shard(from, to.node)) {
+    // Same shard (or unsharded): keep the legacy single handshake
+    // event so 1-shard traces stay byte-identical.
+    scheduler().after(handshake, [this, local, to, cb] {
+      Node* dst = node(to.node);
+      Node* src2 = node(local.node);
+      if (dst == nullptr || !dst->is_up() || src2 == nullptr ||
+          !src2->is_up()) {
+        cb(unavailable("peer unreachable during handshake"));
+        return;
+      }
+      const AcceptHandler* acceptor = dst->listener(to.port);
+      if (acceptor == nullptr || !*acceptor) {
+        cb(unavailable("connection refused: " + to.to_string()));
+        return;
+      }
+      auto client = std::make_shared<Stream>(*this, local, to);
+      auto server = std::make_shared<Stream>(*this, to, local);
+      client->peer_ = server;
+      server->peer_ = client;
+      (*acceptor)(server);
+      cb(client);
+    });
+    return;
+  }
+
+  // Cross-shard handshake splits by side: the accept fires on the
+  // destination shard at 1 RTT (SYN arrived, SYN-ACK in flight), the
+  // connect callback on the source shard at the legacy 1.5 RTT mark.
+  deliver_to(to.node, rtt, [this, local, to, cb, rtt] {
     Node* dst = node(to.node);
     Node* src2 = node(local.node);
-    if (dst == nullptr || !dst->is_up() || src2 == nullptr || !src2->is_up()) {
-      cb(unavailable("peer unreachable during handshake"));
+    if (dst == nullptr || !dst->is_up() || src2 == nullptr ||
+        !src2->is_up()) {
+      deliver_to(local.node, rtt / 2, [cb] {
+        cb(unavailable("peer unreachable during handshake"));
+      });
       return;
     }
     const AcceptHandler* acceptor = dst->listener(to.port);
     if (acceptor == nullptr || !*acceptor) {
-      cb(unavailable("connection refused: " + to.to_string()));
+      const std::string msg = "connection refused: " + to.to_string();
+      deliver_to(local.node, rtt / 2, [cb, msg] { cb(unavailable(msg)); });
       return;
     }
     auto client = std::make_shared<Stream>(*this, local, to);
@@ -227,7 +361,7 @@ void Network::connect(NodeId from, Endpoint to, ConnectCallback cb) {
     client->peer_ = server;
     server->peer_ = client;
     (*acceptor)(server);
-    cb(client);
+    deliver_to(local.node, rtt / 2, [cb, client] { cb(client); });
   });
 }
 

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -19,6 +20,7 @@
 #include "net/stream.hpp"
 #include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/sharded_kernel.hpp"
 
 namespace hcm::net {
 
@@ -39,7 +41,30 @@ class Network {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
+  // The calling context's scheduler: with a sharded kernel attached
+  // and the calling thread bound to a shard (worker loop or
+  // ShardedKernel::run_as), that shard's slab; otherwise the legacy
+  // scheduler the Network was constructed with. Objects that capture
+  // it at construction therefore live on the shard they were built
+  // under (docs/SHARDING.md).
+  [[nodiscard]] sim::Scheduler& scheduler();
+
+  // --- Sharding ---------------------------------------------------------
+  // Attach before building topology (nodes created earlier land on
+  // shard 0). In kernel mode, construct the Network with
+  // kernel.shard(0) so the legacy scheduler and shard 0 coincide.
+  void set_kernel(sim::ShardedKernel* kernel);
+  [[nodiscard]] sim::ShardedKernel* kernel() const { return kernel_; }
+  // Nodes are placed on the shard bound at add_node time; place_node
+  // overrides (setup only, before the first run).
+  void place_node(NodeId node, sim::ShardId shard);
+  [[nodiscard]] sim::ShardId shard_of(NodeId node) const;
+  [[nodiscard]] bool cross_shard(NodeId a, NodeId b) const {
+    return kernel_ != nullptr && shard_of(a) != shard_of(b);
+  }
+  // Minimum transit time over segments spanning more than one shard —
+  // the natural conservative-window lookahead. 0 when nothing crosses.
+  [[nodiscard]] sim::Duration min_cross_shard_latency() const;
 
   // --- Topology -------------------------------------------------------
   Node& add_node(const std::string& name);
@@ -101,10 +126,21 @@ class Network {
   [[nodiscard]] sim::Duration path_latency(const Route& r, std::size_t bytes);
   void account_path(const Route& r, std::size_t bytes);
 
+  // Shard-aware delivery: schedule fn on the shard owning dst. Legacy
+  // path (no kernel / same shard) schedules on the caller's scheduler,
+  // preserving byte-identical 1-shard traces; cross-shard deliveries
+  // from a running worker go through the kernel's SPSC channels and
+  // are never earlier than one lookahead out (conservative contract).
+  void deliver_at(NodeId dst, sim::SimTime when, sim::EventFn fn);
+  void deliver_to(NodeId dst, sim::Duration latency, sim::EventFn fn);
+
   sim::Scheduler& sched_;
+  sim::ShardedKernel* kernel_ = nullptr;
+  std::vector<sim::ShardId> node_shard_;  // index = id - 1
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
   std::vector<std::unique_ptr<Segment>> segments_;
   std::map<NodeId, std::vector<Segment*>> attachments_;
+  std::mutex groups_mu_;  // join/leave vs. multicast on other shards
   std::map<GroupId, std::set<NodeId>> groups_;
   std::string obs_scope_;
   obs::Counter& datagrams_sent_;

@@ -1,6 +1,7 @@
 // A simulated host: an appliance, PC, gateway, or embedded controller.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -31,9 +32,12 @@ class Node {
   [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] Network& network() { return net_; }
 
-  // Failure injection: a down node neither sends nor receives.
-  [[nodiscard]] bool is_up() const { return up_; }
-  void set_up(bool up) { up_ = up; }
+  // Failure injection: a down node neither sends nor receives. Atomic:
+  // routing on any shard reads it, fault injection writes it.
+  [[nodiscard]] bool is_up() const {
+    return up_.load(std::memory_order_relaxed);
+  }
+  void set_up(bool up) { up_.store(up, std::memory_order_relaxed); }
 
   // --- Datagram ports ------------------------------------------------
   Status bind(std::uint16_t port, DatagramHandler handler);
@@ -52,7 +56,10 @@ class Node {
   Network& net_;
   NodeId id_;
   std::string name_;
-  bool up_ = true;
+  std::atomic<bool> up_{true};
+  // Owner-shard state: handlers, listeners and ephemeral ports are only
+  // touched by code running on this node's shard (deliveries arrive
+  // there via Network's shard-aware channels), so they need no locks.
   std::map<std::uint16_t, DatagramHandler> datagram_handlers_;
   std::map<std::uint16_t, AcceptHandler> listeners_;
   std::uint16_t next_ephemeral_ = 49152;

@@ -3,6 +3,7 @@
 // Ieee1394Bus and PowerlineSegment live in their own headers.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -30,33 +31,47 @@ class Segment {
   // Time for `bytes` to cross this segment, including media access.
   [[nodiscard]] virtual sim::Duration transit_time(std::size_t bytes) const = 0;
 
-  // Failure injection ------------------------------------------------
-  [[nodiscard]] bool is_up() const { return up_; }
-  void set_up(bool up) { up_ = up; }
-  [[nodiscard]] double drop_probability() const { return drop_probability_; }
-  void set_drop_probability(double p) { drop_probability_ = p; }
+  // Failure injection. Atomic flags: a backbone segment is consulted
+  // by routing/accounting on every shard that touches it, while fault
+  // injection flips state from scenario code (docs/SHARDING.md).
+  [[nodiscard]] bool is_up() const {
+    return up_.load(std::memory_order_relaxed);
+  }
+  void set_up(bool up) { up_.store(up, std::memory_order_relaxed); }
+  [[nodiscard]] double drop_probability() const {
+    return drop_probability_.load(std::memory_order_relaxed);
+  }
+  void set_drop_probability(double p) {
+    drop_probability_.store(p, std::memory_order_relaxed);
+  }
 
-  // Membership (managed by Network) -----------------------------------
+  // Membership (managed by Network; topology is frozen before a
+  // sharded run, so reads need no lock) --------------------------------
   void attach(NodeId node) { nodes_.push_back(node); }
   [[nodiscard]] const std::vector<NodeId>& nodes() const { return nodes_; }
   [[nodiscard]] bool has_node(NodeId node) const;
 
-  // Traffic accounting (read by the wire-overhead benches).
+  // Traffic accounting (read by the wire-overhead benches). Relaxed
+  // atomics: cross-island traffic accounts from multiple shards.
   void account(std::size_t bytes) {
-    bytes_carried_ += bytes;
-    ++frames_carried_;
+    bytes_carried_.fetch_add(bytes, std::memory_order_relaxed);
+    frames_carried_.fetch_add(1, std::memory_order_relaxed);
   }
-  [[nodiscard]] std::uint64_t bytes_carried() const { return bytes_carried_; }
-  [[nodiscard]] std::uint64_t frames_carried() const { return frames_carried_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const {
+    return bytes_carried_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t frames_carried() const {
+    return frames_carried_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string name_;
   SegmentKind kind_;
   std::vector<NodeId> nodes_;
-  bool up_ = true;
-  double drop_probability_ = 0.0;
-  std::uint64_t bytes_carried_ = 0;
-  std::uint64_t frames_carried_ = 0;
+  std::atomic<bool> up_{true};
+  std::atomic<double> drop_probability_{0.0};
+  std::atomic<std::uint64_t> bytes_carried_{0};
+  std::atomic<std::uint64_t> frames_carried_{0};
 };
 
 // Switched Ethernet / Internet hop: latency + serialization delay.

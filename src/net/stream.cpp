@@ -9,14 +9,22 @@ void Stream::send(Bytes data) {
   bytes_sent_ += data.size();
   auto route = net_.find_route(local_.node, remote_.node);
   auto peer = peer_.lock();
-  auto& sched = net_.sched_;
+  auto& sched = net_.scheduler();
   if (!route.is_ok() || !peer) {
-    // Route failed mid-connection: reset both ends.
+    // Route failed mid-connection: reset both ends. When the peer
+    // lives on another shard its reset must travel through the
+    // shard-aware channel; same-shard keeps the legacy single event.
     auto self = shared_from_this();
-    sched.after(sim::milliseconds(1), [self, peer] {
-      self->peer_closed();
-      if (peer) peer->peer_closed();
-    });
+    if (peer && net_.cross_shard(local_.node, remote_.node)) {
+      sched.after(sim::milliseconds(1), [self] { self->peer_closed(); });
+      net_.deliver_to(remote_.node, sim::milliseconds(1),
+                      [peer] { peer->peer_closed(); });
+    } else {
+      sched.after(sim::milliseconds(1), [self, peer] {
+        self->peer_closed();
+        if (peer) peer->peer_closed();
+      });
+    }
     return;
   }
   net_.account_path(route.value(), data.size());
@@ -25,7 +33,7 @@ void Stream::send(Bytes data) {
   auto arrival = sched.now() + latency;
   if (arrival <= clear_time_) arrival = clear_time_ + 1;
   clear_time_ = arrival;
-  sched.at(arrival, [peer, data = std::move(data)] {
+  net_.deliver_at(remote_.node, arrival, [peer, data = std::move(data)] {
     if (peer) peer->deliver(data);
   });
 }
@@ -44,7 +52,7 @@ void Stream::close() {
   // tick.
   auto graveyard = std::make_shared<std::pair<DataHandler, CloseHandler>>(
       std::move(on_data_), std::move(on_close_));
-  net_.sched_.after(0, [graveyard] {});
+  net_.scheduler().after(0, [graveyard] {});
   on_data_ = nullptr;
   on_close_ = nullptr;
   pending_.clear();
@@ -53,10 +61,10 @@ void Stream::close() {
   auto latency =
       net_.route_latency(local_.node, remote_.node, 40).value_or(
           sim::milliseconds(1));
-  auto arrival = net_.sched_.now() + latency;
+  auto arrival = net_.scheduler().now() + latency;
   if (arrival <= clear_time_) arrival = clear_time_ + 1;
   clear_time_ = arrival;
-  net_.sched_.at(arrival, [peer] { peer->peer_closed(); });
+  net_.deliver_at(remote_.node, arrival, [peer] { peer->peer_closed(); });
 }
 
 void Stream::set_on_data(DataHandler handler) {
@@ -99,7 +107,7 @@ void Stream::peer_closed() {
   auto handler = std::move(on_close_);
   on_close_ = nullptr;
   auto graveyard = std::make_shared<DataHandler>(std::move(on_data_));
-  net_.sched_.after(0, [graveyard] {});
+  net_.scheduler().after(0, [graveyard] {});
   on_data_ = nullptr;
   pending_.clear();
   if (handler) {

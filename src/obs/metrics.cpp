@@ -1,7 +1,6 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <sstream>
 
 namespace hcm::obs {
@@ -20,41 +19,44 @@ void Histogram::observe(std::int64_t v) {
   (void)v;
 #else
   if (!enabled()) return;
-  if (count_ == 0) {
-    min_ = v;
-    max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
-  ++count_;
-  sum_ += v;
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
   std::size_t i = 0;
   while (i < kBounds.size() && v > kBounds[i]) ++i;
-  ++buckets_[i];
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
 #endif
 }
 
 std::int64_t Histogram::percentile(double p) const {
-  if (count_ == 0) return 0;
-  const double rank = p / 100.0 * static_cast<double>(count_);
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  const double rank = p / 100.0 * static_cast<double>(n);
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    seen += buckets_[i];
-    if (static_cast<double>(seen) >= rank && buckets_[i] > 0) {
+    const std::uint64_t b = buckets_[i].load(std::memory_order_relaxed);
+    seen += b;
+    if (static_cast<double>(seen) >= rank && b > 0) {
       // Bucket upper bound, clamped to the observed extremes so small
       // samples don't report a bound no value ever reached.
-      std::int64_t bound = i < kBounds.size() ? kBounds[i] : max_;
-      return std::clamp(bound, min_, max_);
+      std::int64_t bound = i < kBounds.size() ? kBounds[i] : max();
+      return std::clamp(bound, min(), max());
     }
   }
-  return max_;
+  return max();
 }
 
 Value Histogram::snapshot() const {
   return Value(ValueMap{
-      {"count", Value(static_cast<std::int64_t>(count_))},
-      {"sum", Value(sum_)},
+      {"count", Value(static_cast<std::int64_t>(count()))},
+      {"sum", Value(sum())},
       {"min", Value(min())},
       {"max", Value(max())},
       {"p50", Value(percentile(50))},
@@ -64,58 +66,71 @@ Value Histogram::snapshot() const {
 }
 
 void Histogram::reset() {
-  buckets_.fill(0);
-  count_ = 0;
-  sum_ = 0;
-  min_ = 0;
-  max_ = 0;
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(kMinInit, std::memory_order_relaxed);
+  max_.store(kMaxInit, std::memory_order_relaxed);
 }
 
 Registry& Registry::global() {
   // Process-wide metrics root; shard workers get private scopes via
-  // unique_scope() rather than per-shard copies.
+  // unique_scope() rather than per-shard copies. Magic-static init is
+  // thread-safe and the instance guards itself internally.
   // hcm:allow(shard-static-local): process-wide metrics root
   static Registry g;
   return g;
 }
 
 Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
 }
 
 const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = gauges_.find(name);
   return it == gauges_.end() ? nullptr : it->second.get();
 }
 
 const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
   auto it = histograms_.find(name);
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
 std::string Registry::unique_scope(const std::string& base) {
+  std::lock_guard<std::mutex> lk(mu_);
   auto n = ++scopes_[base];
   if (n == 1) return base;
   return base + "#" + std::to_string(n);
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 namespace {
@@ -125,6 +140,7 @@ bool has_prefix(const std::string& s, const std::string& prefix) {
 }  // namespace
 
 Value Registry::to_value(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
   ValueMap out;
   for (const auto& [name, c] : counters_) {
     if (!has_prefix(name, prefix)) continue;
@@ -142,6 +158,7 @@ Value Registry::to_value(const std::string& prefix) const {
 }
 
 std::string Registry::to_text(const std::string& prefix) const {
+  std::lock_guard<std::mutex> lk(mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     if (!has_prefix(name, prefix)) continue;
@@ -162,6 +179,7 @@ std::string Registry::to_text(const std::string& prefix) const {
 }
 
 void Registry::reset_values() {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto& [name, c] : counters_) c->reset();
   for (auto& [name, g] : gauges_) g->reset();
   for (auto& [name, h] : histograms_) h->reset();

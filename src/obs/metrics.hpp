@@ -6,17 +6,25 @@
 // unchanged while the whole surface becomes introspectable through one
 // snapshot (obs::ObservabilityService serves it across islands).
 //
-// The simulator is single-threaded by design, so no synchronization is
-// needed. Metric values can be disabled at runtime (set_enabled) for
-// overhead measurement, and the HCM_OBS_COMPILED_OUT compile definition
-// turns every mutation into a no-op for a truly uninstrumented build
-// (such a build still links — reads just return zero).
+// Under the sharded kernel (docs/SHARDING.md) instrumented sites run on
+// worker shards concurrently, so every metric mutation is a relaxed
+// atomic and the registry maps are mutex-guarded (PCM imports create
+// per-op metrics at runtime while another island may be serving an
+// introspection snapshot). Relaxed ordering is deliberate: values are
+// monotone telemetry, and cross-metric snapshots were never atomic even
+// single-threaded. Metric values can be disabled at runtime
+// (set_enabled) for overhead measurement, and the HCM_OBS_COMPILED_OUT
+// compile definition turns every mutation into a no-op for a truly
+// uninstrumented build (such a build still links — reads just return
+// zero).
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/value.hpp"
@@ -33,40 +41,52 @@ class Counter {
  public:
   void inc(std::uint64_t d = 1) {
 #ifndef HCM_OBS_COMPILED_OUT
-    if (enabled()) v_ += d;
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
 #endif
   }
-  [[nodiscard]] std::uint64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t v_ = 0;
+  std::atomic<std::uint64_t> v_{0};
 };
 
 class Gauge {
  public:
   void set(std::int64_t v) {
 #ifndef HCM_OBS_COMPILED_OUT
-    if (enabled()) v_ = v;
+    if (enabled()) v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
 #endif
   }
   void add(std::int64_t d) {
 #ifndef HCM_OBS_COMPILED_OUT
-    if (enabled()) v_ += d;
+    if (enabled()) v_.fetch_add(d, std::memory_order_relaxed);
+#else
+    (void)d;
 #endif
   }
-  [[nodiscard]] std::int64_t value() const { return v_; }
-  void reset() { v_ = 0; }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::int64_t v_ = 0;
+  std::atomic<std::int64_t> v_{0};
 };
 
 // Fixed-bucket histogram for virtual-time latencies in microseconds.
 // Buckets follow a 1-2.5-5 decade ladder from 1 us to 10 s; percentile
 // queries return the upper bound of the bucket holding the requested
 // rank (clamped to the exact observed max), which is the usual
-// fixed-bucket approximation.
+// fixed-bucket approximation. Mutation is lock-free (relaxed adds plus
+// CAS min/max); a snapshot taken mid-observation may therefore be off
+// by the in-flight sample across fields, which telemetry tolerates.
 class Histogram {
  public:
   static constexpr std::array<std::int64_t, 22> kBounds = {
@@ -75,10 +95,18 @@ class Histogram {
       250000, 500000, 1000000, 2500000, 5000000, 10000000};
 
   void observe(std::int64_t v);
-  [[nodiscard]] std::uint64_t count() const { return count_; }
-  [[nodiscard]] std::int64_t sum() const { return sum_; }
-  [[nodiscard]] std::int64_t min() const { return count_ == 0 ? 0 : min_; }
-  [[nodiscard]] std::int64_t max() const { return count_ == 0 ? 0 : max_; }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t min() const {
+    return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t max() const {
+    return count() == 0 ? 0 : max_.load(std::memory_order_relaxed);
+  }
   // p in [0, 100]; p50/p95/p99 are the snapshot trio.
   [[nodiscard]] std::int64_t percentile(double p) const;
   // {count, sum, min, max, p50, p95, p99} as a ValueMap.
@@ -86,17 +114,20 @@ class Histogram {
   void reset();
 
  private:
-  std::array<std::uint64_t, kBounds.size() + 1> buckets_{};
-  std::uint64_t count_ = 0;
-  std::int64_t sum_ = 0;
-  std::int64_t min_ = 0;
-  std::int64_t max_ = 0;
+  static constexpr std::int64_t kMinInit = INT64_MAX;
+  static constexpr std::int64_t kMaxInit = INT64_MIN;
+  std::array<std::atomic<std::uint64_t>, kBounds.size() + 1> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  std::atomic<std::int64_t> min_{kMinInit};
+  std::atomic<std::int64_t> max_{kMaxInit};
 };
 
 // Named-metric registry. Metrics are created on first use and live for
 // the process (instances hold plain references); the same name always
 // resolves to the same object. Counters, gauges and histograms occupy
-// separate namespaces.
+// separate namespaces. Map access is mutex-guarded; the returned
+// references stay valid and lock-free to use.
 class Registry {
  public:
   Registry() = default;
@@ -120,9 +151,7 @@ class Registry {
   // homes per process) never alias each other's counters.
   std::string unique_scope(const std::string& base);
 
-  [[nodiscard]] std::size_t size() const {
-    return counters_.size() + gauges_.size() + histograms_.size();
-  }
+  [[nodiscard]] std::size_t size() const;
 
   // Snapshot of every metric whose name starts with `prefix` as a
   // ValueMap: counters/gauges map to ints, histograms to their
@@ -135,6 +164,7 @@ class Registry {
   void reset_values();
 
  private:
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

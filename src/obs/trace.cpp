@@ -47,13 +47,21 @@ Tracer& Tracer::global() {
   return g;
 }
 
+TraceContext& Tracer::tls_current() {
+  // Per-thread dispatch context: each shard worker's Scope chain is
+  // private to it, matching the synchronous-segment semantics.
+  // hcm:allow(shard-static-local): thread_local — per-shard by definition
+  static thread_local TraceContext ctx;
+  return ctx;
+}
+
 void Tracer::set_enabled(bool on) {
-  enabled_ = on;
+  enabled_.store(on, std::memory_order_relaxed);
   if (on) {
-    Log::set_context_provider([this]() -> std::string {
-      if (!current_.valid()) return "";
-      return "trace=" + hex(current_.trace_id) +
-             " span=" + hex(current_.span_id);
+    Log::set_context_provider([]() -> std::string {
+      const TraceContext& cur = tls_current();
+      if (!cur.valid()) return "";
+      return "trace=" + hex(cur.trace_id) + " span=" + hex(cur.span_id);
     });
   } else {
     Log::set_context_provider(nullptr);
@@ -63,12 +71,14 @@ void Tracer::set_enabled(bool on) {
 std::uint64_t Tracer::begin_span(const std::string& name,
                                  const std::string& component,
                                  sim::SimTime now) {
-  if (!enabled_) return 0;
+  if (!enabled()) return 0;
+  const TraceContext& cur = tls_current();
   Span s;
+  std::lock_guard<std::mutex> lk(mu_);
   s.span_id = next_id_++;
-  if (current_.valid()) {
-    s.trace_id = current_.trace_id;
-    s.parent_span_id = current_.span_id;
+  if (cur.valid()) {
+    s.trace_id = cur.trace_id;
+    s.parent_span_id = cur.span_id;
   } else {
     s.trace_id = next_id_++;
   }
@@ -82,6 +92,7 @@ std::uint64_t Tracer::begin_span(const std::string& name,
 
 void Tracer::end_span(std::uint64_t span_id, sim::SimTime now, bool ok) {
   if (span_id == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
   // Spans close in roughly LIFO order, so scan from the back.
   for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
     if (it->span_id == span_id) {
@@ -95,6 +106,7 @@ void Tracer::end_span(std::uint64_t span_id, sim::SimTime now, bool ok) {
 }
 
 TraceContext Tracer::context_of(std::uint64_t span_id) const {
+  std::lock_guard<std::mutex> lk(mu_);
   for (auto it = spans_.rbegin(); it != spans_.rend(); ++it) {
     if (it->span_id == span_id) {
       return TraceContext{it->trace_id, it->span_id, it->parent_span_id};
@@ -103,10 +115,16 @@ TraceContext Tracer::context_of(std::uint64_t span_id) const {
   return {};
 }
 
+std::size_t Tracer::span_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return spans_.size();
+}
+
 void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(mu_);
   spans_.clear();
   next_id_ = 1;
-  current_ = {};
+  tls_current() = {};
 }
 
 std::string Tracer::export_chrome(std::uint64_t trace_id) const {

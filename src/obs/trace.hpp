@@ -11,9 +11,20 @@
 // other's exports. It is deterministic whenever the run is — ids come
 // from the counter and timestamps from virtual time, never from the
 // wall clock.
+//
+// Shard safety (docs/SHARDING.md): the current-context slot is
+// thread-local — each shard worker carries its own dispatch context,
+// which is exactly the "synchronous dispatch segment" the Scope RAII
+// models — while the span table and id counter are mutex-guarded so
+// instrumented wire paths on different shards can record concurrently.
+// Span-id allocation order across shards is scheduling-dependent, so
+// leave tracing off during runs that are audited for bit-identical
+// traces at >1 shard (the hot-path check is one relaxed atomic load).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -50,7 +61,9 @@ class Tracer {
 
   static Tracer& global();
 
-  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
   // Enabling also installs the logging context provider so log lines
   // carry "trace=<hex> span=<hex>" while a context is in scope.
   void set_enabled(bool on);
@@ -61,30 +74,32 @@ class Tracer {
                            const std::string& component, sim::SimTime now);
   void end_span(std::uint64_t span_id, sim::SimTime now, bool ok = true);
 
-  [[nodiscard]] const TraceContext& current() const { return current_; }
+  [[nodiscard]] const TraceContext& current() const { return tls_current(); }
   // Context a wire hop should carry for the given span (its child
   // frame): {trace, span} of that span. Zero context if unknown.
   [[nodiscard]] TraceContext context_of(std::uint64_t span_id) const;
 
   // RAII current-context swap for the duration of a synchronous
-  // dispatch segment.
+  // dispatch segment. The slot is thread-local, so nested Scopes on
+  // different shard workers never interleave.
   class Scope {
    public:
-    Scope(Tracer& tracer, const TraceContext& ctx)
-        : tracer_(tracer), saved_(tracer.current_) {
-      tracer_.current_ = ctx;
+    Scope(Tracer& tracer, const TraceContext& ctx) : saved_(tls_current()) {
+      (void)tracer;
+      tls_current() = ctx;
     }
-    ~Scope() { tracer_.current_ = saved_; }
+    ~Scope() { tls_current() = saved_; }
     Scope(const Scope&) = delete;
     Scope& operator=(const Scope&) = delete;
 
    private:
-    Tracer& tracer_;
     TraceContext saved_;
   };
 
+  // Snapshot/readout APIs: call from a quiesced state (between kernel
+  // windows or after a run) — the reference stays owned by the tracer.
   [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
-  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  [[nodiscard]] std::size_t span_count() const;
   // Drops recorded spans and resets id allocation + current context.
   void clear();
 
@@ -96,9 +111,12 @@ class Tracer {
                                   std::uint64_t trace_id = 0) const;
 
  private:
-  bool enabled_ = false;
+  // The calling thread's (shard's) in-flight dispatch context.
+  [[nodiscard]] static TraceContext& tls_current();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards next_id_ + spans_
   std::uint64_t next_id_ = 1;
-  TraceContext current_;
   std::vector<Span> spans_;
 };
 

@@ -95,4 +95,18 @@ std::size_t Scheduler::run_until(SimTime t) {
 
 bool Scheduler::step() { return fire_next(); }
 
+SimTime Scheduler::next_event_time() {
+  while (!queue_.empty()) {
+    const Entry e = queue_.top();
+    if (slots_[e.slot].gen != e.gen) {
+      queue_.pop();
+      HCM_DCHECK(cancelled_ > 0);
+      --cancelled_;
+      continue;
+    }
+    return e.time;
+  }
+  return kNoEventTime;
+}
+
 }  // namespace hcm::sim

@@ -24,6 +24,9 @@ constexpr Duration seconds(std::int64_t n) { return n * 1000 * 1000; }
 
 std::string format_time(SimTime t);  // "12.345678s"
 
+// Sentinel returned by Scheduler::next_event_time for an empty queue.
+constexpr SimTime kNoEventTime = INT64_MAX;
+
 using EventFn = std::function<void()>;
 using EventId = std::uint64_t;
 
@@ -55,6 +58,11 @@ class Scheduler {
 
   [[nodiscard]] bool empty() const { return queue_.size() == cancelled_; }
   [[nodiscard]] std::size_t pending() const { return queue_.size() - cancelled_; }
+
+  // Time of the earliest live event, or kNoEventTime when the queue is
+  // empty. Prunes cancelled tombstones off the heap top; the sharded
+  // kernel uses this to fast-forward idle windows to the next work.
+  [[nodiscard]] SimTime next_event_time();
 
   // Deterministic simulation RNG (seeded; never wall-clock seeded).
   std::mt19937_64& rng() { return rng_; }

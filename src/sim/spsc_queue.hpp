@@ -1,0 +1,71 @@
+// Single-producer/single-consumer ring used for cross-shard event
+// traffic in the sharded kernel. One queue exists per ordered shard
+// pair (src, dst): the src worker pushes during a window, the
+// coordinator pops at the window barrier, so at any instant at most
+// one thread is on each end. Lock-free with acquire/release head/tail
+// so pushes stay allocation-free and wait-free on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace hcm::sim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  // Capacity is rounded up to a power of two (index masking instead of
+  // modulo on the hot path).
+  explicit SpscQueue(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  // Producer side. Returns false when full (caller spills to its
+  // overflow lane — the producer must never block against a consumer
+  // that only drains at barriers).
+  bool push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.
+  std::optional<T> pop() {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return std::nullopt;
+    std::optional<T> out(std::move(slots_[head & mask_]));
+    head_.store(head + 1, std::memory_order_release);
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return tail_.load(std::memory_order_acquire) ==
+           head_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  // Approximate when both ends are live; exact at a barrier.
+  [[nodiscard]] std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer cursor
+};
+
+}  // namespace hcm::sim

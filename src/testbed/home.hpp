@@ -21,6 +21,7 @@
 #include "jini/proxy.hpp"
 #include "jini/registrar.hpp"
 #include "mail/mail.hpp"
+#include "sim/sharded_kernel.hpp"
 #include "x10/cm11a.hpp"
 #include "x10/device.hpp"
 
@@ -69,21 +70,44 @@ struct SmartHomeOptions {
   // a SmartHome constructed over the same directory resumes the
   // registry's previous epoch/sequence. See docs/PERSISTENCE.md.
   std::string store_dir;
+  // Worker shards for the kernel-owning constructor. 1 keeps today's
+  // single-threaded behavior (byte-identical traces); islands are
+  // spread across shards (i+1) % shards with the backbone + VSR on
+  // shard 0, so the 5 ms backbone latency is the lookahead.
+  sim::ShardId shards = 1;
 };
 
 class SmartHome {
  public:
   explicit SmartHome(sim::Scheduler& sched)
       : SmartHome(sched, SmartHomeOptions{}) {}
+  // Legacy single-scheduler home (options.shards ignored; no kernel).
   SmartHome(sim::Scheduler& sched, const SmartHomeOptions& options);
+  // Home that owns a sharded kernel with options.shards shards.
+  explicit SmartHome(const SmartHomeOptions& options);
+  // Home over a caller-owned kernel (must be freshly constructed).
+  SmartHome(sim::ShardedKernel& kernel, const SmartHomeOptions& options = {});
   SmartHome(const SmartHome&) = delete;
   SmartHome& operator=(const SmartHome&) = delete;
 
-  // Runs meta.refresh_all and drains the scheduler; returns its status.
+  // Runs meta.refresh_all and drains the scheduler/kernel; returns its
+  // status.
   Status refresh();
 
+  // Shard hosting an island's gateway ("jini-island" etc.); 0 when not
+  // sharded.
+  [[nodiscard]] sim::ShardId island_shard(const std::string& name) const {
+    auto it = island_shards.find(name);
+    return it == island_shards.end() ? 0 : it->second;
+  }
+
+  // Declared before sched/net: both bind to shard 0 of the owned
+  // kernel when one exists.
+  std::unique_ptr<sim::ShardedKernel> owned_kernel;
+  sim::ShardedKernel* kernel = nullptr;  // null in pure legacy mode
   sim::Scheduler& sched;
   net::Network net;
+  std::map<std::string, sim::ShardId> island_shards;
 
   // --- backbone + VSR ---------------------------------------------------
   net::EthernetSegment* backbone = nullptr;
@@ -138,6 +162,23 @@ class SmartHome {
   core::HaviAdapter* havi_adapter = nullptr;
   core::X10Adapter* x10_adapter = nullptr;
   core::MailAdapter* mail_adapter = nullptr;
+
+ private:
+  void build(const SmartHomeOptions& options);
+  [[nodiscard]] sim::ShardId shard_for_island(std::size_t idx) const {
+    const sim::ShardId n = kernel == nullptr ? 1 : kernel->shards();
+    return n == 1 ? 0 : static_cast<sim::ShardId>((idx + 1) % n);
+  }
+  // Bind construction-time code to an island's shard so the objects'
+  // timers and sends land on their own slab; identity when unsharded.
+  template <typename Fn>
+  void on_shard(sim::ShardId s, Fn&& fn) {
+    if (kernel == nullptr) {
+      fn();
+    } else {
+      kernel->run_as(s, std::forward<Fn>(fn));
+    }
+  }
 };
 
 }  // namespace hcm::testbed

@@ -144,5 +144,59 @@ TEST(SchedulerTest, EventsProcessedCounter) {
   EXPECT_EQ(s.events_processed(), 7u);
 }
 
+// --- window-boundary edges (the sharded kernel's run_until contract) ---
+
+TEST(SchedulerTest, RunUntilIsInclusiveOfBoundaryTime) {
+  // The kernel's window loop relies on run_until(W) firing events at
+  // exactly W in that window — an event at the barrier time must not
+  // leak into the next window.
+  Scheduler s;
+  bool at_boundary = false;
+  bool past_boundary = false;
+  s.at(milliseconds(5), [&] { at_boundary = true; });
+  s.at(milliseconds(5) + 1, [&] { past_boundary = true; });
+  s.run_until(milliseconds(5));
+  EXPECT_TRUE(at_boundary);
+  EXPECT_FALSE(past_boundary);
+  EXPECT_EQ(s.now(), milliseconds(5));
+  s.run_until(milliseconds(5));  // idempotent at the same boundary
+  EXPECT_FALSE(past_boundary);
+}
+
+TEST(SchedulerTest, CancelAtBoundaryBeforeNextWindow) {
+  // Cancelling between run_until calls (what a drained cross-shard
+  // delivery's owner does at a barrier) must stop the event from
+  // firing in the following window.
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.at(milliseconds(7), [&] { fired = true; });
+  s.run_until(milliseconds(5));
+  EXPECT_TRUE(s.cancel(id));
+  s.run_until(milliseconds(10));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.now(), milliseconds(10));
+}
+
+TEST(SchedulerTest, NextEventTimeSkipsCancelledEntries) {
+  Scheduler s;
+  EXPECT_EQ(s.next_event_time(), kNoEventTime);
+  const EventId a = s.at(milliseconds(2), [] {});
+  s.at(milliseconds(4), [] {});
+  EXPECT_EQ(s.next_event_time(), milliseconds(2));
+  EXPECT_TRUE(s.cancel(a));
+  // The cancelled head must be invisible (it is lazily popped).
+  EXPECT_EQ(s.next_event_time(), milliseconds(4));
+  s.run();
+  EXPECT_EQ(s.next_event_time(), kNoEventTime);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockOverEmptyQueue) {
+  // Idle shards still advance to the window end so the global floor
+  // can move past them.
+  Scheduler s;
+  EXPECT_EQ(s.run_until(milliseconds(3)), 0u);
+  EXPECT_EQ(s.now(), milliseconds(3));
+}
+
 }  // namespace
 }  // namespace hcm::sim

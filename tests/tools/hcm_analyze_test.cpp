@@ -443,6 +443,42 @@ TEST(SuppressionTest, AllowForOtherRuleDoesNotSuppressAndGoesStale) {
       << format_findings(report.findings);
 }
 
+TEST(SuppressionTest, ShardRulesAreEnforcedUnderSimAndCore) {
+  // An hcm:allow that would normally suppress a shard finding is
+  // overridden by the enforcement tier when the file lives in the
+  // sharded-kernel dirs; elsewhere the suppression stands.
+  const std::string src =
+      "namespace hcm {\n"
+      "// hcm:allow(shard-mutable-global): startup-only config\n"
+      "int g_flag = 0;\n"
+      "}\n";
+  TokenStream ts = lex(src);
+  for (const char* file : {"src/sim/a.cpp", "src/core/a.cpp"}) {
+    Report report;
+    report.findings = shard_check(file, ts);
+    ASSERT_EQ(report.findings.size(), 1u);
+    std::map<std::string, std::vector<AllowNote>> allows = {{file, ts.allows}};
+    std::map<std::string, std::vector<std::string>> lines = {
+        {file, split_lines(src)}};
+    apply_suppressions(report, allows, {}, lines);
+    EXPECT_TRUE(report.findings[0].suppressed);
+    EXPECT_EQ(enforce_shard_rules(report), 1u) << file;
+    EXPECT_FALSE(report.findings[0].suppressed);
+    EXPECT_NE(report.findings[0].message.find("[enforced"), std::string::npos);
+    EXPECT_EQ(report.unsuppressed(), 1u);
+  }
+  // Outside the enforced dirs the allow keeps working.
+  Report report;
+  report.findings = shard_check("src/obs/a.cpp", ts);
+  std::map<std::string, std::vector<AllowNote>> allows = {
+      {"src/obs/a.cpp", ts.allows}};
+  std::map<std::string, std::vector<std::string>> lines = {
+      {"src/obs/a.cpp", split_lines(src)}};
+  apply_suppressions(report, allows, {}, lines);
+  EXPECT_EQ(enforce_shard_rules(report), 0u);
+  EXPECT_TRUE(report.findings[0].suppressed);
+}
+
 TEST(SuppressionTest, MalformedAllowIsAFinding) {
   const std::string src = "// hcm:allow(shard-mutable-global)\nint x = 0;\n";
   TokenStream ts = lex(src);

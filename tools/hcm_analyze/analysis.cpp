@@ -144,6 +144,22 @@ void apply_suppressions(
   }
 }
 
+std::size_t enforce_shard_rules(Report& report) {
+  std::size_t unsuppressed = 0;
+  for (Finding& f : report.findings) {
+    if (!f.suppressed || f.rule.rfind("shard-", 0) != 0) continue;
+    const bool enforced_dir = f.file.rfind("src/sim/", 0) == 0 ||
+                              f.file.rfind("src/core/", 0) == 0;
+    if (!enforced_dir) continue;
+    f.suppressed = false;
+    f.message +=
+        " [enforced: shard rules are not suppressible under src/sim + "
+        "src/core — convert to an atomic, a lock, or per-shard state]";
+    ++unsuppressed;
+  }
+  return unsuppressed;
+}
+
 std::vector<BaselineEntry> baseline_from_findings(
     const Report& report,
     const std::map<std::string, std::vector<std::string>>& lines) {

@@ -88,6 +88,13 @@ void apply_suppressions(
     const std::vector<BaselineEntry>& baseline,
     const std::map<std::string, std::vector<std::string>>& lines);
 
+// Enforcement tier (ISSUE 8): the sharded kernel runs src/sim and
+// src/core on worker shards, so shard-* findings there are errors that
+// no inline allow or baseline entry can excuse. Re-fails any such
+// suppressed finding (annotating its message) and returns how many it
+// un-suppressed. Run after apply_suppressions.
+std::size_t enforce_shard_rules(Report& report);
+
 // Baseline entries for every unsuppressed, non-meta finding (what
 // --update-baseline writes).
 [[nodiscard]] std::vector<BaselineEntry> baseline_from_findings(

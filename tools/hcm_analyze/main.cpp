@@ -10,7 +10,9 @@
 //   3. hot path     — allocation constructs gated inside the PR 5 wire
 //                     path scopes listed in hotpath_manifest.txt.
 //   4. shard        — mutable namespace-scope / static-local state
-//                     across src/ (pre-sharded-kernel inventory).
+//                     across src/; enforcing (unsuppressable) under
+//                     src/sim + src/core now the sharded kernel runs
+//                     that code on worker threads.
 // Suppression: inline `// hcm:allow(rule): reason` or a baseline
 // entry; stale suppressions of either kind fail the run, so the
 // baseline only shrinks. Exit 1 on any unsuppressed finding.
@@ -205,6 +207,11 @@ int main(int argc, char** argv) {
   }
 
   apply_suppressions(report, allows, baseline, lines);
+
+  // Shard enforcement (ISSUE 8): the sharded kernel is live, so new
+  // unguarded mutable namespace-scope / static-local state under
+  // src/sim + src/core is an error no suppression can excuse.
+  enforce_shard_rules(report);
 
   if (!json_out.empty()) {
     std::ofstream out(json_out, std::ios::binary | std::ios::trunc);
