@@ -22,10 +22,12 @@
 #include <cstdio>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slab.hpp"
 #include "obs/trace.hpp"
 #include "testbed/home.hpp"
 
@@ -81,6 +83,8 @@ double measure_arm(bool metrics_on, bool tracing_on, std::size_t calls,
   return best;
 }
 
+void contention_report(bench::JsonReport& report);
+
 void overhead_report(const std::string& json_path) {
   bench::print_header(
       "Observability overhead: instrumented vs disabled on the cross-island "
@@ -113,9 +117,96 @@ void overhead_report(const std::string& json_path) {
       .str("arm", "full")
       .num("ns_per_call", full)
       .num("overhead_pct", full_pct);
+  contention_report(report);
   if (!json_path.empty() && report.write(json_path)) {
     std::printf("  (json written to %s)\n", json_path.c_str());
   }
+}
+
+// --- sharded slab vs shared atomic contention ---------------------------
+//
+// The PR 9 question: when N kernel shards all mutate the same metric
+// family, do per-shard slabs (each thread incrementing its own slab's
+// counter, merged later at window barriers) beat N threads bouncing a
+// single shared atomic's cache line? Handles are resolved before the
+// clock starts in both arms — the lookup cost is BM_RegistryLookup's
+// problem, this measures mutation only.
+double measure_contention(std::size_t shards, bool use_slabs,
+                          std::size_t ops_per_thread, std::size_t reps) {
+  double best = 0;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    obs::Registry shared;
+    std::optional<obs::ShardSlabs> slabs;
+    std::vector<obs::Counter*> handle(shards);
+    if (use_slabs) {
+      slabs.emplace(static_cast<std::uint32_t>(shards));
+      for (std::size_t s = 0; s < shards; ++s) {
+        handle[s] = &slabs->slab(static_cast<std::uint32_t>(s))
+                         .counter("bench.contention");
+      }
+    } else {
+      obs::Counter& c = shared.counter("bench.contention");
+      for (std::size_t s = 0; s < shards; ++s) handle[s] = &c;
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    workers.reserve(shards);
+    for (std::size_t s = 0; s < shards; ++s) {
+      workers.emplace_back([c = handle[s], ops_per_thread] {
+        for (std::size_t i = 0; i < ops_per_thread; ++i) c->inc();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    // Fold the slabs the way a window barrier would, and make the total
+    // observable so the increments cannot be optimized away.
+    std::uint64_t total = 0;
+    if (use_slabs) {
+      obs::Registry merged;
+      slabs->merge_into(merged);
+      total = merged.counter("bench.contention").value();
+    } else {
+      total = shared.counter("bench.contention").value();
+    }
+    if (total < shards * ops_per_thread) {
+      std::fprintf(stderr, "bench: contention arm lost increments\n");
+      std::exit(1);
+    }
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                .count()) /
+        static_cast<double>(shards * ops_per_thread);
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+void contention_report(bench::JsonReport& report) {
+  bench::print_header(
+      "Sharded slabs vs one shared atomic: ns per counter increment");
+  const std::size_t ops = 2'000'000;
+  const std::size_t reps = 3;
+  std::printf("  shards   shared-atomic   per-shard-slab\n");
+  double shared4 = 0, slab4 = 0;
+  for (std::size_t shards : {1u, 2u, 4u}) {
+    const double shared = measure_contention(shards, false, ops, reps);
+    const double slab = measure_contention(shards, true, ops, reps);
+    std::printf("  %6zu   %10.2f ns   %11.2f ns\n", shards, shared, slab);
+    report.row()
+        .str("arm", "contention")
+        .num("shards", static_cast<std::uint64_t>(shards))
+        .num("shared_atomic_ns_per_inc", shared)
+        .num("slab_ns_per_inc", slab);
+    if (shards == 4) {
+      shared4 = shared;
+      slab4 = slab;
+    }
+  }
+  std::printf("  -> acceptance: slab < shared at 4 shards (%.2fx)\n",
+              slab4 > 0 ? shared4 / slab4 : 0.0);
 }
 
 // Records one traced chain across three islands and writes the Chrome

@@ -13,7 +13,11 @@
 //     lookahead contract holds for the backbone topology).
 // --smoke additionally runs the 1,000-island / 100k-device city on 4
 // shards (the scenario ROADMAP calls infeasible single-threaded) and
-// reports its completion. --json <path> archives everything
+// reports its completion; with --series <path> that smoke run also
+// carries the PR 9 telemetry loop — per-shard metric slabs, a
+// TimeSeriesRecorder on the window barriers and a shard-liveness
+// health rule — and writes the series dump there (ci/check.sh feeds
+// it to hcm_top). --json <path> archives everything
 // (BENCH_shard_scaling.json).
 #include <chrono>
 #include <cstdio>
@@ -22,6 +26,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "obs/health.hpp"
+#include "obs/slab.hpp"
+#include "obs/timeseries.hpp"
 #include "sim/sharded_kernel.hpp"
 #include "sim/trace.hpp"
 #include "testbed/city.hpp"
@@ -43,7 +50,8 @@ struct RunResult {
 };
 
 RunResult run_city(sim::ShardId shards, const testbed::CityOptions& copts,
-                   sim::Duration run_for) {
+                   sim::Duration run_for,
+                   const std::string& series_path = {}) {
   sim::ShardedKernelOptions kopts;
   kopts.shards = shards;
   sim::ShardedKernel kernel(kopts);
@@ -53,6 +61,34 @@ RunResult run_city(sim::ShardId shards, const testbed::CityOptions& copts,
   traces.reserve(shards);
   for (sim::ShardId s = 0; s < shards; ++s) {
     traces.push_back(std::make_unique<sim::TraceRecorder>(kernel.shard(s)));
+  }
+  // --series: the PR 9 telemetry loop riding along — per-shard slabs,
+  // the recorder sampling at window barriers, and one liveness rule so
+  // the dump carries health state for hcm_top. Declared after the
+  // kernel: the recorder detaches its window hook before the kernel
+  // dies.
+  std::optional<obs::ShardSlabs> slabs;
+  std::optional<obs::HealthMonitor> health;
+  std::optional<obs::TimeSeriesRecorder> recorder;
+  if (!series_path.empty()) {
+    slabs.emplace(shards);
+    obs::TimeSeriesOptions topts;
+    topts.tiers = {{sim::milliseconds(100), 600},
+                   {sim::seconds(1), 120},
+                   {sim::seconds(10), 180}};
+    topts.prefixes = {"vsg.", "events.", "obs.health."};
+    topts.max_series = 2000;  // a 1,000-island fleet is far larger
+    health.emplace();
+    const Status rule = health->add_rule_spec(
+        "shard-stall: rate(sim.shard.*.events, window=500ms) < 1");
+    if (!rule.is_ok()) {
+      std::fprintf(stderr, "bench: bad health rule: %s\n",
+                   rule.message().c_str());
+      std::exit(1);
+    }
+    recorder.emplace(std::move(topts));
+    recorder->set_health(&*health);
+    recorder->attach(kernel);
   }
   testbed::City city(kernel, copts);
   city.start();
@@ -81,6 +117,20 @@ RunResult run_city(sim::ShardId shards, const testbed::CityOptions& copts,
     if (b > peak) peak = b;
   }
   if (peak > 0) r.est_speedup = static_cast<double>(sum) / peak;
+  if (recorder.has_value()) {
+    if (!recorder->write_json(series_path)) {
+      std::fprintf(stderr, "bench: cannot write series dump to %s\n",
+                   series_path.c_str());
+      std::exit(1);
+    }
+    std::printf(
+        "  series: %zu series, %llu samples, health=%s, hash=%016llx -> %s\n",
+        recorder->series_count(),
+        static_cast<unsigned long long>(recorder->samples_taken()),
+        obs::to_string(health->overall()),
+        static_cast<unsigned long long>(recorder->series_hash()),
+        series_path.c_str());
+  }
   return r;
 }
 
@@ -89,8 +139,12 @@ RunResult run_city(sim::ShardId shards, const testbed::CityOptions& copts,
 int main(int argc, char** argv) {
   const std::string json = bench::json_path_arg(argc, argv);
   bool smoke = false;
+  std::string series_path;
   for (int i = 1; i < argc; ++i) {
     if (std::string(argv[i]) == "--smoke") smoke = true;
+    if (std::string(argv[i]) == "--series" && i + 1 < argc) {
+      series_path = argv[i + 1];
+    }
   }
 
   testbed::CityOptions copts;
@@ -157,7 +211,7 @@ int main(int argc, char** argv) {
     big.devices_per_island = 100;
     big.device_period = sim::seconds(2);
     big.ring_period = sim::seconds(1);
-    const RunResult r = run_city(4, big, sim::milliseconds(2500));
+    const RunResult r = run_city(4, big, sim::milliseconds(2500), series_path);
     std::printf(
         "  smoke: 1000 islands / 100k devices, 4 shards: wall=%.1f ms "
         "events=%llu reports=%llu ring_ok=%llu windows=%llu -> %s\n",

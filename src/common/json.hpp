@@ -1,0 +1,37 @@
+// JSON codec for the dynamic Value model: json_write renders a Value
+// tree as compact JSON, json_parse round-trips it back. Used by the
+// telemetry pipeline (obs::TimeSeriesRecorder dumps, hcm_top's reader)
+// and available to any tool that needs a machine-readable artifact
+// without an external JSON dependency (the image bakes none in).
+//
+// Mapping notes:
+//   - Value ints render as plain integers, doubles with %.17g (shortest
+//     round-trippable via parse-back).
+//   - Bytes render as a base64 string; parsing cannot distinguish it
+//     from a plain string, so Bytes round-trip as kString (callers that
+//     need bytes decode explicitly).
+//   - Parsing numbers: integral values (no '.', 'e', overflow) become
+//     kInt, everything else kDouble.
+//   - Maps render with keys in Value's map order (sorted), so equal
+//     Values always produce byte-identical JSON — the property the
+//     series-dump hash tests rely on.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "common/value.hpp"
+
+namespace hcm {
+
+[[nodiscard]] std::string json_write(const Value& v);
+
+// Strict parser (RFC 8259 subset: no comments, no trailing commas).
+// Trailing whitespace after the top-level value is allowed; any other
+// trailing content is an error.
+[[nodiscard]] Result<Value> json_parse(const std::string& text);
+
+// Escapes `s` into a JSON string body (no surrounding quotes).
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+}  // namespace hcm

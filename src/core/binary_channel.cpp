@@ -1,6 +1,7 @@
 #include "core/binary_channel.hpp"
 
 #include "common/bytes.hpp"
+#include "obs/slab.hpp"
 #include "obs/trace.hpp"
 
 namespace hcm::core {
@@ -49,10 +50,10 @@ BinaryRpcServer::BinaryRpcServer(net::Network& net, net::NodeId node,
     : net_(net),
       node_(node),
       port_(port),
-      obs_scope_(obs::Registry::global().unique_scope("binary.server")),
-      calls_served_(obs::Registry::global().counter(obs_scope_ + ".calls")),
+      obs_scope_(obs::shard_registry().unique_scope("binary.server")),
+      calls_served_(obs::shard_registry().counter(obs_scope_ + ".calls")),
       dispatch_latency_us_(
-          obs::Registry::global().histogram(obs_scope_ + ".latency_us")) {}
+          obs::shard_registry().histogram(obs_scope_ + ".latency_us")) {}
 
 BinaryRpcServer::~BinaryRpcServer() { stop(); }
 

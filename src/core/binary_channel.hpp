@@ -12,6 +12,7 @@
 #include "common/value_codec.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slab.hpp"
 
 namespace hcm::core {
 
@@ -73,11 +74,11 @@ class BinaryRpcClient {
   // Registry handles bound per instance (clients are per-island, so no
   // shard ever reaches another island's client); the metrics are still
   // the shared global names and the counters themselves are atomic.
-  obs::Counter& calls_ = obs::Registry::global().counter("binary.client.calls");
+  obs::Counter& calls_ = obs::shard_registry().counter("binary.client.calls");
   obs::Counter& errors_ =
-      obs::Registry::global().counter("binary.client.errors");
+      obs::shard_registry().counter("binary.client.errors");
   obs::Histogram& latency_ =
-      obs::Registry::global().histogram("binary.client.latency_us");
+      obs::shard_registry().histogram("binary.client.latency_us");
 };
 
 }  // namespace hcm::core

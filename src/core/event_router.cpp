@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/slab.hpp"
 #include "soap/wsdl.hpp"
 
 namespace hcm::core {
@@ -36,22 +37,22 @@ EventRouter::EventRouter(net::Network& net, VirtualServiceGateway& vsg,
       adapter_(adapter),
       vsr_(net, vsg.node(), vsr),
       options_(options),
-      obs_scope_(obs::Registry::global().unique_scope("events." +
+      obs_scope_(obs::shard_registry().unique_scope("events." +
                                                       vsg.island_name())),
       events_routed_(
-          obs::Registry::global().counter(obs_scope_ + ".routed")),
+          obs::shard_registry().counter(obs_scope_ + ".routed")),
       events_dropped_(
-          obs::Registry::global().counter(obs_scope_ + ".dropped")),
+          obs::shard_registry().counter(obs_scope_ + ".dropped")),
       events_delivered_(
-          obs::Registry::global().counter(obs_scope_ + ".delivered")),
-      batches_sent_(obs::Registry::global().counter(obs_scope_ + ".batches")),
+          obs::shard_registry().counter(obs_scope_ + ".delivered")),
+      batches_sent_(obs::shard_registry().counter(obs_scope_ + ".batches")),
       leases_expired_(
-          obs::Registry::global().counter(obs_scope_ + ".leases_expired")),
+          obs::shard_registry().counter(obs_scope_ + ".leases_expired")),
       delivery_retries_(
-          obs::Registry::global().counter(obs_scope_ + ".retries")),
+          obs::shard_registry().counter(obs_scope_ + ".retries")),
       duplicates_dropped_(
-          obs::Registry::global().counter(obs_scope_ + ".duplicates")),
-      delivery_latency_us_(obs::Registry::global().histogram(
+          obs::shard_registry().counter(obs_scope_ + ".duplicates")),
+      delivery_latency_us_(obs::shard_registry().histogram(
           obs_scope_ + ".delivery_latency_us")) {}
 
 EventRouter::~EventRouter() {
@@ -220,7 +221,7 @@ void EventRouter::handle_subscribe(const ValueList& args,
       [this, service = args[0].as_string(), event = args[1].as_string(),
        subscriber = args[2].as_string(), sink = std::move(sink).take(),
        lease = clamp_lease(args[4].as_int()),
-       done = std::move(done)](Result<std::vector<LocalService>> r) {
+       done = std::move(done)](Result<std::vector<LocalService>> r) mutable {
         if (!r.is_ok()) {
           done(r.status());
           return;
@@ -233,7 +234,22 @@ void EventRouter::handle_subscribe(const ValueList& args,
           }
         }
         if (found == nullptr) {
-          done(not_found("no local service: " + service));
+          // Framework-origin services (observability and friends) are
+          // exposed straight on the VSG without a native adapter entry;
+          // their events are injected via on_native_event, so the
+          // subscription needs no adapter watch.
+          const InterfaceDesc* exposed = vsg_.exposed_interface(service);
+          if (exposed == nullptr) {
+            done(not_found("no local service: " + service));
+            return;
+          }
+          if (exposed->find_event(event) == nullptr) {
+            done(not_found("service " + service + " declares no event " +
+                           event));
+            return;
+          }
+          finish_subscribe(service, event, subscriber, sink, lease, nullptr,
+                           std::move(done));
           return;
         }
         if (found->interface.find_event(event) == nullptr) {
@@ -241,31 +257,43 @@ void EventRouter::handle_subscribe(const ValueList& args,
                          event));
           return;
         }
-        auto watch = ensure_watch(*found);
-        if (!watch.is_ok()) {
-          done(watch);
-          return;
-        }
-        Subscription sub;
-        sub.id = vsg_.island_name() + "/esub-" + std::to_string(next_sub_++);
-        sub.service = service;
-        sub.event = event;
-        sub.subscriber = subscriber;
-        sub.sink = sink;
-        sub.lease = lease;
-        const std::string id = sub.id;
-        auto [it, inserted] = subs_.emplace(id, std::move(sub));
-        arm_expiry(it->second);
-        // Record the lease in the VSR (system of record; delivery state
-        // stays here). Best-effort: routing works even if the VSR is
-        // briefly unreachable.
-        vsr_.put_subscription({id, service, event, subscriber, 0}, lease,
-                              [](const Status&) {});
-        done(Value(ValueMap{
-            {"lease", Value(id)},
-            {"duration", Value(static_cast<std::int64_t>(lease))},
-        }));
+        finish_subscribe(service, event, subscriber, sink, lease, found,
+                         std::move(done));
       });
+}
+
+void EventRouter::finish_subscribe(const std::string& service,
+                                   const std::string& event,
+                                   const std::string& subscriber,
+                                   const Uri& sink, sim::Duration lease,
+                                   const LocalService* native,
+                                   InvokeResultFn done) {
+  if (native != nullptr) {
+    auto watch = ensure_watch(*native);
+    if (!watch.is_ok()) {
+      done(watch);
+      return;
+    }
+  }
+  Subscription sub;
+  sub.id = vsg_.island_name() + "/esub-" + std::to_string(next_sub_++);
+  sub.service = service;
+  sub.event = event;
+  sub.subscriber = subscriber;
+  sub.sink = sink;
+  sub.lease = lease;
+  const std::string id = sub.id;
+  auto [it, inserted] = subs_.emplace(id, std::move(sub));
+  arm_expiry(it->second);
+  // Record the lease in the VSR (system of record; delivery state
+  // stays here). Best-effort: routing works even if the VSR is
+  // briefly unreachable.
+  vsr_.put_subscription({id, service, event, subscriber, 0}, lease,
+                        [](const Status&) {});
+  done(Value(ValueMap{
+      {"lease", Value(id)},
+      {"duration", Value(static_cast<std::int64_t>(lease))},
+  }));
 }
 
 void EventRouter::handle_renew(const ValueList& args, InvokeResultFn done) {

@@ -160,6 +160,15 @@ class EventRouter {
 
   // Wire handlers (origin side unless noted).
   void handle_subscribe(const ValueList& args, InvokeResultFn done);
+  // Tail of handle_subscribe once the event's origin is validated:
+  // registers the lease, arms expiry, records it in the VSR. `native`
+  // is the adapter-side service to hook a watch on, or nullptr for
+  // framework-origin services (VSG exposures like observability) whose
+  // events are injected via on_native_event directly.
+  void finish_subscribe(const std::string& service, const std::string& event,
+                        const std::string& subscriber, const Uri& sink,
+                        sim::Duration lease, const LocalService* native,
+                        InvokeResultFn done);
   void handle_renew(const ValueList& args, InvokeResultFn done);
   void handle_unsubscribe(const ValueList& args, InvokeResultFn done);
   void handle_deliver(const ValueList& args, InvokeResultFn done);  // sub side

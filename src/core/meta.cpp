@@ -100,6 +100,8 @@ Status MetaMiddleware::enable_observability(const std::string& island_name) {
   if (obs_service_ == nullptr) {
     obs_service_ = std::make_unique<obs::ObservabilityService>(
         obs::Registry::global(), obs::Tracer::global());
+    obs_service_->set_recorder(recorder_);
+    obs_service_->set_health(health_);
   }
   ObsExport exp;
   exp.service_name =
@@ -124,6 +126,34 @@ Status MetaMiddleware::enable_observability(const std::string& island_name) {
       });
   obs_exports_.emplace(island_name, std::move(exp));
   return Status::ok();
+}
+
+void MetaMiddleware::attach_telemetry(obs::TimeSeriesRecorder* recorder,
+                                      obs::HealthMonitor* health) {
+  recorder_ = recorder;
+  health_ = health;
+  if (obs_service_ != nullptr) {
+    obs_service_->set_recorder(recorder_);
+    obs_service_->set_health(health_);
+  }
+  if (health_ == nullptr) return;
+  health_->set_transition_fn([this](const obs::HealthTransition& tr) {
+    // Health transitions fire from the recorder's quiesced sampling
+    // points (window barriers / sampling events). Re-inject them as
+    // native events of every obs-enabled island's observability
+    // exposure, from that island's own shard, so cross-island
+    // subscribers receive healthChanged like any adapter event.
+    const Value payload = tr.to_value();
+    for (const auto& [island_name, exp] : obs_exports_) {
+      Island* isl = island(island_name);
+      if (isl == nullptr || isl->events == nullptr) continue;
+      ShardChannel::run_on_node(
+          net_, exp.node,
+          [events = isl->events.get(), service = exp.service_name, payload] {
+            events->on_native_event(service, "healthChanged", payload);
+          });
+    }
+  });
 }
 
 void MetaMiddleware::republish_observability(DoneFn done) {

@@ -12,7 +12,9 @@
 #include "core/pcm.hpp"
 #include "core/vsg.hpp"
 #include "core/vsr.hpp"
+#include "obs/health.hpp"
 #include "obs/service.hpp"
+#include "obs/timeseries.hpp"
 
 namespace hcm::core {
 
@@ -72,6 +74,16 @@ class MetaMiddleware {
     return obs_exports_.count(island_name) != 0;
   }
 
+  // Wires the fleet telemetry backends (owned by the scenario) into the
+  // framework: getSeries/getHealth on every observability exposure are
+  // served from `recorder`/`health`, and health-state transitions are
+  // re-injected as healthChanged events on each obs-enabled island's
+  // event bridge, so any island can subscribe to them like any other
+  // cross-middleware event. Either pointer may be null; applies to
+  // islands enabled before and after the call.
+  void attach_telemetry(obs::TimeSeriesRecorder* recorder,
+                        obs::HealthMonitor* health);
+
  private:
   struct ObsExport {
     std::string service_name;  // "observability-<island>"
@@ -88,6 +100,8 @@ class MetaMiddleware {
   std::map<std::string, Island> islands_;
   std::map<std::string, ObsExport> obs_exports_;
   std::unique_ptr<obs::ObservabilityService> obs_service_;
+  obs::TimeSeriesRecorder* recorder_ = nullptr;
+  obs::HealthMonitor* health_ = nullptr;
   sim::EventId refresh_event_ = 0;
   bool auto_refresh_ = false;
 };

@@ -1,6 +1,7 @@
 #include "core/pcm.hpp"
 
 #include "common/logging.hpp"
+#include "obs/slab.hpp"
 
 namespace hcm::core {
 
@@ -11,14 +12,14 @@ Pcm::Pcm(net::Network& net, VirtualServiceGateway& vsg, net::Endpoint vsr,
       vsr_(net, vsg.node(), vsr),
       adapter_(std::move(adapter)),
       proxygen_(vsg),
-      obs_scope_(obs::Registry::global().unique_scope("pcm." +
+      obs_scope_(obs::shard_registry().unique_scope("pcm." +
                                                       vsg.island_name())),
       wsdl_generations_(
-          obs::Registry::global().counter(obs_scope_ + ".wsdl_generations")),
+          obs::shard_registry().counter(obs_scope_ + ".wsdl_generations")),
       renew_fallbacks_(
-          obs::Registry::global().counter(obs_scope_ + ".renew_fallbacks")),
-      refreshes_(obs::Registry::global().counter(obs_scope_ + ".refreshes")),
-      refresh_latency_us_(obs::Registry::global().histogram(
+          obs::shard_registry().counter(obs_scope_ + ".renew_fallbacks")),
+      refreshes_(obs::shard_registry().counter(obs_scope_ + ".refreshes")),
+      refresh_latency_us_(obs::shard_registry().histogram(
           obs_scope_ + ".refresh_latency_us")) {}
 
 void Pcm::refresh(DoneFn done) {

@@ -10,6 +10,7 @@
 #include "core/adapter.hpp"
 #include "core/vsg.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slab.hpp"
 #include "soap/wsdl.hpp"
 
 namespace hcm::core {
@@ -18,13 +19,13 @@ class ProxyGenerator {
  public:
   explicit ProxyGenerator(VirtualServiceGateway& vsg)
       : vsg_(vsg),
-        obs_scope_(obs::Registry::global().unique_scope("proxygen")),
+        obs_scope_(obs::shard_registry().unique_scope("proxygen")),
         client_proxies_(
-            obs::Registry::global().counter(obs_scope_ + ".client_proxies")),
+            obs::shard_registry().counter(obs_scope_ + ".client_proxies")),
         server_proxies_(
-            obs::Registry::global().counter(obs_scope_ + ".server_proxies")),
+            obs::shard_registry().counter(obs_scope_ + ".server_proxies")),
         sp_invokes_(
-            obs::Registry::global().counter(obs_scope_ + ".sp_invokes")) {}
+            obs::shard_registry().counter(obs_scope_ + ".sp_invokes")) {}
 
   // Client Proxy (paper Fig. 2, CP): converts the local service's
   // native interface into a VSG service. Exposes the service through

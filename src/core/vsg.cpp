@@ -2,6 +2,7 @@
 
 #include "common/logging.hpp"
 #include "obs/instrument.hpp"
+#include "obs/slab.hpp"
 #include "obs/trace.hpp"
 
 namespace hcm::core {
@@ -33,14 +34,14 @@ VirtualServiceGateway::VirtualServiceGateway(net::Network& net,
       binary_server_(net, gateway_node, static_cast<std::uint16_t>(port + 1)),
       binary_client_(net, gateway_node),
       obs_scope_(
-          obs::Registry::global().unique_scope("vsg." + island_name_)),
+          obs::shard_registry().unique_scope("vsg." + island_name_)),
       remote_calls_(
-          obs::Registry::global().counter(obs_scope_ + ".remote_calls")),
+          obs::shard_registry().counter(obs_scope_ + ".remote_calls")),
       local_dispatches_(
-          obs::Registry::global().counter(obs_scope_ + ".local_dispatches")),
+          obs::shard_registry().counter(obs_scope_ + ".local_dispatches")),
       remote_errors_(
-          obs::Registry::global().counter(obs_scope_ + ".remote_errors")),
-      remote_latency_us_(obs::Registry::global().histogram(
+          obs::shard_registry().counter(obs_scope_ + ".remote_errors")),
+      remote_latency_us_(obs::shard_registry().histogram(
           obs_scope_ + ".remote_latency_us")) {}
 
 VirtualServiceGateway::~VirtualServiceGateway() = default;

@@ -50,6 +50,14 @@ class VirtualServiceGateway {
     return exposed_.count(name) != 0;
   }
   [[nodiscard]] std::size_t exposed_count() const { return exposed_.size(); }
+  // Interface of an exposed service, or nullptr. Lets framework-origin
+  // services (e.g. observability, which no native adapter lists) still
+  // declare events the bridge can validate subscriptions against.
+  [[nodiscard]] const InterfaceDesc* exposed_interface(
+      const std::string& name) const {
+    auto it = exposed_.find(name);
+    return it == exposed_.end() ? nullptr : &it->second.iface;
+  }
   // The endpoint URI an exposure is (or would be) reachable at.
   [[nodiscard]] Uri exposure_uri(const std::string& name);
 

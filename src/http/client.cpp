@@ -1,31 +1,6 @@
 #include "http/client.hpp"
 
-#include "obs/metrics.hpp"
-
 namespace hcm::http {
-
-namespace {
-// All clients share one metric family: a client is per-island plumbing,
-// and callers segment latency by the server-side scopes instead. The
-// function-local statics make the hot-path cost one indirection, not a
-// registry lookup per request.
-obs::Counter& client_requests() {
-  // hcm:allow(shard-static-local): once-bound registry handle
-  static auto& c = obs::Registry::global().counter("http.client.requests");
-  return c;
-}
-obs::Counter& client_errors() {
-  // hcm:allow(shard-static-local): once-bound registry handle.
-  static auto& c = obs::Registry::global().counter("http.client.errors");
-  return c;
-}
-obs::Histogram& client_latency() {
-  // hcm:allow(shard-static-local): once-bound registry handle.
-  static auto& h =
-      obs::Registry::global().histogram("http.client.latency_us");
-  return h;
-}
-}  // namespace
 
 // One live connection. Requests are serialized (at most one in flight)
 // because asynchronous server handlers may finish out of order, and
@@ -41,11 +16,11 @@ struct HttpClient::PooledConn {
 };
 
 void HttpClient::request(net::Endpoint dest, Request req, ResponseCallback cb) {
-  client_requests().inc();
-  cb = [&sched = net_.scheduler(), start = net_.scheduler().now(),
+  requests_.inc();
+  cb = [this, &sched = net_.scheduler(), start = net_.scheduler().now(),
         cb = std::move(cb)](Result<Response> r) {
-    client_latency().observe(sched.now() - start);
-    if (!r.is_ok()) client_errors().inc();
+    latency_us_.observe(sched.now() - start);
+    if (!r.is_ok()) errors_.inc();
     cb(std::move(r));
   };
   req.set_header("Host", dest.to_string());

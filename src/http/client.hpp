@@ -9,6 +9,8 @@
 
 #include "http/message.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slab.hpp"
 
 namespace hcm::http {
 
@@ -23,8 +25,19 @@ class HttpClient {
 
   HttpClient(net::Network& net, net::NodeId node)
       : HttpClient(net, node, Options{}) {}
+  // All clients share one metric family ("http.client.*"): a client is
+  // per-island plumbing, and callers segment latency by server-side
+  // scopes instead. Handles resolve once per instance through
+  // obs::shard_registry(), so islands built under a shard binding
+  // mutate their own slab (merged at window barriers).
   HttpClient(net::Network& net, net::NodeId node, Options options)
-      : net_(net), node_(node), options_(options) {}
+      : net_(net),
+        node_(node),
+        options_(options),
+        requests_(obs::shard_registry().counter("http.client.requests")),
+        errors_(obs::shard_registry().counter("http.client.errors")),
+        latency_us_(
+            obs::shard_registry().histogram("http.client.latency_us")) {}
   HttpClient(const HttpClient&) = delete;
   HttpClient& operator=(const HttpClient&) = delete;
 
@@ -46,6 +59,9 @@ class HttpClient {
   net::Network& net_;
   net::NodeId node_;
   Options options_;
+  obs::Counter& requests_;
+  obs::Counter& errors_;
+  obs::Histogram& latency_us_;
   // Owns idle keep-alive connections. The stream's callbacks hold only
   // weak_ptrs back to the connection, so this map (plus any pending
   // request timeout) is what keeps a connection alive.

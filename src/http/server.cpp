@@ -1,6 +1,7 @@
 #include "http/server.hpp"
 
 #include "common/logging.hpp"
+#include "obs/slab.hpp"
 
 namespace hcm::http {
 
@@ -8,13 +9,13 @@ HttpServer::HttpServer(net::Network& net, net::NodeId node, std::uint16_t port)
     : net_(net),
       node_(node),
       port_(port),
-      obs_scope_(obs::Registry::global().unique_scope("http.server")),
+      obs_scope_(obs::shard_registry().unique_scope("http.server")),
       requests_served_(
-          obs::Registry::global().counter(obs_scope_ + ".requests")),
+          obs::shard_registry().counter(obs_scope_ + ".requests")),
       connections_accepted_(
-          obs::Registry::global().counter(obs_scope_ + ".connections")),
+          obs::shard_registry().counter(obs_scope_ + ".connections")),
       request_latency_us_(
-          obs::Registry::global().histogram(obs_scope_ + ".latency_us")) {}
+          obs::shard_registry().histogram(obs_scope_ + ".latency_us")) {}
 
 HttpServer::~HttpServer() { stop(); }
 

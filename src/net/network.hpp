@@ -19,6 +19,7 @@
 #include "net/segment.hpp"
 #include "net/stream.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slab.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/sharded_kernel.hpp"
 
@@ -30,13 +31,13 @@ class Network {
  public:
   explicit Network(sim::Scheduler& sched)
       : sched_(sched),
-        obs_scope_(obs::Registry::global().unique_scope("net")),
+        obs_scope_(obs::shard_registry().unique_scope("net")),
         datagrams_sent_(
-            obs::Registry::global().counter(obs_scope_ + ".datagrams_sent")),
-        datagrams_dropped_(obs::Registry::global().counter(
+            obs::shard_registry().counter(obs_scope_ + ".datagrams_sent")),
+        datagrams_dropped_(obs::shard_registry().counter(
             obs_scope_ + ".datagrams_dropped")),
         stream_connects_(
-            obs::Registry::global().counter(obs_scope_ + ".stream_connects")) {
+            obs::shard_registry().counter(obs_scope_ + ".stream_connects")) {
   }
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;

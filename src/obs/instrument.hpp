@@ -9,6 +9,7 @@
 
 #include "common/service.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slab.hpp"
 #include "obs/trace.hpp"
 #include "sim/scheduler.hpp"
 
@@ -43,13 +44,13 @@ class ScopedInvoke {
                const std::string& service, const std::string& method)
       : sched_(sched),
         latency_(
-            Registry::global().histogram("adapter." + mw + ".invoke_us")),
-        errors_(Registry::global().counter("adapter." + mw + ".errors")),
+            shard_registry().histogram("adapter." + mw + ".invoke_us")),
+        errors_(shard_registry().counter("adapter." + mw + ".errors")),
         span_id_(Tracer::global().begin_span(
             mw + ".invoke:" + service + "." + method, "adapter." + mw,
             sched.now())),
         scope_(Tracer::global(), Tracer::global().context_of(span_id_)) {
-    Registry::global().counter("adapter." + mw + ".invokes").inc();
+    shard_registry().counter("adapter." + mw + ".invokes").inc();
   }
 
   [[nodiscard]] InvokeResultFn wrap(InvokeResultFn done) {

@@ -73,6 +73,27 @@ void Histogram::reset() {
   max_.store(kMaxInit, std::memory_order_relaxed);
 }
 
+void Histogram::merge_from(const Histogram& src) {
+  const std::uint64_t n = src.count();
+  if (n == 0) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t b = src.buckets_[i].load(std::memory_order_relaxed);
+    if (b != 0) buckets_[i].fetch_add(b, std::memory_order_relaxed);
+  }
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(src.sum(), std::memory_order_relaxed);
+  std::int64_t cur = min_.load(std::memory_order_relaxed);
+  const std::int64_t smin = src.min();
+  while (smin < cur &&
+         !min_.compare_exchange_weak(cur, smin, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  const std::int64_t smax = src.max();
+  while (smax > cur &&
+         !max_.compare_exchange_weak(cur, smax, std::memory_order_relaxed)) {
+  }
+}
+
 Registry& Registry::global() {
   // Process-wide metrics root; shard workers get private scopes via
   // unique_scope() rather than per-shard copies. Magic-static init is
@@ -122,10 +143,34 @@ const Histogram* Registry::find_histogram(const std::string& name) const {
 }
 
 std::string Registry::unique_scope(const std::string& base) {
+  if (scope_delegate_ != nullptr) return scope_delegate_->unique_scope(base);
   std::lock_guard<std::mutex> lk(mu_);
   auto n = ++scopes_[base];
   if (n == 1) return base;
   return base + "#" + std::to_string(n);
+}
+
+void Registry::merge_from(const Registry& src) {
+  // Lock order: src first, self second. Merge targets are private
+  // fold registries (never merged *from*), so the order can't invert.
+  std::lock_guard<std::mutex> src_lk(src.mu_);
+  // Zero-valued metrics are still *created* in the target so the merged
+  // view's registration set (and thus to_value/to_text output) matches
+  // the union of the sources byte for byte.
+  for (const auto& [name, c] : src.counters_) {
+    Counter& dst = counter(name);
+    const std::uint64_t v = c->value();
+    if (v != 0) dst.merge_add(v);
+  }
+  for (const auto& [name, g] : src.gauges_) {
+    Gauge& dst = gauge(name);
+    const std::int64_t v = g->value();
+    if (v != 0) dst.merge_add(v);
+  }
+  for (const auto& [name, h] : src.histograms_) {
+    Histogram& dst = histogram(name);
+    if (h->count() != 0) dst.merge_from(*h);
+  }
 }
 
 std::size_t Registry::size() const {

@@ -50,6 +50,10 @@ class Counter {
     return v_.load(std::memory_order_relaxed);
   }
   void reset() { v_.store(0, std::memory_order_relaxed); }
+  // Fold a quiesced source value in. Not an instrumentation site: it
+  // bypasses the enabled()/compiled-out gates because the source value
+  // was already gated when it was recorded.
+  void merge_add(std::uint64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::uint64_t> v_{0};
@@ -75,6 +79,10 @@ class Gauge {
     return v_.load(std::memory_order_relaxed);
   }
   void reset() { v_.store(0, std::memory_order_relaxed); }
+  // Quiesced fold (see Counter::merge_add). Gauges across shards are
+  // summed — the framework's gauges are occupancy counts (queue depths,
+  // live leases), for which per-shard sums are the fleet value.
+  void merge_add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
 
  private:
   std::atomic<std::int64_t> v_{0};
@@ -112,6 +120,11 @@ class Histogram {
   // {count, sum, min, max, p50, p95, p99} as a ValueMap.
   [[nodiscard]] Value snapshot() const;
   void reset();
+  // Quiesced fold of another histogram: bucket-wise add, count/sum add,
+  // min/max combine. Because buckets are summed exactly, percentiles of
+  // the merged histogram equal percentiles of the union of samples (to
+  // bucket resolution) — the property the slab merge relies on.
+  void merge_from(const Histogram& src);
 
  private:
   static constexpr std::int64_t kMinInit = INT64_MAX;
@@ -163,12 +176,27 @@ class Registry {
   // Zeroes every value but keeps registrations (bench arms).
   void reset_values();
 
+  // Folds every metric of `src` into this registry: counters and gauges
+  // add, histograms merge bucket-wise; metrics missing here are created.
+  // Both sides must be quiesced (the sharded kernel calls this at window
+  // barriers, where no shard worker is mutating). Iteration order is
+  // std::map order on both sides, so repeated merges of the same sources
+  // produce the same registration order — part of the determinism
+  // contract of the telemetry pipeline.
+  void merge_from(const Registry& src);
+
+  // Slab registries delegate unique_scope to the process root so scope
+  // names stay process-unique: without this, the first "net" scope on
+  // shard 0 and the first on shard 1 would alias after a merge.
+  void set_scope_delegate(Registry* root) { scope_delegate_ = root; }
+
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<std::string, std::size_t> scopes_;
+  Registry* scope_delegate_ = nullptr;
 };
 
 }  // namespace hcm::obs

@@ -1,5 +1,8 @@
 #include "obs/service.hpp"
 
+#include "obs/health.hpp"
+#include "obs/timeseries.hpp"
+
 namespace hcm::obs {
 
 InterfaceDesc ObservabilityService::describe_interface() {
@@ -15,6 +18,26 @@ InterfaceDesc ObservabilityService::describe_interface() {
                  ValueType::kString,
                  false},
       MethodDesc{"getSpanCount", {}, ValueType::kInt, false},
+      MethodDesc{"getSeries",
+                 {ParamDesc{"prefix", ValueType::kString},
+                  ParamDesc{"windowUs", ValueType::kInt}},
+                 ValueType::kMap,
+                 false},
+      MethodDesc{"getHealth", {}, ValueType::kMap, false},
+  };
+  // Health-state transitions flow through the event bridge: subscribe
+  // to observability/healthChanged to get pushed rule flips instead of
+  // polling getHealth.
+  iface.events = {
+      MethodDesc{"healthChanged",
+                 {ParamDesc{"rule", ValueType::kString},
+                  ParamDesc{"from", ValueType::kString},
+                  ParamDesc{"to", ValueType::kString},
+                  ParamDesc{"series", ValueType::kString},
+                  ParamDesc{"value", ValueType::kDouble},
+                  ParamDesc{"when_us", ValueType::kInt}},
+                 ValueType::kNull,
+                 true},
   };
   return iface;
 }
@@ -36,6 +59,27 @@ ServiceHandler ObservabilityService::handler() {
     }
     if (method == "getSpanCount") {
       done(Value(static_cast<std::int64_t>(tracer_.span_count())));
+      return;
+    }
+    if (method == "getSeries") {
+      if (recorder_ == nullptr) {
+        done(unavailable("observability: no time-series recorder attached"));
+        return;
+      }
+      const std::string prefix =
+          !args.empty() && args[0].is_string() ? args[0].as_string() : "";
+      const sim::Duration window =
+          args.size() > 1 ? args[1].to_int().value_or(0) : 0;
+      done(recorder_->to_value(prefix,
+                               window > 0 ? window : sim::seconds(60)));
+      return;
+    }
+    if (method == "getHealth") {
+      if (health_ == nullptr) {
+        done(unavailable("observability: no health monitor attached"));
+        return;
+      }
+      done(health_->to_value());
       return;
     }
     done(not_found("observability: no such method: " + method));

@@ -13,6 +13,9 @@
 
 namespace hcm::obs {
 
+class HealthMonitor;
+class TimeSeriesRecorder;
+
 class ObservabilityService {
  public:
   static constexpr const char* kServiceName = "observability";
@@ -20,15 +23,26 @@ class ObservabilityService {
   ObservabilityService(Registry& registry, Tracer& tracer)
       : registry_(registry), tracer_(tracer) {}
 
-  // getMetrics(prefix: string) -> map of name -> value/snapshot
-  // getTrace(traceId: int)     -> Chrome trace_event JSON (0 = all)
-  // getSpanCount()             -> number of recorded spans
+  // The telemetry backends behind getSeries/getHealth (may be null:
+  // both ops then fail with kFailedPrecondition, and getMetrics keeps
+  // serving point-in-time snapshots as before).
+  void set_recorder(TimeSeriesRecorder* recorder) { recorder_ = recorder; }
+  void set_health(HealthMonitor* health) { health_ = health; }
+
+  // getMetrics(prefix: string)  -> map of name -> value/snapshot
+  // getTrace(traceId: int)      -> Chrome trace_event JSON (0 = all)
+  // getSpanCount()              -> number of recorded spans
+  // getSeries(prefix, windowUs) -> recorded time series in the window
+  // getHealth()                 -> health monitor state
+  // event healthChanged(rule, from, to, series, value, when_us)
   [[nodiscard]] static InterfaceDesc describe_interface();
   [[nodiscard]] ServiceHandler handler();
 
  private:
   Registry& registry_;
   Tracer& tracer_;
+  TimeSeriesRecorder* recorder_ = nullptr;
+  HealthMonitor* health_ = nullptr;
 };
 
 }  // namespace hcm::obs

@@ -1,0 +1,54 @@
+#include "obs/slab.hpp"
+
+#include "common/check.hpp"
+#include "sim/sharded_kernel.hpp"
+
+namespace hcm::obs {
+
+namespace {
+// Process-wide slab installation point. Atomic because shard workers
+// read it on every handle resolution while the coordinator installs or
+// uninstalls between runs; those phases never overlap (construction
+// precedes the first window, destruction follows the last), so relaxed
+// ordering suffices.
+std::atomic<ShardSlabs*> g_slabs{nullptr};
+}  // namespace
+
+ShardSlabs::ShardSlabs(std::uint32_t shards) {
+  HCM_CHECK_MSG(shards >= 1, "at least one slab");
+  slabs_.reserve(shards);
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    auto r = std::make_unique<Registry>();
+    r->set_scope_delegate(&Registry::global());
+    slabs_.push_back(std::move(r));
+  }
+  ShardSlabs* expected = nullptr;
+  HCM_CHECK_MSG(
+      g_slabs.compare_exchange_strong(expected, this,
+                                      std::memory_order_relaxed),
+      "only one ShardSlabs may be installed at a time");
+}
+
+ShardSlabs::~ShardSlabs() {
+  g_slabs.store(nullptr, std::memory_order_relaxed);
+}
+
+ShardSlabs* ShardSlabs::installed() {
+  return g_slabs.load(std::memory_order_relaxed);
+}
+
+void ShardSlabs::merge_into(Registry& out) const {
+  out.reset_values();
+  out.merge_from(Registry::global());
+  for (const auto& slab : slabs_) out.merge_from(*slab);
+}
+
+Registry& shard_registry() {
+  ShardSlabs* slabs = ShardSlabs::installed();
+  if (slabs == nullptr) return Registry::global();
+  const sim::ShardedKernel::Context* ctx = sim::ShardedKernel::current();
+  if (ctx == nullptr) return Registry::global();
+  return slabs->slab(ctx->shard % slabs->shards());
+}
+
+}  // namespace hcm::obs

@@ -1,0 +1,69 @@
+// Per-shard metric slabs: shard-local Registry views that let
+// instrumented sites on different worker shards mutate counters and
+// histograms without sharing cache lines, merged deterministically into
+// a fleet view at the sharded kernel's window barriers.
+//
+// Routing contract (obs::shard_registry):
+//   - no ShardSlabs installed            -> Registry::global()
+//   - installed, calling thread unbound  -> Registry::global()
+//   - installed, thread bound to shard s -> slabs.slab(s)
+// Instrumented objects resolve their Counter&/Histogram& handles once
+// at construction (City builds islands under run_as(shard, ...), so the
+// handles land in the island's own slab); the hot path then mutates a
+// slab-private atomic — no cross-shard cache-line contention, which is
+// what the sharded arm of bench_ext_obs_overhead measures.
+//
+// Merge semantics (merge_into): the target is reset, then the global
+// registry and every slab are folded in slab order — counters and
+// gauges sum, histograms merge bucket-wise. At 1 shard every write went
+// to either the global registry or slab 0, so the fold reproduces
+// today's global-registry snapshot byte for byte (pinned by
+// SlabTest.OneShardMergeMatchesGlobal). Merging is coordinator-side
+// work at window barriers; it must not race shard workers.
+//
+// Scope names: each slab delegates unique_scope() to the process root
+// so "net", "net#2", ... stay process-unique across slabs and never
+// alias after a merge.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace hcm::obs {
+
+class ShardSlabs {
+ public:
+  explicit ShardSlabs(std::uint32_t shards);
+  ~ShardSlabs();  // uninstalls
+  ShardSlabs(const ShardSlabs&) = delete;
+  ShardSlabs& operator=(const ShardSlabs&) = delete;
+
+  // The currently installed slab set, or nullptr. At most one ShardSlabs
+  // may exist at a time (checked); installation happens in the
+  // constructor so a scenario simply keeps one alive for the run.
+  [[nodiscard]] static ShardSlabs* installed();
+
+  [[nodiscard]] std::uint32_t shards() const {
+    return static_cast<std::uint32_t>(slabs_.size());
+  }
+  [[nodiscard]] Registry& slab(std::uint32_t s) { return *slabs_[s]; }
+
+  // Fold Registry::global() + every slab into `out` (reset first).
+  // Caller must be quiesced (window barrier / end of run).
+  void merge_into(Registry& out) const;
+
+ private:
+  std::vector<std::unique_ptr<Registry>> slabs_;
+};
+
+// The registry an instrumentation site should resolve metric handles
+// from: the calling thread's shard slab when slabs are installed and
+// the thread is bound (sim::ShardedKernel::current()), else the global
+// registry. Legacy single-scheduler scenarios never install slabs and
+// see exactly the old Registry::global() behavior.
+[[nodiscard]] Registry& shard_registry();
+
+}  // namespace hcm::obs

@@ -1,0 +1,164 @@
+// Virtual-clock time-series recorder: samples the merged metric view
+// (per-shard slabs + global registry, or just the global registry when
+// no slabs are installed) into fixed-size ring buffers with tiered
+// downsampling, so soak runs keep a bounded history of every counter,
+// gauge and histogram percentile instead of a single point-in-time
+// snapshot.
+//
+// Sampling grid. Each retention tier t has a period P_t and capacity
+// C_t; samples for tier t land at virtual times P_t, 2*P_t, 3*P_t, ...
+// and the ring keeps the newest C_t of them. A tier's sample is the
+// *instantaneous* merged value at its grid time (point downsampling,
+// not averaging), so every tier of the same series agrees wherever
+// their grids coincide.
+//
+// Attachment modes:
+//   - attach(ShardedKernel&): samples from the kernel's window hook —
+//     grid points in (last, floor] are emitted at each barrier with the
+//     quiesced barrier state. At N shards a grid value can therefore
+//     lag its nominal time by up to the lookahead (documented in
+//     docs/OBSERVABILITY.md §5); window placement is deterministic at a
+//     fixed shard count, so double runs produce bit-identical series
+//     (the series_hash test pins this). Also records per-shard
+//     `sim.shard.<s>.events` gauges from the kernel.
+//   - attach(Scheduler&): self-schedules a sampling event exactly on
+//     the finest grid — exact-time sampling for legacy single-scheduler
+//     scenarios. Caveat: the periodic event keeps the queue non-empty,
+//     so drive the scenario with run_until/run_for (not Scheduler::run,
+//     which would never drain) and detach() before a final drain.
+//   - neither: call sample_until(now) by hand.
+//
+// Determinism: everything recorded derives from virtual time and
+// merged metric values; wall-clock telemetry (ShardedKernel::busy_ns)
+// is deliberately excluded. series_hash() folds every series name,
+// grid index and value, and double runs at a fixed shard count must
+// produce equal hashes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/slab.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/sharded_kernel.hpp"
+
+namespace hcm::obs {
+
+class HealthMonitor;
+
+struct TierSpec {
+  sim::Duration period = sim::seconds(1);
+  std::size_t capacity = 120;
+};
+
+struct TimeSeriesOptions {
+  // Finest tier first; periods must be positive and strictly
+  // increasing. Defaults: 1s x 120 (2 min), 10s x 180 (30 min),
+  // 5min x 96 (8 h).
+  std::vector<TierSpec> tiers{{sim::seconds(1), 120},
+                              {sim::seconds(10), 180},
+                              {sim::seconds(300), 96}};
+  // Only metrics whose name starts with one of these prefixes are
+  // recorded; empty = record everything. City-scale runs should bound
+  // the set (a 1,000-island fleet has tens of thousands of metrics).
+  std::vector<std::string> prefixes;
+  // Hard cap on distinct series (0 = unbounded). Admission is by
+  // snapshot (sorted-name) order and sticky; series refused past the
+  // cap are counted in dropped_series().
+  std::size_t max_series = 0;
+};
+
+class TimeSeriesRecorder {
+ public:
+  explicit TimeSeriesRecorder(TimeSeriesOptions options = {});
+  ~TimeSeriesRecorder();
+  TimeSeriesRecorder(const TimeSeriesRecorder&) = delete;
+  TimeSeriesRecorder& operator=(const TimeSeriesRecorder&) = delete;
+
+  void attach(sim::ShardedKernel& kernel);
+  void attach(sim::Scheduler& sched);
+  void detach();
+
+  // Health rules evaluated after every sample batch (may be null).
+  void set_health(HealthMonitor* health) { health_ = health; }
+
+  // Emit every grid point due at or before `now` using the current
+  // merged metric state. Idempotent per grid point; safe to call more
+  // often than the grid (extra calls are cheap no-ops).
+  void sample_until(sim::SimTime now);
+
+  [[nodiscard]] std::size_t series_count() const;
+  [[nodiscard]] std::uint64_t samples_taken() const;
+  [[nodiscard]] std::uint64_t dropped_series() const;
+  [[nodiscard]] sim::SimTime last_sample_time() const;
+
+  // Newest recorded value of a series (finest tier), or nullopt.
+  [[nodiscard]] std::optional<std::int64_t> latest(
+      const std::string& name) const;
+  // Value at the finest grid point <= `at` still retained (falling back
+  // to coarser tiers as fine rings age out), or nullopt.
+  [[nodiscard]] std::optional<std::int64_t> value_at(const std::string& name,
+                                                     sim::SimTime at) const;
+  // Calls fn for every recorded series name, in sorted order.
+  void each_series(const std::function<void(const std::string&)>& fn) const;
+
+  // FNV-1a fold of every series name, tier, grid position and value —
+  // the double-run repeatability fingerprint.
+  [[nodiscard]] std::uint64_t series_hash() const;
+
+  // getSeries payload: series matching `prefix`, from the finest tier
+  // still covering `window` back from now, values oldest-first:
+  //   {now_us, period_us, series: {name: {t0_us, values: [...]}}}
+  [[nodiscard]] Value to_value(const std::string& prefix,
+                               sim::Duration window) const;
+
+  // Full dump of every tier of every series (the hcm_top input), plus
+  // the hash and, when health is wired, its current state.
+  [[nodiscard]] Value dump() const;
+  // json_write(dump()) to a file; false on I/O failure.
+  [[nodiscard]] bool write_json(const std::string& path) const;
+
+ private:
+  // Circular per-tier buffer over a contiguous run of grid indices
+  // [end_idx - v.size(), end_idx). `next` is the overwrite cursor once
+  // v has grown to the tier capacity.
+  struct Ring {
+    std::vector<std::int64_t> v;
+    std::size_t next = 0;
+    std::uint64_t end_idx = 0;
+    [[nodiscard]] std::uint64_t first_idx() const { return end_idx - v.size(); }
+    [[nodiscard]] std::optional<std::int64_t> at(std::uint64_t idx,
+                                                 std::size_t cap) const;
+    void push(std::uint64_t idx, std::int64_t x, std::size_t cap);
+  };
+  struct Series {
+    std::vector<Ring> rings;  // one per tier
+  };
+
+  void snapshot_into(std::map<std::string, std::int64_t>& out);
+  [[nodiscard]] std::uint64_t hash_locked() const;
+  void arm_timer();
+
+  TimeSeriesOptions options_;
+  mutable std::mutex mu_;
+  std::map<std::string, Series> series_;
+  std::set<std::string> refused_;        // names past the max_series cap
+  std::vector<std::uint64_t> next_idx_;  // per-tier next grid index
+  sim::SimTime last_time_ = 0;
+  std::uint64_t samples_ = 0;
+
+  sim::ShardedKernel* kernel_ = nullptr;
+  sim::Scheduler* sched_ = nullptr;
+  sim::EventId timer_ = 0;
+  Registry merged_;  // scratch fold target, reused across samples
+  HealthMonitor* health_ = nullptr;
+};
+
+}  // namespace hcm::obs

@@ -39,6 +39,10 @@ void json_escape(std::ostringstream& os, const std::string& s) {
 
 }  // namespace
 
+Tracer::Tracer()
+    : dropped_counter_(
+          Registry::global().counter("obs.trace.spans_dropped")) {}
+
 Tracer& Tracer::global() {
   // Process-wide trace sink; recorders attach per scenario, so
   // sharding wraps this rather than copying it.
@@ -75,6 +79,13 @@ std::uint64_t Tracer::begin_span(const std::string& name,
   const TraceContext& cur = tls_current();
   Span s;
   std::lock_guard<std::mutex> lk(mu_);
+  if (max_spans_ != 0 && spans_.size() >= max_spans_) {
+    // At the cap: count the drop and report "not traced". No id is
+    // consumed, so capped runs stay id-stable with uncapped prefixes.
+    ++dropped_;
+    dropped_counter_.inc();
+    return 0;
+  }
   s.span_id = next_id_++;
   if (cur.valid()) {
     s.trace_id = cur.trace_id;
@@ -115,6 +126,21 @@ TraceContext Tracer::context_of(std::uint64_t span_id) const {
   return {};
 }
 
+void Tracer::set_max_spans(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  max_spans_ = n;
+}
+
+std::size_t Tracer::max_spans() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return max_spans_;
+}
+
+std::uint64_t Tracer::dropped_spans() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return dropped_;
+}
+
 std::size_t Tracer::span_count() const {
   std::lock_guard<std::mutex> lk(mu_);
   return spans_.size();
@@ -124,6 +150,7 @@ void Tracer::clear() {
   std::lock_guard<std::mutex> lk(mu_);
   spans_.clear();
   next_id_ = 1;
+  dropped_ = 0;
   tls_current() = {};
 }
 

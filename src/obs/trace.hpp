@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hcm::obs {
@@ -55,7 +56,12 @@ struct Span {
 
 class Tracer {
  public:
-  Tracer() = default;
+  // Default span-buffer cap: ~26 MB of spans at ~100 B each. Soak runs
+  // keep tracing on and rely on the cap + spans_dropped counter instead
+  // of unbounded growth.
+  static constexpr std::size_t kDefaultMaxSpans = 262'144;
+
+  Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -69,10 +75,19 @@ class Tracer {
   void set_enabled(bool on);
 
   // Starts a span as a child of the current context (or a new trace if
-  // none is current). Returns the span id; 0 when tracing is disabled.
+  // none is current). Returns the span id; 0 when tracing is disabled
+  // or the span buffer is at its cap (the drop is counted in
+  // obs.trace.spans_dropped and dropped_spans()).
   std::uint64_t begin_span(const std::string& name,
                            const std::string& component, sim::SimTime now);
   void end_span(std::uint64_t span_id, sim::SimTime now, bool ok = true);
+
+  // Span-buffer bound; 0 = unbounded. Spans beyond the cap are dropped
+  // at begin_span (callers see span id 0, which every consumer already
+  // treats as "not traced").
+  void set_max_spans(std::size_t n);
+  [[nodiscard]] std::size_t max_spans() const;
+  [[nodiscard]] std::uint64_t dropped_spans() const;
 
   [[nodiscard]] const TraceContext& current() const { return tls_current(); }
   // Context a wire hop should carry for the given span (its child
@@ -115,9 +130,12 @@ class Tracer {
   [[nodiscard]] static TraceContext& tls_current();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;  // guards next_id_ + spans_
+  mutable std::mutex mu_;  // guards next_id_ + spans_ + max_spans_
   std::uint64_t next_id_ = 1;
   std::vector<Span> spans_;
+  std::size_t max_spans_ = kDefaultMaxSpans;
+  std::uint64_t dropped_ = 0;
+  Counter& dropped_counter_;  // obs.trace.spans_dropped (global registry)
 };
 
 }  // namespace hcm::obs

@@ -137,6 +137,7 @@ std::size_t ShardedKernel::run_window(SimTime window_end) {
   drain_channels();
   floor_ = window_end;
   ++windows_;
+  if (window_hook_) window_hook_(floor_);
   return fired;
 }
 
@@ -185,6 +186,7 @@ std::size_t ShardedKernel::run_until(SimTime t) {
     std::size_t n = 0;
     run_as(0, [&] { n = shard(0).run_until(t); });
     floor_ = std::max(floor_, t);
+    if (window_hook_) window_hook_(floor_);
     return n;
   }
   std::size_t fired = 0;
@@ -209,6 +211,7 @@ std::size_t ShardedKernel::run() {
     std::size_t n = 0;
     run_as(0, [&] { n = shard(0).run(); });
     floor_ = std::max(floor_, shard(0).now());
+    if (window_hook_) window_hook_(floor_);
     return n;
   }
   std::size_t fired = 0;

@@ -122,6 +122,7 @@ class ShardedKernel {
       std::size_t n = 0;
       run_as(0, [&] { n = sim::run_until_done(shard(0), done); });
       floor_ = shard(0).now();
+      if (window_hook_) window_hook_(floor_);
       return n;
     }
     std::size_t fired = 0;
@@ -133,6 +134,18 @@ class ShardedKernel {
     }
     return fired;
   }
+
+  // --- window hook --------------------------------------------------------
+  // Called on the coordinator thread after every window barrier (all
+  // channels drained, floor advanced, no worker in flight) with the new
+  // floor, and at the equivalent quiesced points of the 1-shard
+  // direct-drive paths. obs::TimeSeriesRecorder hangs its merged-slab
+  // sampling off this; the hook stays a generic callback because sim
+  // must not include obs (layering). At most one hook; an empty
+  // std::function detaches. Hooks must not schedule events or mutate
+  // simulation state — they are observers of the quiesced barrier state.
+  using WindowHook = std::function<void(SimTime floor)>;
+  void set_window_hook(WindowHook hook) { window_hook_ = std::move(hook); }
 
   // --- introspection ------------------------------------------------------
   [[nodiscard]] std::uint64_t windows_run() const { return windows_; }
@@ -194,6 +207,7 @@ class ShardedKernel {
   bool running_ = false;
   std::uint64_t windows_ = 0;
   std::uint64_t clamped_ = 0;
+  WindowHook window_hook_;
   std::atomic<std::uint64_t> cross_posts_{0};
   std::atomic<std::uint64_t> overflow_posts_{0};
 

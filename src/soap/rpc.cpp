@@ -1,6 +1,7 @@
 #include "soap/rpc.hpp"
 
 #include "common/logging.hpp"
+#include "obs/slab.hpp"
 #include "obs/trace.hpp"
 
 namespace hcm::soap {
@@ -17,9 +18,9 @@ http::Response soap_response(int status, const std::string& reason,
 SoapService::SoapService(http::HttpServer& http_server, std::string path)
     : http_server_(http_server),
       path_(std::move(path)),
-      obs_scope_(obs::Registry::global().unique_scope("soap.service")),
-      calls_handled_(obs::Registry::global().counter(obs_scope_ + ".calls")),
-      faults_sent_(obs::Registry::global().counter(obs_scope_ + ".faults")) {
+      obs_scope_(obs::shard_registry().unique_scope("soap.service")),
+      calls_handled_(obs::shard_registry().counter(obs_scope_ + ".calls")),
+      faults_sent_(obs::shard_registry().counter(obs_scope_ + ".faults")) {
   http_server_.route(path_, [this](const http::Request& req,
                                    http::RespondFn respond) {
     handle(req, std::move(respond));

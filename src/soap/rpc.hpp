@@ -13,6 +13,7 @@
 #include "http/client.hpp"
 #include "http/server.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slab.hpp"
 #include "soap/envelope.hpp"
 
 namespace hcm::soap {
@@ -67,8 +68,8 @@ class SoapClient {
   SoapClient(net::Network& net, net::NodeId node,
              http::HttpClient::Options options = http::HttpClient::Options{})
       : http_(net, node, options),
-        calls_sent_(obs::Registry::global().counter(
-            obs::Registry::global().unique_scope("soap.client") +
+        calls_sent_(obs::shard_registry().counter(
+            obs::shard_registry().unique_scope("soap.client") +
             ".calls_sent")) {}
 
   // Invokes `method` at dest/path. The result callback receives the

@@ -1,0 +1,175 @@
+// HealthMonitor tests: glob matching, the declarative rule grammar,
+// and the value/rate/absent state machines driven through a real
+// TimeSeriesRecorder (transitions, grace windows, offender reporting,
+// the getHealth payload shape).
+#include "obs/health.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
+
+namespace hcm::obs {
+namespace {
+
+TEST(GlobMatchTest, StarMatchesAnyRun) {
+  EXPECT_TRUE(glob_match("events.*.dropped", "events.jini.dropped"));
+  EXPECT_TRUE(glob_match("events.*.dropped", "events..dropped"));
+  EXPECT_TRUE(glob_match("*", "anything.at.all"));
+  EXPECT_TRUE(glob_match("vsg.*.op.*_us.p99", "vsg.x10.op.dim_us.p99"));
+  EXPECT_FALSE(glob_match("events.*.dropped", "events.jini.routed"));
+  EXPECT_FALSE(glob_match("a*b*c", "a-c-b"));
+  EXPECT_TRUE(glob_match("a*b*c", "a-b-b-c"));
+  EXPECT_FALSE(glob_match("abc", "abcd"));
+}
+
+TEST(HealthRuleTest, ParsesTheDocumentedGrammar) {
+  auto r = HealthMonitor::parse_rule(
+      "drops: rate(events.*.dropped, window=10s) > 0.5");
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  EXPECT_EQ(r.value().name, "drops");
+  EXPECT_EQ(r.value().metric, "events.*.dropped");
+  EXPECT_EQ(r.value().kind, HealthRule::Kind::kRate);
+  EXPECT_EQ(r.value().op, HealthRule::Op::kGt);
+  EXPECT_DOUBLE_EQ(r.value().threshold, 0.5);
+  EXPECT_EQ(r.value().window, sim::seconds(10));
+
+  auto v = HealthMonitor::parse_rule("p99: value(vsg.*_us.p99) >= 50000");
+  ASSERT_TRUE(v.is_ok());
+  EXPECT_EQ(v.value().kind, HealthRule::Kind::kValue);
+  EXPECT_EQ(v.value().op, HealthRule::Op::kGe);
+
+  auto a = HealthMonitor::parse_rule("stale: absent(vsr.*, window=500ms)");
+  ASSERT_TRUE(a.is_ok());
+  EXPECT_EQ(a.value().kind, HealthRule::Kind::kAbsent);
+  EXPECT_EQ(a.value().window, sim::milliseconds(500));
+}
+
+TEST(HealthRuleTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(HealthMonitor::parse_rule("no-colon value(x) > 1").is_ok());
+  EXPECT_FALSE(HealthMonitor::parse_rule("r: ratio(x) > 1").is_ok());
+  EXPECT_FALSE(HealthMonitor::parse_rule("r: value() > 1").is_ok());
+  EXPECT_FALSE(HealthMonitor::parse_rule("r: value(x) 1").is_ok());
+  EXPECT_FALSE(HealthMonitor::parse_rule("r: value(x) > banana").is_ok());
+  EXPECT_FALSE(
+      HealthMonitor::parse_rule("r: rate(x, windows=1s) > 1").is_ok());
+  EXPECT_FALSE(HealthMonitor::parse_rule("r: absent(x) > 1").is_ok());
+}
+
+TimeSeriesOptions one_second_tier(std::string prefix) {
+  TimeSeriesOptions o;
+  o.tiers = {{sim::seconds(1), 32}};
+  o.prefixes = {std::move(prefix)};
+  return o;
+}
+
+TEST(HealthMonitorTest, ValueRuleTransitionsAndReportsOffender) {
+  TimeSeriesRecorder rec(one_second_tier("healthtest.v."));
+  HealthMonitor mon;
+  ASSERT_TRUE(mon.add_rule_spec("hot: value(healthtest.v.*) > 50").is_ok());
+  rec.set_health(&mon);
+  std::vector<HealthTransition> seen;
+  mon.set_transition_fn(
+      [&](const HealthTransition& tr) { seen.push_back(tr); });
+
+  EXPECT_EQ(mon.overall(), HealthState::kUnknown);
+  auto& g = Registry::global().gauge("healthtest.v.temp");
+  g.set(10);
+  rec.sample_until(sim::seconds(1));
+  EXPECT_EQ(mon.rule_state("hot"), HealthState::kOk);
+  EXPECT_EQ(mon.overall(), HealthState::kOk);
+
+  g.set(90);
+  rec.sample_until(sim::seconds(2));
+  EXPECT_EQ(mon.rule_state("hot"), HealthState::kBreach);
+  EXPECT_EQ(mon.overall(), HealthState::kBreach);
+
+  g.set(20);
+  rec.sample_until(sim::seconds(3));
+  EXPECT_EQ(mon.rule_state("hot"), HealthState::kOk);
+
+  ASSERT_EQ(seen.size(), 3u);  // unknown->ok, ok->breach, breach->ok
+  EXPECT_EQ(seen[1].rule, "hot");
+  EXPECT_EQ(seen[1].to, HealthState::kBreach);
+  EXPECT_EQ(seen[1].series, "healthtest.v.temp");
+  EXPECT_DOUBLE_EQ(seen[1].value, 90.0);
+  EXPECT_EQ(seen[1].when, sim::seconds(2));
+  EXPECT_EQ(mon.transitions(), 3u);
+}
+
+TEST(HealthMonitorTest, RateRuleWaitsForAWindowOfHistory) {
+  TimeSeriesRecorder rec(one_second_tier("healthtest.r."));
+  HealthMonitor mon;
+  ASSERT_TRUE(
+      mon.add_rule_spec("surge: rate(healthtest.r.c, window=2s) > 1.5")
+          .is_ok());
+  rec.set_health(&mon);
+
+  auto& c = Registry::global().counter("healthtest.r.c");
+  for (int t = 1; t <= 2; ++t) {
+    c.inc(2);  // 2 events per virtual second
+    rec.sample_until(sim::seconds(t));
+    EXPECT_EQ(mon.rule_state("surge"), HealthState::kUnknown)
+        << "no full window at t=" << t;
+  }
+  c.inc(2);
+  rec.sample_until(sim::seconds(3));  // rate = (6-2)/2s = 2/s
+  EXPECT_EQ(mon.rule_state("surge"), HealthState::kBreach);
+
+  rec.sample_until(sim::seconds(5));  // flat: rate = 0
+  EXPECT_EQ(mon.rule_state("surge"), HealthState::kOk);
+}
+
+TEST(HealthMonitorTest, AbsentRuleCatchesMissingAndStalledSeries) {
+  TimeSeriesRecorder rec(one_second_tier("healthtest.a."));
+  HealthMonitor mon;
+  ASSERT_TRUE(
+      mon.add_rule_spec("live: absent(healthtest.a.*, window=2s)").is_ok());
+  rec.set_health(&mon);
+
+  // Nothing matches: grace until one window has elapsed, then breach.
+  rec.sample_until(sim::seconds(1));
+  EXPECT_EQ(mon.rule_state("live"), HealthState::kUnknown);
+  rec.sample_until(sim::seconds(2));
+  EXPECT_EQ(mon.rule_state("live"), HealthState::kBreach);
+
+  // A progressing series clears it...
+  auto& c = Registry::global().counter("healthtest.a.beat");
+  for (int t = 3; t <= 6; ++t) {
+    c.inc();
+    rec.sample_until(sim::seconds(t));
+  }
+  EXPECT_EQ(mon.rule_state("live"), HealthState::kOk);
+
+  // ...and a stall (no delta over the window) re-breaches.
+  rec.sample_until(sim::seconds(9));
+  EXPECT_EQ(mon.rule_state("live"), HealthState::kBreach);
+}
+
+TEST(HealthMonitorTest, ToValueCarriesRulesAndRecent) {
+  TimeSeriesRecorder rec(one_second_tier("healthtest.p."));
+  HealthMonitor mon;
+  ASSERT_TRUE(mon.add_rule_spec("r1: value(healthtest.p.*) > 5").is_ok());
+  rec.set_health(&mon);
+  Registry::global().gauge("healthtest.p.g").set(9);
+  rec.sample_until(sim::seconds(1));
+
+  const Value v = mon.to_value();
+  ASSERT_TRUE(v.is_map());
+  EXPECT_EQ(v.at("state").as_string(), "breach");
+  const Value& rule = v.at("rules").at("r1");
+  EXPECT_EQ(rule.at("state").as_string(), "breach");
+  EXPECT_EQ(rule.at("metric").as_string(), "healthtest.p.*");
+  EXPECT_EQ(rule.at("series").as_string(), "healthtest.p.g");
+  ASSERT_TRUE(v.at("recent").is_list());
+  ASSERT_FALSE(v.at("recent").as_list().empty());
+  const Value& tr = v.at("recent").as_list().back();
+  EXPECT_EQ(tr.at("rule").as_string(), "r1");
+  EXPECT_EQ(tr.at("to").as_string(), "breach");
+}
+
+}  // namespace
+}  // namespace hcm::obs

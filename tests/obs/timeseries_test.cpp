@@ -1,0 +1,157 @@
+// TimeSeriesRecorder unit tests: grid placement and idempotent
+// sampling, ring aging with tier fallback, histogram flattening, the
+// series cap, scheduler-mode exact-grid sampling, and the dump /
+// getSeries export shapes hcm_top consumes.
+#include "obs/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hcm::obs {
+namespace {
+
+TimeSeriesOptions small_options(std::vector<std::string> prefixes) {
+  TimeSeriesOptions o;
+  o.tiers = {{sim::seconds(1), 4}, {sim::seconds(10), 4}};
+  o.prefixes = std::move(prefixes);
+  return o;
+}
+
+TEST(TimeSeriesTest, SamplesLandOnTheGrid) {
+  TimeSeriesRecorder rec(small_options({"tstest.grid."}));
+  auto& c = Registry::global().counter("tstest.grid.c");
+  c.inc(5);
+  rec.sample_until(sim::seconds(1));  // grid point t=1s only
+  EXPECT_EQ(rec.samples_taken(), 1u);
+  EXPECT_EQ(rec.last_sample_time(), sim::seconds(1));
+  ASSERT_TRUE(rec.latest("tstest.grid.c").has_value());
+  EXPECT_EQ(*rec.latest("tstest.grid.c"), 5);
+
+  // Re-sampling the same instant is a no-op; later points see the
+  // value current at sampling time (barrier semantics).
+  rec.sample_until(sim::seconds(1));
+  EXPECT_EQ(rec.samples_taken(), 1u);
+  c.inc(5);
+  rec.sample_until(sim::seconds(3));  // emits t=2s and t=3s
+  EXPECT_EQ(rec.samples_taken(), 3u);
+  EXPECT_EQ(*rec.value_at("tstest.grid.c", sim::seconds(1)), 5);
+  EXPECT_EQ(*rec.value_at("tstest.grid.c", sim::seconds(2)), 10);
+  EXPECT_EQ(*rec.value_at("tstest.grid.c", sim::seconds(3)), 10);
+}
+
+TEST(TimeSeriesTest, RingsAgeOutAndFallToCoarserTiers) {
+  TimeSeriesRecorder rec(small_options({"tstest.age."}));
+  auto& g = Registry::global().gauge("tstest.age.g");
+  for (int t = 1; t <= 10; ++t) {
+    g.set(t);
+    rec.sample_until(sim::seconds(t));
+  }
+  // Fine tier capacity 4: t=7..10s retained, t=5s aged out.
+  EXPECT_EQ(*rec.value_at("tstest.age.g", sim::seconds(10)), 10);
+  EXPECT_EQ(*rec.value_at("tstest.age.g", sim::seconds(7)), 7);
+  EXPECT_FALSE(rec.value_at("tstest.age.g", sim::seconds(5)).has_value());
+  // The 10s tier recorded its first grid point at t=10s, so history at
+  // exactly 10s survives however far the fine ring advances.
+  for (int t = 11; t <= 20; ++t) rec.sample_until(sim::seconds(t));
+  EXPECT_EQ(*rec.value_at("tstest.age.g", sim::seconds(10)), 10);
+}
+
+TEST(TimeSeriesTest, HistogramsFlattenIntoFieldSeries) {
+  TimeSeriesRecorder rec(small_options({"tstest.hist."}));
+  auto& h = Registry::global().histogram("tstest.hist.lat_us");
+  for (int i = 0; i < 90; ++i) h.observe(80);
+  for (int i = 0; i < 10; ++i) h.observe(9000);
+  rec.sample_until(sim::seconds(1));
+  ASSERT_TRUE(rec.latest("tstest.hist.lat_us.count").has_value());
+  EXPECT_EQ(*rec.latest("tstest.hist.lat_us.count"), 100);
+  EXPECT_TRUE(rec.latest("tstest.hist.lat_us.p99").has_value());
+  EXPECT_TRUE(rec.latest("tstest.hist.lat_us.max").has_value());
+  EXPECT_EQ(*rec.latest("tstest.hist.lat_us.max"), 9000);
+}
+
+TEST(TimeSeriesTest, MaxSeriesCapRefusesStickily) {
+  TimeSeriesOptions o = small_options({"tstest.cap."});
+  o.max_series = 1;
+  TimeSeriesRecorder rec(o);
+  Registry::global().counter("tstest.cap.a").inc();
+  Registry::global().counter("tstest.cap.b").inc();
+  rec.sample_until(sim::seconds(1));
+  // Sorted admission: "a" wins the only slot, "b" is refused and
+  // counted once however often it reappears.
+  rec.sample_until(sim::seconds(2));
+  EXPECT_EQ(rec.series_count(), 1u);
+  EXPECT_EQ(rec.dropped_series(), 1u);
+  EXPECT_TRUE(rec.latest("tstest.cap.a").has_value());
+  EXPECT_FALSE(rec.latest("tstest.cap.b").has_value());
+}
+
+TEST(TimeSeriesTest, SchedulerModeSamplesExactGridAndInjectsProgress) {
+  sim::Scheduler sched;
+  auto& c = Registry::global().counter("tstest.sched.c");
+  sched.after(sim::milliseconds(500), [&] { c.inc(); });
+  sched.after(sim::milliseconds(1500), [&] { c.inc(); });
+  TimeSeriesRecorder rec(small_options({"tstest.sched."}));
+  rec.attach(sched);
+  sched.run_for(sim::seconds(3));
+  rec.detach();
+  EXPECT_EQ(*rec.value_at("tstest.sched.c", sim::seconds(1)), 1);
+  EXPECT_EQ(*rec.value_at("tstest.sched.c", sim::seconds(2)), 2);
+  // Scheduler-mode runs record the legacy progress series.
+  EXPECT_TRUE(rec.latest("sim.events").has_value());
+  EXPECT_GT(*rec.latest("sim.events"), 0);
+}
+
+TEST(TimeSeriesTest, DumpAndGetSeriesShapes) {
+  TimeSeriesRecorder rec(small_options({"tstest.dump."}));
+  auto& c = Registry::global().counter("tstest.dump.c");
+  for (int t = 1; t <= 3; ++t) {
+    c.inc();
+    rec.sample_until(sim::seconds(t));
+  }
+
+  const Value dump = rec.dump();
+  ASSERT_TRUE(dump.is_map());
+  EXPECT_EQ(dump.at("format").as_string(), "hcm-series-v1");
+  EXPECT_EQ(dump.at("now_us").as_int(), sim::seconds(3));
+  EXPECT_EQ(dump.at("hash").as_string().substr(0, 2), "0x");
+  const Value& per_tier = dump.at("series").at("tstest.dump.c");
+  ASSERT_TRUE(per_tier.is_list());
+  const Value& finest = per_tier.as_list().front();
+  EXPECT_EQ(finest.at("period_us").as_int(), sim::seconds(1));
+  EXPECT_EQ(finest.at("t0_us").as_int(), sim::seconds(1));
+  EXPECT_EQ(finest.at("values").as_list().size(), 3u);
+
+  // getSeries: 2s window fits the fine tier; values oldest-first.
+  const Value reply = rec.to_value("tstest.dump.", sim::seconds(2));
+  EXPECT_EQ(reply.at("period_us").as_int(), sim::seconds(1));
+  const Value& entry = reply.at("series").at("tstest.dump.c");
+  const ValueList& vs = entry.at("values").as_list();
+  ASSERT_GE(vs.size(), 2u);
+  EXPECT_EQ(vs.back().as_int(), 3);
+
+  // The dump is valid JSON and survives a round-trip (hcm_top's diet).
+  auto back = json_parse(json_write(dump));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_EQ(json_write(back.value()), json_write(dump));
+}
+
+TEST(TimeSeriesTest, SeriesHashCoversValues) {
+  TimeSeriesOptions o = small_options({"tstest.hash."});
+  TimeSeriesRecorder a(o);
+  auto& c = Registry::global().counter("tstest.hash.c");
+  a.sample_until(sim::seconds(1));
+  const std::uint64_t h1 = a.series_hash();
+  c.inc();
+  a.sample_until(sim::seconds(2));
+  const std::uint64_t h2 = a.series_hash();
+  EXPECT_NE(h1, h2);
+}
+
+}  // namespace
+}  // namespace hcm::obs

@@ -7,7 +7,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/logging.hpp"
+#include "obs/metrics.hpp"
 
 namespace hcm::obs {
 namespace {
@@ -159,6 +162,45 @@ TEST_F(TracerTest, EnabledTracerTagsLogLinesWithContext) {
 
   Log::set_level(old_level);
   Log::set_sink(nullptr);
+}
+
+TEST_F(TracerTest, SpanCapDropsAndCounts) {
+  auto& dropped_metric = Registry::global().counter("obs.trace.spans_dropped");
+  const std::uint64_t metric_before = dropped_metric.value();
+  tracer().set_max_spans(3);
+  EXPECT_EQ(tracer().max_spans(), 3u);
+
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(tracer().begin_span("soak", "test", i));
+  }
+  // First three recorded; the two past the cap were refused with id 0
+  // (no id consumed, so a capped run's surviving ids match an uncapped
+  // prefix) and counted both locally and in the global registry.
+  EXPECT_EQ(tracer().span_count(), 3u);
+  EXPECT_NE(ids[2], 0u);
+  EXPECT_EQ(ids[3], 0u);
+  EXPECT_EQ(ids[4], 0u);
+  EXPECT_EQ(tracer().dropped_spans(), 2u);
+  EXPECT_EQ(dropped_metric.value(), metric_before + 2);
+
+  // end_span on a refused id is a harmless no-op.
+  tracer().end_span(ids[3], 99);
+  EXPECT_EQ(tracer().span_count(), 3u);
+
+  // clear() frees the buffer and re-arms the cap for the next soak.
+  tracer().clear();
+  EXPECT_EQ(tracer().dropped_spans(), 0u);
+  EXPECT_NE(tracer().begin_span("fresh", "test", 0), 0u);
+  tracer().set_max_spans(Tracer::kDefaultMaxSpans);
+}
+
+TEST_F(TracerTest, UnboundedCapRecordsEverything) {
+  tracer().set_max_spans(0);
+  for (int i = 0; i < 64; ++i) tracer().begin_span("s", "test", i);
+  EXPECT_EQ(tracer().span_count(), 64u);
+  EXPECT_EQ(tracer().dropped_spans(), 0u);
+  tracer().set_max_spans(Tracer::kDefaultMaxSpans);
 }
 
 }  // namespace

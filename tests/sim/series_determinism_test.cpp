@@ -1,0 +1,86 @@
+// Tier-1 telemetry determinism audit (ISSUE 9 satellite): with
+// per-shard metric slabs installed and the TimeSeriesRecorder sampling
+// at window barriers, a double run of the City testbed at a fixed
+// shard count must be bit-identical — same FNV series hash (covering
+// every series' name, grid origin, and values), same sample count,
+// and the health monitor must flip the same rules at the same virtual
+// instants. Telemetry that perturbs the simulation would betray
+// itself here before it corrupted a capacity study.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "obs/health.hpp"
+#include "obs/slab.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/sharded_kernel.hpp"
+#include "testbed/city.hpp"
+
+namespace hcm {
+namespace {
+
+struct TelemetryRun {
+  std::uint64_t series_hash = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t transitions = 0;
+  std::uint64_t reports = 0;
+};
+
+TelemetryRun run_city_with_telemetry(sim::ShardId shards) {
+  sim::ShardedKernelOptions kopts;
+  kopts.shards = shards;
+  sim::ShardedKernel kernel(kopts);
+  obs::ShardSlabs slabs(shards);
+
+  obs::HealthMonitor mon;
+  EXPECT_TRUE(
+      mon.add_rule_spec("stall: rate(sim.shard.*.events, window=500ms) < 1")
+          .is_ok());
+
+  obs::TimeSeriesOptions topts;
+  topts.tiers = {{sim::milliseconds(100), 128}, {sim::seconds(1), 64}};
+  topts.prefixes = {"vsg.", "events."};
+  obs::TimeSeriesRecorder rec(topts);
+  rec.set_health(&mon);
+  rec.attach(kernel);
+
+  testbed::CityOptions copts;
+  copts.islands = 6;
+  copts.devices_per_island = 3;
+  testbed::City city(kernel, copts);
+  city.start();
+  kernel.run_for(sim::seconds(3));
+  rec.detach();
+
+  return {rec.series_hash(), rec.samples_taken(), mon.transitions(),
+          city.reports_received()};
+}
+
+void expect_double_run_identical(sim::ShardId shards) {
+  const TelemetryRun a = run_city_with_telemetry(shards);
+  const TelemetryRun b = run_city_with_telemetry(shards);
+  ASSERT_GT(a.samples, 0u) << "recorder never sampled at " << shards
+                           << " shard(s)";
+  ASSERT_GT(a.reports, 0u) << "city produced no traffic to record";
+  EXPECT_EQ(a.series_hash, b.series_hash)
+      << "series diverged between identical " << shards << "-shard runs";
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_EQ(a.transitions, b.transitions)
+      << "health rule flips diverged between identical runs";
+  EXPECT_EQ(a.reports, b.reports);
+}
+
+TEST(SeriesDeterminismTest, OneShardDoubleRunIdentical) {
+  expect_double_run_identical(1);
+}
+
+TEST(SeriesDeterminismTest, TwoShardDoubleRunIdentical) {
+  expect_double_run_identical(2);
+}
+
+TEST(SeriesDeterminismTest, FourShardDoubleRunIdentical) {
+  expect_double_run_identical(4);
+}
+
+}  // namespace
+}  // namespace hcm

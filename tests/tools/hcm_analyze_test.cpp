@@ -344,6 +344,51 @@ TEST(HotpathTest, FnScopingLimitsTheSweep) {
   EXPECT_EQ(find_rule(fs, "hotpath-new")->line, 6);
 }
 
+TEST(HotpathTest, RegistryLookupIsFlagged) {
+  TokenStream ts = lex(
+      "void hot() {\n"                                              // 1
+      "  obs::Registry::global().counter(\"x\").inc();\n"           // 2
+      "  obs::shard_registry().histogram(\"y\").observe(1);\n"      // 3
+      "  auto s = obs::shard_registry().unique_scope(\"z\");\n"     // 4
+      "  (void)s;\n"                                                // 5
+      "}\n");
+  Findings fs =
+      hotpath_check("src/net/f.cpp", ts, HotScope{"src/net/f.cpp", {}});
+  ASSERT_EQ(count_rule(fs, "obs-hotpath-lookup"), 3) << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "obs-hotpath-lookup")->line, 2);
+}
+
+TEST(HotpathTest, CachedHandleMutationIsNotALookup) {
+  // Mutating through a cached reference — the idiom the rule demands —
+  // must stay silent, as must unrelated global()/registry() calls that
+  // don't chain into a name lookup.
+  TokenStream ts = lex(
+      "void hot() {\n"
+      "  requests_.inc();\n"
+      "  latency_us_.observe(7);\n"
+      "  auto& reg = obs::shard_registry();\n"
+      "  Tracer::global().clear();\n"
+      "  (void)reg;\n"
+      "}\n");
+  Findings fs =
+      hotpath_check("src/net/f.cpp", ts, HotScope{"src/net/f.cpp", {}});
+  EXPECT_EQ(count_rule(fs, "obs-hotpath-lookup"), 0) << format_findings(fs);
+}
+
+TEST(HotpathTest, RegistryLookupRespectsFnScope) {
+  TokenStream ts = lex(
+      "void cold_setup() {\n"
+      "  obs::shard_registry().counter(\"a\").inc();\n"  // outside scope
+      "}\n"
+      "void hot_send() {\n"
+      "  obs::shard_registry().counter(\"b\").inc();\n"  // line 5, inside
+      "}\n");
+  Findings fs = hotpath_check("src/net/f.cpp", ts,
+                              HotScope{"src/net/f.cpp", {"hot_send"}});
+  ASSERT_EQ(count_rule(fs, "obs-hotpath-lookup"), 1) << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "obs-hotpath-lookup")->line, 5);
+}
+
 TEST(HotpathTest, ClassPatternCoversAllMembers) {
   TokenStream ts = lex(
       "void Writer::open() { auto* x = new int(0); (void)x; }\n"

@@ -7,8 +7,9 @@
 //   1. layering     — include DAG vs. the architectural order; cycles.
 //   2. determinism  — wall clock / ambient randomness / unordered
 //                     iteration banned in src/sim + src/core.
-//   3. hot path     — allocation constructs gated inside the PR 5 wire
-//                     path scopes listed in hotpath_manifest.txt.
+//   3. hot path     — allocation constructs and per-call registry
+//                     lookups (obs-hotpath-lookup) gated inside the
+//                     PR 5 wire path scopes in hotpath_manifest.txt.
 //   4. shard        — mutable namespace-scope / static-local state
 //                     across src/; enforcing (unsuppressable) under
 //                     src/sim + src/core now the sharded kernel runs

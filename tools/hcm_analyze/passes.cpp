@@ -348,6 +348,13 @@ Findings hotpath_check(const std::string& rel_path, const TokenStream& ts,
       "unordered_map", "unordered_set", "unordered_multimap",
       "unordered_multiset"};
 
+  // Registry accessors that walk the name -> metric map under a mutex.
+  // On the hot path these must run once at setup; per-call code mutates
+  // through the cached Counter&/Histogram& handle instead.
+  static const std::set<std::string> kRegistryLookups = {
+      "counter",      "gauge",          "histogram",      "unique_scope",
+      "find_counter", "find_gauge",     "find_histogram"};
+
   const auto& toks = ts.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
@@ -380,6 +387,20 @@ Findings hotpath_check(const std::string& rel_path, const TokenStream& ts,
                  " is a node-per-element container — on the wire hot "
                  "path use a flat vector / slab keyed by index"});
       }
+    } else if ((t.text == "shard_registry" ||
+                (t.text == "global" && i >= 2 &&
+                 is_ident(toks[i - 2], "Registry") &&
+                 is_punct(toks[i - 1], "::"))) &&
+               i + 4 < toks.size() && is_punct(toks[i + 1], "(") &&
+               is_punct(toks[i + 2], ")") && is_punct(toks[i + 3], ".") &&
+               toks[i + 4].kind == TokKind::kIdent &&
+               kRegistryLookups.count(toks[i + 4].text) != 0) {
+      out.push_back(
+          {"obs-hotpath-lookup", rel_path, t.line,
+           "registry lookup '" + toks[i + 4].text +
+               "' on the wire hot path — metric handles must be "
+               "resolved once at setup and cached as references "
+               "(docs/OBSERVABILITY.md), not looked up per call"});
     }
   }
   return out;

@@ -10,7 +10,8 @@
 //   determinism: determinism-wallclock, determinism-random,
 //                determinism-unordered-iter
 //   hot path:    hotpath-new, hotpath-make, hotpath-node-container,
-//                hotpath-std-function, hotpath-missing-file
+//                hotpath-std-function, hotpath-missing-file,
+//                obs-hotpath-lookup
 //   shard:       shard-mutable-global, shard-static-local
 #pragma once
 

@@ -1,0 +1,367 @@
+// hcm_top: text dashboard over fleet telemetry (docs/OBSERVABILITY.md §5).
+//
+//   hcm_top <series.json> [--top N] [--window <sec>]
+//
+// The input is either a full recorder dump (`hcm-series-v1`, written by
+// TimeSeriesRecorder::write_json / the ci/check.sh soak stage) or a
+// single getSeries reply piped to a file — the "live" path is polling
+// the wire op and re-rendering, and both shapes parse here. Four
+// panels, mirroring what an operator scans first during a soak run:
+//
+//   HEALTH    overall state + per-rule verdicts + recent transitions
+//   TOP OPS   top-N `*_us` histograms by latest p99 (call count, rate)
+//   SHARDS    per-shard event throughput (sim.shard.N.events deltas)
+//   DROPS     nonzero drop/backlog counters (drops, retries, dupes)
+//
+// Rates are virtual-time rates from the finest retention tier, so a
+// dump from a deterministic run renders identically everywhere. Exits
+// 0 with at least one data row, 1 on empty/invalid input, 2 on usage.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/value.hpp"
+
+using hcm::Value;
+
+namespace {
+
+// One metric's finest-tier window, plus the tier geometry needed to
+// turn count deltas into per-second rates.
+struct SeriesView {
+  double period_s = 1.0;
+  std::int64_t t0_us = 0;
+  std::vector<std::int64_t> values;
+
+  [[nodiscard]] std::int64_t latest() const {
+    return values.empty() ? 0 : values.back();
+  }
+  // Mean per-second rate over up to `span` trailing samples.
+  [[nodiscard]] double rate(std::size_t span) const {
+    if (values.size() < 2 || period_s <= 0) return 0.0;
+    const std::size_t n = std::min(span, values.size() - 1);
+    const double delta = static_cast<double>(
+        values.back() - values[values.size() - 1 - n]);
+    return delta / (static_cast<double>(n) * period_s);
+  }
+};
+
+struct Dashboard {
+  std::int64_t now_us = 0;
+  std::int64_t samples = 0;
+  std::int64_t dropped_series = 0;
+  std::string hash;
+  std::map<std::string, SeriesView> series;
+  Value health;  // kNull when the dump carries no monitor state
+};
+
+std::int64_t map_int(const hcm::ValueMap& m, const char* key,
+                     std::int64_t fallback = 0) {
+  auto it = m.find(key);
+  return it != m.end() && it->second.is_int() ? it->second.as_int()
+                                              : fallback;
+}
+
+std::string map_str(const hcm::ValueMap& m, const char* key) {
+  auto it = m.find(key);
+  return it != m.end() && it->second.is_string() ? it->second.as_string()
+                                                 : std::string();
+}
+
+SeriesView view_from_tier(const hcm::ValueMap& tier,
+                          std::int64_t default_period_us) {
+  SeriesView sv;
+  sv.period_s =
+      static_cast<double>(map_int(tier, "period_us", default_period_us)) /
+      1e6;
+  sv.t0_us = map_int(tier, "t0_us");
+  auto it = tier.find("values");
+  if (it != tier.end() && it->second.is_list()) {
+    for (const Value& v : it->second.as_list()) {
+      if (v.is_int()) sv.values.push_back(v.as_int());
+    }
+  }
+  return sv;
+}
+
+// Accepts both wire shapes. A dump stores each series as a list of
+// per-tier windows (finest first); a getSeries reply stores one window
+// per series with the period hoisted to the top level.
+bool load(const Value& root, Dashboard& out) {
+  if (!root.is_map()) return false;
+  const hcm::ValueMap& m = root.as_map();
+  const std::string format = map_str(m, "format");
+  const bool is_dump = format == "hcm-series-v1";
+  if (!is_dump && m.count("period_us") == 0) return false;
+  out.now_us = map_int(m, "now_us");
+  out.samples = map_int(m, "samples");
+  out.dropped_series = map_int(m, "dropped_series");
+  out.hash = map_str(m, "hash");
+  auto hit = m.find("health");
+  if (hit != m.end()) out.health = hit->second;
+  auto sit = m.find("series");
+  if (sit == m.end() || !sit->second.is_map()) return false;
+  const std::int64_t top_period = map_int(m, "period_us", 1'000'000);
+  for (const auto& [name, entry] : sit->second.as_map()) {
+    if (is_dump) {
+      if (!entry.is_list() || entry.as_list().empty()) continue;
+      const Value& finest = entry.as_list().front();
+      if (!finest.is_map()) continue;
+      out.series[name] = view_from_tier(finest.as_map(), top_period);
+    } else {
+      if (!entry.is_map()) continue;
+      out.series[name] = view_from_tier(entry.as_map(), top_period);
+    }
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+const SeriesView* find_series(const Dashboard& d, const std::string& name) {
+  auto it = d.series.find(name);
+  return it == d.series.end() ? nullptr : &it->second;
+}
+
+std::string fmt_duration(std::int64_t us) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1fs", static_cast<double>(us) / 1e6);
+  return buf;
+}
+
+void bar(char* out, std::size_t width, double frac) {
+  const auto fill = static_cast<std::size_t>(
+      frac * static_cast<double>(width) + 0.5);
+  for (std::size_t i = 0; i < width; ++i) out[i] = i < fill ? '#' : '.';
+  out[width] = '\0';
+}
+
+int render_health(const Dashboard& d) {
+  if (!d.health.is_map()) return 0;
+  const hcm::ValueMap& h = d.health.as_map();
+  std::printf("HEALTH  overall=%s  transitions=%lld\n",
+              map_str(h, "state").c_str(),
+              static_cast<long long>(map_int(h, "transitions")));
+  int rows = 0;
+  auto rit = h.find("rules");
+  if (rit != h.end() && rit->second.is_map()) {
+    for (const auto& [name, rv] : rit->second.as_map()) {
+      if (!rv.is_map()) continue;
+      const hcm::ValueMap& r = rv.as_map();
+      auto tv = r.find("value");
+      const double value =
+          tv == r.end() ? 0.0
+          : tv->second.is_double()
+              ? tv->second.as_double()
+              : static_cast<double>(tv->second.is_int() ? tv->second.as_int()
+                                                        : 0);
+      std::printf("  %-8s %-24s %s(%s)  value=%.3g  at %s\n",
+                  map_str(r, "state").c_str(), name.c_str(),
+                  map_str(r, "kind").c_str(), map_str(r, "metric").c_str(),
+                  value, map_str(r, "series").c_str());
+      ++rows;
+    }
+  }
+  auto recent = h.find("recent");
+  if (recent != h.end() && recent->second.is_list()) {
+    for (const Value& trv : recent->second.as_list()) {
+      if (!trv.is_map()) continue;
+      const hcm::ValueMap& tr = trv.as_map();
+      std::printf("  [%s] %s: %s -> %s (%s)\n",
+                  fmt_duration(map_int(tr, "when_us")).c_str(),
+                  map_str(tr, "rule").c_str(), map_str(tr, "from").c_str(),
+                  map_str(tr, "to").c_str(), map_str(tr, "series").c_str());
+      ++rows;
+    }
+  }
+  std::printf("\n");
+  return rows;
+}
+
+int render_top_ops(const Dashboard& d, std::size_t top_n,
+                   std::size_t rate_span) {
+  struct Row {
+    std::string metric;  // histogram base name, ".p99" stripped
+    std::int64_t p99;
+    std::int64_t count;
+    double rate;
+  };
+  std::vector<Row> rows;
+  for (const auto& [name, sv] : d.series) {
+    if (!ends_with(name, "_us.p99")) continue;
+    Row row;
+    row.metric = name.substr(0, name.size() - 4);
+    row.p99 = sv.latest();
+    const SeriesView* count =
+        find_series(d, row.metric.substr(0, row.metric.size() - 3) +
+                           ".calls");
+    if (count == nullptr) {
+      count = find_series(d, row.metric + ".count");
+    }
+    row.count = count != nullptr ? count->latest() : 0;
+    row.rate = count != nullptr ? count->rate(rate_span) : 0.0;
+    rows.push_back(std::move(row));
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.p99 > b.p99; });
+  const std::size_t total = rows.size();
+  if (rows.size() > top_n) rows.resize(top_n);
+  std::printf("TOP OPS BY P99  (%zu of %zu histograms)\n", rows.size(),
+              total);
+  std::printf("  %-44s %10s %10s %10s\n", "metric", "p99_us", "calls",
+              "calls/s");
+  for (const Row& r : rows) {
+    std::printf("  %-44s %10lld %10lld %10.2f\n", r.metric.c_str(),
+                static_cast<long long>(r.p99),
+                static_cast<long long>(r.count), r.rate);
+  }
+  std::printf("\n");
+  return static_cast<int>(rows.size());
+}
+
+int render_shards(const Dashboard& d, std::size_t rate_span) {
+  struct Row {
+    std::string name;
+    std::int64_t events;
+    double rate;
+  };
+  std::vector<Row> rows;
+  for (const auto& [name, sv] : d.series) {
+    const bool shard = name.rfind("sim.shard.", 0) == 0 &&
+                       ends_with(name, ".events");
+    if (!shard && name != "sim.events") continue;
+    rows.push_back({name, sv.latest(), sv.rate(rate_span)});
+  }
+  if (rows.empty()) return 0;
+  double max_rate = 0;
+  for (const Row& r : rows) max_rate = std::max(max_rate, r.rate);
+  const SeriesView* windows = find_series(d, "sim.windows");
+  std::printf("SHARD THROUGHPUT");
+  if (windows != nullptr) {
+    std::printf("  windows=%lld",
+                static_cast<long long>(windows->latest()));
+  }
+  std::printf("\n  %-20s %12s %12s  utilization\n", "shard", "events",
+              "events/s");
+  for (const Row& r : rows) {
+    char gauge[33];
+    bar(gauge, 32, max_rate > 0 ? r.rate / max_rate : 0.0);
+    std::printf("  %-20s %12lld %12.1f  %s\n", r.name.c_str(),
+                static_cast<long long>(r.events), r.rate, gauge);
+  }
+  std::printf("\n");
+  return static_cast<int>(rows.size());
+}
+
+int render_drops(const Dashboard& d, std::size_t rate_span) {
+  static constexpr const char* kSuffixes[] = {
+      ".dropped",  ".drops",   ".retries",        ".duplicates",
+      ".faults",   ".errors",  ".leases_expired", ".spans_dropped",
+      ".datagrams_dropped"};
+  struct Row {
+    std::string name;
+    std::int64_t total;
+    double rate;
+  };
+  std::vector<Row> rows;
+  for (const auto& [name, sv] : d.series) {
+    const bool match =
+        std::any_of(std::begin(kSuffixes), std::end(kSuffixes),
+                    [&name](const char* s) { return ends_with(name, s); });
+    if (!match || sv.latest() == 0) continue;
+    rows.push_back({name, sv.latest(), sv.rate(rate_span)});
+  }
+  std::printf("DROPS / BACKLOG  (%zu nonzero)\n", rows.size());
+  for (const Row& r : rows) {
+    std::printf("  %-44s %10lld %10.2f/s\n", r.name.c_str(),
+                static_cast<long long>(r.total), r.rate);
+  }
+  std::printf("\n");
+  return static_cast<int>(rows.size());
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: hcm_top <series.json> [--top N] [--window SECONDS]\n"
+      "  series.json: TimeSeriesRecorder dump (hcm-series-v1) or a\n"
+      "  getSeries reply; re-run per poll to follow a live service\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::size_t top_n = 10;
+  double window_s = 30.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--top" && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (arg == "--window" && i + 1 < argc) {
+      window_s = std::strtod(argv[++i], nullptr);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage();
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty() || top_n == 0 || window_s <= 0) return usage();
+
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "hcm_top: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  auto parsed = hcm::json_parse(text.str());
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "hcm_top: %s: %s\n", path.c_str(),
+                 parsed.status().message().c_str());
+    return 1;
+  }
+  Dashboard d;
+  if (!load(parsed.value(), d)) {
+    std::fprintf(stderr, "hcm_top: %s: not a series dump or getSeries reply\n",
+                 path.c_str());
+    return 1;
+  }
+
+  std::printf("hcm_top  t=%s  series=%zu  samples=%lld  dropped=%lld",
+              fmt_duration(d.now_us).c_str(), d.series.size(),
+              static_cast<long long>(d.samples),
+              static_cast<long long>(d.dropped_series));
+  if (!d.hash.empty()) std::printf("  hash=%s", d.hash.c_str());
+  std::printf("\n\n");
+
+  // Rate window in samples of the finest tier present.
+  double period_s = 1.0;
+  if (!d.series.empty()) period_s = d.series.begin()->second.period_s;
+  const auto rate_span = static_cast<std::size_t>(
+      std::max(1.0, window_s / std::max(period_s, 1e-9)));
+
+  int rows = 0;
+  rows += render_health(d);
+  rows += render_top_ops(d, top_n, rate_span);
+  rows += render_shards(d, rate_span);
+  rows += render_drops(d, rate_span);
+  std::printf("rows: %d\n", rows);
+  if (rows == 0) {
+    std::fprintf(stderr, "hcm_top: no data rows in %s\n", path.c_str());
+    return 1;
+  }
+  return 0;
+}
