@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/shard_pools.hpp"
 #include "obs/health.hpp"
 #include "obs/slab.hpp"
 #include "obs/timeseries.hpp"
@@ -62,6 +63,10 @@ RunResult run_city(sim::ShardId shards, const testbed::CityOptions& copts,
   for (sim::ShardId s = 0; s < shards; ++s) {
     traces.push_back(std::make_unique<sim::TraceRecorder>(kernel.shard(s)));
   }
+  // Per-shard wire block pools: each worker's messages draw from its
+  // own freelist. Destroyed after the city (declared before it), when
+  // every in-flight block has been released.
+  net::ShardBlockPools wire_pools(kernel);
   // --series: the PR 9 telemetry loop riding along — per-shard slabs,
   // the recorder sampling at window barriers, and one liveness rule so
   // the dump carries health state for hcm_top. Declared after the
@@ -76,7 +81,7 @@ RunResult run_city(sim::ShardId shards, const testbed::CityOptions& copts,
     topts.tiers = {{sim::milliseconds(100), 600},
                    {sim::seconds(1), 120},
                    {sim::seconds(10), 180}};
-    topts.prefixes = {"vsg.", "events.", "obs.health."};
+    topts.prefixes = {"vsg.", "events.", "obs.health.", "wire."};
     topts.max_series = 2000;  // a 1,000-island fleet is far larger
     health.emplace();
     const Status rule = health->add_rule_spec(
@@ -88,6 +93,10 @@ RunResult run_city(sim::ShardId shards, const testbed::CityOptions& copts,
     }
     recorder.emplace(std::move(topts));
     recorder->set_health(&*health);
+    // Fresh pool occupancy at every grid point (hcm_top's WIRE POOL
+    // panel reads these series from the dump).
+    recorder->set_pre_sample(
+        [&wire_pools] { net::publish_wire_pool_gauges(&wire_pools); });
     recorder->attach(kernel);
   }
   testbed::City city(kernel, copts);

@@ -16,8 +16,15 @@
 // alternative, the floor). Payloads are a short string + int pair —
 // a typical control-plane op (fig4's turnOn/getStatus class of call).
 //
+// A third, optional arm exercises the block pool at stream scale: N
+// concurrent connections with batched send/deliver churn, reporting
+// peak RSS, RSS growth after warmup (flat growth = every payload block
+// recycled through the freelist) and the pool hit rate.
+//
 //   --json <path>    archive rows as BENCH_wire_throughput.json
 //   --calls <n>      calls per arm (default 4000; CI smoke uses less)
+//   --streams <n>    add the churn arm over n concurrent streams
+//                    (the headline configuration is 100000)
 #define HCM_BENCH_ALLOC_HOOK 1
 #include "bench_util.hpp"
 
@@ -25,12 +32,16 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/block_pool.hpp"
+#include "common/block_stream.hpp"
 #include "core/vsg.hpp"
+#include "net/network.hpp"
 #include "soap/envelope.hpp"
 
 using namespace hcm;
@@ -83,10 +94,13 @@ ArmResult run_arm(core::VsgProtocol protocol, std::size_t calls) {
   }
 
   const Value tag("status-display-update-payload-0123456789abcdef");
+  // Arguments live outside the loop so the harness measures the
+  // middleware's allocations, not its own argument rebuilding.
+  ValueList args{tag, Value(std::int64_t{0})};
   auto invoke_once = [&](std::int64_t seq) {
     std::optional<Result<Value>> result;
-    caller.call_remote(uri.value(), "probe-1", iface, "poke",
-                       {tag, Value(seq)},
+    args[1] = Value(seq);
+    caller.call_remote(uri.value(), "probe-1", iface, "poke", args,
                        [&](Result<Value> r) { result = std::move(r); });
     sim::run_until_done(sched, [&] { return result.has_value(); });
     if (!result.has_value() || !result->is_ok()) {
@@ -120,7 +134,144 @@ ArmResult run_arm(core::VsgProtocol protocol, std::size_t calls) {
   return r;
 }
 
-void throughput_report(const std::string& json_path, std::size_t calls) {
+// --- stream-churn arm: pooled blocks at 100k+ concurrent streams --------
+
+// /proc/self/status field in kB (VmRSS, VmHWM); 0 when unavailable.
+std::int64_t proc_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::int64_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      kb = std::atoll(line + key_len + 1);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+struct ChurnResult {
+  std::size_t streams = 0;
+  int cycles = 0;
+  double sends_per_sec = 0;
+  std::int64_t peak_rss_kb = 0;    // VmHWM at the end of the run
+  std::int64_t rss_growth_kb = 0;  // VmRSS delta, cycle 1 -> last cycle
+  double pool_hit_rate = 0;        // freelist hits / total pool acquires
+  std::uint64_t heap_fallbacks = 0;
+};
+
+// Holds `n_streams` concurrent connections, then cycles send/deliver
+// over all of them with a bounded in-flight batch, so live messages —
+// not the stream count — bound block demand. RSS must stay flat cycle
+// over cycle: every payload block recycles through the freelist
+// (docs/PERFORMANCE.md §"Block pool"). The first cycle is the warmup
+// that grows the pool to steady state; growth is measured after it.
+ChurnResult run_churn(std::size_t n_streams, int cycles) {
+  // A dedicated single-lane pool bound to the driving thread (the
+  // single-scheduler binding path of block_pool.hpp): the whole cap is
+  // one freelist, so the steady-state in-flight batch recycles with a
+  // near-1 hit rate. Declared first — everything that can still hold a
+  // block (streams, pending buffers) dies before the pool does.
+  BlockPool churn_pool(BlockPool::Config{.max_blocks = 2048, .lanes = 1});
+  BlockPool* prev_pool = bind_thread_block_pool(&churn_pool);
+  sim::Scheduler sched;
+  net::Network net{sched};
+  auto& gw_a = net.add_node("churn-a");
+  auto& gw_b = net.add_node("churn-b");
+  auto& eth = net.add_ethernet("backbone", sim::microseconds(200), 100'000'000);
+  net.attach(gw_a, eth);
+  net.attach(gw_b, eth);
+
+  std::vector<net::StreamPtr> accepted;
+  accepted.reserve(n_streams);
+  const Status listening =
+      gw_a.listen(9000, [&accepted](net::StreamPtr s) {
+        // Deliver handler drops the chain, releasing its blocks.
+        s->set_on_data([](BlockStream&& data) { data.clear(); });
+        accepted.push_back(std::move(s));
+      });
+  if (!listening.is_ok()) {
+    std::fprintf(stderr, "bench: churn listen failed\n");
+    std::exit(1);
+  }
+
+  std::vector<net::StreamPtr> streams;
+  streams.reserve(n_streams);
+  // Handshakes are 1.5 RTT of simulated events; batches keep the
+  // event queue (a host-memory cost) bounded while the established
+  // stream count climbs to the full n_streams.
+  constexpr std::size_t kBatch = 4096;
+  for (std::size_t opened = 0; opened < n_streams;) {
+    const std::size_t batch = std::min(kBatch, n_streams - opened);
+    for (std::size_t i = 0; i < batch; ++i) {
+      net.connect(gw_b.id(), {gw_a.id(), 9000},
+                  [&streams](Result<net::StreamPtr> r) {
+                    if (r.is_ok()) streams.push_back(std::move(r).take());
+                  });
+    }
+    opened += batch;
+    sched.run();
+  }
+  if (streams.size() != n_streams || accepted.size() != n_streams) {
+    std::fprintf(stderr, "bench: churn connect failed (%zu/%zu up)\n",
+                 streams.size(), n_streams);
+    std::exit(1);
+  }
+
+  const std::string payload(512, 'x');
+  const BlockPool::Stats pool0 = wire_pool().stats();
+  std::int64_t rss_after_warmup = 0;
+  std::uint64_t sends = 0;
+  // In-flight messages, not streams, bound block demand: each send
+  // batch lives in at most kSendBatch pooled blocks (under the cap),
+  // released on delivery before the next batch draws them again.
+  constexpr std::size_t kSendBatch = 1024;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (std::size_t i = 0; i < streams.size();) {
+      const std::size_t batch = std::min(kSendBatch, streams.size() - i);
+      for (std::size_t j = 0; j < batch; ++j, ++i) {
+        BlockStream data;
+        data.append(payload);
+        streams[i]->send(std::move(data));
+        ++sends;
+      }
+      sched.run();  // deliver the batch; receivers release the blocks
+    }
+    if (cycle == 0) rss_after_warmup = proc_status_kb("VmRSS");
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ChurnResult r;
+  r.streams = n_streams;
+  r.cycles = cycles;
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  r.sends_per_sec = secs > 0 ? static_cast<double>(sends) / secs : 0;
+  r.peak_rss_kb = proc_status_kb("VmHWM");
+  r.rss_growth_kb = proc_status_kb("VmRSS") - rss_after_warmup;
+  const BlockPool::Stats pool1 = wire_pool().stats();
+  const std::uint64_t hits = pool1.pool_hits - pool0.pool_hits;
+  const std::uint64_t total = hits + (pool1.fresh_blocks - pool0.fresh_blocks) +
+                              (pool1.heap_fallbacks - pool0.heap_fallbacks);
+  r.pool_hit_rate =
+      total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0;
+  r.heap_fallbacks = pool1.heap_fallbacks - pool0.heap_fallbacks;
+
+  for (auto& s : streams) s->close();
+  sched.run();
+  streams.clear();
+  accepted.clear();
+  bind_thread_block_pool(prev_pool);
+  return r;
+}
+
+void throughput_report(const std::string& json_path, std::size_t calls,
+                       std::size_t churn_streams) {
   bench::print_header(
       "Wire hot-path throughput: cross-island round trips (wall clock)");
   if (!bench::alloc_hook_installed()) {
@@ -154,6 +305,27 @@ void throughput_report(const std::string& json_path, std::size_t calls) {
         .num("allocs_per_call", best.allocs_per_call)
         .num("bytes_per_call", best.bytes_per_call)
         .num("sim_us_per_call", best.sim_us_per_call);
+  }
+  if (churn_streams > 0) {
+    const int cycles = 3;
+    const ChurnResult c = run_churn(churn_streams, cycles);
+    std::printf(
+        "  churn    %zu streams x %d cycles: %.0f sends/sec, "
+        "peak rss %lld kB, growth %lld kB, pool hit rate %.3f, "
+        "%llu heap fallbacks\n",
+        c.streams, c.cycles, c.sends_per_sec,
+        static_cast<long long>(c.peak_rss_kb),
+        static_cast<long long>(c.rss_growth_kb), c.pool_hit_rate,
+        static_cast<unsigned long long>(c.heap_fallbacks));
+    report.row()
+        .str("path", "churn")
+        .num("streams", static_cast<std::uint64_t>(c.streams))
+        .num("cycles", static_cast<std::uint64_t>(c.cycles))
+        .num("sends_per_sec", c.sends_per_sec)
+        .num("peak_rss_kb", static_cast<double>(c.peak_rss_kb))
+        .num("rss_growth_kb", static_cast<double>(c.rss_growth_kb))
+        .num("pool_hit_rate", c.pool_hit_rate)
+        .num("heap_fallbacks", static_cast<double>(c.heap_fallbacks));
   }
   if (!json_path.empty() && report.write(json_path)) {
     std::printf("  (json written to %s)\n", json_path.c_str());
@@ -202,6 +374,7 @@ BENCHMARK(BM_SoapRoundTrip);
 int main(int argc, char** argv) {
   const std::string json_path = bench::json_path_arg(argc, argv);
   std::size_t calls = 4000;
+  std::size_t churn_streams = 0;
   std::vector<char*> args;
   for (int i = 0; i < argc; ++i) {
     if (std::string(argv[i]) == "--json") {
@@ -213,11 +386,18 @@ int main(int argc, char** argv) {
       ++i;
       continue;
     }
+    if (std::string(argv[i]) == "--streams") {
+      if (i + 1 < argc) {
+        churn_streams = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+      }
+      ++i;
+      continue;
+    }
     args.push_back(argv[i]);
   }
   int filtered_argc = static_cast<int>(args.size());
 
-  throughput_report(json_path, calls);
+  throughput_report(json_path, calls, churn_streams);
   benchmark::Initialize(&filtered_argc, args.data());
   benchmark::RunSpecifiedBenchmarks();
   return 0;

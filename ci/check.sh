@@ -59,7 +59,7 @@ echo "=== [3/12] races: tsan preset (scheduler / event bridge / net) ==="
 cmake --preset tsan
 cmake --build --preset tsan -j "${JOBS}"
 ctest --preset tsan -j "${JOBS}" -R \
-  'SchedulerTest|SpscQueueTest|WindowBarrierTest|ShardedKernelTest|ShardDeterminismTest|CityTest|DeterminismAuditTest|TraceRecorderTest|EventBridgeTest|EventBridgeUpnpTest|NetworkTest|StreamTest|Ieee1394Test|PowerlineTest|BinaryChannelTest'
+  'SchedulerTest|SpscQueueTest|WindowBarrierTest|ShardedKernelTest|ShardDeterminismTest|CityTest|DeterminismAuditTest|TraceRecorderTest|EventBridgeTest|EventBridgeUpnpTest|NetworkTest|StreamTest|Ieee1394Test|PowerlineTest|BinaryChannelTest|BlockPoolTest|ShardBlockPoolsTest'
 
 echo "=== [4/12] hcm_lint summary ==="
 ./build/tools/hcm_lint/hcm_lint --root .
@@ -91,9 +91,12 @@ rm -f obs_trace_smoke.json
 echo "=== [9/12] wire-throughput bench (perf preset, archives BENCH_wire_throughput.json) ==="
 cmake --preset perf
 cmake --build --preset perf -j "${JOBS}" --target bench_ext_wire_throughput
-./build-perf/bench/bench_ext_wire_throughput --calls 300 \
+./build-perf/bench/bench_ext_wire_throughput --calls 300 --streams 5000 \
   --benchmark_min_time=0.01 --json BENCH_wire_throughput.json
 grep -q '"calls_per_sec"' BENCH_wire_throughput.json
+# The churn arm's pooled-block row must be present: stream-scale block
+# recycling is part of the wire gate (docs/PERFORMANCE.md §"Block pool").
+grep -q '"pool_hit_rate"' BENCH_wire_throughput.json
 
 echo "=== [10/12] durable store: recovery bench + hcm_store fsck/stats ==="
 store_smoke_dir="$(mktemp -d)/store"

@@ -1,0 +1,136 @@
+// Fixed-size block arena for the wire path, in the style of gromox's
+// LIB_BUFFER/STREAM pair: every HTTP/SOAP message and every in-flight
+// stream payload lives in chained 16 KB blocks drawn from a freelist
+// instead of per-message grow/shrink heap buffers. Blocks are recycled
+// on release, so a steady-state gateway performs no allocator traffic
+// for wire bytes at all (docs/PERFORMANCE.md §"Block pool").
+//
+// Concurrency: the freelist is lock-sharded into cache-line-padded
+// lanes; a thread sticks to one lane (round-robin cookie), so shard
+// workers on different lanes never contend. Aggregate stats are plain
+// relaxed atomics — they feed gauges, not control flow.
+//
+// Exhaustion: acquire() never fails. Past the configured block cap it
+// degrades to a plain heap block (owner == nullptr) that is freed on
+// release rather than recycled, and counts the fallback so the
+// telemetry panel makes pool under-sizing visible.
+//
+// Layering: common sits at the bottom of the DAG, so shard affinity is
+// injected from above — the sharded harness installs a PoolResolver
+// (net::ShardBlockPools) mapping the calling thread to its shard's
+// pool; unbound threads fall back to the process-wide default pool.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace hcm {
+
+class BlockPool;
+
+// Header embedded at the front of every 16 KB block allocation; the
+// payload bytes follow it. `next` chains blocks inside a BlockStream
+// and inside the freelist (never both at once).
+struct BlockHeader {
+  BlockHeader* next = nullptr;
+  BlockPool* owner = nullptr;  // nullptr: heap fallback, freed on release
+  std::uint32_t used = 0;      // payload bytes written
+  std::uint32_t lane = 0;      // owning freelist lane when pooled
+
+  [[nodiscard]] std::uint8_t* data() {
+    return reinterpret_cast<std::uint8_t*>(this + 1);
+  }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return reinterpret_cast<const std::uint8_t*>(this + 1);
+  }
+};
+
+class BlockPool {
+ public:
+  // Whole-block allocation size; the usable payload is what remains
+  // after the header. 16 KB holds a full SOAP call envelope plus HTTP
+  // framing in one block for every workload in the benches.
+  static constexpr std::size_t kBlockBytes = 16 * 1024;
+  static constexpr std::size_t kBlockCapacity =
+      kBlockBytes - sizeof(BlockHeader);
+
+  struct Config {
+    // Cap on pooled (recycled) blocks; beyond it acquire() serves heap
+    // fallback blocks. 4096 blocks = 64 MB, sized for the 100k-stream
+    // churn bench where live messages, not streams, bound the need.
+    std::size_t max_blocks = 4096;
+    std::uint32_t lanes = 8;
+  };
+
+  struct Stats {
+    std::uint64_t blocks_in_use = 0;   // acquired and not yet released
+    std::uint64_t high_water = 0;      // max blocks_in_use ever seen
+    std::uint64_t pooled_blocks = 0;   // pooled blocks in existence
+    std::uint64_t pool_hits = 0;       // acquires served off a freelist
+    std::uint64_t fresh_blocks = 0;    // acquires that grew the pool
+    std::uint64_t heap_fallbacks = 0;  // acquires past the cap
+  };
+
+  BlockPool();  // default Config
+  explicit BlockPool(Config cfg);
+  BlockPool(const BlockPool&) = delete;
+  BlockPool& operator=(const BlockPool&) = delete;
+  // Frees the freelists. Blocks still in use must have been released
+  // first (checked): a block outliving its pool would dangle.
+  ~BlockPool();
+
+  // Never returns nullptr: falls back to a heap block past the cap.
+  [[nodiscard]] BlockHeader* acquire();
+
+  // Returns a block to its owning pool's freelist, or frees it when it
+  // was a heap fallback. Safe for blocks of any pool (the header knows
+  // its owner), which keeps cross-pool BlockStream splices sound.
+  static void release(BlockHeader* b);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct alignas(64) Lane {
+    std::mutex mu;
+    BlockHeader* free = nullptr;
+    std::uint64_t pooled = 0;  // pooled blocks created by this lane
+    std::uint64_t hits = 0;
+    std::uint64_t fresh = 0;
+    std::uint64_t fallbacks = 0;
+  };
+
+  void release_pooled(BlockHeader* b);
+
+  Config cfg_;
+  std::size_t lane_cap_;  // max pooled blocks per lane
+  std::unique_ptr<Lane[]> lanes_;
+  std::atomic<std::uint64_t> in_use_{0};
+  std::atomic<std::uint64_t> high_water_{0};
+};
+
+// --- thread / shard binding ---------------------------------------------
+
+// The pool wire-path code should draw from, resolved per acquire:
+//   1. an explicit thread binding (bind_thread_block_pool) — tests and
+//      single-scheduler scenarios;
+//   2. the installed PoolResolver's answer — the sharded harness maps
+//      the calling worker thread to its shard's pool;
+//   3. the process-wide default pool.
+[[nodiscard]] BlockPool& wire_pool();
+
+// Explicitly binds the calling thread (nullptr unbinds). Returns the
+// previous binding so scopes can nest/restore.
+BlockPool* bind_thread_block_pool(BlockPool* pool);
+
+// Injected shard resolution (see file comment). A plain function
+// pointer so resolution needs no state here; nullptr uninstalls.
+using PoolResolver = BlockPool* (*)();
+void set_pool_resolver(PoolResolver resolver);
+
+// The process-wide fallback pool (created on first use).
+[[nodiscard]] BlockPool& default_block_pool();
+
+}  // namespace hcm

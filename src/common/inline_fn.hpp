@@ -1,0 +1,293 @@
+// Move-only callable wrapper with guaranteed small-buffer storage —
+// the event-closure currency of the hot path. std::function's inline
+// buffer (16 bytes on libstdc++, trivially-copyable captures only)
+// heap-allocates every scheduler event that captures a shared_ptr plus
+// a payload, which at wire rates dominated the allocation profile. An
+// InlineFn constructs the callable directly inside a 64-byte slot, so
+// scheduling an event performs zero allocations for every closure the
+// sim actually builds; oversized captures degrade to one heap cell.
+// Move-only on purpose: event closures own payloads (BlockStream), and
+// the scheduler/slab machinery only ever moves them.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hcm {
+
+template <typename Sig, std::size_t Inline = 64>
+class InlineFn;
+
+template <typename R, typename... Args, std::size_t Inline>
+class InlineFn<R(Args...), Inline> {
+ public:
+  InlineFn() = default;
+  InlineFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  InlineFn(InlineFn&& o) noexcept { move_from(o); }
+  InlineFn& operator=(InlineFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  InlineFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFn& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  friend bool operator==(const InlineFn& f, std::nullptr_t) { return !f; }
+  friend bool operator!=(const InlineFn& f, std::nullptr_t) {
+    return static_cast<bool>(f);
+  }
+
+  R operator()(Args... args) {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    // Move-constructs dst from src's storage and destroys src's.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<F*>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr VTable vt{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static R invoke(void* p, Args&&... args) {
+      return (**static_cast<F**>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      std::memcpy(dst, src, sizeof(F*));
+    }
+    static void destroy(void* p) { delete *static_cast<F**>(p); }
+    static constexpr VTable vt{&invoke, &relocate, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= Inline && alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &InlineOps<D>::vt;
+    } else {
+      D* cell = new D(std::forward<F>(f));
+      std::memcpy(buf_, &cell, sizeof(cell));
+      vt_ = &HeapOps<D>::vt;
+    }
+  }
+
+  void move_from(InlineFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[Inline];
+};
+
+// Copyable sibling of InlineFn — the async-callback currency of the
+// RPC path (respond fns, call completions). These flow through APIs
+// that occasionally copy (a handler parking its respond callback for
+// later), so they cannot be move-only, but at wire rates the
+// std::function they replace heap-allocated on every hop of the
+// respond/completion chain. A SmallFn holds the callable inline up to
+// `Inline` bytes — sized per alias so each chain layer (which captures
+// the previous layer's callback) still fits — and copies clone the
+// callable in place. Oversized captures degrade to one heap cell each,
+// cloned on copy, exactly like std::function.
+template <typename Sig, std::size_t Inline = 64>
+class SmallFn;
+
+template <typename R, typename... Args, std::size_t Inline>
+class SmallFn<R(Args...), Inline> {
+ public:
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& o) noexcept { move_from(o); }
+  SmallFn(const SmallFn& o) { copy_from(o); }
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      move_from(o);
+    }
+    return *this;
+  }
+  SmallFn& operator=(const SmallFn& o) {
+    if (this != &o) {
+      reset();
+      copy_from(o);
+    }
+    return *this;
+  }
+  SmallFn& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn& operator=(F&& f) {
+    reset();
+    emplace(std::forward<F>(f));
+    return *this;
+  }
+
+  ~SmallFn() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+  friend bool operator==(const SmallFn& f, std::nullptr_t) { return !f; }
+  friend bool operator!=(const SmallFn& f, std::nullptr_t) {
+    return static_cast<bool>(f);
+  }
+
+  // Invocable through const refs like std::function: the stored
+  // callable itself is invoked non-const (mutable lambdas work).
+  R operator()(Args... args) const {
+    return vt_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    void (*relocate)(void* dst, void* src);
+    void (*clone)(void* dst, const void* src);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  struct InlineOps {
+    static R invoke(void* p, Args&&... args) {
+      return (*static_cast<F*>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void clone(void* dst, const void* src) {
+      ::new (dst) F(*static_cast<const F*>(src));
+    }
+    static void destroy(void* p) { static_cast<F*>(p)->~F(); }
+    static constexpr VTable vt{&invoke, &relocate, &clone, &destroy};
+  };
+
+  template <typename F>
+  struct HeapOps {
+    static R invoke(void* p, Args&&... args) {
+      return (**static_cast<F**>(p))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) {
+      std::memcpy(dst, src, sizeof(F*));
+    }
+    static void clone(void* dst, const void* src) {
+      F* cell = new F(**static_cast<F* const*>(src));
+      std::memcpy(dst, &cell, sizeof(cell));
+    }
+    static void destroy(void* p) { delete *static_cast<F**>(p); }
+    static constexpr VTable vt{&invoke, &relocate, &clone, &destroy};
+  };
+
+  template <typename F>
+  void emplace(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= Inline &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &InlineOps<D>::vt;
+    } else {
+      D* cell = new D(std::forward<F>(f));
+      std::memcpy(buf_, &cell, sizeof(cell));
+      vt_ = &HeapOps<D>::vt;
+    }
+  }
+
+  void move_from(SmallFn& o) noexcept {
+    vt_ = o.vt_;
+    if (vt_ != nullptr) {
+      vt_->relocate(buf_, o.buf_);
+      o.vt_ = nullptr;
+    }
+  }
+
+  void copy_from(const SmallFn& o) {
+    if (o.vt_ != nullptr) {
+      o.vt_->clone(buf_, o.buf_);
+      vt_ = o.vt_;
+    }
+  }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(std::max_align_t) mutable unsigned char buf_[Inline];
+};
+
+}  // namespace hcm

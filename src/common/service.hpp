@@ -7,13 +7,18 @@
 #include <functional>
 #include <string>
 
+#include "common/inline_fn.hpp"
 #include "common/interface_desc.hpp"
 #include "common/status.hpp"
 #include "common/value.hpp"
 
 namespace hcm {
 
-using InvokeResultFn = std::function<void(Result<Value>)>;
+// Completion callbacks ride the wire hot path: every RPC hop captures
+// the previous hop's callback, so the inline budget is sized to hold a
+// whole dispatch chain without touching the heap (measured by
+// bench_ext_wire_throughput's allocs/call).
+using InvokeResultFn = SmallFn<void(Result<Value>), 192>;
 
 // Invoke `method` with positional args; completion is asynchronous.
 using ServiceHandler = std::function<void(

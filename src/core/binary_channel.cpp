@@ -16,26 +16,31 @@ Bytes frame(const Bytes& payload) {
 }
 
 // Incremental length-prefix deframer (shared shape with jini's, but the
-// binary VSG channel is its own protocol).
+// binary VSG channel is its own protocol). Accumulates in pooled
+// blocks: deliveries splice in, drained frames release their blocks.
 class Deframer {
  public:
-  Status feed(const Bytes& data, std::vector<Bytes>& out) {
-    buf_.insert(buf_.end(), data.begin(), data.end());
+  Status feed(BlockStream&& data, std::vector<Bytes>& out) {
+    buf_.splice(std::move(data));
     while (buf_.size() >= 4) {
-      std::uint32_t len = (static_cast<std::uint32_t>(buf_[0]) << 24) |
-                          (static_cast<std::uint32_t>(buf_[1]) << 16) |
-                          (static_cast<std::uint32_t>(buf_[2]) << 8) |
-                          static_cast<std::uint32_t>(buf_[3]);
+      std::uint8_t hdr[4];
+      buf_.copy_to(hdr, 0, 4);
+      std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                          (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                          (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                          static_cast<std::uint32_t>(hdr[3]);
       if (len > 16 * 1024 * 1024) return protocol_error("frame too large");
       if (buf_.size() < 4u + len) return Status::ok();
-      out.emplace_back(buf_.begin() + 4, buf_.begin() + 4 + len);
-      buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+      Bytes frame(len);
+      buf_.copy_to(frame.data(), 4, len);
+      buf_.consume(4u + len);
+      out.push_back(std::move(frame));
     }
     return Status::ok();
   }
 
  private:
-  Bytes buf_;
+  BlockStream buf_;
 };
 
 }  // namespace
@@ -97,9 +102,9 @@ void BinaryRpcServer::on_accept(net::StreamPtr stream) {
                 [](const std::weak_ptr<Conn>& w) { return w.expired(); });
   connections_.push_back(conn);
   stream->set_on_close([conn] { conn->stream = nullptr; });
-  stream->set_on_data([this, conn](const Bytes& data) {
+  stream->set_on_data([this, conn](BlockStream&& data) {
     std::vector<Bytes> frames;
-    if (!conn->deframer.feed(data, frames).is_ok()) {
+    if (!conn->deframer.feed(std::move(data), frames).is_ok()) {
       if (conn->stream) conn->stream->close();
       return;
     }
@@ -257,11 +262,11 @@ void BinaryRpcClient::call(net::Endpoint dest, const std::string& service,
         c->fail_all(unavailable("binary peer closed"));
       }
     });
-    conn->stream->set_on_data([wconn](const Bytes& data) {
+    conn->stream->set_on_data([wconn](BlockStream&& data) {
       auto conn = wconn.lock();
       if (!conn) return;
       std::vector<Bytes> frames;
-      if (!conn->deframer.feed(data, frames).is_ok()) {
+      if (!conn->deframer.feed(std::move(data), frames).is_ok()) {
         conn->stream->close();
         return;
       }

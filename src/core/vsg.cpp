@@ -119,9 +119,14 @@ Result<Uri> VirtualServiceGateway::expose(const std::string& name,
     for (const auto& m : iface.methods) {
       exposed.soap_service->register_method(
           m.name,
-          [dispatch, handler = exposed.handler, method = m.name](
-              const soap::NamedValues& params, soap::CallResultFn done) {
-            ValueList args;
+          // args lives in the (mutable) closure so its capacity is
+          // reused call over call; dispatch consumes it synchronously
+          // and nested re-entry is impossible within a frame (loopback
+          // delivery is scheduled, never inline).
+          [dispatch, handler = exposed.handler, method = m.name,
+           args = ValueList{}](const soap::NamedValues& params,
+                               soap::CallResultFn done) mutable {
+            args.clear();
             args.reserve(params.size());
             for (const auto& [k, v] : params) args.push_back(v);
             dispatch(handler, method, args, std::move(done));
@@ -213,14 +218,25 @@ void VirtualServiceGateway::call_remote(const Uri& endpoint,
                         std::move(done));
     return;
   }
-  soap::NamedValues params;
+  // Scratch reuse: entry names assign into retained capacity, values
+  // copy-assign (no allocation for scalars), and the namespace string
+  // rebuilds in place. Both are done with by the time soap_client_.call
+  // returns (the call body renders synchronously).
+  auto& params = params_scratch_;
+  params.resize(args.size());
   for (std::size_t i = 0; i < args.size(); ++i) {
-    params.emplace_back(i < desc->params.size() ? desc->params[i].name
-                                                : "arg" + std::to_string(i),
-                        args[i]);
+    if (i < desc->params.size()) {
+      params[i].first.assign(desc->params[i].name);
+    } else {
+      params[i].first.assign("arg");
+      params[i].first += std::to_string(i);
+    }
+    params[i].second = args[i];
   }
-  soap_client_.call(resolved.value(), endpoint.path, "urn:hcm:" + iface.name,
-                    method, params, std::move(done));
+  ns_scratch_.assign("urn:hcm:");
+  ns_scratch_ += iface.name;
+  soap_client_.call(resolved.value(), endpoint.path, ns_scratch_, method,
+                    params, std::move(done));
 }
 
 }  // namespace hcm::core

@@ -106,6 +106,12 @@ class VirtualServiceGateway {
   BinaryRpcServer binary_server_;
   BinaryRpcClient binary_client_;
   std::map<std::string, Exposed> exposed_;
+  // call_remote scratch, consumed synchronously by the wire client
+  // before the frame returns (completions fire on later scheduler
+  // events, so a nested call never observes a live borrow). Entry
+  // capacities persist call over call.
+  soap::NamedValues params_scratch_;
+  std::string ns_scratch_;
   std::string obs_scope_;
   obs::Counter& remote_calls_;
   obs::Counter& local_dispatches_;

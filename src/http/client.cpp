@@ -9,41 +9,62 @@ struct HttpClient::PooledConn {
   net::StreamPtr stream;
   net::Endpoint dest;
   MessageParser parser{MessageParser::Mode::kResponse};
-  std::deque<std::pair<Request, ResponseCallback>> queue;
+  struct Queued {
+    Request req;
+    ResponseCallback cb;
+    sim::SimTime start;
+  };
+  std::deque<Queued> queue;
   ResponseCallback inflight;       // callback awaiting a response
+  sim::SimTime inflight_start = 0; // request() entry time, for latency
+  // Delivery scratch: responses are lent to the callback and moved
+  // back, so string/header capacities rotate scratch <-> parser slots
+  // instead of being reallocated per message.
+  Response scratch_resp;
   sim::EventId timeout_event = 0;
   bool keep_alive = false;
 };
 
+// Latency/error accounting happens at the point a callback is
+// delivered (not via a per-request wrapper closure, which would
+// heap-allocate on every call): every path that invokes a callback
+// funnels through here or records against the registry-owned metrics
+// directly. The result stays owned by the caller (lvalue ref) so the
+// hot path can reclaim the Response's string storage afterwards.
+void HttpClient::finish(ResponseCallback cb, sim::SimTime start,
+                        Result<Response>& r) {
+  latency_us_.observe(net_.scheduler().now() - start);
+  if (!r.is_ok()) errors_.inc();
+  cb(r);
+}
+
 void HttpClient::request(net::Endpoint dest, Request req, ResponseCallback cb) {
   requests_.inc();
-  cb = [this, &sched = net_.scheduler(), start = net_.scheduler().now(),
-        cb = std::move(cb)](Result<Response> r) {
-    latency_us_.observe(sched.now() - start);
-    if (!r.is_ok()) errors_.inc();
-    cb(std::move(r));
-  };
-  req.set_header("Host", dest.to_string());
+  const sim::SimTime start = net_.scheduler().now();
+  std::string& host = header_slot(req.headers, "Host");
+  host.clear();
+  dest.append_to(host);
   if (options_.keep_alive) {
     auto it = pool_.find(dest);
     if (it != pool_.end()) {
       if (it->second->stream && it->second->stream->is_open()) {
-        send_on(it->second, std::move(req), std::move(cb));
+        send_on(it->second, std::move(req), std::move(cb), start);
         return;
       }
       pool_.erase(it);  // closed behind our back; reconnect below
     }
   }
   net_.connect(node_, dest,
-               [this, dest, req = std::move(req),
+               [this, dest, start, req = std::move(req),
                 cb = std::move(cb)](Result<net::StreamPtr> stream) mutable {
                  if (!stream.is_ok()) {
-                   cb(stream.status());
+                   Result<Response> r(stream.status());
+                   finish(std::move(cb), start, r);
                    return;
                  }
                  auto conn = make_conn(stream.value(), dest);
                  if (options_.keep_alive) pool_[dest] = conn;
-                 send_on(conn, std::move(req), std::move(cb));
+                 send_on(conn, std::move(req), std::move(cb), start);
                });
 }
 
@@ -58,39 +79,49 @@ std::shared_ptr<HttpClient::PooledConn> HttpClient::make_conn(
   // The connection owns the stream; the stream's callbacks must hold
   // only weak references back, or the pair keeps each other alive
   // forever. Ownership lives in pool_ (keep-alive) and in the pending
-  // request-timeout closure (while a request is in flight).
+  // request-timeout closure (while a request is in flight). on_close
+  // may fire after the client is gone, so it captures the scheduler
+  // and registry-owned metrics, not this.
   std::weak_ptr<PooledConn> weak = conn;
 
-  conn->stream->set_on_close([weak, &sched] {
+  conn->stream->set_on_close([weak, &sched, &lat = latency_us_,
+                              &errs = errors_] {
     auto conn = weak.lock();
     if (!conn) return;
     if (conn->timeout_event != 0) sched.cancel(conn->timeout_event);
     if (conn->inflight) {
       auto cb = std::move(conn->inflight);
       conn->inflight = nullptr;
-      cb(unavailable("connection closed before response"));
+      lat.observe(sched.now() - conn->inflight_start);
+      errs.inc();
+      Result<Response> r(unavailable("connection closed before response"));
+      cb(r);
     }
-    for (auto& [r, pending_cb] : conn->queue) {
-      pending_cb(unavailable("connection closed"));
+    for (auto& q : conn->queue) {
+      lat.observe(sched.now() - q.start);
+      errs.inc();
+      Result<Response> r(unavailable("connection closed"));
+      q.cb(r);
     }
     conn->queue.clear();
     conn->stream = nullptr;
   });
 
-  conn->stream->set_on_data([this, weak](const Bytes& data) {
+  conn->stream->set_on_data([this, weak](BlockStream&& data) {
     auto conn = weak.lock();
     if (!conn) return;
-    auto status = conn->parser.feed(data);
+    auto status = conn->parser.feed(std::move(data));
     if (!status.is_ok()) {
       if (conn->inflight) {
         auto cb = std::move(conn->inflight);
         conn->inflight = nullptr;
-        cb(status);
+        Result<Response> r(status);
+        finish(std::move(cb), conn->inflight_start, r);
       }
       if (conn->stream) conn->stream->close();
       return;
     }
-    for (auto& resp : conn->parser.take_responses()) {
+    while (conn->parser.pop_response(conn->scratch_resp)) {
       if (conn->timeout_event != 0) {
         net_.scheduler().cancel(conn->timeout_event);
         conn->timeout_event = 0;
@@ -98,13 +129,18 @@ std::shared_ptr<HttpClient::PooledConn> HttpClient::make_conn(
       if (conn->inflight) {
         auto cb = std::move(conn->inflight);
         conn->inflight = nullptr;
-        cb(std::move(resp));
+        // Lend the response to the callback, then take it back: unless
+        // the callback moved it out, its capacities return to scratch
+        // and rotate into the parser's slot ring on the next pop.
+        Result<Response> r(std::move(conn->scratch_resp));
+        finish(std::move(cb), conn->inflight_start, r);
+        if (r.is_ok()) conn->scratch_resp = std::move(r.value());
       }
       // Next queued request, if any.
       if (!conn->queue.empty() && conn->stream && conn->stream->is_open()) {
-        auto [next_req, next_cb] = std::move(conn->queue.front());
+        auto next = std::move(conn->queue.front());
         conn->queue.pop_front();
-        send_on(conn, std::move(next_req), std::move(next_cb));
+        send_on(conn, std::move(next.req), std::move(next.cb), next.start);
       } else if (!conn->keep_alive && conn->stream) {
         conn->stream->close();
       }
@@ -114,24 +150,36 @@ std::shared_ptr<HttpClient::PooledConn> HttpClient::make_conn(
 }
 
 void HttpClient::send_on(const std::shared_ptr<PooledConn>& conn, Request req,
-                         ResponseCallback cb) {
+                         ResponseCallback cb, sim::SimTime start) {
   if (conn->inflight) {
-    conn->queue.emplace_back(std::move(req), std::move(cb));
+    conn->queue.push_back({std::move(req), std::move(cb), start});
     return;
   }
   if (!conn->stream || !conn->stream->is_open()) {
-    cb(unavailable("connection closed"));
+    Result<Response> r(unavailable("connection closed"));
+    finish(std::move(cb), start, r);
     return;
   }
   conn->inflight = std::move(cb);
-  conn->stream->send(req.serialize());
+  conn->inflight_start = start;
+  BlockStream out;
+  req.serialize_to(out);
+  // The request is consumed here; keep its capacities for
+  // recycled_request() (bounded so a one-off huge upload isn't hoarded).
+  if (req.body.capacity() <= 64 * 1024) spare_req_ = std::move(req);
+  conn->stream->send(std::move(out));
   conn->timeout_event = net_.scheduler().after(
-      options_.request_timeout, [conn] {
+      options_.request_timeout,
+      [conn, &sched = net_.scheduler(), &lat = latency_us_,
+       &errs = errors_] {
         conn->timeout_event = 0;
         if (conn->inflight) {
           auto pending = std::move(conn->inflight);
           conn->inflight = nullptr;
-          pending(timeout("HTTP request timed out"));
+          lat.observe(sched.now() - conn->inflight_start);
+          errs.inc();
+          Result<Response> r(timeout("HTTP request timed out"));
+          pending(r);
           if (conn->stream) conn->stream->close();
         }
       });

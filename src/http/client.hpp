@@ -7,6 +7,7 @@
 #include <map>
 #include <memory>
 
+#include "common/inline_fn.hpp"
 #include "http/message.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
@@ -14,7 +15,13 @@
 
 namespace hcm::http {
 
-using ResponseCallback = std::function<void(Result<Response>)>;
+// Sized to hold the SOAP client's completion lambda (which captures a
+// 200-byte CallResultFn) inline — the deepest callback layer on the
+// wire path. The result is passed by lvalue reference: the client
+// retains ownership of the delivered Response so its string/header
+// storage can be recycled into the parser after the callback returns
+// (callbacks that want to keep the Response move or copy it out).
+using ResponseCallback = SmallFn<void(Result<Response>&), 240>;
 
 class HttpClient {
  public:
@@ -45,6 +52,13 @@ class HttpClient {
   // (unreachable, refused, timeout, malformed).
   void request(net::Endpoint dest, Request req, ResponseCallback cb);
 
+  // A Request recycled from a previously sent one (default-constructed
+  // on first use): requests are consumed at serialization, so their
+  // string/header capacities rotate back here. Hot callers fetch one
+  // and fill it with clear/assign to issue requests without per-call
+  // allocation.
+  [[nodiscard]] Request recycled_request() { return std::move(spare_req_); }
+
   [[nodiscard]] net::NodeId node() const { return node_; }
   [[nodiscard]] net::Network& network() { return net_; }
 
@@ -52,13 +66,15 @@ class HttpClient {
   struct PooledConn;
 
   void send_on(const std::shared_ptr<PooledConn>& conn, Request req,
-               ResponseCallback cb);
+               ResponseCallback cb, sim::SimTime start);
+  void finish(ResponseCallback cb, sim::SimTime start, Result<Response>& r);
   std::shared_ptr<PooledConn> make_conn(net::StreamPtr stream,
                                         net::Endpoint dest);
 
   net::Network& net_;
   net::NodeId node_;
   Options options_;
+  Request spare_req_;  // capacity donor for recycled_request()
   obs::Counter& requests_;
   obs::Counter& errors_;
   obs::Histogram& latency_us_;

@@ -2,6 +2,7 @@
 
 #include <charconv>
 
+#include "common/check.hpp"
 #include "common/strings.hpp"
 
 namespace hcm::http {
@@ -23,15 +24,28 @@ void set_header(Headers& headers, std::string name, std::string value) {
   headers.emplace_back(std::move(name), std::move(value));
 }
 
+std::string& header_slot(Headers& headers, std::string_view name) {
+  for (auto& [k, v] : headers) {
+    if (iequals(k, name)) return v;
+  }
+  headers.emplace_back(std::string(name), std::string());
+  return headers.back().second;
+}
+
 namespace {
 
-// Serialization renders straight into the Bytes buffer handed to the
-// stream — no intermediate std::string and no to_bytes copy.
+// Serialization renders straight into the sink handed to the stream —
+// the Bytes buffer or the wire path's pooled BlockStream — with no
+// intermediate std::string. Both sinks share one rendering core so the
+// emitted bytes are identical by construction.
 void append(Bytes& out, std::string_view s) {
   out.insert(out.end(), s.begin(), s.end());
 }
 
-void append_uint(Bytes& out, unsigned long long v) {
+void append(BlockStream& out, std::string_view s) { out.append(s); }
+
+template <class Sink>
+void append_uint(Sink& out, unsigned long long v) {
   char buf[24];
   auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
   append(out, std::string_view(buf, static_cast<std::size_t>(end - buf)));
@@ -43,7 +57,8 @@ std::size_t headers_size(const Headers& headers) {
   return n;
 }
 
-void serialize_headers(Bytes& out, const Headers& headers,
+template <class Sink>
+void serialize_headers(Sink& out, const Headers& headers,
                        std::size_t body_size) {
   bool have_length = false;
   for (const auto& [k, v] : headers) {
@@ -65,36 +80,72 @@ void serialize_headers(Bytes& out, const Headers& headers,
   append(out, "\r\n");
 }
 
+template <class Sink>
+void serialize_request_head(Sink& out, const Request& r,
+                            std::size_t body_size) {
+  append(out, r.method);
+  append(out, " ");
+  append(out, r.target);
+  append(out, " ");
+  append(out, r.version);
+  append(out, "\r\n");
+  serialize_headers(out, r.headers, body_size);
+}
+
+template <class Sink>
+void serialize_response_head(Sink& out, const Response& r,
+                             std::size_t body_size) {
+  append(out, r.version);
+  append(out, " ");
+  append_uint(out, static_cast<unsigned long long>(r.status));
+  append(out, " ");
+  append(out, r.reason);
+  append(out, "\r\n");
+  serialize_headers(out, r.headers, body_size);
+}
+
 }  // namespace
 
 Bytes Request::serialize() const {
   Bytes out;
+  // hcm:allow(hotpath-bytes-growth): legacy flat form off the wire path
   out.reserve(method.size() + target.size() + version.size() + 4 +
               headers_size(headers) + 32 + body.size());
-  append(out, method);
-  append(out, " ");
-  append(out, target);
-  append(out, " ");
-  append(out, version);
-  append(out, "\r\n");
-  serialize_headers(out, headers, body.size());
+  serialize_request_head(out, *this, body.size());
   append(out, body);
   return out;
 }
 
+void Request::serialize_to(BlockStream& out) const {
+  serialize_request_head(out, *this, body.size());
+  out.append(body);
+}
+
+void Request::serialize_head_to(BlockStream& out,
+                                std::size_t body_size) const {
+  HCM_DCHECK_MSG(body.empty(), "spliced-body form requires an empty body");
+  serialize_request_head(out, *this, body_size);
+}
+
 Bytes Response::serialize() const {
   Bytes out;
+  // hcm:allow(hotpath-bytes-growth): legacy flat form off the wire path
   out.reserve(version.size() + reason.size() + 6 + headers_size(headers) + 32 +
               body.size());
-  append(out, version);
-  append(out, " ");
-  append_uint(out, static_cast<unsigned long long>(status));
-  append(out, " ");
-  append(out, reason);
-  append(out, "\r\n");
-  serialize_headers(out, headers, body.size());
+  serialize_response_head(out, *this, body.size());
   append(out, body);
   return out;
+}
+
+void Response::serialize_to(BlockStream& out) const {
+  serialize_response_head(out, *this, body.size());
+  out.append(body);
+}
+
+void Response::serialize_head_to(BlockStream& out,
+                                 std::size_t body_size) const {
+  HCM_DCHECK_MSG(body.empty(), "spliced-body form requires an empty body");
+  serialize_response_head(out, *this, body_size);
 }
 
 Response Response::make(int status, std::string reason, std::string body,
@@ -108,7 +159,12 @@ Response Response::make(int status, std::string reason, std::string body,
 }
 
 Status MessageParser::feed(const Bytes& data) {
-  buf_.append(data.begin(), data.end());
+  buf_.append(data.data(), data.size());
+  return try_parse();
+}
+
+Status MessageParser::feed(BlockStream&& data) {
+  buf_.splice(std::move(data));
   return try_parse();
 }
 
@@ -116,38 +172,44 @@ Status MessageParser::try_parse() {
   while (true) {
     if (!in_body_) {
       auto head_end = buf_.find("\r\n\r\n");
-      if (head_end == std::string::npos) {
+      if (head_end == BlockStream::npos) {
         if (buf_.size() > 64 * 1024) {
           return protocol_error("HTTP header section too large");
         }
         return Status::ok();  // need more data
       }
-      auto status = parse_head(std::string_view(buf_).substr(0, head_end));
+      auto status = parse_head(buf_.view(0, head_end, head_scratch_));
       if (!status.is_ok()) return status;
-      buf_.erase(0, head_end + 4);
+      buf_.consume(head_end + 4);
       in_body_ = true;
     }
-    // Body phase.
+    // Body phase. The body is written into the current message's
+    // (capacity-retaining) string, and the finished message is swapped
+    // into a FIFO slot rather than moved — slots are never destroyed,
+    // so at steady state the whole parse cycle reuses previously grown
+    // storage instead of touching the heap.
     if (buf_.size() < body_needed_) return Status::ok();
-    std::string body;
-    if (buf_.size() == body_needed_) {
-      // The buffer is exactly the body (the common one-message-per-
-      // delivery case): move it out instead of copying.
-      body = std::move(buf_);
-      buf_.clear();
-    } else {
-      body = buf_.substr(0, body_needed_);
-      buf_.erase(0, body_needed_);
+    std::string& body = mode_ == Mode::kRequest ? cur_req_.body : cur_resp_.body;
+    body.resize(body_needed_);
+    if (body_needed_ > 0) {
+      buf_.copy_to(body.data(), 0, body_needed_);
+      buf_.consume(body_needed_);
     }
     in_body_ = false;
     if (mode_ == Mode::kRequest) {
-      cur_req_.body = std::move(body);
-      requests_.push_back(std::move(cur_req_));
-      cur_req_ = Request{};
+      if (used_req_ < requests_.size()) {
+        std::swap(requests_[used_req_], cur_req_);
+      } else {
+        requests_.push_back(std::move(cur_req_));
+      }
+      ++used_req_;
     } else {
-      cur_resp_.body = std::move(body);
-      responses_.push_back(std::move(cur_resp_));
-      cur_resp_ = Response{};
+      if (used_resp_ < responses_.size()) {
+        std::swap(responses_[used_resp_], cur_resp_);
+      } else {
+        responses_.push_back(std::move(cur_resp_));
+      }
+      ++used_resp_;
     }
   }
 }
@@ -155,8 +217,12 @@ Status MessageParser::try_parse() {
 Status MessageParser::parse_head(std::string_view head) {
   auto line_end = head.find("\r\n");
   auto first = head.substr(0, line_end);
-  Headers headers;
-  headers.reserve(8);
+  // Header entries are assigned into the recycled message's existing
+  // pairs — at steady state the name/value strings keep their grown
+  // capacity across messages, so header parsing is allocation-free.
+  Headers& headers =
+      mode_ == Mode::kRequest ? cur_req_.headers : cur_resp_.headers;
+  std::size_t n_headers = 0;
 
   // Header lines.
   std::string_view rest =
@@ -171,9 +237,17 @@ Status MessageParser::parse_head(std::string_view head) {
     if (colon == std::string_view::npos) {
       return protocol_error("malformed header line");
     }
-    headers.emplace_back(std::string(trim(line.substr(0, colon))),
-                         std::string(trim(line.substr(colon + 1))));
+    auto name = trim(line.substr(0, colon));
+    auto value = trim(line.substr(colon + 1));
+    if (n_headers < headers.size()) {
+      headers[n_headers].first.assign(name);
+      headers[n_headers].second.assign(value);
+    } else {
+      headers.emplace_back(std::string(name), std::string(value));
+    }
+    ++n_headers;
   }
+  headers.resize(n_headers);
 
   long long length = 0;
   if (const auto* cl = find_header(headers, "Content-Length")) {
@@ -193,11 +267,9 @@ Status MessageParser::parse_head(std::string_view head) {
         sp2 == sp1 + 1 || sp2 + 1 == first.size()) {
       return protocol_error("malformed request line");
     }
-    cur_req_ = Request{};
-    cur_req_.method = std::string(first.substr(0, sp1));
-    cur_req_.target = std::string(first.substr(sp1 + 1, sp2 - sp1 - 1));
-    cur_req_.version = std::string(first.substr(sp2 + 1));
-    cur_req_.headers = std::move(headers);
+    cur_req_.method.assign(first.substr(0, sp1));
+    cur_req_.target.assign(first.substr(sp1 + 1, sp2 - sp1 - 1));
+    cur_req_.version.assign(first.substr(sp2 + 1));
   } else {
     // "HTTP/1.1 200 OK" — reason may contain spaces.
     auto sp1 = first.find(' ');
@@ -205,27 +277,60 @@ Status MessageParser::parse_head(std::string_view head) {
       return protocol_error("malformed status line");
     }
     auto sp2 = first.find(' ', sp1 + 1);
-    cur_resp_ = Response{};
-    cur_resp_.version = std::string(first.substr(0, sp1));
+    cur_resp_.version.assign(first.substr(0, sp1));
     auto code_sv = sp2 == std::string_view::npos
                        ? first.substr(sp1 + 1)
                        : first.substr(sp1 + 1, sp2 - sp1 - 1);
     auto code = parse_uint(code_sv);
     if (code < 100 || code > 599) return protocol_error("bad status code");
     cur_resp_.status = static_cast<int>(code);
-    cur_resp_.reason =
-        sp2 == std::string_view::npos ? "" : std::string(first.substr(sp2 + 1));
-    cur_resp_.headers = std::move(headers);
+    if (sp2 == std::string_view::npos) {
+      cur_resp_.reason.clear();
+    } else {
+      cur_resp_.reason.assign(first.substr(sp2 + 1));
+    }
   }
   return Status::ok();
 }
 
 std::vector<Request> MessageParser::take_requests() {
-  return std::exchange(requests_, {});
+  std::vector<Request> out;
+  out.reserve(used_req_ - next_req_);
+  for (std::size_t i = next_req_; i < used_req_; ++i) {
+    out.push_back(std::move(requests_[i]));
+  }
+  next_req_ = used_req_ = 0;
+  return out;
 }
 
 std::vector<Response> MessageParser::take_responses() {
-  return std::exchange(responses_, {});
+  std::vector<Response> out;
+  out.reserve(used_resp_ - next_resp_);
+  for (std::size_t i = next_resp_; i < used_resp_; ++i) {
+    out.push_back(std::move(responses_[i]));
+  }
+  next_resp_ = used_resp_ = 0;
+  return out;
+}
+
+bool MessageParser::pop_request(Request& out) {
+  if (next_req_ >= used_req_) return false;
+  // Swap, not move: the caller's drained scratch message rotates its
+  // grown string/vector capacities back into the slot for reuse.
+  std::swap(out, requests_[next_req_++]);
+  if (next_req_ == used_req_) {
+    next_req_ = used_req_ = 0;
+  }
+  return true;
+}
+
+bool MessageParser::pop_response(Response& out) {
+  if (next_resp_ >= used_resp_) return false;
+  std::swap(out, responses_[next_resp_++]);
+  if (next_resp_ == used_resp_) {
+    next_resp_ = used_resp_ = 0;
+  }
+  return true;
 }
 
 }  // namespace hcm::http

@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/block_stream.hpp"
 #include "common/bytes.hpp"
 #include "common/status.hpp"
 
@@ -19,6 +20,11 @@ using Headers = std::vector<std::pair<std::string, std::string>>;
 [[nodiscard]] const std::string* find_header(const Headers& headers,
                                              std::string_view name);
 void set_header(Headers& headers, std::string name, std::string value);
+// Value slot for `name`, appended if absent: hot callers clear/assign
+// into the returned string so a recycled header entry's capacity is
+// reused instead of building a temporary value.
+[[nodiscard]] std::string& header_slot(Headers& headers,
+                                       std::string_view name);
 
 struct Request {
   std::string method = "GET";
@@ -35,6 +41,13 @@ struct Request {
   }
   // Serializes with a correct Content-Length.
   [[nodiscard]] Bytes serialize() const;
+  // Identical bytes into pooled blocks (the wire path's form).
+  void serialize_to(BlockStream& out) const;
+  // Head only, with an explicit Content-Length for a body that already
+  // lives in its own BlockStream; the caller splices the body on after
+  // (this->body must be empty — the SOAP fast path renders envelopes
+  // straight into pooled blocks and never materializes a body string).
+  void serialize_head_to(BlockStream& out, std::size_t body_size) const;
 };
 
 struct Response {
@@ -51,6 +64,8 @@ struct Response {
     http::set_header(headers, std::move(name), std::move(value));
   }
   [[nodiscard]] Bytes serialize() const;
+  void serialize_to(BlockStream& out) const;
+  void serialize_head_to(BlockStream& out, std::size_t body_size) const;
 
   static Response make(int status, std::string reason, std::string body,
                        std::string content_type = "text/plain");
@@ -58,6 +73,11 @@ struct Response {
 
 // Incremental parser for a byte stream carrying back-to-back messages.
 // Feed bytes; complete messages pop out via the callbacks.
+//
+// Accumulation lives in a BlockStream, so a delivered payload splices
+// in without copying and steady-state parsing does no buffer
+// grow/shrink heap traffic; heads are scanned in place (the scratch
+// string only backs a head that straddles a block seam).
 class MessageParser {
  public:
   enum class Mode { kRequest, kResponse };
@@ -66,24 +86,40 @@ class MessageParser {
   // Returns a protocol error on malformed input; the connection should
   // then be dropped.
   Status feed(const Bytes& data);
+  // Zero-copy form: splices the delivered blocks into accumulation.
+  Status feed(BlockStream&& data);
 
   // Completed messages, in arrival order. Caller takes them.
   std::vector<Request> take_requests();
   std::vector<Response> take_responses();
+  // Allocation-free draining (the wire path's form): moves the oldest
+  // completed message into `out`, false when none is pending.
+  [[nodiscard]] bool pop_request(Request& out);
+  [[nodiscard]] bool pop_response(Response& out);
 
  private:
   Status try_parse();
   Status parse_head(std::string_view head);
 
   Mode mode_;
-  std::string buf_;
+  BlockStream buf_;
+  std::string head_scratch_;  // backs heads spanning a block seam
   // Parsing state: when a head has been parsed we know the body length.
   bool in_body_ = false;
   std::size_t body_needed_ = 0;
   Request cur_req_;
   Response cur_resp_;
+  // FIFO of completed messages, kept as a ring of reusable slots:
+  // [next_, used_) are pending, slots past used_ hold drained messages
+  // whose storage the next completion swaps back into service. Slots
+  // are only destroyed by take_*(), so pop_*-based consumers run
+  // allocation-free at steady state.
   std::vector<Request> requests_;
   std::vector<Response> responses_;
+  std::size_t next_req_ = 0;
+  std::size_t next_resp_ = 0;
+  std::size_t used_req_ = 0;
+  std::size_t used_resp_ = 0;
 };
 
 }  // namespace hcm::http

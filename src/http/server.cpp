@@ -66,14 +66,16 @@ void HttpServer::on_accept(net::StreamPtr stream) {
                 [](const std::weak_ptr<Connection>& w) { return w.expired(); });
   connections_.push_back(conn);
   stream->set_on_close([conn]() mutable { conn->stream = nullptr; });
-  stream->set_on_data([this, conn](const Bytes& data) {
-    auto status = conn->parser.feed(data);
+  stream->set_on_data([this, conn](BlockStream&& data) {
+    auto status = conn->parser.feed(std::move(data));
     if (!status.is_ok()) {
       log_warn("http", "dropping connection: ", status.to_string());
       if (conn->stream) conn->stream->close();
       return;
     }
-    for (auto& req : conn->parser.take_requests()) handle(req, conn);
+    while (conn->parser.pop_request(conn->scratch_req)) {
+      handle(conn->scratch_req, conn);
+    }
   });
 }
 
@@ -84,29 +86,31 @@ void HttpServer::handle(const Request& req,
   // captures the scheduler and the registry-owned histogram, not this.
   auto respond = [conn, keep_alive = req.version == "HTTP/1.1",
                   &sched = net_.scheduler(), &latency = request_latency_us_,
-                  start = net_.scheduler().now()](Response resp) {
+                  start = net_.scheduler().now()](Response&& resp) {
     latency.observe(sched.now() - start);
     if (!conn->stream || !conn->stream->is_open()) return;
     resp.set_header("Server", "hcm-httpd/1.0");
-    conn->stream->send(resp.serialize());
+    BlockStream out;
+    resp.serialize_to(out);
+    conn->stream->send(std::move(out));
     if (!keep_alive) conn->stream->close();
   };
 
   auto it = routes_.find(req.target);
   if (it != routes_.end()) {
-    it->second(req, respond);
+    it->second(req, std::move(respond));
     return;
   }
   // Prefix routes: "/vsg/*" style registered as "/vsg/".
   for (const auto& [prefix, handler] : routes_) {
     if (!prefix.empty() && prefix.back() == '/' &&
         req.target.rfind(prefix, 0) == 0) {
-      handler(req, respond);
+      handler(req, std::move(respond));
       return;
     }
   }
   if (default_handler_) {
-    default_handler_(req, respond);
+    default_handler_(req, std::move(respond));
     return;
   }
   respond(Response::make(404, "Not Found", "no handler for " + req.target));

@@ -7,13 +7,20 @@
 #include <map>
 #include <memory>
 
+#include "common/inline_fn.hpp"
 #include "http/message.hpp"
 #include "net/network.hpp"
 #include "obs/metrics.hpp"
 
 namespace hcm::http {
 
-using RespondFn = std::function<void(Response)>;
+// Copyable small-buffer callable: a respond fn is built per request
+// and handed through the handler chain, which must not heap-allocate
+// at wire rates (handlers may still park copies for async replies).
+// The response is taken by rvalue reference so hot handlers can lend a
+// recycled scratch Response: respond serializes it synchronously and
+// only moves from it if it needs to park the message.
+using RespondFn = SmallFn<void(Response&&), 64>;
 // Route handler: inspect the request, eventually call respond exactly once.
 using RequestHandler = std::function<void(const Request&, RespondFn respond)>;
 
@@ -49,6 +56,9 @@ class HttpServer {
   struct Connection {
     net::StreamPtr stream;
     MessageParser parser{MessageParser::Mode::kRequest};
+    // Drain slot for pop_request, so dispatch does not materialize a
+    // per-delivery vector the way take_requests() does.
+    Request scratch_req;
   };
 
   void on_accept(net::StreamPtr stream);

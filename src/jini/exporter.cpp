@@ -49,9 +49,9 @@ void Exporter::on_accept(net::StreamPtr stream) {
                 [](const std::weak_ptr<Conn>& w) { return w.expired(); });
   connections_.push_back(conn);
   stream->set_on_close([conn] { conn->stream = nullptr; });
-  stream->set_on_data([this, conn](const Bytes& data) {
+  stream->set_on_data([this, conn](BlockStream&& data) {
     std::vector<Bytes> frames;
-    auto status = conn->reader.feed(data, frames);
+    auto status = conn->reader.feed(std::move(data), frames);
     if (!status.is_ok()) {
       log_warn("jini", "bad frame, closing: ", status.to_string());
       if (conn->stream) conn->stream->close();

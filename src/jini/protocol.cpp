@@ -110,19 +110,23 @@ Bytes frame(const Bytes& payload) {
   return w.take();
 }
 
-Status FrameReader::feed(const Bytes& data, std::vector<Bytes>& out) {
-  buf_.insert(buf_.end(), data.begin(), data.end());
+Status FrameReader::feed(BlockStream&& data, std::vector<Bytes>& out) {
+  buf_.splice(std::move(data));
   while (buf_.size() >= 4) {
-    std::uint32_t len = (static_cast<std::uint32_t>(buf_[0]) << 24) |
-                        (static_cast<std::uint32_t>(buf_[1]) << 16) |
-                        (static_cast<std::uint32_t>(buf_[2]) << 8) |
-                        static_cast<std::uint32_t>(buf_[3]);
+    std::uint8_t hdr[4];
+    buf_.copy_to(hdr, 0, 4);
+    std::uint32_t len = (static_cast<std::uint32_t>(hdr[0]) << 24) |
+                        (static_cast<std::uint32_t>(hdr[1]) << 16) |
+                        (static_cast<std::uint32_t>(hdr[2]) << 8) |
+                        static_cast<std::uint32_t>(hdr[3]);
     if (len > 16 * 1024 * 1024) {
       return protocol_error("frame too large: " + std::to_string(len));
     }
     if (buf_.size() < 4u + len) return Status::ok();
-    out.emplace_back(buf_.begin() + 4, buf_.begin() + 4 + len);
-    buf_.erase(buf_.begin(), buf_.begin() + 4 + len);
+    Bytes frame(len);
+    buf_.copy_to(frame.data(), 4, len);
+    buf_.consume(4u + len);
+    out.push_back(std::move(frame));
   }
   return Status::ok();
 }

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/block_stream.hpp"
 #include "common/bytes.hpp"
 #include "common/interface_desc.hpp"
 #include "common/service.hpp"
@@ -59,14 +60,16 @@ struct ReplyMessage {
 // Length-prefix framing for streams: u32 length + payload.
 [[nodiscard]] Bytes frame(const Bytes& payload);
 
-// Incremental deframer.
+// Incremental deframer. Accumulates in pooled blocks: delivered
+// payloads splice in and drained frames release their blocks, so
+// steady-state deframing does no buffer grow/shrink heap traffic.
 class FrameReader {
  public:
   // Feed stream bytes; complete frames are appended to `out`.
-  Status feed(const Bytes& data, std::vector<Bytes>& out);
+  Status feed(BlockStream&& data, std::vector<Bytes>& out);
 
  private:
-  Bytes buf_;
+  BlockStream buf_;
 };
 
 }  // namespace hcm::jini

@@ -65,9 +65,9 @@ void Proxy::ensure_connected(std::function<void(const Status&)> then) {
                  shared->reader = FrameReader{};
                  shared->stream->set_on_close(
                      [shared] { shared->fail_all(unavailable("peer closed")); });
-                 shared->stream->set_on_data([shared](const Bytes& data) {
+                 shared->stream->set_on_data([shared](BlockStream&& data) {
                    std::vector<Bytes> frames;
-                   if (!shared->reader.feed(data, frames).is_ok()) {
+                   if (!shared->reader.feed(std::move(data), frames).is_ok()) {
                      shared->stream->close();
                      return;
                    }

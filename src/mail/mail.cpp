@@ -9,8 +9,8 @@ namespace {
 struct LineBuffer {
   std::string buf;
   // Appends data; returns complete lines (without CRLF).
-  std::vector<std::string> feed(const Bytes& data) {
-    buf.append(data.begin(), data.end());
+  std::vector<std::string> feed(const BlockStream& data) {
+    data.append_to(buf);
     std::vector<std::string> lines;
     std::size_t pos;
     while ((pos = buf.find("\r\n")) != std::string::npos) {
@@ -113,7 +113,7 @@ void MailServer::on_smtp_accept(net::StreamPtr stream) {
   smtp_sessions_.push_back(session);
   reply(stream, "220 hcm-mail ready");
   stream->set_on_close([session] { session->stream = nullptr; });
-  stream->set_on_data([this, session](const Bytes& data) {
+  stream->set_on_data([this, session](BlockStream&& data) {
     for (const auto& line : session->lines.feed(data)) {
       smtp_line(session, line);
     }
@@ -194,7 +194,7 @@ void MailServer::on_pop_accept(net::StreamPtr stream) {
   pop_sessions_.push_back(session);
   reply(stream, "+OK hcm-pop ready");
   stream->set_on_close([session] { session->stream = nullptr; });
-  stream->set_on_data([this, session](const Bytes& data) {
+  stream->set_on_data([this, session](BlockStream&& data) {
     for (const auto& line : session->lines.feed(data)) {
       pop_line(session, line);
     }
@@ -288,7 +288,7 @@ void MailClient::send(const Message& m, DoneFn done) {
       untrack(raw);
     });
     raw->set_on_data([this, m, raw, lines, stage, finished,
-                      done_shared](const Bytes& data) {
+                      done_shared](BlockStream&& data) {
       for (const auto& line : lines->feed(data)) {
         const bool ok = starts_with(line, "2") || starts_with(line, "3");
         if (!ok) {
@@ -367,7 +367,7 @@ void MailClient::fetch(const std::string& mailbox, MessagesFn done) {
       untrack(raw);
     });
     raw->set_on_data([this, mailbox, raw, lines, st,
-                      done_shared](const Bytes& data) {
+                      done_shared](BlockStream&& data) {
       for (const auto& line : lines->feed(data)) {
         if (st->in_message) {
           if (line == ".") {

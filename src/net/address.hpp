@@ -1,6 +1,7 @@
 // Addressing for the simulated home network.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <string>
 
@@ -16,6 +17,16 @@ struct Endpoint {
   [[nodiscard]] bool valid() const { return node != kInvalidNode; }
   [[nodiscard]] std::string to_string() const {
     return "node-" + std::to_string(node) + ":" + std::to_string(port);
+  }
+  // to_string()'s bytes appended into a recycled string, no temporary.
+  void append_to(std::string& out) const {
+    char buf[12];
+    out += "node-";
+    auto [n_end, n_ec] = std::to_chars(buf, buf + sizeof(buf), node);
+    out.append(buf, n_end);
+    out += ':';
+    auto [p_end, p_ec] = std::to_chars(buf, buf + sizeof(buf), port);
+    out.append(buf, p_end);
   }
 
   friend bool operator==(const Endpoint&, const Endpoint&) = default;

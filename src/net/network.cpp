@@ -139,15 +139,42 @@ PowerlineSegment& Network::add_powerline(const std::string& name) {
 void Network::attach(Node& node, Segment& segment) {
   segment.attach(node.id());
   attachments_[node.id()].push_back(&segment);
+  // New links can create shorter routes than the cached ones.
+  std::unique_lock lock(route_mu_);
+  route_cache_.clear();
 }
 
-Result<Network::Route> Network::find_route(NodeId a, NodeId b) {
+Result<Network::RoutePtr> Network::find_route(NodeId a, NodeId b) {
   Node* na = node(a);
   Node* nb = node(b);
   if (na == nullptr || nb == nullptr) return not_found("no such node");
   if (!na->is_up()) return unavailable(na->name() + " is down");
   if (!nb->is_up()) return unavailable(nb->name() + " is down");
-  if (a == b) return Route{};  // loopback
+  if (a == b) return loopback_route_;
+
+  const std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+  {
+    std::shared_lock lock(route_mu_);
+    auto it = route_cache_.find(key);
+    if (it != route_cache_.end()) {
+      const Route& r = *it->second;
+      bool valid = true;
+      for (const Segment* seg : r.path) {
+        if (!seg->is_up()) {
+          valid = false;
+          break;
+        }
+      }
+      for (NodeId hop : r.via) {
+        Node* nn = node(hop);
+        if (nn == nullptr || !nn->is_up()) {
+          valid = false;
+          break;
+        }
+      }
+      if (valid) return it->second;
+    }
+  }
 
   // BFS over nodes; edges are up segments.
   std::map<NodeId, std::pair<NodeId, Segment*>> parent;  // node -> (prev, via)
@@ -167,12 +194,15 @@ Result<Network::Route> Network::find_route(NodeId a, NodeId b) {
         if (nn == nullptr || !nn->is_up()) continue;
         parent[next] = {cur, seg};
         if (next == b) {
-          Route route;
+          auto route = std::make_shared<Route>();
           for (NodeId hop = b; hop != a; hop = parent[hop].first) {
-            route.path.push_back(parent[hop].second);
+            route->path.push_back(parent[hop].second);
+            if (hop != b) route->via.push_back(hop);
           }
-          std::reverse(route.path.begin(), route.path.end());
-          return route;
+          std::reverse(route->path.begin(), route->path.end());
+          std::unique_lock lock(route_mu_);
+          route_cache_[key] = route;  // replaces a stale entry, if any
+          return RoutePtr(route);
         }
         frontier.push(next);
       }
@@ -201,7 +231,7 @@ Result<sim::Duration> Network::route_latency(NodeId a, NodeId b,
                                              std::size_t bytes) {
   auto route = find_route(a, b);
   if (!route.is_ok()) return route.status();
-  return path_latency(route.value(), bytes);
+  return path_latency(*route.value(), bytes);
 }
 
 void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
@@ -213,7 +243,7 @@ void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
   }
   // Per-segment random loss, sampled from the sending shard's RNG so
   // each shard's stream stays deterministic.
-  for (const Segment* seg : route.value().path) {
+  for (const Segment* seg : route.value()->path) {
     if (seg->drop_probability() > 0.0) {
       std::uniform_real_distribution<double> dist(0.0, 1.0);
       if (dist(scheduler().rng()) < seg->drop_probability()) {
@@ -222,8 +252,8 @@ void Network::send_datagram(Endpoint from, Endpoint to, Bytes data) {
       }
     }
   }
-  account_path(route.value(), data.size());
-  auto latency = path_latency(route.value(), data.size());
+  account_path(*route.value(), data.size());
+  auto latency = path_latency(*route.value(), data.size());
   deliver_to(to.node, latency, [this, from, to, data = std::move(data)] {
     Node* dst = node(to.node);
     if (dst == nullptr || !dst->is_up()) {
@@ -307,7 +337,7 @@ void Network::connect(NodeId from, Endpoint to, ConnectCallback cb) {
                       [cb, status] { cb(status); });
     return;
   }
-  const auto rtt = 2 * path_latency(route.value(), 40);
+  const auto rtt = 2 * path_latency(*route.value(), 40);
   const auto handshake = rtt + rtt / 2;  // SYN, SYN-ACK, ACK
   Endpoint local{from, src->next_ephemeral_port()};
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -121,9 +122,16 @@ class Network {
 
   struct Route {
     std::vector<Segment*> path;
+    std::vector<NodeId> via;  // intermediate gateway nodes, for revalidation
   };
+  using RoutePtr = std::shared_ptr<const Route>;
   // BFS over the node/segment bipartite graph, up segments/nodes only.
-  [[nodiscard]] Result<Route> find_route(NodeId a, NodeId b);
+  // Results are cached per (a, b): every send would otherwise pay the
+  // BFS's map/queue heap churn. A hit revalidates that each segment and
+  // gateway on the path is still up (a down element evicts and re-runs
+  // BFS); failures are never cached, so a link coming back up is seen
+  // immediately. Topology mutations (attach) clear the cache.
+  [[nodiscard]] Result<RoutePtr> find_route(NodeId a, NodeId b);
   [[nodiscard]] sim::Duration path_latency(const Route& r, std::size_t bytes);
   void account_path(const Route& r, std::size_t bytes);
 
@@ -141,6 +149,12 @@ class Network {
   std::vector<std::unique_ptr<Node>> nodes_;  // index = id - 1
   std::vector<std::unique_ptr<Segment>> segments_;
   std::map<NodeId, std::vector<Segment*>> attachments_;
+  // Route cache. Shared-locked on the send hot path (validate + copy a
+  // shared_ptr), uniquely locked to insert/evict — shards route
+  // concurrently, so this must be thread-safe.
+  mutable std::shared_mutex route_mu_;
+  std::map<std::uint64_t, RoutePtr> route_cache_;
+  RoutePtr loopback_route_ = std::make_shared<Route>();
   std::mutex groups_mu_;  // join/leave vs. multicast on other shards
   std::map<GroupId, std::set<NodeId>> groups_;
   std::string obs_scope_;

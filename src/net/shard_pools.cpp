@@ -1,0 +1,77 @@
+#include "net/shard_pools.hpp"
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace hcm::net {
+
+namespace {
+
+// The installed instance the stateless PoolResolver reads. Atomic so a
+// late-bound worker thread observing the install sees a fully
+// constructed object (release/acquire pairing in ctor/resolve).
+std::atomic<ShardBlockPools*> g_installed{nullptr};
+
+}  // namespace
+
+ShardBlockPools::ShardBlockPools(sim::ShardedKernel& kernel,
+                                 BlockPool::Config per_shard)
+    : kernel_(&kernel) {
+  pools_.reserve(kernel.shards());
+  for (sim::ShardId s = 0; s < kernel.shards(); ++s) {
+    pools_.push_back(std::make_unique<BlockPool>(per_shard));
+  }
+  ShardBlockPools* expected = nullptr;
+  HCM_CHECK_MSG(
+      g_installed.compare_exchange_strong(expected, this,
+                                          std::memory_order_release),
+      "a ShardBlockPools is already installed");
+  set_pool_resolver(&ShardBlockPools::resolve);
+}
+
+ShardBlockPools::~ShardBlockPools() {
+  set_pool_resolver(nullptr);
+  g_installed.store(nullptr, std::memory_order_release);
+}
+
+BlockPool* ShardBlockPools::resolve() {
+  ShardBlockPools* self = g_installed.load(std::memory_order_acquire);
+  if (self == nullptr) return nullptr;
+  const auto* ctx = sim::ShardedKernel::current();
+  // Only threads bound to *this* kernel get shard pools; a second
+  // kernel's workers (tests build several) use the default pool.
+  if (ctx == nullptr || ctx->kernel != self->kernel_) return nullptr;
+  if (ctx->shard >= self->pools_.size()) return nullptr;
+  return self->pools_[ctx->shard].get();
+}
+
+BlockPool::Stats ShardBlockPools::aggregate_stats() const {
+  BlockPool::Stats sum;
+  for (const auto& pool : pools_) {
+    const BlockPool::Stats s = pool->stats();
+    sum.blocks_in_use += s.blocks_in_use;
+    sum.high_water += s.high_water;
+    sum.pooled_blocks += s.pooled_blocks;
+    sum.pool_hits += s.pool_hits;
+    sum.fresh_blocks += s.fresh_blocks;
+    sum.heap_fallbacks += s.heap_fallbacks;
+  }
+  return sum;
+}
+
+void publish_wire_pool_gauges(ShardBlockPools* pools) {
+  const BlockPool::Stats s = pools != nullptr
+                                 ? pools->aggregate_stats()
+                                 : default_block_pool().stats();
+  auto& reg = obs::Registry::global();
+  reg.gauge("wire.block_pool.blocks_in_use")
+      .set(static_cast<std::int64_t>(s.blocks_in_use));
+  reg.gauge("wire.block_pool.high_water")
+      .set(static_cast<std::int64_t>(s.high_water));
+  reg.gauge("wire.block_pool.pool_hits")
+      .set(static_cast<std::int64_t>(s.pool_hits));
+  reg.gauge("wire.block_pool.heap_fallbacks")
+      .set(static_cast<std::int64_t>(s.heap_fallbacks));
+}
+
+}  // namespace hcm::net

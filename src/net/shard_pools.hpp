@@ -1,0 +1,62 @@
+// Per-shard wire block pools: the installer block_pool.hpp's layering
+// note promises. common/ cannot know about shards, so the binding is
+// injected from here — while a ShardBlockPools is installed, every
+// wire_pool() call on a shard-bound worker thread (a ShardedKernel
+// worker loop, or a coordinator inside run_as) resolves to that
+// shard's own BlockPool, giving each shard a private freelist with
+// zero cross-shard contention. Threads outside the kernel's context
+// keep falling through to the process default pool.
+//
+// Lifetime: install in the scenario builder right after the kernel,
+// destroy (uninstalls) before the kernel goes away. One instance at a
+// time — a second concurrent install is a setup bug and is checked.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/block_pool.hpp"
+#include "sim/sharded_kernel.hpp"
+
+namespace hcm::net {
+
+class ShardBlockPools {
+ public:
+  // One pool per kernel shard, each with `per_shard` capacity.
+  // Installs itself as the process PoolResolver.
+  explicit ShardBlockPools(sim::ShardedKernel& kernel,
+                           BlockPool::Config per_shard = {});
+  ~ShardBlockPools();  // uninstalls the resolver
+  ShardBlockPools(const ShardBlockPools&) = delete;
+  ShardBlockPools& operator=(const ShardBlockPools&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return pools_.size(); }
+  [[nodiscard]] BlockPool& pool(sim::ShardId s) { return *pools_[s]; }
+
+  // Sum of every shard pool's stats (blocks_in_use, high_water, hits,
+  // fallbacks, ...) — the fleet view the gauges publish.
+  [[nodiscard]] BlockPool::Stats aggregate_stats() const;
+
+ private:
+  static BlockPool* resolve();
+
+  sim::ShardedKernel* kernel_;
+  std::vector<std::unique_ptr<BlockPool>> pools_;
+};
+
+// Publishes the current wire-pool occupancy into the global metric
+// registry as gauges (pull-based: BlockPool keeps its hot-path stats
+// in relaxed atomics and only this refresh touches the registry):
+//
+//   wire.block_pool.blocks_in_use     blocks acquired and not released
+//   wire.block_pool.high_water        max blocks_in_use ever seen
+//   wire.block_pool.pool_hits         acquires served off a freelist
+//   wire.block_pool.heap_fallbacks    acquires past the cap (heap)
+//
+// Covers the installed ShardBlockPools when `pools` is non-null (the
+// aggregate across shards), else the process default pool. Call it
+// from a TimeSeriesRecorder pre-sample hook so every telemetry grid
+// point carries fresh pool occupancy (hcm_top's WIRE POOL panel).
+void publish_wire_pool_gauges(ShardBlockPools* pools = nullptr);
+
+}  // namespace hcm::net

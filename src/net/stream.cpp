@@ -5,6 +5,12 @@
 namespace hcm::net {
 
 void Stream::send(Bytes data) {
+  BlockStream wrapped;
+  wrapped.append(data.data(), data.size());
+  send(std::move(wrapped));
+}
+
+void Stream::send(BlockStream data) {
   if (!open_ || data.empty()) return;
   bytes_sent_ += data.size();
   auto route = net_.find_route(local_.node, remote_.node);
@@ -27,15 +33,16 @@ void Stream::send(Bytes data) {
     }
     return;
   }
-  net_.account_path(route.value(), data.size());
-  auto latency = net_.path_latency(route.value(), data.size());
+  net_.account_path(*route.value(), data.size());
+  auto latency = net_.path_latency(*route.value(), data.size());
   // FIFO: never deliver before previously sent data in this direction.
   auto arrival = sched.now() + latency;
   if (arrival <= clear_time_) arrival = clear_time_ + 1;
   clear_time_ = arrival;
-  net_.deliver_at(remote_.node, arrival, [peer, data = std::move(data)] {
-    if (peer) peer->deliver(data);
-  });
+  net_.deliver_at(remote_.node, arrival,
+                  [peer, data = std::move(data)]() mutable {
+                    if (peer) peer->deliver(std::move(data));
+                  });
 }
 
 void Stream::close() {
@@ -71,9 +78,9 @@ void Stream::set_on_data(DataHandler handler) {
   on_data_ = std::move(handler);
   if (on_data_) {
     while (!pending_.empty()) {
-      Bytes data = std::move(pending_.front());
+      BlockStream data = std::move(pending_.front());
       pending_.pop_front();
-      on_data_(data);
+      on_data_(std::move(data));
     }
   }
 }
@@ -86,15 +93,15 @@ void Stream::set_on_close(CloseHandler handler) {
   }
 }
 
-void Stream::deliver(const Bytes& data) {
+void Stream::deliver(BlockStream data) {
   if (!open_) return;
   Node* self_node = net_.node(local_.node);
   if (self_node == nullptr || !self_node->is_up()) return;
   bytes_received_ += data.size();
   if (on_data_) {
-    on_data_(data);
+    on_data_(std::move(data));
   } else {
-    pending_.push_back(data);
+    pending_.push_back(std::move(data));
   }
 }
 

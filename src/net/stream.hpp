@@ -6,6 +6,7 @@
 #include <functional>
 #include <memory>
 
+#include "common/block_stream.hpp"
 #include "common/bytes.hpp"
 #include "net/address.hpp"
 #include "sim/scheduler.hpp"
@@ -16,7 +17,11 @@ class Network;
 class Stream;
 using StreamPtr = std::shared_ptr<Stream>;
 
-using DataHandler = std::function<void(const Bytes& data)>;
+// Payloads travel as pooled BlockStreams end-to-end: the sender renders
+// into blocks, transit moves the chain (no copy), and the receiver
+// splices it straight into its parser. Handlers that still want flat
+// bytes call data.to_bytes()/to_string().
+using DataHandler = std::function<void(BlockStream&& data)>;
 using CloseHandler = std::function<void()>;
 
 // One end of an established connection. Created in pairs by
@@ -36,6 +41,9 @@ class Stream : public std::enable_shared_from_this<Stream> {
   // Sends bytes to the peer; delivered in FIFO order after the route's
   // transit time. Silently dropped if the stream is closed. If the
   // route has failed, the connection is reset (both ends see close).
+  // The BlockStream form is the wire path: the block chain itself moves
+  // to the peer. The Bytes form wraps into blocks for convenience.
+  void send(BlockStream data);
   void send(Bytes data);
 
   // Graceful close: the peer's close handler fires after transit time.
@@ -52,7 +60,7 @@ class Stream : public std::enable_shared_from_this<Stream> {
  private:
   friend class Network;
 
-  void deliver(const Bytes& data);   // peer -> this
+  void deliver(BlockStream data);    // peer -> this
   void peer_closed();                // peer close/reset -> this
 
   Network& net_;
@@ -62,7 +70,7 @@ class Stream : public std::enable_shared_from_this<Stream> {
   bool open_ = true;
   DataHandler on_data_;
   CloseHandler on_close_;
-  std::deque<Bytes> pending_;        // arrived before on_data_ set
+  std::deque<BlockStream> pending_;  // arrived before on_data_ set
   bool closed_pending_ = false;      // closed before on_close_ set
   sim::SimTime clear_time_ = 0;      // FIFO ordering for our sends
   std::uint64_t bytes_sent_ = 0;

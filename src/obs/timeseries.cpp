@@ -149,6 +149,9 @@ void TimeSeriesRecorder::snapshot_into(
 }
 
 void TimeSeriesRecorder::sample_until(sim::SimTime now) {
+  // Outside the lock: the refresher may touch the registry (gauge
+  // sets), and the snapshot below reads whatever it wrote.
+  if (pre_sample_) pre_sample_();
   bool emitted = false;
   sim::SimTime latest = 0;
   {

@@ -89,6 +89,15 @@ class TimeSeriesRecorder {
   // Health rules evaluated after every sample batch (may be null).
   void set_health(HealthMonitor* health) { health_ = health; }
 
+  // Refresher invoked before each sample batch, for pull-based sources
+  // whose state lives outside the registry (the wire block pool keeps
+  // its occupancy in relaxed atomics; net::publish_wire_pool_gauges
+  // copies it into gauges here so every grid point is fresh). Runs on
+  // the sampling thread outside the recorder lock; empty clears.
+  void set_pre_sample(std::function<void()> fn) {
+    pre_sample_ = std::move(fn);
+  }
+
   // Emit every grid point due at or before `now` using the current
   // merged metric state. Idempotent per grid point; safe to call more
   // often than the grid (extra calls are cheap no-ops).
@@ -159,6 +168,7 @@ class TimeSeriesRecorder {
   sim::EventId timer_ = 0;
   Registry merged_;  // scratch fold target, reused across samples
   HealthMonitor* health_ = nullptr;
+  std::function<void()> pre_sample_;
 };
 
 }  // namespace hcm::obs

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/inline_fn.hpp"
+
 namespace hcm::sim {
 
 // Virtual time in microseconds since simulation start.
@@ -27,7 +29,11 @@ std::string format_time(SimTime t);  // "12.345678s"
 // Sentinel returned by Scheduler::next_event_time for an empty queue.
 constexpr SimTime kNoEventTime = INT64_MAX;
 
-using EventFn = std::function<void()>;
+// Event closures are move-only with 64 bytes of guaranteed inline
+// storage: a peer pointer plus an in-flight payload (BlockStream)
+// schedules with zero heap allocations, which is what keeps the wire
+// benches' allocs-per-call flat (docs/PERFORMANCE.md §"Block pool").
+using EventFn = InlineFn<void(), 64>;
 using EventId = std::uint64_t;
 
 // Single-threaded event scheduler with cancellable events.
@@ -42,7 +48,7 @@ class Scheduler {
   // Schedule fn at absolute virtual time t (clamped to now).
   EventId at(SimTime t, EventFn fn);
   // Schedule fn after delay d.
-  EventId after(Duration d, EventFn fn) { return at(now_ + d, fn); }
+  EventId after(Duration d, EventFn fn) { return at(now_ + d, std::move(fn)); }
 
   // Cancel a pending event. Returns false if already fired or cancelled.
   bool cancel(EventId id);

@@ -3,6 +3,7 @@
 #include <charconv>
 #include <cstdlib>
 
+#include "common/block_stream.hpp"
 #include "soap/value_xml.hpp"
 #include "xml/xml.hpp"
 
@@ -16,11 +17,9 @@ constexpr const char* kXsdNs = "http://www.w3.org/2001/XMLSchema";
 constexpr const char* kXsiNs = "http://www.w3.org/2001/XMLSchema-instance";
 
 // Prolog + <SOAP-ENV:Envelope> with the standard namespace set; the
-// writer streams straight into `out`, no Element tree on the encode
+// writer streams straight into its sink, no Element tree on the encode
 // path.
-xml::Writer open_envelope(std::string& out) {
-  out.reserve(512);
-  xml::Writer w(out);
+void open_envelope(xml::Writer& w) {
   w.prolog()
       .start("SOAP-ENV:Envelope")
       .attr("xmlns:SOAP-ENV", kEnvNs)
@@ -28,12 +27,59 @@ xml::Writer open_envelope(std::string& out) {
       .attr("xmlns:xsd", kXsdNs)
       .attr("xmlns:xsi", kXsiNs)
       .attr("SOAP-ENV:encodingStyle", kEncNs);
-  return w;
 }
 
 std::string_view u64_chars(std::uint64_t v, char (&buf)[24]) {
   auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
   return {buf, static_cast<std::size_t>(end - buf)};
+}
+
+// Shared render cores: the std::string and BlockStream entry points
+// below differ only in the writer's sink, so the bytes stay identical
+// by construction (pinned by EnvelopeTest + the wire-equality tests).
+void render_call(xml::Writer& w, const std::string& ns,
+                 const std::string& method, const NamedValues& params,
+                 const obs::TraceContext& trace) {
+  open_envelope(w);
+  if (trace.valid()) {
+    char tid[24];
+    char sid[24];
+    w.start("SOAP-ENV:Header")
+        .start("hcm:Trace")
+        .attr("xmlns:hcm", "urn:hcm:trace")
+        .attr("traceId", u64_chars(trace.trace_id, tid))
+        .attr("spanId", u64_chars(trace.span_id, sid))
+        .end()
+        .end();
+  }
+  std::string qname = "m:";
+  qname += method;
+  w.start("SOAP-ENV:Body").start(qname).attr("xmlns:m", ns);
+  for (const auto& [name, value] : params) {
+    value_write(name, value, w);
+  }
+  w.end().end().end();
+}
+
+void render_response(xml::Writer& w, const std::string& ns,
+                     const std::string& method, const Value& result) {
+  open_envelope(w);
+  std::string qname = "m:";
+  qname += method;
+  qname += "Response";
+  w.start("SOAP-ENV:Body").start(qname).attr("xmlns:m", ns);
+  value_write("return", result, w);
+  w.end().end().end();
+}
+
+void render_fault(xml::Writer& w, const Fault& fault) {
+  open_envelope(w);
+  w.start("SOAP-ENV:Body")
+      .start("SOAP-ENV:Fault")
+      .leaf("faultcode", fault.code)
+      .leaf("faultstring", fault.string);
+  if (!fault.detail.empty()) w.leaf("detail", fault.detail);
+  w.end().end().end();
 }
 
 }  // namespace
@@ -78,51 +124,69 @@ std::string build_call(const std::string& ns, const std::string& method,
                        const NamedValues& params,
                        const obs::TraceContext& trace) {
   std::string out;
-  xml::Writer w = open_envelope(out);
-  if (trace.valid()) {
-    char tid[24];
-    char sid[24];
-    w.start("SOAP-ENV:Header")
-        .start("hcm:Trace")
-        .attr("xmlns:hcm", "urn:hcm:trace")
-        .attr("traceId", u64_chars(trace.trace_id, tid))
-        .attr("spanId", u64_chars(trace.span_id, sid))
-        .end()
-        .end();
-  }
-  std::string qname = "m:";
-  qname += method;
-  w.start("SOAP-ENV:Body").start(qname).attr("xmlns:m", ns);
-  for (const auto& [name, value] : params) {
-    value_write(name, value, w);
-  }
-  w.end().end().end();
+  out.reserve(512);
+  xml::Writer w(out);
+  render_call(w, ns, method, params, trace);
   return out;
 }
 
 std::string build_response(const std::string& ns, const std::string& method,
                            const Value& result) {
   std::string out;
-  xml::Writer w = open_envelope(out);
-  std::string qname = "m:";
-  qname += method;
-  qname += "Response";
-  w.start("SOAP-ENV:Body").start(qname).attr("xmlns:m", ns);
-  value_write("return", result, w);
-  w.end().end().end();
+  out.reserve(512);
+  xml::Writer w(out);
+  render_response(w, ns, method, result);
   return out;
 }
 
 std::string build_fault(const Fault& fault) {
   std::string out;
-  xml::Writer w = open_envelope(out);
-  w.start("SOAP-ENV:Body")
-      .start("SOAP-ENV:Fault")
-      .leaf("faultcode", fault.code)
-      .leaf("faultstring", fault.string);
-  if (!fault.detail.empty()) w.leaf("detail", fault.detail);
-  w.end().end().end();
+  out.reserve(512);
+  xml::Writer w(out);
+  render_fault(w, fault);
   return out;
+}
+
+void build_call_into(std::string& out, const std::string& ns,
+                     const std::string& method, const NamedValues& params,
+                     const obs::TraceContext& trace) {
+  out.clear();
+  if (out.capacity() < 512) out.reserve(512);
+  xml::Writer w(out);
+  render_call(w, ns, method, params, trace);
+}
+
+void build_response_into(std::string& out, const std::string& ns,
+                         const std::string& method, const Value& result) {
+  out.clear();
+  if (out.capacity() < 512) out.reserve(512);
+  xml::Writer w(out);
+  render_response(w, ns, method, result);
+}
+
+void build_fault_into(std::string& out, const Fault& fault) {
+  out.clear();
+  if (out.capacity() < 512) out.reserve(512);
+  xml::Writer w(out);
+  render_fault(w, fault);
+}
+
+void build_call_to(BlockStream& out, const std::string& ns,
+                   const std::string& method, const NamedValues& params,
+                   const obs::TraceContext& trace) {
+  xml::Writer w(out);
+  render_call(w, ns, method, params, trace);
+}
+
+void build_response_to(BlockStream& out, const std::string& ns,
+                       const std::string& method, const Value& result) {
+  xml::Writer w(out);
+  render_response(w, ns, method, result);
+}
+
+void build_fault_to(BlockStream& out, const Fault& fault) {
+  xml::Writer w(out);
+  render_fault(w, fault);
 }
 
 namespace {
@@ -211,6 +275,7 @@ Status parse_header(xml::PullParser& p, Envelope& env) {
 Status parse_operation(xml::PullParser& p, Envelope& env) {
   if (p.local_name() == "Fault") {
     env.is_fault = true;
+    env.params.clear();
     bool saw_code = false;
     bool saw_string = false;
     bool saw_detail = false;
@@ -241,7 +306,7 @@ Status parse_operation(xml::PullParser& p, Envelope& env) {
     }
   }
 
-  env.method = std::string(p.local_name());
+  env.method.assign(p.local_name());
   // Namespace: the xmlns:<prefix> attribute matching the element prefix,
   // or default xmlns.
   Status err = Status::ok();
@@ -255,26 +320,54 @@ Status parse_operation(xml::PullParser& p, Envelope& env) {
   }
   if (!err.is_ok()) return err;
 
+  // Param entries are reused by index (like MessageParser's header
+  // slots): names assign into retained string capacity, the vector only
+  // grows when a call carries more params than any before it.
+  std::size_t n_params = 0;
   while (true) {
     auto ev = p.next();
     if (!ev.is_ok()) return ev.status();
-    if (ev.value() == Event::kEnd) return Status::ok();
+    if (ev.value() == Event::kEnd) {
+      env.params.resize(n_params);
+      return Status::ok();
+    }
     if (ev.value() != Event::kStart) {
       if (ev.value() == Event::kEof) {
         return protocol_error("unexpected end of document");
       }
       continue;
     }
-    std::string name(p.local_name());
+    auto name = p.local_name();  // view into the input; stays valid
     auto value = value_from_pull(p);
     if (!value.is_ok()) return value.status();
-    env.params.emplace_back(std::move(name), std::move(value).take());
+    if (n_params < env.params.size()) {
+      env.params[n_params].first.assign(name);
+      env.params[n_params].second = std::move(value).take();
+    } else {
+      env.params.emplace_back(std::string(name), std::move(value).take());
+    }
+    ++n_params;
   }
 }
 
 }  // namespace
 
 Result<Envelope> parse_envelope(std::string_view body_text) {
+  Envelope env;
+  if (auto s = parse_envelope_into(body_text, env); !s.is_ok()) return s;
+  return env;
+}
+
+Status parse_envelope_into(std::string_view body_text, Envelope& env) {
+  env.is_fault = false;
+  env.fault.code.clear();
+  env.fault.string.clear();
+  env.fault.detail.clear();
+  env.method.clear();
+  env.method_ns.clear();
+  env.trace = obs::TraceContext{};
+  // env.params is reconciled entry-by-entry in parse_operation.
+
   xml::PullParser p(body_text);
   auto ev = p.next();
   if (!ev.is_ok()) return ev.status();
@@ -282,7 +375,6 @@ Result<Envelope> parse_envelope(std::string_view body_text) {
     return protocol_error("not a SOAP envelope: " + std::string(p.name()));
   }
 
-  Envelope env;
   bool saw_header = false;
   bool saw_body = false;
   bool saw_op = false;
@@ -327,7 +419,7 @@ Result<Envelope> parse_envelope(std::string_view body_text) {
 
   if (!saw_body) return protocol_error("SOAP envelope without Body");
   if (!saw_op) return protocol_error("SOAP Body is empty");
-  return env;
+  return Status::ok();
 }
 
 }  // namespace hcm::soap

@@ -10,6 +10,10 @@
 #include "common/value.hpp"
 #include "obs/trace.hpp"
 
+namespace hcm {
+class BlockStream;
+}
+
 namespace hcm::soap {
 
 struct Fault {
@@ -50,6 +54,32 @@ struct Envelope {
                                          const Value& result);
 [[nodiscard]] std::string build_fault(const Fault& fault);
 
+// Recycled-sink forms: byte-identical envelopes rendered into a
+// caller-owned string (cleared first, capacity kept), so steady-state
+// RPC loops rebuild bodies without reallocating.
+void build_call_into(std::string& out, const std::string& ns,
+                     const std::string& method, const NamedValues& params,
+                     const obs::TraceContext& trace);
+void build_response_into(std::string& out, const std::string& ns,
+                         const std::string& method, const Value& result);
+void build_fault_into(std::string& out, const Fault& fault);
+
+// Pooled-sink forms: byte-identical envelopes appended to a
+// BlockStream, so the wire path renders straight into the HTTP body's
+// pooled blocks with no intermediate std::string.
+void build_call_to(BlockStream& out, const std::string& ns,
+                   const std::string& method, const NamedValues& params,
+                   const obs::TraceContext& trace);
+void build_response_to(BlockStream& out, const std::string& ns,
+                       const std::string& method, const Value& result);
+void build_fault_to(BlockStream& out, const Fault& fault);
+
 [[nodiscard]] Result<Envelope> parse_envelope(std::string_view body);
+
+// Parse into a caller-owned (typically recycled) Envelope: field and
+// param-entry capacities from the previous parse are reused, so a
+// steady-state RPC loop parses without per-call allocation. On error
+// the envelope's contents are unspecified.
+[[nodiscard]] Status parse_envelope_into(std::string_view body, Envelope& env);
 
 }  // namespace hcm::soap

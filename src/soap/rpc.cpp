@@ -7,10 +7,22 @@
 namespace hcm::soap {
 
 namespace {
-http::Response soap_response(int status, const std::string& reason,
-                             std::string body) {
-  auto resp = http::Response::make(status, reason, std::move(body),
-                                   "text/xml; charset=utf-8");
+// Thread-local response scratch. respond() serializes synchronously
+// (stream delivery is scheduled, never inline), so the scratch and its
+// string capacities are free again the moment the call returns —
+// steady-state service responses are built without reallocation. A
+// handler that parks the response moves from it, which only forfeits
+// the recycled capacity. Thread-local keeps shards independent under
+// the parallel kernel. Callers render the envelope into .body.
+http::Response& soap_response(int status, std::string_view reason) {
+  thread_local http::Response resp;
+  resp.status = status;
+  resp.reason.assign(reason);
+  resp.version.assign("HTTP/1.1");
+  if (resp.headers.empty()) resp.headers.emplace_back();
+  resp.headers.resize(1);
+  resp.headers[0].first.assign("Content-Type");
+  resp.headers[0].second.assign("text/xml; charset=utf-8");
   return resp;
 }
 }  // namespace
@@ -38,38 +50,61 @@ void SoapService::unregister_method(const std::string& method) {
   methods_.erase(method);
 }
 
+std::unique_ptr<Envelope> SoapService::acquire_env() {
+  if (env_pool_.empty()) return std::make_unique<Envelope>();
+  auto env = std::move(env_pool_.back());
+  env_pool_.pop_back();
+  return env;
+}
+
+void SoapService::release_env(std::unique_ptr<Envelope> env) {
+  // A few entries cover synchronous nested dispatch; beyond that the
+  // envelope just frees (no unbounded hoard).
+  if (env_pool_.size() < 4) env_pool_.push_back(std::move(env));
+}
+
 void SoapService::handle(const http::Request& req, http::RespondFn respond) {
   if (req.method != "POST") {
     faults_sent_.inc();
-    respond(soap_response(405, "Method Not Allowed",
-                          build_fault(Fault{"SOAP-ENV:Client",
-                                            "SOAP requires POST", ""})));
+    auto& resp = soap_response(405, "Method Not Allowed");
+    build_fault_into(resp.body,
+                     Fault{"SOAP-ENV:Client", "SOAP requires POST", ""});
+    respond(std::move(resp));
     return;
   }
-  auto env = parse_envelope(req.body);
-  if (!env.is_ok()) {
+  // Borrowed for this frame only: the completion lambda copies what it
+  // needs (it may run after the envelope has been reused).
+  auto env = acquire_env();
+  struct Lease {
+    SoapService* service;
+    std::unique_ptr<Envelope>& env;
+    ~Lease() { service->release_env(std::move(env)); }
+  } lease{this, env};
+  auto parsed = parse_envelope_into(req.body, *env);
+  if (!parsed.is_ok()) {
     faults_sent_.inc();
-    respond(soap_response(
-        400, "Bad Request",
-        build_fault(Fault::from_status(env.status()))));
+    auto& resp = soap_response(400, "Bad Request");
+    build_fault_into(resp.body, Fault::from_status(parsed));
+    respond(std::move(resp));
     return;
   }
-  if (env.value().is_fault) {
+  if (env->is_fault) {
     faults_sent_.inc();
-    respond(soap_response(
-        400, "Bad Request",
-        build_fault(Fault{"SOAP-ENV:Client", "fault sent as request", ""})));
+    auto& resp = soap_response(400, "Bad Request");
+    build_fault_into(resp.body,
+                     Fault{"SOAP-ENV:Client", "fault sent as request", ""});
+    respond(std::move(resp));
     return;
   }
   calls_handled_.inc();
-  const auto& call = env.value();
+  const auto& call = *env;
   auto it = methods_.find(call.method);
   if (it == methods_.end()) {
     faults_sent_.inc();
-    respond(soap_response(
-        500, "Internal Server Error",
-        build_fault(Fault::from_status(
-            not_found("no such method: " + call.method)))));
+    auto& resp = soap_response(500, "Internal Server Error");
+    build_fault_into(resp.body, Fault::from_status(
+                                    not_found("no such method: " + call.method)));
+    respond(std::move(resp));
     return;
   }
   // Rejoin the caller's trace: the <hcm:Trace> header carries the
@@ -85,20 +120,25 @@ void SoapService::handle(const http::Request& req, http::RespondFn respond) {
                               sched.now())
           : 0;
   obs::Tracer::Scope span_scope(tracer, tracer.context_of(span_id));
-  auto ns = call.method_ns.empty() ? "urn:hcm" : call.method_ns;
+  // ns/method are copied straight into the closure (the envelope is
+  // recycled before an async completion runs).
   it->second(call.params,
-             [respond = std::move(respond), ns, method = call.method,
-              &faults = faults_sent_, &tracer, &sched,
+             [respond = std::move(respond),
+              ns = call.method_ns.empty() ? std::string("urn:hcm")
+                                          : call.method_ns,
+              method = call.method, &faults = faults_sent_, &tracer, &sched,
               span_id](Result<Value> result) {
                tracer.end_span(span_id, sched.now(), result.is_ok());
                if (result.is_ok()) {
-                 respond(soap_response(
-                     200, "OK", build_response(ns, method, result.value())));
+                 auto& resp = soap_response(200, "OK");
+                 build_response_into(resp.body, ns, method, result.value());
+                 respond(std::move(resp));
                } else {
                  faults.inc();
-                 respond(soap_response(
-                     500, "Internal Server Error",
-                     build_fault(Fault::from_status(result.status()))));
+                 auto& resp = soap_response(500, "Internal Server Error");
+                 build_fault_into(resp.body,
+                                  Fault::from_status(result.status()));
+                 respond(std::move(resp));
                }
              });
 }
@@ -117,44 +157,61 @@ void SoapClient::call(net::Endpoint dest, const std::string& path,
           ? tracer.begin_span("soap.call:" + method, "soap.client",
                               sched.now())
           : 0;
-  http::Request req;
-  req.method = "POST";
-  req.target = path;
-  req.body = build_call(ns, method, params, tracer.context_of(span_id));
-  req.set_header("Content-Type", "text/xml; charset=utf-8");
-  std::string action;
+  // Recycled request: every string below assigns into capacity kept
+  // from the previous call, so a steady-state caller allocates nothing
+  // here. Header slots are reconciled by index (a recycled request
+  // carries [Content-Type, SOAPAction, Host]; the Host entry the HTTP
+  // client appends is small-string-optimized, so dropping it is free).
+  http::Request req = http_.recycled_request();
+  req.method.assign("POST");
+  req.target.assign(path);
+  req.version.assign("HTTP/1.1");
+  build_call_into(req.body, ns, method, params, tracer.context_of(span_id));
+  while (req.headers.size() < 2) req.headers.emplace_back();
+  req.headers.resize(2);
+  req.headers[0].first.assign("Content-Type");
+  req.headers[0].second.assign("text/xml; charset=utf-8");
+  req.headers[1].first.assign("SOAPAction");
+  std::string& action = req.headers[1].second;
+  action.clear();
   action.reserve(ns.size() + method.size() + 3);
   action += '"';
   action += ns;
   action += '#';
   action += method;
   action += '"';
-  req.set_header("SOAPAction", std::move(action));
+  // The result is borrowed (Result<Response>&): the HTTP client keeps
+  // the Response and recycles its storage after this returns. Parsing
+  // lands in env_scratch_, and the result Value is moved out before
+  // `done` runs so a nested call from the completion can reuse it.
   http_.request(dest, std::move(req),
-                [done = std::move(done), &tracer, &sched,
-                 span_id](Result<http::Response> resp) {
+                [this, done = std::move(done), &tracer, &sched,
+                 span_id](Result<http::Response>& resp) {
                   if (!resp.is_ok()) {
                     tracer.end_span(span_id, sched.now(), false);
                     done(resp.status());
                     return;
                   }
-                  auto env = parse_envelope(resp.value().body);
-                  if (!env.is_ok()) {
+                  auto parsed =
+                      parse_envelope_into(resp.value().body, env_scratch_);
+                  if (!parsed.is_ok()) {
                     tracer.end_span(span_id, sched.now(), false);
-                    done(env.status());
+                    done(parsed);
                     return;
                   }
-                  if (env.value().is_fault) {
+                  if (env_scratch_.is_fault) {
                     tracer.end_span(span_id, sched.now(), false);
-                    done(env.value().fault.to_status());
+                    done(env_scratch_.fault.to_status());
                     return;
                   }
                   tracer.end_span(span_id, sched.now(), true);
                   // RPC convention: single <return> child (or first param).
-                  if (env.value().params.empty()) {
+                  if (env_scratch_.params.empty()) {
                     done(Value());
                   } else {
-                    done(env.value().params.front().second);
+                    Result<Value> rv(
+                        std::move(env_scratch_.params.front().second));
+                    done(std::move(rv));
                   }
                 });
 }

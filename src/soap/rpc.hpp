@@ -18,7 +18,9 @@
 
 namespace hcm::soap {
 
-using CallResultFn = std::function<void(Result<Value>)>;
+// Same type as hcm::InvokeResultFn (the VSG moves completions across
+// the soap boundary without re-wrapping).
+using CallResultFn = SmallFn<void(Result<Value>), 192>;
 // A method handler: receives named params, answers asynchronously.
 using MethodHandler =
     std::function<void(const NamedValues& params, CallResultFn done)>;
@@ -53,10 +55,16 @@ class SoapService {
 
  private:
   void handle(const http::Request& req, http::RespondFn respond);
+  // Envelope free-list: handle() borrows one for the duration of its
+  // frame (a synchronous nested dispatch borrows another), so request
+  // parsing reuses string/param capacities call over call.
+  std::unique_ptr<Envelope> acquire_env();
+  void release_env(std::unique_ptr<Envelope> env);
 
   http::HttpServer& http_server_;
   std::string path_;
   std::map<std::string, MethodHandler> methods_;
+  std::vector<std::unique_ptr<Envelope>> env_pool_;
   std::string obs_scope_;
   obs::Counter& calls_handled_;
   obs::Counter& faults_sent_;
@@ -82,6 +90,11 @@ class SoapClient {
 
  private:
   http::HttpClient http_;
+  // Response-parse scratch: deliveries are serialized per client (the
+  // single-threaded scheduler runs one callback at a time), and the
+  // result Value is moved out before `done` runs, so a nested call
+  // issued from inside a completion can safely reuse it.
+  Envelope env_scratch_;
   obs::Counter& calls_sent_;
 };
 

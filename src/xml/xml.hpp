@@ -21,6 +21,10 @@
 
 #include "common/status.hpp"
 
+namespace hcm {
+class BlockStream;
+}
+
 namespace hcm::xml {
 
 class Element;
@@ -96,9 +100,12 @@ class Element {
 [[nodiscard]] std::string escape_text(std::string_view s);
 [[nodiscard]] std::string escape_attr(std::string_view s);
 // Appending forms with a memcpy fast path: runs without special
-// characters are copied in one shot instead of byte-by-byte.
+// characters are copied in one shot instead of byte-by-byte. The
+// BlockStream overloads emit the same bytes into pooled blocks.
 void append_escaped_text(std::string& out, std::string_view s);
 void append_escaped_attr(std::string& out, std::string_view s);
+void append_escaped_text(BlockStream& out, std::string_view s);
+void append_escaped_attr(BlockStream& out, std::string_view s);
 
 // Streaming serializer: renders into a caller-provided buffer with the
 // exact compact byte format Element::to_string produces, but with no
@@ -108,8 +115,12 @@ void append_escaped_attr(std::string& out, std::string_view s);
 class Writer {
  public:
   // Appends to `out`; the caller clears/reuses the buffer between
-  // messages. The buffer must outlive the writer.
-  explicit Writer(std::string& out) : out_(&out) { stack_.reserve(16); }
+  // messages. The buffer must outlive the writer. The BlockStream form
+  // renders the identical bytes into pooled blocks — the wire path
+  // uses it so envelope encoding touches the heap allocator only for
+  // pathological nesting depth (docs/PERFORMANCE.md §"Block pool").
+  explicit Writer(std::string& out) : str_(&out) {}
+  explicit Writer(BlockStream& out) : blk_(&out) {}
 
   Writer& start(std::string_view name);
   // Valid only between start() and the first content/end() call.
@@ -122,19 +133,83 @@ class Writer {
   // <?xml version="1.0" encoding="UTF-8"?>
   Writer& prolog();
 
-  [[nodiscard]] int depth() const { return static_cast<int>(stack_.size()); }
+  [[nodiscard]] int depth() const { return depth_; }
 
  private:
-  void close_start_tag();
-
-  std::string* out_;
   struct Open {
     std::uint32_t name_off;
     std::uint32_t name_len;
-    bool has_content;
   };
-  std::vector<Open> stack_;
+
+  void close_start_tag();
+  void put(char c);
+  void put(std::string_view s);
+  [[nodiscard]] std::size_t out_size() const;
+  void push_open(Open o);
+  [[nodiscard]] Open pop_open();
+
+  std::string* str_ = nullptr;
+  BlockStream* blk_ = nullptr;
+  // Close-tag names are offsets into the output itself; the open stack
+  // lives inline in the writer (SOAP/WSDL/UPnP nesting is shallow) with
+  // a heap spill only past kInlineDepth.
+  static constexpr int kInlineDepth = 24;
+  Open stack_[kInlineDepth];
+  std::vector<Open> deep_;
+  int depth_ = 0;
   bool in_start_tag_ = false;
+};
+
+// Fixed inline storage with a heap spill past N — the pull parser's
+// attribute and open-element stacks live in the parser object itself,
+// so constructing a parser performs no allocations (SOAP envelopes
+// never exceed the inline capacities). Element types must be trivially
+// copyable (views). Once spilled, storage stays on the heap until
+// clear().
+template <typename T, std::size_t N>
+class InlineVec {
+ public:
+  void clear() {
+    n_ = 0;
+    spilled_ = false;
+    spill_.clear();
+  }
+  void push_back(T v) {
+    if (!spilled_ && n_ < N) {
+      buf_[n_++] = v;
+      return;
+    }
+    if (!spilled_) {
+      spill_.assign(buf_, buf_ + n_);
+      spilled_ = true;
+    }
+    spill_.push_back(v);
+  }
+  void pop_back() {
+    if (spilled_) {
+      spill_.pop_back();
+    } else {
+      --n_;
+    }
+  }
+  [[nodiscard]] std::size_t size() const {
+    return spilled_ ? spill_.size() : n_;
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return spilled_ ? spill_[i] : buf_[i];
+  }
+  [[nodiscard]] const T& back() const { return (*this)[size() - 1]; }
+  [[nodiscard]] const T* begin() const {
+    return spilled_ ? spill_.data() : buf_;
+  }
+  [[nodiscard]] const T* end() const { return begin() + size(); }
+
+ private:
+  T buf_[N];
+  std::size_t n_ = 0;
+  bool spilled_ = false;
+  std::vector<T> spill_;
 };
 
 // Zero-copy pull parser: tokenizes the input into start/end/text events
@@ -152,10 +227,7 @@ class PullParser {
     [[nodiscard]] std::string_view local_name() const;
   };
 
-  explicit PullParser(std::string_view in) : in_(in) {
-    attrs_.reserve(8);
-    open_.reserve(16);
-  }
+  explicit PullParser(std::string_view in) : in_(in) {}
 
   // Advances to the next event.
   [[nodiscard]] Result<Event> next();
@@ -164,7 +236,7 @@ class PullParser {
   [[nodiscard]] std::string_view name() const { return name_; }
   [[nodiscard]] std::string_view local_name() const;
   // kStart only: attributes with raw (still-encoded) values.
-  [[nodiscard]] const std::vector<Attr>& attrs() const { return attrs_; }
+  [[nodiscard]] const InlineVec<Attr, 8>& attrs() const { return attrs_; }
   // Raw value of the attribute with this exact / local name, or empty
   // view when absent (found tells the cases apart).
   [[nodiscard]] const Attr* find_attr(std::string_view name) const;
@@ -210,8 +282,8 @@ class PullParser {
   std::string_view name_;
   std::string_view text_;
   bool cdata_ = false;
-  std::vector<Attr> attrs_;
-  std::vector<std::string_view> open_;  // enclosing element names
+  InlineVec<Attr, 8> attrs_;
+  InlineVec<std::string_view, 16> open_;  // enclosing element names
 };
 
 // Parses a document; returns the root element. Leading <?xml?> and

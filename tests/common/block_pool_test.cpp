@@ -1,0 +1,102 @@
+#include "common/block_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace hcm {
+namespace {
+
+TEST(BlockPoolTest, AcquireReleaseRoundTrip) {
+  BlockPool pool({.max_blocks = 8, .lanes = 1});
+  BlockHeader* b = pool.acquire();
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->owner, &pool);
+  EXPECT_EQ(b->used, 0u);
+  EXPECT_EQ(pool.stats().blocks_in_use, 1u);
+  BlockPool::release(b);
+  EXPECT_EQ(pool.stats().blocks_in_use, 0u);
+}
+
+TEST(BlockPoolTest, FreelistReusesReleasedBlock) {
+  BlockPool pool({.max_blocks = 8, .lanes = 1});
+  BlockHeader* first = pool.acquire();
+  first->used = 123;  // dirty it; reacquire must reset
+  BlockPool::release(first);
+  BlockHeader* again = pool.acquire();
+  EXPECT_EQ(again, first);  // LIFO freelist hands the same block back
+  EXPECT_EQ(again->used, 0u);
+  auto s = pool.stats();
+  EXPECT_EQ(s.pool_hits, 1u);
+  EXPECT_EQ(s.fresh_blocks, 1u);
+  EXPECT_EQ(s.pooled_blocks, 1u);
+  BlockPool::release(again);
+}
+
+TEST(BlockPoolTest, HighWaterTracksPeakInUse) {
+  BlockPool pool({.max_blocks = 8, .lanes = 1});
+  std::vector<BlockHeader*> held;
+  for (int i = 0; i < 5; ++i) held.push_back(pool.acquire());
+  for (BlockHeader* b : held) BlockPool::release(b);
+  auto s = pool.stats();
+  EXPECT_EQ(s.blocks_in_use, 0u);
+  EXPECT_EQ(s.high_water, 5u);
+}
+
+TEST(BlockPoolTest, ExhaustionFallsBackToHeapAndCounts) {
+  BlockPool pool({.max_blocks = 2, .lanes = 1});
+  BlockHeader* a = pool.acquire();
+  BlockHeader* b = pool.acquire();
+  BlockHeader* c = pool.acquire();  // past the cap
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->owner, nullptr);  // heap fallback, not pool-owned
+  auto s = pool.stats();
+  EXPECT_EQ(s.heap_fallbacks, 1u);
+  EXPECT_EQ(s.pooled_blocks, 2u);
+  EXPECT_EQ(s.blocks_in_use, 2u);  // fallbacks are not pooled inventory
+  BlockPool::release(c);           // frees rather than recycles
+  BlockPool::release(b);
+  BlockPool::release(a);
+  EXPECT_EQ(pool.stats().pooled_blocks, 2u);
+}
+
+TEST(BlockPoolTest, ThreadBindingOverridesDefault) {
+  BlockPool pool({.max_blocks = 4, .lanes = 1});
+  BlockPool* prev = bind_thread_block_pool(&pool);
+  EXPECT_EQ(&wire_pool(), &pool);
+  bind_thread_block_pool(prev);
+  EXPECT_NE(&wire_pool(), &pool);
+}
+
+TEST(BlockPoolTest, ResolverSuppliesPoolWhenThreadUnbound) {
+  static BlockPool* s_resolved;
+  BlockPool pool({.max_blocks = 4, .lanes = 1});
+  s_resolved = &pool;
+  set_pool_resolver(+[]() { return s_resolved; });
+  EXPECT_EQ(&wire_pool(), &pool);
+  set_pool_resolver(nullptr);
+  EXPECT_NE(&wire_pool(), &pool);
+  s_resolved = nullptr;
+}
+
+TEST(BlockPoolTest, LanesServeConcurrentAcquire) {
+  BlockPool pool({.max_blocks = 64, .lanes = 4});
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&pool] {
+      for (int i = 0; i < 200; ++i) {
+        BlockHeader* b = pool.acquire();
+        b->used = 1;
+        BlockPool::release(b);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  auto s = pool.stats();
+  EXPECT_EQ(s.blocks_in_use, 0u);
+  EXPECT_EQ(s.pool_hits + s.fresh_blocks + s.heap_fallbacks, 800u);
+}
+
+}  // namespace
+}  // namespace hcm

@@ -1,0 +1,77 @@
+#include "common/inline_fn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace hcm {
+namespace {
+
+TEST(InlineFnTest, EmptyAndNullptrCompare) {
+  InlineFn<void()> fn;
+  EXPECT_FALSE(fn);
+  EXPECT_TRUE(fn == nullptr);
+  fn = [] {};
+  EXPECT_TRUE(fn);
+  EXPECT_TRUE(fn != nullptr);
+  fn = nullptr;
+  EXPECT_FALSE(fn);
+}
+
+TEST(InlineFnTest, InvokesWithArgsAndResult) {
+  InlineFn<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFnTest, MoveOnlyCaptureStaysInline) {
+  auto payload = std::make_unique<int>(42);
+  InlineFn<int()> fn = [p = std::move(payload)] { return *p; };
+  InlineFn<int()> moved = std::move(fn);
+  EXPECT_FALSE(fn);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved(), 42);
+}
+
+TEST(InlineFnTest, OversizedCaptureDegradesToHeapCell) {
+  struct Big {
+    char pad[200];
+  };
+  Big big{};
+  big.pad[0] = 'x';
+  InlineFn<char()> fn = [big] { return big.pad[0]; };
+  InlineFn<char()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 'x');
+}
+
+TEST(InlineFnTest, DestructorRunsCaptureDtorOnce) {
+  auto counter = std::make_shared<int>(0);
+  struct Track {
+    std::shared_ptr<int> c;
+    ~Track() {
+      if (c) ++*c;
+    }
+    Track(std::shared_ptr<int> c) : c(std::move(c)) {}
+    Track(Track&& o) noexcept = default;
+    Track(const Track&) = delete;
+  };
+  {
+    InlineFn<void()> fn = [t = Track(counter)] { (void)t; };
+    InlineFn<void()> other = std::move(fn);
+    other();
+  }
+  // Moved-from wrappers must not double-destroy; exactly one live Track
+  // existed and died once (moved-out shells hold a null shared_ptr).
+  EXPECT_EQ(*counter, 1);
+}
+
+TEST(InlineFnTest, AssignReplacesPreviousCallable) {
+  auto count = std::make_shared<int>(0);
+  InlineFn<void()> fn = [count] { *count += 1; };
+  fn();
+  fn = [count] { *count += 10; };
+  fn();
+  EXPECT_EQ(*count, 11);
+}
+
+}  // namespace
+}  // namespace hcm

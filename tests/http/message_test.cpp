@@ -4,6 +4,8 @@
 
 #include <algorithm>
 
+#include "common/block_pool.hpp"
+#include "common/block_stream.hpp"
 #include "soap/envelope.hpp"
 
 namespace hcm::http {
@@ -139,6 +141,30 @@ TEST(HttpParserTest, HeaderWhitespaceTrimmed) {
   auto reqs = p.take_requests();
   ASSERT_EQ(reqs.size(), 1u);
   EXPECT_EQ(*reqs[0].header("X-K"), "padded value");
+}
+
+TEST(HttpParserTest, LargeBodySpansBlockSeams) {
+  // A body several times the pool block size: the serialized frame and
+  // the parser's reassembly stream both chain multiple 16 KB blocks,
+  // so head scanning, body extraction and consume all cross seams.
+  Request req;
+  req.method = "POST";
+  req.target = "/bulk";
+  req.set_header("Content-Type", "application/octet-stream");
+  while (req.body.size() < 3 * BlockPool::kBlockCapacity + 123) {
+    req.body += "0123456789abcdef";
+  }
+  BlockStream wire;
+  req.serialize_to(wire);
+  ASSERT_GT(wire.size(), 3 * BlockPool::kBlockCapacity);
+
+  MessageParser p(MessageParser::Mode::kRequest);
+  ASSERT_TRUE(p.feed(std::move(wire)).is_ok());
+  Request got;
+  ASSERT_TRUE(p.pop_request(got));
+  EXPECT_EQ(got.target, "/bulk");
+  EXPECT_EQ(got.body, req.body);
+  EXPECT_FALSE(p.pop_request(got));
 }
 
 TEST(HttpParserTest, SoapEnvelopeSplitAcrossDeliveries) {

@@ -246,9 +246,8 @@ TEST_F(HttpEndToEndTest, WireBytesMatchSerializedMessageSizes) {
   const Bytes wire = req.serialize();
 
   Bytes received;
-  stream->set_on_data([&](const Bytes& data) {
-    received.insert(received.end(), data.begin(), data.end());
-  });
+  stream->set_on_data(
+      [&](BlockStream&& data) { data.append_to(received); });
   stream->send(req.serialize());
   sched.run();
 

@@ -83,7 +83,9 @@ TEST(JiniFramingTest, SingleFrame) {
   FrameReader reader;
   std::vector<Bytes> out;
   Bytes payload = to_bytes("payload");
-  ASSERT_TRUE(reader.feed(frame(payload), out).is_ok());
+  BlockStream wire;
+  wire.append(frame(payload));
+  ASSERT_TRUE(reader.feed(std::move(wire), out).is_ok());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], payload);
 }
@@ -93,7 +95,9 @@ TEST(JiniFramingTest, SplitAcrossFeeds) {
   std::vector<Bytes> out;
   Bytes wire = frame(to_bytes("split"));
   for (auto b : wire) {
-    ASSERT_TRUE(reader.feed({b}, out).is_ok());
+    BlockStream chunk;
+    chunk.append(&b, 1);
+    ASSERT_TRUE(reader.feed(std::move(chunk), out).is_ok());
   }
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(to_string(out[0]), "split");
@@ -105,7 +109,9 @@ TEST(JiniFramingTest, MultipleFramesInOneFeed) {
   Bytes wire = frame(to_bytes("a"));
   Bytes second = frame(to_bytes("bb"));
   wire.insert(wire.end(), second.begin(), second.end());
-  ASSERT_TRUE(reader.feed(wire, out).is_ok());
+  BlockStream stream;
+  stream.append(wire);
+  ASSERT_TRUE(reader.feed(std::move(stream), out).is_ok());
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(to_string(out[0]), "a");
   EXPECT_EQ(to_string(out[1]), "bb");
@@ -115,7 +121,9 @@ TEST(JiniFramingTest, OversizedFrameRejected) {
   FrameReader reader;
   std::vector<Bytes> out;
   Bytes evil{0xFF, 0xFF, 0xFF, 0xFF};  // 4 GiB frame length
-  EXPECT_FALSE(reader.feed(evil, out).is_ok());
+  BlockStream stream;
+  stream.append(evil);
+  EXPECT_FALSE(reader.feed(std::move(stream), out).is_ok());
 }
 
 }  // namespace

@@ -1,0 +1,49 @@
+// ShardBlockPools contract: while a shard context is published,
+// wire_pool() resolves to that shard's own pool; outside any context
+// (and after teardown) the process default serves; aggregate stats sum
+// the per-shard pools.
+#include "net/shard_pools.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/block_stream.hpp"
+#include "sim/sharded_kernel.hpp"
+
+namespace hcm::net {
+namespace {
+
+TEST(ShardBlockPoolsTest, ResolvesPerShardPoolFromContext) {
+  sim::ShardedKernel kernel(sim::ShardedKernelOptions{.shards = 2});
+  ShardBlockPools pools(kernel);
+  ASSERT_EQ(pools.shard_count(), 2u);
+  // No shard context on this thread: the resolver declines.
+  EXPECT_EQ(&wire_pool(), &default_block_pool());
+  kernel.run_as(0, [&] { EXPECT_EQ(&wire_pool(), &pools.pool(0)); });
+  kernel.run_as(1, [&] { EXPECT_EQ(&wire_pool(), &pools.pool(1)); });
+}
+
+TEST(ShardBlockPoolsTest, StreamTrafficLandsInOwningShardPool) {
+  sim::ShardedKernel kernel(sim::ShardedKernelOptions{.shards = 2});
+  ShardBlockPools pools(kernel);
+  kernel.run_as(1, [] {
+    BlockStream s;
+    s.append("payload", 7);
+    s.clear();
+  });
+  EXPECT_EQ(pools.pool(0).stats().fresh_blocks, 0u);
+  EXPECT_EQ(pools.pool(1).stats().fresh_blocks, 1u);
+  EXPECT_EQ(pools.pool(1).stats().blocks_in_use, 0u);  // released on clear
+  EXPECT_EQ(pools.aggregate_stats().fresh_blocks, 1u);
+}
+
+TEST(ShardBlockPoolsTest, UninstallsOnDestruction) {
+  sim::ShardedKernel kernel(sim::ShardedKernelOptions{.shards = 1});
+  {
+    ShardBlockPools pools(kernel);
+    kernel.run_as(0, [&] { EXPECT_EQ(&wire_pool(), &pools.pool(0)); });
+  }
+  kernel.run_as(0, [] { EXPECT_EQ(&wire_pool(), &default_block_pool()); });
+}
+
+}  // namespace
+}  // namespace hcm::net

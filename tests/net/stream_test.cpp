@@ -41,11 +41,11 @@ class StreamTest : public ::testing::Test {
 TEST_F(StreamTest, ConnectAndExchange) {
   auto [client, server] = make_pair_on_port(80);
   std::string server_got, client_got;
-  server->set_on_data([&](const Bytes& d) {
-    server_got += to_string(d);
+  server->set_on_data([&](BlockStream&& d) {
+    server_got += d.to_string();
     server->send(to_bytes("pong"));
   });
-  client->set_on_data([&](const Bytes& d) { client_got += to_string(d); });
+  client->set_on_data([&](BlockStream&& d) { client_got += d.to_string(); });
   client->send(to_bytes("ping"));
   sched.run();
   EXPECT_EQ(server_got, "ping");
@@ -79,7 +79,7 @@ TEST_F(StreamTest, ConnectFailsWithoutRoute) {
 TEST_F(StreamTest, FifoOrderingPreserved) {
   auto [client, server] = make_pair_on_port(80);
   std::string got;
-  server->set_on_data([&](const Bytes& d) { got += to_string(d); });
+  server->set_on_data([&](BlockStream&& d) { got += d.to_string(); });
   // Mixed sizes: a large message takes longer on the wire, but must not
   // overtake order.
   client->send(to_bytes(std::string(50000, 'A')));
@@ -97,7 +97,7 @@ TEST_F(StreamTest, DataBeforeHandlerIsBuffered) {
   client->send(to_bytes("early"));
   sched.run();
   std::string got;
-  server->set_on_data([&](const Bytes& d) { got = to_string(d); });
+  server->set_on_data([&](BlockStream&& d) { got = d.to_string(); });
   EXPECT_EQ(got, "early");
 }
 
@@ -124,7 +124,7 @@ TEST_F(StreamTest, CloseBeforeHandlerIsDeferred) {
 TEST_F(StreamTest, SendAfterCloseIsDropped) {
   auto [client, server] = make_pair_on_port(80);
   int got = 0;
-  server->set_on_data([&](const Bytes&) { ++got; });
+  server->set_on_data([&](BlockStream&&) { ++got; });
   client->close();
   client->send(to_bytes("late"));
   sched.run();
@@ -145,7 +145,7 @@ TEST_F(StreamTest, SegmentFailureResetsConnection) {
 
 TEST_F(StreamTest, ByteCounters) {
   auto [client, server] = make_pair_on_port(80);
-  server->set_on_data([](const Bytes&) {});
+  server->set_on_data([](BlockStream&&) {});
   client->send(Bytes(128));
   sched.run();
   EXPECT_EQ(client->bytes_sent(), 128u);
@@ -156,7 +156,7 @@ TEST_F(StreamTest, LatencyIsRealistic) {
   auto [client, server] = make_pair_on_port(80);
   sim::SimTime sent_at = sched.now();
   sim::SimTime got_at = 0;
-  server->set_on_data([&](const Bytes&) { got_at = sched.now(); });
+  server->set_on_data([&](BlockStream&&) { got_at = sched.now(); });
   client->send(Bytes(1000));
   sched.run();
   // One segment crossing: at least base latency (200us).
@@ -168,7 +168,7 @@ TEST_F(StreamTest, ManyConcurrentConnections) {
   std::vector<StreamPtr> server_held;  // owns the accepted streams
   ASSERT_TRUE(b->listen(90, [&server_held](StreamPtr s) {
                  Stream* raw = s.get();  // owned by server_held below
-                 s->set_on_data([raw](const Bytes& d) { raw->send(d); });
+                 s->set_on_data([raw](BlockStream&& d) { raw->send(std::move(d)); });
                  server_held.push_back(std::move(s));
                }).is_ok());
   int replies = 0;
@@ -178,7 +178,7 @@ TEST_F(StreamTest, ManyConcurrentConnections) {
       ASSERT_TRUE(r.is_ok());
       auto stream = r.value();
       held.push_back(stream);
-      stream->set_on_data([&replies](const Bytes&) { ++replies; });
+      stream->set_on_data([&replies](BlockStream&&) { ++replies; });
       stream->send(to_bytes("echo"));
     });
   }

@@ -399,6 +399,40 @@ TEST(HotpathTest, ClassPatternCoversAllMembers) {
   EXPECT_EQ(find_rule(fs, "hotpath-new")->line, 1);
 }
 
+TEST(HotpathTest, BytesGrowthIsFlagged) {
+  TokenStream ts = lex(
+      "void hot() {\n"                 // 1
+      "  Bytes out;\n"                 // 2
+      "  out.reserve(512);\n"          // 3
+      "  out.append(p, n);\n"          // 4
+      "  out.resize(out.size() * 2);\n"  // 5
+      "  (void)out;\n"                 // 6
+      "}\n");
+  Findings fs =
+      hotpath_check("src/net/f.cpp", ts, HotScope{"src/net/f.cpp", {}});
+  ASSERT_EQ(count_rule(fs, "hotpath-bytes-growth"), 3) << format_findings(fs);
+  EXPECT_EQ(find_rule(fs, "hotpath-bytes-growth")->line, 3);
+}
+
+TEST(HotpathTest, BytesGrowthIgnoresNonBytesNamesAndScope) {
+  // `buf` is a BlockStream, not a Bytes — its append is the pooled
+  // idiom the rule steers toward; and a Bytes growing outside the
+  // manifest's fn scope is setup/teardown, not wire traffic.
+  TokenStream ts = lex(
+      "void hot_send() {\n"
+      "  BlockStream buf;\n"
+      "  buf.append(p, n);\n"
+      "}\n"
+      "void cold_setup() {\n"
+      "  Bytes scratch;\n"
+      "  scratch.reserve(64);\n"
+      "}\n");
+  Findings fs = hotpath_check("src/net/f.cpp", ts,
+                              HotScope{"src/net/f.cpp", {"hot_send"}});
+  EXPECT_EQ(count_rule(fs, "hotpath-bytes-growth"), 0)
+      << format_findings(fs);
+}
+
 // --- shard readiness ----------------------------------------------------
 
 TEST(ShardTest, MutableGlobalIsFlagged) {

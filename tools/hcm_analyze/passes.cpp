@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <climits>
 #include <functional>
 #include <set>
 
@@ -355,7 +356,46 @@ Findings hotpath_check(const std::string& rel_path, const TokenStream& ts,
       "counter",      "gauge",          "histogram",      "unique_scope",
       "find_counter", "find_gauge",     "find_histogram"};
 
+  // Growth calls that reallocate a flat byte buffer. On the wire path
+  // message bytes live in pooled BlockStream chains; a Bytes that grows
+  // per message is allocator traffic the pool was built to remove.
+  static const std::set<std::string> kBytesGrowth = {"reserve", "resize",
+                                                     "append", "push_back"};
+
   const auto& toks = ts.tokens;
+
+  // Names declared as a fresh `Bytes <name>`, each scoped to the
+  // function body holding the declaration (a `Bytes out` in one
+  // function must not taint an unrelated `out` elsewhere in the file;
+  // a namespace-scope declaration scopes to the whole file). The
+  // bytes-growth rule checks member growth calls against these.
+  std::map<std::string, std::vector<std::pair<int, int>>> bytes_decls;
+  {
+    const std::vector<FunctionRange> fns = function_ranges(ts);
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i], "Bytes") ||
+          toks[i + 1].kind != TokKind::kIdent ||
+          (i >= 1 && is_punct(toks[i - 1], "::"))) {
+        continue;
+      }
+      std::pair<int, int> range{1, INT_MAX};
+      for (const FunctionRange& fr : fns) {
+        if (toks[i].line >= fr.begin_line && toks[i].line <= fr.end_line) {
+          range = {fr.begin_line, fr.end_line};
+          break;
+        }
+      }
+      bytes_decls[toks[i + 1].text].push_back(range);
+    }
+  }
+  auto is_bytes_name = [&](const std::string& name, int line) {
+    auto it = bytes_decls.find(name);
+    if (it == bytes_decls.end()) return false;
+    return std::any_of(it->second.begin(), it->second.end(),
+                       [line](const std::pair<int, int>& r) {
+                         return line >= r.first && line <= r.second;
+                       });
+  };
   for (std::size_t i = 0; i < toks.size(); ++i) {
     const Token& t = toks[i];
     if (t.kind != TokKind::kIdent || !in_scope(t.line)) continue;
@@ -387,6 +427,19 @@ Findings hotpath_check(const std::string& rel_path, const TokenStream& ts,
                  " is a node-per-element container — on the wire hot "
                  "path use a flat vector / slab keyed by index"});
       }
+    } else if (i + 3 < toks.size() && is_punct(toks[i + 1], ".") &&
+               toks[i + 2].kind == TokKind::kIdent &&
+               kBytesGrowth.count(toks[i + 2].text) != 0 &&
+               is_punct(toks[i + 3], "(") &&
+               is_bytes_name(t.text, t.line)) {
+      out.push_back(
+          {"hotpath-bytes-growth", rel_path, t.line,
+           "'" + t.text + "." + toks[i + 2].text +
+               "' grows a flat Bytes buffer on the wire hot path — "
+               "render into a pooled BlockStream "
+               "(common/block_stream.hpp) so message bytes recycle "
+               "through the block freelist; annotate documented "
+               "heap-fallback copy-outs with hcm:allow"});
     } else if ((t.text == "shard_registry" ||
                 (t.text == "global" && i >= 2 &&
                  is_ident(toks[i - 2], "Registry") &&

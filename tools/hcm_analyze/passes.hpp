@@ -11,7 +11,7 @@
 //                determinism-unordered-iter
 //   hot path:    hotpath-new, hotpath-make, hotpath-node-container,
 //                hotpath-std-function, hotpath-missing-file,
-//                obs-hotpath-lookup
+//                hotpath-bytes-growth, obs-hotpath-lookup
 //   shard:       shard-mutable-global, shard-static-local
 #pragma once
 

@@ -5,12 +5,13 @@
 // The input is either a full recorder dump (`hcm-series-v1`, written by
 // TimeSeriesRecorder::write_json / the ci/check.sh soak stage) or a
 // single getSeries reply piped to a file — the "live" path is polling
-// the wire op and re-rendering, and both shapes parse here. Four
+// the wire op and re-rendering, and both shapes parse here. Five
 // panels, mirroring what an operator scans first during a soak run:
 //
 //   HEALTH    overall state + per-rule verdicts + recent transitions
 //   TOP OPS   top-N `*_us` histograms by latest p99 (call count, rate)
 //   SHARDS    per-shard event throughput (sim.shard.N.events deltas)
+//   WIRE POOL block-pool occupancy vs high water, hit/fallback rates
 //   DROPS     nonzero drop/backlog counters (drops, retries, dupes)
 //
 // Rates are virtual-time rates from the finest retention tier, so a
@@ -262,6 +263,44 @@ int render_shards(const Dashboard& d, std::size_t rate_span) {
   return static_cast<int>(rows.size());
 }
 
+// Wire block-pool occupancy (docs/PERFORMANCE.md §"Block pool"): the
+// series published by net::publish_wire_pool_gauges. Occupancy reads
+// as a bar against the high-water mark; a nonzero fallback rate means
+// the pool cap is undersized for the live-message load.
+int render_pool(const Dashboard& d, std::size_t rate_span) {
+  const SeriesView* in_use = find_series(d, "wire.block_pool.blocks_in_use");
+  if (in_use == nullptr) return 0;
+  const SeriesView* high = find_series(d, "wire.block_pool.high_water");
+  const SeriesView* hits = find_series(d, "wire.block_pool.pool_hits");
+  const SeriesView* fallbacks =
+      find_series(d, "wire.block_pool.heap_fallbacks");
+  const std::int64_t high_water = high != nullptr ? high->latest() : 0;
+  char gauge[33];
+  bar(gauge, 32,
+      high_water > 0 ? static_cast<double>(in_use->latest()) /
+                           static_cast<double>(high_water)
+                     : 0.0);
+  std::printf("WIRE POOL  blocks_in_use=%lld  high_water=%lld  %s\n",
+              static_cast<long long>(in_use->latest()),
+              static_cast<long long>(high_water), gauge);
+  int rows = 1;
+  if (hits != nullptr) {
+    std::printf("  %-44s %10lld %10.2f/s\n", "pool_hits",
+                static_cast<long long>(hits->latest()),
+                hits->rate(rate_span));
+    ++rows;
+  }
+  if (fallbacks != nullptr) {
+    std::printf("  %-44s %10lld %10.2f/s%s\n", "heap_fallbacks",
+                static_cast<long long>(fallbacks->latest()),
+                fallbacks->rate(rate_span),
+                fallbacks->latest() > 0 ? "  (pool undersized)" : "");
+    ++rows;
+  }
+  std::printf("\n");
+  return rows;
+}
+
 int render_drops(const Dashboard& d, std::size_t rate_span) {
   static constexpr const char* kSuffixes[] = {
       ".dropped",  ".drops",   ".retries",        ".duplicates",
@@ -357,6 +396,7 @@ int main(int argc, char** argv) {
   rows += render_health(d);
   rows += render_top_ops(d, top_n, rate_span);
   rows += render_shards(d, rate_span);
+  rows += render_pool(d, rate_span);
   rows += render_drops(d, rate_span);
   std::printf("rows: %d\n", rows);
   if (rows == 0) {
